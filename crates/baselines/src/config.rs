@@ -1,0 +1,134 @@
+//! Shared configuration for the baseline protocols.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by Cyclon, Gozar and Nylon.
+///
+/// Defaults mirror the paper's experimental setup (§VII-A): views of 10 entries, shuffle
+/// subsets of 5 entries. The NAT-traversal parameters (relay redundancy, keep-alive period,
+/// hole-punch chain TTL) follow the cited Gozar and Nylon papers.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_baselines::BaselineConfig;
+///
+/// let cfg = BaselineConfig::default().with_view_size(20);
+/// assert_eq!(cfg.view_size, 20);
+/// assert_eq!(cfg.shuffle_size, 5);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// Capacity of the partial view (paper: 10).
+    pub view_size: usize,
+    /// Number of descriptors sent in each view exchange (paper: 5).
+    pub shuffle_size: usize,
+    /// Number of public nodes requested from the bootstrap server when joining.
+    pub bootstrap_size: usize,
+    /// Gozar: number of redundant relay nodes each private node maintains.
+    pub relay_redundancy: usize,
+    /// Gozar and Nylon: rounds between keep-alive messages refreshing NAT mappings to
+    /// relays / rendezvous nodes (must stay below the NAT mapping timeout).
+    pub keepalive_rounds: u64,
+    /// Nylon: maximum length of a rendezvous chain before a hole-punch request is dropped.
+    pub chain_ttl: u32,
+    /// Nylon: how many rounds a past exchange keeps counting as an "open connection"
+    /// (bounded by the NAT mapping timeout).
+    pub open_connection_rounds: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            view_size: 10,
+            shuffle_size: 5,
+            bootstrap_size: 10,
+            relay_redundancy: 2,
+            keepalive_rounds: 5,
+            chain_ttl: 8,
+            open_connection_rounds: 10,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view_size` is zero or `shuffle_size` is zero or larger than `view_size`.
+    pub fn validate(&self) {
+        assert!(self.view_size > 0, "view_size must be positive");
+        assert!(
+            self.shuffle_size > 0 && self.shuffle_size <= self.view_size,
+            "shuffle_size must be in 1..=view_size"
+        );
+        assert!(self.keepalive_rounds > 0, "keepalive_rounds must be positive");
+    }
+
+    /// Sets the view capacity.
+    pub fn with_view_size(mut self, view_size: usize) -> Self {
+        self.view_size = view_size;
+        self
+    }
+
+    /// Sets the shuffle subset size.
+    pub fn with_shuffle_size(mut self, shuffle_size: usize) -> Self {
+        self.shuffle_size = shuffle_size;
+        self
+    }
+
+    /// Sets Gozar's relay redundancy.
+    pub fn with_relay_redundancy(mut self, relays: usize) -> Self {
+        self.relay_redundancy = relays;
+        self
+    }
+
+    /// Sets the keep-alive period in rounds.
+    pub fn with_keepalive_rounds(mut self, rounds: u64) -> Self {
+        self.keepalive_rounds = rounds;
+        self
+    }
+
+    /// Sets Nylon's maximum rendezvous-chain length.
+    pub fn with_chain_ttl(mut self, ttl: u32) -> Self {
+        self.chain_ttl = ttl;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_papers_setup() {
+        let c = BaselineConfig::default();
+        assert_eq!(c.view_size, 10);
+        assert_eq!(c.shuffle_size, 5);
+        assert_eq!(c.relay_redundancy, 2);
+        c.validate();
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let c = BaselineConfig::default()
+            .with_view_size(16)
+            .with_shuffle_size(8)
+            .with_relay_redundancy(3)
+            .with_keepalive_rounds(10)
+            .with_chain_ttl(4);
+        assert_eq!(c.view_size, 16);
+        assert_eq!(c.shuffle_size, 8);
+        assert_eq!(c.relay_redundancy, 3);
+        assert_eq!(c.keepalive_rounds, 10);
+        assert_eq!(c.chain_ttl, 4);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shuffle_size")]
+    fn oversized_shuffle_is_rejected() {
+        BaselineConfig::default().with_shuffle_size(99).validate();
+    }
+}

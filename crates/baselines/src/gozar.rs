@@ -1,0 +1,565 @@
+//! Gozar: NAT-friendly peer sampling with one-hop distributed relaying
+//! (Payberah, Dowling & Haridi, DAIS 2011).
+//!
+//! Gozar keeps a single Cyclon-style view but makes private nodes reachable by *relaying*:
+//!
+//! * every private node registers with a small, redundant set of public **relay nodes** and
+//!   refreshes its NAT mappings to them with periodic keep-alives;
+//! * node descriptors of private nodes carry the addresses of their relays, so anyone who
+//!   wants to shuffle with a private node can send the exchange through one of them
+//!   (exactly one extra hop);
+//! * responses travel the reverse path (or directly, when the initiator is public).
+//!
+//! Compared with Croupier this costs relay traffic on public nodes, keep-alive traffic on
+//! private nodes and larger descriptors — the overhead gap measured in Fig. 7(a) of the
+//! Croupier paper.
+
+use std::collections::HashMap;
+
+use croupier::{Descriptor, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
+use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode, WireSize};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+use crate::config::BaselineConfig;
+
+/// Wire bytes per relay address carried inside a descriptor (IPv4 + port).
+const RELAY_ADDR_BYTES: usize = 6;
+
+/// A view entry as exchanged by Gozar: a descriptor plus, for private nodes, the addresses
+/// of their relay nodes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GozarEntry {
+    /// The node descriptor.
+    pub descriptor: Descriptor,
+    /// Relay nodes through which the described node can be reached (empty for public
+    /// nodes).
+    pub relays: Vec<NodeId>,
+}
+
+impl GozarEntry {
+    /// Creates an entry for a public node (no relays).
+    pub fn public(descriptor: Descriptor) -> Self {
+        GozarEntry {
+            descriptor,
+            relays: Vec::new(),
+        }
+    }
+
+    fn wire_bytes(&self) -> usize {
+        DESCRIPTOR_WIRE_BYTES + self.relays.len() * RELAY_ADDR_BYTES
+    }
+}
+
+/// Gozar's messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GozarMessage {
+    /// A view-exchange request. Carries the initiator's identity, class and relays so the
+    /// recipient can route the response.
+    ShuffleRequest {
+        /// The node that initiated the exchange.
+        initiator: NodeId,
+        /// The initiator's connectivity class.
+        initiator_class: NatClass,
+        /// The initiator's relay nodes (empty if it is public).
+        initiator_relays: Vec<NodeId>,
+        /// Subset of the initiator's view, including its own fresh entry.
+        entries: Vec<GozarEntry>,
+    },
+    /// A view-exchange response.
+    ShuffleResponse {
+        /// Subset of the responder's view.
+        entries: Vec<GozarEntry>,
+    },
+    /// One-hop relaying envelope: the receiving relay forwards `inner` to `dest`.
+    Relayed {
+        /// Final destination of the inner message.
+        dest: NodeId,
+        /// The relayed message.
+        inner: Box<GozarMessage>,
+    },
+    /// Private node → public node: request to act as a relay.
+    RelayRegister,
+    /// Public node → private node: acknowledgement of a registration or keep-alive.
+    RelayAccept,
+    /// Private node → relay: refreshes the NAT mapping so relayed traffic keeps flowing.
+    KeepAlive,
+}
+
+impl WireSize for GozarMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            GozarMessage::ShuffleRequest {
+                initiator_relays,
+                entries,
+                ..
+            } => {
+                UDP_IP_HEADER_BYTES
+                    + 8
+                    + initiator_relays.len() * RELAY_ADDR_BYTES
+                    + entries.iter().map(GozarEntry::wire_bytes).sum::<usize>()
+            }
+            GozarMessage::ShuffleResponse { entries } => {
+                UDP_IP_HEADER_BYTES + 2 + entries.iter().map(GozarEntry::wire_bytes).sum::<usize>()
+            }
+            GozarMessage::Relayed { inner, .. } => 6 + inner.wire_size(),
+            GozarMessage::RelayRegister | GozarMessage::RelayAccept | GozarMessage::KeepAlive => {
+                UDP_IP_HEADER_BYTES + 2
+            }
+        }
+    }
+}
+
+/// A node running the Gozar protocol.
+///
+/// See the crate-level documentation for the comparison setup shared with the other
+/// protocols.
+#[derive(Clone, Debug)]
+pub struct GozarNode {
+    id: NodeId,
+    class: NatClass,
+    config: BaselineConfig,
+    view: View,
+    /// Relays advertised by private nodes we know about.
+    relay_cache: HashMap<NodeId, Vec<NodeId>>,
+    /// Our own relays (private nodes only).
+    my_relays: Vec<NodeId>,
+    /// Round in which each of our relays last acknowledged us.
+    relay_last_ack: HashMap<NodeId, u64>,
+    pending: Option<(NodeId, Vec<Descriptor>)>,
+    rounds: u64,
+    messages_relayed: u64,
+    exchanges_completed: u64,
+    unreachable_targets: u64,
+}
+
+impl GozarNode {
+    /// Creates a Gozar node of the given connectivity class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent.
+    pub fn new(id: NodeId, class: NatClass, config: BaselineConfig) -> Self {
+        config.validate();
+        GozarNode {
+            id,
+            class,
+            view: View::new(config.view_size),
+            relay_cache: HashMap::new(),
+            my_relays: Vec::new(),
+            relay_last_ack: HashMap::new(),
+            pending: None,
+            rounds: 0,
+            messages_relayed: 0,
+            exchanges_completed: 0,
+            unreachable_targets: 0,
+            config,
+        }
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's partial view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// The relays this (private) node is registered with.
+    pub fn relays(&self) -> &[NodeId] {
+        &self.my_relays
+    }
+
+    /// Number of messages this (public) node has forwarded on behalf of private nodes.
+    pub fn messages_relayed(&self) -> u64 {
+        self.messages_relayed
+    }
+
+    /// Number of completed view exchanges.
+    pub fn exchanges_completed(&self) -> u64 {
+        self.exchanges_completed
+    }
+
+    /// Number of shuffle attempts abandoned because no relay was known for a private
+    /// target.
+    pub fn unreachable_targets(&self) -> u64 {
+        self.unreachable_targets
+    }
+
+    fn bootstrap(&mut self, ctx: &mut Context<'_, GozarMessage>) {
+        for node in ctx.bootstrap_sample(self.config.bootstrap_size.min(self.config.view_size)) {
+            if node != self.id {
+                self.view.insert(Descriptor::new(node, NatClass::Public));
+            }
+        }
+    }
+
+    fn own_entry(&self) -> GozarEntry {
+        GozarEntry {
+            descriptor: Descriptor::new(self.id, self.class),
+            relays: self.my_relays.clone(),
+        }
+    }
+
+    fn entries_from(&self, descriptors: &[Descriptor]) -> Vec<GozarEntry> {
+        descriptors
+            .iter()
+            .map(|d| GozarEntry {
+                descriptor: *d,
+                relays: self.relay_cache.get(&d.node).cloned().unwrap_or_default(),
+            })
+            .collect()
+    }
+
+    fn absorb_entries(&mut self, entries: &[GozarEntry], sent: &[Descriptor]) {
+        let descriptors: Vec<Descriptor> = entries.iter().map(|e| e.descriptor).collect();
+        for entry in entries {
+            if entry.descriptor.class.is_private() && !entry.relays.is_empty() {
+                self.relay_cache
+                    .insert(entry.descriptor.node, entry.relays.clone());
+            }
+        }
+        self.view.apply_exchange_swapper(sent, &descriptors, self.id);
+    }
+
+    /// Maintains this private node's relay set: drops relays that stopped acknowledging and
+    /// registers with new public nodes when redundancy falls below the target.
+    fn maintain_relays(&mut self, ctx: &mut Context<'_, GozarMessage>) {
+        if self.class.is_public() {
+            return;
+        }
+        let stale_after = self.config.keepalive_rounds * 3;
+        let rounds = self.rounds;
+        let last_ack = &self.relay_last_ack;
+        self.my_relays
+            .retain(|r| rounds.saturating_sub(last_ack.get(r).copied().unwrap_or(0)) < stale_after);
+
+        if self.my_relays.len() < self.config.relay_redundancy {
+            // Candidate relays: public nodes from our view, then the bootstrap server.
+            let mut candidates: Vec<NodeId> = self
+                .view
+                .iter()
+                .filter(|d| d.class.is_public())
+                .map(|d| d.node)
+                .filter(|n| !self.my_relays.contains(n))
+                .collect();
+            if candidates.is_empty() {
+                candidates = ctx
+                    .bootstrap_sample(self.config.relay_redundancy)
+                    .into_iter()
+                    .filter(|n| !self.my_relays.contains(n) && *n != self.id)
+                    .collect();
+            }
+            candidates.shuffle(ctx.rng());
+            while self.my_relays.len() < self.config.relay_redundancy {
+                let Some(candidate) = candidates.pop() else { break };
+                self.my_relays.push(candidate);
+                self.relay_last_ack.insert(candidate, self.rounds);
+                ctx.send(candidate, GozarMessage::RelayRegister);
+            }
+        }
+
+        // Periodic keep-alives refresh both the NAT mappings and the liveness check.
+        if self.rounds % self.config.keepalive_rounds == 0 {
+            for relay in &self.my_relays {
+                ctx.send(*relay, GozarMessage::KeepAlive);
+            }
+        }
+    }
+
+    fn send_request(&mut self, target: NodeId, ctx: &mut Context<'_, GozarMessage>) {
+        let sent = self
+            .view
+            .random_subset(self.config.shuffle_size.saturating_sub(1), ctx.rng());
+        let mut entries = self.entries_from(&sent);
+        entries.push(self.own_entry());
+        self.pending = Some((target, sent));
+        let request = GozarMessage::ShuffleRequest {
+            initiator: self.id,
+            initiator_class: self.class,
+            initiator_relays: self.my_relays.clone(),
+            entries,
+        };
+        let target_is_private = self
+            .view
+            .get(target)
+            .map(|d| d.class.is_private())
+            .unwrap_or_else(|| self.relay_cache.contains_key(&target));
+        if target_is_private {
+            match self.relay_cache.get(&target).and_then(|relays| {
+                relays.choose(ctx.rng()).copied()
+            }) {
+                Some(relay) => ctx.send(
+                    relay,
+                    GozarMessage::Relayed {
+                        dest: target,
+                        inner: Box::new(request),
+                    },
+                ),
+                None => {
+                    // No relay known for the target: the exchange cannot be carried out.
+                    self.unreachable_targets += 1;
+                    self.pending = None;
+                }
+            }
+        } else {
+            ctx.send(target, request);
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        initiator: NodeId,
+        initiator_class: NatClass,
+        initiator_relays: Vec<NodeId>,
+        entries: Vec<GozarEntry>,
+        ctx: &mut Context<'_, GozarMessage>,
+    ) {
+        let reply_descriptors = self.view.random_subset(self.config.shuffle_size, ctx.rng());
+        let reply_entries = self.entries_from(&reply_descriptors);
+        if initiator_class.is_private() && !initiator_relays.is_empty() {
+            self.relay_cache.insert(initiator, initiator_relays.clone());
+        }
+        self.absorb_entries(&entries, &reply_descriptors);
+        let response = GozarMessage::ShuffleResponse {
+            entries: reply_entries,
+        };
+        if initiator_class.is_public() {
+            ctx.send(initiator, response);
+        } else if let Some(relay) = initiator_relays.first() {
+            ctx.send(
+                *relay,
+                GozarMessage::Relayed {
+                    dest: initiator,
+                    inner: Box::new(response),
+                },
+            );
+        }
+        // If a private initiator advertised no relays the response is simply lost, as it
+        // would be on a real deployment.
+    }
+}
+
+impl Protocol for GozarNode {
+    type Message = GozarMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        self.bootstrap(ctx);
+        self.maintain_relays(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        self.rounds += 1;
+        self.view.increment_ages();
+        self.maintain_relays(ctx);
+        if self.view.is_empty() {
+            // Re-contact the bootstrap server instead of staying isolated (see Cyclon).
+            self.bootstrap(ctx);
+            return;
+        }
+        let Some(target) = self.view.oldest().map(|d| d.node) else {
+            return;
+        };
+        // Keep the descriptor until we know the exchange can be routed; `send_request`
+        // consults it for the target's class.
+        self.send_request(target, ctx);
+        self.view.remove(target);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+        match msg {
+            GozarMessage::ShuffleRequest {
+                initiator,
+                initiator_class,
+                initiator_relays,
+                entries,
+            } => self.handle_request(initiator, initiator_class, initiator_relays, entries, ctx),
+            GozarMessage::ShuffleResponse { entries } => {
+                self.exchanges_completed += 1;
+                let sent = match self.pending.take() {
+                    Some((_, sent)) => sent,
+                    None => Vec::new(),
+                };
+                self.absorb_entries(&entries, &sent);
+            }
+            GozarMessage::Relayed { dest, inner } => {
+                self.messages_relayed += 1;
+                ctx.send(dest, *inner);
+            }
+            GozarMessage::RelayRegister | GozarMessage::KeepAlive => {
+                // Acknowledge so the private node knows we are alive; the acknowledgement
+                // also serves as the liveness signal for relay rotation.
+                ctx.send(from, GozarMessage::RelayAccept);
+            }
+            GozarMessage::RelayAccept => {
+                self.relay_last_ack.insert(from, self.rounds);
+            }
+        }
+    }
+}
+
+impl PssNode for GozarNode {
+    fn nat_class(&self) -> NatClass {
+        self.class
+    }
+
+    fn known_peers(&self) -> Vec<NodeId> {
+        self.view.nodes()
+    }
+
+    fn draw_sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
+        self.view.random(rng).map(|d| d.node)
+    }
+
+    fn rounds_executed(&self) -> u64 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croupier_nat::NatTopologyBuilder;
+    use croupier_simulator::{Simulation, SimulationConfig};
+
+    fn build_sim(n_public: u64, n_private: u64, seed: u64) -> Simulation<GozarNode> {
+        let topology = NatTopologyBuilder::new(seed).build();
+        let mut sim = Simulation::new(SimulationConfig::default().with_seed(seed));
+        sim.set_delivery_filter(topology.clone());
+        for i in 0..(n_public + n_private) {
+            let id = NodeId::new(i);
+            let class = if i < n_public {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            };
+            topology.add_node(id, class);
+            if class.is_public() {
+                sim.register_public(id);
+            }
+            sim.add_node(id, GozarNode::new(id, class, BaselineConfig::default()));
+        }
+        sim
+    }
+
+    #[test]
+    fn private_nodes_register_with_relays() {
+        let mut sim = build_sim(5, 20, 1);
+        sim.run_for_rounds(10);
+        for (_, node) in sim.nodes() {
+            if node.nat_class().is_private() {
+                assert!(
+                    !node.relays().is_empty(),
+                    "private node {} should have relays",
+                    node.id()
+                );
+            } else {
+                assert!(node.relays().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn views_mix_public_and_private_nodes() {
+        let mut sim = build_sim(5, 20, 2);
+        sim.run_for_rounds(60);
+        let mut nodes_knowing_private = 0;
+        for (_, node) in sim.nodes() {
+            assert!(!node.view().is_empty());
+            if node.view().iter().any(|d| d.class.is_private()) {
+                nodes_knowing_private += 1;
+            }
+        }
+        assert!(
+            nodes_knowing_private > 15,
+            "most views should contain private nodes, got {nodes_knowing_private}"
+        );
+    }
+
+    #[test]
+    fn exchanges_with_private_targets_complete_through_relays() {
+        let mut sim = build_sim(5, 20, 3);
+        sim.run_for_rounds(60);
+        let relayed: u64 = sim.nodes().map(|(_, n)| n.messages_relayed()).sum();
+        assert!(relayed > 0, "public nodes should relay traffic");
+        for (_, node) in sim.nodes() {
+            assert!(
+                node.exchanges_completed() > 10,
+                "node {} completed only {} exchanges",
+                node.id(),
+                node.exchanges_completed()
+            );
+        }
+    }
+
+    #[test]
+    fn only_public_nodes_relay() {
+        let mut sim = build_sim(5, 20, 4);
+        sim.run_for_rounds(40);
+        for (_, node) in sim.nodes() {
+            if node.nat_class().is_private() {
+                assert_eq!(node.messages_relayed(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_entries_carry_relays_and_cost_extra_bytes() {
+        let plain = GozarEntry::public(Descriptor::new(NodeId::new(1), NatClass::Public));
+        let relayed = GozarEntry {
+            descriptor: Descriptor::new(NodeId::new(2), NatClass::Private),
+            relays: vec![NodeId::new(3), NodeId::new(4)],
+        };
+        let req_plain = GozarMessage::ShuffleResponse { entries: vec![plain] };
+        let req_relayed = GozarMessage::ShuffleResponse { entries: vec![relayed] };
+        assert_eq!(
+            req_relayed.wire_size() - req_plain.wire_size(),
+            2 * RELAY_ADDR_BYTES
+        );
+    }
+
+    #[test]
+    fn relayed_envelope_costs_more_than_the_inner_message() {
+        let inner = GozarMessage::KeepAlive;
+        let relayed = GozarMessage::Relayed {
+            dest: NodeId::new(1),
+            inner: Box::new(inner.clone()),
+        };
+        assert!(relayed.wire_size() > inner.wire_size());
+    }
+
+    #[test]
+    fn gozar_sends_more_messages_than_a_relay_free_protocol() {
+        // Sanity check of the overhead ordering reproduced in Fig. 7(a): with the same view
+        // sizes, Gozar needs strictly more messages than Croupier because of relaying
+        // envelopes, relay registrations and keep-alives.
+        let mut gozar = build_sim(5, 20, 5);
+        gozar.run_for_rounds(50);
+        let gozar_messages = gozar.traffic().total_messages_sent();
+
+        let topology = NatTopologyBuilder::new(5).build();
+        let mut croupier_sim = Simulation::new(SimulationConfig::default().with_seed(5));
+        croupier_sim.set_delivery_filter(topology.clone());
+        for i in 0..25u64 {
+            let id = NodeId::new(i);
+            let class = if i < 5 { NatClass::Public } else { NatClass::Private };
+            topology.add_node(id, class);
+            if class.is_public() {
+                croupier_sim.register_public(id);
+            }
+            croupier_sim.add_node(
+                id,
+                croupier::CroupierNode::new(id, class, croupier::CroupierConfig::default()),
+            );
+        }
+        croupier_sim.run_for_rounds(50);
+        let croupier_messages = croupier_sim.traffic().total_messages_sent();
+        assert!(
+            gozar_messages > croupier_messages,
+            "gozar={gozar_messages} should exceed croupier={croupier_messages}"
+        );
+    }
+}

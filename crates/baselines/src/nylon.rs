@@ -1,0 +1,520 @@
+//! Nylon: NAT-resilient gossip peer sampling through chains of rendezvous nodes
+//! (Kermarrec, Pace, Quéma & Schiavoni, ICDCS 2009).
+//!
+//! Nylon keeps a single Cyclon-style view. Reachability of private nodes is obtained by
+//! *hole punching*, coordinated through **rendezvous nodes (RVPs)**: two nodes become each
+//! other's RVP whenever they exchange views. To shuffle with a private node, the initiator
+//! sends a hole-punch request that is routed hop-by-hop along the chain of RVPs through
+//! which the target's descriptor travelled; the node at the end of the chain still has an
+//! open NAT mapping to the target and delivers the request; the target then *punches* a
+//! direct path back to the initiator and the view exchange proceeds directly.
+//!
+//! The RVP chains are unbounded in the original protocol; under churn they break, which is
+//! why Nylon degrades faster than Gozar and Croupier in the paper's failure experiments.
+//! Private nodes also pay keep-alive traffic towards their RVPs to keep NAT mappings open.
+
+use std::collections::HashMap;
+
+use croupier::{Descriptor, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
+use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode, WireSize};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+use crate::config::BaselineConfig;
+
+/// How many rounds an entry may wait for a hole punch before the pending shuffle is
+/// abandoned.
+const PUNCH_PATIENCE_ROUNDS: u64 = 5;
+
+/// Maximum number of RVPs a private node keeps alive with periodic traffic. Nylon nodes
+/// must keep NAT mappings open towards every rendezvous node that may have to forward
+/// hole-punch requests to them, which is most of their recent exchange partners — a key
+/// contributor to Nylon's overhead in Fig. 7(a) of the Croupier paper.
+const MAX_KEEPALIVE_TARGETS: usize = 10;
+
+/// Nylon's messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NylonMessage {
+    /// A view-exchange request, always sent over a direct (possibly hole-punched) path.
+    ShuffleRequest {
+        /// The initiating node.
+        initiator: NodeId,
+        /// The initiator's connectivity class.
+        initiator_class: NatClass,
+        /// Subset of the initiator's view including its own fresh descriptor.
+        descriptors: Vec<Descriptor>,
+    },
+    /// A view-exchange response, sent directly back to the initiator.
+    ShuffleResponse {
+        /// Subset of the responder's view.
+        descriptors: Vec<Descriptor>,
+    },
+    /// A hole-punch request routed along the chain of rendezvous nodes towards `target`.
+    HolePunchRequest {
+        /// The node that wants to shuffle with `target`.
+        initiator: NodeId,
+        /// The private node to be reached.
+        target: NodeId,
+        /// Remaining hops before the request is dropped.
+        ttl: u32,
+    },
+    /// The punch packet a private target sends directly to the initiator; it opens the
+    /// target's NAT mapping towards the initiator.
+    HolePunch {
+        /// The private node that punched.
+        target: NodeId,
+    },
+    /// Keep-alive from a private node to one of its rendezvous nodes.
+    KeepAlive,
+}
+
+impl WireSize for NylonMessage {
+    fn wire_size(&self) -> usize {
+        let payload = match self {
+            NylonMessage::ShuffleRequest { descriptors, .. } => {
+                10 + descriptors.len() * DESCRIPTOR_WIRE_BYTES
+            }
+            NylonMessage::ShuffleResponse { descriptors } => {
+                2 + descriptors.len() * DESCRIPTOR_WIRE_BYTES
+            }
+            NylonMessage::HolePunchRequest { .. } => 18,
+            NylonMessage::HolePunch { .. } => 8,
+            NylonMessage::KeepAlive => 2,
+        };
+        UDP_IP_HEADER_BYTES + payload
+    }
+}
+
+/// A node running the Nylon protocol.
+#[derive(Clone, Debug)]
+pub struct NylonNode {
+    id: NodeId,
+    class: NatClass,
+    config: BaselineConfig,
+    view: View,
+    /// Next hop towards each known node: the neighbour from which its descriptor was
+    /// learned (the RVP chain).
+    next_hop: HashMap<NodeId, NodeId>,
+    /// Round of the most recent direct exchange with each peer ("open connection").
+    open_connections: HashMap<NodeId, u64>,
+    /// Shuffle subsets sent and awaiting a response, keyed by peer.
+    pending: HashMap<NodeId, Vec<Descriptor>>,
+    /// Shuffle subsets prepared and waiting for a hole punch, keyed by target and stamped
+    /// with the round in which they were created.
+    awaiting_punch: HashMap<NodeId, (Vec<Descriptor>, u64)>,
+    rounds: u64,
+    punches_forwarded: u64,
+    exchanges_completed: u64,
+    unreachable_targets: u64,
+}
+
+impl NylonNode {
+    /// Creates a Nylon node of the given connectivity class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is inconsistent.
+    pub fn new(id: NodeId, class: NatClass, config: BaselineConfig) -> Self {
+        config.validate();
+        NylonNode {
+            id,
+            class,
+            view: View::new(config.view_size),
+            next_hop: HashMap::new(),
+            open_connections: HashMap::new(),
+            pending: HashMap::new(),
+            awaiting_punch: HashMap::new(),
+            rounds: 0,
+            punches_forwarded: 0,
+            exchanges_completed: 0,
+            unreachable_targets: 0,
+            config,
+        }
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's partial view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Number of hole-punch requests this node forwarded as part of an RVP chain.
+    pub fn punches_forwarded(&self) -> u64 {
+        self.punches_forwarded
+    }
+
+    /// Number of completed view exchanges.
+    pub fn exchanges_completed(&self) -> u64 {
+        self.exchanges_completed
+    }
+
+    /// Number of shuffle attempts abandoned because no route to the private target existed.
+    pub fn unreachable_targets(&self) -> u64 {
+        self.unreachable_targets
+    }
+
+    fn own_descriptor(&self) -> Descriptor {
+        Descriptor::new(self.id, self.class)
+    }
+
+    fn bootstrap(&mut self, ctx: &mut Context<'_, NylonMessage>) {
+        for node in ctx.bootstrap_sample(self.config.bootstrap_size.min(self.config.view_size)) {
+            if node != self.id {
+                self.view.insert(Descriptor::new(node, NatClass::Public));
+            }
+        }
+    }
+
+    fn connection_open(&self, peer: NodeId) -> bool {
+        self.open_connections
+            .get(&peer)
+            .map(|round| self.rounds.saturating_sub(*round) < self.config.open_connection_rounds)
+            .unwrap_or(false)
+    }
+
+    fn absorb(&mut self, learned_from: NodeId, sent: &[Descriptor], received: &[Descriptor]) {
+        for d in received {
+            if d.node != self.id && d.class.is_private() {
+                self.next_hop.insert(d.node, learned_from);
+            }
+        }
+        self.view.apply_exchange_swapper(sent, received, self.id);
+    }
+
+    fn send_direct_shuffle(
+        &mut self,
+        target: NodeId,
+        sent: Vec<Descriptor>,
+        ctx: &mut Context<'_, NylonMessage>,
+    ) {
+        let mut descriptors = sent.clone();
+        descriptors.push(self.own_descriptor());
+        self.pending.insert(target, sent);
+        ctx.send(
+            target,
+            NylonMessage::ShuffleRequest {
+                initiator: self.id,
+                initiator_class: self.class,
+                descriptors,
+            },
+        );
+    }
+
+    fn maintain_keepalives(&mut self, ctx: &mut Context<'_, NylonMessage>) {
+        // Nylon must keep a NAT mapping open towards *every* rendezvous node that may have
+        // to forward a hole-punch request (roughly its whole in-view), whereas Gozar only
+        // keeps a couple of dedicated relays alive.
+        let period = self.config.keepalive_rounds.max(1);
+        if self.class.is_public() || self.rounds % period != 0 {
+            return;
+        }
+        let mut rvps: Vec<(NodeId, u64)> = self
+            .open_connections
+            .iter()
+            .map(|(node, round)| (*node, *round))
+            .collect();
+        // Most recently used first; ties broken by identifier for determinism.
+        rvps.sort_by_key(|(node, round)| (std::cmp::Reverse(*round), *node));
+        for (rvp, _) in rvps.into_iter().take(MAX_KEEPALIVE_TARGETS) {
+            ctx.send(rvp, NylonMessage::KeepAlive);
+        }
+    }
+
+    fn expire_stale_punch_waits(&mut self) {
+        let rounds = self.rounds;
+        self.awaiting_punch
+            .retain(|_, (_, created)| rounds.saturating_sub(*created) <= PUNCH_PATIENCE_ROUNDS);
+    }
+}
+
+impl Protocol for NylonNode {
+    type Message = NylonMessage;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        self.bootstrap(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        self.rounds += 1;
+        self.view.increment_ages();
+        self.expire_stale_punch_waits();
+        self.maintain_keepalives(ctx);
+        if self.view.is_empty() {
+            // Re-contact the bootstrap server instead of staying isolated (see Cyclon).
+            self.bootstrap(ctx);
+            return;
+        }
+
+        let Some(target_descriptor) = self.view.oldest().copied() else {
+            return;
+        };
+        let target = target_descriptor.node;
+        self.view.remove(target);
+        let sent = self
+            .view
+            .random_subset(self.config.shuffle_size.saturating_sub(1), ctx.rng());
+
+        if target_descriptor.class.is_public() || self.connection_open(target) {
+            self.send_direct_shuffle(target, sent, ctx);
+            return;
+        }
+
+        // Private target without an open connection: route a hole-punch request along the
+        // RVP chain.
+        match self.next_hop.get(&target).copied() {
+            Some(next) => {
+                self.awaiting_punch.insert(target, (sent, self.rounds));
+                ctx.send(
+                    next,
+                    NylonMessage::HolePunchRequest {
+                        initiator: self.id,
+                        target,
+                        ttl: self.config.chain_ttl,
+                    },
+                );
+            }
+            None => {
+                self.unreachable_targets += 1;
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+        match msg {
+            NylonMessage::ShuffleRequest {
+                initiator,
+                initiator_class: _,
+                descriptors,
+            } => {
+                self.open_connections.insert(initiator, self.rounds);
+                let reply = self.view.random_subset(self.config.shuffle_size, ctx.rng());
+                self.absorb(from, &reply, &descriptors);
+                ctx.send(
+                    initiator,
+                    NylonMessage::ShuffleResponse { descriptors: reply },
+                );
+            }
+            NylonMessage::ShuffleResponse { descriptors } => {
+                self.exchanges_completed += 1;
+                self.open_connections.insert(from, self.rounds);
+                let sent = self.pending.remove(&from).unwrap_or_default();
+                self.absorb(from, &sent, &descriptors);
+            }
+            NylonMessage::HolePunchRequest {
+                initiator,
+                target,
+                ttl,
+            } => {
+                if target == self.id {
+                    // End of the chain: punch a direct path back to the initiator and wait
+                    // for its shuffle request.
+                    self.open_connections.insert(initiator, self.rounds);
+                    ctx.send(initiator, NylonMessage::HolePunch { target: self.id });
+                    return;
+                }
+                if ttl == 0 {
+                    return;
+                }
+                self.punches_forwarded += 1;
+                if self.connection_open(target) {
+                    // We are the target's RVP: deliver the request straight through the NAT
+                    // mapping the target keeps open towards us.
+                    ctx.send(
+                        target,
+                        NylonMessage::HolePunchRequest {
+                            initiator,
+                            target,
+                            ttl: ttl - 1,
+                        },
+                    );
+                } else if let Some(next) = self.next_hop.get(&target).copied() {
+                    ctx.send(
+                        next,
+                        NylonMessage::HolePunchRequest {
+                            initiator,
+                            target,
+                            ttl: ttl - 1,
+                        },
+                    );
+                }
+                // No route: the request dies here, as it would in the real protocol.
+            }
+            NylonMessage::HolePunch { target } => {
+                self.open_connections.insert(target, self.rounds);
+                if let Some((sent, _)) = self.awaiting_punch.remove(&target) {
+                    self.send_direct_shuffle(target, sent, ctx);
+                }
+            }
+            NylonMessage::KeepAlive => {
+                // Receiving a keep-alive marks the sender as reachable through the mapping
+                // it just refreshed, so we can keep acting as its RVP.
+                self.open_connections.insert(from, self.rounds);
+            }
+        }
+    }
+}
+
+impl PssNode for NylonNode {
+    fn nat_class(&self) -> NatClass {
+        self.class
+    }
+
+    fn known_peers(&self) -> Vec<NodeId> {
+        self.view.nodes()
+    }
+
+    fn draw_sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
+        self.view.random(rng).map(|d| d.node)
+    }
+
+    fn rounds_executed(&self) -> u64 {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croupier_nat::NatTopologyBuilder;
+    use croupier_simulator::{Simulation, SimulationConfig};
+
+    fn build_sim(n_public: u64, n_private: u64, seed: u64) -> Simulation<NylonNode> {
+        let topology = NatTopologyBuilder::new(seed).build();
+        let mut sim = Simulation::new(SimulationConfig::default().with_seed(seed));
+        sim.set_delivery_filter(topology.clone());
+        for i in 0..(n_public + n_private) {
+            let id = NodeId::new(i);
+            let class = if i < n_public {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            };
+            topology.add_node(id, class);
+            if class.is_public() {
+                sim.register_public(id);
+            }
+            sim.add_node(id, NylonNode::new(id, class, BaselineConfig::default()));
+        }
+        sim
+    }
+
+    #[test]
+    fn views_fill_and_contain_private_nodes() {
+        let mut sim = build_sim(5, 20, 1);
+        sim.run_for_rounds(60);
+        let mut with_private = 0;
+        for (_, node) in sim.nodes() {
+            assert!(!node.view().is_empty());
+            if node.view().iter().any(|d| d.class.is_private()) {
+                with_private += 1;
+            }
+        }
+        assert!(
+            with_private > 12,
+            "private nodes should spread through views, got {with_private}"
+        );
+    }
+
+    #[test]
+    fn exchanges_complete_including_private_targets() {
+        let mut sim = build_sim(5, 20, 2);
+        sim.run_for_rounds(60);
+        let total: u64 = sim.nodes().map(|(_, n)| n.exchanges_completed()).sum();
+        assert!(total > 500, "expected plenty of completed exchanges, got {total}");
+        let punches: u64 = sim.nodes().map(|(_, n)| n.punches_forwarded()).sum();
+        assert!(punches > 0, "RVP chains should have forwarded hole punches");
+    }
+
+    #[test]
+    fn hole_punching_opens_direct_paths() {
+        let mut sim = build_sim(5, 20, 3);
+        sim.run_for_rounds(60);
+        // Private-to-private exchanges require punching; count exchanges completed by
+        // private nodes as evidence that punching works.
+        let private_exchanges: u64 = sim
+            .nodes()
+            .filter(|(_, n)| n.nat_class().is_private())
+            .map(|(_, n)| n.exchanges_completed())
+            .sum();
+        assert!(
+            private_exchanges > 200,
+            "private nodes should complete exchanges, got {private_exchanges}"
+        );
+    }
+
+    #[test]
+    fn keepalives_are_sent_by_private_nodes_only() {
+        let mut sim = build_sim(3, 10, 4);
+        sim.run_for_rounds(60);
+        // Keep-alives are the cheapest messages; verify private nodes send more messages
+        // than rounds (shuffles + keep-alives) while remaining bounded.
+        for (id, node) in sim.nodes() {
+            let sent = sim.traffic().node_or_default(id).messages_sent;
+            if node.nat_class().is_private() {
+                assert!(sent > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_are_counted_not_retried_forever() {
+        // With zero public nodes, nothing can bootstrap, so no shuffle can ever leave.
+        let mut sim = build_sim(0, 5, 5);
+        sim.run_for_rounds(10);
+        assert_eq!(sim.network_stats().total(), 0);
+    }
+
+    #[test]
+    fn message_sizes_are_accounted() {
+        let req = NylonMessage::ShuffleRequest {
+            initiator: NodeId::new(1),
+            initiator_class: NatClass::Private,
+            descriptors: (0..5u64)
+                .map(|i| Descriptor::new(NodeId::new(i), NatClass::Public))
+                .collect(),
+        };
+        assert!(req.wire_size() > NylonMessage::KeepAlive.wire_size());
+        assert!(
+            NylonMessage::HolePunchRequest {
+                initiator: NodeId::new(1),
+                target: NodeId::new(2),
+                ttl: 3,
+            }
+            .wire_size()
+                < req.wire_size()
+        );
+    }
+
+    #[test]
+    fn nylon_sends_more_messages_than_croupier() {
+        // Croupier needs exactly one request and one response per node per round; Nylon
+        // additionally pays hole-punch chains and keep-alives. (Figure 7(a) of the paper
+        // reports the byte-level comparison relative to Cyclon; the message-count ordering
+        // tested here is the mechanism behind it.)
+        let mut nylon = build_sim(5, 20, 6);
+        nylon.run_for_rounds(50);
+        let nylon_messages = nylon.traffic().total_messages_sent();
+
+        let topology = NatTopologyBuilder::new(6).build();
+        let mut croupier_sim = Simulation::new(SimulationConfig::default().with_seed(6));
+        croupier_sim.set_delivery_filter(topology.clone());
+        for i in 0..25u64 {
+            let id = NodeId::new(i);
+            let class = if i < 5 { NatClass::Public } else { NatClass::Private };
+            topology.add_node(id, class);
+            if class.is_public() {
+                croupier_sim.register_public(id);
+            }
+            croupier_sim.add_node(
+                id,
+                croupier::CroupierNode::new(id, class, croupier::CroupierConfig::default()),
+            );
+        }
+        croupier_sim.run_for_rounds(50);
+        assert!(nylon_messages > croupier_sim.traffic().total_messages_sent());
+    }
+}

@@ -1,0 +1,71 @@
+//! Ablation of Croupier's design choices called out in `DESIGN.md`: the *tail* neighbour
+//! selection policy and the *swapper* merge policy versus their alternatives (*random*
+//! selection, *healer* merge). Each combination runs the same small workload; Criterion
+//! reports the simulation cost, and the bench prints the resulting estimation error so the
+//! quality impact of each choice is visible alongside the timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use croupier::{CroupierConfig, CroupierNode, MergePolicy, SelectionPolicy};
+use croupier_bench::SIMULATION_SAMPLE_SIZE;
+use croupier_experiments::runner::{run_pss, ExperimentParams};
+
+fn params() -> ExperimentParams {
+    ExperimentParams::default()
+        .with_seed(0xAB1A)
+        .with_population(10, 40)
+        .with_rounds(60)
+        .with_sample_every(10)
+}
+
+fn combos() -> Vec<(&'static str, CroupierConfig)> {
+    vec![
+        (
+            "tail+swapper (paper)",
+            CroupierConfig::default()
+                .with_selection(SelectionPolicy::Tail)
+                .with_merge(MergePolicy::Swapper),
+        ),
+        (
+            "tail+healer",
+            CroupierConfig::default()
+                .with_selection(SelectionPolicy::Tail)
+                .with_merge(MergePolicy::Healer),
+        ),
+        (
+            "random+swapper",
+            CroupierConfig::default()
+                .with_selection(SelectionPolicy::Random)
+                .with_merge(MergePolicy::Swapper),
+        ),
+        (
+            "random+healer",
+            CroupierConfig::default()
+                .with_selection(SelectionPolicy::Random)
+                .with_merge(MergePolicy::Healer),
+        ),
+    ]
+}
+
+fn run_combo(config: &CroupierConfig) -> f64 {
+    let config = config.clone();
+    let out = run_pss(&params(), move |id, class, _| {
+        CroupierNode::new(id, class, config.clone())
+    });
+    out.tail_avg_error(3).unwrap_or(f64::NAN)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_policies");
+    group.sample_size(SIMULATION_SAMPLE_SIZE);
+    for (label, config) in combos() {
+        let error = run_combo(&config);
+        println!("ablation_policies: {label}: steady-state avg estimation error = {error:.4}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| run_combo(config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates the series behind the paper's Figure 1_stable_ratio at a reduced scale and
+//! benchmarks the simulation that produces them. Run the `figures` binary with
+//! `--scale paper` for the full-scale data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use croupier_bench::SIMULATION_SAMPLE_SIZE;
+use croupier_experiments::figures::fig1_stable_ratio;
+use croupier_experiments::output::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_stable_ratio");
+    group.sample_size(SIMULATION_SAMPLE_SIZE);
+    group.bench_function("tiny", |b| b.iter(|| fig1_stable_ratio::run(Scale::Tiny)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the catastrophic-failure connectivity comparison of the paper's Figure 7(b)
+//! at a reduced scale and benchmarks the underlying simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use croupier_bench::SIMULATION_SAMPLE_SIZE;
+use croupier_experiments::figures::fig8_failure;
+use croupier_experiments::output::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_failure");
+    group.sample_size(SIMULATION_SAMPLE_SIZE);
+    group.bench_function("tiny", |b| b.iter(|| fig8_failure::run(Scale::Tiny)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

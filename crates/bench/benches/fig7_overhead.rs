@@ -1,0 +1,17 @@
+//! Regenerates the per-class protocol-overhead comparison of the paper's Figure 7(a) at a
+//! reduced scale and benchmarks the four underlying simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use croupier_bench::SIMULATION_SAMPLE_SIZE;
+use croupier_experiments::figures::fig7_overhead;
+use croupier_experiments::output::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_overhead");
+    group.sample_size(SIMULATION_SAMPLE_SIZE);
+    group.bench_function("tiny", |b| b.iter(|| fig7_overhead::run(Scale::Tiny)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

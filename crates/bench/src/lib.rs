@@ -1,0 +1,29 @@
+//! # croupier-bench
+//!
+//! Criterion benchmark harness for the Croupier reproduction. Each bench target regenerates
+//! one table or figure of the paper (at a reduced scale so Criterion can iterate) and
+//! reports how long the underlying simulation takes; the full-scale figures themselves are
+//! produced by the `figures` binary of `croupier-experiments`:
+//!
+//! ```text
+//! cargo run --release -p croupier-experiments --bin figures -- --scale paper all
+//! cargo bench --workspace
+//! ```
+//!
+//! | bench target         | paper artefact                             |
+//! |-----------------------|--------------------------------------------|
+//! | `fig1_stable_ratio`   | Fig. 1(a)/(b) — stable-ratio estimation     |
+//! | `fig2_dynamic_ratio`  | Fig. 2(a)/(b) — dynamic-ratio estimation    |
+//! | `fig3_system_size`    | Fig. 3(a)/(b) — estimation vs system size   |
+//! | `fig4_ratio_sweep`    | Fig. 4(a)/(b) — estimation vs ratio         |
+//! | `fig5_churn`          | Fig. 5(a)/(b) — estimation under churn      |
+//! | `fig6_randomness`     | Fig. 6(a)/(b)/(c) — randomness properties   |
+//! | `fig7_overhead`       | Fig. 7(a) — protocol overhead per class     |
+//! | `fig7_failure`        | Fig. 7(b) — connectivity after failure      |
+//! | `ablation_policies`   | design-choice ablation (selection/merge)    |
+//! | `microbench_core`     | hot-path micro-benchmarks (view, estimator) |
+
+/// Number of Criterion samples used by the simulation-level benches; the underlying runs
+/// are full (if reduced-scale) experiments, so a small sample count keeps `cargo bench`
+/// within a few minutes.
+pub const SIMULATION_SAMPLE_SIZE: usize = 10;

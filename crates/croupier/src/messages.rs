@@ -1,0 +1,122 @@
+//! Croupier's wire messages and their size accounting.
+
+use croupier_simulator::{NatClass, WireSize};
+use serde::{Deserialize, Serialize};
+
+use crate::descriptor::{Descriptor, DESCRIPTOR_WIRE_BYTES};
+use crate::estimator::{EstimateRecord, ESTIMATE_WIRE_BYTES};
+
+/// Bytes charged per message for UDP and IPv4 headers (8 + 20).
+pub const UDP_IP_HEADER_BYTES: usize = 28;
+
+/// Bytes of fixed protocol framing per shuffle message (message type, sender class, vector
+/// lengths).
+const SHUFFLE_FRAMING_BYTES: usize = 6;
+
+/// The state exchanged in a shuffle request or response: bounded random subsets of the
+/// sender's public and private views plus a bounded set of piggy-backed ratio estimates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShufflePayload {
+    /// Connectivity class of the sender (drives the receiver's hit counters).
+    pub sender_class: NatClass,
+    /// Subset of the sender's public view (plus the sender's own descriptor on requests
+    /// from public nodes).
+    pub public_descriptors: Vec<Descriptor>,
+    /// Subset of the sender's private view (plus the sender's own descriptor on requests
+    /// from private nodes).
+    pub private_descriptors: Vec<Descriptor>,
+    /// Piggy-backed ratio estimates (the sender's own estimate, if any, is included here
+    /// with age zero).
+    pub estimates: Vec<EstimateRecord>,
+}
+
+impl ShufflePayload {
+    /// Total number of descriptors carried.
+    pub fn descriptor_count(&self) -> usize {
+        self.public_descriptors.len() + self.private_descriptors.len()
+    }
+
+    /// Payload bytes excluding transport headers.
+    pub fn payload_bytes(&self) -> usize {
+        SHUFFLE_FRAMING_BYTES
+            + self.descriptor_count() * DESCRIPTOR_WIRE_BYTES
+            + self.estimates.len() * ESTIMATE_WIRE_BYTES
+    }
+}
+
+/// The two message types of the Croupier protocol (Algorithm 2).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CroupierMessage {
+    /// A shuffle request, sent by any node to a croupier (public node).
+    ShuffleRequest(ShufflePayload),
+    /// A shuffle response, sent by a croupier back to the requester.
+    ShuffleResponse(ShufflePayload),
+}
+
+impl CroupierMessage {
+    /// The payload carried by either message type.
+    pub fn payload(&self) -> &ShufflePayload {
+        match self {
+            CroupierMessage::ShuffleRequest(p) | CroupierMessage::ShuffleResponse(p) => p,
+        }
+    }
+
+    /// Returns `true` for shuffle requests.
+    pub fn is_request(&self) -> bool {
+        matches!(self, CroupierMessage::ShuffleRequest(_))
+    }
+}
+
+impl WireSize for CroupierMessage {
+    fn wire_size(&self) -> usize {
+        UDP_IP_HEADER_BYTES + self.payload().payload_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croupier_simulator::NodeId;
+
+    fn payload(n_pub: usize, n_priv: usize, n_est: usize) -> ShufflePayload {
+        ShufflePayload {
+            sender_class: NatClass::Public,
+            public_descriptors: (0..n_pub as u64)
+                .map(|i| Descriptor::new(NodeId::new(i), NatClass::Public))
+                .collect(),
+            private_descriptors: (0..n_priv as u64)
+                .map(|i| Descriptor::new(NodeId::new(100 + i), NatClass::Private))
+                .collect(),
+            estimates: (0..n_est as u64)
+                .map(|i| EstimateRecord::new(NodeId::new(200 + i), 0.2))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn wire_size_matches_the_papers_accounting() {
+        // 10 estimates at 5 bytes each add exactly 50 bytes of estimation overhead per
+        // message, as stated in §VI of the paper.
+        let with = CroupierMessage::ShuffleRequest(payload(5, 5, 10));
+        let without = CroupierMessage::ShuffleRequest(payload(5, 5, 0));
+        assert_eq!(with.wire_size() - without.wire_size(), 50);
+    }
+
+    #[test]
+    fn wire_size_scales_with_descriptors() {
+        let small = CroupierMessage::ShuffleResponse(payload(1, 0, 0));
+        let large = CroupierMessage::ShuffleResponse(payload(6, 0, 0));
+        assert_eq!(large.wire_size() - small.wire_size(), 5 * DESCRIPTOR_WIRE_BYTES);
+        assert!(small.wire_size() > UDP_IP_HEADER_BYTES);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let msg = CroupierMessage::ShuffleRequest(payload(2, 3, 4));
+        assert!(msg.is_request());
+        assert_eq!(msg.payload().descriptor_count(), 5);
+        assert_eq!(msg.payload().estimates.len(), 4);
+        let resp = CroupierMessage::ShuffleResponse(payload(0, 0, 0));
+        assert!(!resp.is_request());
+    }
+}

@@ -1,0 +1,167 @@
+//! Uniform random sampling from the dual views (Algorithm 3, `generateRandomSample`).
+
+use croupier_simulator::NodeId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::view::View;
+
+/// Draws one node sample from the pair of views, following the paper's
+/// `generateRandomSample`: with probability equal to the estimated public/private ratio the
+/// sample is a uniformly random entry of the public view, otherwise a uniformly random
+/// entry of the private view.
+///
+/// Edge cases (not spelled out in the pseudo-code, resolved conservatively):
+///
+/// * if no ratio estimate is available yet, the probability defaults to the fraction of
+///   public entries among both views (the best locally available proxy);
+/// * if the chosen view is empty, the sample falls back to the other view;
+/// * if both views are empty, no sample is produced.
+///
+/// # Examples
+///
+/// ```
+/// use croupier::{sample_from_views, Descriptor, View};
+/// use croupier_simulator::{NatClass, NodeId};
+/// use rand::SeedableRng;
+///
+/// let mut public = View::new(2);
+/// public.insert(Descriptor::new(NodeId::new(1), NatClass::Public));
+/// let private = View::new(2);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// // The private view is empty, so the sample must come from the public view.
+/// assert_eq!(
+///     sample_from_views(&public, &private, Some(0.0), &mut rng),
+///     Some(NodeId::new(1)),
+/// );
+/// ```
+pub fn sample_from_views(
+    public_view: &View,
+    private_view: &View,
+    ratio_estimate: Option<f64>,
+    rng: &mut SmallRng,
+) -> Option<NodeId> {
+    if public_view.is_empty() && private_view.is_empty() {
+        return None;
+    }
+    let probability_public = match ratio_estimate {
+        Some(ratio) if ratio.is_finite() => ratio.clamp(0.0, 1.0),
+        _ => {
+            let total = (public_view.len() + private_view.len()) as f64;
+            public_view.len() as f64 / total
+        }
+    };
+    let choose_public = rng.gen_range(0.0..1.0) < probability_public;
+    let (first, second) = if choose_public {
+        (public_view, private_view)
+    } else {
+        (private_view, public_view)
+    };
+    first
+        .random(rng)
+        .or_else(|| second.random(rng))
+        .map(|d| d.node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Descriptor;
+    use croupier_simulator::NatClass;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(21)
+    }
+
+    fn views(n_pub: u64, n_priv: u64) -> (View, View) {
+        let mut public = View::new(n_pub.max(1) as usize);
+        for i in 0..n_pub {
+            public.insert(Descriptor::new(NodeId::new(i), NatClass::Public));
+        }
+        let mut private = View::new(n_priv.max(1) as usize);
+        for i in 0..n_priv {
+            private.insert(Descriptor::new(NodeId::new(1_000 + i), NatClass::Private));
+        }
+        (public, private)
+    }
+
+    #[test]
+    fn empty_views_yield_no_sample() {
+        let (public, private) = views(0, 0);
+        assert_eq!(sample_from_views(&public, &private, Some(0.5), &mut rng()), None);
+    }
+
+    #[test]
+    fn ratio_one_always_samples_public() {
+        let (public, private) = views(3, 3);
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_from_views(&public, &private, Some(1.0), &mut r).unwrap();
+            assert!(s.as_u64() < 1_000);
+        }
+    }
+
+    #[test]
+    fn ratio_zero_always_samples_private() {
+        let (public, private) = views(3, 3);
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_from_views(&public, &private, Some(0.0), &mut r).unwrap();
+            assert!(s.as_u64() >= 1_000);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_the_estimated_ratio() {
+        let (public, private) = views(10, 10);
+        let mut r = rng();
+        let n = 20_000;
+        let mut public_samples = 0;
+        for _ in 0..n {
+            let s = sample_from_views(&public, &private, Some(0.2), &mut r).unwrap();
+            if s.as_u64() < 1_000 {
+                public_samples += 1;
+            }
+        }
+        let fraction = public_samples as f64 / n as f64;
+        assert!(
+            (fraction - 0.2).abs() < 0.02,
+            "public sample fraction {fraction} should be close to the ratio 0.2"
+        );
+    }
+
+    #[test]
+    fn falls_back_to_other_view_when_chosen_view_is_empty() {
+        let (public, private) = views(0, 3);
+        let mut r = rng();
+        // Ratio says "public" but the public view is empty: sample private instead.
+        let s = sample_from_views(&public, &private, Some(1.0), &mut r).unwrap();
+        assert!(s.as_u64() >= 1_000);
+    }
+
+    #[test]
+    fn missing_estimate_uses_view_proportions() {
+        let (public, private) = views(5, 15);
+        let mut r = rng();
+        let n = 20_000;
+        let mut public_samples = 0;
+        for _ in 0..n {
+            let s = sample_from_views(&public, &private, None, &mut r).unwrap();
+            if s.as_u64() < 1_000 {
+                public_samples += 1;
+            }
+        }
+        let fraction = public_samples as f64 / n as f64;
+        assert!((fraction - 0.25).abs() < 0.02, "got {fraction}");
+    }
+
+    #[test]
+    fn invalid_estimates_are_clamped_or_ignored() {
+        let (public, private) = views(2, 2);
+        let mut r = rng();
+        assert!(sample_from_views(&public, &private, Some(f64::NAN), &mut r).is_some());
+        assert!(sample_from_views(&public, &private, Some(7.0), &mut r).is_some());
+        assert!(sample_from_views(&public, &private, Some(-3.0), &mut r).is_some());
+    }
+}

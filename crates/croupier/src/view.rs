@@ -1,0 +1,378 @@
+//! Bounded partial views and the paper's view-exchange (merge) procedures.
+
+use croupier_simulator::NodeId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::descriptor::Descriptor;
+
+/// A bounded partial view: an ordered set of [`Descriptor`]s with at most `capacity`
+/// entries and at most one entry per node.
+///
+/// Croupier keeps two views per node (public and private); the baseline protocols reuse the
+/// same type for their single view. The type implements the operations of Algorithm 2 of
+/// the paper: aging, tail (oldest) selection, random subset extraction, and the
+/// `updateView` merge with the *swapper* replacement policy (plus the *healer* policy for
+/// ablation experiments).
+///
+/// # Examples
+///
+/// ```
+/// use croupier::{Descriptor, View};
+/// use croupier_simulator::{NatClass, NodeId};
+///
+/// let mut view = View::new(3);
+/// for i in 0..5u64 {
+///     view.insert(Descriptor::new(NodeId::new(i), NatClass::Public));
+/// }
+/// // Bounded at capacity, keeping the first three inserted.
+/// assert_eq!(view.len(), 3);
+/// view.increment_ages();
+/// assert!(view.iter().all(|d| d.age == 1));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct View {
+    capacity: usize,
+    entries: Vec<Descriptor>,
+}
+
+impl View {
+    /// Creates an empty view with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        View {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the view holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` when the view is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Returns `true` if a descriptor for `node` is present.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.iter().any(|d| d.node == node)
+    }
+
+    /// The descriptor for `node`, if present.
+    pub fn get(&self, node: NodeId) -> Option<&Descriptor> {
+        self.entries.iter().find(|d| d.node == node)
+    }
+
+    /// Iterates over the descriptors in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Descriptor> {
+        self.entries.iter()
+    }
+
+    /// The node identifiers currently in the view.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|d| d.node).collect()
+    }
+
+    /// Ages every descriptor by one round.
+    pub fn increment_ages(&mut self) {
+        for d in &mut self.entries {
+            d.grow_older();
+        }
+    }
+
+    /// Inserts `descriptor` if its node is absent and there is free space.
+    ///
+    /// Returns `true` if the descriptor was inserted. Use
+    /// [`refresh_or_insert`](View::refresh_or_insert) to also update existing entries.
+    pub fn insert(&mut self, descriptor: Descriptor) -> bool {
+        if self.contains(descriptor.node) || self.is_full() {
+            return false;
+        }
+        self.entries.push(descriptor);
+        true
+    }
+
+    /// Inserts `descriptor`, or — if an entry for the same node already exists — replaces
+    /// it when `descriptor` is fresher. Returns `true` if the view changed.
+    pub fn refresh_or_insert(&mut self, descriptor: Descriptor) -> bool {
+        if let Some(existing) = self.entries.iter_mut().find(|d| d.node == descriptor.node) {
+            if descriptor.is_newer_than(existing) {
+                *existing = descriptor;
+                return true;
+            }
+            return false;
+        }
+        self.insert(descriptor)
+    }
+
+    /// Removes and returns the descriptor for `node`.
+    pub fn remove(&mut self, node: NodeId) -> Option<Descriptor> {
+        let index = self.entries.iter().position(|d| d.node == node)?;
+        Some(self.entries.remove(index))
+    }
+
+    /// The descriptor with the highest age (ties broken by insertion order). This is the
+    /// *tail* selection policy of the paper.
+    pub fn oldest(&self) -> Option<&Descriptor> {
+        self.entries.iter().max_by_key(|d| d.age)
+    }
+
+    /// A descriptor chosen uniformly at random.
+    pub fn random(&self, rng: &mut SmallRng) -> Option<&Descriptor> {
+        self.entries.choose(rng)
+    }
+
+    /// Up to `count` distinct descriptors chosen uniformly at random, in random order.
+    pub fn random_subset(&self, count: usize, rng: &mut SmallRng) -> Vec<Descriptor> {
+        let mut copy = self.entries.clone();
+        copy.shuffle(rng);
+        copy.truncate(count);
+        copy
+    }
+
+    /// The paper's `updateView` procedure (Algorithm 2, lines 46–58) with the *swapper*
+    /// replacement policy.
+    ///
+    /// For every received descriptor (skipping `self_node` and stale duplicates):
+    ///
+    /// 1. if the node is already in the view, keep whichever descriptor is fresher;
+    /// 2. otherwise, if there is free space, add it;
+    /// 3. otherwise, evict one of the descriptors in `sent` (the entries that were shipped
+    ///    to the peer in this exchange) and add the received descriptor in its place.
+    pub fn apply_exchange_swapper(
+        &mut self,
+        sent: &[Descriptor],
+        received: &[Descriptor],
+        self_node: NodeId,
+    ) {
+        let mut replaceable: Vec<NodeId> = sent.iter().map(|d| d.node).collect();
+        for descriptor in received {
+            if descriptor.node == self_node {
+                continue;
+            }
+            if self.contains(descriptor.node) {
+                self.refresh_or_insert(*descriptor);
+                continue;
+            }
+            if !self.is_full() {
+                self.insert(*descriptor);
+                continue;
+            }
+            // Swapper: evict an entry we sent to the peer; the peer now knows it, so no
+            // information is lost system-wide.
+            let mut inserted = false;
+            while let Some(victim) = pop_front(&mut replaceable) {
+                if self.remove(victim).is_some() {
+                    self.insert(*descriptor);
+                    inserted = true;
+                    break;
+                }
+            }
+            if !inserted {
+                // Nothing left to swap out; the received descriptor is dropped.
+            }
+        }
+    }
+
+    /// The *healer* merge policy: union the view with the received descriptors and keep the
+    /// freshest `capacity` entries. Used by ablation experiments only.
+    pub fn apply_exchange_healer(&mut self, received: &[Descriptor], self_node: NodeId) {
+        for descriptor in received {
+            if descriptor.node == self_node {
+                continue;
+            }
+            if let Some(existing) = self.entries.iter_mut().find(|d| d.node == descriptor.node) {
+                if descriptor.is_newer_than(existing) {
+                    *existing = *descriptor;
+                }
+            } else {
+                self.entries.push(*descriptor);
+            }
+        }
+        self.entries.sort_by_key(|d| d.age);
+        self.entries.truncate(self.capacity);
+    }
+}
+
+fn pop_front(list: &mut Vec<NodeId>) -> Option<NodeId> {
+    if list.is_empty() {
+        None
+    } else {
+        Some(list.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croupier_simulator::NatClass;
+    use rand::SeedableRng;
+
+    fn d(node: u64, age: u32) -> Descriptor {
+        Descriptor::with_age(NodeId::new(node), NatClass::Public, age)
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn insert_respects_capacity_and_uniqueness() {
+        let mut v = View::new(2);
+        assert!(v.insert(d(1, 0)));
+        assert!(!v.insert(d(1, 5)), "duplicate node rejected");
+        assert!(v.insert(d(2, 0)));
+        assert!(!v.insert(d(3, 0)), "capacity reached");
+        assert_eq!(v.len(), 2);
+        assert!(v.is_full());
+    }
+
+    #[test]
+    fn refresh_or_insert_keeps_the_freshest() {
+        let mut v = View::new(4);
+        v.insert(d(1, 5));
+        assert!(v.refresh_or_insert(d(1, 2)), "newer descriptor replaces older");
+        assert_eq!(v.get(NodeId::new(1)).unwrap().age, 2);
+        assert!(!v.refresh_or_insert(d(1, 9)), "older descriptor is ignored");
+        assert_eq!(v.get(NodeId::new(1)).unwrap().age, 2);
+    }
+
+    #[test]
+    fn oldest_implements_tail_selection() {
+        let mut v = View::new(4);
+        v.insert(d(1, 3));
+        v.insert(d(2, 7));
+        v.insert(d(3, 1));
+        assert_eq!(v.oldest().unwrap().node, NodeId::new(2));
+    }
+
+    #[test]
+    fn increment_ages_touches_every_entry() {
+        let mut v = View::new(4);
+        v.insert(d(1, 0));
+        v.insert(d(2, 4));
+        v.increment_ages();
+        assert_eq!(v.get(NodeId::new(1)).unwrap().age, 1);
+        assert_eq!(v.get(NodeId::new(2)).unwrap().age, 5);
+    }
+
+    #[test]
+    fn random_subset_is_bounded_and_distinct() {
+        let mut v = View::new(10);
+        for i in 0..10 {
+            v.insert(d(i, 0));
+        }
+        let mut r = rng();
+        let subset = v.random_subset(4, &mut r);
+        assert_eq!(subset.len(), 4);
+        let mut nodes: Vec<_> = subset.iter().map(|x| x.node).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4);
+        assert!(v.random_subset(20, &mut r).len() == 10);
+        assert!(View::new(3).random_subset(2, &mut r).is_empty());
+    }
+
+    #[test]
+    fn swapper_adds_when_space_is_free() {
+        let mut v = View::new(5);
+        v.insert(d(1, 0));
+        v.apply_exchange_swapper(&[], &[d(2, 0), d(3, 1)], NodeId::new(99));
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(NodeId::new(2)));
+        assert!(v.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn swapper_never_adds_self() {
+        let mut v = View::new(5);
+        v.apply_exchange_swapper(&[], &[d(7, 0)], NodeId::new(7));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn swapper_replaces_sent_entries_when_full() {
+        let mut v = View::new(3);
+        v.insert(d(1, 0));
+        v.insert(d(2, 0));
+        v.insert(d(3, 0));
+        // We sent descriptors 1 and 2 to the peer; the peer sends us 10 and 11.
+        v.apply_exchange_swapper(&[d(1, 0), d(2, 0)], &[d(10, 0), d(11, 0)], NodeId::new(99));
+        assert_eq!(v.len(), 3);
+        assert!(!v.contains(NodeId::new(1)));
+        assert!(!v.contains(NodeId::new(2)));
+        assert!(v.contains(NodeId::new(3)));
+        assert!(v.contains(NodeId::new(10)));
+        assert!(v.contains(NodeId::new(11)));
+    }
+
+    #[test]
+    fn swapper_drops_excess_when_nothing_left_to_swap() {
+        let mut v = View::new(2);
+        v.insert(d(1, 0));
+        v.insert(d(2, 0));
+        // Full view, nothing was sent: received descriptors are dropped.
+        v.apply_exchange_swapper(&[], &[d(10, 0), d(11, 0)], NodeId::new(99));
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(NodeId::new(1)));
+        assert!(v.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn swapper_updates_age_of_known_nodes() {
+        let mut v = View::new(2);
+        v.insert(d(1, 8));
+        v.insert(d(2, 0));
+        v.apply_exchange_swapper(&[d(2, 0)], &[d(1, 1)], NodeId::new(99));
+        // Node 1 was already known: only its age is refreshed, node 2 is not evicted.
+        assert_eq!(v.get(NodeId::new(1)).unwrap().age, 1);
+        assert!(v.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn healer_keeps_the_freshest_entries() {
+        let mut v = View::new(3);
+        v.insert(d(1, 9));
+        v.insert(d(2, 1));
+        v.insert(d(3, 5));
+        v.apply_exchange_healer(&[d(4, 0), d(5, 2), d(1, 3)], NodeId::new(99));
+        assert_eq!(v.len(), 3);
+        // Freshest three of {1:3, 2:1, 3:5, 4:0, 5:2} are 4(0), 2(1) and 5(2).
+        assert!(v.contains(NodeId::new(4)));
+        assert!(v.contains(NodeId::new(2)));
+        assert!(v.contains(NodeId::new(5)));
+    }
+
+    #[test]
+    fn remove_returns_the_descriptor() {
+        let mut v = View::new(3);
+        v.insert(d(1, 4));
+        let removed = v.remove(NodeId::new(1)).unwrap();
+        assert_eq!(removed.age, 4);
+        assert!(v.remove(NodeId::new(1)).is_none());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn nodes_lists_members() {
+        let mut v = View::new(3);
+        v.insert(d(5, 0));
+        v.insert(d(6, 0));
+        let nodes = v.nodes();
+        assert!(nodes.contains(&NodeId::new(5)));
+        assert!(nodes.contains(&NodeId::new(6)));
+        assert_eq!(nodes.len(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 2: estimation accuracy for a **dynamic** public/private ratio under different
+//! history-window sizes.
+//!
+//! Paper setup: the same joining workload as Figure 1; once the system is stable, new
+//! public nodes join every 42 ms until the ratio has grown, then the system runs on.
+//! Expected shape: small windows track the moving ratio fastest, large windows lag but end
+//! up more accurate once the ratio is stable again.
+
+use croupier::CroupierConfig;
+use croupier_simulator::NatClass;
+
+use crate::figures::{estimation_error_figures, run_labelled, window_label, HISTORY_WINDOWS, LabelledRun};
+use crate::output::{FigureData, Scale, Series};
+use crate::runner::{ExperimentParams, GrowthSpec};
+
+const PAPER_PUBLIC: usize = 1_000;
+const PAPER_PRIVATE: usize = 4_000;
+const PAPER_ROUNDS: u64 = 300;
+/// Round at which the growth phase starts (the paper starts it at t = 58, once all initial
+/// nodes have joined and estimates have stabilised).
+const PAPER_GROWTH_START: u64 = 58;
+/// Public nodes added during the growth phase: enough to move ω from 0.20 to roughly 0.30.
+const PAPER_GROWTH_COUNT: usize = 700;
+const PAPER_GROWTH_INTERARRIVAL_MS: f64 = 42.0;
+
+/// Builds the experiment parameters for one history-window configuration.
+pub fn params(scale: Scale, seed: u64) -> ExperimentParams {
+    let growth_count = scale.nodes(PAPER_GROWTH_COUNT);
+    let rounds = scale.rounds(PAPER_ROUNDS);
+    let growth_start = (scale.rounds(PAPER_GROWTH_START)).min(rounds / 2).max(5);
+    // Spread the growth over roughly the same number of rounds as the paper (≈ 30 s) by
+    // scaling the inter-arrival time inversely with the node count reduction.
+    let interarrival = PAPER_GROWTH_INTERARRIVAL_MS * PAPER_GROWTH_COUNT as f64 / growth_count as f64;
+    ExperimentParams::default()
+        .with_seed(seed)
+        .with_population(scale.nodes(PAPER_PUBLIC), scale.nodes(PAPER_PRIVATE))
+        .with_rounds(rounds)
+        .with_sample_every(scale.sample_every())
+        .with_growth(GrowthSpec {
+            start_round: growth_start,
+            count: growth_count,
+            interarrival_ms: interarrival,
+            class: NatClass::Public,
+        })
+}
+
+/// Runs the experiment and returns Fig. 2(a) (average error) and Fig. 2(b) (maximum error),
+/// each including a reference series with the true public/private ratio over time.
+pub fn run(scale: Scale) -> Vec<FigureData> {
+    let runs: Vec<LabelledRun> = HISTORY_WINDOWS
+        .iter()
+        .map(|(alpha, gamma)| LabelledRun {
+            label: window_label(*alpha, *gamma),
+            params: params(scale, 0xF16_2),
+            config: CroupierConfig::default()
+                .with_local_history(*alpha)
+                .with_neighbour_history(*gamma),
+        })
+        .collect();
+    let outputs = run_labelled(runs);
+    let mut figures = estimation_error_figures("fig2", "Dynamic ratio, varying history windows", &outputs);
+
+    // Add the true-ratio reference series the paper plots alongside the errors.
+    let mut ratio = Series::new("public/private ratio");
+    if let Some((_, output)) = outputs.first() {
+        for sample in &output.samples {
+            ratio.push(sample.round as f64, sample.true_ratio);
+        }
+    }
+    for figure in &mut figures {
+        figure.series.push(ratio.clone());
+    }
+    figures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_grows_during_the_run() {
+        let figures = run(Scale::Tiny);
+        assert_eq!(figures.len(), 2);
+        let ratio = figures[0]
+            .series("public/private ratio")
+            .expect("reference series present");
+        let first = ratio.points.first().unwrap().1;
+        let last = ratio.last_y().unwrap();
+        assert!(
+            last > first + 0.03,
+            "the true ratio should grow during the run: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn errors_stay_bounded_while_tracking_the_moving_ratio() {
+        let figures = run(Scale::Tiny);
+        for series in figures[0].series.iter().filter(|s| s.label.starts_with("alpha")) {
+            let tail = series.tail_mean(5).unwrap();
+            assert!(tail < 0.2, "error should stay bounded for {}: {tail}", series.label);
+        }
+    }
+}

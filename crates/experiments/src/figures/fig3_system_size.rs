@@ -1,0 +1,89 @@
+//! Figure 3: effect of the **system size** on estimation accuracy.
+//!
+//! Paper setup: systems of 50, 100, 500, 1000 and 5000 nodes with a stable ratio of 0.2 and
+//! the medium history windows (α = 25, γ = 50). Expected shape: accuracy improves quickly up
+//! to a few hundred nodes and only marginally beyond.
+
+use croupier::CroupierConfig;
+
+use crate::figures::{estimation_error_figures, run_labelled, LabelledRun};
+use crate::output::{FigureData, Scale};
+use crate::runner::ExperimentParams;
+
+/// System sizes evaluated by the paper.
+pub const PAPER_SIZES: [usize; 5] = [50, 100, 500, 1_000, 5_000];
+const PAPER_ROUNDS: u64 = 200;
+/// Fraction of public nodes (the paper's default ratio).
+const PUBLIC_RATIO: f64 = 0.2;
+
+/// System sizes evaluated at a given scale.
+pub fn sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Tiny => vec![50, 100],
+        Scale::Quick => vec![50, 100, 500],
+        Scale::Paper => PAPER_SIZES.to_vec(),
+    }
+}
+
+/// Builds the experiment parameters for one system size.
+pub fn params(scale: Scale, total_nodes: usize, seed: u64) -> ExperimentParams {
+    let n_public = ((total_nodes as f64) * PUBLIC_RATIO).round() as usize;
+    let n_private = total_nodes - n_public;
+    // The paper uses a 10 ms inter-arrival time for the 1000-node experiments; keep the join
+    // phase proportionally short for every size.
+    ExperimentParams::default()
+        .with_seed(seed)
+        .with_population(n_public, n_private)
+        .with_rounds(scale.rounds(PAPER_ROUNDS))
+        .with_sample_every(scale.sample_every())
+}
+
+/// Runs the experiment and returns Fig. 3(a) (average error) and Fig. 3(b) (maximum error),
+/// one series per system size.
+pub fn run(scale: Scale) -> Vec<FigureData> {
+    let runs: Vec<LabelledRun> = sizes(scale)
+        .into_iter()
+        .map(|size| LabelledRun {
+            label: format!("{size} nodes"),
+            params: params(scale, size, 0xF16_3),
+            config: CroupierConfig::default(),
+        })
+        .collect();
+    let outputs = run_labelled(runs);
+    estimation_error_figures("fig3", "Estimation error vs system size", &outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_series_per_size() {
+        let figures = run(Scale::Tiny);
+        assert_eq!(figures.len(), 2);
+        assert_eq!(figures[0].series.len(), sizes(Scale::Tiny).len());
+        assert_eq!(figures[0].id, "fig3a");
+        assert_eq!(figures[1].id, "fig3b");
+    }
+
+    #[test]
+    fn larger_systems_estimate_at_least_as_well() {
+        let figures = run(Scale::Tiny);
+        let small = figures[0].series("50 nodes").unwrap().tail_mean(5).unwrap();
+        let large = figures[0].series("100 nodes").unwrap().tail_mean(5).unwrap();
+        // The paper reports a clear accuracy improvement with size; allow generous slack for
+        // the tiny test scale, but the large system must not be dramatically worse.
+        assert!(
+            large <= small * 1.5 + 0.01,
+            "estimation should not degrade with size (50 nodes: {small}, 100 nodes: {large})"
+        );
+    }
+
+    #[test]
+    fn paper_scale_lists_all_sizes() {
+        assert_eq!(sizes(Scale::Paper), PAPER_SIZES.to_vec());
+        let p = params(Scale::Paper, 1_000, 1);
+        assert_eq!(p.n_public, 200);
+        assert_eq!(p.n_private, 800);
+    }
+}

@@ -1,0 +1,47 @@
+//! # croupier-experiments
+//!
+//! Workload generators and experiment runners that regenerate every figure of the Croupier
+//! paper's evaluation (§VII). Each figure has a dedicated module under [`figures`] returning
+//! a [`FigureData`] with the same series the paper plots; the `figures` binary prints them
+//! as tables and the `croupier-bench` crate wraps them in Criterion benchmarks.
+//!
+//! The mapping between paper figures and modules is listed in `DESIGN.md` (per-experiment
+//! index) and the measured outcomes are recorded in `EXPERIMENTS.md`.
+//!
+//! ## Structure
+//!
+//! * [`scenario`] — join schedules (Poisson arrivals), churn and catastrophic-failure
+//!   specifications.
+//! * [`runner`] — the generic experiment driver: builds a NAT topology and a simulation for
+//!   any [`PssNode`](croupier_simulator::PssNode) protocol, executes the scenario and
+//!   samples metrics every round.
+//! * [`protocols`] — constructors for the four systems under test (Croupier, Cyclon, Gozar,
+//!   Nylon) behind a common [`ProtocolKind`](protocols::ProtocolKind) switch.
+//! * [`output`] — figure/series containers and table rendering.
+//! * [`figures`] — one module per paper figure.
+//!
+//! ## Example: a miniature Figure 1
+//!
+//! ```
+//! use croupier_experiments::figures::fig1_stable_ratio;
+//! use croupier_experiments::output::Scale;
+//!
+//! // The tiny scale keeps doc tests fast; Scale::Paper reproduces the paper's population.
+//! let figures = fig1_stable_ratio::run(Scale::Tiny);
+//! assert_eq!(figures[0].id, "fig1a");
+//! assert!(!figures[0].series.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod output;
+pub mod protocols;
+pub mod runner;
+pub mod scenario;
+
+pub use output::{FigureData, Scale, Series};
+pub use protocols::ProtocolKind;
+pub use runner::{ExperimentParams, RoundSample, RunOutput};
+pub use scenario::{ChurnSpec, JoinSchedule};

@@ -1,0 +1,252 @@
+//! Figure and series containers plus plain-text rendering.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// Experiment scale: the paper's populations are large (up to 5000 nodes); the smaller
+/// scales keep unit tests, doc tests and benchmark iterations fast while preserving the
+/// qualitative behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Scale {
+    /// A few dozen nodes, a few dozen rounds; used by doc tests and smoke tests.
+    Tiny,
+    /// Roughly a tenth of the paper's populations; used by Criterion benchmarks.
+    Quick,
+    /// The paper's populations and durations.
+    Paper,
+}
+
+impl Scale {
+    /// Scales a node count.
+    pub fn nodes(self, paper_value: usize) -> usize {
+        match self {
+            Scale::Tiny => (paper_value / 40).max(5),
+            Scale::Quick => (paper_value / 10).max(20),
+            Scale::Paper => paper_value,
+        }
+    }
+
+    /// Scales a round count.
+    pub fn rounds(self, paper_value: u64) -> u64 {
+        match self {
+            Scale::Tiny => (paper_value / 5).max(20),
+            Scale::Quick => (paper_value / 2).max(40),
+            Scale::Paper => paper_value,
+        }
+    }
+
+    /// How often (in rounds) metrics are sampled at this scale.
+    pub fn sample_every(self) -> u64 {
+        match self {
+            Scale::Tiny => 2,
+            Scale::Quick => 2,
+            Scale::Paper => 5,
+        }
+    }
+
+    /// Parses a scale name (`tiny`, `quick`, `paper`/`full`).
+    pub fn parse(text: &str) -> Option<Scale> {
+        match text.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "quick" => Some(Scale::Quick),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// One plotted series: a label and a list of `(x, y)` points.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (e.g. `"α=25, γ=50"` or `"croupier"`).
+    pub label: String,
+    /// The data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The final y value, if any.
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|(_, y)| *y)
+    }
+
+    /// The mean of the y values over the last `n` points (or all of them if fewer exist).
+    pub fn tail_mean(&self, n: usize) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.len().saturating_sub(n);
+        let tail = &self.points[start..];
+        Some(tail.iter().map(|(_, y)| *y).sum::<f64>() / tail.len() as f64)
+    }
+}
+
+/// The data behind one regenerated figure of the paper.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FigureData {
+    /// Short identifier (e.g. `"fig1"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Creates an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigureData {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Finds a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Renders the figure as an aligned plain-text table (x values as rows, one column per
+    /// series) — what the `figures` binary prints.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# x: {} | y: {}", self.x_label, self.y_label);
+        let mut header = format!("{:>12}", self.x_label);
+        for series in &self.series {
+            let _ = write!(header, " {:>18}", series.label);
+        }
+        let _ = writeln!(out, "{header}");
+
+        // Collect the union of x values, sorted.
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values must be comparable"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        for x in xs {
+            let mut row = format!("{x:>12.3}");
+            for series in &self.series {
+                let y = series
+                    .points
+                    .iter()
+                    .find(|(px, _)| (px - x).abs() < 1e-12)
+                    .map(|(_, y)| *y);
+                match y {
+                    Some(y) => {
+                        let _ = write!(row, " {y:>18.6}");
+                    }
+                    None => {
+                        let _ = write!(row, " {:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{row}");
+        }
+        out
+    }
+
+    /// Serialises the figure as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure data serialises to JSON")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factors_shrink_populations() {
+        assert_eq!(Scale::Paper.nodes(1000), 1000);
+        assert_eq!(Scale::Quick.nodes(1000), 100);
+        assert!(Scale::Tiny.nodes(1000) <= 30);
+        assert!(Scale::Tiny.nodes(10) >= 5);
+        assert_eq!(Scale::Paper.rounds(250), 250);
+        assert!(Scale::Tiny.rounds(250) < 250);
+    }
+
+    #[test]
+    fn scale_parse_accepts_known_names() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn series_accumulates_points_and_statistics() {
+        let mut s = Series::new("test");
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        s.push(3.0, 30.0);
+        assert_eq!(s.last_y(), Some(30.0));
+        assert_eq!(s.tail_mean(2), Some(25.0));
+        assert_eq!(s.tail_mean(100), Some(20.0));
+        assert_eq!(Series::new("empty").tail_mean(3), None);
+    }
+
+    #[test]
+    fn table_rendering_includes_all_series() {
+        let mut fig = FigureData::new("figX", "Example", "time", "error");
+        let mut a = Series::new("a");
+        a.push(1.0, 0.5);
+        a.push(2.0, 0.25);
+        let mut b = Series::new("b");
+        b.push(1.0, 0.4);
+        fig.series.push(a);
+        fig.series.push(b);
+        let table = fig.render_table();
+        assert!(table.contains("figX"));
+        assert!(table.contains('a'));
+        assert!(table.contains('b'));
+        assert!(table.contains("0.500000"));
+        assert!(table.contains('-'), "missing values render as dashes");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let fig = FigureData::new("fig1", "t", "x", "y");
+        let json = fig.to_json();
+        let parsed: FigureData = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, fig);
+    }
+
+    #[test]
+    fn series_lookup_by_label() {
+        let mut fig = FigureData::new("f", "t", "x", "y");
+        fig.series.push(Series::new("croupier"));
+        assert!(fig.series("croupier").is_some());
+        assert!(fig.series("nylon").is_none());
+    }
+}

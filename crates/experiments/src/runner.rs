@@ -1,0 +1,584 @@
+//! The generic experiment driver.
+
+use std::collections::HashMap;
+
+use croupier_metrics::{
+    average_clustering_coefficient, average_path_length, class_overhead, estimation_errors,
+    largest_component_fraction, EstimationErrors, OverheadReport, OverlaySnapshot,
+};
+use croupier_nat::{NatTopology, NatTopologyBuilder};
+use croupier_simulator::{
+    NatClass, NodeId, Protocol, PssNode, Seed, SimDuration, Simulation, SimulationConfig,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::{ChurnSpec, JoinSchedule};
+
+/// Late growth of one class of nodes, used by the dynamic-ratio experiment (Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GrowthSpec {
+    /// Round at which the growth starts.
+    pub start_round: u64,
+    /// Number of nodes added.
+    pub count: usize,
+    /// Inter-arrival time between the added nodes, in milliseconds.
+    pub interarrival_ms: f64,
+    /// Class of the added nodes.
+    pub class: NatClass,
+}
+
+/// Parameters of one experiment run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Master seed (drives the topology, the engine and the workload).
+    pub seed: u64,
+    /// Number of public nodes joining initially.
+    pub n_public: usize,
+    /// Number of private nodes joining initially.
+    pub n_private: usize,
+    /// Mean inter-arrival time of public joins in milliseconds (paper: 50 ms).
+    pub public_interarrival_ms: f64,
+    /// Mean inter-arrival time of private joins in milliseconds (paper: 12.5 ms).
+    pub private_interarrival_ms: f64,
+    /// Number of one-second gossip rounds to simulate.
+    pub rounds: u64,
+    /// Sample metrics every this many rounds.
+    pub sample_every: u64,
+    /// Nodes younger than this many rounds are excluded from metrics (paper: 2).
+    pub min_rounds_for_metrics: u64,
+    /// If `Some(k)`, graph metrics (path length, clustering, components) are computed each
+    /// sample using `k` BFS sources; if `None` they are skipped (estimation-only runs).
+    pub graph_metric_sources: Option<usize>,
+    /// Continuous churn, if any.
+    pub churn: Option<ChurnSpec>,
+    /// Late growth of one node class, if any.
+    pub growth: Option<GrowthSpec>,
+    /// Measurement window `(start_round, end_round)` for protocol overhead, if overhead is
+    /// to be reported.
+    pub overhead_window: Option<(u64, u64)>,
+}
+
+impl Default for ExperimentParams {
+    fn default() -> Self {
+        ExperimentParams {
+            seed: 42,
+            n_public: 200,
+            n_private: 800,
+            public_interarrival_ms: 50.0,
+            private_interarrival_ms: 12.5,
+            rounds: 120,
+            sample_every: 2,
+            min_rounds_for_metrics: 2,
+            graph_metric_sources: None,
+            churn: None,
+            growth: None,
+            overhead_window: None,
+        }
+    }
+}
+
+impl ExperimentParams {
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the initial population.
+    pub fn with_population(mut self, n_public: usize, n_private: usize) -> Self {
+        self.n_public = n_public;
+        self.n_private = n_private;
+        self
+    }
+
+    /// Sets the number of rounds.
+    pub fn with_rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Sets the metric sampling period.
+    pub fn with_sample_every(mut self, sample_every: u64) -> Self {
+        self.sample_every = sample_every.max(1);
+        self
+    }
+
+    /// Enables graph metrics with the given number of BFS sources per sample.
+    pub fn with_graph_metrics(mut self, sources: usize) -> Self {
+        self.graph_metric_sources = Some(sources);
+        self
+    }
+
+    /// Enables continuous churn.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Enables late growth (dynamic ratio).
+    pub fn with_growth(mut self, growth: GrowthSpec) -> Self {
+        self.growth = Some(growth);
+        self
+    }
+
+    /// Enables overhead measurement over the given round window.
+    pub fn with_overhead_window(mut self, start_round: u64, end_round: u64) -> Self {
+        assert!(end_round > start_round, "overhead window must not be empty");
+        self.overhead_window = Some((start_round, end_round));
+        self
+    }
+
+    /// Total initial population.
+    pub fn total_nodes(&self) -> usize {
+        self.n_public + self.n_private
+    }
+}
+
+/// The metrics captured at one sampling instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundSample {
+    /// Gossip round at which the sample was taken.
+    pub round: u64,
+    /// Number of live nodes.
+    pub node_count: usize,
+    /// True public/private ratio among live nodes at sampling time.
+    pub true_ratio: f64,
+    /// Estimation errors across all nodes with an estimate.
+    pub estimation: EstimationErrors,
+    /// Average shortest path length (if graph metrics are enabled and defined).
+    pub avg_path_length: Option<f64>,
+    /// Average clustering coefficient (if graph metrics are enabled).
+    pub clustering: Option<f64>,
+    /// Fraction of live nodes in the largest connected component (if graph metrics are
+    /// enabled).
+    pub largest_component: Option<f64>,
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Per-round samples, in time order.
+    pub samples: Vec<RoundSample>,
+    /// Overhead report over the configured window, if requested.
+    pub overhead: Option<OverheadReport>,
+    /// Snapshot of the overlay at the end of the run.
+    pub final_snapshot: OverlaySnapshot,
+    /// True ratio at the end of the run.
+    pub final_true_ratio: f64,
+}
+
+impl RunOutput {
+    /// The last sample, if any.
+    pub fn last_sample(&self) -> Option<&RoundSample> {
+        self.samples.last()
+    }
+
+    /// Mean of the average estimation error over the last `n` samples.
+    pub fn tail_avg_error(&self, n: usize) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let start = self.samples.len().saturating_sub(n);
+        let tail = &self.samples[start..];
+        Some(tail.iter().map(|s| s.estimation.average).sum::<f64>() / tail.len() as f64)
+    }
+}
+
+/// Per-protocol experiment state shared between [`run_pss`] and [`run_failure`].
+struct Driver<P: Protocol + PssNode> {
+    params: ExperimentParams,
+    sim: Simulation<P>,
+    topology: NatTopology,
+    alive_public: Vec<NodeId>,
+    alive_private: Vec<NodeId>,
+    all_classes: HashMap<NodeId, NatClass>,
+    next_id: u64,
+    churn_carry: f64,
+    workload_rng: SmallRng,
+    metric_rng: SmallRng,
+}
+
+impl<P: Protocol + PssNode> Driver<P> {
+    fn new(params: &ExperimentParams) -> Self {
+        let topology = NatTopologyBuilder::new(params.seed ^ 0x4e41_54).build();
+        let mut sim = Simulation::new(
+            SimulationConfig::default()
+                .with_seed(params.seed)
+                .with_round_period(SimDuration::from_secs(1)),
+        );
+        sim.set_delivery_filter(topology.clone());
+        let seed = Seed::new(params.seed);
+        Driver {
+            params: params.clone(),
+            sim,
+            topology,
+            alive_public: Vec::new(),
+            alive_private: Vec::new(),
+            all_classes: HashMap::new(),
+            next_id: 0,
+            churn_carry: 0.0,
+            workload_rng: seed.stream_rng(croupier_simulator::rng::Stream::Workload),
+            metric_rng: seed.stream_rng(croupier_simulator::rng::Stream::Custom(0xE7)),
+        }
+    }
+
+    fn add_node<F>(&mut self, class: NatClass, make_node: &mut F)
+    where
+        F: FnMut(NodeId, NatClass, &NatTopology) -> P,
+    {
+        let id = NodeId::new(self.next_id);
+        self.next_id += 1;
+        self.topology.add_node(id, class);
+        if class.is_public() {
+            self.sim.register_public(id);
+            self.alive_public.push(id);
+        } else {
+            self.alive_private.push(id);
+        }
+        self.all_classes.insert(id, class);
+        let node = make_node(id, class, &self.topology);
+        self.sim.add_node(id, node);
+    }
+
+    fn remove_random_node(&mut self, class: NatClass) -> Option<NodeId> {
+        let pool = match class {
+            NatClass::Public => &mut self.alive_public,
+            NatClass::Private => &mut self.alive_private,
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        let index = self.workload_rng.gen_range(0..pool.len());
+        let id = pool.swap_remove(index);
+        self.sim.remove_node(id);
+        Some(id)
+    }
+
+    fn apply_churn<F>(&mut self, make_node: &mut F)
+    where
+        F: FnMut(NodeId, NatClass, &NatTopology) -> P,
+    {
+        let Some(churn) = self.params.churn else { return };
+        let alive = self.alive_public.len() + self.alive_private.len();
+        self.churn_carry += churn.fraction_per_round * alive as f64;
+        let replacements = self.churn_carry.floor() as usize;
+        self.churn_carry -= replacements as f64;
+        for _ in 0..replacements {
+            // Keep the public/private ratio stable by replacing a node with a new node of
+            // the same class, chosen proportionally to the class sizes.
+            let public_fraction =
+                self.alive_public.len() as f64 / (self.alive_public.len() + self.alive_private.len()).max(1) as f64;
+            let class = if self.workload_rng.gen_range(0.0..1.0) < public_fraction {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            };
+            if self.remove_random_node(class).is_some() {
+                self.add_node(class, make_node);
+            }
+        }
+    }
+
+    fn true_ratio(&self) -> f64 {
+        let total = self.alive_public.len() + self.alive_private.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.alive_public.len() as f64 / total as f64
+        }
+    }
+
+    fn sample(&mut self, round: u64) -> RoundSample {
+        let mut snapshot = OverlaySnapshot::capture(&self.sim, self.params.min_rounds_for_metrics);
+        let true_ratio = self.true_ratio();
+        let estimation = estimation_errors(&snapshot, true_ratio);
+        let (avg_path_length, clustering, largest_component) =
+            if let Some(sources) = self.params.graph_metric_sources {
+                snapshot.retain_live_edges();
+                (
+                    average_path_length(&snapshot, sources, &mut self.metric_rng),
+                    Some(average_clustering_coefficient(&snapshot)),
+                    Some(largest_component_fraction(&snapshot)),
+                )
+            } else {
+                (None, None, None)
+            };
+        RoundSample {
+            round,
+            node_count: self.sim.len(),
+            true_ratio,
+            estimation,
+            avg_path_length,
+            clustering,
+            largest_component,
+        }
+    }
+
+    /// Runs the main phase: joins, rounds, churn, sampling.
+    fn run<F>(&mut self, make_node: &mut F) -> RunOutput
+    where
+        F: FnMut(NodeId, NatClass, &NatTopology) -> P,
+    {
+        let mut schedule = JoinSchedule::poisson(
+            self.params.n_public,
+            self.params.public_interarrival_ms,
+            self.params.n_private,
+            self.params.private_interarrival_ms,
+            &mut self.workload_rng,
+        );
+        if let Some(growth) = self.params.growth {
+            schedule.append_growth(
+                croupier_simulator::SimTime::from_secs(growth.start_round),
+                growth.count,
+                growth.interarrival_ms,
+                growth.class,
+            );
+        }
+        let events = schedule.events().to_vec();
+        let mut next_event = 0usize;
+
+        let round_ms = 1_000u64;
+        let mut samples = Vec::new();
+        let mut overhead = None;
+
+        for round in 1..=self.params.rounds {
+            let boundary = croupier_simulator::SimTime::from_millis(round * round_ms);
+            while next_event < events.len() && events[next_event].at <= boundary {
+                let event = events[next_event];
+                next_event += 1;
+                self.sim.run_until(event.at);
+                self.add_node(event.class, make_node);
+            }
+            self.sim.run_until(boundary);
+
+            if let Some(churn) = self.params.churn {
+                if round >= churn.start_round {
+                    self.apply_churn(make_node);
+                }
+            }
+
+            if let Some((start, end)) = self.params.overhead_window {
+                if round == start {
+                    let now = self.sim.now();
+                    self.sim.traffic_mut().reset_window(now);
+                } else if round == end {
+                    let window_secs = (end - start) as f64;
+                    let classes = self.all_classes.clone();
+                    overhead = Some(class_overhead(
+                        self.sim.traffic(),
+                        |id| classes.get(&id).copied(),
+                        window_secs,
+                    ));
+                }
+            }
+
+            if round % self.params.sample_every == 0 {
+                samples.push(self.sample(round));
+            }
+        }
+
+        let mut final_snapshot =
+            OverlaySnapshot::capture(&self.sim, self.params.min_rounds_for_metrics);
+        final_snapshot.retain_live_edges();
+        RunOutput {
+            samples,
+            overhead,
+            final_true_ratio: self.true_ratio(),
+            final_snapshot,
+        }
+    }
+
+    /// Fails `fraction` of the live nodes at a single instant and returns the fraction of
+    /// survivors still connected in the largest cluster (Fig. 7(b)).
+    fn catastrophic_failure(&mut self, fraction: f64) -> f64 {
+        let alive: usize = self.alive_public.len() + self.alive_private.len();
+        let to_fail = ((alive as f64) * fraction).round() as usize;
+        for _ in 0..to_fail {
+            let public_fraction = self.alive_public.len() as f64
+                / (self.alive_public.len() + self.alive_private.len()).max(1) as f64;
+            let class = if self.workload_rng.gen_range(0.0..1.0) < public_fraction {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            };
+            if self.remove_random_node(class).is_none() {
+                // The chosen class ran out of nodes; fail one of the other class instead.
+                let _ = self.remove_random_node(class.opposite());
+            }
+        }
+        let mut snapshot = OverlaySnapshot::capture(&self.sim, 0);
+        snapshot.retain_live_edges();
+        largest_component_fraction(&snapshot)
+    }
+}
+
+/// Runs a peer-sampling experiment for any protocol implementing
+/// [`PssNode`](croupier_simulator::PssNode).
+///
+/// `make_node` constructs the protocol instance for each joining node; it receives the
+/// node's identity, its connectivity class and a handle to the NAT topology (needed by
+/// protocols that consult the address oracle).
+pub fn run_pss<P, F>(params: &ExperimentParams, mut make_node: F) -> RunOutput
+where
+    P: Protocol + PssNode,
+    F: FnMut(NodeId, NatClass, &NatTopology) -> P,
+{
+    let mut driver = Driver::new(params);
+    driver.run(&mut make_node)
+}
+
+/// Runs a catastrophic-failure experiment: the system is built and run for `params.rounds`
+/// rounds, then `failure_fraction` of the nodes crash simultaneously; the return value is
+/// the fraction of surviving nodes that remain in the largest connected cluster.
+pub fn run_failure<P, F>(params: &ExperimentParams, mut make_node: F, failure_fraction: f64) -> f64
+where
+    P: Protocol + PssNode,
+    F: FnMut(NodeId, NatClass, &NatTopology) -> P,
+{
+    assert!(
+        (0.0..1.0).contains(&failure_fraction),
+        "failure fraction must be within [0, 1)"
+    );
+    let mut driver = Driver::new(params);
+    driver.run(&mut make_node);
+    driver.catastrophic_failure(failure_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croupier::{CroupierConfig, CroupierNode};
+    use croupier_baselines::{BaselineConfig, CyclonNode};
+
+    fn tiny_params() -> ExperimentParams {
+        ExperimentParams::default()
+            .with_population(8, 32)
+            .with_rounds(50)
+            .with_sample_every(5)
+    }
+
+    #[test]
+    fn croupier_run_produces_converging_estimates() {
+        let params = tiny_params().with_seed(1);
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert!(!out.samples.is_empty());
+        let last = out.last_sample().unwrap();
+        assert_eq!(last.node_count, 40);
+        assert!((out.final_true_ratio - 0.2).abs() < 1e-9);
+        assert!(
+            last.estimation.average < 0.1,
+            "average estimation error should be small, got {}",
+            last.estimation.average
+        );
+    }
+
+    #[test]
+    fn graph_metrics_are_produced_when_enabled() {
+        let params = tiny_params().with_seed(2).with_graph_metrics(10);
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let last = out.last_sample().unwrap();
+        assert!(last.avg_path_length.is_some());
+        assert!(last.clustering.is_some());
+        assert!((last.largest_component.unwrap() - 1.0).abs() < 1e-9, "overlay should be connected");
+        assert!(out.final_snapshot.edge_count() > 0);
+    }
+
+    #[test]
+    fn churn_keeps_population_and_ratio_stable() {
+        let params = tiny_params()
+            .with_seed(3)
+            .with_rounds(60)
+            .with_churn(ChurnSpec::new(20, 0.05));
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let last = out.last_sample().unwrap();
+        assert_eq!(last.node_count, 40, "churn replaces nodes one for one");
+        assert!((out.final_true_ratio - 0.2).abs() < 0.08);
+    }
+
+    #[test]
+    fn growth_raises_the_true_ratio() {
+        let params = tiny_params().with_seed(4).with_rounds(60).with_growth(GrowthSpec {
+            start_round: 20,
+            count: 10,
+            interarrival_ms: 500.0,
+            class: NatClass::Public,
+        });
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert!(out.final_true_ratio > 0.3, "ratio should grow, got {}", out.final_true_ratio);
+        assert_eq!(out.last_sample().unwrap().node_count, 50);
+    }
+
+    #[test]
+    fn overhead_window_produces_a_report() {
+        let params = tiny_params().with_seed(5).with_overhead_window(20, 40);
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let overhead = out.overhead.expect("overhead report requested");
+        assert!(overhead.public.avg_load_bytes_per_sec > 0.0);
+        assert!(overhead.private.avg_load_bytes_per_sec > 0.0);
+        // Croupiers serve the shuffle requests of everyone, so they carry more load.
+        assert!(
+            overhead.public.avg_load_bytes_per_sec > overhead.private.avg_load_bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn cyclon_runs_on_all_public_populations() {
+        let params = ExperimentParams::default()
+            .with_seed(6)
+            .with_population(30, 0)
+            .with_rounds(40)
+            .with_sample_every(5)
+            .with_graph_metrics(10);
+        let out = run_pss(&params, |id, _, _| CyclonNode::new(id, BaselineConfig::default()));
+        let last = out.last_sample().unwrap();
+        assert_eq!(last.node_count, 30);
+        assert!((last.largest_component.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_run_reports_surviving_cluster_fraction() {
+        let params = tiny_params().with_seed(7).with_rounds(40);
+        let connected = run_failure(
+            &params,
+            |id, class, _| CroupierNode::new(id, class, CroupierConfig::default()),
+            0.5,
+        );
+        assert!(connected > 0.5, "half the nodes failing should not shatter the overlay: {connected}");
+        assert!(connected <= 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_fixed_seed() {
+        let params = tiny_params().with_seed(8);
+        let run = || {
+            run_pss(&params, |id, class, _| {
+                CroupierNode::new(id, class, CroupierConfig::default())
+            })
+            .samples
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "failure fraction")]
+    fn failure_fraction_must_be_less_than_one() {
+        let params = tiny_params();
+        run_failure(
+            &params,
+            |id, class, _| CroupierNode::new(id, class, CroupierConfig::default()),
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Workload descriptions: join schedules, churn and catastrophic failure.
+
+use croupier_simulator::{NatClass, SimTime};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Continuous churn, as in §VII-B of the paper: every round a fixed fraction of randomly
+/// selected nodes leaves and is immediately replaced by freshly initialised nodes of the
+/// same class, keeping the public/private ratio stable.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// First round in which churn is applied.
+    pub start_round: u64,
+    /// Fraction of the population replaced per round (0.001 = 0.1 %).
+    pub fraction_per_round: f64,
+}
+
+impl ChurnSpec {
+    /// Creates a churn specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction_per_round` is not within `[0, 1]`.
+    pub fn new(start_round: u64, fraction_per_round: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction_per_round),
+            "churn fraction must be within [0, 1]"
+        );
+        ChurnSpec {
+            start_round,
+            fraction_per_round,
+        }
+    }
+}
+
+/// A node arrival: when it joins and with which connectivity class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinEvent {
+    /// Join time.
+    pub at: SimTime,
+    /// Connectivity class of the joining node.
+    pub class: NatClass,
+}
+
+/// A complete join schedule: a time-ordered list of [`JoinEvent`]s.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct JoinSchedule {
+    events: Vec<JoinEvent>,
+}
+
+impl JoinSchedule {
+    /// Builds the paper's join workload: `n_public` public and `n_private` private nodes
+    /// join concurrently, each class following a Poisson process with the given mean
+    /// inter-arrival time in milliseconds (§VII-B uses 50 ms for public and 12.5 ms for
+    /// private nodes).
+    pub fn poisson(
+        n_public: usize,
+        public_interarrival_ms: f64,
+        n_private: usize,
+        private_interarrival_ms: f64,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let mut events = Vec::with_capacity(n_public + n_private);
+        let mut clock = 0.0f64;
+        for _ in 0..n_public {
+            clock += exponential(public_interarrival_ms, rng);
+            events.push(JoinEvent {
+                at: SimTime::from_millis(clock.round() as u64),
+                class: NatClass::Public,
+            });
+        }
+        clock = 0.0;
+        for _ in 0..n_private {
+            clock += exponential(private_interarrival_ms, rng);
+            events.push(JoinEvent {
+                at: SimTime::from_millis(clock.round() as u64),
+                class: NatClass::Private,
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        JoinSchedule { events }
+    }
+
+    /// Builds a schedule where every node joins at time zero; useful for unit tests.
+    pub fn immediate(n_public: usize, n_private: usize) -> Self {
+        let mut events = Vec::with_capacity(n_public + n_private);
+        for _ in 0..n_public {
+            events.push(JoinEvent {
+                at: SimTime::ZERO,
+                class: NatClass::Public,
+            });
+        }
+        for _ in 0..n_private {
+            events.push(JoinEvent {
+                at: SimTime::ZERO,
+                class: NatClass::Private,
+            });
+        }
+        JoinSchedule { events }
+    }
+
+    /// Appends a burst of `count` joins of `class`, evenly spaced by `interarrival_ms`
+    /// starting at `start` — used by the dynamic-ratio experiment (Fig. 2), which adds a new
+    /// public node every 42 ms once the system is stable.
+    pub fn append_growth(
+        &mut self,
+        start: SimTime,
+        count: usize,
+        interarrival_ms: f64,
+        class: NatClass,
+    ) {
+        for i in 0..count {
+            let offset = (i as f64 * interarrival_ms).round() as u64;
+            self.events.push(JoinEvent {
+                at: SimTime::from_millis(start.as_millis() + offset),
+                class,
+            });
+        }
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// The scheduled events, in time order.
+    pub fn events(&self) -> &[JoinEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled joins.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` when no join is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last join.
+    pub fn last_join(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// Counts of (public, private) joins in the schedule.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let public = self.events.iter().filter(|e| e.class.is_public()).count();
+        (public, self.events.len() - public)
+    }
+}
+
+/// Samples an exponentially distributed inter-arrival time with the given mean.
+fn exponential(mean_ms: f64, rng: &mut SmallRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean_ms * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn poisson_schedule_has_expected_counts_and_order() {
+        let schedule = JoinSchedule::poisson(100, 50.0, 400, 12.5, &mut rng());
+        assert_eq!(schedule.len(), 500);
+        assert_eq!(schedule.class_counts(), (100, 400));
+        assert!(schedule
+            .events()
+            .windows(2)
+            .all(|w| w[0].at <= w[1].at), "events must be time-ordered");
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_is_roughly_honoured() {
+        let schedule = JoinSchedule::poisson(2_000, 50.0, 0, 12.5, &mut rng());
+        let last = schedule.last_join().unwrap().as_millis() as f64;
+        let mean = last / 2_000.0;
+        assert!((mean - 50.0).abs() < 5.0, "observed mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn immediate_schedule_puts_everyone_at_time_zero() {
+        let schedule = JoinSchedule::immediate(3, 7);
+        assert_eq!(schedule.len(), 10);
+        assert!(schedule.events().iter().all(|e| e.at == SimTime::ZERO));
+        assert_eq!(schedule.class_counts(), (3, 7));
+    }
+
+    #[test]
+    fn growth_appends_evenly_spaced_public_joins() {
+        let mut schedule = JoinSchedule::immediate(1, 1);
+        schedule.append_growth(SimTime::from_secs(58), 10, 42.0, NatClass::Public);
+        assert_eq!(schedule.len(), 12);
+        assert_eq!(schedule.class_counts().0, 11);
+        let last = schedule.last_join().unwrap();
+        assert_eq!(last.as_millis(), 58_000 + 9 * 42);
+    }
+
+    #[test]
+    fn churn_spec_validates_fraction() {
+        let spec = ChurnSpec::new(61, 0.01);
+        assert_eq!(spec.start_round, 61);
+        assert!((spec.fraction_per_round - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn churn_spec_rejects_out_of_range_fraction() {
+        ChurnSpec::new(0, 1.5);
+    }
+
+    #[test]
+    fn exponential_sampling_is_positive() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert!(exponential(10.0, &mut r) > 0.0);
+        }
+    }
+}

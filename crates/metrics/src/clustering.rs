@@ -1,0 +1,91 @@
+//! Average clustering coefficient of the overlay (Fig. 6(c) of the paper).
+
+use crate::graph::UndirectedGraph;
+use crate::snapshot::OverlaySnapshot;
+
+/// Average local clustering coefficient over all observed nodes.
+///
+/// A node's clustering coefficient is the fraction of pairs of its neighbours that are
+/// themselves neighbours: 1 for a clique, 0 for a tree. Nodes with fewer than two
+/// neighbours contribute 0, following the convention of the peer-sampling literature the
+/// paper builds on.
+pub fn average_clustering_coefficient(snapshot: &OverlaySnapshot) -> f64 {
+    let graph = UndirectedGraph::from_snapshot(snapshot);
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for node in graph.nodes() {
+        let neighbours = match graph.neighbours(node) {
+            Some(set) if set.len() >= 2 => set,
+            _ => continue,
+        };
+        let k = neighbours.len();
+        let mut links = 0usize;
+        let neighbour_list: Vec<_> = neighbours.iter().copied().collect();
+        for i in 0..neighbour_list.len() {
+            for j in (i + 1)..neighbour_list.len() {
+                if graph
+                    .neighbours(neighbour_list[i])
+                    .map(|set| set.contains(&neighbour_list[j]))
+                    .unwrap_or(false)
+                {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (k as f64 * (k as f64 - 1.0));
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeObservation;
+    use croupier_simulator::{NatClass, NodeId};
+
+    fn snapshot(nodes: &[u64], edges: &[(u64, u64)]) -> OverlaySnapshot {
+        OverlaySnapshot::from_parts(
+            nodes
+                .iter()
+                .map(|id| NodeObservation {
+                    id: NodeId::new(*id),
+                    class: NatClass::Public,
+                    ratio_estimate: None,
+                    rounds_executed: 5,
+                })
+                .collect(),
+            edges
+                .iter()
+                .map(|(a, b)| (NodeId::new(*a), NodeId::new(*b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn clique_has_coefficient_one() {
+        let s = snapshot(&[1, 2, 3, 4], &[(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]);
+        assert!((average_clustering_coefficient(&s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_has_coefficient_zero() {
+        let s = snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (1, 3), (2, 4), (2, 5)]);
+        assert_eq!(average_clustering_coefficient(&s), 0.0);
+    }
+
+    #[test]
+    fn triangle_plus_pendant_averages_over_all_nodes() {
+        // Triangle 1-2-3 plus pendant 4 attached to 1: CC(1)=1/3, CC(2)=1, CC(3)=1, CC(4)=0.
+        let s = snapshot(&[1, 2, 3, 4], &[(1, 2), (2, 3), (1, 3), (1, 4)]);
+        let expected = (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0;
+        assert!((average_clustering_coefficient(&s) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        assert_eq!(average_clustering_coefficient(&OverlaySnapshot::default()), 0.0);
+    }
+}

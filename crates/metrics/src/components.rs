@@ -1,0 +1,67 @@
+//! Connectivity after catastrophic failure (Fig. 7(b) of the paper).
+
+use crate::graph::UndirectedGraph;
+use crate::snapshot::OverlaySnapshot;
+
+/// Fraction of the observed (surviving) nodes contained in the largest connected component
+/// of the overlay — the paper's "biggest cluster size (%)", reported after failing a large
+/// fraction of the system at one instant.
+///
+/// Returns 0.0 for an empty snapshot and 1.0 for a single node.
+pub fn largest_component_fraction(snapshot: &OverlaySnapshot) -> f64 {
+    let graph = UndirectedGraph::from_snapshot(snapshot);
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let largest = graph.component_sizes().into_iter().next().unwrap_or(0);
+    largest as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeObservation;
+    use croupier_simulator::{NatClass, NodeId};
+
+    fn snapshot(nodes: &[u64], edges: &[(u64, u64)]) -> OverlaySnapshot {
+        OverlaySnapshot::from_parts(
+            nodes
+                .iter()
+                .map(|id| NodeObservation {
+                    id: NodeId::new(*id),
+                    class: NatClass::Public,
+                    ratio_estimate: None,
+                    rounds_executed: 5,
+                })
+                .collect(),
+            edges
+                .iter()
+                .map(|(a, b)| (NodeId::new(*a), NodeId::new(*b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fully_connected_graph_scores_one() {
+        let s = snapshot(&[1, 2, 3], &[(1, 2), (2, 3)]);
+        assert!((largest_component_fraction(&s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partitioned_graph_reports_largest_part() {
+        let s = snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (2, 3)]);
+        assert!((largest_component_fraction(&s) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_nodes_only() {
+        let s = snapshot(&[1, 2, 3, 4], &[]);
+        assert!((largest_component_fraction(&s) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_scores_zero() {
+        assert_eq!(largest_component_fraction(&OverlaySnapshot::default()), 0.0);
+    }
+}

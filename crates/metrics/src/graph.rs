@@ -1,0 +1,176 @@
+//! Undirected graph utilities shared by the overlay metrics.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use croupier_simulator::NodeId;
+
+use crate::snapshot::OverlaySnapshot;
+
+/// An undirected graph over node identifiers, built from the "knows-about" edges of an
+/// [`OverlaySnapshot`].
+///
+/// The paper's connectivity, path-length and clustering metrics treat view edges as
+/// undirected communication links (once a node knows another it can initiate an exchange,
+/// and the exchange flows both ways), which is the standard convention in the peer-sampling
+/// literature.
+#[derive(Clone, Debug, Default)]
+pub struct UndirectedGraph {
+    // Ordered maps keep every traversal (and therefore every floating-point accumulation
+    // downstream) deterministic for a fixed seed.
+    adjacency: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl UndirectedGraph {
+    /// Builds the graph from a snapshot, ignoring self-loops and edges to unobserved nodes.
+    pub fn from_snapshot(snapshot: &OverlaySnapshot) -> Self {
+        let live: HashSet<NodeId> = snapshot.nodes.iter().map(|n| n.id).collect();
+        let mut graph = UndirectedGraph::default();
+        for node in &live {
+            graph.adjacency.entry(*node).or_default();
+        }
+        for (a, b) in &snapshot.edges {
+            if a == b || !live.contains(a) || !live.contains(b) {
+                continue;
+            }
+            graph.adjacency.entry(*a).or_default().insert(*b);
+            graph.adjacency.entry(*b).or_default().insert(*a);
+        }
+        graph
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// The neighbours of `node`.
+    pub fn neighbours(&self, node: NodeId) -> Option<&BTreeSet<NodeId>> {
+        self.adjacency.get(&node)
+    }
+
+    /// All vertices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Breadth-first distances (in hops) from `source` to every reachable vertex.
+    pub fn bfs_distances(&self, source: NodeId) -> HashMap<NodeId, u32> {
+        let mut distances = HashMap::new();
+        if !self.adjacency.contains_key(&source) {
+            return distances;
+        }
+        distances.insert(source, 0);
+        let mut queue = VecDeque::from([source]);
+        while let Some(current) = queue.pop_front() {
+            let d = distances[&current];
+            if let Some(neighbours) = self.adjacency.get(&current) {
+                for next in neighbours {
+                    if !distances.contains_key(next) {
+                        distances.insert(*next, d + 1);
+                        queue.push_back(*next);
+                    }
+                }
+            }
+        }
+        distances
+    }
+
+    /// Sizes of all connected components, in descending order.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut visited: HashSet<NodeId> = HashSet::new();
+        let mut sizes = Vec::new();
+        for start in self.adjacency.keys() {
+            if visited.contains(start) {
+                continue;
+            }
+            let mut size = 0;
+            let mut queue = VecDeque::from([*start]);
+            visited.insert(*start);
+            while let Some(current) = queue.pop_front() {
+                size += 1;
+                if let Some(neighbours) = self.adjacency.get(&current) {
+                    for next in neighbours {
+                        if visited.insert(*next) {
+                            queue.push_back(*next);
+                        }
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeObservation;
+    use croupier_simulator::NatClass;
+
+    fn snapshot(nodes: &[u64], edges: &[(u64, u64)]) -> OverlaySnapshot {
+        OverlaySnapshot::from_parts(
+            nodes
+                .iter()
+                .map(|id| NodeObservation {
+                    id: NodeId::new(*id),
+                    class: NatClass::Public,
+                    ratio_estimate: None,
+                    rounds_executed: 10,
+                })
+                .collect(),
+            edges
+                .iter()
+                .map(|(a, b)| (NodeId::new(*a), NodeId::new(*b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn builds_undirected_adjacency_without_self_loops() {
+        let g = UndirectedGraph::from_snapshot(&snapshot(
+            &[1, 2, 3],
+            &[(1, 2), (2, 1), (2, 2), (2, 3), (1, 99)],
+        ));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.neighbours(NodeId::new(2)).unwrap().contains(&NodeId::new(1)));
+        assert!(g.neighbours(NodeId::new(1)).unwrap().contains(&NodeId::new(2)));
+        assert!(!g.neighbours(NodeId::new(2)).unwrap().contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn bfs_computes_hop_distances() {
+        let g = UndirectedGraph::from_snapshot(&snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (2, 3), (3, 4)]));
+        let d = g.bfs_distances(NodeId::new(1));
+        assert_eq!(d[&NodeId::new(1)], 0);
+        assert_eq!(d[&NodeId::new(2)], 1);
+        assert_eq!(d[&NodeId::new(3)], 2);
+        assert_eq!(d[&NodeId::new(4)], 3);
+        assert!(!d.contains_key(&NodeId::new(5)), "disconnected node is unreachable");
+        assert!(g.bfs_distances(NodeId::new(42)).is_empty());
+    }
+
+    #[test]
+    fn component_sizes_are_sorted_descending() {
+        let g = UndirectedGraph::from_snapshot(&snapshot(
+            &[1, 2, 3, 4, 5, 6],
+            &[(1, 2), (2, 3), (4, 5)],
+        ));
+        assert_eq!(g.component_sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_snapshot_gives_empty_graph() {
+        let g = UndirectedGraph::from_snapshot(&OverlaySnapshot::default());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.component_sizes().is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! In-degree distribution of the directed overlay graph (Fig. 6(a) of the paper).
+
+use std::collections::HashMap;
+
+use croupier_simulator::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::snapshot::OverlaySnapshot;
+
+/// Summary statistics of an in-degree distribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct IndegreeStats {
+    /// Smallest in-degree among observed nodes.
+    pub min: usize,
+    /// Largest in-degree among observed nodes.
+    pub max: usize,
+    /// Mean in-degree.
+    pub mean: f64,
+    /// Population standard deviation of the in-degree.
+    pub std_dev: f64,
+}
+
+/// The in-degree of every observed node: how many other nodes hold it in their views.
+pub fn indegree_distribution(snapshot: &OverlaySnapshot) -> HashMap<NodeId, usize> {
+    let mut indegree: HashMap<NodeId, usize> = snapshot.nodes.iter().map(|n| (n.id, 0)).collect();
+    for (from, to) in &snapshot.edges {
+        if from == to {
+            continue;
+        }
+        if let Some(count) = indegree.get_mut(to) {
+            *count += 1;
+        }
+    }
+    indegree
+}
+
+/// Histogram of the in-degree distribution: for each in-degree value, the number of nodes
+/// with that in-degree — the exact series plotted in Fig. 6(a).
+pub fn indegree_histogram(snapshot: &OverlaySnapshot) -> Vec<(usize, usize)> {
+    let mut histogram: HashMap<usize, usize> = HashMap::new();
+    for degree in indegree_distribution(snapshot).values() {
+        *histogram.entry(*degree).or_default() += 1;
+    }
+    let mut out: Vec<(usize, usize)> = histogram.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Summary statistics of the in-degree distribution.
+pub fn indegree_stats(snapshot: &OverlaySnapshot) -> IndegreeStats {
+    let degrees: Vec<usize> = indegree_distribution(snapshot).values().copied().collect();
+    if degrees.is_empty() {
+        return IndegreeStats::default();
+    }
+    let min = *degrees.iter().min().expect("non-empty");
+    let max = *degrees.iter().max().expect("non-empty");
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+    let variance = degrees
+        .iter()
+        .map(|d| {
+            let diff = *d as f64 - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / degrees.len() as f64;
+    IndegreeStats {
+        min,
+        max,
+        mean,
+        std_dev: variance.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeObservation;
+    use croupier_simulator::NatClass;
+
+    fn snapshot(nodes: &[u64], edges: &[(u64, u64)]) -> OverlaySnapshot {
+        OverlaySnapshot::from_parts(
+            nodes
+                .iter()
+                .map(|id| NodeObservation {
+                    id: NodeId::new(*id),
+                    class: NatClass::Public,
+                    ratio_estimate: None,
+                    rounds_executed: 5,
+                })
+                .collect(),
+            edges
+                .iter()
+                .map(|(a, b)| (NodeId::new(*a), NodeId::new(*b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn counts_incoming_edges_per_node() {
+        let s = snapshot(&[1, 2, 3], &[(1, 2), (3, 2), (2, 3), (2, 2)]);
+        let d = indegree_distribution(&s);
+        assert_eq!(d[&NodeId::new(1)], 0);
+        assert_eq!(d[&NodeId::new(2)], 2);
+        assert_eq!(d[&NodeId::new(3)], 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_degree() {
+        let s = snapshot(&[1, 2, 3, 4], &[(1, 2), (3, 2), (1, 3)]);
+        // Degrees: node1=0, node2=2, node3=1, node4=0.
+        assert_eq!(indegree_histogram(&s), vec![(0, 2), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn stats_summarise_the_distribution() {
+        let s = snapshot(&[1, 2, 3, 4], &[(1, 2), (3, 2), (1, 3), (2, 4)]);
+        let stats = indegree_stats(&s);
+        assert_eq!(stats.min, 0);
+        assert_eq!(stats.max, 2);
+        assert!((stats.mean - 1.0).abs() < 1e-9);
+        assert!(stats.std_dev > 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_has_zeroed_stats() {
+        assert_eq!(indegree_stats(&OverlaySnapshot::default()), IndegreeStats::default());
+        assert!(indegree_histogram(&OverlaySnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn edges_to_unknown_nodes_are_ignored() {
+        let s = snapshot(&[1, 2], &[(1, 2), (1, 77)]);
+        let d = indegree_distribution(&s);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[&NodeId::new(2)], 1);
+    }
+}

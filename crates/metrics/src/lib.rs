@@ -1,0 +1,40 @@
+//! # croupier-metrics
+//!
+//! Evaluation metrics for the Croupier reproduction, covering every quantity reported in
+//! §VII of the paper:
+//!
+//! * **Estimation accuracy** ([`estimation`]): average and maximum (Kolmogorov–Smirnov
+//!   style) error between each node's public/private-ratio estimate and the true ratio
+//!   (equations 10–13) — Figures 1–5.
+//! * **Randomness of the overlay** ([`indegree`], [`paths`], [`clustering`]): in-degree
+//!   distribution, average shortest path length and average clustering coefficient of the
+//!   overlay graph induced by the partial views — Figure 6.
+//! * **Protocol overhead** ([`overhead`]): average bytes per second per node, split by
+//!   connectivity class and optionally reported relative to a Cyclon baseline — Figure 7(a).
+//! * **Resilience** ([`components`]): size of the biggest connected cluster among surviving
+//!   nodes after catastrophic failure — Figure 7(b).
+//!
+//! All graph metrics operate on an [`OverlaySnapshot`] extracted from a running simulation,
+//! so they are protocol-agnostic: Croupier, Cyclon, Gozar and Nylon are measured with the
+//! same code.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clustering;
+pub mod components;
+pub mod estimation;
+pub mod graph;
+pub mod indegree;
+pub mod overhead;
+pub mod paths;
+pub mod snapshot;
+
+pub use clustering::average_clustering_coefficient;
+pub use components::largest_component_fraction;
+pub use estimation::{estimation_errors, EstimationErrors};
+pub use graph::UndirectedGraph;
+pub use indegree::{indegree_distribution, indegree_histogram, indegree_stats, IndegreeStats};
+pub use overhead::{class_overhead, ClassOverhead, OverheadReport};
+pub use paths::average_path_length;
+pub use snapshot::{NodeObservation, OverlaySnapshot};

@@ -1,0 +1,114 @@
+//! Average shortest path length of the overlay (Fig. 6(b) of the paper).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::graph::UndirectedGraph;
+use crate::snapshot::OverlaySnapshot;
+
+/// Average shortest-path length (in hops) between reachable node pairs.
+///
+/// The paper averages over all pairs; on systems of thousands of nodes an exact all-pairs
+/// BFS is still affordable but wasteful inside a per-round measurement loop, so the
+/// computation samples `sources` BFS sources chosen uniformly at random (pass
+/// `usize::MAX` to use every node as a source and obtain the exact value). Unreachable
+/// pairs are excluded, matching the paper's treatment (connectivity is measured separately
+/// in Fig. 7(b)).
+///
+/// Returns `None` when the snapshot has fewer than two nodes or no reachable pair exists.
+pub fn average_path_length(
+    snapshot: &OverlaySnapshot,
+    sources: usize,
+    rng: &mut SmallRng,
+) -> Option<f64> {
+    let graph = UndirectedGraph::from_snapshot(snapshot);
+    if graph.node_count() < 2 {
+        return None;
+    }
+    let mut nodes: Vec<_> = graph.nodes().collect();
+    nodes.sort_unstable();
+    nodes.shuffle(rng);
+    nodes.truncate(sources.max(1).min(nodes.len()));
+
+    let mut total_hops: u64 = 0;
+    let mut pairs: u64 = 0;
+    for source in nodes {
+        for (target, hops) in graph.bfs_distances(source) {
+            if target != source {
+                total_hops += hops as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total_hops as f64 / pairs as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeObservation;
+    use croupier_simulator::{NatClass, NodeId};
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    fn snapshot(nodes: &[u64], edges: &[(u64, u64)]) -> OverlaySnapshot {
+        OverlaySnapshot::from_parts(
+            nodes
+                .iter()
+                .map(|id| NodeObservation {
+                    id: NodeId::new(*id),
+                    class: NatClass::Public,
+                    ratio_estimate: None,
+                    rounds_executed: 5,
+                })
+                .collect(),
+            edges
+                .iter()
+                .map(|(a, b)| (NodeId::new(*a), NodeId::new(*b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn path_length_of_a_line_graph() {
+        // Line 1-2-3-4: exact average shortest path = (sum over pairs) / pairs
+        // pairs: (1,2)=1 (1,3)=2 (1,4)=3 (2,3)=1 (2,4)=2 (3,4)=1 → 10/6.
+        let s = snapshot(&[1, 2, 3, 4], &[(1, 2), (2, 3), (3, 4)]);
+        let apl = average_path_length(&s, usize::MAX, &mut rng()).unwrap();
+        assert!((apl - 10.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complete_graph_has_path_length_one() {
+        let s = snapshot(&[1, 2, 3], &[(1, 2), (1, 3), (2, 3)]);
+        let apl = average_path_length(&s, usize::MAX, &mut rng()).unwrap();
+        assert!((apl - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_sources_approximates_the_exact_value() {
+        // Ring of 40 nodes.
+        let nodes: Vec<u64> = (0..40).collect();
+        let edges: Vec<(u64, u64)> = (0..40).map(|i| (i, (i + 1) % 40)).collect();
+        let s = snapshot(&nodes, &edges);
+        let exact = average_path_length(&s, usize::MAX, &mut rng()).unwrap();
+        let sampled = average_path_length(&s, 10, &mut rng()).unwrap();
+        assert!((exact - sampled).abs() < 0.5, "exact {exact} vs sampled {sampled}");
+    }
+
+    #[test]
+    fn degenerate_cases_return_none() {
+        assert!(average_path_length(&OverlaySnapshot::default(), 5, &mut rng()).is_none());
+        let single = snapshot(&[1], &[]);
+        assert!(average_path_length(&single, 5, &mut rng()).is_none());
+        let disconnected = snapshot(&[1, 2], &[]);
+        assert!(average_path_length(&disconnected, usize::MAX, &mut rng()).is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! Protocol-agnostic snapshots of the overlay graph.
+
+use croupier_simulator::{NatClass, NodeId, Protocol, PssNode, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// What the evaluation observes about one node at snapshot time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeObservation {
+    /// The node's identity.
+    pub id: NodeId,
+    /// The node's connectivity class.
+    pub class: NatClass,
+    /// The node's estimate of the public/private ratio, if the protocol computes one.
+    pub ratio_estimate: Option<f64>,
+    /// Rounds the node has executed since joining.
+    pub rounds_executed: u64,
+}
+
+/// A snapshot of the overlay: every live node plus the directed edges induced by the
+/// partial views (an edge `a → b` means `b` appears in `a`'s view).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OverlaySnapshot {
+    /// Observations of every live node.
+    pub nodes: Vec<NodeObservation>,
+    /// Directed "knows-about" edges.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+impl OverlaySnapshot {
+    /// Captures a snapshot from a running simulation.
+    ///
+    /// Only nodes that have executed at least `min_rounds` gossip rounds are included —
+    /// the paper excludes nodes younger than two rounds from its metrics so freshly joined
+    /// nodes do not skew estimation errors.
+    pub fn capture<P>(sim: &Simulation<P>, min_rounds: u64) -> Self
+    where
+        P: Protocol + PssNode,
+    {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        for (id, proto) in sim.nodes() {
+            if proto.rounds_executed() < min_rounds {
+                continue;
+            }
+            nodes.push(NodeObservation {
+                id,
+                class: proto.nat_class(),
+                ratio_estimate: proto.ratio_estimate(),
+                rounds_executed: proto.rounds_executed(),
+            });
+            for peer in proto.known_peers() {
+                edges.push((id, peer));
+            }
+        }
+        // The engine stores nodes in a hash map; sort so snapshots (and every metric
+        // derived from them) are deterministic for a fixed seed.
+        nodes.sort_by_key(|n| n.id);
+        edges.sort_unstable();
+        OverlaySnapshot { nodes, edges }
+    }
+
+    /// Builds a snapshot directly from parts; useful in tests and synthetic analyses.
+    pub fn from_parts(nodes: Vec<NodeObservation>, edges: Vec<(NodeId, NodeId)>) -> Self {
+        OverlaySnapshot { nodes, edges }
+    }
+
+    /// Number of observed nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Identifiers of the observed nodes.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// The true public/private ratio among the observed nodes.
+    pub fn true_ratio(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let public = self.nodes.iter().filter(|n| n.class.is_public()).count();
+        public as f64 / self.nodes.len() as f64
+    }
+
+    /// Keeps only edges whose endpoints are both observed nodes (drops dangling references
+    /// to departed nodes).
+    pub fn retain_live_edges(&mut self) {
+        let live: std::collections::HashSet<NodeId> = self.nodes.iter().map(|n| n.id).collect();
+        self.edges.retain(|(a, b)| live.contains(a) && live.contains(b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(id: u64, class: NatClass) -> NodeObservation {
+        NodeObservation {
+            id: NodeId::new(id),
+            class,
+            ratio_estimate: None,
+            rounds_executed: 10,
+        }
+    }
+
+    #[test]
+    fn true_ratio_counts_public_fraction() {
+        let snapshot = OverlaySnapshot::from_parts(
+            vec![
+                obs(1, NatClass::Public),
+                obs(2, NatClass::Private),
+                obs(3, NatClass::Private),
+                obs(4, NatClass::Private),
+            ],
+            vec![],
+        );
+        assert!((snapshot.true_ratio() - 0.25).abs() < 1e-9);
+        assert_eq!(OverlaySnapshot::default().true_ratio(), 0.0);
+    }
+
+    #[test]
+    fn retain_live_edges_drops_dangling_references() {
+        let mut snapshot = OverlaySnapshot::from_parts(
+            vec![obs(1, NatClass::Public), obs(2, NatClass::Private)],
+            vec![
+                (NodeId::new(1), NodeId::new(2)),
+                (NodeId::new(1), NodeId::new(99)),
+                (NodeId::new(50), NodeId::new(2)),
+            ],
+        );
+        snapshot.retain_live_edges();
+        assert_eq!(snapshot.edge_count(), 1);
+        assert_eq!(snapshot.edges[0], (NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn accessors_report_counts() {
+        let snapshot = OverlaySnapshot::from_parts(
+            vec![obs(1, NatClass::Public)],
+            vec![(NodeId::new(1), NodeId::new(1))],
+        );
+        assert_eq!(snapshot.node_count(), 1);
+        assert_eq!(snapshot.edge_count(), 1);
+        assert_eq!(snapshot.node_ids(), vec![NodeId::new(1)]);
+    }
+}

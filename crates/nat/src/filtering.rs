@@ -1,0 +1,128 @@
+//! NAT packet-filtering policies.
+//!
+//! The paper's NAT-type identification protocol distinguishes NATs by their filtering
+//! behaviour (§V, citing the NATCracker classification of Roverso et al.). The emulation
+//! implements the three standard policies of RFC 4787.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How a NAT filters inbound packets addressed to an existing mapping.
+///
+/// * [`EndpointIndependent`](FilteringPolicy::EndpointIndependent): once the internal host
+///   has created a mapping by sending any packet, inbound packets from *any* remote endpoint
+///   are accepted. This is the only policy under which the paper's `ForwardTest` reaches a
+///   NATed node.
+/// * [`AddressDependent`](FilteringPolicy::AddressDependent): inbound packets are accepted
+///   only from remote *IP addresses* the internal host has previously sent to.
+/// * [`AddressAndPortDependent`](FilteringPolicy::AddressAndPortDependent): inbound packets
+///   are accepted only from remote *endpoints* (IP and port) the internal host has
+///   previously sent to. The most restrictive and the most common policy in the wild.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_nat::FilteringPolicy;
+///
+/// assert!(FilteringPolicy::AddressAndPortDependent.is_stricter_than(
+///     FilteringPolicy::EndpointIndependent));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum FilteringPolicy {
+    /// Accept inbound traffic from anyone once a mapping exists.
+    EndpointIndependent,
+    /// Accept inbound traffic only from previously-contacted IP addresses.
+    AddressDependent,
+    /// Accept inbound traffic only from previously-contacted (IP, port) endpoints.
+    AddressAndPortDependent,
+}
+
+impl FilteringPolicy {
+    /// All policies, from most permissive to most restrictive.
+    pub const ALL: [FilteringPolicy; 3] = [
+        FilteringPolicy::EndpointIndependent,
+        FilteringPolicy::AddressDependent,
+        FilteringPolicy::AddressAndPortDependent,
+    ];
+
+    /// Returns `true` if `self` rejects at least every packet `other` rejects.
+    pub fn is_stricter_than(self, other: FilteringPolicy) -> bool {
+        self.rank() > other.rank()
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            FilteringPolicy::EndpointIndependent => 0,
+            FilteringPolicy::AddressDependent => 1,
+            FilteringPolicy::AddressAndPortDependent => 2,
+        }
+    }
+
+    /// Returns `true` if an unsolicited packet (from an endpoint the internal host never
+    /// contacted) passes this filter, provided a mapping exists at all.
+    pub fn accepts_unsolicited(self) -> bool {
+        matches!(self, FilteringPolicy::EndpointIndependent)
+    }
+}
+
+impl Default for FilteringPolicy {
+    fn default() -> Self {
+        FilteringPolicy::AddressAndPortDependent
+    }
+}
+
+impl fmt::Display for FilteringPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FilteringPolicy::EndpointIndependent => "endpoint-independent",
+            FilteringPolicy::AddressDependent => "address-dependent",
+            FilteringPolicy::AddressAndPortDependent => "address-and-port-dependent",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strictness_is_a_total_order() {
+        use FilteringPolicy::*;
+        assert!(AddressDependent.is_stricter_than(EndpointIndependent));
+        assert!(AddressAndPortDependent.is_stricter_than(AddressDependent));
+        assert!(AddressAndPortDependent.is_stricter_than(EndpointIndependent));
+        assert!(!EndpointIndependent.is_stricter_than(AddressDependent));
+        assert!(!EndpointIndependent.is_stricter_than(EndpointIndependent));
+    }
+
+    #[test]
+    fn only_endpoint_independent_accepts_unsolicited() {
+        assert!(FilteringPolicy::EndpointIndependent.accepts_unsolicited());
+        assert!(!FilteringPolicy::AddressDependent.accepts_unsolicited());
+        assert!(!FilteringPolicy::AddressAndPortDependent.accepts_unsolicited());
+    }
+
+    #[test]
+    fn all_lists_every_variant_in_order() {
+        assert_eq!(FilteringPolicy::ALL.len(), 3);
+        assert!(FilteringPolicy::ALL.windows(2).all(|w| w[1].is_stricter_than(w[0])));
+    }
+
+    #[test]
+    fn default_is_most_restrictive() {
+        assert_eq!(
+            FilteringPolicy::default(),
+            FilteringPolicy::AddressAndPortDependent
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            FilteringPolicy::EndpointIndependent.to_string(),
+            "endpoint-independent"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! A single NAT gateway (or firewall) and its UDP mapping table.
+
+use std::collections::HashMap;
+
+use croupier_simulator::{NodeId, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::address::Ip;
+use crate::filtering::FilteringPolicy;
+
+/// Static configuration of a NAT gateway.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NatGatewayConfig {
+    /// Inbound filtering policy.
+    pub filtering: FilteringPolicy,
+    /// How long a UDP mapping survives without outbound traffic refreshing it.
+    pub mapping_timeout: SimDuration,
+    /// Whether the gateway supports the UPnP Internet Gateway Device protocol. Nodes behind
+    /// a UPnP gateway can map a public port explicitly and therefore behave as public nodes.
+    pub upnp_enabled: bool,
+}
+
+impl Default for NatGatewayConfig {
+    fn default() -> Self {
+        NatGatewayConfig {
+            filtering: FilteringPolicy::default(),
+            mapping_timeout: SimDuration::from_secs(60),
+            upnp_enabled: false,
+        }
+    }
+}
+
+impl NatGatewayConfig {
+    /// Creates a config with the given filtering policy and the default 60 s mapping
+    /// timeout.
+    pub fn with_filtering(filtering: FilteringPolicy) -> Self {
+        NatGatewayConfig {
+            filtering,
+            ..NatGatewayConfig::default()
+        }
+    }
+
+    /// Sets the mapping timeout.
+    pub fn mapping_timeout(mut self, timeout: SimDuration) -> Self {
+        self.mapping_timeout = timeout;
+        self
+    }
+
+    /// Enables or disables UPnP IGD support.
+    pub fn upnp(mut self, enabled: bool) -> Self {
+        self.upnp_enabled = enabled;
+        self
+    }
+}
+
+/// One entry of a gateway's UDP mapping table: internal host `internal` has sent traffic to
+/// remote node `remote` (whose observed address is `remote_ip`), most recently at
+/// `last_refreshed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// The internal (private) node that created the mapping.
+    pub internal: NodeId,
+    /// The remote node the mapping points at.
+    pub remote: NodeId,
+    /// The remote node's publicly observable IP address.
+    pub remote_ip: Ip,
+    /// Last time outbound traffic refreshed the mapping.
+    pub last_refreshed: SimTime,
+}
+
+impl Binding {
+    /// Returns `true` if the binding has expired at time `now` under `timeout`.
+    pub fn is_expired(&self, now: SimTime, timeout: SimDuration) -> bool {
+        now.saturating_since(self.last_refreshed) > timeout
+    }
+}
+
+/// A NAT gateway: a public IP address plus a mapping table shared by the private nodes that
+/// sit behind it.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_nat::{FilteringPolicy, Ip, NatGateway, NatGatewayConfig};
+/// use croupier_simulator::{NodeId, SimDuration, SimTime};
+///
+/// let cfg = NatGatewayConfig::with_filtering(FilteringPolicy::AddressAndPortDependent)
+///     .mapping_timeout(SimDuration::from_secs(30));
+/// let mut gw = NatGateway::new(Ip::public(9), cfg);
+/// let inside = NodeId::new(1);
+/// let outside = NodeId::new(2);
+///
+/// // Unsolicited inbound traffic is dropped.
+/// assert!(!gw.accepts_inbound(inside, outside, Ip::public(3), SimTime::ZERO));
+/// // After the internal node sends out, the reverse path opens until the mapping expires.
+/// gw.record_outbound(inside, outside, Ip::public(3), SimTime::ZERO);
+/// assert!(gw.accepts_inbound(inside, outside, Ip::public(3), SimTime::from_secs(10)));
+/// assert!(!gw.accepts_inbound(inside, outside, Ip::public(3), SimTime::from_secs(100)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NatGateway {
+    public_ip: Ip,
+    config: NatGatewayConfig,
+    bindings: HashMap<(NodeId, NodeId), Binding>,
+}
+
+impl NatGateway {
+    /// Creates a gateway with the given public address and configuration.
+    pub fn new(public_ip: Ip, config: NatGatewayConfig) -> Self {
+        NatGateway {
+            public_ip,
+            config,
+            bindings: HashMap::new(),
+        }
+    }
+
+    /// The gateway's public IP address (what remote peers observe as the packet source).
+    pub fn public_ip(&self) -> Ip {
+        self.public_ip
+    }
+
+    /// The gateway's configuration.
+    pub fn config(&self) -> &NatGatewayConfig {
+        &self.config
+    }
+
+    /// Number of mapping-table entries (including expired ones not yet purged).
+    pub fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Records outbound traffic from `internal` towards `remote`, creating or refreshing the
+    /// corresponding mapping. Refreshing only ever extends a mapping's lifetime: a packet
+    /// carrying an older timestamp (which cannot happen on the engine's monotonic clock but
+    /// can in hand-written tests) never shortens it.
+    pub fn record_outbound(&mut self, internal: NodeId, remote: NodeId, remote_ip: Ip, now: SimTime) {
+        let entry = self.bindings.entry((internal, remote)).or_insert(Binding {
+            internal,
+            remote,
+            remote_ip,
+            last_refreshed: now,
+        });
+        entry.remote_ip = remote_ip;
+        entry.last_refreshed = entry.last_refreshed.max(now);
+    }
+
+    /// Decides whether an inbound packet from `from` (with observed source address
+    /// `from_ip`) addressed to the internal node `internal` passes the gateway at `now`.
+    pub fn accepts_inbound(&self, internal: NodeId, from: NodeId, from_ip: Ip, now: SimTime) -> bool {
+        if self.config.upnp_enabled {
+            // An explicitly mapped UPnP port behaves like a public endpoint.
+            return true;
+        }
+        let timeout = self.config.mapping_timeout;
+        match self.config.filtering {
+            FilteringPolicy::EndpointIndependent => self
+                .bindings
+                .values()
+                .any(|b| b.internal == internal && !b.is_expired(now, timeout)),
+            FilteringPolicy::AddressDependent => self.bindings.values().any(|b| {
+                b.internal == internal && b.remote_ip == from_ip && !b.is_expired(now, timeout)
+            }),
+            FilteringPolicy::AddressAndPortDependent => self
+                .bindings
+                .get(&(internal, from))
+                .map(|b| !b.is_expired(now, timeout))
+                .unwrap_or(false),
+        }
+    }
+
+    /// Removes every binding that has expired at `now`. Called opportunistically to bound
+    /// the size of the mapping table in long simulations.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        let timeout = self.config.mapping_timeout;
+        self.bindings.retain(|_, b| !b.is_expired(now, timeout));
+    }
+
+    /// Removes every binding owned by `internal` (the node left the system).
+    pub fn remove_internal(&mut self, internal: NodeId) {
+        self.bindings.retain(|_, b| b.internal != internal);
+    }
+
+    /// Iterates over the current mapping-table entries.
+    pub fn bindings(&self) -> impl Iterator<Item = &Binding> {
+        self.bindings.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gw(policy: FilteringPolicy) -> NatGateway {
+        NatGateway::new(
+            Ip::public(100),
+            NatGatewayConfig::with_filtering(policy).mapping_timeout(SimDuration::from_secs(30)),
+        )
+    }
+
+    const INSIDE: NodeId = NodeId::new(1);
+    const PEER_A: NodeId = NodeId::new(10);
+    const PEER_B: NodeId = NodeId::new(11);
+
+    #[test]
+    fn unsolicited_inbound_is_blocked_for_all_policies() {
+        for policy in FilteringPolicy::ALL {
+            let g = gw(policy);
+            assert!(
+                !g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO),
+                "{policy} must block unsolicited traffic"
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_independent_opens_to_everyone_after_any_outbound() {
+        let mut g = gw(FilteringPolicy::EndpointIndependent);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+        assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(1)));
+        // A completely different peer can also get through.
+        assert!(g.accepts_inbound(INSIDE, PEER_B, Ip::public(3), SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn address_dependent_requires_matching_remote_ip() {
+        let mut g = gw(FilteringPolicy::AddressDependent);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+        // Same IP (e.g. another node behind the same remote gateway) passes.
+        assert!(g.accepts_inbound(INSIDE, PEER_B, Ip::public(2), SimTime::from_secs(1)));
+        // A different IP does not.
+        assert!(!g.accepts_inbound(INSIDE, PEER_B, Ip::public(3), SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn address_and_port_dependent_requires_exact_peer() {
+        let mut g = gw(FilteringPolicy::AddressAndPortDependent);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+        assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(1)));
+        assert!(!g.accepts_inbound(INSIDE, PEER_B, Ip::public(2), SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn mappings_expire_after_timeout() {
+        let mut g = gw(FilteringPolicy::AddressAndPortDependent);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+        assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(30)));
+        assert!(!g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(31)));
+    }
+
+    #[test]
+    fn refreshing_outbound_extends_the_mapping() {
+        let mut g = gw(FilteringPolicy::AddressAndPortDependent);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(25));
+        assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn upnp_gateways_accept_everything() {
+        let mut g = NatGateway::new(
+            Ip::public(100),
+            NatGatewayConfig::default().upnp(true),
+        );
+        assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO));
+        g.purge_expired(SimTime::from_secs(1_000));
+        assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(2_000)));
+    }
+
+    #[test]
+    fn purge_and_remove_internal_clean_the_table() {
+        let mut g = gw(FilteringPolicy::AddressAndPortDependent);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+        g.record_outbound(NodeId::new(2), PEER_A, Ip::public(2), SimTime::from_secs(100));
+        assert_eq!(g.binding_count(), 2);
+        g.purge_expired(SimTime::from_secs(100));
+        assert_eq!(g.binding_count(), 1);
+        g.remove_internal(NodeId::new(2));
+        assert_eq!(g.binding_count(), 0);
+    }
+
+    #[test]
+    fn binding_expiry_is_inclusive_of_timeout() {
+        let b = Binding {
+            internal: INSIDE,
+            remote: PEER_A,
+            remote_ip: Ip::public(1),
+            last_refreshed: SimTime::ZERO,
+        };
+        assert!(!b.is_expired(SimTime::from_secs(30), SimDuration::from_secs(30)));
+        assert!(b.is_expired(SimTime::from_millis(30_001), SimDuration::from_secs(30)));
+    }
+}

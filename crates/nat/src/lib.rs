@@ -1,0 +1,69 @@
+//! # croupier-nat
+//!
+//! NAT and firewall emulation for the Croupier reproduction.
+//!
+//! The Croupier paper (*Shuffling with a Croupier: NAT-Aware Peer Sampling*, ICDCS 2012)
+//! evaluates peer-sampling protocols in networks where a large fraction of nodes sit behind
+//! Network Address Translation gateways. This crate provides the substrate that makes such
+//! networks observable to the simulated protocols:
+//!
+//! * [`NatGateway`] — a NAT device with a public IP, a UDP mapping (binding) table with a
+//!   configurable expiry timeout, a [`FilteringPolicy`] (endpoint-independent,
+//!   address-dependent or address-and-port-dependent, following the NATCracker
+//!   classification cited by the paper), and optional UPnP IGD support.
+//! * [`NatTopology`] — the assignment of every node to either a public address or a private
+//!   address behind a gateway. It implements the simulator's
+//!   [`DeliveryFilter`](croupier_simulator::DeliveryFilter) so the engine consults it for
+//!   every packet, and [`AddressInfo`] so protocols can observe source addresses the way a
+//!   real UDP socket would.
+//! * [`traversal`] — feasibility rules and cost helpers for the NAT-traversal techniques the
+//!   baseline protocols rely on (relaying for Gozar, hole-punching for Nylon), plus
+//!   keep-alive interval calculations.
+//!
+//! The emulation is deliberately behavioural: protocols can only observe reachability,
+//! source addresses and mapping expiry — exactly the observables a deployed protocol has —
+//! so substituting it for real NAT devices preserves the phenomena the paper studies
+//! (biased views, partition under failure, traversal overhead).
+//!
+//! ## Example
+//!
+//! ```
+//! use croupier_nat::{FilteringPolicy, NatTopologyBuilder};
+//! use croupier_simulator::{DeliveryFilter, DeliveryVerdict, NodeId, SimTime};
+//!
+//! let topology = NatTopologyBuilder::new(7)
+//!     .default_filtering(FilteringPolicy::AddressAndPortDependent)
+//!     .build();
+//! let public = NodeId::new(0);
+//! let private = NodeId::new(1);
+//! topology.add_public_node(public);
+//! topology.add_private_node(private);
+//!
+//! let mut filter = topology.clone();
+//! // Unsolicited traffic towards the private node is dropped...
+//! assert_eq!(
+//!     filter.can_deliver(public, private, SimTime::ZERO),
+//!     DeliveryVerdict::BlockedByNat,
+//! );
+//! // ...but once the private node has contacted the public node, the reply passes the NAT.
+//! filter.on_send(private, public, SimTime::ZERO);
+//! assert_eq!(
+//!     filter.can_deliver(public, private, SimTime::from_millis(50)),
+//!     DeliveryVerdict::Deliver,
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod address;
+pub mod filtering;
+pub mod gateway;
+pub mod topology;
+pub mod traversal;
+
+pub use address::{Endpoint, Ip};
+pub use filtering::FilteringPolicy;
+pub use gateway::{Binding, NatGateway, NatGatewayConfig};
+pub use topology::{AddressInfo, NatProfile, NatTopology, NatTopologyBuilder, TopologyStats};
+pub use traversal::{hole_punch_feasible, keepalive_interval, relay_feasible, TraversalCost};

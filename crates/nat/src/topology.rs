@@ -1,0 +1,638 @@
+//! Assignment of nodes to public addresses or NAT gateways, and the resulting
+//! network-reachability filter.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use croupier_simulator::{DeliveryFilter, DeliveryVerdict, NatClass, NodeId, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::address::Ip;
+use crate::filtering::FilteringPolicy;
+use crate::gateway::{NatGateway, NatGatewayConfig};
+
+/// How often (in mapping-table operations) expired bindings are purged.
+const PURGE_EVERY: u64 = 4_096;
+
+/// Identifier of a NAT gateway inside a [`NatTopology`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct GatewayId(u64);
+
+/// The address situation of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NatProfile {
+    /// The node owns a globally reachable address.
+    Public {
+        /// The node's public IP.
+        ip: Ip,
+    },
+    /// The node sits behind a NAT gateway.
+    Private {
+        /// The gateway in front of the node.
+        gateway: GatewayId,
+        /// The node's RFC1918-like local address.
+        local_ip: Ip,
+    },
+}
+
+/// Exposes the addressing facts a deployed protocol could observe through its sockets:
+/// its own local address, the source address a remote peer sees, and whether its gateway
+/// answers UPnP IGD requests.
+///
+/// The NAT-type identification protocol of the paper (§V) is written against this trait.
+pub trait AddressInfo {
+    /// The address the node itself is bound to (a private address behind a NAT).
+    fn local_ip(&self, node: NodeId) -> Option<Ip>;
+
+    /// The source address a remote peer observes on packets sent by `node`.
+    fn observed_ip(&self, node: NodeId) -> Option<Ip>;
+
+    /// Whether the node can establish a port mapping through UPnP IGD.
+    fn supports_upnp(&self, node: NodeId) -> bool;
+}
+
+/// Aggregate statistics about a topology.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Nodes with globally reachable addresses.
+    pub public_nodes: usize,
+    /// Nodes behind NAT gateways without UPnP.
+    pub private_nodes: usize,
+    /// Nodes behind UPnP-enabled gateways (they behave as public nodes).
+    pub upnp_nodes: usize,
+    /// Messages blocked by NAT filtering so far.
+    pub blocked_messages: u64,
+}
+
+impl TopologyStats {
+    /// The effective public/private ratio ω = |U| / (|U| + |V|), counting UPnP nodes as
+    /// public (they are reachable).
+    pub fn public_private_ratio(&self) -> f64 {
+        let public = (self.public_nodes + self.upnp_nodes) as f64;
+        let total = (self.public_nodes + self.upnp_nodes + self.private_nodes) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            public / total
+        }
+    }
+}
+
+struct Inner {
+    profiles: HashMap<NodeId, NatProfile>,
+    gateways: HashMap<GatewayId, NatGateway>,
+    default_config: NatGatewayConfig,
+    filtering_mix: Vec<(FilteringPolicy, f64)>,
+    rng: SmallRng,
+    next_public_ip: u32,
+    next_private_ip: u32,
+    next_gateway: u64,
+    ops_since_purge: u64,
+    blocked_messages: u64,
+}
+
+impl Inner {
+    fn allocate_public_ip(&mut self) -> Ip {
+        let ip = Ip::public(self.next_public_ip);
+        self.next_public_ip += 1;
+        ip
+    }
+
+    fn allocate_private_ip(&mut self) -> Ip {
+        let ip = Ip::private(self.next_private_ip);
+        self.next_private_ip += 1;
+        ip
+    }
+
+    fn pick_filtering(&mut self) -> FilteringPolicy {
+        if self.filtering_mix.is_empty() {
+            return self.default_config.filtering;
+        }
+        let total: f64 = self.filtering_mix.iter().map(|(_, w)| *w).sum();
+        let mut draw = self.rng.gen_range(0.0..total);
+        for (policy, weight) in &self.filtering_mix {
+            if draw < *weight {
+                return *policy;
+            }
+            draw -= *weight;
+        }
+        self.filtering_mix.last().map(|(p, _)| *p).unwrap_or(self.default_config.filtering)
+    }
+
+    fn add_gateway(&mut self, config: NatGatewayConfig) -> GatewayId {
+        let id = GatewayId(self.next_gateway);
+        self.next_gateway += 1;
+        let ip = self.allocate_public_ip();
+        self.gateways.insert(id, NatGateway::new(ip, config));
+        id
+    }
+
+    fn maybe_purge(&mut self, now: SimTime) {
+        self.ops_since_purge += 1;
+        if self.ops_since_purge >= PURGE_EVERY {
+            self.ops_since_purge = 0;
+            for gw in self.gateways.values_mut() {
+                gw.purge_expired(now);
+            }
+        }
+    }
+
+    fn observed_ip(&self, node: NodeId) -> Option<Ip> {
+        match self.profiles.get(&node)? {
+            NatProfile::Public { ip } => Some(*ip),
+            NatProfile::Private { gateway, .. } => {
+                self.gateways.get(gateway).map(|gw| gw.public_ip())
+            }
+        }
+    }
+}
+
+/// The complete NAT topology of a simulated system.
+///
+/// `NatTopology` is cheap to clone: clones share the same underlying state, so one clone can
+/// be installed as the simulation engine's [`DeliveryFilter`] while the experiment keeps
+/// another to add nodes as they join or to read statistics.
+///
+/// See the crate-level documentation for a usage example.
+#[derive(Clone)]
+pub struct NatTopology {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for NatTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("NatTopology")
+            .field("public_nodes", &stats.public_nodes)
+            .field("private_nodes", &stats.private_nodes)
+            .field("upnp_nodes", &stats.upnp_nodes)
+            .finish()
+    }
+}
+
+impl NatTopology {
+    /// Registers `node` as a public node with its own globally reachable address.
+    pub fn add_public_node(&self, node: NodeId) {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let ip = inner.allocate_public_ip();
+        inner.profiles.insert(node, NatProfile::Public { ip });
+    }
+
+    /// Registers `node` behind its own NAT gateway, using the builder's filtering policy
+    /// (or policy mix).
+    pub fn add_private_node(&self, node: NodeId) {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let filtering = inner.pick_filtering();
+        let config = NatGatewayConfig {
+            filtering,
+            ..inner.default_config
+        };
+        let gateway = inner.add_gateway(config);
+        let local_ip = inner.allocate_private_ip();
+        inner
+            .profiles
+            .insert(node, NatProfile::Private { gateway, local_ip });
+    }
+
+    /// Registers `node` behind a NAT gateway with an explicit configuration.
+    pub fn add_private_node_with(&self, node: NodeId, config: NatGatewayConfig) {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let gateway = inner.add_gateway(config);
+        let local_ip = inner.allocate_private_ip();
+        inner
+            .profiles
+            .insert(node, NatProfile::Private { gateway, local_ip });
+    }
+
+    /// Registers `node` behind a UPnP-enabled gateway: topologically private but effectively
+    /// public, because it can map a port on its gateway.
+    pub fn add_upnp_node(&self, node: NodeId) {
+        let config = {
+            let inner = self.inner.lock().expect("NAT topology lock poisoned");
+            inner.default_config.upnp(true)
+        };
+        self.add_private_node_with(node, config);
+    }
+
+    /// Registers `node` with the connectivity class `class` (public nodes get their own
+    /// address, private nodes their own gateway).
+    pub fn add_node(&self, node: NodeId, class: NatClass) {
+        match class {
+            NatClass::Public => self.add_public_node(node),
+            NatClass::Private => self.add_private_node(node),
+        }
+    }
+
+    /// Removes a node and all mapping-table state belonging to it.
+    pub fn remove_node(&self, node: NodeId) {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        if let Some(NatProfile::Private { gateway, .. }) = inner.profiles.remove(&node) {
+            if let Some(gw) = inner.gateways.get_mut(&gateway) {
+                gw.remove_internal(node);
+            }
+        }
+    }
+
+    /// The effective connectivity class of `node`: public nodes and nodes behind
+    /// UPnP-enabled gateways count as [`NatClass::Public`]; everything else is private.
+    ///
+    /// Returns `None` for unknown nodes.
+    pub fn class_of(&self, node: NodeId) -> Option<NatClass> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        match inner.profiles.get(&node)? {
+            NatProfile::Public { .. } => Some(NatClass::Public),
+            NatProfile::Private { gateway, .. } => {
+                let upnp = inner
+                    .gateways
+                    .get(gateway)
+                    .map(|gw| gw.config().upnp_enabled)
+                    .unwrap_or(false);
+                Some(if upnp { NatClass::Public } else { NatClass::Private })
+            }
+        }
+    }
+
+    /// Returns `true` if the node sits behind a NAT gateway (regardless of UPnP support).
+    pub fn is_behind_nat(&self, node: NodeId) -> bool {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        matches!(inner.profiles.get(&node), Some(NatProfile::Private { .. }))
+    }
+
+    /// The profile of `node`, if registered.
+    pub fn profile(&self, node: NodeId) -> Option<NatProfile> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        inner.profiles.get(&node).copied()
+    }
+
+    /// Aggregate statistics about the topology.
+    pub fn stats(&self) -> TopologyStats {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let mut stats = TopologyStats {
+            blocked_messages: inner.blocked_messages,
+            ..TopologyStats::default()
+        };
+        for profile in inner.profiles.values() {
+            match profile {
+                NatProfile::Public { .. } => stats.public_nodes += 1,
+                NatProfile::Private { gateway, .. } => {
+                    let upnp = inner
+                        .gateways
+                        .get(gateway)
+                        .map(|gw| gw.config().upnp_enabled)
+                        .unwrap_or(false);
+                    if upnp {
+                        stats.upnp_nodes += 1;
+                    } else {
+                        stats.private_nodes += 1;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("NAT topology lock poisoned").profiles.len()
+    }
+
+    /// Returns `true` if no node is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AddressInfo for NatTopology {
+    fn local_ip(&self, node: NodeId) -> Option<Ip> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        match inner.profiles.get(&node)? {
+            NatProfile::Public { ip } => Some(*ip),
+            NatProfile::Private { local_ip, .. } => Some(*local_ip),
+        }
+    }
+
+    fn observed_ip(&self, node: NodeId) -> Option<Ip> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        inner.observed_ip(node)
+    }
+
+    fn supports_upnp(&self, node: NodeId) -> bool {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        match inner.profiles.get(&node) {
+            Some(NatProfile::Private { gateway, .. }) => inner
+                .gateways
+                .get(gateway)
+                .map(|gw| gw.config().upnp_enabled)
+                .unwrap_or(false),
+            _ => false,
+        }
+    }
+}
+
+impl DeliveryFilter for NatTopology {
+    fn on_send(&mut self, from: NodeId, to: NodeId, now: SimTime) {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let remote_ip = inner.observed_ip(to).unwrap_or_default();
+        if let Some(NatProfile::Private { gateway, .. }) = inner.profiles.get(&from).copied() {
+            if let Some(gw) = inner.gateways.get_mut(&gateway) {
+                gw.record_outbound(from, to, remote_ip, now);
+            }
+            inner.maybe_purge(now);
+        }
+    }
+
+    fn can_deliver(&mut self, from: NodeId, to: NodeId, now: SimTime) -> DeliveryVerdict {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let from_ip = inner.observed_ip(from).unwrap_or_default();
+        match inner.profiles.get(&to).copied() {
+            None => DeliveryVerdict::NoSuchDestination,
+            Some(NatProfile::Public { .. }) => DeliveryVerdict::Deliver,
+            Some(NatProfile::Private { gateway, .. }) => {
+                let accepted = inner
+                    .gateways
+                    .get(&gateway)
+                    .map(|gw| gw.accepts_inbound(to, from, from_ip, now))
+                    .unwrap_or(false);
+                if accepted {
+                    DeliveryVerdict::Deliver
+                } else {
+                    inner.blocked_messages += 1;
+                    DeliveryVerdict::BlockedByNat
+                }
+            }
+        }
+    }
+
+    fn on_node_removed(&mut self, node: NodeId) {
+        self.remove_node(node);
+    }
+}
+
+/// Builder for [`NatTopology`].
+///
+/// # Examples
+///
+/// ```
+/// use croupier_nat::{FilteringPolicy, NatTopologyBuilder};
+/// use croupier_simulator::SimDuration;
+///
+/// let topology = NatTopologyBuilder::new(42)
+///     .default_filtering(FilteringPolicy::EndpointIndependent)
+///     .mapping_timeout(SimDuration::from_secs(30))
+///     .build();
+/// assert!(topology.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NatTopologyBuilder {
+    seed: u64,
+    default_config: NatGatewayConfig,
+    filtering_mix: Vec<(FilteringPolicy, f64)>,
+}
+
+impl NatTopologyBuilder {
+    /// Creates a builder; `seed` drives the assignment of filtering policies when a mix is
+    /// configured.
+    pub fn new(seed: u64) -> Self {
+        NatTopologyBuilder {
+            seed,
+            default_config: NatGatewayConfig::default(),
+            filtering_mix: Vec::new(),
+        }
+    }
+
+    /// Sets the filtering policy used for every private node (unless a mix is configured).
+    pub fn default_filtering(mut self, filtering: FilteringPolicy) -> Self {
+        self.default_config.filtering = filtering;
+        self
+    }
+
+    /// Sets a weighted mix of filtering policies; each new private node draws its gateway's
+    /// policy from this distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mix` is empty or any weight is not a positive finite number.
+    pub fn filtering_mix(mut self, mix: &[(FilteringPolicy, f64)]) -> Self {
+        assert!(!mix.is_empty(), "filtering mix must not be empty");
+        assert!(
+            mix.iter().all(|(_, w)| w.is_finite() && *w > 0.0),
+            "filtering mix weights must be positive"
+        );
+        self.filtering_mix = mix.to_vec();
+        self
+    }
+
+    /// Sets the UDP mapping timeout of every gateway.
+    pub fn mapping_timeout(mut self, timeout: SimDuration) -> Self {
+        self.default_config.mapping_timeout = timeout;
+        self
+    }
+
+    /// Builds the (initially empty) topology.
+    pub fn build(self) -> NatTopology {
+        NatTopology {
+            inner: Arc::new(Mutex::new(Inner {
+                profiles: HashMap::new(),
+                gateways: HashMap::new(),
+                default_config: self.default_config,
+                filtering_mix: self.filtering_mix,
+                rng: SmallRng::seed_from_u64(self.seed),
+                next_public_ip: 0,
+                next_private_ip: 0,
+                next_gateway: 0,
+                ops_since_purge: 0,
+                blocked_messages: 0,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> NatTopology {
+        NatTopologyBuilder::new(1)
+            .default_filtering(FilteringPolicy::AddressAndPortDependent)
+            .mapping_timeout(SimDuration::from_secs(30))
+            .build()
+    }
+
+    const PUB: NodeId = NodeId::new(0);
+    const PRIV: NodeId = NodeId::new(1);
+    const OTHER_PUB: NodeId = NodeId::new(2);
+
+    fn populated() -> NatTopology {
+        let t = topo();
+        t.add_public_node(PUB);
+        t.add_private_node(PRIV);
+        t.add_public_node(OTHER_PUB);
+        t
+    }
+
+    #[test]
+    fn public_nodes_are_always_reachable() {
+        let t = populated();
+        let mut f = t.clone();
+        assert_eq!(f.can_deliver(PRIV, PUB, SimTime::ZERO), DeliveryVerdict::Deliver);
+        assert_eq!(f.can_deliver(PUB, OTHER_PUB, SimTime::ZERO), DeliveryVerdict::Deliver);
+    }
+
+    #[test]
+    fn private_nodes_block_unsolicited_traffic() {
+        let t = populated();
+        let mut f = t.clone();
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::ZERO),
+            DeliveryVerdict::BlockedByNat
+        );
+        assert_eq!(t.stats().blocked_messages, 1);
+    }
+
+    #[test]
+    fn reply_path_opens_after_outbound_and_expires() {
+        let t = populated();
+        let mut f = t.clone();
+        f.on_send(PRIV, PUB, SimTime::ZERO);
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(1)),
+            DeliveryVerdict::Deliver
+        );
+        // A different public node still cannot get in (port-dependent filtering).
+        assert_eq!(
+            f.can_deliver(OTHER_PUB, PRIV, SimTime::from_secs(1)),
+            DeliveryVerdict::BlockedByNat
+        );
+        // The mapping expires after the configured timeout.
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(120)),
+            DeliveryVerdict::BlockedByNat
+        );
+    }
+
+    #[test]
+    fn unknown_destination_is_reported() {
+        let t = populated();
+        let mut f = t.clone();
+        assert_eq!(
+            f.can_deliver(PUB, NodeId::new(99), SimTime::ZERO),
+            DeliveryVerdict::NoSuchDestination
+        );
+    }
+
+    #[test]
+    fn classes_and_stats_are_reported() {
+        let t = populated();
+        t.add_upnp_node(NodeId::new(3));
+        assert_eq!(t.class_of(PUB), Some(NatClass::Public));
+        assert_eq!(t.class_of(PRIV), Some(NatClass::Private));
+        assert_eq!(t.class_of(NodeId::new(3)), Some(NatClass::Public));
+        assert_eq!(t.class_of(NodeId::new(42)), None);
+        assert!(t.is_behind_nat(NodeId::new(3)));
+        assert!(!t.is_behind_nat(PUB));
+        let stats = t.stats();
+        assert_eq!(stats.public_nodes, 2);
+        assert_eq!(stats.private_nodes, 1);
+        assert_eq!(stats.upnp_nodes, 1);
+        assert!((stats.public_private_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn upnp_nodes_accept_unsolicited_traffic() {
+        let t = populated();
+        t.add_upnp_node(NodeId::new(3));
+        let mut f = t.clone();
+        assert_eq!(
+            f.can_deliver(PUB, NodeId::new(3), SimTime::ZERO),
+            DeliveryVerdict::Deliver
+        );
+    }
+
+    #[test]
+    fn address_info_reports_local_and_observed_ips() {
+        let t = populated();
+        // A public node observes the same address locally and remotely.
+        assert_eq!(t.local_ip(PUB), t.observed_ip(PUB));
+        // A private node's local address differs from the address its gateway exposes.
+        let local = t.local_ip(PRIV).unwrap();
+        let observed = t.observed_ip(PRIV).unwrap();
+        assert_ne!(local, observed);
+        assert!(local.is_private_range());
+        assert!(!observed.is_private_range());
+        assert!(!t.supports_upnp(PUB));
+        assert!(!t.supports_upnp(PRIV));
+        t.add_upnp_node(NodeId::new(3));
+        assert!(t.supports_upnp(NodeId::new(3)));
+    }
+
+    #[test]
+    fn removing_a_node_forgets_its_profile_and_bindings() {
+        let t = populated();
+        let mut f = t.clone();
+        f.on_send(PRIV, PUB, SimTime::ZERO);
+        f.on_node_removed(PRIV);
+        assert_eq!(t.profile(PRIV), None);
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(1)),
+            DeliveryVerdict::NoSuchDestination
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = topo();
+        let clone = t.clone();
+        t.add_public_node(PUB);
+        assert_eq!(clone.class_of(PUB), Some(NatClass::Public));
+        assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn filtering_mix_assigns_varied_policies() {
+        let t = NatTopologyBuilder::new(3)
+            .filtering_mix(&[
+                (FilteringPolicy::EndpointIndependent, 0.5),
+                (FilteringPolicy::AddressAndPortDependent, 0.5),
+            ])
+            .build();
+        // Register many private nodes, then check that an unsolicited packet passes some
+        // (endpoint-independent after an unrelated outbound) but not all.
+        let probe = NodeId::new(10_000);
+        t.add_public_node(probe);
+        let helper = NodeId::new(10_001);
+        t.add_public_node(helper);
+        let mut f = t.clone();
+        let mut accepted = 0;
+        let n = 200;
+        for i in 0..n {
+            let node = NodeId::new(i);
+            t.add_private_node(node);
+            // The private node contacts `helper`, creating a mapping; whether `probe` can
+            // then reach it depends on the gateway's filtering policy.
+            f.on_send(node, helper, SimTime::ZERO);
+            if f.can_deliver(probe, node, SimTime::from_secs(1)).is_delivered() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted > n / 5, "some gateways should be endpoint-independent: {accepted}");
+        assert!(accepted < n, "some gateways should be port-dependent: {accepted}");
+    }
+
+    #[test]
+    fn add_node_uses_class() {
+        let t = topo();
+        t.add_node(NodeId::new(5), NatClass::Public);
+        t.add_node(NodeId::new(6), NatClass::Private);
+        assert_eq!(t.class_of(NodeId::new(5)), Some(NatClass::Public));
+        assert_eq!(t.class_of(NodeId::new(6)), Some(NatClass::Private));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_filtering_mix_is_rejected() {
+        NatTopologyBuilder::new(0).filtering_mix(&[]);
+    }
+}

@@ -1,0 +1,175 @@
+//! NAT-traversal feasibility rules and cost helpers.
+//!
+//! Croupier itself needs no traversal machinery — that is the paper's point — but the two
+//! baseline protocols do: Nylon hole-punches connections to private nodes through chains of
+//! rendezvous nodes, and Gozar relays shuffle messages through public relay nodes. The
+//! helpers below encode which traversal technique works against which gateway configuration
+//! (following the NATCracker combinations cited by the paper) and how much keep-alive
+//! traffic a private node must spend to keep its traversal infrastructure alive.
+
+use croupier_simulator::{NodeId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::filtering::FilteringPolicy;
+use crate::topology::{AddressInfo, NatTopology};
+
+/// Cost model of a traversal technique, in extra one-way message transmissions per shuffle
+/// exchange with a private node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraversalCost {
+    /// Extra messages on the initiator's path (e.g. relay hops).
+    pub extra_messages: u32,
+    /// Extra round-trips of latency before the exchange completes.
+    pub extra_round_trips: u32,
+}
+
+impl TraversalCost {
+    /// Cost of a direct exchange (no traversal needed).
+    pub const DIRECT: TraversalCost = TraversalCost {
+        extra_messages: 0,
+        extra_round_trips: 0,
+    };
+
+    /// Cost of a one-hop relayed exchange (Gozar): the request takes one extra hop.
+    pub const ONE_HOP_RELAY: TraversalCost = TraversalCost {
+        extra_messages: 1,
+        extra_round_trips: 0,
+    };
+
+    /// Cost of hole-punching through a rendezvous chain of length `chain_len` (Nylon): the
+    /// punch request traverses the chain, then the private node opens the hole, then the
+    /// exchange proceeds directly.
+    pub fn hole_punch(chain_len: u32) -> TraversalCost {
+        TraversalCost {
+            extra_messages: chain_len + 1,
+            extra_round_trips: 1,
+        }
+    }
+}
+
+/// Returns `true` if `initiator` can establish a *direct* (hole-punched) connection to the
+/// private node `target` once a rendezvous node has coordinated the punch.
+///
+/// Hole punching works whenever the target's gateway filters on the remote endpoint: the
+/// punch packet the target sends towards the initiator installs exactly the binding that
+/// lets the initiator's next packet in. Firewalled nodes that cannot send punches (not
+/// modelled here) and gateways that rewrite ports unpredictably would fail; the emulation's
+/// gateways all allocate stable per-destination bindings, so punching succeeds whenever the
+/// target is actually behind a NAT that accepts reply traffic — which is every gateway in
+/// the topology.
+pub fn hole_punch_feasible(topology: &NatTopology, initiator: NodeId, target: NodeId) -> bool {
+    // Both endpoints need to exist; the target must be reachable *after* it sends the punch
+    // packet, which our gateway model guarantees for every filtering policy because the
+    // punch installs a binding keyed on the initiator.
+    topology.profile(initiator).is_some() && topology.profile(target).is_some()
+}
+
+/// Returns `true` if `relay` can forward traffic to the private node `target`: the target
+/// must have an open (keep-alive-refreshed) binding towards the relay. This is the
+/// precondition Gozar maintains by having private nodes register with relay nodes and ping
+/// them periodically.
+pub fn relay_feasible(topology: &NatTopology, relay: NodeId, target: NodeId) -> bool {
+    // The relay must be publicly reachable and the target registered.
+    matches!(
+        topology.class_of(relay),
+        Some(croupier_simulator::NatClass::Public)
+    ) && topology.profile(target).is_some()
+}
+
+/// The keep-alive interval a private node must use to keep a NAT binding alive, given its
+/// gateway's mapping timeout. A safety factor of 2 matches common practice (ping at half the
+/// timeout).
+///
+/// # Examples
+///
+/// ```
+/// use croupier_nat::keepalive_interval;
+/// use croupier_simulator::SimDuration;
+///
+/// assert_eq!(
+///     keepalive_interval(SimDuration::from_secs(60)),
+///     SimDuration::from_secs(30),
+/// );
+/// ```
+pub fn keepalive_interval(mapping_timeout: SimDuration) -> SimDuration {
+    let half = mapping_timeout.as_millis() / 2;
+    SimDuration::from_millis(half.max(1))
+}
+
+/// Returns `true` if an unsolicited `ForwardTest` packet (from a node the target never
+/// contacted) would traverse a gateway with the given filtering policy — the property the
+/// paper's NAT-type identification protocol probes.
+pub fn forward_test_passes(filtering: FilteringPolicy, has_any_binding: bool) -> bool {
+    has_any_binding && filtering.accepts_unsolicited()
+}
+
+/// Convenience: returns the local/observed address mismatch used by the identification
+/// protocol's `MatchingIpTest` (true means the addresses differ, i.e. the node is NATed).
+pub fn addresses_mismatch(info: &dyn AddressInfo, node: NodeId) -> Option<bool> {
+    Some(info.local_ip(node)? != info.observed_ip(node)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NatTopologyBuilder;
+    use croupier_simulator::NodeId;
+
+    fn topo() -> NatTopology {
+        let t = NatTopologyBuilder::new(1).build();
+        t.add_public_node(NodeId::new(0));
+        t.add_private_node(NodeId::new(1));
+        t.add_private_node(NodeId::new(2));
+        t
+    }
+
+    #[test]
+    fn hole_punch_requires_registered_endpoints() {
+        let t = topo();
+        assert!(hole_punch_feasible(&t, NodeId::new(0), NodeId::new(1)));
+        assert!(hole_punch_feasible(&t, NodeId::new(1), NodeId::new(2)));
+        assert!(!hole_punch_feasible(&t, NodeId::new(0), NodeId::new(9)));
+    }
+
+    #[test]
+    fn relay_must_be_public() {
+        let t = topo();
+        assert!(relay_feasible(&t, NodeId::new(0), NodeId::new(1)));
+        assert!(!relay_feasible(&t, NodeId::new(2), NodeId::new(1)));
+        assert!(!relay_feasible(&t, NodeId::new(0), NodeId::new(9)));
+    }
+
+    #[test]
+    fn keepalive_is_half_the_timeout_with_floor() {
+        assert_eq!(
+            keepalive_interval(SimDuration::from_secs(30)),
+            SimDuration::from_secs(15)
+        );
+        assert_eq!(keepalive_interval(SimDuration::from_millis(1)), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn forward_test_only_passes_endpoint_independent_gateways() {
+        assert!(forward_test_passes(FilteringPolicy::EndpointIndependent, true));
+        assert!(!forward_test_passes(FilteringPolicy::EndpointIndependent, false));
+        assert!(!forward_test_passes(FilteringPolicy::AddressDependent, true));
+        assert!(!forward_test_passes(FilteringPolicy::AddressAndPortDependent, true));
+    }
+
+    #[test]
+    fn address_mismatch_distinguishes_public_from_private() {
+        let t = topo();
+        assert_eq!(addresses_mismatch(&t, NodeId::new(0)), Some(false));
+        assert_eq!(addresses_mismatch(&t, NodeId::new(1)), Some(true));
+        assert_eq!(addresses_mismatch(&t, NodeId::new(9)), None);
+    }
+
+    #[test]
+    fn traversal_costs_reflect_chain_length() {
+        assert_eq!(TraversalCost::DIRECT.extra_messages, 0);
+        assert_eq!(TraversalCost::ONE_HOP_RELAY.extra_messages, 1);
+        let punched = TraversalCost::hole_punch(3);
+        assert_eq!(punched.extra_messages, 4);
+        assert_eq!(punched.extra_round_trips, 1);
+    }
+}

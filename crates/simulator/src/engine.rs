@@ -1,0 +1,629 @@
+//! The discrete-event simulation engine.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::bootstrap::BootstrapRegistry;
+use crate::event::Event;
+use crate::latency::{KingLatencyModel, LatencyModel};
+use crate::loss::{LossModel, NoLoss};
+use crate::network::{DeliveryFilter, DeliveryVerdict, OpenInternet};
+use crate::protocol::{Context, Outgoing, Protocol, PssNode, TimerRequest, WireSize};
+use crate::rng::{Seed, Stream};
+use crate::scheduler::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use crate::traffic::TrafficLedger;
+use crate::types::NodeId;
+
+/// Configuration of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_simulator::{SimulationConfig, SimDuration};
+///
+/// let cfg = SimulationConfig::default()
+///     .with_seed(1)
+///     .with_round_period(SimDuration::from_secs(1))
+///     .with_round_jitter(0.05);
+/// assert_eq!(cfg.round_period, SimDuration::from_secs(1));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimulationConfig {
+    /// Master seed for all random streams.
+    pub seed: Seed,
+    /// Gossip round period (the paper uses one second).
+    pub round_period: SimDuration,
+    /// Clock-skew modelled as a uniform fractional jitter applied to each node's round
+    /// period (0.05 means each round fires within ±5 % of the nominal period).
+    pub round_jitter: f64,
+    /// Whether nodes start their first round at a random phase within one period of their
+    /// join time (decorrelates rounds, as on a real deployment).
+    pub random_phase: bool,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            seed: Seed::default(),
+            round_period: SimDuration::from_secs(1),
+            round_jitter: 0.02,
+            random_phase: true,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// Replaces the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Seed::new(seed);
+        self
+    }
+
+    /// Replaces the gossip round period.
+    pub fn with_round_period(mut self, period: SimDuration) -> Self {
+        self.round_period = period;
+        self
+    }
+
+    /// Replaces the clock-skew jitter fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or not finite.
+    pub fn with_round_jitter(mut self, jitter: f64) -> Self {
+        assert!(jitter.is_finite() && jitter >= 0.0, "jitter must be a non-negative number");
+        self.round_jitter = jitter;
+        self
+    }
+
+    /// Enables or disables random initial round phase.
+    pub fn with_random_phase(mut self, random_phase: bool) -> Self {
+        self.random_phase = random_phase;
+        self
+    }
+}
+
+/// Counters describing what happened to the messages handed to the network.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Messages dropped by the loss model.
+    pub lost: u64,
+    /// Messages filtered by a NAT or firewall.
+    pub blocked_by_nat: u64,
+    /// Messages whose destination had left the system.
+    pub destination_gone: u64,
+}
+
+impl NetworkStats {
+    /// Total number of messages handed to the network.
+    pub fn total(&self) -> u64 {
+        self.delivered + self.lost + self.blocked_by_nat + self.destination_gone
+    }
+}
+
+struct NodeSlot<P> {
+    proto: P,
+    rng: SmallRng,
+    joined_at: SimTime,
+}
+
+/// The discrete-event simulation engine.
+///
+/// The engine owns every node's protocol instance, the event queue, the network models and
+/// the traffic ledger. See the crate-level documentation for a full example.
+pub struct Simulation<P: Protocol> {
+    cfg: SimulationConfig,
+    now: SimTime,
+    queue: EventQueue<P::Message>,
+    nodes: HashMap<NodeId, NodeSlot<P>>,
+    latency: Box<dyn LatencyModel>,
+    loss: Box<dyn LossModel>,
+    filter: Box<dyn DeliveryFilter>,
+    bootstrap: BootstrapRegistry,
+    traffic: TrafficLedger,
+    latency_rng: SmallRng,
+    loss_rng: SmallRng,
+    sched_rng: SmallRng,
+    stats: NetworkStats,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates an engine with the given configuration, a King-like latency model, no message
+    /// loss and no NAT filtering. Use the `set_*` methods to replace the network models.
+    pub fn new(cfg: SimulationConfig) -> Self {
+        Simulation {
+            cfg,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: HashMap::new(),
+            latency: Box::new(KingLatencyModel::new()),
+            loss: Box::new(NoLoss),
+            filter: Box::new(OpenInternet),
+            bootstrap: BootstrapRegistry::new(),
+            traffic: TrafficLedger::new(),
+            latency_rng: cfg.seed.stream_rng(Stream::Latency),
+            loss_rng: cfg.seed.stream_rng(Stream::Loss),
+            sched_rng: cfg.seed.stream_rng(Stream::Scheduling),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Replaces the latency model.
+    pub fn set_latency_model(&mut self, model: impl LatencyModel + 'static) {
+        self.latency = Box::new(model);
+    }
+
+    /// Replaces the loss model.
+    pub fn set_loss_model(&mut self, model: impl LossModel + 'static) {
+        self.loss = Box::new(model);
+    }
+
+    /// Replaces the delivery filter (NAT/firewall emulation).
+    pub fn set_delivery_filter(&mut self, filter: impl DeliveryFilter + 'static) {
+        self.filter = Box::new(filter);
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Message delivery statistics.
+    pub fn network_stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// The bootstrap registry.
+    pub fn bootstrap(&self) -> &BootstrapRegistry {
+        &self.bootstrap
+    }
+
+    /// Registers `node` with the bootstrap server so joiners can discover it. Typically
+    /// called for public nodes only.
+    pub fn register_public(&mut self, node: NodeId) {
+        self.bootstrap.register(node);
+    }
+
+    /// The traffic ledger (bytes and messages per node).
+    pub fn traffic(&self) -> &TrafficLedger {
+        &self.traffic
+    }
+
+    /// Mutable access to the traffic ledger, e.g. to reset the measurement window once the
+    /// overlay reaches steady state.
+    pub fn traffic_mut(&mut self) -> &mut TrafficLedger {
+        &mut self.traffic
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the simulation holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns `true` if `node` is currently alive.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains_key(&node)
+    }
+
+    /// Identifiers of all live nodes, in unspecified order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Shared access to the protocol instance of `node`.
+    pub fn node(&self, node: NodeId) -> Option<&P> {
+        self.nodes.get(&node).map(|slot| &slot.proto)
+    }
+
+    /// Exclusive access to the protocol instance of `node`.
+    pub fn node_mut(&mut self, node: NodeId) -> Option<&mut P> {
+        self.nodes.get_mut(&node).map(|slot| &mut slot.proto)
+    }
+
+    /// Iterates over `(id, protocol)` pairs of all live nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.nodes.iter().map(|(id, slot)| (*id, &slot.proto))
+    }
+
+    /// The time at which `node` joined the simulation.
+    pub fn joined_at(&self, node: NodeId) -> Option<SimTime> {
+        self.nodes.get(&node).map(|slot| slot.joined_at)
+    }
+
+    /// Adds a node running `proto`, invoking its [`Protocol::on_start`] callback and
+    /// scheduling its periodic rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same identifier is already present.
+    pub fn add_node(&mut self, id: NodeId, proto: P) {
+        assert!(
+            !self.nodes.contains_key(&id),
+            "node {id} is already part of the simulation"
+        );
+        let slot = NodeSlot {
+            proto,
+            rng: self.cfg.seed.node_rng(id),
+            joined_at: self.now,
+        };
+        self.nodes.insert(id, slot);
+        self.filter.on_node_added(id);
+        self.execute(id, |proto, ctx| proto.on_start(ctx));
+        let phase = if self.cfg.random_phase {
+            let period_ms = self.cfg.round_period.as_millis().max(1);
+            SimDuration::from_millis(self.sched_rng.gen_range(0..period_ms))
+        } else {
+            self.cfg.round_period
+        };
+        self.queue.schedule(self.now + phase, Event::Round { node: id });
+    }
+
+    /// Removes a node (crash or departure), returning its protocol state.
+    ///
+    /// In-flight messages addressed to the node are silently dropped when they arrive, which
+    /// models a crash: no goodbye messages are sent.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<P> {
+        let slot = self.nodes.remove(&id)?;
+        self.bootstrap.unregister(id);
+        self.filter.on_node_removed(id);
+        Some(slot.proto)
+    }
+
+    /// Runs the simulation until the virtual clock reaches `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let scheduled = self.queue.pop().expect("peeked event must exist");
+            self.now = scheduled.at;
+            self.dispatch(scheduled.event);
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs the simulation for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Runs the simulation for `rounds` gossip periods from the current instant.
+    pub fn run_for_rounds(&mut self, rounds: u64) {
+        self.run_for(self.cfg.round_period.saturating_mul(rounds));
+    }
+
+    fn dispatch(&mut self, event: Event<P::Message>) {
+        match event {
+            Event::Round { node } => {
+                if self.nodes.contains_key(&node) {
+                    self.execute(node, |proto, ctx| proto.on_round(ctx));
+                    let next = self.next_round_delay();
+                    self.queue.schedule(self.now + next, Event::Round { node });
+                }
+            }
+            Event::Timer { node, key } => {
+                if self.nodes.contains_key(&node) {
+                    self.execute(node, |proto, ctx| proto.on_timer(key, ctx));
+                }
+            }
+            Event::Deliver { from, to, msg } => {
+                if !self.nodes.contains_key(&to) {
+                    self.stats.destination_gone += 1;
+                    self.traffic.record_dropped(from);
+                    return;
+                }
+                match self.filter.can_deliver(from, to, self.now) {
+                    DeliveryVerdict::Deliver => {
+                        self.stats.delivered += 1;
+                        self.traffic.record_received(to, msg.wire_size());
+                        self.execute(to, |proto, ctx| proto.on_message(from, msg, ctx));
+                    }
+                    DeliveryVerdict::BlockedByNat => {
+                        self.stats.blocked_by_nat += 1;
+                        self.traffic.record_dropped(from);
+                    }
+                    DeliveryVerdict::NoSuchDestination => {
+                        self.stats.destination_gone += 1;
+                        self.traffic.record_dropped(from);
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_round_delay(&mut self) -> SimDuration {
+        let period = self.cfg.round_period.as_millis() as f64;
+        if self.cfg.round_jitter > 0.0 {
+            let jitter = self
+                .sched_rng
+                .gen_range(-self.cfg.round_jitter..self.cfg.round_jitter);
+            SimDuration::from_millis_f64((period * (1.0 + jitter)).max(1.0))
+        } else {
+            self.cfg.round_period
+        }
+    }
+
+    /// Runs `callback` on the protocol instance of `node` with a fresh [`Context`], then
+    /// applies the side effects (messages, timers) the callback produced.
+    fn execute<F>(&mut self, node: NodeId, callback: F)
+    where
+        F: FnOnce(&mut P, &mut Context<'_, P::Message>),
+    {
+        let (outgoing, timers) = {
+            let slot = self
+                .nodes
+                .get_mut(&node)
+                .expect("execute() requires a live node");
+            let mut ctx = Context::new(
+                node,
+                self.now,
+                self.cfg.round_period,
+                &mut slot.rng,
+                &self.bootstrap,
+            );
+            callback(&mut slot.proto, &mut ctx);
+            ctx.into_effects()
+        };
+        self.apply_effects(node, outgoing, timers);
+    }
+
+    fn apply_effects(
+        &mut self,
+        from: NodeId,
+        outgoing: Vec<Outgoing<P::Message>>,
+        timers: Vec<TimerRequest>,
+    ) {
+        for Outgoing { to, msg } in outgoing {
+            self.traffic.record_sent(from, msg.wire_size());
+            self.filter.on_send(from, to, self.now);
+            if self.loss.drops(from, to, &mut self.loss_rng) {
+                self.stats.lost += 1;
+                self.traffic.record_dropped(from);
+                continue;
+            }
+            let latency = self.latency.sample(from, to, &mut self.latency_rng);
+            self.queue
+                .schedule(self.now + latency, Event::Deliver { from, to, msg });
+        }
+        for TimerRequest { delay, key } in timers {
+            self.queue
+                .schedule(self.now + delay, Event::Timer { node: from, key });
+        }
+    }
+}
+
+impl<P: PssNode> Simulation<P> {
+    /// Draws a peer sample from `node` using the node's own random stream, following the
+    /// protocol's sampling rule.
+    pub fn sample_from(&mut self, node: NodeId) -> Option<NodeId> {
+        let slot = self.nodes.get_mut(&node)?;
+        slot.proto.draw_sample(&mut slot.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+    use crate::loss::BernoulliLoss;
+    use crate::protocol::TimerKey;
+    use crate::types::NatClass;
+
+    /// Test protocol: floods a counter to a fixed buddy each round.
+    struct Buddy {
+        buddy: Option<NodeId>,
+        received: Vec<u32>,
+        rounds: u64,
+        timer_fired: bool,
+    }
+
+    impl Buddy {
+        fn new(buddy: Option<NodeId>) -> Self {
+            Buddy {
+                buddy,
+                received: Vec::new(),
+                rounds: 0,
+                timer_fired: false,
+            }
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Counter(u32);
+
+    impl WireSize for Counter {
+        fn wire_size(&self) -> usize {
+            100
+        }
+    }
+
+    impl Protocol for Buddy {
+        type Message = Counter;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+            ctx.set_timer(SimDuration::from_millis(10), TimerKey::new(1));
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, Self::Message>) {
+            self.rounds += 1;
+            if let Some(buddy) = self.buddy {
+                ctx.send(buddy, Counter(self.rounds as u32));
+            }
+        }
+
+        fn on_message(&mut self, _from: NodeId, msg: Self::Message, _ctx: &mut Context<'_, Self::Message>) {
+            self.received.push(msg.0);
+        }
+
+        fn on_timer(&mut self, key: TimerKey, _ctx: &mut Context<'_, Self::Message>) {
+            assert_eq!(key, TimerKey::new(1));
+            self.timer_fired = true;
+        }
+    }
+
+    impl PssNode for Buddy {
+        fn nat_class(&self) -> NatClass {
+            NatClass::Public
+        }
+
+        fn known_peers(&self) -> Vec<NodeId> {
+            self.buddy.into_iter().collect()
+        }
+
+        fn draw_sample(&mut self, _rng: &mut SmallRng) -> Option<NodeId> {
+            self.buddy
+        }
+
+        fn rounds_executed(&self) -> u64 {
+            self.rounds
+        }
+    }
+
+    fn two_node_sim() -> Simulation<Buddy> {
+        let mut sim = Simulation::new(
+            SimulationConfig::default()
+                .with_seed(3)
+                .with_round_jitter(0.0)
+                .with_random_phase(false),
+        );
+        sim.set_latency_model(ConstantLatency::new(SimDuration::from_millis(10)));
+        sim.add_node(NodeId::new(1), Buddy::new(Some(NodeId::new(2))));
+        sim.add_node(NodeId::new(2), Buddy::new(Some(NodeId::new(1))));
+        sim
+    }
+
+    #[test]
+    fn rounds_fire_periodically() {
+        let mut sim = two_node_sim();
+        sim.run_for(SimDuration::from_secs(10));
+        for (_, node) in sim.nodes() {
+            assert_eq!(node.rounds, 10);
+        }
+    }
+
+    #[test]
+    fn messages_are_delivered_with_latency() {
+        let mut sim = two_node_sim();
+        // Rounds fire at t = 1..5 s; each message takes 10 ms, so the round-5 messages are
+        // still in flight when the clock stops at exactly 5 s.
+        sim.run_for(SimDuration::from_secs(5));
+        let n1 = sim.node(NodeId::new(1)).unwrap();
+        let n2 = sim.node(NodeId::new(2)).unwrap();
+        assert_eq!(n1.received.len(), 4);
+        assert_eq!(n2.received.len(), 4);
+        assert_eq!(sim.network_stats().delivered, 8);
+        // Running a little longer flushes the in-flight messages.
+        sim.run_for(SimDuration::from_millis(20));
+        assert_eq!(sim.network_stats().delivered, 10);
+        assert_eq!(sim.network_stats().total(), 10);
+    }
+
+    #[test]
+    fn timers_fire_once() {
+        let mut sim = two_node_sim();
+        sim.run_for(SimDuration::from_millis(50));
+        assert!(sim.node(NodeId::new(1)).unwrap().timer_fired);
+        assert!(sim.node(NodeId::new(2)).unwrap().timer_fired);
+    }
+
+    #[test]
+    fn traffic_ledger_accounts_bytes() {
+        let mut sim = two_node_sim();
+        // Run slightly past the fourth round so the fourth delivery (at 4 s + 10 ms) lands.
+        sim.run_for(SimDuration::from_millis(4_500));
+        let t1 = sim.traffic().node_or_default(NodeId::new(1));
+        assert_eq!(t1.bytes_sent, 400);
+        assert_eq!(t1.bytes_received, 400);
+    }
+
+    #[test]
+    fn removed_node_stops_receiving() {
+        let mut sim = two_node_sim();
+        sim.run_for(SimDuration::from_secs(2));
+        sim.remove_node(NodeId::new(2)).unwrap();
+        sim.run_for(SimDuration::from_secs(3));
+        // Node 1 keeps sending to the dead node; those messages count as destination_gone.
+        assert!(sim.network_stats().destination_gone > 0);
+        assert!(!sim.contains(NodeId::new(2)));
+        assert_eq!(sim.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already part of the simulation")]
+    fn duplicate_node_panics() {
+        let mut sim = two_node_sim();
+        sim.add_node(NodeId::new(1), Buddy::new(None));
+    }
+
+    #[test]
+    fn loss_model_drops_messages() {
+        let mut sim = Simulation::new(
+            SimulationConfig::default()
+                .with_seed(4)
+                .with_round_jitter(0.0)
+                .with_random_phase(false),
+        );
+        sim.set_latency_model(ConstantLatency::new(SimDuration::from_millis(1)));
+        sim.set_loss_model(BernoulliLoss::new(1.0));
+        sim.add_node(NodeId::new(1), Buddy::new(Some(NodeId::new(2))));
+        sim.add_node(NodeId::new(2), Buddy::new(None));
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(sim.network_stats().delivered, 0);
+        assert_eq!(sim.network_stats().lost, 5);
+        assert!(sim.node(NodeId::new(2)).unwrap().received.is_empty());
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim: Simulation<Buddy> = Simulation::new(SimulationConfig::default());
+        sim.run_until(SimTime::from_secs(42));
+        assert_eq!(sim.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut sim = two_node_sim();
+            sim.run_for(SimDuration::from_secs(20));
+            (
+                sim.network_stats(),
+                sim.node(NodeId::new(1)).unwrap().received.clone(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sample_from_uses_protocol_rule() {
+        let mut sim = two_node_sim();
+        assert_eq!(sim.sample_from(NodeId::new(1)), Some(NodeId::new(2)));
+        assert_eq!(sim.sample_from(NodeId::new(99)), None);
+    }
+
+    #[test]
+    fn joined_at_records_join_time() {
+        let mut sim = two_node_sim();
+        sim.run_until(SimTime::from_secs(3));
+        sim.add_node(NodeId::new(7), Buddy::new(None));
+        assert_eq!(sim.joined_at(NodeId::new(7)), Some(SimTime::from_secs(3)));
+        assert_eq!(sim.joined_at(NodeId::new(1)), Some(SimTime::ZERO));
+    }
+}

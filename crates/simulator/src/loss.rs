@@ -1,0 +1,164 @@
+//! Message-loss models.
+//!
+//! Croupier's estimator assumes "no bias in message loss between public and private nodes";
+//! [`ClassBiasedLoss`] exists precisely to let experiments violate that assumption and
+//! observe the resulting estimation bias.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::types::{NatClass, NodeId};
+
+/// Decides whether an individual message is dropped by the network.
+pub trait LossModel {
+    /// Returns `true` if the message from `from` to `to` should be dropped.
+    fn drops(&mut self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> bool;
+}
+
+/// Never drops messages. The default for the paper's experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn drops(&mut self, _from: NodeId, _to: NodeId, _rng: &mut SmallRng) -> bool {
+        false
+    }
+}
+
+/// Drops each message independently with a fixed probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BernoulliLoss {
+    probability: f64,
+}
+
+impl BernoulliLoss {
+    /// Creates a loss model with per-message drop `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not within `[0, 1]`.
+    pub fn new(probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "loss probability must be within [0, 1]"
+        );
+        BernoulliLoss { probability }
+    }
+
+    /// The configured drop probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+impl LossModel for BernoulliLoss {
+    fn drops(&mut self, _from: NodeId, _to: NodeId, rng: &mut SmallRng) -> bool {
+        rng.gen_bool(self.probability)
+    }
+}
+
+/// Loss that differs depending on the destination's connectivity class.
+///
+/// Used by ablation experiments to break the paper's third estimator assumption ("no bias in
+/// message loss between public and private nodes") and quantify the resulting error.
+#[derive(Clone, Debug)]
+pub struct ClassBiasedLoss<F> {
+    public_probability: f64,
+    private_probability: f64,
+    classifier: F,
+}
+
+impl<F> ClassBiasedLoss<F>
+where
+    F: FnMut(NodeId) -> NatClass,
+{
+    /// Creates a biased loss model.
+    ///
+    /// `classifier` maps a destination node to its connectivity class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(public_probability: f64, private_probability: f64, classifier: F) -> Self {
+        assert!((0.0..=1.0).contains(&public_probability));
+        assert!((0.0..=1.0).contains(&private_probability));
+        ClassBiasedLoss {
+            public_probability,
+            private_probability,
+            classifier,
+        }
+    }
+}
+
+impl<F> LossModel for ClassBiasedLoss<F>
+where
+    F: FnMut(NodeId) -> NatClass,
+{
+    fn drops(&mut self, _from: NodeId, to: NodeId, rng: &mut SmallRng) -> bool {
+        let p = match (self.classifier)(to) {
+            NatClass::Public => self.public_probability,
+            NatClass::Private => self.private_probability,
+        };
+        rng.gen_bool(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn no_loss_never_drops() {
+        let mut m = NoLoss;
+        let mut r = rng();
+        assert!((0..100).all(|i| !m.drops(NodeId::new(i), NodeId::new(i + 1), &mut r)));
+    }
+
+    #[test]
+    fn bernoulli_zero_never_drops_and_one_always_drops() {
+        let mut never = BernoulliLoss::new(0.0);
+        let mut always = BernoulliLoss::new(1.0);
+        let mut r = rng();
+        for i in 0..50 {
+            assert!(!never.drops(NodeId::new(i), NodeId::new(i), &mut r));
+            assert!(always.drops(NodeId::new(i), NodeId::new(i), &mut r));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_is_approximately_honoured() {
+        let mut m = BernoulliLoss::new(0.3);
+        let mut r = rng();
+        let drops = (0..10_000)
+            .filter(|_| m.drops(NodeId::new(0), NodeId::new(1), &mut r))
+            .count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "observed loss rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn bernoulli_rejects_invalid_probability() {
+        BernoulliLoss::new(1.5);
+    }
+
+    #[test]
+    fn class_biased_loss_discriminates_by_destination() {
+        // Even node ids are public, odd ids private; drop everything to private nodes.
+        let mut m = ClassBiasedLoss::new(0.0, 1.0, |n: NodeId| {
+            if n.as_u64() % 2 == 0 {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            }
+        });
+        let mut r = rng();
+        assert!(!m.drops(NodeId::new(0), NodeId::new(2), &mut r));
+        assert!(m.drops(NodeId::new(0), NodeId::new(3), &mut r));
+    }
+}

@@ -1,0 +1,278 @@
+//! The protocol abstraction driven by the engine.
+//!
+//! A protocol is a per-node state machine reacting to three kinds of events: the start of
+//! its periodic gossip round, the delivery of a message, and the expiry of a timer it set
+//! itself. All interaction with the outside world goes through the [`Context`] handed to
+//! each callback, which keeps protocols completely deterministic and trivially testable
+//! without an engine.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::bootstrap::BootstrapRegistry;
+use crate::time::{SimDuration, SimTime};
+use crate::types::{NatClass, NodeId};
+
+/// Identifies a timer set by a protocol so the protocol can tell its timers apart.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TimerKey(u64);
+
+impl TimerKey {
+    /// Creates a timer key from a raw value chosen by the protocol.
+    pub const fn new(raw: u64) -> Self {
+        TimerKey(raw)
+    }
+
+    /// The raw value of the key.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Measures the on-the-wire size of a message in bytes.
+///
+/// The size should include transport headers so that overhead experiments report realistic
+/// byte counts; the Croupier crates use 28 bytes of UDP/IPv4 header plus payload.
+pub trait WireSize {
+    /// Serialized size of the message in bytes, including headers.
+    fn wire_size(&self) -> usize;
+}
+
+/// A message queued for sending by a protocol callback.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Outgoing<M> {
+    /// Destination node.
+    pub to: NodeId,
+    /// Message payload.
+    pub msg: M,
+}
+
+/// A timer requested by a protocol callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerRequest {
+    /// How long from now the timer should fire.
+    pub delay: SimDuration,
+    /// Key passed back to [`Protocol::on_timer`].
+    pub key: TimerKey,
+}
+
+/// The execution context given to every protocol callback.
+///
+/// It exposes the node's identity, the current simulated time, the node's private random
+/// stream, the bootstrap service, and buffers collecting the messages and timers produced
+/// by the callback.
+pub struct Context<'a, M> {
+    node: NodeId,
+    now: SimTime,
+    round_period: SimDuration,
+    rng: &'a mut SmallRng,
+    bootstrap: &'a BootstrapRegistry,
+    outbox: Vec<Outgoing<M>>,
+    timers: Vec<TimerRequest>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Creates a context. Used by the engine and by protocol unit tests.
+    pub fn new(
+        node: NodeId,
+        now: SimTime,
+        round_period: SimDuration,
+        rng: &'a mut SmallRng,
+        bootstrap: &'a BootstrapRegistry,
+    ) -> Self {
+        Context {
+            node,
+            now,
+            round_period,
+            rng,
+            bootstrap,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    /// Identity of the node executing the callback.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The gossip round period configured on the engine.
+    pub fn round_period(&self) -> SimDuration {
+        self.round_period
+    }
+
+    /// The node's private random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Queues `msg` for sending to `to`.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push(Outgoing { to, msg });
+    }
+
+    /// Requests a timer that fires after `delay`, identified by `key`.
+    pub fn set_timer(&mut self, delay: SimDuration, key: TimerKey) {
+        self.timers.push(TimerRequest { delay, key });
+    }
+
+    /// Samples up to `count` public nodes from the bootstrap server, excluding the caller.
+    pub fn bootstrap_sample(&mut self, count: usize) -> Vec<NodeId> {
+        self.bootstrap.sample_excluding(count, self.node, self.rng)
+    }
+
+    /// Messages queued so far (used by tests driving a protocol without the engine).
+    pub fn outbox(&self) -> &[Outgoing<M>] {
+        &self.outbox
+    }
+
+    /// Consumes the context, returning queued messages and timer requests.
+    pub fn into_effects(self) -> (Vec<Outgoing<M>>, Vec<TimerRequest>) {
+        (self.outbox, self.timers)
+    }
+}
+
+/// A per-node protocol state machine.
+///
+/// Implementations must be deterministic given the context's random stream: they must not
+/// consult global state, wall-clock time or thread-local RNGs.
+pub trait Protocol: Sized {
+    /// The message type exchanged by this protocol.
+    type Message: Clone + std::fmt::Debug + WireSize;
+
+    /// Invoked once when the node joins the simulation.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>);
+
+    /// Invoked at the start of each of the node's periodic gossip rounds.
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Message>);
+
+    /// Invoked when a message from `from` is delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+
+    /// Invoked when a timer set through [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _key: TimerKey, _ctx: &mut Context<'_, Self::Message>) {}
+}
+
+/// A peer-sampling protocol as seen by the evaluation harness.
+///
+/// Every PSS in the workspace (Croupier, Cyclon, Nylon, Gozar) implements this trait so the
+/// metrics and experiment crates can treat them uniformly.
+pub trait PssNode: Protocol {
+    /// The node's connectivity class.
+    fn nat_class(&self) -> NatClass;
+
+    /// The node identifiers currently present in the node's partial view(s); these are the
+    /// outgoing edges of the overlay graph.
+    fn known_peers(&self) -> Vec<NodeId>;
+
+    /// The node's current estimate of the public/private ratio, if the protocol computes
+    /// one (only Croupier does).
+    fn ratio_estimate(&self) -> Option<f64> {
+        None
+    }
+
+    /// Draws one peer sample, following the protocol's sampling rule.
+    fn draw_sample(&mut self, rng: &mut SmallRng) -> Option<NodeId>;
+
+    /// Number of gossip rounds this node has executed since it joined.
+    fn rounds_executed(&self) -> u64;
+}
+
+/// Helper: draw a random subset of `count` distinct elements from `items`.
+///
+/// The order of the returned subset is random. If `count >= items.len()` a shuffled copy of
+/// the whole slice is returned.
+pub fn random_subset<T: Clone>(items: &[T], count: usize, rng: &mut SmallRng) -> Vec<T> {
+    let mut copy: Vec<T> = items.to_vec();
+    copy.shuffle(rng);
+    copy.truncate(count);
+    copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct TestMsg(u32);
+
+    impl WireSize for TestMsg {
+        fn wire_size(&self) -> usize {
+            32
+        }
+    }
+
+    #[test]
+    fn context_collects_messages_and_timers() {
+        let bootstrap = BootstrapRegistry::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut ctx: Context<'_, TestMsg> = Context::new(
+            NodeId::new(1),
+            SimTime::from_millis(10),
+            SimDuration::from_secs(1),
+            &mut rng,
+            &bootstrap,
+        );
+        ctx.send(NodeId::new(2), TestMsg(7));
+        ctx.set_timer(SimDuration::from_millis(100), TimerKey::new(3));
+        assert_eq!(ctx.node_id(), NodeId::new(1));
+        assert_eq!(ctx.now(), SimTime::from_millis(10));
+        assert_eq!(ctx.round_period(), SimDuration::from_secs(1));
+        let (outbox, timers) = ctx.into_effects();
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].to, NodeId::new(2));
+        assert_eq!(outbox[0].msg, TestMsg(7));
+        assert_eq!(timers, vec![TimerRequest { delay: SimDuration::from_millis(100), key: TimerKey::new(3) }]);
+    }
+
+    #[test]
+    fn bootstrap_sample_excludes_self() {
+        let mut bootstrap = BootstrapRegistry::new();
+        bootstrap.register(NodeId::new(1));
+        bootstrap.register(NodeId::new(2));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ctx: Context<'_, TestMsg> = Context::new(
+            NodeId::new(1),
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            &mut rng,
+            &bootstrap,
+        );
+        let sample = ctx.bootstrap_sample(5);
+        assert_eq!(sample, vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn random_subset_respects_count_and_membership() {
+        let items: Vec<u32> = (0..20).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let subset = random_subset(&items, 5, &mut rng);
+        assert_eq!(subset.len(), 5);
+        assert!(subset.iter().all(|v| items.contains(v)));
+        // Distinctness.
+        let mut sorted = subset.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn random_subset_larger_than_input_returns_all() {
+        let items = vec![1, 2, 3];
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut subset = random_subset(&items, 10, &mut rng);
+        subset.sort_unstable();
+        assert_eq!(subset, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn timer_key_roundtrip() {
+        assert_eq!(TimerKey::new(9).as_u64(), 9);
+    }
+}

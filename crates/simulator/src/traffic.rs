@@ -1,0 +1,186 @@
+//! Per-node traffic accounting.
+//!
+//! Every message handed to the engine is measured through the [`WireSize`](crate::WireSize)
+//! trait and charged to both its sender and (if delivered) its receiver. The overhead
+//! experiment (Fig. 7a of the paper) reads average bytes-per-second per connectivity class
+//! out of this ledger.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+use crate::types::NodeId;
+
+/// Cumulative traffic counters for one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeTraffic {
+    /// Bytes this node has put on the wire.
+    pub bytes_sent: u64,
+    /// Bytes delivered to this node.
+    pub bytes_received: u64,
+    /// Messages this node has put on the wire.
+    pub messages_sent: u64,
+    /// Messages delivered to this node.
+    pub messages_received: u64,
+    /// Messages this node sent that the network dropped (loss or NAT filtering).
+    pub messages_dropped: u64,
+}
+
+impl NodeTraffic {
+    /// Total bytes either sent or received by the node.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Average total load (sent + received) in bytes per second over `duration_secs`.
+    ///
+    /// Returns zero if `duration_secs` is not a positive finite number.
+    pub fn load_bytes_per_sec(&self, duration_secs: f64) -> f64 {
+        if duration_secs.is_finite() && duration_secs > 0.0 {
+            self.bytes_total() as f64 / duration_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Workspace-wide traffic ledger indexed by node.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficLedger {
+    per_node: HashMap<NodeId, NodeTraffic>,
+    window_start: SimTime,
+}
+
+impl TrafficLedger {
+    /// Creates an empty ledger whose measurement window starts at time zero.
+    pub fn new() -> Self {
+        TrafficLedger::default()
+    }
+
+    /// Records `bytes` sent by `node`.
+    pub fn record_sent(&mut self, node: NodeId, bytes: usize) {
+        let entry = self.per_node.entry(node).or_default();
+        entry.bytes_sent += bytes as u64;
+        entry.messages_sent += 1;
+    }
+
+    /// Records `bytes` delivered to `node`.
+    pub fn record_received(&mut self, node: NodeId, bytes: usize) {
+        let entry = self.per_node.entry(node).or_default();
+        entry.bytes_received += bytes as u64;
+        entry.messages_received += 1;
+    }
+
+    /// Records that a message sent by `node` was dropped before delivery.
+    pub fn record_dropped(&mut self, node: NodeId) {
+        self.per_node.entry(node).or_default().messages_dropped += 1;
+    }
+
+    /// Traffic counters for `node`, if it has ever sent or received anything.
+    pub fn node(&self, node: NodeId) -> Option<&NodeTraffic> {
+        self.per_node.get(&node)
+    }
+
+    /// Traffic counters for `node`, defaulting to zeroes.
+    pub fn node_or_default(&self, node: NodeId) -> NodeTraffic {
+        self.per_node.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Iterates over every node with recorded traffic.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeTraffic)> {
+        self.per_node.iter().map(|(id, t)| (*id, t))
+    }
+
+    /// Number of nodes with recorded traffic.
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Returns `true` when no traffic has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+
+    /// Instant at which the current measurement window started.
+    pub fn window_start(&self) -> SimTime {
+        self.window_start
+    }
+
+    /// Clears all counters and restarts the measurement window at `now`.
+    ///
+    /// Overhead experiments call this once the overlay has reached steady state so that the
+    /// reported bytes-per-second excludes the join phase.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.per_node.clear();
+        self.window_start = now;
+    }
+
+    /// Sum of bytes sent by every node.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_node.values().map(|t| t.bytes_sent).sum()
+    }
+
+    /// Sum of messages sent by every node.
+    pub fn total_messages_sent(&self) -> u64 {
+        self.per_node.values().map(|t| t.messages_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_sent_and_received_independently() {
+        let mut ledger = TrafficLedger::new();
+        ledger.record_sent(NodeId::new(1), 100);
+        ledger.record_sent(NodeId::new(1), 50);
+        ledger.record_received(NodeId::new(1), 30);
+        let t = ledger.node(NodeId::new(1)).unwrap();
+        assert_eq!(t.bytes_sent, 150);
+        assert_eq!(t.bytes_received, 30);
+        assert_eq!(t.messages_sent, 2);
+        assert_eq!(t.messages_received, 1);
+        assert_eq!(t.bytes_total(), 180);
+    }
+
+    #[test]
+    fn unknown_node_defaults_to_zero() {
+        let ledger = TrafficLedger::new();
+        assert!(ledger.node(NodeId::new(9)).is_none());
+        assert_eq!(ledger.node_or_default(NodeId::new(9)), NodeTraffic::default());
+    }
+
+    #[test]
+    fn load_per_second_uses_duration() {
+        let mut ledger = TrafficLedger::new();
+        ledger.record_sent(NodeId::new(1), 500);
+        ledger.record_received(NodeId::new(1), 500);
+        let t = ledger.node_or_default(NodeId::new(1));
+        assert_eq!(t.load_bytes_per_sec(10.0), 100.0);
+        assert_eq!(t.load_bytes_per_sec(0.0), 0.0);
+        assert_eq!(t.load_bytes_per_sec(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn reset_window_clears_counters_and_moves_origin() {
+        let mut ledger = TrafficLedger::new();
+        ledger.record_sent(NodeId::new(1), 10);
+        ledger.reset_window(SimTime::from_secs(30));
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.window_start(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn totals_aggregate_across_nodes() {
+        let mut ledger = TrafficLedger::new();
+        ledger.record_sent(NodeId::new(1), 10);
+        ledger.record_sent(NodeId::new(2), 20);
+        ledger.record_dropped(NodeId::new(2));
+        assert_eq!(ledger.total_bytes_sent(), 30);
+        assert_eq!(ledger.total_messages_sent(), 2);
+        assert_eq!(ledger.node_or_default(NodeId::new(2)).messages_dropped, 1);
+        assert_eq!(ledger.len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Catastrophic-failure drill: bring a NATed overlay to steady state, crash a large
+//! fraction of the nodes at one instant, and inspect how much of the surviving overlay is
+//! still connected — the scenario of the paper's Figure 7(b).
+//!
+//! ```text
+//! cargo run --release --example failure_drill
+//! ```
+
+use croupier_experiments::protocols::{run_failure_kind, ProtocolConfigs, ProtocolKind};
+use croupier_experiments::runner::ExperimentParams;
+
+fn main() {
+    let n_public = 40;
+    let n_private = 160;
+    let configs = ProtocolConfigs::default();
+    let fractions = [0.5, 0.7, 0.9];
+
+    println!(
+        "Overlay of {} nodes ({} public / {} private), warmed up for 80 rounds, then failing\n\
+         a fraction of the nodes at a single instant.\n",
+        n_public + n_private,
+        n_public,
+        n_private
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "failed", "croupier", "gozar", "nylon"
+    );
+
+    for fraction in fractions {
+        let mut row = format!("{:>9}%", (fraction * 100.0) as u32);
+        for kind in [ProtocolKind::Croupier, ProtocolKind::Gozar, ProtocolKind::Nylon] {
+            let params = ExperimentParams::default()
+                .with_seed(0xFA11)
+                .with_population(n_public, n_private)
+                .with_rounds(80)
+                .with_sample_every(80);
+            let connected = run_failure_kind(kind, &params, &configs, fraction);
+            row.push_str(&format!(" {:>11.1}%", connected * 100.0));
+        }
+        println!("{row}");
+    }
+    println!("\n(values are the share of surviving nodes inside the biggest connected cluster)");
+}

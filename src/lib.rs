@@ -1,0 +1,26 @@
+//! # croupier-suite
+//!
+//! Umbrella crate of the Croupier reproduction (*Shuffling with a Croupier: NAT-Aware Peer
+//! Sampling*, Dowling & Payberah, ICDCS 2012). It re-exports every workspace crate under
+//! one roof so the runnable examples under `examples/` and the integration tests under
+//! `tests/` can exercise the whole stack, and so downstream users can depend on a single
+//! crate:
+//!
+//! * [`simulator`] — deterministic discrete-event engine (Kompics substitute).
+//! * [`nat`] — NAT gateway / firewall emulation and traversal helpers.
+//! * [`croupier`] — the Croupier peer-sampling service and the NAT-type identification
+//!   protocol (the paper's contribution).
+//! * [`baselines`] — Cyclon, Gozar and Nylon.
+//! * [`metrics`] — overlay and estimation metrics.
+//! * [`experiments`] — workloads and per-figure experiment runners.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![warn(missing_docs)]
+
+pub use croupier;
+pub use croupier_baselines as baselines;
+pub use croupier_experiments as experiments;
+pub use croupier_metrics as metrics;
+pub use croupier_nat as nat;
+pub use croupier_simulator as simulator;

@@ -1,0 +1,59 @@
+//! Reproducibility: for a fixed seed, whole experiments — spanning the simulator, the NAT
+//! emulation, the protocols and the metrics — produce bit-identical results run after run.
+
+use croupier_suite::experiments::figures::{fig1_stable_ratio, fig8_failure};
+use croupier_suite::experiments::output::Scale;
+use croupier_suite::experiments::protocols::{run_kind, ProtocolConfigs, ProtocolKind};
+use croupier_suite::experiments::runner::ExperimentParams;
+
+#[test]
+fn figure_runs_are_bit_identical_across_repetitions() {
+    let a = fig1_stable_ratio::run(Scale::Tiny);
+    let b = fig1_stable_ratio::run(Scale::Tiny);
+    assert_eq!(a, b, "figure 1 must regenerate identically for the same seed");
+}
+
+#[test]
+fn failure_experiments_are_reproducible() {
+    let a = fig8_failure::run(Scale::Tiny);
+    let b = fig8_failure::run(Scale::Tiny);
+    assert_eq!(a, b, "figure 7(b) must regenerate identically for the same seed");
+}
+
+#[test]
+fn every_protocol_is_deterministic_under_the_generic_driver() {
+    let configs = ProtocolConfigs::default();
+    for kind in ProtocolKind::ALL {
+        let params = ExperimentParams::default()
+            .with_seed(0xD37)
+            .with_population(8, if kind == ProtocolKind::Cyclon { 0 } else { 24 })
+            .with_rounds(30)
+            .with_sample_every(5)
+            .with_graph_metrics(8);
+        let a = run_kind(kind, &params, &configs);
+        let b = run_kind(kind, &params, &configs);
+        assert_eq!(a.samples, b.samples, "{kind} runs diverged for the same seed");
+        assert_eq!(
+            a.final_snapshot, b.final_snapshot,
+            "{kind} snapshots diverged for the same seed"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let configs = ProtocolConfigs::default();
+    let params = |seed| {
+        ExperimentParams::default()
+            .with_seed(seed)
+            .with_population(8, 24)
+            .with_rounds(30)
+            .with_sample_every(5)
+    };
+    let a = run_kind(ProtocolKind::Croupier, &params(1), &configs);
+    let b = run_kind(ProtocolKind::Croupier, &params(2), &configs);
+    assert_ne!(
+        a.final_snapshot.edges, b.final_snapshot.edges,
+        "different seeds should explore different overlays"
+    );
+}

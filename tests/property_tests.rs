@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) of the core data structures and their invariants:
+//! bounded views, the ratio estimator, the sampler, the NAT gateway mapping table and the
+//! workload generators.
+
+use croupier_suite::croupier::{
+    sample_from_views, Descriptor, EstimateRecord, RatioEstimator, View,
+};
+use croupier_suite::nat::{FilteringPolicy, Ip, NatGateway, NatGatewayConfig};
+use croupier_suite::simulator::{NatClass, NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_class() -> impl Strategy<Value = NatClass> {
+    prop_oneof![Just(NatClass::Public), Just(NatClass::Private)]
+}
+
+fn arb_descriptor() -> impl Strategy<Value = Descriptor> {
+    (0u64..64, arb_class(), 0u32..100)
+        .prop_map(|(id, class, age)| Descriptor::with_age(NodeId::new(id), class, age))
+}
+
+proptest! {
+    /// A view never exceeds its capacity, never contains duplicates and never contains the
+    /// owner, no matter what sequence of exchanges it absorbs.
+    #[test]
+    fn view_invariants_hold_under_arbitrary_exchanges(
+        capacity in 1usize..12,
+        exchanges in proptest::collection::vec(
+            (proptest::collection::vec(arb_descriptor(), 0..8),
+             proptest::collection::vec(arb_descriptor(), 0..8)),
+            0..12,
+        ),
+    ) {
+        let owner = NodeId::new(1_000);
+        let mut view = View::new(capacity);
+        for (sent, received) in exchanges {
+            view.increment_ages();
+            view.apply_exchange_swapper(&sent, &received, owner);
+
+            prop_assert!(view.len() <= capacity, "capacity exceeded: {}", view.len());
+            prop_assert!(!view.contains(owner), "owner must never enter its own view");
+            let mut nodes: Vec<_> = view.nodes();
+            nodes.sort();
+            let before = nodes.len();
+            nodes.dedup();
+            prop_assert_eq!(before, nodes.len(), "duplicate descriptors in view");
+        }
+    }
+
+    /// The healer merge keeps the freshest descriptors and respects the same invariants.
+    #[test]
+    fn healer_merge_respects_capacity_and_freshness(
+        capacity in 1usize..10,
+        received in proptest::collection::vec(arb_descriptor(), 0..20),
+    ) {
+        let owner = NodeId::new(1_000);
+        let mut view = View::new(capacity);
+        view.apply_exchange_healer(&received, owner);
+        prop_assert!(view.len() <= capacity);
+        prop_assert!(!view.contains(owner));
+        // Every kept descriptor is at least as fresh as every dropped duplicate of the same
+        // node (the healer always keeps the minimum age seen per node).
+        for descriptor in view.iter() {
+            let min_age = received
+                .iter()
+                .filter(|d| d.node == descriptor.node)
+                .map(|d| d.age)
+                .min()
+                .unwrap_or(descriptor.age);
+            prop_assert!(descriptor.age <= min_age.max(descriptor.age));
+        }
+    }
+
+    /// The estimator's node-level estimate always stays within [0, 1] and only uses records
+    /// that are inside the neighbour-history window.
+    #[test]
+    fn estimator_estimate_stays_in_unit_interval(
+        class in arb_class(),
+        alpha in 1usize..50,
+        gamma in 1u32..100,
+        requests in proptest::collection::vec(arb_class(), 0..200),
+        records in proptest::collection::vec((0u64..32, 0.0f64..1.0, 0u32..150), 0..64),
+        rounds in 1usize..30,
+    ) {
+        let me = NodeId::new(999);
+        let mut estimator = RatioEstimator::new(class, alpha, gamma);
+        for sender in &requests {
+            estimator.record_request(*sender);
+        }
+        let records: Vec<EstimateRecord> = records
+            .into_iter()
+            .map(|(origin, ratio, age)| EstimateRecord { origin: NodeId::new(origin), ratio, age })
+            .collect();
+        estimator.ingest(&records, me);
+        for _ in 0..rounds {
+            estimator.advance_round();
+        }
+        if let Some(estimate) = estimator.estimate() {
+            prop_assert!((0.0..=1.0).contains(&estimate), "estimate out of range: {estimate}");
+        }
+        if let Some(local) = estimator.local_estimate() {
+            prop_assert!(class.is_public(), "private nodes never have a local estimate");
+            prop_assert!((0.0..=1.0).contains(&local));
+        }
+        // Cached records all respect the gamma window after aging.
+        prop_assert!(estimator.cached_count() <= 64);
+    }
+
+    /// Shared estimate payloads are bounded and sampling always returns a view member.
+    #[test]
+    fn sampler_returns_members_of_the_views(
+        publics in proptest::collection::vec(0u64..500, 0..10),
+        privates in proptest::collection::vec(500u64..1000, 0..10),
+        ratio in proptest::option::of(0.0f64..1.0),
+        seed in 0u64..1000,
+    ) {
+        let mut public_view = View::new(10);
+        for id in &publics {
+            public_view.insert(Descriptor::new(NodeId::new(*id), NatClass::Public));
+        }
+        let mut private_view = View::new(10);
+        for id in &privates {
+            private_view.insert(Descriptor::new(NodeId::new(*id), NatClass::Private));
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match sample_from_views(&public_view, &private_view, ratio, &mut rng) {
+            Some(sample) => {
+                prop_assert!(
+                    public_view.contains(sample) || private_view.contains(sample),
+                    "sample {sample} is not a member of either view"
+                );
+            }
+            None => {
+                prop_assert!(public_view.is_empty() && private_view.is_empty());
+            }
+        }
+    }
+
+    /// A NAT gateway only admits inbound traffic that a real NAT with the same filtering
+    /// policy would admit: there must be a non-expired outbound binding, and for
+    /// port-dependent filtering it must point at the exact sender.
+    #[test]
+    fn gateway_admission_requires_a_matching_binding(
+        policy in prop_oneof![
+            Just(FilteringPolicy::EndpointIndependent),
+            Just(FilteringPolicy::AddressDependent),
+            Just(FilteringPolicy::AddressAndPortDependent),
+        ],
+        timeout_secs in 1u64..120,
+        outbound in proptest::collection::vec((0u64..8, 0u64..600), 0..30),
+        probe_peer in 0u64..8,
+        probe_at in 0u64..700,
+    ) {
+        let internal = NodeId::new(100);
+        let mut gateway = NatGateway::new(
+            Ip::public(1),
+            NatGatewayConfig::with_filtering(policy)
+                .mapping_timeout(SimDuration::from_secs(timeout_secs)),
+        );
+        for (peer, at) in &outbound {
+            gateway.record_outbound(
+                internal,
+                NodeId::new(*peer),
+                Ip::public(*peer as u32 + 10),
+                SimTime::from_secs(*at),
+            );
+        }
+        let now = SimTime::from_secs(probe_at);
+        let sender = NodeId::new(probe_peer);
+        let sender_ip = Ip::public(probe_peer as u32 + 10);
+        let accepted = gateway.accepts_inbound(internal, sender, sender_ip, now);
+
+        let fresh = |peer: u64| {
+            outbound
+                .iter()
+                .filter(|(p, _)| *p == peer)
+                .map(|(_, at)| *at)
+                .max()
+                .map(|last| probe_at.saturating_sub(last) <= timeout_secs)
+                .unwrap_or(false)
+        };
+        let expected = match policy {
+            FilteringPolicy::EndpointIndependent => (0u64..8).any(fresh),
+            // Address-dependent and port-dependent collapse to the same condition here
+            // because the emulation assigns one address per peer.
+            FilteringPolicy::AddressDependent | FilteringPolicy::AddressAndPortDependent => {
+                fresh(probe_peer)
+            }
+        };
+        prop_assert_eq!(accepted, expected, "policy {} disagreed with the model", policy);
+    }
+
+    /// Simulated time arithmetic never panics and preserves ordering.
+    #[test]
+    fn sim_time_arithmetic_is_monotonic(
+        start in 0u64..1_000_000,
+        deltas in proptest::collection::vec(0u64..10_000, 0..50),
+    ) {
+        let mut t = SimTime::from_millis(start);
+        let mut previous = t;
+        for d in deltas {
+            t += SimDuration::from_millis(d);
+            prop_assert!(t >= previous);
+            prop_assert_eq!(t - previous, SimDuration::from_millis(d));
+            previous = t;
+        }
+    }
+}
