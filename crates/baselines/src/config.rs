@@ -63,7 +63,10 @@ impl BaselineConfig {
             self.shuffle_size > 0 && self.shuffle_size <= self.view_size,
             "shuffle_size must be in 1..=view_size"
         );
-        assert!(self.keepalive_rounds > 0, "keepalive_rounds must be positive");
+        assert!(
+            self.keepalive_rounds > 0,
+            "keepalive_rounds must be positive"
+        );
     }
 
     /// Sets the view capacity.

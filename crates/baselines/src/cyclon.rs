@@ -140,7 +140,12 @@ impl Protocol for CyclonNode {
         ctx.send(target, CyclonMessage::Request(sent));
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
         match msg {
             CyclonMessage::Request(received) => {
                 let reply = self.view.random_subset(self.config.shuffle_size, ctx.rng());
@@ -265,13 +270,19 @@ mod tests {
                 .map(|i| Descriptor::new(NodeId::new(i), NatClass::Public))
                 .collect(),
         );
-        assert_eq!(large.wire_size() - small.wire_size(), 4 * DESCRIPTOR_WIRE_BYTES);
+        assert_eq!(
+            large.wire_size() - small.wire_size(),
+            4 * DESCRIPTOR_WIRE_BYTES
+        );
     }
 
     #[test]
     fn isolated_node_does_nothing() {
         let mut sim = Simulation::new(SimulationConfig::default().with_seed(5));
-        sim.add_node(NodeId::new(0), CyclonNode::new(NodeId::new(0), BaselineConfig::default()));
+        sim.add_node(
+            NodeId::new(0),
+            CyclonNode::new(NodeId::new(0), BaselineConfig::default()),
+        );
         sim.run_for_rounds(5);
         assert_eq!(sim.network_stats().total(), 0);
     }

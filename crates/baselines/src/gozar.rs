@@ -222,7 +222,8 @@ impl GozarNode {
                     .insert(entry.descriptor.node, entry.relays.clone());
             }
         }
-        self.view.apply_exchange_swapper(sent, &descriptors, self.id);
+        self.view
+            .apply_exchange_swapper(sent, &descriptors, self.id);
     }
 
     /// Maintains this private node's relay set: drops relays that stopped acknowledging and
@@ -255,7 +256,9 @@ impl GozarNode {
             }
             candidates.shuffle(ctx.rng());
             while self.my_relays.len() < self.config.relay_redundancy {
-                let Some(candidate) = candidates.pop() else { break };
+                let Some(candidate) = candidates.pop() else {
+                    break;
+                };
                 self.my_relays.push(candidate);
                 self.relay_last_ack.insert(candidate, self.rounds);
                 ctx.send(candidate, GozarMessage::RelayRegister);
@@ -263,7 +266,7 @@ impl GozarNode {
         }
 
         // Periodic keep-alives refresh both the NAT mappings and the liveness check.
-        if self.rounds % self.config.keepalive_rounds == 0 {
+        if self.rounds.is_multiple_of(self.config.keepalive_rounds) {
             for relay in &self.my_relays {
                 ctx.send(*relay, GozarMessage::KeepAlive);
             }
@@ -289,9 +292,11 @@ impl GozarNode {
             .map(|d| d.class.is_private())
             .unwrap_or_else(|| self.relay_cache.contains_key(&target));
         if target_is_private {
-            match self.relay_cache.get(&target).and_then(|relays| {
-                relays.choose(ctx.rng()).copied()
-            }) {
+            match self
+                .relay_cache
+                .get(&target)
+                .and_then(|relays| relays.choose(ctx.rng()).copied())
+            {
                 Some(relay) => ctx.send(
                     relay,
                     GozarMessage::Relayed {
@@ -369,7 +374,12 @@ impl Protocol for GozarNode {
         self.view.remove(target);
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
         match msg {
             GozarMessage::ShuffleRequest {
                 initiator,
@@ -513,8 +523,12 @@ mod tests {
             descriptor: Descriptor::new(NodeId::new(2), NatClass::Private),
             relays: vec![NodeId::new(3), NodeId::new(4)],
         };
-        let req_plain = GozarMessage::ShuffleResponse { entries: vec![plain] };
-        let req_relayed = GozarMessage::ShuffleResponse { entries: vec![relayed] };
+        let req_plain = GozarMessage::ShuffleResponse {
+            entries: vec![plain],
+        };
+        let req_relayed = GozarMessage::ShuffleResponse {
+            entries: vec![relayed],
+        };
         assert_eq!(
             req_relayed.wire_size() - req_plain.wire_size(),
             2 * RELAY_ADDR_BYTES
@@ -545,7 +559,11 @@ mod tests {
         croupier_sim.set_delivery_filter(topology.clone());
         for i in 0..25u64 {
             let id = NodeId::new(i);
-            let class = if i < 5 { NatClass::Public } else { NatClass::Private };
+            let class = if i < 5 {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            };
             topology.add_node(id, class);
             if class.is_public() {
                 croupier_sim.register_public(id);

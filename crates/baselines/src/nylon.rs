@@ -209,7 +209,7 @@ impl NylonNode {
         // to forward a hole-punch request (roughly its whole in-view), whereas Gozar only
         // keeps a couple of dedicated relays alive.
         let period = self.config.keepalive_rounds.max(1);
-        if self.class.is_public() || self.rounds % period != 0 {
+        if self.class.is_public() || !self.rounds.is_multiple_of(period) {
             return;
         }
         let mut rvps: Vec<(NodeId, u64)> = self
@@ -283,7 +283,12 @@ impl Protocol for NylonNode {
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
         match msg {
             NylonMessage::ShuffleRequest {
                 initiator,
@@ -424,7 +429,10 @@ mod tests {
         let mut sim = build_sim(5, 20, 2);
         sim.run_for_rounds(60);
         let total: u64 = sim.nodes().map(|(_, n)| n.exchanges_completed()).sum();
-        assert!(total > 500, "expected plenty of completed exchanges, got {total}");
+        assert!(
+            total > 500,
+            "expected plenty of completed exchanges, got {total}"
+        );
         let punches: u64 = sim.nodes().map(|(_, n)| n.punches_forwarded()).sum();
         assert!(punches > 0, "RVP chains should have forwarded hole punches");
     }
@@ -504,7 +512,11 @@ mod tests {
         croupier_sim.set_delivery_filter(topology.clone());
         for i in 0..25u64 {
             let id = NodeId::new(i);
-            let class = if i < 5 { NatClass::Public } else { NatClass::Private };
+            let class = if i < 5 {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            };
             topology.add_node(id, class);
             if class.is_public() {
                 croupier_sim.register_public(id);

@@ -2,7 +2,10 @@
 //! sampling, and a complete simulated gossip round of a mid-sized system.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use croupier::{sample_from_views, CroupierConfig, CroupierNode, Descriptor, EstimateRecord, RatioEstimator, View};
+use croupier::{
+    sample_from_views, CroupierConfig, CroupierNode, Descriptor, EstimateRecord, RatioEstimator,
+    View,
+};
 use croupier_nat::NatTopologyBuilder;
 use croupier_simulator::{NatClass, NodeId, Simulation, SimulationConfig};
 use rand::rngs::SmallRng;
@@ -11,7 +14,11 @@ use rand::SeedableRng;
 fn filled_view(capacity: usize, n: u64) -> View {
     let mut view = View::new(capacity);
     for i in 0..n {
-        view.insert(Descriptor::with_age(NodeId::new(i), NatClass::Public, (i % 7) as u32));
+        view.insert(Descriptor::with_age(
+            NodeId::new(i),
+            NatClass::Public,
+            (i % 7) as u32,
+        ));
     }
     view
 }
@@ -46,7 +53,10 @@ fn bench_estimator(c: &mut Criterion) {
             || {
                 let mut est = RatioEstimator::new(NatClass::Public, 25, 50);
                 for i in 0..20u64 {
-                    est.ingest(&[EstimateRecord::new(NodeId::new(i), 0.2)], NodeId::new(999));
+                    est.ingest(
+                        &[EstimateRecord::new(NodeId::new(i), 0.2)],
+                        NodeId::new(999),
+                    );
                 }
                 est.record_request(NatClass::Private);
                 est.record_request(NatClass::Public);
@@ -58,7 +68,10 @@ fn bench_estimator(c: &mut Criterion) {
     });
     let mut est = RatioEstimator::new(NatClass::Private, 25, 50);
     for i in 0..50u64 {
-        est.ingest(&[EstimateRecord::new(NodeId::new(i), 0.2)], NodeId::new(999));
+        est.ingest(
+            &[EstimateRecord::new(NodeId::new(i), 0.2)],
+            NodeId::new(999),
+        );
     }
     group.bench_function("estimate_50_cached", |b| b.iter(|| est.estimate()));
     group.finish();
@@ -84,7 +97,11 @@ fn bench_simulated_round(c: &mut Criterion) {
                 sim.set_delivery_filter(topology.clone());
                 for i in 0..100u64 {
                     let id = NodeId::new(i);
-                    let class = if i < 20 { NatClass::Public } else { NatClass::Private };
+                    let class = if i < 20 {
+                        NatClass::Public
+                    } else {
+                        NatClass::Private
+                    };
                     topology.add_node(id, class);
                     if class.is_public() {
                         sim.register_public(id);

@@ -100,7 +100,10 @@ impl CroupierConfig {
             self.shuffle_size > 0 && self.shuffle_size <= self.view_size,
             "shuffle_size must be in 1..=view_size"
         );
-        assert!(self.local_history > 0, "local_history (alpha) must be positive");
+        assert!(
+            self.local_history > 0,
+            "local_history (alpha) must be positive"
+        );
     }
 
     /// Sets the view capacity.

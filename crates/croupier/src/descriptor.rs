@@ -40,7 +40,11 @@ pub struct Descriptor {
 impl Descriptor {
     /// Creates a fresh descriptor (age zero).
     pub fn new(node: NodeId, class: NatClass) -> Self {
-        Descriptor { node, class, age: 0 }
+        Descriptor {
+            node,
+            class,
+            age: 0,
+        }
     }
 
     /// Creates a descriptor with an explicit age; mostly useful in tests.

@@ -33,7 +33,11 @@ pub struct EstimateRecord {
 impl EstimateRecord {
     /// Creates a fresh estimate record.
     pub fn new(origin: NodeId, ratio: f64) -> Self {
-        EstimateRecord { origin, ratio, age: 0 }
+        EstimateRecord {
+            origin,
+            ratio,
+            age: 0,
+        }
     }
 }
 
@@ -125,7 +129,8 @@ impl RatioEstimator {
             cached.age = cached.age.saturating_add(1);
         }
         let gamma = self.gamma;
-        self.neighbour_estimates.retain(|_, cached| cached.age <= gamma);
+        self.neighbour_estimates
+            .retain(|_, cached| cached.age <= gamma);
 
         // Croupiers recompute their local estimate from the hit history (equation 6,
         // evaluated before the current round's counters are appended, as in Algorithm 2).
@@ -148,10 +153,9 @@ impl RatioEstimator {
     /// The ratio of public hits to total hits over the current history window (the paper's
     /// `CalcHitsRatio`), or `None` if no request has been received in the window.
     pub fn hits_ratio(&self) -> Option<f64> {
-        let (public, private) = self
-            .history
-            .iter()
-            .fold((0u64, 0u64), |(p, v), (cu, cv)| (p + *cu as u64, v + *cv as u64));
+        let (public, private) = self.history.iter().fold((0u64, 0u64), |(p, v), (cu, cv)| {
+            (p + *cu as u64, v + *cv as u64)
+        });
         let total = public + private;
         if total == 0 {
             None
@@ -194,7 +198,12 @@ impl RatioEstimator {
     /// Returns up to `count` cached neighbour estimates chosen uniformly at random, plus the
     /// node's own estimate (fresh, age zero) if it has one — the payload piggy-backed on a
     /// shuffle message.
-    pub fn share(&self, count: usize, self_node: NodeId, rng: &mut SmallRng) -> Vec<EstimateRecord> {
+    pub fn share(
+        &self,
+        count: usize,
+        self_node: NodeId,
+        rng: &mut SmallRng,
+    ) -> Vec<EstimateRecord> {
         let mut records: Vec<EstimateRecord> = self
             .neighbour_estimates
             .iter()
@@ -348,17 +357,29 @@ mod tests {
     fn ingest_keeps_the_freshest_record_per_origin() {
         let mut est = RatioEstimator::new(NatClass::Private, 5, 20);
         est.ingest(
-            &[EstimateRecord { origin: NodeId::new(1), ratio: 0.9, age: 10 }],
+            &[EstimateRecord {
+                origin: NodeId::new(1),
+                ratio: 0.9,
+                age: 10,
+            }],
             NodeId::new(0),
         );
         est.ingest(
-            &[EstimateRecord { origin: NodeId::new(1), ratio: 0.1, age: 2 }],
+            &[EstimateRecord {
+                origin: NodeId::new(1),
+                ratio: 0.1,
+                age: 2,
+            }],
             NodeId::new(0),
         );
         assert!((est.estimate().unwrap() - 0.1).abs() < 1e-9);
         // An older record does not overwrite the fresher one.
         est.ingest(
-            &[EstimateRecord { origin: NodeId::new(1), ratio: 0.9, age: 15 }],
+            &[EstimateRecord {
+                origin: NodeId::new(1),
+                ratio: 0.9,
+                age: 15,
+            }],
             NodeId::new(0),
         );
         assert!((est.estimate().unwrap() - 0.1).abs() < 1e-9);
@@ -369,10 +390,14 @@ mod tests {
         let mut est = RatioEstimator::new(NatClass::Private, 5, 10);
         est.ingest(
             &[
-                EstimateRecord::new(NodeId::new(0), 0.5),                       // self
-                EstimateRecord { origin: NodeId::new(1), ratio: 0.5, age: 11 }, // too old
-                EstimateRecord::new(NodeId::new(2), f64::NAN),                  // invalid
-                EstimateRecord::new(NodeId::new(3), 1.5),                       // out of range
+                EstimateRecord::new(NodeId::new(0), 0.5), // self
+                EstimateRecord {
+                    origin: NodeId::new(1),
+                    ratio: 0.5,
+                    age: 11,
+                }, // too old
+                EstimateRecord::new(NodeId::new(2), f64::NAN), // invalid
+                EstimateRecord::new(NodeId::new(3), 1.5), // out of range
             ],
             NodeId::new(0),
         );
@@ -408,7 +433,9 @@ mod tests {
         let mut r = rng();
         let shared = est.share(10, NodeId::new(0), &mut r);
         assert_eq!(shared.len(), 11, "10 cached + the node's own estimate");
-        assert!(shared.iter().any(|rec| rec.origin == NodeId::new(0) && rec.age == 0));
+        assert!(shared
+            .iter()
+            .any(|rec| rec.origin == NodeId::new(0) && rec.age == 0));
     }
 
     #[test]

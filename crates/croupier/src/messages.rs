@@ -106,7 +106,10 @@ mod tests {
     fn wire_size_scales_with_descriptors() {
         let small = CroupierMessage::ShuffleResponse(payload(1, 0, 0));
         let large = CroupierMessage::ShuffleResponse(payload(6, 0, 0));
-        assert_eq!(large.wire_size() - small.wire_size(), 5 * DESCRIPTOR_WIRE_BYTES);
+        assert_eq!(
+            large.wire_size() - small.wire_size(),
+            5 * DESCRIPTOR_WIRE_BYTES
+        );
         assert!(small.wire_size() > UDP_IP_HEADER_BYTES);
     }
 

@@ -104,7 +104,9 @@ impl fmt::Display for ClassificationEvidence {
         let text = match self {
             ClassificationEvidence::UpnpMapping => "UPnP port mapping available",
             ClassificationEvidence::MatchingAddress => "observed address matches local address",
-            ClassificationEvidence::MismatchedAddress => "observed address differs from local address",
+            ClassificationEvidence::MismatchedAddress => {
+                "observed address differs from local address"
+            }
             ClassificationEvidence::Timeout => "no forward response before timeout",
         };
         f.write_str(text)
@@ -225,7 +227,12 @@ impl Protocol for NatIdentificationNode {
         // The identification protocol is not round-based; nothing to do.
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
         match msg {
             NatIdMessage::MatchingIpTest { client, excluded } => {
                 self.forwards_handled += 1;
@@ -271,7 +278,9 @@ impl Protocol for NatIdentificationNode {
                     Some(local) if local == observed_ip => {
                         self.conclude(NatClass::Public, ClassificationEvidence::MatchingAddress)
                     }
-                    _ => self.conclude(NatClass::Private, ClassificationEvidence::MismatchedAddress),
+                    _ => {
+                        self.conclude(NatClass::Private, ClassificationEvidence::MismatchedAddress)
+                    }
                 }
             }
         }
@@ -314,7 +323,9 @@ mod tests {
             "upnp" => topology.add_upnp_node(client),
             "private-ei" => topology.add_private_node_with(
                 client,
-                croupier_nat::NatGatewayConfig::with_filtering(FilteringPolicy::EndpointIndependent),
+                croupier_nat::NatGatewayConfig::with_filtering(
+                    FilteringPolicy::EndpointIndependent,
+                ),
             ),
             "private-apd" => topology.add_private_node_with(
                 client,
@@ -393,7 +404,10 @@ mod tests {
             ),
         );
         sim.run_for(SimDuration::from_secs(10));
-        assert_eq!(sim.node(client).unwrap().conclusion(), Some(NatClass::Public));
+        assert_eq!(
+            sim.node(client).unwrap().conclusion(),
+            Some(NatClass::Public)
+        );
         // With a single probe the whole run is exactly three messages.
         assert_eq!(sim.network_stats().delivered, 3);
     }
@@ -427,12 +441,22 @@ mod tests {
             excluded: vec![NodeId::new(2), NodeId::new(3)],
         };
         assert!(m.wire_size() < 100);
-        assert!(NatIdMessage::ForwardResponse { observed_ip: Ip::public(1) }.wire_size() < 50);
+        assert!(
+            NatIdMessage::ForwardResponse {
+                observed_ip: Ip::public(1)
+            }
+            .wire_size()
+                < 50
+        );
     }
 
     #[test]
     fn evidence_displays_human_readable_text() {
-        assert!(ClassificationEvidence::UpnpMapping.to_string().contains("UPnP"));
-        assert!(ClassificationEvidence::Timeout.to_string().contains("timeout"));
+        assert!(ClassificationEvidence::UpnpMapping
+            .to_string()
+            .contains("UPnP"));
+        assert!(ClassificationEvidence::Timeout
+            .to_string()
+            .contains("timeout"));
     }
 }

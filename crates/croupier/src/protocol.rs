@@ -115,7 +115,8 @@ impl CroupierNode {
         let count = self.config.bootstrap_size.min(self.config.view_size);
         for node in ctx.bootstrap_sample(count) {
             if node != self.id {
-                self.public_view.insert(Descriptor::new(node, NatClass::Public));
+                self.public_view
+                    .insert(Descriptor::new(node, NatClass::Public));
             }
         }
     }
@@ -185,8 +186,10 @@ impl CroupierNode {
                     .apply_exchange_swapper(sent_private, received_private, self.id);
             }
             MergePolicy::Healer => {
-                self.public_view.apply_exchange_healer(received_public, self.id);
-                self.private_view.apply_exchange_healer(received_private, self.id);
+                self.public_view
+                    .apply_exchange_healer(received_public, self.id);
+                self.private_view
+                    .apply_exchange_healer(received_private, self.id);
             }
         }
     }
@@ -215,7 +218,12 @@ impl CroupierNode {
                 .share(self.config.estimate_share_size, self.id, ctx.rng());
 
         let (received_public, received_private) = self.split_by_class(&payload);
-        self.merge(&reply_public, &reply_private, &received_public, &received_private);
+        self.merge(
+            &reply_public,
+            &reply_private,
+            &received_public,
+            &received_private,
+        );
         self.estimator.ingest(&payload.estimates, self.id);
 
         let response = ShufflePayload {
@@ -239,7 +247,12 @@ impl CroupierNode {
             }
         };
         let (received_public, received_private) = self.split_by_class(&payload);
-        self.merge(&sent_public, &sent_private, &received_public, &received_private);
+        self.merge(
+            &sent_public,
+            &sent_private,
+            &received_public,
+            &received_private,
+        );
         self.estimator.ingest(&payload.estimates, self.id);
     }
 }
@@ -296,7 +309,12 @@ impl Protocol for CroupierNode {
         ctx.send(target, CroupierMessage::ShuffleRequest(request));
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
         match msg {
             CroupierMessage::ShuffleRequest(payload) => self.handle_request(from, payload, ctx),
             CroupierMessage::ShuffleResponse(payload) => self.handle_response(from, payload),
@@ -383,11 +401,17 @@ mod tests {
         sim.run_for_rounds(50);
         for (_, node) in sim.nodes() {
             for d in node.public_view().iter() {
-                assert!(d.class.is_public(), "public view must only hold public nodes");
+                assert!(
+                    d.class.is_public(),
+                    "public view must only hold public nodes"
+                );
                 assert!(d.node.as_u64() < 5);
             }
             for d in node.private_view().iter() {
-                assert!(d.class.is_private(), "private view must only hold private nodes");
+                assert!(
+                    d.class.is_private(),
+                    "private view must only hold private nodes"
+                );
                 assert!(d.node.as_u64() >= 5);
             }
             assert!(!node.public_view().contains(node.id()), "no self-loop");
@@ -415,10 +439,15 @@ mod tests {
         sim.run_for_rounds(80);
         let mut worst: f64 = 0.0;
         for (_, node) in sim.nodes() {
-            let est = node.ratio_estimate().expect("every node should have an estimate");
+            let est = node
+                .ratio_estimate()
+                .expect("every node should have an estimate");
             worst = worst.max((est - 0.2).abs());
         }
-        assert!(worst < 0.08, "worst-case estimation error too high: {worst}");
+        assert!(
+            worst < 0.08,
+            "worst-case estimation error too high: {worst}"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn empty_views_yield_no_sample() {
         let (public, private) = views(0, 0);
-        assert_eq!(sample_from_views(&public, &private, Some(0.5), &mut rng()), None);
+        assert_eq!(
+            sample_from_views(&public, &private, Some(0.5), &mut rng()),
+            None
+        );
     }
 
     #[test]

@@ -243,7 +243,10 @@ mod tests {
     fn refresh_or_insert_keeps_the_freshest() {
         let mut v = View::new(4);
         v.insert(d(1, 5));
-        assert!(v.refresh_or_insert(d(1, 2)), "newer descriptor replaces older");
+        assert!(
+            v.refresh_or_insert(d(1, 2)),
+            "newer descriptor replaces older"
+        );
         assert_eq!(v.get(NodeId::new(1)).unwrap().age, 2);
         assert!(!v.refresh_or_insert(d(1, 9)), "older descriptor is ignored");
         assert_eq!(v.get(NodeId::new(1)).unwrap().age, 2);

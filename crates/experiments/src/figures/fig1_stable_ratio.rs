@@ -8,7 +8,9 @@
 
 use croupier::CroupierConfig;
 
-use crate::figures::{estimation_error_figures, run_labelled, window_label, HISTORY_WINDOWS, LabelledRun};
+use crate::figures::{
+    estimation_error_figures, run_labelled, window_label, LabelledRun, HISTORY_WINDOWS,
+};
 use crate::output::{FigureData, Scale};
 use crate::runner::ExperimentParams;
 
@@ -47,7 +49,7 @@ pub fn run(scale: Scale) -> Vec<FigureData> {
         .iter()
         .map(|(alpha, gamma)| LabelledRun {
             label: window_label(*alpha, *gamma),
-            params: params(scale, 0xF16_1),
+            params: params(scale, 0xF161),
             config: CroupierConfig::default()
                 .with_local_history(*alpha)
                 .with_neighbour_history(*gamma),
@@ -77,7 +79,13 @@ mod tests {
 
     #[test]
     fn convergence_round_finds_the_first_stable_point() {
-        let points = vec![(1.0, 0.5), (2.0, 0.05), (3.0, 0.2), (4.0, 0.03), (5.0, 0.02)];
+        let points = vec![
+            (1.0, 0.5),
+            (2.0, 0.05),
+            (3.0, 0.2),
+            (4.0, 0.03),
+            (5.0, 0.02),
+        ];
         assert_eq!(convergence_round(&points, 0.1), Some(4));
         assert_eq!(convergence_round(&points, 0.01), None);
         assert_eq!(convergence_round(&points, 1.0), Some(1));

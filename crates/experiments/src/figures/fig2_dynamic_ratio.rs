@@ -9,7 +9,9 @@
 use croupier::CroupierConfig;
 use croupier_simulator::NatClass;
 
-use crate::figures::{estimation_error_figures, run_labelled, window_label, HISTORY_WINDOWS, LabelledRun};
+use crate::figures::{
+    estimation_error_figures, run_labelled, window_label, LabelledRun, HISTORY_WINDOWS,
+};
 use crate::output::{FigureData, Scale, Series};
 use crate::runner::{ExperimentParams, GrowthSpec};
 
@@ -30,7 +32,8 @@ pub fn params(scale: Scale, seed: u64) -> ExperimentParams {
     let growth_start = (scale.rounds(PAPER_GROWTH_START)).min(rounds / 2).max(5);
     // Spread the growth over roughly the same number of rounds as the paper (≈ 30 s) by
     // scaling the inter-arrival time inversely with the node count reduction.
-    let interarrival = PAPER_GROWTH_INTERARRIVAL_MS * PAPER_GROWTH_COUNT as f64 / growth_count as f64;
+    let interarrival =
+        PAPER_GROWTH_INTERARRIVAL_MS * PAPER_GROWTH_COUNT as f64 / growth_count as f64;
     ExperimentParams::default()
         .with_seed(seed)
         .with_population(scale.nodes(PAPER_PUBLIC), scale.nodes(PAPER_PRIVATE))
@@ -51,14 +54,15 @@ pub fn run(scale: Scale) -> Vec<FigureData> {
         .iter()
         .map(|(alpha, gamma)| LabelledRun {
             label: window_label(*alpha, *gamma),
-            params: params(scale, 0xF16_2),
+            params: params(scale, 0xF162),
             config: CroupierConfig::default()
                 .with_local_history(*alpha)
                 .with_neighbour_history(*gamma),
         })
         .collect();
     let outputs = run_labelled(runs);
-    let mut figures = estimation_error_figures("fig2", "Dynamic ratio, varying history windows", &outputs);
+    let mut figures =
+        estimation_error_figures("fig2", "Dynamic ratio, varying history windows", &outputs);
 
     // Add the true-ratio reference series the paper plots alongside the errors.
     let mut ratio = Series::new("public/private ratio");
@@ -95,9 +99,17 @@ mod tests {
     #[test]
     fn errors_stay_bounded_while_tracking_the_moving_ratio() {
         let figures = run(Scale::Tiny);
-        for series in figures[0].series.iter().filter(|s| s.label.starts_with("alpha")) {
+        for series in figures[0]
+            .series
+            .iter()
+            .filter(|s| s.label.starts_with("alpha"))
+        {
             let tail = series.tail_mean(5).unwrap();
-            assert!(tail < 0.2, "error should stay bounded for {}: {tail}", series.label);
+            assert!(
+                tail < 0.2,
+                "error should stay bounded for {}: {tail}",
+                series.label
+            );
         }
     }
 }

@@ -43,7 +43,7 @@ pub fn run(scale: Scale) -> Vec<FigureData> {
         .into_iter()
         .map(|ratio| LabelledRun {
             label: format!("ratio {ratio:.2}"),
-            params: params(scale, ratio, 0xF16_4),
+            params: params(scale, ratio, 0xF164),
             config: CroupierConfig::default(),
         })
         .collect();
@@ -70,7 +70,11 @@ mod tests {
         let figures = run(Scale::Tiny);
         for series in &figures[0].series {
             let tail = series.tail_mean(5).unwrap();
-            assert!(tail < 0.25, "average error too high for {}: {tail}", series.label);
+            assert!(
+                tail < 0.25,
+                "average error too high for {}: {tail}",
+                series.label
+            );
         }
     }
 

@@ -39,7 +39,7 @@ pub fn run(scale: Scale) -> Vec<FigureData> {
         .iter()
         .map(|rate| LabelledRun {
             label: format!("{:.1}%/round", rate * 100.0),
-            params: params(scale, *rate, 0xF16_5),
+            params: params(scale, *rate, 0xF165),
             config: CroupierConfig::default(),
         })
         .collect();

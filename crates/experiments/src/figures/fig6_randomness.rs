@@ -43,7 +43,7 @@ pub fn run_protocols(scale: Scale) -> Vec<(ProtocolKind, RunOutput)> {
             .map(|kind| {
                 scope.spawn(move || {
                     let configs = ProtocolConfigs::default();
-                    let output = run_kind(kind, &params(scale, kind, 0xF16_6), &configs);
+                    let output = run_kind(kind, &params(scale, kind, 0xF166), &configs);
                     (kind, output)
                 })
             })
@@ -140,7 +140,10 @@ mod tests {
         let clustering = &figures[2];
         for name in ["croupier", "cyclon", "gozar", "nylon"] {
             let cc = clustering.series(name).unwrap().tail_mean(3).unwrap();
-            assert!((0.0..=1.0).contains(&cc), "{name} clustering out of range: {cc}");
+            assert!(
+                (0.0..=1.0).contains(&cc),
+                "{name} clustering out of range: {cc}"
+            );
         }
     }
 

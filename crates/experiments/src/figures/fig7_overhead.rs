@@ -57,7 +57,7 @@ pub fn measure(scale: Scale) -> Vec<(ProtocolKind, OverheadReport)> {
                         croupier: croupier_config(),
                         ..ProtocolConfigs::default()
                     };
-                    let output = run_kind(kind, &params(scale, kind, 0xF16_7), &configs);
+                    let output = run_kind(kind, &params(scale, kind, 0xF167), &configs);
                     (kind, output.overhead.expect("overhead window configured"))
                 })
             })

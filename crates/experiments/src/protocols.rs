@@ -84,11 +84,17 @@ pub struct ProtocolConfigs {
 /// For Cyclon the experiment should normally use an all-public population
 /// (`params.n_private == 0`), matching the paper's setup; this function does not enforce
 /// it so that ablation experiments can also measure how Cyclon degrades behind NATs.
-pub fn run_kind(kind: ProtocolKind, params: &ExperimentParams, configs: &ProtocolConfigs) -> RunOutput {
+pub fn run_kind(
+    kind: ProtocolKind,
+    params: &ExperimentParams,
+    configs: &ProtocolConfigs,
+) -> RunOutput {
     match kind {
         ProtocolKind::Croupier => {
             let config = configs.croupier.clone();
-            run_pss(params, move |id, class, _| CroupierNode::new(id, class, config.clone()))
+            run_pss(params, move |id, class, _| {
+                CroupierNode::new(id, class, config.clone())
+            })
         }
         ProtocolKind::Cyclon => {
             let config = configs.baseline.clone();
@@ -96,11 +102,15 @@ pub fn run_kind(kind: ProtocolKind, params: &ExperimentParams, configs: &Protoco
         }
         ProtocolKind::Gozar => {
             let config = configs.baseline.clone();
-            run_pss(params, move |id, class, _| GozarNode::new(id, class, config.clone()))
+            run_pss(params, move |id, class, _| {
+                GozarNode::new(id, class, config.clone())
+            })
         }
         ProtocolKind::Nylon => {
             let config = configs.baseline.clone();
-            run_pss(params, move |id, class, _| NylonNode::new(id, class, config.clone()))
+            run_pss(params, move |id, class, _| {
+                NylonNode::new(id, class, config.clone())
+            })
         }
     }
 }
@@ -182,10 +192,7 @@ mod tests {
                 tiny()
             };
             let out = run_kind(kind, &params, &configs);
-            assert!(
-                !out.samples.is_empty(),
-                "{kind} produced no samples"
-            );
+            assert!(!out.samples.is_empty(), "{kind} produced no samples");
             assert_eq!(out.last_sample().unwrap().node_count, 30, "{kind}");
         }
     }
@@ -195,7 +202,10 @@ mod tests {
         let configs = ProtocolConfigs::default();
         for kind in ProtocolKind::NAT_AWARE {
             let fraction = run_failure_kind(kind, &tiny(), &configs, 0.4);
-            assert!((0.0..=1.0).contains(&fraction), "{kind} returned {fraction}");
+            assert!(
+                (0.0..=1.0).contains(&fraction),
+                "{kind} returned {fraction}"
+            );
         }
     }
 }

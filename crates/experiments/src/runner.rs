@@ -202,7 +202,7 @@ struct Driver<P: Protocol + PssNode> {
 
 impl<P: Protocol + PssNode> Driver<P> {
     fn new(params: &ExperimentParams) -> Self {
-        let topology = NatTopologyBuilder::new(params.seed ^ 0x4e41_54).build();
+        let topology = NatTopologyBuilder::new(params.seed ^ 0x004e_4154).build();
         let mut sim = Simulation::new(
             SimulationConfig::default()
                 .with_seed(params.seed)
@@ -260,7 +260,9 @@ impl<P: Protocol + PssNode> Driver<P> {
     where
         F: FnMut(NodeId, NatClass, &NatTopology) -> P,
     {
-        let Some(churn) = self.params.churn else { return };
+        let Some(churn) = self.params.churn else {
+            return;
+        };
         let alive = self.alive_public.len() + self.alive_private.len();
         self.churn_carry += churn.fraction_per_round * alive as f64;
         let replacements = self.churn_carry.floor() as usize;
@@ -268,8 +270,8 @@ impl<P: Protocol + PssNode> Driver<P> {
         for _ in 0..replacements {
             // Keep the public/private ratio stable by replacing a node with a new node of
             // the same class, chosen proportionally to the class sizes.
-            let public_fraction =
-                self.alive_public.len() as f64 / (self.alive_public.len() + self.alive_private.len()).max(1) as f64;
+            let public_fraction = self.alive_public.len() as f64
+                / (self.alive_public.len() + self.alive_private.len()).max(1) as f64;
             let class = if self.workload_rng.gen_range(0.0..1.0) < public_fraction {
                 NatClass::Public
             } else {
@@ -485,7 +487,10 @@ mod tests {
         let last = out.last_sample().unwrap();
         assert!(last.avg_path_length.is_some());
         assert!(last.clustering.is_some());
-        assert!((last.largest_component.unwrap() - 1.0).abs() < 1e-9, "overlay should be connected");
+        assert!(
+            (last.largest_component.unwrap() - 1.0).abs() < 1e-9,
+            "overlay should be connected"
+        );
         assert!(out.final_snapshot.edge_count() > 0);
     }
 
@@ -505,16 +510,23 @@ mod tests {
 
     #[test]
     fn growth_raises_the_true_ratio() {
-        let params = tiny_params().with_seed(4).with_rounds(60).with_growth(GrowthSpec {
-            start_round: 20,
-            count: 10,
-            interarrival_ms: 500.0,
-            class: NatClass::Public,
-        });
+        let params = tiny_params()
+            .with_seed(4)
+            .with_rounds(60)
+            .with_growth(GrowthSpec {
+                start_round: 20,
+                count: 10,
+                interarrival_ms: 500.0,
+                class: NatClass::Public,
+            });
         let out = run_pss(&params, |id, class, _| {
             CroupierNode::new(id, class, CroupierConfig::default())
         });
-        assert!(out.final_true_ratio > 0.3, "ratio should grow, got {}", out.final_true_ratio);
+        assert!(
+            out.final_true_ratio > 0.3,
+            "ratio should grow, got {}",
+            out.final_true_ratio
+        );
         assert_eq!(out.last_sample().unwrap().node_count, 50);
     }
 
@@ -528,9 +540,7 @@ mod tests {
         assert!(overhead.public.avg_load_bytes_per_sec > 0.0);
         assert!(overhead.private.avg_load_bytes_per_sec > 0.0);
         // Croupiers serve the shuffle requests of everyone, so they carry more load.
-        assert!(
-            overhead.public.avg_load_bytes_per_sec > overhead.private.avg_load_bytes_per_sec
-        );
+        assert!(overhead.public.avg_load_bytes_per_sec > overhead.private.avg_load_bytes_per_sec);
     }
 
     #[test]
@@ -541,7 +551,9 @@ mod tests {
             .with_rounds(40)
             .with_sample_every(5)
             .with_graph_metrics(10);
-        let out = run_pss(&params, |id, _, _| CyclonNode::new(id, BaselineConfig::default()));
+        let out = run_pss(&params, |id, _, _| {
+            CyclonNode::new(id, BaselineConfig::default())
+        });
         let last = out.last_sample().unwrap();
         assert_eq!(last.node_count, 30);
         assert!((last.largest_component.unwrap() - 1.0).abs() < 1e-9);
@@ -555,7 +567,10 @@ mod tests {
             |id, class, _| CroupierNode::new(id, class, CroupierConfig::default()),
             0.5,
         );
-        assert!(connected > 0.5, "half the nodes failing should not shatter the overlay: {connected}");
+        assert!(
+            connected > 0.5,
+            "half the nodes failing should not shatter the overlay: {connected}"
+        );
         assert!(connected <= 1.0);
     }
 

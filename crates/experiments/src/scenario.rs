@@ -167,10 +167,10 @@ mod tests {
         let schedule = JoinSchedule::poisson(100, 50.0, 400, 12.5, &mut rng());
         assert_eq!(schedule.len(), 500);
         assert_eq!(schedule.class_counts(), (100, 400));
-        assert!(schedule
-            .events()
-            .windows(2)
-            .all(|w| w[0].at <= w[1].at), "events must be time-ordered");
+        assert!(
+            schedule.events().windows(2).all(|w| w[0].at <= w[1].at),
+            "events must be time-ordered"
+        );
     }
 
     #[test]
@@ -178,7 +178,10 @@ mod tests {
         let schedule = JoinSchedule::poisson(2_000, 50.0, 0, 12.5, &mut rng());
         let last = schedule.last_join().unwrap().as_millis() as f64;
         let mean = last / 2_000.0;
-        assert!((mean - 50.0).abs() < 5.0, "observed mean inter-arrival {mean}");
+        assert!(
+            (mean - 50.0).abs() < 5.0,
+            "observed mean inter-arrival {mean}"
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn clique_has_coefficient_one() {
-        let s = snapshot(&[1, 2, 3, 4], &[(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]);
+        let s = snapshot(
+            &[1, 2, 3, 4],
+            &[(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)],
+        );
         assert!((average_clustering_coefficient(&s) - 1.0).abs() < 1e-9);
     }
 
@@ -86,6 +89,9 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_zero() {
-        assert_eq!(average_clustering_coefficient(&OverlaySnapshot::default()), 0.0);
+        assert_eq!(
+            average_clustering_coefficient(&OverlaySnapshot::default()),
+            0.0
+        );
     }
 }

@@ -140,20 +140,33 @@ mod tests {
         ));
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 2);
-        assert!(g.neighbours(NodeId::new(2)).unwrap().contains(&NodeId::new(1)));
-        assert!(g.neighbours(NodeId::new(1)).unwrap().contains(&NodeId::new(2)));
-        assert!(!g.neighbours(NodeId::new(2)).unwrap().contains(&NodeId::new(2)));
+        assert!(g
+            .neighbours(NodeId::new(2))
+            .unwrap()
+            .contains(&NodeId::new(1)));
+        assert!(g
+            .neighbours(NodeId::new(1))
+            .unwrap()
+            .contains(&NodeId::new(2)));
+        assert!(!g
+            .neighbours(NodeId::new(2))
+            .unwrap()
+            .contains(&NodeId::new(2)));
     }
 
     #[test]
     fn bfs_computes_hop_distances() {
-        let g = UndirectedGraph::from_snapshot(&snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (2, 3), (3, 4)]));
+        let g =
+            UndirectedGraph::from_snapshot(&snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (2, 3), (3, 4)]));
         let d = g.bfs_distances(NodeId::new(1));
         assert_eq!(d[&NodeId::new(1)], 0);
         assert_eq!(d[&NodeId::new(2)], 1);
         assert_eq!(d[&NodeId::new(3)], 2);
         assert_eq!(d[&NodeId::new(4)], 3);
-        assert!(!d.contains_key(&NodeId::new(5)), "disconnected node is unreachable");
+        assert!(
+            !d.contains_key(&NodeId::new(5)),
+            "disconnected node is unreachable"
+        );
         assert!(g.bfs_distances(NodeId::new(42)).is_empty());
     }
 

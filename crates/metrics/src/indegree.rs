@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn empty_snapshot_has_zeroed_stats() {
-        assert_eq!(indegree_stats(&OverlaySnapshot::default()), IndegreeStats::default());
+        assert_eq!(
+            indegree_stats(&OverlaySnapshot::default()),
+            IndegreeStats::default()
+        );
         assert!(indegree_histogram(&OverlaySnapshot::default()).is_empty());
     }
 

@@ -100,7 +100,10 @@ mod tests {
         let s = snapshot(&nodes, &edges);
         let exact = average_path_length(&s, usize::MAX, &mut rng()).unwrap();
         let sampled = average_path_length(&s, 10, &mut rng()).unwrap();
-        assert!((exact - sampled).abs() < 0.5, "exact {exact} vs sampled {sampled}");
+        assert!(
+            (exact - sampled).abs() < 0.5,
+            "exact {exact} vs sampled {sampled}"
+        );
     }
 
     #[test]

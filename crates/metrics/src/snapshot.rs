@@ -92,7 +92,8 @@ impl OverlaySnapshot {
     /// to departed nodes).
     pub fn retain_live_edges(&mut self) {
         let live: std::collections::HashSet<NodeId> = self.nodes.iter().map(|n| n.id).collect();
-        self.edges.retain(|(a, b)| live.contains(a) && live.contains(b));
+        self.edges
+            .retain(|(a, b)| live.contains(a) && live.contains(b));
     }
 }
 

@@ -28,13 +28,16 @@ use serde::{Deserialize, Serialize};
 /// assert!(FilteringPolicy::AddressAndPortDependent.is_stricter_than(
 ///     FilteringPolicy::EndpointIndependent));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
 pub enum FilteringPolicy {
     /// Accept inbound traffic from anyone once a mapping exists.
     EndpointIndependent,
     /// Accept inbound traffic only from previously-contacted IP addresses.
     AddressDependent,
     /// Accept inbound traffic only from previously-contacted (IP, port) endpoints.
+    #[default]
     AddressAndPortDependent,
 }
 
@@ -63,12 +66,6 @@ impl FilteringPolicy {
     /// contacted) passes this filter, provided a mapping exists at all.
     pub fn accepts_unsolicited(self) -> bool {
         matches!(self, FilteringPolicy::EndpointIndependent)
-    }
-}
-
-impl Default for FilteringPolicy {
-    fn default() -> Self {
-        FilteringPolicy::AddressAndPortDependent
     }
 }
 
@@ -107,7 +104,9 @@ mod tests {
     #[test]
     fn all_lists_every_variant_in_order() {
         assert_eq!(FilteringPolicy::ALL.len(), 3);
-        assert!(FilteringPolicy::ALL.windows(2).all(|w| w[1].is_stricter_than(w[0])));
+        assert!(FilteringPolicy::ALL
+            .windows(2)
+            .all(|w| w[1].is_stricter_than(w[0])));
     }
 
     #[test]

@@ -133,7 +133,13 @@ impl NatGateway {
     /// corresponding mapping. Refreshing only ever extends a mapping's lifetime: a packet
     /// carrying an older timestamp (which cannot happen on the engine's monotonic clock but
     /// can in hand-written tests) never shortens it.
-    pub fn record_outbound(&mut self, internal: NodeId, remote: NodeId, remote_ip: Ip, now: SimTime) {
+    pub fn record_outbound(
+        &mut self,
+        internal: NodeId,
+        remote: NodeId,
+        remote_ip: Ip,
+        now: SimTime,
+    ) {
         let entry = self.bindings.entry((internal, remote)).or_insert(Binding {
             internal,
             remote,
@@ -146,7 +152,13 @@ impl NatGateway {
 
     /// Decides whether an inbound packet from `from` (with observed source address
     /// `from_ip`) addressed to the internal node `internal` passes the gateway at `now`.
-    pub fn accepts_inbound(&self, internal: NodeId, from: NodeId, from_ip: Ip, now: SimTime) -> bool {
+    pub fn accepts_inbound(
+        &self,
+        internal: NodeId,
+        from: NodeId,
+        from_ip: Ip,
+        now: SimTime,
+    ) -> bool {
         if self.config.upnp_enabled {
             // An explicitly mapped UPnP port behaves like a public endpoint.
             return true;
@@ -257,10 +269,7 @@ mod tests {
 
     #[test]
     fn upnp_gateways_accept_everything() {
-        let mut g = NatGateway::new(
-            Ip::public(100),
-            NatGatewayConfig::default().upnp(true),
-        );
+        let mut g = NatGateway::new(Ip::public(100), NatGatewayConfig::default().upnp(true));
         assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO));
         g.purge_expired(SimTime::from_secs(1_000));
         assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(2_000)));
@@ -270,7 +279,12 @@ mod tests {
     fn purge_and_remove_internal_clean_the_table() {
         let mut g = gw(FilteringPolicy::AddressAndPortDependent);
         g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
-        g.record_outbound(NodeId::new(2), PEER_A, Ip::public(2), SimTime::from_secs(100));
+        g.record_outbound(
+            NodeId::new(2),
+            PEER_A,
+            Ip::public(2),
+            SimTime::from_secs(100),
+        );
         assert_eq!(g.binding_count(), 2);
         g.purge_expired(SimTime::from_secs(100));
         assert_eq!(g.binding_count(), 1);

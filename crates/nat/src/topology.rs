@@ -118,7 +118,10 @@ impl Inner {
             }
             draw -= *weight;
         }
-        self.filtering_mix.last().map(|(p, _)| *p).unwrap_or(self.default_config.filtering)
+        self.filtering_mix
+            .last()
+            .map(|(p, _)| *p)
+            .unwrap_or(self.default_config.filtering)
     }
 
     fn add_gateway(&mut self, config: NatGatewayConfig) -> GatewayId {
@@ -249,7 +252,11 @@ impl NatTopology {
                     .get(gateway)
                     .map(|gw| gw.config().upnp_enabled)
                     .unwrap_or(false);
-                Some(if upnp { NatClass::Public } else { NatClass::Private })
+                Some(if upnp {
+                    NatClass::Public
+                } else {
+                    NatClass::Private
+                })
             }
         }
     }
@@ -295,7 +302,11 @@ impl NatTopology {
 
     /// Number of registered nodes.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("NAT topology lock poisoned").profiles.len()
+        self.inner
+            .lock()
+            .expect("NAT topology lock poisoned")
+            .profiles
+            .len()
     }
 
     /// Returns `true` if no node is registered.
@@ -476,8 +487,14 @@ mod tests {
     fn public_nodes_are_always_reachable() {
         let t = populated();
         let mut f = t.clone();
-        assert_eq!(f.can_deliver(PRIV, PUB, SimTime::ZERO), DeliveryVerdict::Deliver);
-        assert_eq!(f.can_deliver(PUB, OTHER_PUB, SimTime::ZERO), DeliveryVerdict::Deliver);
+        assert_eq!(
+            f.can_deliver(PRIV, PUB, SimTime::ZERO),
+            DeliveryVerdict::Deliver
+        );
+        assert_eq!(
+            f.can_deliver(PUB, OTHER_PUB, SimTime::ZERO),
+            DeliveryVerdict::Deliver
+        );
     }
 
     #[test]
@@ -613,12 +630,20 @@ mod tests {
             // The private node contacts `helper`, creating a mapping; whether `probe` can
             // then reach it depends on the gateway's filtering policy.
             f.on_send(node, helper, SimTime::ZERO);
-            if f.can_deliver(probe, node, SimTime::from_secs(1)).is_delivered() {
+            if f.can_deliver(probe, node, SimTime::from_secs(1))
+                .is_delivered()
+            {
                 accepted += 1;
             }
         }
-        assert!(accepted > n / 5, "some gateways should be endpoint-independent: {accepted}");
-        assert!(accepted < n, "some gateways should be port-dependent: {accepted}");
+        assert!(
+            accepted > n / 5,
+            "some gateways should be endpoint-independent: {accepted}"
+        );
+        assert!(
+            accepted < n,
+            "some gateways should be port-dependent: {accepted}"
+        );
     }
 
     #[test]

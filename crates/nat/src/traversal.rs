@@ -145,15 +145,30 @@ mod tests {
             keepalive_interval(SimDuration::from_secs(30)),
             SimDuration::from_secs(15)
         );
-        assert_eq!(keepalive_interval(SimDuration::from_millis(1)), SimDuration::from_millis(1));
+        assert_eq!(
+            keepalive_interval(SimDuration::from_millis(1)),
+            SimDuration::from_millis(1)
+        );
     }
 
     #[test]
     fn forward_test_only_passes_endpoint_independent_gateways() {
-        assert!(forward_test_passes(FilteringPolicy::EndpointIndependent, true));
-        assert!(!forward_test_passes(FilteringPolicy::EndpointIndependent, false));
-        assert!(!forward_test_passes(FilteringPolicy::AddressDependent, true));
-        assert!(!forward_test_passes(FilteringPolicy::AddressAndPortDependent, true));
+        assert!(forward_test_passes(
+            FilteringPolicy::EndpointIndependent,
+            true
+        ));
+        assert!(!forward_test_passes(
+            FilteringPolicy::EndpointIndependent,
+            false
+        ));
+        assert!(!forward_test_passes(
+            FilteringPolicy::AddressDependent,
+            true
+        ));
+        assert!(!forward_test_passes(
+            FilteringPolicy::AddressAndPortDependent,
+            true
+        ));
     }
 
     #[test]

@@ -70,7 +70,12 @@ impl BootstrapRegistry {
     }
 
     /// Samples up to `count` distinct public nodes, never returning `excluded`.
-    pub fn sample_excluding(&self, count: usize, excluded: NodeId, rng: &mut SmallRng) -> Vec<NodeId> {
+    pub fn sample_excluding(
+        &self,
+        count: usize,
+        excluded: NodeId,
+        rng: &mut SmallRng,
+    ) -> Vec<NodeId> {
         // Sample one extra so that filtering out `excluded` still leaves `count` candidates
         // whenever possible.
         let mut candidates = self.sample(count + 1, rng);
@@ -170,6 +175,9 @@ mod tests {
         }
         let min = *counts.iter().min().unwrap() as f64;
         let max = *counts.iter().max().unwrap() as f64;
-        assert!(max / min < 1.5, "bootstrap sampling should be roughly uniform: {counts:?}");
+        assert!(
+            max / min < 1.5,
+            "bootstrap sampling should be roughly uniform: {counts:?}"
+        );
     }
 }

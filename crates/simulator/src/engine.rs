@@ -74,7 +74,10 @@ impl SimulationConfig {
     ///
     /// Panics if `jitter` is negative or not finite.
     pub fn with_round_jitter(mut self, jitter: f64) -> Self {
-        assert!(jitter.is_finite() && jitter >= 0.0, "jitter must be a non-negative number");
+        assert!(
+            jitter.is_finite() && jitter >= 0.0,
+            "jitter must be a non-negative number"
+        );
         self.round_jitter = jitter;
         self
     }
@@ -270,7 +273,8 @@ impl<P: Protocol> Simulation<P> {
         } else {
             self.cfg.round_period
         };
-        self.queue.schedule(self.now + phase, Event::Round { node: id });
+        self.queue
+            .schedule(self.now + phase, Event::Round { node: id });
     }
 
     /// Removes a node (crash or departure), returning its protocol state.
@@ -469,7 +473,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, _from: NodeId, msg: Self::Message, _ctx: &mut Context<'_, Self::Message>) {
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            msg: Self::Message,
+            _ctx: &mut Context<'_, Self::Message>,
+        ) {
             self.received.push(msg.0);
         }
 

@@ -107,7 +107,9 @@ mod tests {
 
     #[test]
     fn target_reports_the_executing_node() {
-        let e: Event<u32> = Event::Round { node: NodeId::new(3) };
+        let e: Event<u32> = Event::Round {
+            node: NodeId::new(3),
+        };
         assert_eq!(e.target(), NodeId::new(3));
         let e: Event<u32> = Event::Timer {
             node: NodeId::new(4),

@@ -238,7 +238,8 @@ mod tests {
         for i in 0..200u64 {
             for j in 0..5u64 {
                 samples.push(
-                    m.sample(NodeId::new(i), NodeId::new(1000 + j), &mut r).as_millis(),
+                    m.sample(NodeId::new(i), NodeId::new(1000 + j), &mut r)
+                        .as_millis(),
                 );
             }
         }
@@ -257,10 +258,15 @@ mod tests {
         let mut min = u64::MAX;
         let mut max = 0;
         for i in 0..50u64 {
-            let d = m.sample(NodeId::new(i), NodeId::new(i + 50), &mut r).as_millis();
+            let d = m
+                .sample(NodeId::new(i), NodeId::new(i + 50), &mut r)
+                .as_millis();
             min = min.min(d);
             max = max.max(d);
         }
-        assert!(max > min * 2, "latency matrix should be heterogeneous (min={min}, max={max})");
+        assert!(
+            max > min * 2,
+            "latency matrix should be heterogeneous (min={min}, max={max})"
+        );
     }
 }

@@ -95,7 +95,7 @@ pub use engine::{Simulation, SimulationConfig};
 pub use latency::{ConstantLatency, KingLatencyModel, LatencyModel, UniformLatency};
 pub use loss::{BernoulliLoss, LossModel, NoLoss};
 pub use network::{DeliveryFilter, DeliveryVerdict, OpenInternet};
-pub use protocol::{Context, PssNode, Protocol, TimerKey, WireSize};
+pub use protocol::{Context, Protocol, PssNode, TimerKey, WireSize};
 pub use rng::Seed;
 pub use time::{SimDuration, SimTime};
 pub use traffic::{NodeTraffic, TrafficLedger};

@@ -151,7 +151,7 @@ mod tests {
     fn class_biased_loss_discriminates_by_destination() {
         // Even node ids are public, odd ids private; drop everything to private nodes.
         let mut m = ClassBiasedLoss::new(0.0, 1.0, |n: NodeId| {
-            if n.as_u64() % 2 == 0 {
+            if n.as_u64().is_multiple_of(2) {
                 NatClass::Public
             } else {
                 NatClass::Private

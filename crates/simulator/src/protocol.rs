@@ -152,7 +152,12 @@ pub trait Protocol: Sized {
     fn on_round(&mut self, ctx: &mut Context<'_, Self::Message>);
 
     /// Invoked when a message from `from` is delivered to this node.
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    );
 
     /// Invoked when a timer set through [`Context::set_timer`] fires.
     fn on_timer(&mut self, _key: TimerKey, _ctx: &mut Context<'_, Self::Message>) {}
@@ -228,7 +233,13 @@ mod tests {
         assert_eq!(outbox.len(), 1);
         assert_eq!(outbox[0].to, NodeId::new(2));
         assert_eq!(outbox[0].msg, TestMsg(7));
-        assert_eq!(timers, vec![TimerRequest { delay: SimDuration::from_millis(100), key: TimerKey::new(3) }]);
+        assert_eq!(
+            timers,
+            vec![TimerRequest {
+                delay: SimDuration::from_millis(100),
+                key: TimerKey::new(3)
+            }]
+        );
     }
 
     #[test]

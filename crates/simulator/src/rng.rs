@@ -84,7 +84,9 @@ impl Seed {
 
     /// Derives a child seed for a node-specific stream.
     pub fn derive_for_node(self, node: NodeId) -> Seed {
-        Seed(splitmix64(self.0 ^ splitmix64(node.as_u64().wrapping_add(0x4e4f_4445))))
+        Seed(splitmix64(
+            self.0 ^ splitmix64(node.as_u64().wrapping_add(0x4e4f_4445)),
+        ))
     }
 
     /// Builds the random number generator for a named stream.
@@ -123,14 +125,18 @@ mod tests {
     #[test]
     fn same_seed_same_stream_is_deterministic() {
         let s = Seed::new(1);
-        let a: Vec<u64> = (0..8).map({
-            let mut r = s.stream_rng(Stream::Latency);
-            move |_| r.gen()
-        }).collect();
-        let b: Vec<u64> = (0..8).map({
-            let mut r = s.stream_rng(Stream::Latency);
-            move |_| r.gen()
-        }).collect();
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = s.stream_rng(Stream::Latency);
+                move |_| r.gen()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = s.stream_rng(Stream::Latency);
+                move |_| r.gen()
+            })
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -87,7 +87,9 @@ mod tests {
     use crate::types::NodeId;
 
     fn round(node: u64) -> Event<u32> {
-        Event::Round { node: NodeId::new(node) }
+        Event::Round {
+            node: NodeId::new(node),
+        }
     }
 
     #[test]

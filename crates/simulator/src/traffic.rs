@@ -149,7 +149,10 @@ mod tests {
     fn unknown_node_defaults_to_zero() {
         let ledger = TrafficLedger::new();
         assert!(ledger.node(NodeId::new(9)).is_none());
-        assert_eq!(ledger.node_or_default(NodeId::new(9)), NodeTraffic::default());
+        assert_eq!(
+            ledger.node_or_default(NodeId::new(9)),
+            NodeTraffic::default()
+        );
     }
 
     #[test]

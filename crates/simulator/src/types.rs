@@ -71,9 +71,12 @@ impl From<NodeId> for u64 {
 /// assert!(!NatClass::Private.is_public());
 /// assert_eq!(NatClass::Public.opposite(), NatClass::Private);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
 pub enum NatClass {
     /// The node has a globally reachable address (open IP or UPnP-mapped port).
+    #[default]
     Public,
     /// The node sits behind at least one NAT or firewall and cannot be contacted unless it
     /// initiated the exchange.
@@ -106,12 +109,6 @@ impl fmt::Display for NatClass {
             NatClass::Public => write!(f, "public"),
             NatClass::Private => write!(f, "private"),
         }
-    }
-}
-
-impl Default for NatClass {
-    fn default() -> Self {
-        NatClass::Public
     }
 }
 

@@ -29,7 +29,11 @@ fn main() {
 
     for fraction in fractions {
         let mut row = format!("{:>9}%", (fraction * 100.0) as u32);
-        for kind in [ProtocolKind::Croupier, ProtocolKind::Gozar, ProtocolKind::Nylon] {
+        for kind in [
+            ProtocolKind::Croupier,
+            ProtocolKind::Gozar,
+            ProtocolKind::Nylon,
+        ] {
             let params = ExperimentParams::default()
                 .with_seed(0xFA11)
                 .with_population(n_public, n_private)

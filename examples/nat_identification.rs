@@ -12,6 +12,10 @@ use croupier::{NatIdentificationConfig, NatIdentificationNode};
 use croupier_nat::{AddressInfo, FilteringPolicy, NatGatewayConfig, NatTopologyBuilder};
 use croupier_simulator::{NodeId, SimDuration, Simulation, SimulationConfig};
 
+/// A named gateway profile: the label printed per row and the topology setup for the node
+/// under test.
+type GatewayProfile<'a> = (&'a str, Box<dyn Fn(NodeId) + 'a>);
+
 fn main() {
     let topology = NatTopologyBuilder::new(7).build();
     let info: Arc<dyn AddressInfo + Send + Sync> = Arc::new(topology.clone());
@@ -27,9 +31,15 @@ fn main() {
     }
 
     // Nodes under test, one per gateway configuration of interest.
-    let profiles: Vec<(&str, Box<dyn Fn(NodeId) + '_>)> = vec![
-        ("open internet (public IP)", Box::new(|id| topology.add_public_node(id))),
-        ("UPnP-enabled NAT", Box::new(|id| topology.add_upnp_node(id))),
+    let profiles: Vec<GatewayProfile<'_>> = vec![
+        (
+            "open internet (public IP)",
+            Box::new(|id| topology.add_public_node(id)),
+        ),
+        (
+            "UPnP-enabled NAT",
+            Box::new(|id| topology.add_upnp_node(id)),
+        ),
         (
             "NAT, endpoint-independent filtering",
             Box::new(|id| {
@@ -65,7 +75,11 @@ fn main() {
         setup(id);
         sim.add_node(
             id,
-            NatIdentificationNode::new_client(id, Arc::clone(&info), NatIdentificationConfig::default()),
+            NatIdentificationNode::new_client(
+                id,
+                Arc::clone(&info),
+                NatIdentificationConfig::default(),
+            ),
         );
         clients.push((id, *label));
     }
@@ -79,7 +93,9 @@ fn main() {
         let node = sim.node(id).expect("client exists");
         println!(
             "{label:<45} {:<10} {}",
-            node.conclusion().map(|c| c.to_string()).unwrap_or_else(|| "unknown".into()),
+            node.conclusion()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "unknown".into()),
             node.evidence().map(|e| e.to_string()).unwrap_or_default(),
         );
     }

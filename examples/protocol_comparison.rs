@@ -7,8 +7,8 @@
 //! cargo run --release --example protocol_comparison
 //! ```
 
-use croupier_experiments::output::Scale;
 use croupier_experiments::figures::{fig6_randomness, fig7_overhead};
+use croupier_experiments::output::Scale;
 use croupier_metrics::indegree_histogram;
 
 fn main() {
@@ -39,7 +39,10 @@ fn main() {
 
     // Protocol overhead (Fig. 7a).
     println!("\nper-node load at steady state (bytes per second):\n");
-    println!("{:<10} {:>16} {:>16}", "protocol", "public nodes", "private nodes");
+    println!(
+        "{:<10} {:>16} {:>16}",
+        "protocol", "public nodes", "private nodes"
+    );
     for (kind, report) in fig7_overhead::measure(scale) {
         println!(
             "{:<10} {:>16.1} {:>16.1}",

@@ -36,7 +36,12 @@ fn main() {
     // One simulated minute of one-second gossip rounds.
     sim.run_for_rounds(60);
 
-    println!("nodes: {} ({} public, {} private)", sim.len(), n_public, n_private);
+    println!(
+        "nodes: {} ({} public, {} private)",
+        sim.len(),
+        n_public,
+        n_private
+    );
     println!(
         "messages delivered: {}, blocked by NATs: {}",
         sim.network_stats().delivered,

@@ -44,7 +44,11 @@ where
     sim.set_delivery_filter(topology.clone());
     for i in 0..(N_PUBLIC + N_PRIVATE) {
         let id = NodeId::new(i);
-        let class = if i < N_PUBLIC { NatClass::Public } else { NatClass::Private };
+        let class = if i < N_PUBLIC {
+            NatClass::Public
+        } else {
+            NatClass::Private
+        };
         topology.add_node(id, class);
         if class.is_public() {
             sim.register_public(id);
@@ -120,13 +124,22 @@ fn main() {
 
     // Cyclon on the *same NATed population*: views fill with unreachable private nodes and
     // private nodes are under-represented, so coverage lags.
-    let (mut cyclon_sim, cyclon_topology) =
-        build(11, |id, _class| CyclonNode::new(id, BaselineConfig::default()));
+    let (mut cyclon_sim, cyclon_topology) = build(11, |id, _class| {
+        CyclonNode::new(id, BaselineConfig::default())
+    });
     let cyclon_coverage = disseminate(&mut cyclon_sim, &cyclon_topology);
 
-    println!("{:>6} {:>20} {:>20}", "round", "croupier coverage", "cyclon coverage");
+    println!(
+        "{:>6} {:>20} {:>20}",
+        "round", "croupier coverage", "cyclon coverage"
+    );
     for (round, (croupier, cyclon)) in croupier_coverage.iter().zip(&cyclon_coverage).enumerate() {
-        println!("{:>6} {:>19.1}% {:>19.1}%", round + 1, croupier * 100.0, cyclon * 100.0);
+        println!(
+            "{:>6} {:>19.1}% {:>19.1}%",
+            round + 1,
+            croupier * 100.0,
+            cyclon * 100.0
+        );
     }
 
     let croupier_final = croupier_coverage.last().copied().unwrap_or(0.0);

@@ -10,14 +10,20 @@ use croupier_suite::experiments::runner::ExperimentParams;
 fn figure_runs_are_bit_identical_across_repetitions() {
     let a = fig1_stable_ratio::run(Scale::Tiny);
     let b = fig1_stable_ratio::run(Scale::Tiny);
-    assert_eq!(a, b, "figure 1 must regenerate identically for the same seed");
+    assert_eq!(
+        a, b,
+        "figure 1 must regenerate identically for the same seed"
+    );
 }
 
 #[test]
 fn failure_experiments_are_reproducible() {
     let a = fig8_failure::run(Scale::Tiny);
     let b = fig8_failure::run(Scale::Tiny);
-    assert_eq!(a, b, "figure 7(b) must regenerate identically for the same seed");
+    assert_eq!(
+        a, b,
+        "figure 7(b) must regenerate identically for the same seed"
+    );
 }
 
 #[test]
@@ -32,7 +38,10 @@ fn every_protocol_is_deterministic_under_the_generic_driver() {
             .with_graph_metrics(8);
         let a = run_kind(kind, &params, &configs);
         let b = run_kind(kind, &params, &configs);
-        assert_eq!(a.samples, b.samples, "{kind} runs diverged for the same seed");
+        assert_eq!(
+            a.samples, b.samples,
+            "{kind} runs diverged for the same seed"
+        );
         assert_eq!(
             a.final_snapshot, b.final_snapshot,
             "{kind} snapshots diverged for the same seed"

@@ -52,7 +52,11 @@ fn nat_identification_then_peer_sampling() {
         let id = NodeId::new(i);
         ident_sim.add_node(
             id,
-            NatIdentificationNode::new_client(id, Arc::clone(&info), NatIdentificationConfig::default()),
+            NatIdentificationNode::new_client(
+                id,
+                Arc::clone(&info),
+                NatIdentificationConfig::default(),
+            ),
         );
     }
     ident_sim.run_for(SimDuration::from_secs(15));
@@ -81,7 +85,10 @@ fn nat_identification_then_peer_sampling() {
         }
     }
     for (id, class) in &classified {
-        pss_sim.add_node(*id, CroupierNode::new(*id, *class, CroupierConfig::default()));
+        pss_sim.add_node(
+            *id,
+            CroupierNode::new(*id, *class, CroupierConfig::default()),
+        );
     }
     pss_sim.run_for_rounds(80);
 

@@ -1,157 +1,213 @@
-//! Property-based tests (proptest) of the core data structures and their invariants:
-//! bounded views, the ratio estimator, the sampler, the NAT gateway mapping table and the
-//! workload generators.
+//! Randomized property tests of the core data structures and their invariants: bounded
+//! views, the ratio estimator, the sampler, the NAT gateway mapping table and simulated
+//! time arithmetic.
+//!
+//! Originally written against `proptest`; the offline build environment cannot fetch it,
+//! so the same properties are exercised with a deterministic seeded case generator. Every
+//! test runs a few hundred independently generated cases and reports the case seed on
+//! failure, so a failing case reproduces exactly.
 
 use croupier_suite::croupier::{
     sample_from_views, Descriptor, EstimateRecord, RatioEstimator, View,
 };
 use croupier_suite::nat::{FilteringPolicy, Ip, NatGateway, NatGatewayConfig};
 use croupier_suite::simulator::{NatClass, NodeId, SimDuration, SimTime};
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_class() -> impl Strategy<Value = NatClass> {
-    prop_oneof![Just(NatClass::Public), Just(NatClass::Private)]
+/// Number of random cases per property.
+const CASES: u64 = 250;
+
+/// Runs `check` once per case with an independently seeded generator.
+fn for_each_case(name: &str, mut check: impl FnMut(&mut SmallRng)) {
+    for case in 0..CASES {
+        let seed = 0x5eed_0000 + case;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(&mut rng);
+        }));
+        if let Err(panic) = result {
+            eprintln!("property `{name}` failed for case seed {seed:#x}");
+            std::panic::resume_unwind(panic);
+        }
+    }
 }
 
-fn arb_descriptor() -> impl Strategy<Value = Descriptor> {
-    (0u64..64, arb_class(), 0u32..100)
-        .prop_map(|(id, class, age)| Descriptor::with_age(NodeId::new(id), class, age))
+fn arb_class(rng: &mut SmallRng) -> NatClass {
+    if rng.gen_bool(0.5) {
+        NatClass::Public
+    } else {
+        NatClass::Private
+    }
 }
 
-proptest! {
-    /// A view never exceeds its capacity, never contains duplicates and never contains the
-    /// owner, no matter what sequence of exchanges it absorbs.
-    #[test]
-    fn view_invariants_hold_under_arbitrary_exchanges(
-        capacity in 1usize..12,
-        exchanges in proptest::collection::vec(
-            (proptest::collection::vec(arb_descriptor(), 0..8),
-             proptest::collection::vec(arb_descriptor(), 0..8)),
-            0..12,
-        ),
-    ) {
+fn arb_descriptor(rng: &mut SmallRng) -> Descriptor {
+    let id = rng.gen_range(0u64..64);
+    let class = arb_class(rng);
+    let age = rng.gen_range(0u32..100);
+    Descriptor::with_age(NodeId::new(id), class, age)
+}
+
+fn arb_descriptors(rng: &mut SmallRng, max_len: usize) -> Vec<Descriptor> {
+    let len = rng.gen_range(0..=max_len);
+    (0..len).map(|_| arb_descriptor(rng)).collect()
+}
+
+/// A view never exceeds its capacity, never contains duplicates and never contains the
+/// owner, no matter what sequence of exchanges it absorbs.
+#[test]
+fn view_invariants_hold_under_arbitrary_exchanges() {
+    for_each_case("view_invariants", |rng| {
+        let capacity = rng.gen_range(1usize..12);
         let owner = NodeId::new(1_000);
         let mut view = View::new(capacity);
-        for (sent, received) in exchanges {
+        let exchange_count = rng.gen_range(0usize..12);
+        for _ in 0..exchange_count {
+            let sent = arb_descriptors(rng, 7);
+            let received = arb_descriptors(rng, 7);
             view.increment_ages();
             view.apply_exchange_swapper(&sent, &received, owner);
 
-            prop_assert!(view.len() <= capacity, "capacity exceeded: {}", view.len());
-            prop_assert!(!view.contains(owner), "owner must never enter its own view");
+            assert!(view.len() <= capacity, "capacity exceeded: {}", view.len());
+            assert!(!view.contains(owner), "owner must never enter its own view");
             let mut nodes: Vec<_> = view.nodes();
             nodes.sort();
             let before = nodes.len();
             nodes.dedup();
-            prop_assert_eq!(before, nodes.len(), "duplicate descriptors in view");
+            assert_eq!(before, nodes.len(), "duplicate descriptors in view");
         }
-    }
+    });
+}
 
-    /// The healer merge keeps the freshest descriptors and respects the same invariants.
-    #[test]
-    fn healer_merge_respects_capacity_and_freshness(
-        capacity in 1usize..10,
-        received in proptest::collection::vec(arb_descriptor(), 0..20),
-    ) {
+/// The healer merge keeps the freshest descriptors and respects the same invariants.
+#[test]
+fn healer_merge_respects_capacity_and_freshness() {
+    for_each_case("healer_merge", |rng| {
+        let capacity = rng.gen_range(1usize..10);
+        let received = arb_descriptors(rng, 19);
         let owner = NodeId::new(1_000);
         let mut view = View::new(capacity);
         view.apply_exchange_healer(&received, owner);
-        prop_assert!(view.len() <= capacity);
-        prop_assert!(!view.contains(owner));
-        // Every kept descriptor is at least as fresh as every dropped duplicate of the same
-        // node (the healer always keeps the minimum age seen per node).
+        assert!(view.len() <= capacity);
+        assert!(!view.contains(owner));
+        // Every kept descriptor is the freshest duplicate of its node: the view was built
+        // solely from `received`, and the healer always keeps the minimum age seen per
+        // node, so each kept age must equal the minimum over that node's received ages.
         for descriptor in view.iter() {
             let min_age = received
                 .iter()
                 .filter(|d| d.node == descriptor.node)
                 .map(|d| d.age)
                 .min()
-                .unwrap_or(descriptor.age);
-            prop_assert!(descriptor.age <= min_age.max(descriptor.age));
+                .expect("every kept descriptor originates from `received`");
+            assert!(
+                descriptor.age <= min_age,
+                "healer kept age {} for {} but a fresher duplicate of age {min_age} existed",
+                descriptor.age,
+                descriptor.node
+            );
         }
-    }
+    });
+}
 
-    /// The estimator's node-level estimate always stays within [0, 1] and only uses records
-    /// that are inside the neighbour-history window.
-    #[test]
-    fn estimator_estimate_stays_in_unit_interval(
-        class in arb_class(),
-        alpha in 1usize..50,
-        gamma in 1u32..100,
-        requests in proptest::collection::vec(arb_class(), 0..200),
-        records in proptest::collection::vec((0u64..32, 0.0f64..1.0, 0u32..150), 0..64),
-        rounds in 1usize..30,
-    ) {
+/// The estimator's node-level estimate always stays within [0, 1] and only uses records
+/// that are inside the neighbour-history window.
+#[test]
+fn estimator_estimate_stays_in_unit_interval() {
+    for_each_case("estimator_unit_interval", |rng| {
+        let class = arb_class(rng);
+        let alpha = rng.gen_range(1usize..50);
+        let gamma = rng.gen_range(1u32..100);
         let me = NodeId::new(999);
         let mut estimator = RatioEstimator::new(class, alpha, gamma);
-        for sender in &requests {
-            estimator.record_request(*sender);
+        for _ in 0..rng.gen_range(0usize..200) {
+            let sender = arb_class(rng);
+            estimator.record_request(sender);
         }
-        let records: Vec<EstimateRecord> = records
-            .into_iter()
-            .map(|(origin, ratio, age)| EstimateRecord { origin: NodeId::new(origin), ratio, age })
+        let record_count = rng.gen_range(0usize..64);
+        let records: Vec<EstimateRecord> = (0..record_count)
+            .map(|_| EstimateRecord {
+                origin: NodeId::new(rng.gen_range(0u64..32)),
+                ratio: rng.gen_range(0.0f64..1.0),
+                age: rng.gen_range(0u32..150),
+            })
             .collect();
         estimator.ingest(&records, me);
-        for _ in 0..rounds {
+        for _ in 0..rng.gen_range(1usize..30) {
             estimator.advance_round();
         }
         if let Some(estimate) = estimator.estimate() {
-            prop_assert!((0.0..=1.0).contains(&estimate), "estimate out of range: {estimate}");
+            assert!(
+                (0.0..=1.0).contains(&estimate),
+                "estimate out of range: {estimate}"
+            );
         }
         if let Some(local) = estimator.local_estimate() {
-            prop_assert!(class.is_public(), "private nodes never have a local estimate");
-            prop_assert!((0.0..=1.0).contains(&local));
+            assert!(
+                class.is_public(),
+                "private nodes never have a local estimate"
+            );
+            assert!((0.0..=1.0).contains(&local));
         }
         // Cached records all respect the gamma window after aging.
-        prop_assert!(estimator.cached_count() <= 64);
-    }
+        assert!(estimator.cached_count() <= 64);
+    });
+}
 
-    /// Shared estimate payloads are bounded and sampling always returns a view member.
-    #[test]
-    fn sampler_returns_members_of_the_views(
-        publics in proptest::collection::vec(0u64..500, 0..10),
-        privates in proptest::collection::vec(500u64..1000, 0..10),
-        ratio in proptest::option::of(0.0f64..1.0),
-        seed in 0u64..1000,
-    ) {
+/// Sampling always returns a member of one of the two views (or nothing when both are
+/// empty), whatever the estimated ratio.
+#[test]
+fn sampler_returns_members_of_the_views() {
+    for_each_case("sampler_membership", |rng| {
         let mut public_view = View::new(10);
-        for id in &publics {
-            public_view.insert(Descriptor::new(NodeId::new(*id), NatClass::Public));
+        for _ in 0..rng.gen_range(0usize..10) {
+            let id = rng.gen_range(0u64..500);
+            public_view.insert(Descriptor::new(NodeId::new(id), NatClass::Public));
         }
         let mut private_view = View::new(10);
-        for id in &privates {
-            private_view.insert(Descriptor::new(NodeId::new(*id), NatClass::Private));
+        for _ in 0..rng.gen_range(0usize..10) {
+            let id = rng.gen_range(500u64..1000);
+            private_view.insert(Descriptor::new(NodeId::new(id), NatClass::Private));
         }
-        let mut rng = SmallRng::seed_from_u64(seed);
-        match sample_from_views(&public_view, &private_view, ratio, &mut rng) {
+        let ratio = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(0.0f64..1.0))
+        } else {
+            None
+        };
+        let mut draw_rng = SmallRng::seed_from_u64(rng.gen::<u64>());
+        match sample_from_views(&public_view, &private_view, ratio, &mut draw_rng) {
             Some(sample) => {
-                prop_assert!(
+                assert!(
                     public_view.contains(sample) || private_view.contains(sample),
                     "sample {sample} is not a member of either view"
                 );
             }
             None => {
-                prop_assert!(public_view.is_empty() && private_view.is_empty());
+                assert!(public_view.is_empty() && private_view.is_empty());
             }
         }
-    }
+    });
+}
 
-    /// A NAT gateway only admits inbound traffic that a real NAT with the same filtering
-    /// policy would admit: there must be a non-expired outbound binding, and for
-    /// port-dependent filtering it must point at the exact sender.
-    #[test]
-    fn gateway_admission_requires_a_matching_binding(
-        policy in prop_oneof![
-            Just(FilteringPolicy::EndpointIndependent),
-            Just(FilteringPolicy::AddressDependent),
-            Just(FilteringPolicy::AddressAndPortDependent),
-        ],
-        timeout_secs in 1u64..120,
-        outbound in proptest::collection::vec((0u64..8, 0u64..600), 0..30),
-        probe_peer in 0u64..8,
-        probe_at in 0u64..700,
-    ) {
+/// A NAT gateway only admits inbound traffic that a real NAT with the same filtering
+/// policy would admit: there must be a non-expired outbound binding, and for
+/// port-dependent filtering it must point at the exact sender.
+#[test]
+fn gateway_admission_requires_a_matching_binding() {
+    let policies = [
+        FilteringPolicy::EndpointIndependent,
+        FilteringPolicy::AddressDependent,
+        FilteringPolicy::AddressAndPortDependent,
+    ];
+    for_each_case("gateway_admission", |rng| {
+        let policy = policies[rng.gen_range(0..policies.len())];
+        let timeout_secs = rng.gen_range(1u64..120);
+        let outbound: Vec<(u64, u64)> = (0..rng.gen_range(0usize..30))
+            .map(|_| (rng.gen_range(0u64..8), rng.gen_range(0u64..600)))
+            .collect();
+        let probe_peer = rng.gen_range(0u64..8);
+        let probe_at = rng.gen_range(0u64..700);
+
         let internal = NodeId::new(100);
         let mut gateway = NatGateway::new(
             Ip::public(1),
@@ -188,22 +244,26 @@ proptest! {
                 fresh(probe_peer)
             }
         };
-        prop_assert_eq!(accepted, expected, "policy {} disagreed with the model", policy);
-    }
+        assert_eq!(
+            accepted, expected,
+            "policy {policy} disagreed with the model"
+        );
+    });
+}
 
-    /// Simulated time arithmetic never panics and preserves ordering.
-    #[test]
-    fn sim_time_arithmetic_is_monotonic(
-        start in 0u64..1_000_000,
-        deltas in proptest::collection::vec(0u64..10_000, 0..50),
-    ) {
+/// Simulated time arithmetic never panics and preserves ordering.
+#[test]
+fn sim_time_arithmetic_is_monotonic() {
+    for_each_case("sim_time_monotonic", |rng| {
+        let start = rng.gen_range(0u64..1_000_000);
         let mut t = SimTime::from_millis(start);
         let mut previous = t;
-        for d in deltas {
+        for _ in 0..rng.gen_range(0usize..50) {
+            let d = rng.gen_range(0u64..10_000);
             t += SimDuration::from_millis(d);
-            prop_assert!(t >= previous);
-            prop_assert_eq!(t - previous, SimDuration::from_millis(d));
+            assert!(t >= previous);
+            assert_eq!(t - previous, SimDuration::from_millis(d));
             previous = t;
         }
-    }
+    });
 }

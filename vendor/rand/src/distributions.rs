@@ -1,0 +1,193 @@
+//! Distributions: the [`Standard`] distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform over all values for integers and `bool`,
+/// uniform over `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        <Standard as Distribution<u128>>::sample(self, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 mantissa bits -> uniform in [0, 1), matching upstream's Standard for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can produce uniformly distributed samples of `T`.
+    ///
+    /// Implemented for `Range` and `RangeInclusive` over the primitive integers and floats,
+    /// which is what `Rng::gen_range` accepts.
+    pub trait SampleRange<T> {
+        /// Draws one sample uniformly from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniformly draws from `[0, bound)` without modulo bias (Lemire's method with a
+    /// widening multiply and rejection on the low word).
+    #[inline]
+    fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    macro_rules! sample_range_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    let offset = uniform_u64_below(rng, span);
+                    ((self.start as $wide).wrapping_add(offset as $wide)) as $t
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let offset = uniform_u64_below(rng, span + 1);
+                    ((start as $wide).wrapping_add(offset as $wide)) as $t
+                }
+            }
+        )*};
+    }
+
+    sample_range_int!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! sample_range_float {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let span = self.end as f64 - self.start as f64;
+                    let v = self.start as f64 + unit * span;
+                    // Floating-point rounding can land exactly on `end`; clamp back inside.
+                    if v as $t >= self.end { self.start } else { v as $t }
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                #[inline]
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    (start as f64 + unit * (end as f64 - start as f64)) as $t
+                }
+            }
+        )*};
+    }
+
+    sample_range_float!(f32, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn signed_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v: i64 = (-5i64..5).sample_single(&mut rng);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _: u64 = (5u64..5).sample_single(&mut rng);
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            let v: u8 = (0u8..=2).sample_single(&mut rng);
+            saw[v as usize] = true;
+        }
+        assert_eq!(saw, [true; 3]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sequence-related helpers: slice shuffling/choosing and index sampling, mirroring
+//! `rand::seq`.
+
+use crate::distributions::uniform::SampleRange;
+use crate::RngCore;
+
+/// Extension trait adding random operations to slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type of the slice.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a reference to one element chosen uniformly at random, or `None` if the
+    /// slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns an iterator over `amount` distinct elements chosen uniformly at random, in
+    /// random order. If the slice has fewer than `amount` elements, all are returned.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get((0..self.len()).sample_single(rng))
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let picked = index::sample(rng, self.len(), amount.min(self.len()));
+        picked
+            .into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+pub mod index {
+    //! Uniform sampling of distinct indices, mirroring `rand::seq::index`.
+
+    use crate::distributions::uniform::SampleRange;
+    use crate::RngCore;
+
+    /// A set of sampled indices.
+    ///
+    /// Upstream returns an enum optimised for `u32`; the shim stores plain `usize`s, which
+    /// is entirely adequate at simulation scale.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Returns `true` when no index was sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Converts into a plain vector of indices.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, usize>> {
+            self.0.iter().copied()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices from `0..length`, uniformly at random, in random
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length` (matching upstream).
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} distinct indices from 0..{length}"
+        );
+        // Partial Fisher–Yates over a scratch index table: O(length) memory, O(amount)
+        // swaps. At simulation scale (≤ a few hundred thousand nodes) this is simpler and
+        // faster than upstream's adaptive choice between Floyd's algorithm and rejection.
+        let mut indices: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = (i..length).sample_single(rng);
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        IndexVec(indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle staying sorted is ~impossible"
+        );
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let v: Vec<u32> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(v.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_is_uniformish() {
+        let v: Vec<usize> = (0..4).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[*v.choose(&mut rng).unwrap()] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket {c} far from 10000");
+        }
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let picked = index::sample(&mut rng, 50, 10);
+        assert_eq!(picked.len(), 10);
+        let mut v = picked.into_vec();
+        assert!(v.iter().all(|&i| i < 50));
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn choose_multiple_caps_at_len() {
+        let v = [1, 2, 3];
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut picked: Vec<i32> = v.choose_multiple(&mut rng, 10).copied().collect();
+        picked.sort_unstable();
+        assert_eq!(picked, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn index_sample_rejects_oversized_amount() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        index::sample(&mut rng, 3, 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline shim of the [`serde`](https://crates.io/crates/serde) surface this workspace
+//! uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to mark types as
+//! wire-representable; nothing serializes through a `Serializer` yet (experiment output is
+//! written as CSV by hand). With no crates.io access, this shim supplies the two traits as
+//! markers plus a derive macro emitting trivial impls, so every `#[derive(Serialize,
+//! Deserialize)]` in the tree compiles unchanged and can later be switched to real serde by
+//! swapping one path dependency.
+
+#![warn(missing_docs)]
+
+/// Marker for types with a serializable representation.
+///
+/// The shim carries no serializer plumbing; the trait exists so derives and generic bounds
+/// written against real serde keep compiling.
+pub trait Serialize {}
+
+/// Marker for types that can be reconstructed from a serialized representation.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input, mirroring
+/// `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_for_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_for_primitives!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::HashSet<T> {}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}

@@ -1,0 +1,141 @@
+//! Derive macros for the offline serde shim.
+//!
+//! The shim's `Serialize`/`Deserialize` are marker traits, so the derives only need to
+//! emit `impl serde::Serialize for T {}` blocks. The input is parsed with a tiny hand
+//! parser (no `syn`/`quote` — they are unavailable offline): it extracts the type name and
+//! the generic parameter names, and mirrors the generics onto the impl with
+//! `Serialize`/`Deserialize` bounds, exactly like real serde's default bound inference.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The parsed shape of a `derive` input: type name plus generic parameter names.
+struct DeriveInput {
+    name: String,
+    /// Type/lifetime parameter names in declaration order, e.g. `["'a", "T"]`.
+    generics: Vec<String>,
+}
+
+/// Extracts the type name and generic parameter names from a `struct`/`enum`/`union` item.
+fn parse_input(input: TokenStream) -> DeriveInput {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, doc comments, visibility, and modifiers until the item keyword.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the attribute group that follows `#`.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    break;
+                }
+                // `pub`, `pub(crate)` (group consumed on next iteration), `r#ident`, etc.
+            }
+            _ => {}
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while let Some(tt) = tokens.next() {
+                match tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                        // A lifetime parameter: join the quote with the following ident.
+                        if let Some(TokenTree::Ident(id)) = tokens.next() {
+                            generics.push(format!("'{id}"));
+                        }
+                        expect_param = false;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let word = id.to_string();
+                        if word != "const" {
+                            generics.push(word);
+                            expect_param = false;
+                        }
+                        // `const N: usize` params would need their own handling; none of
+                        // the workspace types use them with serde derives.
+                    }
+                    _ => {
+                        if depth == 1 {
+                            // Inside a bound (`T: Clone`) or default (`= u64`): not a new
+                            // parameter until the next top-level comma.
+                            expect_param = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    DeriveInput { name, generics }
+}
+
+/// Builds `impl<PARAMS> TRAIT for NAME<PARAMS> {}` with `TRAIT` bounds on type params.
+fn marker_impl(input: &DeriveInput, trait_path: &str, extra_lifetime: Option<&str>) -> String {
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    for g in &input.generics {
+        if g.starts_with('\'') {
+            impl_params.push(g.clone());
+        } else {
+            impl_params.push(format!("{g}: {trait_path}"));
+        }
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if input.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", input.generics.join(", "))
+    };
+    let trait_with_lt = match extra_lifetime {
+        Some(lt) => format!("{trait_path}<{lt}>"),
+        None => trait_path.to_string(),
+    };
+    format!(
+        "#[automatically_derived] impl{impl_generics} {trait_with_lt} for {}{ty_generics} {{}}",
+        input.name
+    )
+}
+
+/// Derives the shim's marker `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    marker_impl(&parsed, "serde::Serialize", None)
+        .parse()
+        .expect("serde shim derive emitted invalid tokens")
+}
+
+/// Derives the shim's marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    marker_impl(&parsed, "serde::Deserialize", Some("'de"))
+        .parse()
+        .expect("serde shim derive emitted invalid tokens")
+}
