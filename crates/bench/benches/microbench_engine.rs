@@ -1,0 +1,70 @@
+//! Engine-level benchmarks: gossip-round throughput of the sharded phase-parallel engine
+//! across worker-thread counts at 10k and 100k nodes.
+//!
+//! Each benchmark drives a full Croupier deployment (20 % public, NAT topology attached)
+//! and times `run_for_rounds(1)`, i.e. one complete phase of every node's gossip round plus
+//! message delivery and the barrier merge. Comparing `threads_1` against `threads_4` on a
+//! multi-core machine shows the sharding speedup; `BENCH_microbench_engine.json` (emitted
+//! by the criterion shim) feeds the CI `bench-regression` job.
+//!
+//! Thread counts beyond the machine's core count cannot speed anything up — on a
+//! single-core container every `threads_*` row measures the same serial work plus
+//! scheduling overhead, so judge scaling only on hardware with at least as many cores as
+//! the largest thread count (the committed `ci/bench-baseline/` numbers record whatever
+//! machine produced them; see the workflow comment for the `--update` refresh flow).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use croupier::{CroupierConfig, CroupierNode};
+use croupier_nat::NatTopologyBuilder;
+use croupier_simulator::{NatClass, NodeId, ShardedSimulation, SimulationConfig};
+
+/// Fraction of public nodes, matching the paper's default ratio.
+const PUBLIC_EVERY: u64 = 5;
+
+fn build_sim(nodes: u64, threads: usize) -> ShardedSimulation<CroupierNode> {
+    let topology = NatTopologyBuilder::new(0xE17).build();
+    let mut sim = ShardedSimulation::new(
+        SimulationConfig::default()
+            .with_seed(0xE17)
+            .with_engine_threads(threads),
+    );
+    sim.set_delivery_filter(topology.clone());
+    for i in 0..nodes {
+        let id = NodeId::new(i);
+        let class = if i % PUBLIC_EVERY == 0 {
+            NatClass::Public
+        } else {
+            NatClass::Private
+        };
+        topology.add_node(id, class);
+        if class.is_public() {
+            sim.register_public(id);
+        }
+        sim.add_node(id, CroupierNode::new(id, class, CroupierConfig::default()));
+    }
+    // Warm the views so the timed rounds exercise steady-state shuffling, not cold starts.
+    sim.run_for_rounds(3);
+    sim
+}
+
+fn bench_round_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    // A 100k-node round takes on the order of a second; a larger budget keeps the minimum
+    // (the regression gate's metric) based on several iterations rather than one or two.
+    group.measurement_time(Duration::from_secs(6));
+    for &nodes in &[10_000u64, 100_000] {
+        for &threads in &[1usize, 2, 4, 8] {
+            let mut sim = build_sim(nodes, threads);
+            group.bench_function(format!("{}k_nodes/threads_{threads}", nodes / 1_000), |b| {
+                b.iter(|| sim.run_for_rounds(1))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_throughput);
+criterion_main!(benches);

@@ -22,6 +22,13 @@
 //! | `fig7_failure`        | Fig. 7(b) — connectivity after failure      |
 //! | `ablation_policies`   | design-choice ablation (selection/merge)    |
 //! | `microbench_core`     | hot-path micro-benchmarks (view, estimator) |
+//! | `microbench_engine`   | sharded-engine round throughput (1/2/4/8 threads, 10k/100k nodes) |
+//!
+//! Every run additionally emits `BENCH_<target>.json` (mean ns, ops/sec per benchmark)
+//! into `target/bench-json/` — see the criterion shim's docs and `cargo xtask
+//! bench-compare`, which the CI `bench-regression` job uses to flag >25 % throughput
+//! regressions in `microbench_core` and `microbench_engine` against the committed
+//! baseline in `ci/bench-baseline/`.
 
 /// Number of Criterion samples used by the simulation-level benches; the underlying runs
 /// are full (if reduced-scale) experiments, so a small sample count keeps `cargo bench`

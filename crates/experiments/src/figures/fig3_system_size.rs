@@ -16,12 +16,16 @@ const PAPER_ROUNDS: u64 = 200;
 /// Fraction of public nodes (the paper's default ratio).
 const PUBLIC_RATIO: f64 = 0.2;
 
+/// System sizes evaluated beyond the paper by [`Scale::Large`] on the sharded engine.
+pub const LARGE_SIZES: [usize; 3] = [10_000, 50_000, 100_000];
+
 /// System sizes evaluated at a given scale.
 pub fn sizes(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Tiny => vec![50, 100],
         Scale::Quick => vec![50, 100, 500],
         Scale::Paper => PAPER_SIZES.to_vec(),
+        Scale::Large => LARGE_SIZES.to_vec(),
     }
 }
 
@@ -30,12 +34,20 @@ pub fn params(scale: Scale, total_nodes: usize, seed: u64) -> ExperimentParams {
     let n_public = ((total_nodes as f64) * PUBLIC_RATIO).round() as usize;
     let n_private = total_nodes - n_public;
     // The paper uses a 10 ms inter-arrival time for the 1000-node experiments; keep the join
-    // phase proportionally short for every size.
-    ExperimentParams::default()
+    // phase proportionally short for every size. At the 100k-node Large scale the Poisson
+    // join phase would outlast the run, so joins are compressed to sub-millisecond spacing
+    // and the sharded engine is enabled.
+    let mut params = ExperimentParams::default()
         .with_seed(seed)
         .with_population(n_public, n_private)
         .with_rounds(scale.rounds(PAPER_ROUNDS))
         .with_sample_every(scale.sample_every())
+        .with_engine_threads(scale.engine_threads());
+    if scale == Scale::Large {
+        params.public_interarrival_ms = 0.05;
+        params.private_interarrival_ms = 0.0125;
+    }
+    params
 }
 
 /// Runs the experiment and returns Fig. 3(a) (average error) and Fig. 3(b) (maximum error),
@@ -89,5 +101,18 @@ mod tests {
         let p = params(Scale::Paper, 1_000, 1);
         assert_eq!(p.n_public, 200);
         assert_eq!(p.n_private, 800);
+        assert_eq!(p.engine_threads, 0);
+    }
+
+    #[test]
+    fn large_scale_reaches_100k_nodes_on_the_sharded_engine() {
+        assert_eq!(sizes(Scale::Large), LARGE_SIZES.to_vec());
+        let p = params(Scale::Large, 100_000, 1);
+        assert_eq!(p.n_public + p.n_private, 100_000);
+        assert_eq!(p.engine_threads, 4, "Large runs on the sharded engine");
+        assert!(
+            p.public_interarrival_ms < 1.0,
+            "joins must be compressed so the join phase fits the run"
+        );
     }
 }

@@ -16,7 +16,7 @@
 //!   any [`PssNode`](croupier_simulator::PssNode) protocol, executes the scenario and
 //!   samples metrics every round.
 //! * [`protocols`] — constructors for the four systems under test (Croupier, Cyclon, Gozar,
-//!   Nylon) behind a common [`ProtocolKind`](protocols::ProtocolKind) switch.
+//!   Nylon) behind a common [`ProtocolKind`] switch.
 //! * [`output`] — figure/series containers and table rendering.
 //! * [`figures`] — one module per paper figure.
 //!

@@ -15,6 +15,10 @@ pub enum Scale {
     Quick,
     /// The paper's populations and durations.
     Paper,
+    /// Beyond the paper: 20× its populations (100k nodes for the 5000-node experiments),
+    /// shortened durations, and the sharded phase-parallel engine. Exercised by the CI
+    /// `scale-smoke` job and the PeerSwap-style randomness-vs-scale comparisons.
+    Large,
 }
 
 impl Scale {
@@ -24,6 +28,7 @@ impl Scale {
             Scale::Tiny => (paper_value / 40).max(5),
             Scale::Quick => (paper_value / 10).max(20),
             Scale::Paper => paper_value,
+            Scale::Large => paper_value * 20,
         }
     }
 
@@ -33,6 +38,7 @@ impl Scale {
             Scale::Tiny => (paper_value / 5).max(20),
             Scale::Quick => (paper_value / 2).max(40),
             Scale::Paper => paper_value,
+            Scale::Large => (paper_value / 4).max(25),
         }
     }
 
@@ -42,15 +48,26 @@ impl Scale {
             Scale::Tiny => 2,
             Scale::Quick => 2,
             Scale::Paper => 5,
+            Scale::Large => 10,
         }
     }
 
-    /// Parses a scale name (`tiny`, `quick`, `paper`/`full`).
+    /// The engine selector used at this scale: the paper scales keep the event-driven
+    /// engine (`0`), [`Scale::Large`] runs the sharded engine with four worker threads.
+    pub fn engine_threads(self) -> usize {
+        match self {
+            Scale::Tiny | Scale::Quick | Scale::Paper => 0,
+            Scale::Large => 4,
+        }
+    }
+
+    /// Parses a scale name (`tiny`, `quick`, `paper`/`full`, `large`).
     pub fn parse(text: &str) -> Option<Scale> {
         match text.to_ascii_lowercase().as_str() {
             "tiny" => Some(Scale::Tiny),
             "quick" => Some(Scale::Quick),
             "paper" | "full" => Some(Scale::Paper),
+            "large" => Some(Scale::Large),
             _ => None,
         }
     }
@@ -266,11 +283,21 @@ mod tests {
     }
 
     #[test]
+    fn large_scale_exceeds_the_paper_and_uses_the_sharded_engine() {
+        assert_eq!(Scale::Large.nodes(5_000), 100_000);
+        assert!(Scale::Large.rounds(200) < 200);
+        assert_eq!(Scale::Large.engine_threads(), 4);
+        assert_eq!(Scale::Paper.engine_threads(), 0);
+        assert_eq!(Scale::Tiny.engine_threads(), 0);
+    }
+
+    #[test]
     fn scale_parse_accepts_known_names() {
         assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
         assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
         assert_eq!(Scale::parse("full"), Some(Scale::Paper));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
         assert_eq!(Scale::parse("huge"), None);
     }
 

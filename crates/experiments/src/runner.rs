@@ -1,6 +1,15 @@
 //! The generic experiment driver.
+//!
+//! The driver is generic over the execution engine: [`ExperimentParams::engine_threads`]
+//! selects between the event-driven [`Simulation`] (`0`, the default — exact event
+//! interleaving, one thread) and the phase-parallel [`ShardedSimulation`] (`n >= 1` —
+//! round-barrier semantics, `n` worker threads). Sharded runs are bit-identical across
+//! thread counts for
+//! a fixed seed, so `engine_threads = 1` is the reference a parallel run can be checked
+//! against.
 
 use std::collections::HashMap;
+use std::marker::PhantomData;
 
 use croupier_metrics::{
     average_clustering_coefficient, average_path_length, class_overhead, estimation_errors,
@@ -8,7 +17,8 @@ use croupier_metrics::{
 };
 use croupier_nat::{NatTopology, NatTopologyBuilder};
 use croupier_simulator::{
-    NatClass, NodeId, Protocol, PssNode, Seed, SimDuration, Simulation, SimulationConfig,
+    NatClass, NodeId, Protocol, PssNode, Seed, ShardedSimulation, SimDuration, Simulation,
+    SimulationConfig, SimulationEngine, TrafficLedger,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -58,6 +68,10 @@ pub struct ExperimentParams {
     /// Measurement window `(start_round, end_round)` for protocol overhead, if overhead is
     /// to be reported.
     pub overhead_window: Option<(u64, u64)>,
+    /// Execution engine selector: `0` runs the event-driven engine (exact event
+    /// interleaving, single-threaded); `n >= 1` runs the sharded phase-parallel engine
+    /// with `n` worker threads.
+    pub engine_threads: usize,
 }
 
 impl Default for ExperimentParams {
@@ -75,6 +89,7 @@ impl Default for ExperimentParams {
             churn: None,
             growth: None,
             overhead_window: None,
+            engine_threads: 0,
         }
     }
 }
@@ -130,6 +145,13 @@ impl ExperimentParams {
         self
     }
 
+    /// Selects the execution engine: `0` for the event-driven engine, `n >= 1` for the
+    /// sharded phase-parallel engine with `n` worker threads.
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.engine_threads = threads;
+        self
+    }
+
     /// Total initial population.
     pub fn total_nodes(&self) -> usize {
         self.n_public + self.n_private
@@ -167,6 +189,9 @@ pub struct RunOutput {
     pub final_snapshot: OverlaySnapshot,
     /// True ratio at the end of the run.
     pub final_true_ratio: f64,
+    /// Merged per-node traffic ledger at the end of the run; lets callers compare byte
+    /// counts across engines and thread counts.
+    pub traffic: TrafficLedger,
 }
 
 impl RunOutput {
@@ -186,10 +211,11 @@ impl RunOutput {
     }
 }
 
-/// Per-protocol experiment state shared between [`run_pss`] and [`run_failure`].
-struct Driver<P: Protocol + PssNode> {
+/// Per-protocol experiment state shared between [`run_pss`] and [`run_failure`], generic
+/// over the execution engine.
+struct Driver<P: Protocol + PssNode, E: SimulationEngine<P>> {
     params: ExperimentParams,
-    sim: Simulation<P>,
+    sim: E,
     topology: NatTopology,
     alive_public: Vec<NodeId>,
     alive_private: Vec<NodeId>,
@@ -198,15 +224,17 @@ struct Driver<P: Protocol + PssNode> {
     churn_carry: f64,
     workload_rng: SmallRng,
     metric_rng: SmallRng,
+    _protocol: PhantomData<fn() -> P>,
 }
 
-impl<P: Protocol + PssNode> Driver<P> {
+impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
     fn new(params: &ExperimentParams) -> Self {
         let topology = NatTopologyBuilder::new(params.seed ^ 0x004e_4154).build();
-        let mut sim = Simulation::new(
+        let mut sim = E::from_config(
             SimulationConfig::default()
                 .with_seed(params.seed)
-                .with_round_period(SimDuration::from_secs(1)),
+                .with_round_period(SimDuration::from_secs(1))
+                .with_engine_threads(params.engine_threads),
         );
         sim.set_delivery_filter(topology.clone());
         let seed = Seed::new(params.seed);
@@ -221,6 +249,7 @@ impl<P: Protocol + PssNode> Driver<P> {
             churn_carry: 0.0,
             workload_rng: seed.stream_rng(croupier_simulator::rng::Stream::Workload),
             metric_rng: seed.stream_rng(croupier_simulator::rng::Stream::Custom(0xE7)),
+            _protocol: PhantomData,
         }
     }
 
@@ -363,13 +392,13 @@ impl<P: Protocol + PssNode> Driver<P> {
 
             if let Some((start, end)) = self.params.overhead_window {
                 if round == start {
-                    let now = self.sim.now();
-                    self.sim.traffic_mut().reset_window(now);
+                    self.sim.reset_traffic_window();
                 } else if round == end {
                     let window_secs = (end - start) as f64;
                     let classes = self.all_classes.clone();
+                    let ledger = self.sim.traffic_snapshot();
                     overhead = Some(class_overhead(
-                        self.sim.traffic(),
+                        &ledger,
                         |id| classes.get(&id).copied(),
                         window_secs,
                     ));
@@ -389,6 +418,7 @@ impl<P: Protocol + PssNode> Driver<P> {
             overhead,
             final_true_ratio: self.true_ratio(),
             final_snapshot,
+            traffic: self.sim.traffic_snapshot(),
         }
     }
 
@@ -416,19 +446,23 @@ impl<P: Protocol + PssNode> Driver<P> {
     }
 }
 
-/// Runs a peer-sampling experiment for any protocol implementing
-/// [`PssNode`](croupier_simulator::PssNode).
+/// Runs a peer-sampling experiment for any protocol implementing [`PssNode`].
 ///
 /// `make_node` constructs the protocol instance for each joining node; it receives the
 /// node's identity, its connectivity class and a handle to the NAT topology (needed by
-/// protocols that consult the address oracle).
+/// protocols that consult the address oracle). The engine is chosen by
+/// [`ExperimentParams::engine_threads`].
 pub fn run_pss<P, F>(params: &ExperimentParams, mut make_node: F) -> RunOutput
 where
-    P: Protocol + PssNode,
+    P: Protocol + PssNode + Send,
+    P::Message: Send,
     F: FnMut(NodeId, NatClass, &NatTopology) -> P,
 {
-    let mut driver = Driver::new(params);
-    driver.run(&mut make_node)
+    if params.engine_threads == 0 {
+        Driver::<P, Simulation<P>>::new(params).run(&mut make_node)
+    } else {
+        Driver::<P, ShardedSimulation<P>>::new(params).run(&mut make_node)
+    }
 }
 
 /// Runs a catastrophic-failure experiment: the system is built and run for `params.rounds`
@@ -436,16 +470,23 @@ where
 /// the fraction of surviving nodes that remain in the largest connected cluster.
 pub fn run_failure<P, F>(params: &ExperimentParams, mut make_node: F, failure_fraction: f64) -> f64
 where
-    P: Protocol + PssNode,
+    P: Protocol + PssNode + Send,
+    P::Message: Send,
     F: FnMut(NodeId, NatClass, &NatTopology) -> P,
 {
     assert!(
         (0.0..1.0).contains(&failure_fraction),
         "failure fraction must be within [0, 1)"
     );
-    let mut driver = Driver::new(params);
-    driver.run(&mut make_node);
-    driver.catastrophic_failure(failure_fraction)
+    if params.engine_threads == 0 {
+        let mut driver = Driver::<P, Simulation<P>>::new(params);
+        driver.run(&mut make_node);
+        driver.catastrophic_failure(failure_fraction)
+    } else {
+        let mut driver = Driver::<P, ShardedSimulation<P>>::new(params);
+        driver.run(&mut make_node);
+        driver.catastrophic_failure(failure_fraction)
+    }
 }
 
 #[cfg(test)]
@@ -584,6 +625,75 @@ mod tests {
             .samples
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_engine_produces_converging_estimates() {
+        let params = tiny_params().with_seed(9).with_engine_threads(2);
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let last = out.last_sample().unwrap();
+        assert_eq!(last.node_count, 40);
+        assert!((out.final_true_ratio - 0.2).abs() < 1e-9);
+        assert!(
+            last.estimation.average < 0.1,
+            "sharded run should converge like the event engine, got {}",
+            last.estimation.average
+        );
+        assert!(out.traffic.total_bytes_sent() > 0);
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let params = tiny_params().with_seed(10).with_engine_threads(threads);
+            run_pss(&params, |id, class, _| {
+                CroupierNode::new(id, class, CroupierConfig::default())
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.samples, four.samples, "samples diverged");
+        assert_eq!(
+            one.final_snapshot, four.final_snapshot,
+            "snapshots diverged"
+        );
+        assert_eq!(one.traffic, four.traffic, "traffic ledgers diverged");
+    }
+
+    #[test]
+    fn sharded_engine_supports_churn_growth_and_overhead() {
+        let params = tiny_params()
+            .with_seed(11)
+            .with_rounds(60)
+            .with_engine_threads(3)
+            .with_churn(ChurnSpec::new(20, 0.05))
+            .with_overhead_window(30, 50);
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert_eq!(out.last_sample().unwrap().node_count, 40);
+        let overhead = out.overhead.expect("overhead report requested");
+        assert!(overhead.public.avg_load_bytes_per_sec > 0.0);
+        assert!(overhead.public.avg_load_bytes_per_sec > overhead.private.avg_load_bytes_per_sec);
+    }
+
+    #[test]
+    fn sharded_failure_runs_keep_the_overlay_connected() {
+        let params = tiny_params()
+            .with_seed(12)
+            .with_rounds(40)
+            .with_engine_threads(2);
+        let connected = run_failure(
+            &params,
+            |id, class, _| CroupierNode::new(id, class, CroupierConfig::default()),
+            0.5,
+        );
+        assert!(
+            connected > 0.5,
+            "sharded overlay should survive 50% failures: {connected}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Protocol-agnostic snapshots of the overlay graph.
 
-use croupier_simulator::{NatClass, NodeId, Protocol, PssNode, Simulation};
+use croupier_simulator::{NatClass, NodeId, Protocol, PssNode, SimulationEngine};
 use serde::{Deserialize, Serialize};
 
 /// What the evaluation observes about one node at snapshot time.
@@ -27,20 +27,21 @@ pub struct OverlaySnapshot {
 }
 
 impl OverlaySnapshot {
-    /// Captures a snapshot from a running simulation.
+    /// Captures a snapshot from a running simulation (either execution engine).
     ///
     /// Only nodes that have executed at least `min_rounds` gossip rounds are included —
     /// the paper excludes nodes younger than two rounds from its metrics so freshly joined
     /// nodes do not skew estimation errors.
-    pub fn capture<P>(sim: &Simulation<P>, min_rounds: u64) -> Self
+    pub fn capture<P, E>(sim: &E, min_rounds: u64) -> Self
     where
         P: Protocol + PssNode,
+        E: SimulationEngine<P>,
     {
         let mut nodes = Vec::new();
         let mut edges = Vec::new();
-        for (id, proto) in sim.nodes() {
+        sim.for_each_node(&mut |id, proto| {
             if proto.rounds_executed() < min_rounds {
-                continue;
+                return;
             }
             nodes.push(NodeObservation {
                 id,
@@ -51,9 +52,9 @@ impl OverlaySnapshot {
             for peer in proto.known_peers() {
                 edges.push((id, peer));
             }
-        }
-        // The engine stores nodes in a hash map; sort so snapshots (and every metric
-        // derived from them) are deterministic for a fixed seed.
+        });
+        // Engines iterate nodes in storage order; sort so snapshots (and every metric
+        // derived from them) are deterministic for a fixed seed and engine-agnostic.
         nodes.sort_by_key(|n| n.id);
         edges.sort_unstable();
         OverlaySnapshot { nodes, edges }

@@ -1,10 +1,9 @@
 //! The discrete-event simulation engine.
 
-use std::collections::HashMap;
-
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::arena::NodeArena;
 use crate::bootstrap::BootstrapRegistry;
 use crate::event::Event;
 use crate::latency::{KingLatencyModel, LatencyModel};
@@ -42,6 +41,10 @@ pub struct SimulationConfig {
     /// Whether nodes start their first round at a random phase within one period of their
     /// join time (decorrelates rounds, as on a real deployment).
     pub random_phase: bool,
+    /// Number of worker threads used by the sharded engine
+    /// ([`ShardedSimulation`](crate::ShardedSimulation)); the event-driven engine ignores
+    /// it. Values below one are treated as one.
+    pub engine_threads: usize,
 }
 
 impl Default for SimulationConfig {
@@ -51,6 +54,7 @@ impl Default for SimulationConfig {
             round_period: SimDuration::from_secs(1),
             round_jitter: 0.02,
             random_phase: true,
+            engine_threads: 1,
         }
     }
 }
@@ -87,6 +91,12 @@ impl SimulationConfig {
         self.random_phase = random_phase;
         self
     }
+
+    /// Sets the number of worker threads for the sharded engine.
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.engine_threads = threads;
+        self
+    }
 }
 
 /// Counters describing what happened to the messages handed to the network.
@@ -107,23 +117,40 @@ impl NetworkStats {
     pub fn total(&self) -> u64 {
         self.delivered + self.lost + self.blocked_by_nat + self.destination_gone
     }
+
+    /// Adds the counters of `other` into this one; used to aggregate per-shard statistics.
+    pub fn merge(&mut self, other: NetworkStats) {
+        self.delivered += other.delivered;
+        self.lost += other.lost;
+        self.blocked_by_nat += other.blocked_by_nat;
+        self.destination_gone += other.destination_gone;
+    }
 }
 
 struct NodeSlot<P> {
+    id: NodeId,
     proto: P,
     rng: SmallRng,
     joined_at: SimTime,
 }
 
+/// Arena index of a node id (the raw id itself; ids are dense by convention).
+fn slot_index(id: NodeId) -> usize {
+    id.as_u64() as usize
+}
+
 /// The discrete-event simulation engine.
 ///
 /// The engine owns every node's protocol instance, the event queue, the network models and
-/// the traffic ledger. See the crate-level documentation for a full example.
+/// the traffic ledger. Node state lives in a flat dense [`NodeArena`] indexed by the raw
+/// node id, so the per-event lookup on the hot path is a direct indexed load; node ids
+/// should therefore be assigned densely from zero (experiments already do). See the
+/// crate-level documentation for a full example.
 pub struct Simulation<P: Protocol> {
     cfg: SimulationConfig,
     now: SimTime,
     queue: EventQueue<P::Message>,
-    nodes: HashMap<NodeId, NodeSlot<P>>,
+    nodes: NodeArena<NodeSlot<P>>,
     latency: Box<dyn LatencyModel>,
     loss: Box<dyn LossModel>,
     filter: Box<dyn DeliveryFilter>,
@@ -143,7 +170,7 @@ impl<P: Protocol> Simulation<P> {
             cfg,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
-            nodes: HashMap::new(),
+            nodes: NodeArena::new(),
             latency: Box::new(KingLatencyModel::new()),
             loss: Box::new(NoLoss),
             filter: Box::new(OpenInternet),
@@ -220,32 +247,34 @@ impl<P: Protocol> Simulation<P> {
 
     /// Returns `true` if `node` is currently alive.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.nodes.contains_key(&node)
+        self.nodes.contains(slot_index(node))
     }
 
-    /// Identifiers of all live nodes, in unspecified order.
+    /// Identifiers of all live nodes, in ascending id order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        self.nodes.iter().map(|(_, slot)| slot.id).collect()
     }
 
     /// Shared access to the protocol instance of `node`.
     pub fn node(&self, node: NodeId) -> Option<&P> {
-        self.nodes.get(&node).map(|slot| &slot.proto)
+        self.nodes.get(slot_index(node)).map(|slot| &slot.proto)
     }
 
     /// Exclusive access to the protocol instance of `node`.
     pub fn node_mut(&mut self, node: NodeId) -> Option<&mut P> {
-        self.nodes.get_mut(&node).map(|slot| &mut slot.proto)
+        self.nodes
+            .get_mut(slot_index(node))
+            .map(|slot| &mut slot.proto)
     }
 
-    /// Iterates over `(id, protocol)` pairs of all live nodes.
+    /// Iterates over `(id, protocol)` pairs of all live nodes, in ascending id order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
-        self.nodes.iter().map(|(id, slot)| (*id, &slot.proto))
+        self.nodes.iter().map(|(_, slot)| (slot.id, &slot.proto))
     }
 
     /// The time at which `node` joined the simulation.
     pub fn joined_at(&self, node: NodeId) -> Option<SimTime> {
-        self.nodes.get(&node).map(|slot| slot.joined_at)
+        self.nodes.get(slot_index(node)).map(|slot| slot.joined_at)
     }
 
     /// Adds a node running `proto`, invoking its [`Protocol::on_start`] callback and
@@ -256,15 +285,16 @@ impl<P: Protocol> Simulation<P> {
     /// Panics if a node with the same identifier is already present.
     pub fn add_node(&mut self, id: NodeId, proto: P) {
         assert!(
-            !self.nodes.contains_key(&id),
+            !self.nodes.contains(slot_index(id)),
             "node {id} is already part of the simulation"
         );
         let slot = NodeSlot {
+            id,
             proto,
             rng: self.cfg.seed.node_rng(id),
             joined_at: self.now,
         };
-        self.nodes.insert(id, slot);
+        self.nodes.insert(slot_index(id), slot);
         self.filter.on_node_added(id);
         self.execute(id, |proto, ctx| proto.on_start(ctx));
         let phase = if self.cfg.random_phase {
@@ -282,7 +312,7 @@ impl<P: Protocol> Simulation<P> {
     /// In-flight messages addressed to the node are silently dropped when they arrive, which
     /// models a crash: no goodbye messages are sent.
     pub fn remove_node(&mut self, id: NodeId) -> Option<P> {
-        let slot = self.nodes.remove(&id)?;
+        let slot = self.nodes.remove(slot_index(id))?;
         self.bootstrap.unregister(id);
         self.filter.on_node_removed(id);
         Some(slot.proto)
@@ -317,19 +347,19 @@ impl<P: Protocol> Simulation<P> {
     fn dispatch(&mut self, event: Event<P::Message>) {
         match event {
             Event::Round { node } => {
-                if self.nodes.contains_key(&node) {
+                if self.nodes.contains(slot_index(node)) {
                     self.execute(node, |proto, ctx| proto.on_round(ctx));
                     let next = self.next_round_delay();
                     self.queue.schedule(self.now + next, Event::Round { node });
                 }
             }
             Event::Timer { node, key } => {
-                if self.nodes.contains_key(&node) {
+                if self.nodes.contains(slot_index(node)) {
                     self.execute(node, |proto, ctx| proto.on_timer(key, ctx));
                 }
             }
             Event::Deliver { from, to, msg } => {
-                if !self.nodes.contains_key(&to) {
+                if !self.nodes.contains(slot_index(to)) {
                     self.stats.destination_gone += 1;
                     self.traffic.record_dropped(from);
                     return;
@@ -374,7 +404,7 @@ impl<P: Protocol> Simulation<P> {
         let (outgoing, timers) = {
             let slot = self
                 .nodes
-                .get_mut(&node)
+                .get_mut(slot_index(node))
                 .expect("execute() requires a live node");
             let mut ctx = Context::new(
                 node,
@@ -418,8 +448,84 @@ impl<P: PssNode> Simulation<P> {
     /// Draws a peer sample from `node` using the node's own random stream, following the
     /// protocol's sampling rule.
     pub fn sample_from(&mut self, node: NodeId) -> Option<NodeId> {
-        let slot = self.nodes.get_mut(&node)?;
+        let slot = self.nodes.get_mut(slot_index(node))?;
         slot.proto.draw_sample(&mut slot.rng)
+    }
+}
+
+impl<P: Protocol> crate::engine_api::SimulationEngine<P> for Simulation<P> {
+    fn from_config(cfg: SimulationConfig) -> Self {
+        Simulation::new(cfg)
+    }
+
+    fn set_latency_model<L: LatencyModel + Send + Sync + 'static>(&mut self, model: L) {
+        Simulation::set_latency_model(self, model);
+    }
+
+    fn set_loss_model<L: LossModel + Send + Sync + 'static>(&mut self, model: L) {
+        Simulation::set_loss_model(self, model);
+    }
+
+    fn set_delivery_filter<D: DeliveryFilter + 'static>(&mut self, filter: D) {
+        Simulation::set_delivery_filter(self, filter);
+    }
+
+    fn config(&self) -> &SimulationConfig {
+        Simulation::config(self)
+    }
+
+    fn now(&self) -> SimTime {
+        Simulation::now(self)
+    }
+
+    fn len(&self) -> usize {
+        Simulation::len(self)
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        Simulation::contains(self, node)
+    }
+
+    fn register_public(&mut self, node: NodeId) {
+        Simulation::register_public(self, node);
+    }
+
+    fn add_node(&mut self, id: NodeId, proto: P) {
+        Simulation::add_node(self, id, proto);
+    }
+
+    fn remove_node(&mut self, id: NodeId) -> Option<P> {
+        Simulation::remove_node(self, id)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        Simulation::run_until(self, deadline);
+    }
+
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId, &P)) {
+        for (id, proto) in self.nodes() {
+            f(id, proto);
+        }
+    }
+
+    fn network_stats(&self) -> NetworkStats {
+        Simulation::network_stats(self)
+    }
+
+    fn traffic_snapshot(&self) -> TrafficLedger {
+        self.traffic.clone()
+    }
+
+    fn reset_traffic_window(&mut self) {
+        let now = self.now;
+        self.traffic.reset_window(now);
+    }
+
+    fn draw_sample(&mut self, node: NodeId) -> Option<NodeId>
+    where
+        P: PssNode,
+    {
+        self.sample_from(node)
     }
 }
 

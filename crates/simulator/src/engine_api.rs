@@ -1,0 +1,98 @@
+//! The common surface of the two execution engines.
+//!
+//! [`SimulationEngine`] abstracts over the event-driven [`Simulation`](crate::Simulation)
+//! and the phase-parallel [`ShardedSimulation`](crate::ShardedSimulation) so that the
+//! experiment driver and the metrics crate can run any protocol on either engine without
+//! special-casing. The trait deliberately exposes *snapshot*-style accessors (owned
+//! [`TrafficLedger`], callback-based node iteration) because the sharded engine keeps its
+//! state split across shards and has no single borrow to hand out.
+
+use crate::engine::{NetworkStats, SimulationConfig};
+use crate::latency::LatencyModel;
+use crate::loss::LossModel;
+use crate::network::DeliveryFilter;
+use crate::protocol::{Protocol, PssNode};
+use crate::time::{SimDuration, SimTime};
+use crate::traffic::TrafficLedger;
+use crate::types::NodeId;
+
+/// An execution engine that can drive [`Protocol`] state machines.
+pub trait SimulationEngine<P: Protocol> {
+    /// Creates an engine with the given configuration and the default network models.
+    fn from_config(cfg: SimulationConfig) -> Self
+    where
+        Self: Sized;
+
+    /// Replaces the latency model. `Send + Sync` is required because the sharded engine
+    /// samples latencies from its worker threads.
+    fn set_latency_model<L: LatencyModel + Send + Sync + 'static>(&mut self, model: L);
+
+    /// Replaces the loss model. `Send + Sync` is required because the sharded engine makes
+    /// loss decisions from its worker threads.
+    fn set_loss_model<L: LossModel + Send + Sync + 'static>(&mut self, model: L);
+
+    /// Replaces the delivery filter (NAT/firewall emulation). Both engines consult the
+    /// filter from the coordinating thread only, so `Send`/`Sync` are not needed.
+    fn set_delivery_filter<D: DeliveryFilter + 'static>(&mut self, filter: D);
+
+    /// The engine configuration.
+    fn config(&self) -> &SimulationConfig;
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+
+    /// Number of live nodes.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the engine holds no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `node` is currently alive.
+    fn contains(&self, node: NodeId) -> bool;
+
+    /// Registers `node` with the bootstrap server.
+    fn register_public(&mut self, node: NodeId);
+
+    /// Adds a node running `proto`.
+    fn add_node(&mut self, id: NodeId, proto: P);
+
+    /// Removes a node, returning its protocol state.
+    fn remove_node(&mut self, id: NodeId) -> Option<P>;
+
+    /// Runs the simulation until the virtual clock reaches `deadline`.
+    fn run_until(&mut self, deadline: SimTime);
+
+    /// Runs the simulation for `span` of virtual time from the current instant.
+    fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now() + span;
+        self.run_until(deadline);
+    }
+
+    /// Runs the simulation for `rounds` gossip periods from the current instant.
+    fn run_for_rounds(&mut self, rounds: u64) {
+        self.run_for(self.config().round_period.saturating_mul(rounds));
+    }
+
+    /// Invokes `f` once per live node, in ascending node-id order within each storage
+    /// stripe (the exact global order is unspecified; callers needing a canonical order
+    /// sort what they collect, as [`OverlaySnapshot`] does).
+    ///
+    /// [`OverlaySnapshot`]: https://docs.rs/croupier-metrics
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId, &P));
+
+    /// Aggregated message delivery statistics.
+    fn network_stats(&self) -> NetworkStats;
+
+    /// A merged copy of the per-node traffic ledger.
+    fn traffic_snapshot(&self) -> TrafficLedger;
+
+    /// Clears all traffic counters and restarts the measurement window at the current time.
+    fn reset_traffic_window(&mut self);
+
+    /// Draws a peer sample from `node` using the node's own random stream.
+    fn draw_sample(&mut self, node: NodeId) -> Option<NodeId>
+    where
+        P: PssNode;
+}

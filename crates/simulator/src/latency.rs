@@ -22,6 +22,18 @@ use crate::types::NodeId;
 pub trait LatencyModel {
     /// Samples the one-way latency for a message from `from` to `to`.
     fn sample(&mut self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> SimDuration;
+
+    /// Samples a latency without mutating the model, for phase-parallel engines.
+    ///
+    /// The sharded engine calls this concurrently from several worker threads, each passing
+    /// the *sending node's* private random stream, so implementations must derive any
+    /// per-node state deterministically from the node ids (never lazily from `rng`): the
+    /// result may depend only on `(from, to)` and on draws from `rng`. The default
+    /// implementation panics; every model shipped with this crate overrides it.
+    fn sample_shared(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> SimDuration {
+        let _ = (from, to, rng);
+        unimplemented!("this latency model does not support phase-parallel execution")
+    }
 }
 
 /// Fixed latency for every message; useful in unit tests and micro-benchmarks.
@@ -59,6 +71,10 @@ impl LatencyModel for ConstantLatency {
     fn sample(&mut self, _from: NodeId, _to: NodeId, _rng: &mut SmallRng) -> SimDuration {
         self.latency
     }
+
+    fn sample_shared(&self, _from: NodeId, _to: NodeId, _rng: &mut SmallRng) -> SimDuration {
+        self.latency
+    }
 }
 
 /// Latency drawn uniformly at random from a closed interval, independently per message.
@@ -88,6 +104,10 @@ impl UniformLatency {
 
 impl LatencyModel for UniformLatency {
     fn sample(&mut self, _from: NodeId, _to: NodeId, rng: &mut SmallRng) -> SimDuration {
+        SimDuration::from_millis(rng.gen_range(self.min_ms..=self.max_ms))
+    }
+
+    fn sample_shared(&self, _from: NodeId, _to: NodeId, rng: &mut SmallRng) -> SimDuration {
         SimDuration::from_millis(rng.gen_range(self.min_ms..=self.max_ms))
     }
 }
@@ -150,6 +170,21 @@ impl KingLatencyModel {
             (x, y, a)
         })
     }
+
+    /// Order-independent coordinates: derived by hashing the node id rather than by lazily
+    /// drawing from the shared latency stream, so every thread (and every sampling order)
+    /// sees the same virtual position for a node. Used by [`LatencyModel::sample_shared`].
+    fn hashed_coords(&self, node: NodeId) -> (f64, f64, f64) {
+        const COORD_SALT: u64 = 0x4b49_4e47_5eed_c0de;
+        let h1 = crate::rng::splitmix64(node.as_u64() ^ COORD_SALT);
+        let h2 = crate::rng::splitmix64(h1);
+        let h3 = crate::rng::splitmix64(h2);
+        let unit = |h: u64| (h >> 11) as f64 / (1u64 << 53) as f64;
+        let x = unit(h1) * self.plane_side_ms;
+        let y = unit(h2) * self.plane_side_ms;
+        let a = self.max_access_ms * unit(h3).powi(3);
+        (x, y, a)
+    }
 }
 
 impl Default for KingLatencyModel {
@@ -158,10 +193,10 @@ impl Default for KingLatencyModel {
     }
 }
 
-impl LatencyModel for KingLatencyModel {
-    fn sample(&mut self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> SimDuration {
-        let (x1, y1, a1) = self.coords_for(from, rng);
-        let (x2, y2, a2) = self.coords_for(to, rng);
+impl KingLatencyModel {
+    fn combine(&self, c1: (f64, f64, f64), c2: (f64, f64, f64), rng: &mut SmallRng) -> SimDuration {
+        let (x1, y1, a1) = c1;
+        let (x2, y2, a2) = c2;
         let dist = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt();
         let base = dist + a1 + a2 + self.floor_ms;
         let jitter = if self.jitter_frac > 0.0 {
@@ -170,6 +205,18 @@ impl LatencyModel for KingLatencyModel {
             1.0
         };
         SimDuration::from_millis_f64(base * jitter)
+    }
+}
+
+impl LatencyModel for KingLatencyModel {
+    fn sample(&mut self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> SimDuration {
+        let c1 = self.coords_for(from, rng);
+        let c2 = self.coords_for(to, rng);
+        self.combine(c1, c2, rng)
+    }
+
+    fn sample_shared(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> SimDuration {
+        self.combine(self.hashed_coords(from), self.hashed_coords(to), rng)
     }
 }
 
@@ -249,6 +296,60 @@ mod tests {
             (20..=120).contains(&median),
             "median one-way latency should sit in the tens of milliseconds, got {median}"
         );
+    }
+
+    #[test]
+    fn shared_sampling_is_order_independent() {
+        let m = KingLatencyModel::new().with_jitter(0.0);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        // Sampling pairs in different orders must not change any pair's latency.
+        let forward: Vec<_> = (0..20u64)
+            .map(|i| m.sample_shared(NodeId::new(i), NodeId::new(i + 20), &mut r1))
+            .collect();
+        let mut backward: Vec<_> = (0..20u64)
+            .rev()
+            .map(|i| m.sample_shared(NodeId::new(i), NodeId::new(i + 20), &mut r2))
+            .collect();
+        backward.reverse();
+        assert_eq!(forward, backward);
+        assert!(forward.iter().all(|d| d.as_millis() >= 1));
+    }
+
+    #[test]
+    fn shared_king_sampling_is_realistic() {
+        let m = KingLatencyModel::new();
+        let mut r = rng();
+        let mut samples: Vec<u64> = Vec::new();
+        for i in 0..500u64 {
+            samples.push(
+                m.sample_shared(NodeId::new(i), NodeId::new(i + 500), &mut r)
+                    .as_millis(),
+            );
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!(
+            (20..=120).contains(&median),
+            "hash-derived coordinates should keep the King-like shape, got median {median}"
+        );
+    }
+
+    #[test]
+    fn constant_and_uniform_shared_sampling_match_contract() {
+        let m = ConstantLatency::new(SimDuration::from_millis(7));
+        let mut r = rng();
+        assert_eq!(
+            m.sample_shared(NodeId::new(0), NodeId::new(1), &mut r),
+            SimDuration::from_millis(7)
+        );
+        let u = UniformLatency::new(SimDuration::from_millis(5), SimDuration::from_millis(15));
+        for _ in 0..100 {
+            let d = u
+                .sample_shared(NodeId::new(0), NodeId::new(1), &mut r)
+                .as_millis();
+            assert!((5..=15).contains(&d));
+        }
     }
 
     #[test]

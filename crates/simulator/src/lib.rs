@@ -8,6 +8,9 @@
 //!
 //! * a [`Simulation`] engine driving per-node [`Protocol`] state machines with periodic
 //!   gossip rounds, timers and point-to-point messages,
+//! * a [`ShardedSimulation`] engine executing the same protocols phase-parallel over
+//!   multiple worker threads (see the [`sharded`] module for the execution model), behind
+//!   the common [`SimulationEngine`] trait,
 //! * pluggable [`LatencyModel`]s (constant, uniform, and a synthetic King-data-set-like
 //!   model), [`LossModel`]s and [`DeliveryFilter`]s (the NAT emulation in `croupier-nat`
 //!   implements the latter),
@@ -16,7 +19,7 @@
 //! * a [`TrafficLedger`] that accounts every byte sent and received per node, which the
 //!   protocol-overhead experiments build on.
 //!
-//! Everything is deterministic: a single [`Seed`](rng::Seed) fixes the behaviour of the
+//! Everything is deterministic: a single [`Seed`] fixes the behaviour of the
 //! engine and of every node, so experiments regenerate bit-identically.
 //!
 //! ## Example
@@ -77,8 +80,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod bootstrap;
 pub mod engine;
+pub mod engine_api;
 pub mod event;
 pub mod latency;
 pub mod loss;
@@ -86,17 +91,20 @@ pub mod network;
 pub mod protocol;
 pub mod rng;
 pub mod scheduler;
+pub mod sharded;
 pub mod time;
 pub mod traffic;
 pub mod types;
 
 pub use bootstrap::BootstrapRegistry;
-pub use engine::{Simulation, SimulationConfig};
+pub use engine::{NetworkStats, Simulation, SimulationConfig};
+pub use engine_api::SimulationEngine;
 pub use latency::{ConstantLatency, KingLatencyModel, LatencyModel, UniformLatency};
 pub use loss::{BernoulliLoss, LossModel, NoLoss};
 pub use network::{DeliveryFilter, DeliveryVerdict, OpenInternet};
 pub use protocol::{Context, Protocol, PssNode, TimerKey, WireSize};
 pub use rng::Seed;
+pub use sharded::ShardedSimulation;
 pub use time::{SimDuration, SimTime};
 pub use traffic::{NodeTraffic, TrafficLedger};
 pub use types::{NatClass, NodeId};

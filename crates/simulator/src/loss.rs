@@ -13,6 +13,17 @@ use crate::types::{NatClass, NodeId};
 pub trait LossModel {
     /// Returns `true` if the message from `from` to `to` should be dropped.
     fn drops(&mut self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> bool;
+
+    /// Loss decision without mutating the model, for phase-parallel engines.
+    ///
+    /// The sharded engine calls this concurrently from several worker threads, each passing
+    /// the sending node's private random stream; the decision may depend only on
+    /// `(from, to)` and on draws from `rng`. The default implementation panics; every model
+    /// shipped with this crate overrides it.
+    fn drops_shared(&self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> bool {
+        let _ = (from, to, rng);
+        unimplemented!("this loss model does not support phase-parallel execution")
+    }
 }
 
 /// Never drops messages. The default for the paper's experiments.
@@ -21,6 +32,10 @@ pub struct NoLoss;
 
 impl LossModel for NoLoss {
     fn drops(&mut self, _from: NodeId, _to: NodeId, _rng: &mut SmallRng) -> bool {
+        false
+    }
+
+    fn drops_shared(&self, _from: NodeId, _to: NodeId, _rng: &mut SmallRng) -> bool {
         false
     }
 }
@@ -55,6 +70,10 @@ impl LossModel for BernoulliLoss {
     fn drops(&mut self, _from: NodeId, _to: NodeId, rng: &mut SmallRng) -> bool {
         rng.gen_bool(self.probability)
     }
+
+    fn drops_shared(&self, _from: NodeId, _to: NodeId, rng: &mut SmallRng) -> bool {
+        rng.gen_bool(self.probability)
+    }
 }
 
 /// Loss that differs depending on the destination's connectivity class.
@@ -70,7 +89,7 @@ pub struct ClassBiasedLoss<F> {
 
 impl<F> ClassBiasedLoss<F>
 where
-    F: FnMut(NodeId) -> NatClass,
+    F: Fn(NodeId) -> NatClass,
 {
     /// Creates a biased loss model.
     ///
@@ -92,9 +111,13 @@ where
 
 impl<F> LossModel for ClassBiasedLoss<F>
 where
-    F: FnMut(NodeId) -> NatClass,
+    F: Fn(NodeId) -> NatClass,
 {
-    fn drops(&mut self, _from: NodeId, to: NodeId, rng: &mut SmallRng) -> bool {
+    fn drops(&mut self, from: NodeId, to: NodeId, rng: &mut SmallRng) -> bool {
+        self.drops_shared(from, to, rng)
+    }
+
+    fn drops_shared(&self, _from: NodeId, to: NodeId, rng: &mut SmallRng) -> bool {
         let p = match (self.classifier)(to) {
             NatClass::Public => self.public_probability,
             NatClass::Private => self.private_probability,

@@ -58,7 +58,7 @@ impl Stream {
 }
 
 /// SplitMix64 finalizer; fast, well distributed, and good enough for seeding.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -97,6 +97,16 @@ impl Seed {
     /// Builds the random number generator owned by a node's protocol instance.
     pub fn node_rng(self, node: NodeId) -> SmallRng {
         SmallRng::seed_from_u64(self.derive_for_node(node).0)
+    }
+
+    /// Builds a generator for a *per-node* engine-internal stream.
+    ///
+    /// The sharded engine gives every node its own latency/loss and scheduling streams
+    /// (instead of the event engine's shared per-subsystem streams) so that the order in
+    /// which nodes execute within a phase cannot perturb anyone else's randomness — the
+    /// property that makes phase-parallel runs bit-identical across worker counts.
+    pub fn node_stream_rng(self, node: NodeId, stream: Stream) -> SmallRng {
+        SmallRng::seed_from_u64(self.derive_for_node(node).derive(stream).0)
     }
 
     /// Builds a generator directly from the seed; used where only one stream exists.
@@ -161,6 +171,20 @@ mod tests {
         let a: u64 = Seed::new(1).node_rng(NodeId::new(5)).gen();
         let b: u64 = Seed::new(2).node_rng(NodeId::new(5)).gen();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn node_stream_rngs_are_deterministic_and_independent() {
+        let s = Seed::new(21);
+        let a: u64 = s.node_stream_rng(NodeId::new(3), Stream::Latency).gen();
+        let b: u64 = s.node_stream_rng(NodeId::new(3), Stream::Latency).gen();
+        assert_eq!(a, b, "same node and stream must reproduce");
+        let c: u64 = s.node_stream_rng(NodeId::new(3), Stream::Scheduling).gen();
+        let d: u64 = s.node_stream_rng(NodeId::new(4), Stream::Latency).gen();
+        assert_ne!(a, c, "streams of one node must differ");
+        assert_ne!(a, d, "same stream of different nodes must differ");
+        let e: u64 = s.node_rng(NodeId::new(3)).gen();
+        assert_ne!(a, e, "node protocol stream must differ from engine streams");
     }
 
     #[test]

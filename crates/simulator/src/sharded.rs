@@ -1,0 +1,971 @@
+//! The sharded, phase-parallel execution engine.
+//!
+//! [`ShardedSimulation`] trades the event engine's exact event interleaving for
+//! round-synchronous parallelism: virtual time is cut into windows of one gossip period
+//! ("phases"), nodes are striped over `engine_threads` shards (`shard = id mod S`,
+//! stored densely at `id div S` in each shard's [`NodeArena`]), and every phase runs all
+//! shards in parallel on scoped worker threads. Messages never cross shard boundaries
+//! mid-phase: workers buffer them in per-`(src-shard, dst-shard)` outboxes, and at the
+//! round barrier the coordinator merges all outboxes in a canonical order — sorted by
+//! `(send time, sender id, per-sender sequence number)` — runs the delivery filter and
+//! sender-side traffic accounting over them, and schedules the survivors into the
+//! destination shards' event queues for the next phase.
+//!
+//! # Determinism across worker counts
+//!
+//! A run is bit-identical for any `engine_threads` on the same seed because no observable
+//! decision depends on shard composition:
+//!
+//! * **Node state** only changes in the node's own callbacks; within a phase, callbacks of
+//!   different nodes are independent (effects are buffered until the barrier), so the order
+//!   in which a worker interleaves *different* nodes is invisible.
+//! * **Randomness** is per-node: protocol draws come from the node's own stream (as in the
+//!   event engine), and latency/loss draws come from a dedicated per-node network stream
+//!   ([`Seed::node_stream_rng`](crate::rng::Seed::node_stream_rng)) consumed in the node's
+//!   own emission order. The models' [`sample_shared`](LatencyModel::sample_shared) /
+//!   [`drops_shared`](LossModel::drops_shared) paths are `&self` and derive any per-node
+//!   state by hashing ids, never lazily from a shared stream.
+//! * **Same-node event ordering** is `(time, insertion order)` in the shard queue, and every
+//!   insertion affecting one node happens at a globally fixed point: barrier merges insert
+//!   in canonical order, and a node's own callbacks insert its timers/rounds in callback
+//!   order. Neither depends on how nodes are distributed over shards.
+//! * **Cross-shard mutation** (delivery filter, sender-side ledger, loss/NAT statistics) is
+//!   confined to the single-threaded barrier and processed in the canonical merge order;
+//!   receiver-side counters live in per-shard ledgers and are commutative sums, merged on
+//!   demand.
+//!
+//! # Differences from the event engine
+//!
+//! The quantisation is observable: a message is never executed in the phase it was sent in
+//! (its delivery is clamped to the next round barrier if its sampled latency lands
+//! earlier), and the delivery filter is consulted at the barrier rather than at the exact
+//! delivery instant. Runs are therefore deterministic and *statistically* equivalent to the
+//! event engine, but not bit-identical to it — `tests/determinism.rs` pins down exactly the
+//! guarantee that holds: sharded runs are bit-identical to each other across worker counts.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::arena::NodeArena;
+use crate::bootstrap::BootstrapRegistry;
+use crate::engine::{NetworkStats, SimulationConfig};
+use crate::engine_api::SimulationEngine;
+use crate::event::Event;
+use crate::latency::{KingLatencyModel, LatencyModel};
+use crate::loss::{LossModel, NoLoss};
+use crate::network::{DeliveryFilter, DeliveryVerdict, OpenInternet};
+use crate::protocol::{Context, Outgoing, Protocol, PssNode, TimerRequest, WireSize};
+use crate::rng::Stream;
+use crate::scheduler::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use crate::traffic::TrafficLedger;
+use crate::types::NodeId;
+
+/// Per-node state owned by a shard.
+struct NodeState<P> {
+    id: NodeId,
+    proto: P,
+    /// The node's protocol stream (same derivation as in the event engine).
+    rng: SmallRng,
+    /// The node's latency/loss stream, consumed once per emitted message.
+    net_rng: SmallRng,
+    /// The node's round-phase and clock-skew stream.
+    sched_rng: SmallRng,
+    joined_at: SimTime,
+    /// Monotone per-node counter stamped on emitted messages; the canonical merge order
+    /// tie-breaker for messages a node sends at the same instant.
+    msg_seq: u64,
+}
+
+/// A message buffered in a shard outbox between a send and the next round barrier.
+struct PendingMessage<M> {
+    from: NodeId,
+    to: NodeId,
+    msg: M,
+    sent_at: SimTime,
+    deliver_at: SimTime,
+    seq: u64,
+    lost: bool,
+    wire: usize,
+}
+
+/// One shard: a stripe of nodes, their event queue, and this phase's outboxes.
+struct Shard<P: Protocol> {
+    /// Total number of shards (the stripe modulus).
+    stride: u64,
+    nodes: NodeArena<NodeState<P>>,
+    queue: EventQueue<P::Message>,
+    /// Outgoing messages buffered during the current phase, bucketed by destination shard.
+    outboxes: Vec<Vec<PendingMessage<P::Message>>>,
+    /// Receiver-side traffic counters (received bytes, drops charged at delivery time).
+    traffic: TrafficLedger,
+    /// Receiver-side delivery statistics.
+    stats: NetworkStats,
+}
+
+fn local_index(node: NodeId, stride: u64) -> usize {
+    (node.as_u64() / stride) as usize
+}
+
+/// The read-only environment every worker shares during a phase: the configuration, the
+/// bootstrap registry and the network models (consulted only through their `*_shared`,
+/// order-independent paths).
+struct PhaseEnv<'a> {
+    cfg: &'a SimulationConfig,
+    bootstrap: &'a BootstrapRegistry,
+    latency: &'a (dyn LatencyModel + Sync),
+    loss: &'a (dyn LossModel + Sync),
+}
+
+fn next_round_delay(cfg: &SimulationConfig, rng: &mut SmallRng) -> SimDuration {
+    let period = cfg.round_period.as_millis() as f64;
+    if cfg.round_jitter > 0.0 {
+        let jitter = rng.gen_range(-cfg.round_jitter..cfg.round_jitter);
+        SimDuration::from_millis_f64((period * (1.0 + jitter)).max(1.0))
+    } else {
+        cfg.round_period
+    }
+}
+
+impl<P: Protocol> Shard<P> {
+    fn new(stride: u64) -> Self {
+        Shard {
+            stride,
+            nodes: NodeArena::new(),
+            queue: EventQueue::new(),
+            outboxes: (0..stride).map(|_| Vec::new()).collect(),
+            traffic: TrafficLedger::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Runs `callback` on one node and converts its effects: timers go straight into this
+    /// shard's queue (they are node-local), messages become [`PendingMessage`]s with loss
+    /// and latency already sampled from the node's private network stream.
+    fn execute<F>(
+        &mut self,
+        local: usize,
+        at: SimTime,
+        env: &PhaseEnv<'_>,
+        callback: F,
+    ) -> Vec<PendingMessage<P::Message>>
+    where
+        F: FnOnce(&mut P, &mut Context<'_, P::Message>),
+    {
+        let (id, outgoing, timers) = {
+            let state = self
+                .nodes
+                .get_mut(local)
+                .expect("execute() requires a live node");
+            let mut ctx = Context::new(
+                state.id,
+                at,
+                env.cfg.round_period,
+                &mut state.rng,
+                env.bootstrap,
+            );
+            callback(&mut state.proto, &mut ctx);
+            let (outgoing, timers) = ctx.into_effects();
+            (state.id, outgoing, timers)
+        };
+        for TimerRequest { delay, key } in timers {
+            self.queue
+                .schedule(at + delay, Event::Timer { node: id, key });
+        }
+        let state = self.nodes.get_mut(local).expect("node still live");
+        let mut pending = Vec::with_capacity(outgoing.len());
+        for Outgoing { to, msg } in outgoing {
+            let wire = msg.wire_size();
+            let seq = state.msg_seq;
+            state.msg_seq += 1;
+            let lost = env.loss.drops_shared(id, to, &mut state.net_rng);
+            let deliver_at = if lost {
+                at
+            } else {
+                at + env.latency.sample_shared(id, to, &mut state.net_rng)
+            };
+            pending.push(PendingMessage {
+                from: id,
+                to,
+                msg,
+                sent_at: at,
+                deliver_at,
+                seq,
+                lost,
+                wire,
+            });
+        }
+        pending
+    }
+
+    fn route(&mut self, pending: Vec<PendingMessage<P::Message>>) {
+        for message in pending {
+            let dst = (message.to.as_u64() % self.stride) as usize;
+            self.outboxes[dst].push(message);
+        }
+    }
+
+    /// Processes every event of this shard scheduled before `window_end`.
+    fn run_phase(&mut self, window_end: SimTime, env: &PhaseEnv<'_>) {
+        let stride = self.stride;
+        while let Some(at) = self.queue.peek_time() {
+            if at >= window_end {
+                break;
+            }
+            let scheduled = self.queue.pop().expect("peeked event must exist");
+            match scheduled.event {
+                Event::Round { node } => {
+                    let local = local_index(node, stride);
+                    if self.nodes.contains(local) {
+                        let pending = self
+                            .execute(local, scheduled.at, env, |proto, ctx| proto.on_round(ctx));
+                        self.route(pending);
+                        let state = self.nodes.get_mut(local).expect("node still live");
+                        let next = next_round_delay(env.cfg, &mut state.sched_rng);
+                        self.queue
+                            .schedule(scheduled.at + next, Event::Round { node });
+                    }
+                }
+                Event::Timer { node, key } => {
+                    let local = local_index(node, stride);
+                    if self.nodes.contains(local) {
+                        let pending = self.execute(local, scheduled.at, env, |proto, ctx| {
+                            proto.on_timer(key, ctx)
+                        });
+                        self.route(pending);
+                    }
+                }
+                Event::Deliver { from, to, msg } => {
+                    let local = local_index(to, stride);
+                    if self.nodes.contains(local) {
+                        self.stats.delivered += 1;
+                        self.traffic.record_received(to, msg.wire_size());
+                        let pending = self.execute(local, scheduled.at, env, |proto, ctx| {
+                            proto.on_message(from, msg, ctx)
+                        });
+                        self.route(pending);
+                    } else {
+                        self.stats.destination_gone += 1;
+                        self.traffic.record_dropped(from);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The sharded, phase-parallel simulation engine. See the module documentation for the
+/// execution model and the determinism argument.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_simulator::{
+///     Context, NodeId, Protocol, ShardedSimulation, SimulationConfig, WireSize,
+/// };
+///
+/// struct Ping(u64);
+///
+/// #[derive(Clone, Debug)]
+/// struct Msg;
+///
+/// impl WireSize for Msg {
+///     fn wire_size(&self) -> usize {
+///         28
+///     }
+/// }
+///
+/// impl Protocol for Ping {
+///     type Message = Msg;
+///     fn on_start(&mut self, _ctx: &mut Context<'_, Msg>) {}
+///     fn on_round(&mut self, ctx: &mut Context<'_, Msg>) {
+///         if let Some(peer) = ctx.bootstrap_sample(1).first().copied() {
+///             ctx.send(peer, Msg);
+///         }
+///     }
+///     fn on_message(&mut self, _from: NodeId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let cfg = SimulationConfig::default().with_seed(7).with_engine_threads(2);
+/// let mut sim = ShardedSimulation::new(cfg);
+/// for i in 0..16 {
+///     sim.register_public(NodeId::new(i));
+///     sim.add_node(NodeId::new(i), Ping(0));
+/// }
+/// sim.run_for_rounds(10);
+/// let received: u64 = sim.nodes().map(|(_, p)| p.0).sum();
+/// assert!(received > 0);
+/// ```
+pub struct ShardedSimulation<P: Protocol> {
+    cfg: SimulationConfig,
+    now: SimTime,
+    /// Index of the next phase to execute; phase `p` covers `[p*T, (p+1)*T)`.
+    next_phase: u64,
+    shards: Vec<Shard<P>>,
+    latency: Box<dyn LatencyModel + Send + Sync>,
+    loss: Box<dyn LossModel + Send + Sync>,
+    filter: Box<dyn DeliveryFilter>,
+    bootstrap: BootstrapRegistry,
+    /// Sender-side traffic counters, written at the barrier in canonical order.
+    barrier_traffic: TrafficLedger,
+    /// Loss/NAT statistics, written at the barrier in canonical order.
+    barrier_stats: NetworkStats,
+}
+
+impl<P: Protocol + Send> ShardedSimulation<P>
+where
+    P::Message: Send,
+{
+    /// Creates a sharded engine with `cfg.engine_threads` worker shards (at least one), a
+    /// King-like latency model, no message loss and no NAT filtering.
+    pub fn new(cfg: SimulationConfig) -> Self {
+        let workers = cfg.engine_threads.max(1);
+        ShardedSimulation {
+            cfg,
+            now: SimTime::ZERO,
+            next_phase: 0,
+            shards: (0..workers).map(|_| Shard::new(workers as u64)).collect(),
+            latency: Box::new(KingLatencyModel::new()),
+            loss: Box::new(NoLoss),
+            filter: Box::new(OpenInternet),
+            bootstrap: BootstrapRegistry::new(),
+            barrier_traffic: TrafficLedger::new(),
+            barrier_stats: NetworkStats::default(),
+        }
+    }
+
+    /// Replaces the latency model; workers sample it concurrently through
+    /// [`LatencyModel::sample_shared`].
+    pub fn set_latency_model(&mut self, model: impl LatencyModel + Send + Sync + 'static) {
+        self.latency = Box::new(model);
+    }
+
+    /// Replaces the loss model; workers consult it concurrently through
+    /// [`LossModel::drops_shared`].
+    pub fn set_loss_model(&mut self, model: impl LossModel + Send + Sync + 'static) {
+        self.loss = Box::new(model);
+    }
+
+    /// Replaces the delivery filter. The filter runs on the coordinating thread only, at
+    /// the round barriers, in the canonical merge order.
+    pub fn set_delivery_filter(&mut self, filter: impl DeliveryFilter + 'static) {
+        self.filter = Box::new(filter);
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of worker shards (= worker threads) the engine runs with.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Aggregated message delivery statistics across the barrier and all shards.
+    pub fn network_stats(&self) -> NetworkStats {
+        let mut stats = self.barrier_stats;
+        for shard in &self.shards {
+            stats.merge(shard.stats);
+        }
+        stats
+    }
+
+    /// The bootstrap registry.
+    pub fn bootstrap(&self) -> &BootstrapRegistry {
+        &self.bootstrap
+    }
+
+    /// Registers `node` with the bootstrap server so joiners can discover it.
+    pub fn register_public(&mut self, node: NodeId) {
+        self.bootstrap.register(node);
+    }
+
+    /// A merged copy of the per-node traffic ledger (barrier-side sender counters plus
+    /// every shard's receiver counters).
+    pub fn traffic_snapshot(&self) -> TrafficLedger {
+        let mut merged = self.barrier_traffic.clone();
+        for shard in &self.shards {
+            merged.merge_from(&shard.traffic);
+        }
+        merged
+    }
+
+    /// Clears all traffic counters and restarts the measurement window at the current time.
+    pub fn reset_traffic_window(&mut self) {
+        let now = self.now;
+        self.barrier_traffic.reset_window(now);
+        for shard in &mut self.shards {
+            shard.traffic.reset_window(now);
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.nodes.len()).sum()
+    }
+
+    /// Returns `true` when the simulation holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn locate(&self, node: NodeId) -> (usize, usize) {
+        let stride = self.shards.len() as u64;
+        ((node.as_u64() % stride) as usize, local_index(node, stride))
+    }
+
+    /// Returns `true` if `node` is currently alive.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (shard, local) = self.locate(node);
+        self.shards[shard].nodes.contains(local)
+    }
+
+    /// Identifiers of all live nodes, in ascending id order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes().map(|(id, _)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Shared access to the protocol instance of `node`.
+    pub fn node(&self, node: NodeId) -> Option<&P> {
+        let (shard, local) = self.locate(node);
+        self.shards[shard].nodes.get(local).map(|s| &s.proto)
+    }
+
+    /// Exclusive access to the protocol instance of `node`.
+    pub fn node_mut(&mut self, node: NodeId) -> Option<&mut P> {
+        let (shard, local) = self.locate(node);
+        self.shards[shard]
+            .nodes
+            .get_mut(local)
+            .map(|s| &mut s.proto)
+    }
+
+    /// Iterates over `(id, protocol)` pairs of all live nodes, shard by shard.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.nodes.iter().map(|(_, st)| (st.id, &st.proto)))
+    }
+
+    /// The time at which `node` joined the simulation.
+    pub fn joined_at(&self, node: NodeId) -> Option<SimTime> {
+        let (shard, local) = self.locate(node);
+        self.shards[shard].nodes.get(local).map(|s| s.joined_at)
+    }
+
+    /// Adds a node running `proto`, invoking its [`Protocol::on_start`] callback and
+    /// scheduling its periodic rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node with the same identifier is already present.
+    pub fn add_node(&mut self, id: NodeId, proto: P) {
+        let (shard_idx, local) = self.locate(id);
+        assert!(
+            !self.shards[shard_idx].nodes.contains(local),
+            "node {id} is already part of the simulation"
+        );
+        self.filter.on_node_added(id);
+        let seed = self.cfg.seed;
+        let state = NodeState {
+            id,
+            proto,
+            rng: seed.node_rng(id),
+            net_rng: seed.node_stream_rng(id, Stream::Latency),
+            sched_rng: seed.node_stream_rng(id, Stream::Scheduling),
+            joined_at: self.now,
+            msg_seq: 0,
+        };
+        self.shards[shard_idx].nodes.insert(local, state);
+        let now = self.now;
+        let cfg = self.cfg;
+        let batch = {
+            let env = PhaseEnv {
+                cfg: &cfg,
+                bootstrap: &self.bootstrap,
+                latency: self.latency.as_ref(),
+                loss: self.loss.as_ref(),
+            };
+            self.shards[shard_idx].execute(local, now, &env, |proto, ctx| proto.on_start(ctx))
+        };
+        self.merge_batch(batch, now);
+        let shard = &mut self.shards[shard_idx];
+        let state = shard.nodes.get_mut(local).expect("node just inserted");
+        let phase = if cfg.random_phase {
+            let period_ms = cfg.round_period.as_millis().max(1);
+            SimDuration::from_millis(state.sched_rng.gen_range(0..period_ms))
+        } else {
+            cfg.round_period
+        };
+        shard.queue.schedule(now + phase, Event::Round { node: id });
+    }
+
+    /// Removes a node (crash or departure), returning its protocol state. In-flight
+    /// messages addressed to the node are dropped when their delivery fires.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<P> {
+        let (shard, local) = self.locate(id);
+        let state = self.shards[shard].nodes.remove(local)?;
+        self.bootstrap.unregister(id);
+        self.filter.on_node_removed(id);
+        Some(state.proto)
+    }
+
+    fn period_ms(&self) -> u64 {
+        self.cfg.round_period.as_millis().max(1)
+    }
+
+    /// End of phase `p`, i.e. the instant `(p + 1) * round_period`.
+    fn phase_end(&self, phase: u64) -> SimTime {
+        SimTime::from_millis(self.period_ms().saturating_mul(phase + 1))
+    }
+
+    /// Runs the simulation until the virtual clock reaches `deadline`, executing every
+    /// phase whose window closes at or before it.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let window_end = self.phase_end(self.next_phase);
+            if window_end > deadline {
+                break;
+            }
+            if self.shards.iter().all(|s| s.queue.is_empty()) {
+                // Nothing queued anywhere (and rounds self-perpetuate, so nothing ever
+                // will be until a node is added): skip ahead instead of spinning phases.
+                self.next_phase = deadline.as_millis() / self.period_ms();
+                break;
+            }
+            self.run_one_phase();
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs the simulation for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Runs the simulation for `rounds` gossip periods from the current instant.
+    pub fn run_for_rounds(&mut self, rounds: u64) {
+        self.run_for(self.cfg.round_period.saturating_mul(rounds));
+    }
+
+    /// Executes one phase: all shards in parallel, then the barrier merge.
+    fn run_one_phase(&mut self) {
+        let phase = self.next_phase;
+        let window_end = self.phase_end(phase);
+        let cfg = self.cfg;
+        {
+            let env = PhaseEnv {
+                cfg: &cfg,
+                bootstrap: &self.bootstrap,
+                latency: self.latency.as_ref(),
+                loss: self.loss.as_ref(),
+            };
+            let shards = &mut self.shards;
+            if shards.len() == 1 {
+                shards[0].run_phase(window_end, &env);
+            } else {
+                let env = &env;
+                std::thread::scope(|scope| {
+                    for shard in shards.iter_mut() {
+                        scope.spawn(move || shard.run_phase(window_end, env));
+                    }
+                });
+            }
+        }
+        let total: usize = self
+            .shards
+            .iter()
+            .map(|s| s.outboxes.iter().map(Vec::len).sum::<usize>())
+            .sum();
+        let mut batch = Vec::with_capacity(total);
+        for shard in &mut self.shards {
+            for outbox in &mut shard.outboxes {
+                batch.append(outbox);
+            }
+        }
+        self.next_phase = phase + 1;
+        if window_end > self.now {
+            self.now = window_end;
+        }
+        self.merge_batch(batch, window_end);
+    }
+
+    /// The barrier: sorts `batch` into the canonical order, performs sender-side
+    /// accounting and filtering, and schedules deliveries no earlier than `earliest`.
+    fn merge_batch(&mut self, mut batch: Vec<PendingMessage<P::Message>>, earliest: SimTime) {
+        batch.sort_unstable_by_key(|m| (m.sent_at, m.from, m.seq));
+        let stride = self.shards.len() as u64;
+        for message in batch {
+            self.barrier_traffic.record_sent(message.from, message.wire);
+            self.filter
+                .on_send(message.from, message.to, message.sent_at);
+            if message.lost {
+                self.barrier_stats.lost += 1;
+                self.barrier_traffic.record_dropped(message.from);
+                continue;
+            }
+            let exec_at = message.deliver_at.max(earliest);
+            match self.filter.can_deliver(message.from, message.to, exec_at) {
+                DeliveryVerdict::Deliver => {
+                    let dst = (message.to.as_u64() % stride) as usize;
+                    self.shards[dst].queue.schedule(
+                        exec_at,
+                        Event::Deliver {
+                            from: message.from,
+                            to: message.to,
+                            msg: message.msg,
+                        },
+                    );
+                }
+                DeliveryVerdict::BlockedByNat => {
+                    self.barrier_stats.blocked_by_nat += 1;
+                    self.barrier_traffic.record_dropped(message.from);
+                }
+                DeliveryVerdict::NoSuchDestination => {
+                    self.barrier_stats.destination_gone += 1;
+                    self.barrier_traffic.record_dropped(message.from);
+                }
+            }
+        }
+    }
+}
+
+impl<P: PssNode + Send> ShardedSimulation<P>
+where
+    P::Message: Send,
+{
+    /// Draws a peer sample from `node` using the node's own random stream, following the
+    /// protocol's sampling rule.
+    pub fn sample_from(&mut self, node: NodeId) -> Option<NodeId> {
+        let (shard, local) = self.locate(node);
+        let state = self.shards[shard].nodes.get_mut(local)?;
+        state.proto.draw_sample(&mut state.rng)
+    }
+}
+
+impl<P: Protocol + Send> SimulationEngine<P> for ShardedSimulation<P>
+where
+    P::Message: Send,
+{
+    fn from_config(cfg: SimulationConfig) -> Self {
+        ShardedSimulation::new(cfg)
+    }
+
+    fn set_latency_model<L: LatencyModel + Send + Sync + 'static>(&mut self, model: L) {
+        ShardedSimulation::set_latency_model(self, model);
+    }
+
+    fn set_loss_model<L: LossModel + Send + Sync + 'static>(&mut self, model: L) {
+        ShardedSimulation::set_loss_model(self, model);
+    }
+
+    fn set_delivery_filter<D: DeliveryFilter + 'static>(&mut self, filter: D) {
+        ShardedSimulation::set_delivery_filter(self, filter);
+    }
+
+    fn config(&self) -> &SimulationConfig {
+        ShardedSimulation::config(self)
+    }
+
+    fn now(&self) -> SimTime {
+        ShardedSimulation::now(self)
+    }
+
+    fn len(&self) -> usize {
+        ShardedSimulation::len(self)
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        ShardedSimulation::contains(self, node)
+    }
+
+    fn register_public(&mut self, node: NodeId) {
+        ShardedSimulation::register_public(self, node);
+    }
+
+    fn add_node(&mut self, id: NodeId, proto: P) {
+        ShardedSimulation::add_node(self, id, proto);
+    }
+
+    fn remove_node(&mut self, id: NodeId) -> Option<P> {
+        ShardedSimulation::remove_node(self, id)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        ShardedSimulation::run_until(self, deadline);
+    }
+
+    fn for_each_node(&self, f: &mut dyn FnMut(NodeId, &P)) {
+        for (id, proto) in self.nodes() {
+            f(id, proto);
+        }
+    }
+
+    fn network_stats(&self) -> NetworkStats {
+        ShardedSimulation::network_stats(self)
+    }
+
+    fn traffic_snapshot(&self) -> TrafficLedger {
+        ShardedSimulation::traffic_snapshot(self)
+    }
+
+    fn reset_traffic_window(&mut self) {
+        ShardedSimulation::reset_traffic_window(self);
+    }
+
+    fn draw_sample(&mut self, node: NodeId) -> Option<NodeId>
+    where
+        P: PssNode,
+    {
+        self.sample_from(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::ConstantLatency;
+    use crate::loss::BernoulliLoss;
+    use crate::protocol::TimerKey;
+    use crate::types::NatClass;
+
+    /// Test protocol: each round, sends its round counter to the next node in a ring.
+    struct Ring {
+        n: u64,
+        rounds: u64,
+        received: Vec<(NodeId, u32)>,
+        timer_fired: bool,
+    }
+
+    impl Ring {
+        fn new(n: u64) -> Self {
+            Ring {
+                n,
+                rounds: 0,
+                received: Vec::new(),
+                timer_fired: false,
+            }
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Counter(u32);
+
+    impl WireSize for Counter {
+        fn wire_size(&self) -> usize {
+            100
+        }
+    }
+
+    impl Protocol for Ring {
+        type Message = Counter;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+            ctx.set_timer(SimDuration::from_millis(10), TimerKey::new(1));
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, Self::Message>) {
+            self.rounds += 1;
+            let next = NodeId::new((ctx.node_id().as_u64() + 1) % self.n);
+            ctx.send(next, Counter(self.rounds as u32));
+        }
+
+        fn on_message(
+            &mut self,
+            from: NodeId,
+            msg: Self::Message,
+            _ctx: &mut Context<'_, Self::Message>,
+        ) {
+            self.received.push((from, msg.0));
+        }
+
+        fn on_timer(&mut self, key: TimerKey, _ctx: &mut Context<'_, Self::Message>) {
+            assert_eq!(key, TimerKey::new(1));
+            self.timer_fired = true;
+        }
+    }
+
+    impl PssNode for Ring {
+        fn nat_class(&self) -> NatClass {
+            NatClass::Public
+        }
+
+        fn known_peers(&self) -> Vec<NodeId> {
+            self.received.iter().map(|(from, _)| *from).collect()
+        }
+
+        fn draw_sample(&mut self, _rng: &mut SmallRng) -> Option<NodeId> {
+            self.received.last().map(|(from, _)| *from)
+        }
+
+        fn rounds_executed(&self) -> u64 {
+            self.rounds
+        }
+    }
+
+    fn ring_sim(n: u64, threads: usize) -> ShardedSimulation<Ring> {
+        let mut sim = ShardedSimulation::new(
+            SimulationConfig::default()
+                .with_seed(11)
+                .with_engine_threads(threads),
+        );
+        sim.set_latency_model(ConstantLatency::new(SimDuration::from_millis(10)));
+        for i in 0..n {
+            sim.add_node(NodeId::new(i), Ring::new(n));
+        }
+        sim
+    }
+
+    /// Per-node observable state: `(id, rounds executed, messages received)`.
+    type NodeTrace = (u64, u64, Vec<(NodeId, u32)>);
+
+    /// Everything observable about a run, for bit-identity comparisons.
+    type Fingerprint = (Vec<NodeTrace>, NetworkStats, TrafficLedger);
+
+    fn fingerprint(sim: &ShardedSimulation<Ring>) -> Fingerprint {
+        let mut nodes: Vec<NodeTrace> = sim
+            .nodes()
+            .map(|(id, p)| (id.as_u64(), p.rounds, p.received.clone()))
+            .collect();
+        nodes.sort();
+        (nodes, sim.network_stats(), sim.traffic_snapshot())
+    }
+
+    #[test]
+    fn rounds_fire_and_messages_flow() {
+        let mut sim = ring_sim(8, 2);
+        sim.run_for_rounds(10);
+        for (_, node) in sim.nodes() {
+            assert!(node.rounds >= 8, "rounds executed: {}", node.rounds);
+            assert!(!node.received.is_empty());
+            assert!(node.timer_fired);
+        }
+        let stats = sim.network_stats();
+        assert!(stats.delivered > 0);
+        assert_eq!(stats.total(), stats.delivered, "no loss, no NAT, no deaths");
+    }
+
+    #[test]
+    fn runs_are_bit_identical_across_worker_counts() {
+        let run = |threads: usize| {
+            let mut sim = ring_sim(13, threads);
+            sim.run_for_rounds(25);
+            fingerprint(&sim)
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        assert_eq!(one, two, "1 vs 2 workers diverged");
+        assert_eq!(one, four, "1 vs 4 workers diverged");
+        assert!(one.1.delivered > 0);
+    }
+
+    #[test]
+    fn bit_identity_holds_with_default_king_latency_and_loss() {
+        let run = |threads: usize| {
+            let mut sim = ShardedSimulation::new(
+                SimulationConfig::default()
+                    .with_seed(23)
+                    .with_engine_threads(threads),
+            );
+            sim.set_loss_model(BernoulliLoss::new(0.2));
+            for i in 0..10 {
+                sim.add_node(NodeId::new(i), Ring::new(10));
+            }
+            sim.run_for_rounds(20);
+            fingerprint(&sim)
+        };
+        let a = run(1);
+        let b = run(3);
+        assert_eq!(a, b);
+        assert!(a.1.lost > 0, "a 20% loss model should drop something");
+    }
+
+    #[test]
+    fn traffic_ledger_accounts_bytes() {
+        let mut sim = ring_sim(4, 2);
+        sim.run_for_rounds(10);
+        let ledger = sim.traffic_snapshot();
+        let t = ledger.node_or_default(NodeId::new(1));
+        assert!(t.bytes_sent >= 800, "ten rounds of 100-byte sends: {t:?}");
+        assert!(t.bytes_received > 0);
+        assert_eq!(ledger.total_bytes_sent() % 100, 0);
+    }
+
+    #[test]
+    fn reset_traffic_window_clears_all_shards() {
+        let mut sim = ring_sim(4, 2);
+        sim.run_for_rounds(5);
+        assert!(!sim.traffic_snapshot().is_empty());
+        sim.reset_traffic_window();
+        let ledger = sim.traffic_snapshot();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.window_start(), sim.now());
+    }
+
+    #[test]
+    fn removed_node_stops_receiving_and_counts_as_gone() {
+        let mut sim = ring_sim(4, 2);
+        sim.run_for_rounds(3);
+        assert!(sim.remove_node(NodeId::new(2)).is_some());
+        assert!(!sim.contains(NodeId::new(2)));
+        assert_eq!(sim.len(), 3);
+        sim.run_for_rounds(5);
+        assert!(sim.network_stats().destination_gone > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already part of the simulation")]
+    fn duplicate_node_panics() {
+        let mut sim = ring_sim(3, 2);
+        sim.add_node(NodeId::new(1), Ring::new(3));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim: ShardedSimulation<Ring> =
+            ShardedSimulation::new(SimulationConfig::default().with_engine_threads(2));
+        sim.run_until(SimTime::from_secs(42));
+        assert_eq!(sim.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn sample_from_uses_protocol_rule() {
+        let mut sim = ring_sim(4, 2);
+        sim.run_for_rounds(5);
+        assert!(sim.sample_from(NodeId::new(1)).is_some());
+        assert_eq!(sim.sample_from(NodeId::new(99)), None);
+    }
+
+    #[test]
+    fn joined_at_records_join_time() {
+        let mut sim = ring_sim(3, 2);
+        sim.run_until(SimTime::from_secs(3));
+        sim.add_node(NodeId::new(7), Ring::new(3));
+        assert_eq!(sim.joined_at(NodeId::new(7)), Some(SimTime::from_secs(3)));
+        assert_eq!(sim.joined_at(NodeId::new(1)), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn node_ids_are_sorted_and_accessors_agree() {
+        let sim = ring_sim(9, 4);
+        let ids = sim.node_ids();
+        assert_eq!(ids.len(), 9);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(sim.node(NodeId::new(5)).is_some());
+        assert_eq!(sim.num_shards(), 4);
+    }
+}

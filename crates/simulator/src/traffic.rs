@@ -46,7 +46,7 @@ impl NodeTraffic {
 }
 
 /// Workspace-wide traffic ledger indexed by node.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TrafficLedger {
     per_node: HashMap<NodeId, NodeTraffic>,
     window_start: SimTime,
@@ -116,6 +116,23 @@ impl TrafficLedger {
         self.window_start = now;
     }
 
+    /// Adds every counter of `other` into this ledger.
+    ///
+    /// The sharded engine keeps one ledger per shard (plus one for barrier-side
+    /// accounting) so workers never contend on a shared map; merging the per-shard ledgers
+    /// yields the same per-node totals as a single shared ledger would, because every
+    /// counter is a commutative sum.
+    pub fn merge_from(&mut self, other: &TrafficLedger) {
+        for (node, t) in other.iter() {
+            let entry = self.per_node.entry(node).or_default();
+            entry.bytes_sent += t.bytes_sent;
+            entry.bytes_received += t.bytes_received;
+            entry.messages_sent += t.messages_sent;
+            entry.messages_received += t.messages_received;
+            entry.messages_dropped += t.messages_dropped;
+        }
+    }
+
     /// Sum of bytes sent by every node.
     pub fn total_bytes_sent(&self) -> u64 {
         self.per_node.values().map(|t| t.bytes_sent).sum()
@@ -173,6 +190,36 @@ mod tests {
         ledger.reset_window(SimTime::from_secs(30));
         assert!(ledger.is_empty());
         assert_eq!(ledger.window_start(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn merge_from_sums_counters_per_node() {
+        let mut a = TrafficLedger::new();
+        a.record_sent(NodeId::new(1), 10);
+        a.record_received(NodeId::new(2), 5);
+        let mut b = TrafficLedger::new();
+        b.record_sent(NodeId::new(1), 30);
+        b.record_dropped(NodeId::new(1));
+        b.record_sent(NodeId::new(3), 7);
+        a.merge_from(&b);
+        let n1 = a.node_or_default(NodeId::new(1));
+        assert_eq!(n1.bytes_sent, 40);
+        assert_eq!(n1.messages_sent, 2);
+        assert_eq!(n1.messages_dropped, 1);
+        assert_eq!(a.node_or_default(NodeId::new(2)).bytes_received, 5);
+        assert_eq!(a.node_or_default(NodeId::new(3)).bytes_sent, 7);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn ledgers_with_same_counters_compare_equal() {
+        let mut a = TrafficLedger::new();
+        let mut b = TrafficLedger::new();
+        a.record_sent(NodeId::new(1), 10);
+        b.record_sent(NodeId::new(1), 10);
+        assert_eq!(a, b);
+        b.record_dropped(NodeId::new(1));
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -49,6 +49,78 @@ fn every_protocol_is_deterministic_under_the_generic_driver() {
     }
 }
 
+/// The sharded engine's headline guarantee: for a fixed seed, a phase-parallel run is
+/// bit-identical — same samples, same final overlay snapshot, same per-node traffic
+/// ledger — no matter how many worker threads execute it.
+#[test]
+fn sharded_runs_are_bit_identical_across_thread_counts() {
+    let configs = ProtocolConfigs::default();
+    let run = |threads: usize| {
+        let params = ExperimentParams::default()
+            .with_seed(0x5AAD)
+            .with_population(10, 30)
+            .with_rounds(40)
+            .with_sample_every(5)
+            .with_graph_metrics(8)
+            .with_engine_threads(threads);
+        run_kind(ProtocolKind::Croupier, &params, &configs)
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    assert_eq!(one.samples, two.samples, "1 vs 2 threads: samples diverged");
+    assert_eq!(
+        one.samples, four.samples,
+        "1 vs 4 threads: samples diverged"
+    );
+    assert_eq!(
+        one.final_snapshot, two.final_snapshot,
+        "1 vs 2 threads: snapshots diverged"
+    );
+    assert_eq!(
+        one.final_snapshot, four.final_snapshot,
+        "1 vs 4 threads: snapshots diverged"
+    );
+    assert_eq!(
+        one.traffic, two.traffic,
+        "1 vs 2 threads: traffic ledgers diverged"
+    );
+    assert_eq!(
+        one.traffic, four.traffic,
+        "1 vs 4 threads: traffic ledgers diverged"
+    );
+}
+
+/// Batched cross-shard delivery must not perturb traffic accounting: for every protocol,
+/// the per-node byte counts of a single-worker sharded run and a four-worker sharded run
+/// of the same seed are identical (the counters are summed per node across shard ledgers,
+/// and all sender-side accounting happens in the canonical barrier order).
+#[test]
+fn traffic_ledgers_match_between_single_threaded_and_sharded_runs() {
+    let configs = ProtocolConfigs::default();
+    for kind in ProtocolKind::ALL {
+        let run = |threads: usize| {
+            let params = ExperimentParams::default()
+                .with_seed(0x7AFF)
+                .with_population(8, if kind == ProtocolKind::Cyclon { 0 } else { 24 })
+                .with_rounds(30)
+                .with_sample_every(5)
+                .with_engine_threads(threads);
+            run_kind(kind, &params, &configs)
+        };
+        let single = run(1);
+        let sharded = run(4);
+        assert_eq!(
+            single.traffic, sharded.traffic,
+            "{kind}: traffic ledgers diverged between 1 and 4 worker threads"
+        );
+        assert!(
+            single.traffic.total_bytes_sent() > 0,
+            "{kind}: the comparison must cover real traffic"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_produce_different_runs() {
     let configs = ProtocolConfigs::default();

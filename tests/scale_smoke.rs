@@ -1,0 +1,50 @@
+//! Large-scale smoke test: a 100k-node Croupier deployment on the sharded engine.
+//!
+//! This is the CI `scale-smoke` job's workload (`cargo test --release --test scale_smoke
+//! -- --ignored`); it is `#[ignore]`d by default so plain `cargo test` stays fast for
+//! local iteration.
+
+use croupier::{CroupierConfig, CroupierNode};
+use croupier_suite::experiments::figures::fig3_system_size;
+use croupier_suite::experiments::output::Scale;
+use croupier_suite::experiments::runner::run_pss;
+
+/// 100k nodes, 20 % public, four worker threads, a handful of rounds: enough to exercise
+/// joins, striped shard assignment, cross-shard mailbox merges and metric sampling at the
+/// `Scale::Large` system size on every PR.
+///
+/// The parameters come from `fig3_system_size::params(Scale::Large, ..)` — the same
+/// configuration `figures --scale large` runs — with only the duration shortened, so the
+/// smoke keeps guarding whatever the Large tier actually does.
+#[test]
+#[ignore = "100k-node run; executed by the CI scale-smoke job"]
+fn croupier_100k_nodes_on_the_sharded_engine() {
+    let params = fig3_system_size::params(Scale::Large, 100_000, 0x10_0000)
+        .with_rounds(12)
+        .with_sample_every(4);
+    assert_eq!(params.engine_threads, 4, "Large runs on the sharded engine");
+    let out = run_pss(&params, |id, class, _| {
+        CroupierNode::new(id, class, CroupierConfig::default())
+    });
+    let last = out.last_sample().expect("samples were taken");
+    assert_eq!(last.node_count, 100_000, "every node joined and survived");
+    assert!(
+        (out.final_true_ratio - 0.2).abs() < 1e-9,
+        "ratio intact: {}",
+        out.final_true_ratio
+    );
+    assert!(
+        last.estimation.average < 0.5,
+        "estimates must be sane after a few rounds, got {}",
+        last.estimation.average
+    );
+    assert!(
+        out.traffic.total_messages_sent() > 100_000,
+        "the overlay must actually gossip at scale"
+    );
+    assert!(
+        out.final_snapshot.node_count() > 90_000,
+        "most nodes have executed enough rounds to be observed: {}",
+        out.final_snapshot.node_count()
+    );
+}

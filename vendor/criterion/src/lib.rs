@@ -1,0 +1,470 @@
+//! Offline shim of the [`criterion`](https://crates.io/crates/criterion) API subset the
+//! bench crate uses.
+//!
+//! The build environment has no crates.io access, so this crate re-implements the
+//! `criterion_group!`/`criterion_main!` macros, `Criterion`, `BenchmarkGroup`, `Bencher`,
+//! `BenchmarkId`, `BatchSize` and `black_box` with the same signatures. Statistically it is
+//! a *much* simpler harness: each benchmark is warmed up once, then timed over a bounded
+//! number of iterations (capped by both the group's `sample_size` and a wall-clock budget),
+//! and the mean/min time per iteration is printed. That is enough to compare hot paths and
+//! keep every `cargo bench` target runnable end-to-end; swap the path dependency for real
+//! criterion to get rigorous statistics, outlier analysis and HTML reports.
+//!
+//! Beyond the upstream API, every bench run also emits a machine-readable report
+//! `BENCH_<target>.json` (one entry per benchmark: mean/min ns, ops/sec, sample count)
+//! into `target/bench-json/` — override the directory with the `BENCH_JSON_DIR`
+//! environment variable. The `xtask bench-compare` command diffs two such reports and is
+//! what the CI `bench-regression` job runs against the committed baseline.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark; keeps whole-simulation benches bounded.
+const DEFAULT_MEASUREMENT_BUDGET: Duration = Duration::from_secs(2);
+
+/// How batched inputs are grouped per measurement, mirroring `criterion::BatchSize`.
+///
+/// The shim times every iteration individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many fit in memory at once.
+    SmallInput,
+    /// Large inputs: few fit in memory at once.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifies a benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures, mirroring `criterion::Bencher`.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    max_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly with no per-iteration setup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up iteration, untimed (also forces lazy statics, caches, etc.).
+        black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine a mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        black_box(routine(&mut setup()));
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// One finished benchmark, as recorded for the JSON report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration in nanoseconds.
+    pub min_ns: f64,
+    /// Iterations per second implied by the mean (`1e9 / mean_ns`).
+    pub ops_per_sec: f64,
+    /// Number of timed iterations.
+    pub samples: usize,
+}
+
+/// Results accumulated across all groups of the current bench binary.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn record_result(record: BenchRecord) {
+    RESULTS
+        .lock()
+        .expect("benchmark registry poisoned")
+        .push(record);
+}
+
+fn run_one(name: &str, max_samples: usize, budget: Duration, f: impl FnOnce(&mut Bencher<'_>)) {
+    let mut samples = Vec::new();
+    {
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            max_samples,
+            budget,
+        };
+        f(&mut bencher);
+    }
+    if samples.is_empty() {
+        println!("{name:<50} no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{name:<50} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+        samples.len()
+    );
+    let mean_ns = total.as_nanos() as f64 / samples.len() as f64;
+    record_result(BenchRecord {
+        name: name.to_string(),
+        mean_ns,
+        min_ns: min.as_nanos() as f64,
+        ops_per_sec: if mean_ns > 0.0 { 1e9 / mean_ns } else { 0.0 },
+        samples: samples.len(),
+    });
+}
+
+/// Strips the `-<16 hex digit>` disambiguation hash cargo appends to bench binary names.
+fn strip_cargo_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base
+        }
+        _ => stem,
+    }
+}
+
+/// Renders the accumulated results as the `BENCH_<target>.json` document.
+fn render_json(target: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"target\": \"{target}\",\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"ops_per_sec\": {:.3}, \"samples\": {}}}{comma}\n",
+            r.mean_ns, r.min_ns, r.ops_per_sec, r.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the accumulated results of this bench binary as `BENCH_<target>.json`.
+///
+/// Called automatically at the end of [`criterion_main!`]; the output directory defaults
+/// to `target/bench-json` and can be overridden with the `BENCH_JSON_DIR` environment
+/// variable. Failures to write are reported on stderr but never fail the bench run.
+pub fn write_json_report() {
+    let records = RESULTS.lock().expect("benchmark registry poisoned");
+    if records.is_empty() {
+        return;
+    }
+    let exe = std::env::current_exe().ok();
+    let target = exe
+        .as_deref()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| String::from("bench"));
+    let target = strip_cargo_hash(&target).to_string();
+    // Default next to the binary (<target dir>/bench-json): bench binaries run with the
+    // *package* directory as cwd, so a cwd-relative default would scatter reports across
+    // member crates.
+    let default_dir = exe
+        .as_deref()
+        .and_then(|p| p.ancestors().nth(3))
+        .map(|t| t.join("bench-json").to_string_lossy().into_owned())
+        .unwrap_or_else(|| String::from("target/bench-json"));
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or(default_dir);
+    let json = render_json(&target, &records);
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{target}.json"));
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(&path, &json)
+    };
+    match write() {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write {}: {err}", path.display()),
+    }
+}
+
+/// A named collection of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut f = f;
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.budget,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut f = f;
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.budget,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group. The shim prints eagerly, so this only marks the end of scope.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default target number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            budget: DEFAULT_MEASUREMENT_BUDGET,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut f = f;
+        run_one(
+            &id.to_string(),
+            self.sample_size,
+            DEFAULT_MEASUREMENT_BUDGET,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Hook for `criterion_main!`'s final reporting; a no-op in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Runs the `", stringify!($name), "` benchmark group.")]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn run_one_records_results_for_the_json_report() {
+        let before = RESULTS.lock().unwrap().len();
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("json_record_probe", |b| b.iter(|| 2 + 2));
+        let results = RESULTS.lock().unwrap();
+        assert!(results.len() > before);
+        let r = results
+            .iter()
+            .find(|r| r.name == "json_record_probe")
+            .expect("record registered");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.ops_per_sec > 0.0);
+        assert!(r.samples >= 1);
+    }
+
+    #[test]
+    fn cargo_hash_is_stripped_from_binary_stems() {
+        assert_eq!(
+            strip_cargo_hash("microbench_core-0123456789abcdef"),
+            "microbench_core"
+        );
+        assert_eq!(strip_cargo_hash("microbench_core"), "microbench_core");
+        assert_eq!(
+            strip_cargo_hash("multi-word-name-0123456789abcdef"),
+            "multi-word-name"
+        );
+        assert_eq!(strip_cargo_hash("name-notahash"), "name-notahash");
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed_and_one_entry_per_line() {
+        let records = vec![
+            BenchRecord {
+                name: String::from("group/bench \"a\""),
+                mean_ns: 120.5,
+                min_ns: 100.0,
+                ops_per_sec: 8_298_755.187,
+                samples: 20,
+            },
+            BenchRecord {
+                name: String::from("solo"),
+                mean_ns: 10.0,
+                min_ns: 9.0,
+                ops_per_sec: 1e8,
+                samples: 5,
+            },
+        ];
+        let json = render_json("microbench_core", &records);
+        assert!(json.contains("\"target\": \"microbench_core\""));
+        assert!(json.contains("\\\"a\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"mean_ns\": 120.5"));
+        // One entry per line keeps the xtask parser trivial.
+        let entry_lines = json
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{') && l.contains("\"name\""))
+            .count();
+        assert_eq!(entry_lines, 2);
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
+    }
+}

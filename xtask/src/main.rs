@@ -1,0 +1,460 @@
+//! Repository automation (`cargo xtask <command>` via the `xtask` alias pattern: the
+//! workspace member is a plain binary, so `cargo run -p xtask -- <command>` works without
+//! any alias).
+//!
+//! The only command today is `bench-compare`, the guts of the CI `bench-regression` job:
+//! it reads the `BENCH_<target>.json` reports emitted by the criterion shim for the
+//! current run and for the committed baseline, matches benchmarks by name, and fails
+//! (exit code 1) when any benchmark's mean time regressed by more than the threshold.
+//!
+//! ```text
+//! cargo run -p xtask -- bench-compare \
+//!     --baseline ci/bench-baseline --current target/bench-json \
+//!     [--targets microbench_core,microbench_engine] [--threshold 0.25] [--update]
+//! ```
+//!
+//! `--update` rewrites the baseline files from the current run instead of comparing —
+//! commit the result when a speedup or an intentional regression moves the floor.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One benchmark entry parsed from a `BENCH_<target>.json` report.
+#[derive(Clone, Debug, PartialEq)]
+struct Entry {
+    name: String,
+    mean_ns: f64,
+    min_ns: f64,
+    ops_per_sec: f64,
+}
+
+/// Which per-iteration time the comparison judges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Metric {
+    /// Mean time per iteration; matches the headline number the shim prints.
+    Mean,
+    /// Fastest iteration; much more stable than the mean on noisy shared runners, so it is
+    /// the default for the CI gate.
+    Min,
+}
+
+impl Metric {
+    fn of(self, entry: &Entry) -> f64 {
+        match self {
+            Metric::Mean => entry.mean_ns,
+            Metric::Min => entry.min_ns,
+        }
+    }
+}
+
+/// The verdict for one benchmark present in the baseline.
+#[derive(Clone, Debug, PartialEq)]
+enum Verdict {
+    /// Current mean is within the threshold of the baseline mean.
+    Ok { ratio: f64 },
+    /// Current mean exceeds baseline mean by more than the threshold.
+    Regressed { ratio: f64 },
+    /// The benchmark disappeared from the current run.
+    Missing,
+}
+
+/// Extracts the string value of `"key": "..."` from a single JSON entry line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(escaped) = chars.next() {
+                    out.push(escaped);
+                }
+            }
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key": <number>` from a single JSON entry line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a `BENCH_<target>.json` report. The criterion shim writes one entry per line,
+/// so a line-oriented scan is sufficient and keeps this free of a JSON dependency.
+fn parse_report(text: &str) -> Vec<Entry> {
+    text.lines()
+        .filter_map(|line| {
+            let name = field_str(line, "name")?;
+            let mean_ns = field_num(line, "mean_ns")?;
+            let min_ns = field_num(line, "min_ns").unwrap_or(mean_ns);
+            let ops_per_sec = field_num(line, "ops_per_sec").unwrap_or(0.0);
+            Some(Entry {
+                name,
+                mean_ns,
+                min_ns,
+                ops_per_sec,
+            })
+        })
+        .collect()
+}
+
+/// Compares current entries against the baseline. `threshold` is the tolerated relative
+/// slowdown of the chosen metric (0.25 = fail beyond +25 %).
+fn compare(
+    baseline: &[Entry],
+    current: &[Entry],
+    threshold: f64,
+    metric: Metric,
+) -> Vec<(String, Verdict)> {
+    baseline
+        .iter()
+        .map(|base| {
+            let base_ns = metric.of(base);
+            let verdict = match current.iter().find(|c| c.name == base.name) {
+                None => Verdict::Missing,
+                Some(cur) if base_ns <= 0.0 => Verdict::Ok {
+                    ratio: metric.of(cur),
+                },
+                Some(cur) => {
+                    let ratio = metric.of(cur) / base_ns;
+                    if ratio > 1.0 + threshold {
+                        Verdict::Regressed { ratio }
+                    } else {
+                        Verdict::Ok { ratio }
+                    }
+                }
+            };
+            (base.name.clone(), verdict)
+        })
+        .collect()
+}
+
+fn report_path(dir: &Path, target: &str) -> PathBuf {
+    dir.join(format!("BENCH_{target}.json"))
+}
+
+fn render_table(target: &str, verdicts: &[(String, Verdict)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {target} ==");
+    for (name, verdict) in verdicts {
+        match verdict {
+            Verdict::Ok { ratio } => {
+                let _ = writeln!(out, "  ok        {name:<50} {:>7.2}x", ratio);
+            }
+            Verdict::Regressed { ratio } => {
+                let _ = writeln!(out, "  REGRESSED {name:<50} {:>7.2}x", ratio);
+            }
+            Verdict::Missing => {
+                let _ = writeln!(out, "  MISSING   {name}");
+            }
+        }
+    }
+    out
+}
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    targets: Vec<String>,
+    threshold: f64,
+    metric: Metric,
+    update: bool,
+}
+
+const USAGE: &str = "usage: xtask bench-compare --baseline <dir> --current <dir> \
+                     [--targets a,b] [--threshold 0.25] [--metric min|mean] [--update]";
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut targets = vec![
+        String::from("microbench_core"),
+        String::from("microbench_engine"),
+    ];
+    let mut threshold = 0.25;
+    let mut metric = Metric::Min;
+    let mut update = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    argv.next().ok_or("--baseline requires a value")?,
+                ));
+            }
+            "--current" => {
+                current = Some(PathBuf::from(
+                    argv.next().ok_or("--current requires a value")?,
+                ));
+            }
+            "--targets" => {
+                targets = argv
+                    .next()
+                    .ok_or("--targets requires a value")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--threshold" => {
+                threshold = argv
+                    .next()
+                    .ok_or("--threshold requires a value")?
+                    .parse()
+                    .map_err(|_| String::from("--threshold must be a number"))?;
+            }
+            "--metric" => {
+                metric = match argv.next().as_deref() {
+                    Some("min") => Metric::Min,
+                    Some("mean") => Metric::Mean,
+                    _ => return Err(String::from("--metric must be 'min' or 'mean'")),
+                };
+            }
+            "--update" => update = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        current: current.ok_or("--current is required")?,
+        targets,
+        threshold,
+        metric,
+        update,
+    })
+}
+
+fn bench_compare(args: &Args) -> Result<bool, String> {
+    let mut all_ok = true;
+    for target in &args.targets {
+        let current_path = report_path(&args.current, target);
+        let current_text = std::fs::read_to_string(&current_path)
+            .map_err(|e| format!("cannot read {}: {e}", current_path.display()))?;
+        if args.update {
+            std::fs::create_dir_all(&args.baseline)
+                .map_err(|e| format!("cannot create {}: {e}", args.baseline.display()))?;
+            let dest = report_path(&args.baseline, target);
+            std::fs::write(&dest, &current_text)
+                .map_err(|e| format!("cannot write {}: {e}", dest.display()))?;
+            println!("updated {}", dest.display());
+            continue;
+        }
+        let baseline_path = report_path(&args.baseline, target);
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        let baseline = parse_report(&baseline_text);
+        let current = parse_report(&current_text);
+        if baseline.is_empty() {
+            return Err(format!("no entries in {}", baseline_path.display()));
+        }
+        let verdicts = compare(&baseline, &current, args.threshold, args.metric);
+        print!("{}", render_table(target, &verdicts));
+        if verdicts
+            .iter()
+            .any(|(_, v)| !matches!(v, Verdict::Ok { .. }))
+        {
+            all_ok = false;
+        }
+    }
+    Ok(all_ok)
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("bench-compare") => {
+            let args = match parse_args(argv) {
+                Ok(args) => args,
+                Err(err) => {
+                    eprintln!("{err}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match bench_compare(&args) {
+                Ok(true) => {
+                    println!("bench-compare: all benchmarks within threshold");
+                    ExitCode::SUCCESS
+                }
+                Ok(false) => {
+                    eprintln!(
+                        "bench-compare: regression beyond {:.0}% detected",
+                        args.threshold * 100.0
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(err) => {
+                    eprintln!("{err}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "target": "microbench_core",
+  "entries": [
+    {"name": "view/swapper_merge_10", "mean_ns": 140.2, "min_ns": 120.0, "ops_per_sec": 7132667.618, "samples": 20},
+    {"name": "sampler/draw", "mean_ns": 55.0, "min_ns": 50.0, "ops_per_sec": 18181818.182, "samples": 20}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_shim_reports() {
+        let entries = parse_report(SAMPLE);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "view/swapper_merge_10");
+        assert!((entries[0].mean_ns - 140.2).abs() < 1e-9);
+        assert!((entries[1].ops_per_sec - 18_181_818.182).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parses_escaped_names() {
+        let line = r#"{"name": "odd \"quoted\" name", "mean_ns": 10.0, "min_ns": 9.0, "ops_per_sec": 1.0, "samples": 2}"#;
+        let entries = parse_report(line);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].name, "odd \"quoted\" name");
+    }
+
+    fn entry(name: &str, mean_ns: f64) -> Entry {
+        Entry {
+            name: String::from(name),
+            mean_ns,
+            min_ns: mean_ns * 0.9,
+            ops_per_sec: 1e9 / mean_ns,
+        }
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_threshold() {
+        let baseline = vec![entry("a", 100.0), entry("b", 100.0), entry("c", 100.0)];
+        let current = vec![entry("a", 124.0), entry("b", 126.0), entry("c", 60.0)];
+        for metric in [Metric::Mean, Metric::Min] {
+            let verdicts = compare(&baseline, &current, 0.25, metric);
+            assert!(matches!(verdicts[0].1, Verdict::Ok { .. }), "{verdicts:?}");
+            assert!(
+                matches!(verdicts[1].1, Verdict::Regressed { ratio } if ratio > 1.25),
+                "{verdicts:?}"
+            );
+            assert!(matches!(verdicts[2].1, Verdict::Ok { .. }), "speedups pass");
+        }
+    }
+
+    #[test]
+    fn min_metric_judges_min_not_mean() {
+        // Mean regressed 2x (noise) but min is stable: the default gate stays green.
+        let baseline = vec![Entry {
+            name: String::from("noisy"),
+            mean_ns: 100.0,
+            min_ns: 60.0,
+            ops_per_sec: 1e7,
+        }];
+        let current = vec![Entry {
+            name: String::from("noisy"),
+            mean_ns: 200.0,
+            min_ns: 62.0,
+            ops_per_sec: 5e6,
+        }];
+        let by_min = compare(&baseline, &current, 0.25, Metric::Min);
+        assert!(matches!(by_min[0].1, Verdict::Ok { .. }), "{by_min:?}");
+        let by_mean = compare(&baseline, &current, 0.25, Metric::Mean);
+        assert!(matches!(by_mean[0].1, Verdict::Regressed { .. }));
+    }
+
+    #[test]
+    fn compare_flags_missing_benchmarks() {
+        let baseline = vec![entry("gone", 100.0)];
+        let verdicts = compare(&baseline, &[], 0.25, Metric::Min);
+        assert_eq!(verdicts[0].1, Verdict::Missing);
+    }
+
+    #[test]
+    fn new_benchmarks_in_current_are_ignored() {
+        let baseline = vec![entry("a", 100.0)];
+        let current = vec![entry("a", 100.0), entry("brand_new", 5.0)];
+        let verdicts = compare(&baseline, &current, 0.25, Metric::Min);
+        assert_eq!(verdicts.len(), 1, "only baseline entries are judged");
+    }
+
+    #[test]
+    fn args_parse_with_defaults() {
+        let args = parse_args(
+            ["--baseline", "b", "--current", "c"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.threshold, 0.25);
+        assert_eq!(args.metric, Metric::Min, "min is the stable default");
+        assert_eq!(
+            args.targets,
+            vec!["microbench_core", "microbench_engine"],
+            "defaults cover both guarded targets"
+        );
+        assert!(!args.update);
+        assert!(parse_args(std::iter::empty()).is_err(), "baseline required");
+    }
+
+    #[test]
+    fn args_parse_overrides() {
+        let args = parse_args(
+            [
+                "--baseline",
+                "b",
+                "--current",
+                "c",
+                "--targets",
+                "x, y",
+                "--threshold",
+                "0.5",
+                "--metric",
+                "mean",
+                "--update",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.targets, vec!["x", "y"]);
+        assert!((args.threshold - 0.5).abs() < 1e-12);
+        assert_eq!(args.metric, Metric::Mean);
+        assert!(args.update);
+    }
+
+    #[test]
+    fn render_table_marks_each_verdict() {
+        let verdicts = vec![
+            (String::from("fast"), Verdict::Ok { ratio: 0.9 }),
+            (String::from("slow"), Verdict::Regressed { ratio: 1.4 }),
+            (String::from("gone"), Verdict::Missing),
+        ];
+        let table = render_table("t", &verdicts);
+        assert!(table.contains("ok"));
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("MISSING"));
+    }
+}
