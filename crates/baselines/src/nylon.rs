@@ -372,6 +372,12 @@ impl PssNode for NylonNode {
         self.view.nodes()
     }
 
+    fn for_each_known_peer(&self, visit: &mut dyn FnMut(NodeId)) {
+        for descriptor in self.view.iter() {
+            visit(descriptor.node);
+        }
+    }
+
     fn draw_sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
         self.view.random(rng).map(|d| d.node)
     }

@@ -39,7 +39,7 @@ fn bench_view_merge(c: &mut Criterion) {
         )
     });
     let mut rng = SmallRng::seed_from_u64(1);
-    let view = filled_view(10, 10);
+    let mut view = filled_view(10, 10);
     group.bench_function("random_subset_5_of_10", |b| {
         b.iter(|| view.random_subset(5, &mut rng))
     });

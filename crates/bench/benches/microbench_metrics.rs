@@ -1,0 +1,116 @@
+//! Metrics-pipeline benchmarks: the full per-sample graph analysis (average path length
+//! over sampled BFS sources, average clustering coefficient, largest-component fraction)
+//! on synthetic 10k- and 100k-node overlay snapshots.
+//!
+//! Two implementations run on identical snapshots:
+//!
+//! * `naive_pipeline` — the pre-CSR per-sample cost, retained in
+//!   `croupier_metrics::reference`: every metric rebuilds a
+//!   `BTreeMap<NodeId, BTreeSet<NodeId>>` overlay graph (three rebuilds per sample) and
+//!   BFS runs on `HashMap` state.
+//! * `csr_pipeline` — one shared [`MetricsContext`] build feeding all three metrics:
+//!   flat CSR adjacency, epoch-buffer frontier BFS, sorted-row intersection clustering.
+//!
+//! The two produce bit-identical results (enforced by `tests/property_tests.rs`); the
+//! ratio between their rows in `BENCH_microbench_metrics.json` is the documented speedup
+//! of the CSR rewrite, and the `csr_pipeline` rows are guarded against regression by the
+//! CI `bench-regression` job. `csr_pipeline_threads_4` additionally fans the multi-source
+//! BFS over four worker threads — judge its scaling only on hardware with that many cores.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use croupier_metrics::reference::{
+    naive_average_clustering_coefficient, naive_average_path_length,
+    naive_largest_component_fraction,
+};
+use croupier_metrics::{MetricsContext, NodeObservation, OverlaySnapshot};
+use croupier_simulator::{NatClass, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Out-edges per node: roughly a Croupier node's two view capacities.
+const OUT_DEGREE: u64 = 20;
+/// BFS sources per sample, matching the sampled mode the figure runs use.
+const SOURCES: usize = 32;
+
+/// Builds a random overlay snapshot shaped like a steady-state capture: every node holds
+/// `OUT_DEGREE` directed edges to uniformly random peers (self-loops and duplicates
+/// included, as real captures contain them too).
+fn synthetic_snapshot(nodes: u64, seed: u64) -> OverlaySnapshot {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let observations: Vec<NodeObservation> = (0..nodes)
+        .map(|i| NodeObservation {
+            id: NodeId::new(i),
+            class: if i % 5 == 0 {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            },
+            ratio_estimate: Some(0.2),
+            rounds_executed: 50,
+        })
+        .collect();
+    let mut edges = Vec::with_capacity((nodes * OUT_DEGREE) as usize);
+    for i in 0..nodes {
+        for _ in 0..OUT_DEGREE {
+            edges.push((NodeId::new(i), NodeId::new(rng.gen_range(0..nodes))));
+        }
+    }
+    edges.sort_unstable();
+    OverlaySnapshot::from_parts(observations, edges)
+}
+
+/// The pre-CSR per-sample pipeline: three independent tree/hash graph rebuilds.
+fn naive_pipeline(snapshot: &OverlaySnapshot, rng: &mut SmallRng) -> (Option<f64>, f64, f64) {
+    (
+        naive_average_path_length(snapshot, SOURCES, rng),
+        naive_average_clustering_coefficient(snapshot),
+        naive_largest_component_fraction(snapshot),
+    )
+}
+
+/// The CSR per-sample pipeline: one build shared by all three metrics.
+fn csr_pipeline(
+    ctx: &mut MetricsContext,
+    snapshot: &OverlaySnapshot,
+    rng: &mut SmallRng,
+) -> (Option<f64>, f64, f64) {
+    ctx.build(snapshot);
+    (
+        ctx.average_path_length(SOURCES, rng),
+        ctx.average_clustering_coefficient(),
+        ctx.largest_component_fraction(),
+    )
+}
+
+fn bench_metrics_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+    // A naive 100k-node sample runs for seconds; the budget keeps total bench time sane
+    // while still collecting several iterations of the fast rows.
+    group.measurement_time(Duration::from_secs(12));
+    for &nodes in &[10_000u64, 100_000] {
+        let snapshot = synthetic_snapshot(nodes, 0xC5A0 + nodes);
+        let label = format!("{}k_nodes", nodes / 1_000);
+        let mut rng = SmallRng::seed_from_u64(9);
+        group.bench_function(format!("{label}/naive_pipeline"), |b| {
+            b.iter(|| naive_pipeline(&snapshot, &mut rng))
+        });
+        for threads in [1usize, 4] {
+            let mut ctx = MetricsContext::new(threads);
+            let mut rng = SmallRng::seed_from_u64(9);
+            let name = match threads {
+                1 => format!("{label}/csr_pipeline"),
+                t => format!("{label}/csr_pipeline_threads_{t}"),
+            };
+            group.bench_function(name, |b| {
+                b.iter(|| csr_pipeline(&mut ctx, &snapshot, &mut rng))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics_pipeline);
+criterion_main!(benches);

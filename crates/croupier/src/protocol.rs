@@ -333,6 +333,12 @@ impl PssNode for CroupierNode {
         peers
     }
 
+    fn for_each_known_peer(&self, visit: &mut dyn FnMut(NodeId)) {
+        for descriptor in self.public_view.iter().chain(self.private_view.iter()) {
+            visit(descriptor.node);
+        }
+    }
+
     fn ratio_estimate(&self) -> Option<f64> {
         self.estimator.estimate()
     }

@@ -3,6 +3,7 @@
 use croupier_simulator::NodeId;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 use crate::descriptor::Descriptor;
 
@@ -135,11 +136,27 @@ impl View {
     }
 
     /// Up to `count` distinct descriptors chosen uniformly at random, in random order.
-    pub fn random_subset(&self, count: usize, rng: &mut SmallRng) -> Vec<Descriptor> {
-        let mut copy = self.entries.clone();
-        copy.shuffle(rng);
-        copy.truncate(count);
-        copy
+    ///
+    /// Implemented as a partial Fisher–Yates over the entries in place: it draws only
+    /// `min(count, len)` random numbers and allocates nothing beyond the returned subset
+    /// (the previous implementation cloned and fully shuffled the whole entries vector on
+    /// every shuffle exchange, which dominated the protocol hot path). The side effect is
+    /// that the selected entries are swapped to the front of the view; entry order carries
+    /// no protocol meaning (membership, ages and capacity are unaffected), it only breaks
+    /// ties in [`oldest`](View::oldest) deterministically.
+    pub fn random_subset(&mut self, count: usize, rng: &mut SmallRng) -> Vec<Descriptor> {
+        let len = self.entries.len();
+        let count = count.min(len);
+        let mut subset = Vec::with_capacity(count);
+        for i in 0..count {
+            // gen_range panics on an empty range; the final position needs no draw.
+            if len - i > 1 {
+                let j = rng.gen_range(i..len);
+                self.entries.swap(i, j);
+            }
+            subset.push(self.entries[i]);
+        }
+        subset
     }
 
     /// The paper's `updateView` procedure (Algorithm 2, lines 46–58) with the *swapper*
@@ -286,6 +303,7 @@ mod tests {
         assert_eq!(nodes.len(), 4);
         assert!(v.random_subset(20, &mut r).len() == 10);
         assert!(View::new(3).random_subset(2, &mut r).is_empty());
+        assert_eq!(v.len(), 10, "in-place selection must not change membership");
     }
 
     #[test]

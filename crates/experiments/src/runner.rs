@@ -12,8 +12,8 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 
 use croupier_metrics::{
-    average_clustering_coefficient, average_path_length, class_overhead, estimation_errors,
-    largest_component_fraction, EstimationErrors, OverheadReport, OverlaySnapshot,
+    class_overhead, estimation_errors, EstimationErrors, MetricsContext, OverheadReport,
+    OverlaySnapshot,
 };
 use croupier_nat::{NatTopology, NatTopologyBuilder};
 use croupier_simulator::{
@@ -224,6 +224,12 @@ struct Driver<P: Protocol + PssNode, E: SimulationEngine<P>> {
     churn_carry: f64,
     workload_rng: SmallRng,
     metric_rng: SmallRng,
+    /// Reusable snapshot buffer: refilled in place on every sample, so the sampling loop
+    /// allocates nothing in steady state.
+    sample_snapshot: OverlaySnapshot,
+    /// Reusable metrics pipeline: one CSR overlay graph per sample shared by all graph
+    /// metrics, with BFS fanned out over the engine's worker-thread count.
+    metrics: MetricsContext,
     _protocol: PhantomData<fn() -> P>,
 }
 
@@ -249,6 +255,8 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             churn_carry: 0.0,
             workload_rng: seed.stream_rng(croupier_simulator::rng::Stream::Workload),
             metric_rng: seed.stream_rng(croupier_simulator::rng::Stream::Custom(0xE7)),
+            sample_snapshot: OverlaySnapshot::default(),
+            metrics: MetricsContext::new(params.engine_threads.max(1)),
             _protocol: PhantomData,
         }
     }
@@ -322,16 +330,20 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
     }
 
     fn sample(&mut self, round: u64) -> RoundSample {
-        let mut snapshot = OverlaySnapshot::capture(&self.sim, self.params.min_rounds_for_metrics);
+        self.sample_snapshot
+            .capture_into(&self.sim, self.params.min_rounds_for_metrics);
         let true_ratio = self.true_ratio();
-        let estimation = estimation_errors(&snapshot, true_ratio);
+        let estimation = estimation_errors(&self.sample_snapshot, true_ratio);
         let (avg_path_length, clustering, largest_component) =
             if let Some(sources) = self.params.graph_metric_sources {
-                snapshot.retain_live_edges();
+                // One CSR build feeds all three metrics; dangling edges are filtered
+                // during the build, so no separate retain_live_edges pass is needed.
+                self.metrics.build(&self.sample_snapshot);
                 (
-                    average_path_length(&snapshot, sources, &mut self.metric_rng),
-                    Some(average_clustering_coefficient(&snapshot)),
-                    Some(largest_component_fraction(&snapshot)),
+                    self.metrics
+                        .average_path_length(sources, &mut self.metric_rng),
+                    Some(self.metrics.average_clustering_coefficient()),
+                    Some(self.metrics.largest_component_fraction()),
                 )
             } else {
                 (None, None, None)
@@ -440,9 +452,11 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
                 let _ = self.remove_random_node(class.opposite());
             }
         }
-        let mut snapshot = OverlaySnapshot::capture(&self.sim, 0);
-        snapshot.retain_live_edges();
-        largest_component_fraction(&snapshot)
+        // Reuse the driver's snapshot and metrics buffers; the CSR build drops the
+        // dangling edges left behind by the failed nodes.
+        self.sample_snapshot.capture_into(&self.sim, 0);
+        self.metrics.build(&self.sample_snapshot);
+        self.metrics.largest_component_fraction()
     }
 }
 
@@ -660,6 +674,30 @@ mod tests {
             "snapshots diverged"
         );
         assert_eq!(one.traffic, four.traffic, "traffic ledgers diverged");
+    }
+
+    #[test]
+    fn sharded_graph_metrics_are_bit_identical_across_thread_counts() {
+        // Drives the whole pipeline with graph metrics on: the sharded engine AND the
+        // metrics context fan out over `threads` workers, and every sampled metric —
+        // including the float outputs of the parallel multi-source BFS — must match the
+        // single-worker run bit for bit.
+        let run = |threads: usize| {
+            let params = tiny_params()
+                .with_seed(13)
+                .with_engine_threads(threads)
+                .with_graph_metrics(10);
+            run_pss(&params, |id, class, _| {
+                CroupierNode::new(id, class, CroupierConfig::default())
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.samples, four.samples, "graph-metric samples diverged");
+        let last = one.last_sample().unwrap();
+        assert!(last.avg_path_length.is_some());
+        assert!(last.clustering.is_some());
+        assert!((last.largest_component.unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]

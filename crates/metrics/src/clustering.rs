@@ -1,6 +1,6 @@
 //! Average clustering coefficient of the overlay (Fig. 6(c) of the paper).
 
-use crate::graph::UndirectedGraph;
+use crate::context::MetricsContext;
 use crate::snapshot::OverlaySnapshot;
 
 /// Average local clustering coefficient over all observed nodes.
@@ -9,40 +9,20 @@ use crate::snapshot::OverlaySnapshot;
 /// themselves neighbours: 1 for a clique, 0 for a tree. Nodes with fewer than two
 /// neighbours contribute 0, following the convention of the peer-sampling literature the
 /// paper builds on.
+///
+/// This convenience wrapper builds a fresh [`MetricsContext`] per call; sampling loops
+/// should keep one context alive so the CSR graph is built once and shared by all
+/// metrics of the sample.
 pub fn average_clustering_coefficient(snapshot: &OverlaySnapshot) -> f64 {
-    let graph = UndirectedGraph::from_snapshot(snapshot);
-    let n = graph.node_count();
-    if n == 0 {
-        return 0.0;
-    }
-    let mut total = 0.0;
-    for node in graph.nodes() {
-        let neighbours = match graph.neighbours(node) {
-            Some(set) if set.len() >= 2 => set,
-            _ => continue,
-        };
-        let k = neighbours.len();
-        let mut links = 0usize;
-        let neighbour_list: Vec<_> = neighbours.iter().copied().collect();
-        for i in 0..neighbour_list.len() {
-            for j in (i + 1)..neighbour_list.len() {
-                if graph
-                    .neighbours(neighbour_list[i])
-                    .map(|set| set.contains(&neighbour_list[j]))
-                    .unwrap_or(false)
-                {
-                    links += 1;
-                }
-            }
-        }
-        total += 2.0 * links as f64 / (k as f64 * (k as f64 - 1.0));
-    }
-    total / n as f64
+    let mut context = MetricsContext::new(1);
+    context.build(snapshot);
+    context.average_clustering_coefficient()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::naive_average_clustering_coefficient;
     use crate::snapshot::NodeObservation;
     use croupier_simulator::{NatClass, NodeId};
 
@@ -85,6 +65,20 @@ mod tests {
         let s = snapshot(&[1, 2, 3, 4], &[(1, 2), (2, 3), (1, 3), (1, 4)]);
         let expected = (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0;
         assert!((average_clustering_coefficient(&s) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_the_naive_reference_bitwise() {
+        // A denser synthetic overlay with duplicate directed edges and a dangler.
+        let nodes: Vec<u64> = (0..30).collect();
+        let edges: Vec<(u64, u64)> = (0..30)
+            .flat_map(|i| [(i, (i + 1) % 30), ((i + 1) % 30, i), (i, (i + 4) % 30)])
+            .chain([(0, 99)])
+            .collect();
+        let s = snapshot(&nodes, &edges);
+        let fast = average_clustering_coefficient(&s);
+        let naive = naive_average_clustering_coefficient(&s);
+        assert_eq!(fast.to_bits(), naive.to_bits());
     }
 
     #[test]

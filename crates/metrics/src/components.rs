@@ -1,6 +1,6 @@
 //! Connectivity after catastrophic failure (Fig. 7(b) of the paper).
 
-use crate::graph::UndirectedGraph;
+use crate::context::MetricsContext;
 use crate::snapshot::OverlaySnapshot;
 
 /// Fraction of the observed (surviving) nodes contained in the largest connected component
@@ -8,19 +8,20 @@ use crate::snapshot::OverlaySnapshot;
 /// fraction of the system at one instant.
 ///
 /// Returns 0.0 for an empty snapshot and 1.0 for a single node.
+///
+/// This convenience wrapper builds a fresh [`MetricsContext`] per call; sampling loops
+/// should keep one context alive so the CSR graph is built once and shared by all
+/// metrics of the sample.
 pub fn largest_component_fraction(snapshot: &OverlaySnapshot) -> f64 {
-    let graph = UndirectedGraph::from_snapshot(snapshot);
-    let n = graph.node_count();
-    if n == 0 {
-        return 0.0;
-    }
-    let largest = graph.component_sizes().into_iter().next().unwrap_or(0);
-    largest as f64 / n as f64
+    let mut context = MetricsContext::new(1);
+    context.build(snapshot);
+    context.largest_component_fraction()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::naive_largest_component_fraction;
     use crate::snapshot::NodeObservation;
     use croupier_simulator::{NatClass, NodeId};
 
@@ -58,6 +59,17 @@ mod tests {
     fn isolated_nodes_only() {
         let s = snapshot(&[1, 2, 3, 4], &[]);
         assert!((largest_component_fraction(&s) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_the_naive_reference_bitwise() {
+        let s = snapshot(
+            &[1, 2, 3, 4, 5, 6, 7],
+            &[(1, 2), (2, 3), (4, 5), (5, 4), (6, 42)],
+        );
+        let fast = largest_component_fraction(&s);
+        let naive = naive_largest_component_fraction(&s);
+        assert_eq!(fast.to_bits(), naive.to_bits());
     }
 
     #[test]

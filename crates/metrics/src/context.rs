@@ -1,0 +1,414 @@
+//! The reusable per-sample metrics pipeline.
+//!
+//! [`MetricsContext`] owns one [`CsrGraph`] plus all traversal scratch (epoch-stamped
+//! visited buffers, frontier vectors, the BFS source permutation) and computes every
+//! graph metric of a sample — average path length, average clustering coefficient,
+//! largest-component fraction — from **one** graph build. Keeping the context alive
+//! across samples means the steady-state sampling loop performs no allocation at all:
+//! no `BTreeMap`/`BTreeSet` adjacency, no `HashMap` BFS state, no per-call scratch.
+//!
+//! # Parallel multi-source BFS and determinism
+//!
+//! Path-length estimation runs one independent BFS per sampled source. With
+//! `threads > 1` the sources are split into contiguous chunks in their (already
+//! canonical) sampled order and each chunk runs on its own scoped worker thread — the
+//! same `std::thread::scope` worker model the sharded engine uses for its phases — with
+//! its own scratch buffers. Each BFS produces an exact integer `(hop sum, pair count)`;
+//! the per-chunk integer sums are merged in chunk order. Integer addition is associative
+//! and commutative, so the merged totals — and therefore the final floating-point
+//! division — are **bit-identical for any thread count**, which
+//! `tests/property_tests.rs` pins down against the single-threaded reference.
+
+use croupier_simulator::NodeId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::graph::CsrGraph;
+use crate::snapshot::OverlaySnapshot;
+
+/// Reusable single-BFS scratch: an epoch-stamped visited buffer and two frontiers.
+///
+/// `mark[v] == epoch` means vertex `v` was reached by the current traversal; bumping
+/// `epoch` resets the whole buffer in O(1). The buffers persist across samples and across
+/// BFS runs, so a traversal allocates nothing once the buffers have grown to the overlay
+/// size.
+#[derive(Clone, Debug, Default)]
+struct BfsScratch {
+    mark: Vec<u32>,
+    epoch: u32,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl BfsScratch {
+    /// Prepares the scratch for one traversal over `n` vertices and returns the fresh
+    /// epoch value.
+    fn begin(&mut self, n: usize) -> u32 {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.frontier.clear();
+        self.next.clear();
+        self.epoch
+    }
+
+    /// Level-synchronous BFS from `source`, returning the exact `(Σ hops, reached pairs)`
+    /// over all vertices reachable from (and distinct from) the source.
+    fn sweep_sums(&mut self, graph: &CsrGraph, source: u32) -> (u64, u64) {
+        let epoch = self.begin(graph.node_count());
+        self.mark[source as usize] = epoch;
+        self.frontier.push(source);
+        let mut depth = 0u64;
+        let mut hops = 0u64;
+        let mut pairs = 0u64;
+        while !self.frontier.is_empty() {
+            depth += 1;
+            self.next.clear();
+            for &u in &self.frontier {
+                for &v in graph.row(u) {
+                    if self.mark[v as usize] != epoch {
+                        self.mark[v as usize] = epoch;
+                        self.next.push(v);
+                    }
+                }
+            }
+            hops += depth * self.next.len() as u64;
+            pairs += self.next.len() as u64;
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        (hops, pairs)
+    }
+}
+
+/// Builds all per-sample graph metrics from one shared CSR overlay graph.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_metrics::{MetricsContext, NodeObservation, OverlaySnapshot};
+/// use croupier_simulator::{NatClass, NodeId};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let snapshot = OverlaySnapshot::from_parts(
+///     (0..4)
+///         .map(|i| NodeObservation {
+///             id: NodeId::new(i),
+///             class: NatClass::Public,
+///             ratio_estimate: None,
+///             rounds_executed: 5,
+///         })
+///         .collect(),
+///     vec![
+///         (NodeId::new(0), NodeId::new(1)),
+///         (NodeId::new(1), NodeId::new(2)),
+///         (NodeId::new(2), NodeId::new(3)),
+///     ],
+/// );
+/// let mut ctx = MetricsContext::new(1);
+/// ctx.build(&snapshot);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// assert!((ctx.largest_component_fraction() - 1.0).abs() < 1e-9);
+/// assert_eq!(ctx.average_clustering_coefficient(), 0.0);
+/// assert!(ctx.average_path_length(usize::MAX, &mut rng).is_some());
+/// ```
+#[derive(Debug)]
+pub struct MetricsContext {
+    threads: usize,
+    graph: CsrGraph,
+    /// Source permutation scratch for path-length sampling.
+    sources: Vec<u32>,
+    /// One BFS scratch per worker thread, reused across samples.
+    scratch: Vec<BfsScratch>,
+    /// Per-chunk `(Σ hops, pairs)` partials for the parallel merge.
+    partials: Vec<(u64, u64)>,
+}
+
+impl MetricsContext {
+    /// Creates a context that runs multi-source BFS on `threads` worker threads
+    /// (clamped to at least one). `1` keeps everything on the calling thread.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        MetricsContext {
+            threads,
+            graph: CsrGraph::new(),
+            sources: Vec::new(),
+            scratch: vec![BfsScratch::default(); threads],
+            partials: vec![(0, 0); threads],
+        }
+    }
+
+    /// The number of worker threads multi-source BFS fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// (Re)builds the shared CSR graph for `snapshot`, reusing all internal buffers.
+    /// Call once per sample, then evaluate any subset of the metrics.
+    pub fn build(&mut self, snapshot: &OverlaySnapshot) {
+        self.graph.rebuild(snapshot);
+    }
+
+    /// The CSR graph of the current sample.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Average shortest-path length (in hops) between reachable node pairs, sampled from
+    /// `sources` BFS sources (`usize::MAX` for the exact all-pairs value). Semantics and
+    /// results are exactly those of [`average_path_length`](crate::paths::average_path_length),
+    /// including the RNG draw sequence used to pick the sources.
+    pub fn average_path_length(&mut self, sources: usize, rng: &mut SmallRng) -> Option<f64> {
+        let n = self.graph.node_count();
+        if n < 2 {
+            return None;
+        }
+        // Shuffling ranks 0..n consumes the same draws — and selects the same positions —
+        // as the reference implementation's shuffle of the sorted node-id list, because
+        // rank order equals ascending id order.
+        self.sources.clear();
+        self.sources.extend(0..n as u32);
+        self.sources.shuffle(rng);
+        self.sources.truncate(sources.max(1).min(n));
+
+        let (hops, pairs) = self.multi_source_sums();
+        if pairs == 0 {
+            None
+        } else {
+            Some(hops as f64 / pairs as f64)
+        }
+    }
+
+    /// Runs one BFS per entry of `self.sources`, fanned out over the worker threads, and
+    /// returns the exact merged `(Σ hops, pairs)` totals.
+    fn multi_source_sums(&mut self) -> (u64, u64) {
+        let threads = self.threads.min(self.sources.len()).max(1);
+        let graph = &self.graph;
+        if threads == 1 {
+            let scratch = &mut self.scratch[0];
+            let mut totals = (0u64, 0u64);
+            for &source in &self.sources {
+                let (hops, pairs) = scratch.sweep_sums(graph, source);
+                totals.0 += hops;
+                totals.1 += pairs;
+            }
+            return totals;
+        }
+        let chunk_len = self.sources.len().div_ceil(threads);
+        self.partials.iter_mut().for_each(|p| *p = (0, 0));
+        std::thread::scope(|scope| {
+            for ((chunk, scratch), partial) in self
+                .sources
+                .chunks(chunk_len)
+                .zip(self.scratch.iter_mut())
+                .zip(self.partials.iter_mut())
+            {
+                scope.spawn(move || {
+                    for &source in chunk {
+                        let (hops, pairs) = scratch.sweep_sums(graph, source);
+                        partial.0 += hops;
+                        partial.1 += pairs;
+                    }
+                });
+            }
+        });
+        self.partials
+            .iter()
+            .fold((0, 0), |acc, p| (acc.0 + p.0, acc.1 + p.1))
+    }
+
+    /// Average local clustering coefficient over all observed nodes, computed by
+    /// merge-intersecting the sorted adjacency rows. Results are bit-identical to
+    /// [`average_clustering_coefficient`](crate::clustering::average_clustering_coefficient)'s
+    /// reference semantics (same per-node terms, same accumulation order).
+    pub fn average_clustering_coefficient(&self) -> f64 {
+        let n = self.graph.node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for u in 0..n as u32 {
+            let row = self.graph.row(u);
+            let k = row.len();
+            if k < 2 {
+                continue;
+            }
+            let mut links = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                // Count neighbour pairs (v, w) with w after v in u's row that are
+                // themselves adjacent: |row(u)[i+1..] ∩ row(v)|.
+                links += sorted_intersection_count(&row[i + 1..], self.graph.row(v));
+            }
+            total += 2.0 * links as f64 / (k as f64 * (k as f64 - 1.0));
+        }
+        total / n as f64
+    }
+
+    /// Fraction of observed nodes inside the largest connected component (0.0 for an
+    /// empty snapshot), exactly as
+    /// [`largest_component_fraction`](crate::components::largest_component_fraction).
+    pub fn largest_component_fraction(&mut self) -> f64 {
+        let n = self.graph.node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let graph = &self.graph;
+        let scratch = &mut self.scratch[0];
+        let epoch = scratch.begin(n);
+        let mut largest = 0usize;
+        for start in 0..n as u32 {
+            if scratch.mark[start as usize] == epoch {
+                continue;
+            }
+            // Flat frontier sweep counting the component around `start`.
+            scratch.mark[start as usize] = epoch;
+            scratch.frontier.clear();
+            scratch.frontier.push(start);
+            let mut size = 1usize;
+            while !scratch.frontier.is_empty() {
+                scratch.next.clear();
+                for &u in &scratch.frontier {
+                    for &v in graph.row(u) {
+                        if scratch.mark[v as usize] != epoch {
+                            scratch.mark[v as usize] = epoch;
+                            scratch.next.push(v);
+                        }
+                    }
+                }
+                size += scratch.next.len();
+                std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+            }
+            largest = largest.max(size);
+        }
+        largest as f64 / n as f64
+    }
+
+    /// Node ids of the current sample's vertices, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+}
+
+/// Number of elements common to two ascending, duplicate-free slices (two-pointer merge).
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeObservation;
+    use croupier_simulator::NatClass;
+    use rand::SeedableRng;
+
+    fn snapshot(nodes: &[u64], edges: &[(u64, u64)]) -> OverlaySnapshot {
+        OverlaySnapshot::from_parts(
+            nodes
+                .iter()
+                .map(|id| NodeObservation {
+                    id: NodeId::new(*id),
+                    class: NatClass::Public,
+                    ratio_estimate: None,
+                    rounds_executed: 5,
+                })
+                .collect(),
+            edges
+                .iter()
+                .map(|(a, b)| (NodeId::new(*a), NodeId::new(*b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn intersection_count_merges_sorted_slices() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5, 7], &[2, 3, 4, 7]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1, 2]), 0);
+        assert_eq!(sorted_intersection_count(&[9], &[9]), 1);
+    }
+
+    #[test]
+    fn one_context_serves_all_metrics_from_one_build() {
+        // Triangle 1-2-3 plus pendant 4 attached to 1, plus isolated 5.
+        let s = snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (2, 3), (1, 3), (1, 4)]);
+        let mut ctx = MetricsContext::new(2);
+        ctx.build(&s);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let apl = ctx.average_path_length(usize::MAX, &mut rng).unwrap();
+        // Reachable pairs within {1,2,3,4}: twelve ordered pairs, Σ hops = 16.
+        assert!((apl - 16.0 / 12.0).abs() < 1e-9);
+        let expected_cc = (1.0 / 3.0 + 1.0 + 1.0 + 0.0 + 0.0) / 5.0;
+        assert!((ctx.average_clustering_coefficient() - expected_cc).abs() < 1e-9);
+        assert!((ctx.largest_component_fraction() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebuilds_track_shrinking_and_growing_samples() {
+        let mut ctx = MetricsContext::new(1);
+        ctx.build(&snapshot(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3)]));
+        assert!((ctx.largest_component_fraction() - 1.0).abs() < 1e-9);
+        ctx.build(&snapshot(&[0, 1, 2], &[(0, 1)]));
+        assert!((ctx.largest_component_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        ctx.build(&snapshot(&[0, 1, 2, 3, 4], &[]));
+        assert!((ctx.largest_component_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate_snapshots() {
+        let mut ctx = MetricsContext::new(4);
+        ctx.build(&OverlaySnapshot::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(ctx.average_path_length(5, &mut rng).is_none());
+        assert_eq!(ctx.average_clustering_coefficient(), 0.0);
+        assert_eq!(ctx.largest_component_fraction(), 0.0);
+        ctx.build(&snapshot(&[7], &[]));
+        assert!(ctx.average_path_length(5, &mut rng).is_none());
+        assert!((ctx.largest_component_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_and_sequential_path_length_agree_bitwise() {
+        // Two rings of 40 and a few chords, enough sources to span all chunks.
+        let nodes: Vec<u64> = (0..80).collect();
+        let mut edges: Vec<(u64, u64)> = (0..40).map(|i| (i, (i + 1) % 40)).collect();
+        edges.extend((40..80).map(|i| (i, 40 + (i + 1) % 40)));
+        edges.push((0, 40));
+        let s = snapshot(&nodes, &edges);
+        let run = |threads: usize| {
+            let mut ctx = MetricsContext::new(threads);
+            ctx.build(&s);
+            let mut rng = SmallRng::seed_from_u64(42);
+            ctx.average_path_length(usize::MAX, &mut rng).unwrap()
+        };
+        let sequential = run(1);
+        assert_eq!(sequential.to_bits(), run(2).to_bits());
+        assert_eq!(sequential.to_bits(), run(4).to_bits());
+        assert_eq!(sequential.to_bits(), run(7).to_bits());
+    }
+
+    #[test]
+    fn epoch_buffer_survives_many_builds() {
+        let s = snapshot(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let mut ctx = MetricsContext::new(1);
+        for _ in 0..100 {
+            ctx.build(&s);
+            assert!((ctx.largest_component_fraction() - 1.0).abs() < 1e-9);
+        }
+    }
+}

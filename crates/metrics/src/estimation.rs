@@ -1,4 +1,9 @@
 //! Estimation-error metrics (equations 10–13 of the paper, Figures 1–5).
+//!
+//! Unlike the graph metrics, estimation errors need no overlay graph: one linear pass
+//! over the snapshot's observations suffices, so [`estimation_errors`] allocates nothing
+//! and sits on the per-sample path as-is (the runner evaluates it before building the
+//! sample's [`MetricsContext`](crate::context::MetricsContext)).
 
 use serde::{Deserialize, Serialize};
 

@@ -1,110 +1,230 @@
-//! Undirected graph utilities shared by the overlay metrics.
-
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+//! Compressed-sparse-row (CSR) representation of the undirected overlay graph.
+//!
+//! Every metrics sample used to rebuild a `BTreeMap<NodeId, BTreeSet<NodeId>>` adjacency
+//! **three times** (once per metric); at 100k nodes the tree insertions and pointer chasing
+//! dominated the whole analysis. [`CsrGraph`] replaces that with the classic flat layout —
+//! one `offsets` array and one `neighbours` array of dense `u32` node indices — built in
+//! two linear passes over the snapshot's edge list and shared by all metrics of the sample.
+//!
+//! **Dense indexing.** Vertices are ranks in the ascending order of observed node ids, so
+//! rank order equals the old `BTreeMap` iteration order and every float accumulation
+//! downstream reproduces the reference implementation bit for bit. `NodeId → rank`
+//! resolution reuses the engines' dense-id invariant (ids double as `NodeArena` slot
+//! indices, see [`SimulationEngine::node_id_upper_bound`]): a stamped id-indexed table
+//! turns each edge-endpoint lookup into one array load — no hashing, no tree descent.
+//! All build scratch (the stamp table, row cursors) lives in the `CsrGraph` value and is
+//! reused across samples, so steady-state rebuilds allocate nothing.
+//!
+//! [`SimulationEngine::node_id_upper_bound`]:
+//!     croupier_simulator::SimulationEngine::node_id_upper_bound
 
 use croupier_simulator::NodeId;
 
 use crate::snapshot::OverlaySnapshot;
 
-/// An undirected graph over node identifiers, built from the "knows-about" edges of an
-/// [`OverlaySnapshot`].
+/// Marker for "id not observed in this sample" in the stamped lookup table.
+const NO_RANK: u32 = u32::MAX;
+
+/// An undirected overlay graph in compressed-sparse-row form, with reusable build buffers.
 ///
-/// The paper's connectivity, path-length and clustering metrics treat view edges as
-/// undirected communication links (once a node knows another it can initiate an exchange,
-/// and the exchange flows both ways), which is the standard convention in the peer-sampling
-/// literature.
+/// Semantics match [`UndirectedGraph`](crate::reference::UndirectedGraph) exactly: one
+/// vertex per observed node (isolated nodes included), self-loops and edges touching
+/// unobserved nodes dropped, duplicate directed edges collapsed into one undirected edge.
+/// Each row of `neighbours` is sorted ascending and duplicate-free, which the clustering
+/// metric exploits for merge-style intersection counting.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_metrics::{CsrGraph, OverlaySnapshot};
+///
+/// let mut graph = CsrGraph::new();
+/// graph.rebuild(&OverlaySnapshot::default());
+/// assert_eq!(graph.node_count(), 0);
+/// ```
 #[derive(Clone, Debug, Default)]
-pub struct UndirectedGraph {
-    // Ordered maps keep every traversal (and therefore every floating-point accumulation
-    // downstream) deterministic for a fixed seed.
-    adjacency: BTreeMap<NodeId, BTreeSet<NodeId>>,
+pub struct CsrGraph {
+    /// Rank → node id, ascending.
+    ids: Vec<NodeId>,
+    /// Row start offsets into `neighbours`; `offsets.len() == node_count() + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated adjacency rows of dense ranks; sorted and deduped per row.
+    neighbours: Vec<u32>,
+    /// Id-indexed rank table, valid where `lookup_stamp[id] == stamp`. Used only when the
+    /// id space is dense (`dense_lookup`); sparse snapshots binary-search `ids` instead.
+    lookup: Vec<u32>,
+    lookup_stamp: Vec<u32>,
+    stamp: u32,
+    /// Whether the current sample's ids were dense enough for the O(1) lookup table.
+    dense_lookup: bool,
+    /// Per-row write cursors used while filling `neighbours`.
+    cursor: Vec<u32>,
 }
 
-impl UndirectedGraph {
-    /// Builds the graph from a snapshot, ignoring self-loops and edges to unobserved nodes.
+/// A sample is treated as dense when the id range is at most this many times the node
+/// count (plus slack for tiny snapshots). Engine captures always qualify — ids are arena
+/// slots assigned from zero, and even heavy churn replaces the population a handful of
+/// times per run — while hand-built snapshots with huge ids fall back to binary search
+/// rather than allocating an id-range-sized table.
+const DENSE_RANGE_FACTOR: u64 = 32;
+
+impl CsrGraph {
+    /// Creates an empty graph with no buffers allocated yet.
+    pub fn new() -> Self {
+        CsrGraph::default()
+    }
+
+    /// Builds the graph for `snapshot`, a convenience for one-off use. Per-sample loops
+    /// should keep one `CsrGraph` (or a [`MetricsContext`](crate::context::MetricsContext))
+    /// alive and call [`rebuild`](CsrGraph::rebuild) so buffers are reused.
     pub fn from_snapshot(snapshot: &OverlaySnapshot) -> Self {
-        let live: HashSet<NodeId> = snapshot.nodes.iter().map(|n| n.id).collect();
-        let mut graph = UndirectedGraph::default();
-        for node in &live {
-            graph.adjacency.entry(*node).or_default();
-        }
-        for (a, b) in &snapshot.edges {
-            if a == b || !live.contains(a) || !live.contains(b) {
-                continue;
-            }
-            graph.adjacency.entry(*a).or_default().insert(*b);
-            graph.adjacency.entry(*b).or_default().insert(*a);
-        }
+        let mut graph = CsrGraph::new();
+        graph.rebuild(snapshot);
         graph
+    }
+
+    /// Rebuilds the graph from `snapshot`, reusing every internal buffer.
+    pub fn rebuild(&mut self, snapshot: &OverlaySnapshot) {
+        self.ids.clear();
+        self.ids.extend(snapshot.nodes.iter().map(|n| n.id));
+        // `capture` sorts observations by id; tolerate hand-built snapshots that do not.
+        if !self.ids.windows(2).all(|w| w[0] < w[1]) {
+            self.ids.sort_unstable();
+            self.ids.dedup();
+        }
+        let n = self.ids.len();
+
+        // Stamp a fresh id → rank epoch. The table is sized by the engine-reported dense
+        // id bound (ids double as arena slot indices), falling back to the largest
+        // observed id for snapshots assembled by hand.
+        let bound = snapshot.id_upper_bound().max(
+            self.ids
+                .last()
+                .map_or(0, |id| id.as_u64().saturating_add(1)),
+        );
+        self.dense_lookup = bound <= (n as u64).saturating_mul(DENSE_RANGE_FACTOR) + 1024;
+        if self.dense_lookup {
+            let bound = bound as usize;
+            if self.lookup.len() < bound {
+                self.lookup.resize(bound, NO_RANK);
+                self.lookup_stamp.resize(bound, 0);
+            }
+            self.stamp = match self.stamp.checked_add(1) {
+                Some(next) => next,
+                None => {
+                    self.lookup_stamp.fill(0);
+                    1
+                }
+            };
+            for (rank, id) in self.ids.iter().enumerate() {
+                let slot = id.as_u64() as usize;
+                self.lookup[slot] = rank as u32;
+                self.lookup_stamp[slot] = self.stamp;
+            }
+        }
+
+        // Pass 1: count row degrees (duplicates included; they are removed per row below).
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for &(a, b) in &snapshot.edges {
+            if let Some((ra, rb)) = self.resolve_pair(a, b) {
+                self.offsets[ra as usize + 1] += 1;
+                self.offsets[rb as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+
+        // Pass 2: scatter both directions of every surviving edge.
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..n]);
+        self.neighbours.clear();
+        self.neighbours.resize(self.offsets[n] as usize, 0);
+        for &(a, b) in &snapshot.edges {
+            if let Some((ra, rb)) = self.resolve_pair(a, b) {
+                self.neighbours[self.cursor[ra as usize] as usize] = rb;
+                self.cursor[ra as usize] += 1;
+                self.neighbours[self.cursor[rb as usize] as usize] = ra;
+                self.cursor[rb as usize] += 1;
+            }
+        }
+
+        // Sort and dedup each row, compacting the rows in place (a directed edge pair
+        // `a → b`, `b → a` produces the same undirected edge twice).
+        let mut write = 0usize;
+        let mut row_start = self.offsets[0] as usize;
+        for i in 0..n {
+            let row_end = self.offsets[i + 1] as usize;
+            self.neighbours[row_start..row_end].sort_unstable();
+            self.offsets[i] = write as u32;
+            let mut previous = NO_RANK;
+            for read in row_start..row_end {
+                let value = self.neighbours[read];
+                if value != previous {
+                    self.neighbours[write] = value;
+                    write += 1;
+                    previous = value;
+                }
+            }
+            row_start = row_end;
+        }
+        self.offsets[n] = write as u32;
+        self.neighbours.truncate(write);
+    }
+
+    /// Resolves an edge to dense rank endpoints, dropping self-loops and edges touching
+    /// unobserved nodes (exactly the reference implementation's filtering).
+    #[inline]
+    fn resolve_pair(&self, a: NodeId, b: NodeId) -> Option<(u32, u32)> {
+        if a == b {
+            return None;
+        }
+        Some((self.rank_of(a)?, self.rank_of(b)?))
+    }
+
+    /// The dense rank of `id` in this sample, if the node was observed.
+    #[inline]
+    pub fn rank_of(&self, id: NodeId) -> Option<u32> {
+        if self.dense_lookup {
+            let slot = id.as_u64() as usize;
+            if slot < self.lookup.len() && self.lookup_stamp[slot] == self.stamp {
+                Some(self.lookup[slot])
+            } else {
+                None
+            }
+        } else {
+            // Sparse ids: ranks are positions in the sorted id list.
+            self.ids.binary_search(&id).ok().map(|rank| rank as u32)
+        }
+    }
+
+    /// The node id at dense rank `rank`.
+    #[inline]
+    pub fn id_of(&self, rank: u32) -> NodeId {
+        self.ids[rank as usize]
     }
 
     /// Number of vertices.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.ids.len()
     }
 
     /// Number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adjacency.values().map(|n| n.len()).sum::<usize>() / 2
+        self.neighbours.len() / 2
     }
 
-    /// The neighbours of `node`.
-    pub fn neighbours(&self, node: NodeId) -> Option<&BTreeSet<NodeId>> {
-        self.adjacency.get(&node)
+    /// The sorted, duplicate-free adjacency row of the vertex at `rank`.
+    #[inline]
+    pub fn row(&self, rank: u32) -> &[u32] {
+        &self.neighbours
+            [self.offsets[rank as usize] as usize..self.offsets[rank as usize + 1] as usize]
     }
 
-    /// All vertices.
+    /// All vertices in ascending id order (equals ascending rank order).
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.adjacency.keys().copied()
-    }
-
-    /// Breadth-first distances (in hops) from `source` to every reachable vertex.
-    pub fn bfs_distances(&self, source: NodeId) -> HashMap<NodeId, u32> {
-        let mut distances = HashMap::new();
-        if !self.adjacency.contains_key(&source) {
-            return distances;
-        }
-        distances.insert(source, 0);
-        let mut queue = VecDeque::from([source]);
-        while let Some(current) = queue.pop_front() {
-            let d = distances[&current];
-            if let Some(neighbours) = self.adjacency.get(&current) {
-                for next in neighbours {
-                    if !distances.contains_key(next) {
-                        distances.insert(*next, d + 1);
-                        queue.push_back(*next);
-                    }
-                }
-            }
-        }
-        distances
-    }
-
-    /// Sizes of all connected components, in descending order.
-    pub fn component_sizes(&self) -> Vec<usize> {
-        let mut visited: HashSet<NodeId> = HashSet::new();
-        let mut sizes = Vec::new();
-        for start in self.adjacency.keys() {
-            if visited.contains(start) {
-                continue;
-            }
-            let mut size = 0;
-            let mut queue = VecDeque::from([*start]);
-            visited.insert(*start);
-            while let Some(current) = queue.pop_front() {
-                size += 1;
-                if let Some(neighbours) = self.adjacency.get(&current) {
-                    for next in neighbours {
-                        if visited.insert(*next) {
-                            queue.push_back(*next);
-                        }
-                    }
-                }
-            }
-            sizes.push(size);
-        }
-        sizes.sort_unstable_by(|a, b| b.cmp(a));
-        sizes
+        self.ids.iter().copied()
     }
 }
 
@@ -134,56 +254,72 @@ mod tests {
 
     #[test]
     fn builds_undirected_adjacency_without_self_loops() {
-        let g = UndirectedGraph::from_snapshot(&snapshot(
+        let g = CsrGraph::from_snapshot(&snapshot(
             &[1, 2, 3],
             &[(1, 2), (2, 1), (2, 2), (2, 3), (1, 99)],
         ));
         assert_eq!(g.node_count(), 3);
-        assert_eq!(g.edge_count(), 2);
-        assert!(g
-            .neighbours(NodeId::new(2))
-            .unwrap()
-            .contains(&NodeId::new(1)));
-        assert!(g
-            .neighbours(NodeId::new(1))
-            .unwrap()
-            .contains(&NodeId::new(2)));
-        assert!(!g
-            .neighbours(NodeId::new(2))
-            .unwrap()
-            .contains(&NodeId::new(2)));
+        assert_eq!(g.edge_count(), 2, "duplicates and self-loops are dropped");
+        let rank_of = |raw: u64| g.rank_of(NodeId::new(raw)).unwrap();
+        assert_eq!(g.row(rank_of(2)), &[rank_of(1), rank_of(3)]);
+        assert_eq!(g.row(rank_of(1)), &[rank_of(2)]);
+        assert!(g.rank_of(NodeId::new(99)).is_none());
     }
 
     #[test]
-    fn bfs_computes_hop_distances() {
-        let g =
-            UndirectedGraph::from_snapshot(&snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (2, 3), (3, 4)]));
-        let d = g.bfs_distances(NodeId::new(1));
-        assert_eq!(d[&NodeId::new(1)], 0);
-        assert_eq!(d[&NodeId::new(2)], 1);
-        assert_eq!(d[&NodeId::new(3)], 2);
-        assert_eq!(d[&NodeId::new(4)], 3);
+    fn ranks_follow_ascending_id_order() {
+        let g = CsrGraph::from_snapshot(&snapshot(&[30, 10, 20], &[(10, 30)]));
+        assert_eq!(g.id_of(0), NodeId::new(10));
+        assert_eq!(g.id_of(1), NodeId::new(20));
+        assert_eq!(g.id_of(2), NodeId::new(30));
+        assert_eq!(g.row(0), &[2]);
+        assert!(g.row(1).is_empty(), "isolated nodes keep an empty row");
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_invalidates_old_ranks() {
+        let mut g = CsrGraph::from_snapshot(&snapshot(&[1, 2, 3, 4], &[(1, 2), (3, 4)]));
+        assert_eq!(g.node_count(), 4);
+        g.rebuild(&snapshot(&[2, 3], &[(2, 3)]));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
         assert!(
-            !d.contains_key(&NodeId::new(5)),
-            "disconnected node is unreachable"
+            g.rank_of(NodeId::new(1)).is_none(),
+            "stamping must forget the previous sample's nodes"
         );
-        assert!(g.bfs_distances(NodeId::new(42)).is_empty());
+        assert_eq!(g.row(g.rank_of(NodeId::new(2)).unwrap()), &[1]);
     }
 
     #[test]
-    fn component_sizes_are_sorted_descending() {
-        let g = UndirectedGraph::from_snapshot(&snapshot(
-            &[1, 2, 3, 4, 5, 6],
-            &[(1, 2), (2, 3), (4, 5)],
-        ));
-        assert_eq!(g.component_sizes(), vec![3, 2, 1]);
+    fn sparse_ids_fall_back_to_binary_search() {
+        // An id range vastly larger than the node count must not allocate an
+        // id-range-sized table; the graph still answers every query correctly.
+        let huge = u64::MAX - 1;
+        let g = CsrGraph::from_snapshot(&snapshot(&[5, huge], &[(5, huge), (huge, 5)]));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.lookup.is_empty(), "sparse build must not size the table");
+        assert_eq!(g.rank_of(NodeId::new(5)), Some(0));
+        assert_eq!(g.rank_of(NodeId::new(huge)), Some(1));
+        assert_eq!(g.rank_of(NodeId::new(6)), None);
+        assert_eq!(g.row(0), &[1]);
     }
 
     #[test]
     fn empty_snapshot_gives_empty_graph() {
-        let g = UndirectedGraph::from_snapshot(&OverlaySnapshot::default());
+        let g = CsrGraph::from_snapshot(&OverlaySnapshot::default());
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
-        assert!(g.component_sizes().is_empty());
+        assert!(g.nodes().next().is_none());
+    }
+
+    #[test]
+    fn rows_are_sorted_and_deduped() {
+        let g = CsrGraph::from_snapshot(&snapshot(
+            &[0, 1, 2, 3],
+            &[(0, 3), (0, 1), (3, 0), (0, 2), (1, 0), (2, 0)],
+        ));
+        assert_eq!(g.row(0), &[1, 2, 3]);
+        assert_eq!(g.edge_count(), 3);
     }
 }

@@ -17,24 +17,39 @@
 //! All graph metrics operate on an [`OverlaySnapshot`] extracted from a running simulation,
 //! so they are protocol-agnostic: Croupier, Cyclon, Gozar and Nylon are measured with the
 //! same code.
+//!
+//! ## The per-sample pipeline
+//!
+//! The graph metrics share one compressed-sparse-row overlay graph ([`graph::CsrGraph`])
+//! built once per sample by a [`MetricsContext`], which also owns every traversal scratch
+//! buffer (epoch-stamped BFS visited sets, frontiers, the source permutation) and can fan
+//! multi-source BFS out over worker threads deterministically. Sampling loops keep one
+//! context (and one reusable snapshot, see [`OverlaySnapshot::capture_into`]) alive, so
+//! the steady-state measurement path performs **no allocation and no hashing**. The
+//! original tree/hash-based implementations survive in [`mod@reference`] as the
+//! executable specification the CSR pipeline is property-tested against.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod clustering;
 pub mod components;
+pub mod context;
 pub mod estimation;
 pub mod graph;
 pub mod indegree;
 pub mod overhead;
 pub mod paths;
+pub mod reference;
 pub mod snapshot;
 
 pub use clustering::average_clustering_coefficient;
 pub use components::largest_component_fraction;
+pub use context::MetricsContext;
 pub use estimation::{estimation_errors, EstimationErrors};
-pub use graph::UndirectedGraph;
+pub use graph::CsrGraph;
 pub use indegree::{indegree_distribution, indegree_histogram, indegree_stats, IndegreeStats};
 pub use overhead::{class_overhead, ClassOverhead, OverheadReport};
 pub use paths::average_path_length;
+pub use reference::UndirectedGraph;
 pub use snapshot::{NodeObservation, OverlaySnapshot};

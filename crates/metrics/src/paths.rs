@@ -1,9 +1,8 @@
 //! Average shortest path length of the overlay (Fig. 6(b) of the paper).
 
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 
-use crate::graph::UndirectedGraph;
+use crate::context::MetricsContext;
 use crate::snapshot::OverlaySnapshot;
 
 /// Average shortest-path length (in hops) between reachable node pairs.
@@ -16,40 +15,24 @@ use crate::snapshot::OverlaySnapshot;
 /// in Fig. 7(b)).
 ///
 /// Returns `None` when the snapshot has fewer than two nodes or no reachable pair exists.
+///
+/// This convenience wrapper builds a fresh single-threaded [`MetricsContext`] per call;
+/// sampling loops should keep one context alive and reuse it across samples (and across
+/// the other graph metrics) instead — that is the allocation-free path.
 pub fn average_path_length(
     snapshot: &OverlaySnapshot,
     sources: usize,
     rng: &mut SmallRng,
 ) -> Option<f64> {
-    let graph = UndirectedGraph::from_snapshot(snapshot);
-    if graph.node_count() < 2 {
-        return None;
-    }
-    let mut nodes: Vec<_> = graph.nodes().collect();
-    nodes.sort_unstable();
-    nodes.shuffle(rng);
-    nodes.truncate(sources.max(1).min(nodes.len()));
-
-    let mut total_hops: u64 = 0;
-    let mut pairs: u64 = 0;
-    for source in nodes {
-        for (target, hops) in graph.bfs_distances(source) {
-            if target != source {
-                total_hops += hops as u64;
-                pairs += 1;
-            }
-        }
-    }
-    if pairs == 0 {
-        None
-    } else {
-        Some(total_hops as f64 / pairs as f64)
-    }
+    let mut context = MetricsContext::new(1);
+    context.build(snapshot);
+    context.average_path_length(sources, rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::naive_average_path_length;
     use crate::snapshot::NodeObservation;
     use croupier_simulator::{NatClass, NodeId};
     use rand::SeedableRng;
@@ -104,6 +87,20 @@ mod tests {
             (exact - sampled).abs() < 0.5,
             "exact {exact} vs sampled {sampled}"
         );
+    }
+
+    #[test]
+    fn matches_the_naive_reference_with_the_same_rng_stream() {
+        // Same seed, same snapshot, sampled sources: the CSR path must consume the RNG
+        // identically and produce the bit-identical result.
+        let nodes: Vec<u64> = (0..60).collect();
+        let edges: Vec<(u64, u64)> = (0..60)
+            .flat_map(|i| [(i, (i + 1) % 60), (i, (i + 7) % 60)])
+            .collect();
+        let s = snapshot(&nodes, &edges);
+        let fast = average_path_length(&s, 12, &mut rng()).unwrap();
+        let naive = naive_average_path_length(&s, 12, &mut rng()).unwrap();
+        assert_eq!(fast.to_bits(), naive.to_bits());
     }
 
     #[test]

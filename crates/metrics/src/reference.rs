@@ -1,0 +1,279 @@
+//! Naive tree/hash-based reference implementations of the graph metrics.
+//!
+//! These are the original (pre-CSR) implementations, retained verbatim as the executable
+//! specification of the fast pipeline in [`graph`](crate::graph) and
+//! [`context`](crate::context): the randomized property tests assert that the CSR-based
+//! metrics are **exactly** equal — bit-identical floats included — to what this module
+//! computes on arbitrary snapshots. They allocate a `BTreeMap`/`BTreeSet` adjacency and
+//! `HashMap`-backed BFS state on every call, so they must never appear on the per-sample
+//! metrics path; use [`MetricsContext`](crate::context::MetricsContext) there instead.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use croupier_simulator::NodeId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+use crate::snapshot::OverlaySnapshot;
+
+/// An undirected graph over node identifiers, built from the "knows-about" edges of an
+/// [`OverlaySnapshot`].
+///
+/// The paper's connectivity, path-length and clustering metrics treat view edges as
+/// undirected communication links (once a node knows another it can initiate an exchange,
+/// and the exchange flows both ways), which is the standard convention in the peer-sampling
+/// literature. The per-sample pipeline uses the CSR [`CsrGraph`](crate::graph::CsrGraph)
+/// representation of the same graph; this type is the reference it is checked against.
+#[derive(Clone, Debug, Default)]
+pub struct UndirectedGraph {
+    // Ordered maps keep every traversal (and therefore every floating-point accumulation
+    // downstream) deterministic for a fixed seed.
+    adjacency: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl UndirectedGraph {
+    /// Builds the graph from a snapshot, ignoring self-loops and edges to unobserved nodes.
+    pub fn from_snapshot(snapshot: &OverlaySnapshot) -> Self {
+        let live: HashSet<NodeId> = snapshot.nodes.iter().map(|n| n.id).collect();
+        let mut graph = UndirectedGraph::default();
+        for node in &live {
+            graph.adjacency.entry(*node).or_default();
+        }
+        for (a, b) in &snapshot.edges {
+            if a == b || !live.contains(a) || !live.contains(b) {
+                continue;
+            }
+            graph.adjacency.entry(*a).or_default().insert(*b);
+            graph.adjacency.entry(*b).or_default().insert(*a);
+        }
+        graph
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.values().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// The neighbours of `node`.
+    pub fn neighbours(&self, node: NodeId) -> Option<&BTreeSet<NodeId>> {
+        self.adjacency.get(&node)
+    }
+
+    /// All vertices.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency.keys().copied()
+    }
+
+    /// Breadth-first distances (in hops) from `source` to every reachable vertex.
+    pub fn bfs_distances(&self, source: NodeId) -> HashMap<NodeId, u32> {
+        let mut distances = HashMap::new();
+        if !self.adjacency.contains_key(&source) {
+            return distances;
+        }
+        distances.insert(source, 0);
+        let mut queue = VecDeque::from([source]);
+        while let Some(current) = queue.pop_front() {
+            let d = distances[&current];
+            if let Some(neighbours) = self.adjacency.get(&current) {
+                for next in neighbours {
+                    if !distances.contains_key(next) {
+                        distances.insert(*next, d + 1);
+                        queue.push_back(*next);
+                    }
+                }
+            }
+        }
+        distances
+    }
+
+    /// Sizes of all connected components, in descending order.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut visited: HashSet<NodeId> = HashSet::new();
+        let mut sizes = Vec::new();
+        for start in self.adjacency.keys() {
+            if visited.contains(start) {
+                continue;
+            }
+            let mut size = 0;
+            let mut queue = VecDeque::from([*start]);
+            visited.insert(*start);
+            while let Some(current) = queue.pop_front() {
+                size += 1;
+                if let Some(neighbours) = self.adjacency.get(&current) {
+                    for next in neighbours {
+                        if visited.insert(*next) {
+                            queue.push_back(*next);
+                        }
+                    }
+                }
+            }
+            sizes.push(size);
+        }
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+/// Reference implementation of [`average_path_length`](crate::paths::average_path_length):
+/// BFS-sampled average shortest-path length over a freshly built [`UndirectedGraph`].
+pub fn naive_average_path_length(
+    snapshot: &OverlaySnapshot,
+    sources: usize,
+    rng: &mut SmallRng,
+) -> Option<f64> {
+    let graph = UndirectedGraph::from_snapshot(snapshot);
+    if graph.node_count() < 2 {
+        return None;
+    }
+    let mut nodes: Vec<_> = graph.nodes().collect();
+    nodes.sort_unstable();
+    nodes.shuffle(rng);
+    nodes.truncate(sources.max(1).min(nodes.len()));
+
+    let mut total_hops: u64 = 0;
+    let mut pairs: u64 = 0;
+    for source in nodes {
+        for (target, hops) in graph.bfs_distances(source) {
+            if target != source {
+                total_hops += hops as u64;
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total_hops as f64 / pairs as f64)
+    }
+}
+
+/// Reference implementation of
+/// [`average_clustering_coefficient`](crate::clustering::average_clustering_coefficient):
+/// per-node neighbour-pair probing against `BTreeSet` adjacency.
+pub fn naive_average_clustering_coefficient(snapshot: &OverlaySnapshot) -> f64 {
+    let graph = UndirectedGraph::from_snapshot(snapshot);
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for node in graph.nodes() {
+        let neighbours = match graph.neighbours(node) {
+            Some(set) if set.len() >= 2 => set,
+            _ => continue,
+        };
+        let k = neighbours.len();
+        let mut links = 0usize;
+        let neighbour_list: Vec<_> = neighbours.iter().copied().collect();
+        for i in 0..neighbour_list.len() {
+            for j in (i + 1)..neighbour_list.len() {
+                if graph
+                    .neighbours(neighbour_list[i])
+                    .map(|set| set.contains(&neighbour_list[j]))
+                    .unwrap_or(false)
+                {
+                    links += 1;
+                }
+            }
+        }
+        total += 2.0 * links as f64 / (k as f64 * (k as f64 - 1.0));
+    }
+    total / n as f64
+}
+
+/// Reference implementation of
+/// [`largest_component_fraction`](crate::components::largest_component_fraction).
+pub fn naive_largest_component_fraction(snapshot: &OverlaySnapshot) -> f64 {
+    let graph = UndirectedGraph::from_snapshot(snapshot);
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let largest = graph.component_sizes().into_iter().next().unwrap_or(0);
+    largest as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeObservation;
+    use croupier_simulator::NatClass;
+
+    fn snapshot(nodes: &[u64], edges: &[(u64, u64)]) -> OverlaySnapshot {
+        OverlaySnapshot::from_parts(
+            nodes
+                .iter()
+                .map(|id| NodeObservation {
+                    id: NodeId::new(*id),
+                    class: NatClass::Public,
+                    ratio_estimate: None,
+                    rounds_executed: 10,
+                })
+                .collect(),
+            edges
+                .iter()
+                .map(|(a, b)| (NodeId::new(*a), NodeId::new(*b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn builds_undirected_adjacency_without_self_loops() {
+        let g = UndirectedGraph::from_snapshot(&snapshot(
+            &[1, 2, 3],
+            &[(1, 2), (2, 1), (2, 2), (2, 3), (1, 99)],
+        ));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g
+            .neighbours(NodeId::new(2))
+            .unwrap()
+            .contains(&NodeId::new(1)));
+        assert!(g
+            .neighbours(NodeId::new(1))
+            .unwrap()
+            .contains(&NodeId::new(2)));
+        assert!(!g
+            .neighbours(NodeId::new(2))
+            .unwrap()
+            .contains(&NodeId::new(2)));
+    }
+
+    #[test]
+    fn bfs_computes_hop_distances() {
+        let g =
+            UndirectedGraph::from_snapshot(&snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (2, 3), (3, 4)]));
+        let d = g.bfs_distances(NodeId::new(1));
+        assert_eq!(d[&NodeId::new(1)], 0);
+        assert_eq!(d[&NodeId::new(2)], 1);
+        assert_eq!(d[&NodeId::new(3)], 2);
+        assert_eq!(d[&NodeId::new(4)], 3);
+        assert!(
+            !d.contains_key(&NodeId::new(5)),
+            "disconnected node is unreachable"
+        );
+        assert!(g.bfs_distances(NodeId::new(42)).is_empty());
+    }
+
+    #[test]
+    fn component_sizes_are_sorted_descending() {
+        let g = UndirectedGraph::from_snapshot(&snapshot(
+            &[1, 2, 3, 4, 5, 6],
+            &[(1, 2), (2, 3), (4, 5)],
+        ));
+        assert_eq!(g.component_sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_snapshot_gives_empty_graph() {
+        let g = UndirectedGraph::from_snapshot(&OverlaySnapshot::default());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.component_sizes().is_empty());
+    }
+}

@@ -18,12 +18,34 @@ pub struct NodeObservation {
 
 /// A snapshot of the overlay: every live node plus the directed edges induced by the
 /// partial views (an edge `a → b` means `b` appears in `a`'s view).
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Snapshots are designed to be **reused across samples**:
+/// [`capture_into`](OverlaySnapshot::capture_into) refills the node, edge and cached
+/// live-id buffers in place, so a sampling loop that keeps one snapshot alive performs no
+/// steady-state allocation. Equality compares the observable state (`nodes` and `edges`)
+/// only.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct OverlaySnapshot {
     /// Observations of every live node.
     pub nodes: Vec<NodeObservation>,
     /// Directed "knows-about" edges.
     pub edges: Vec<(NodeId, NodeId)>,
+    /// Sorted live node ids, maintained as a reusable buffer for edge filtering.
+    #[serde(skip)]
+    live_ids: Vec<NodeId>,
+    /// Exclusive upper bound on live node ids, as reported by the engine's dense-index
+    /// capture path (0 for hand-built snapshots; consumers fall back to the largest
+    /// observed id).
+    #[serde(skip)]
+    id_bound: u64,
+}
+
+impl PartialEq for OverlaySnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        // `live_ids` is a derived cache and `id_bound` a capacity hint; neither carries
+        // observable information, so engine-to-engine snapshot comparisons ignore them.
+        self.nodes == other.nodes && self.edges == other.edges
+    }
 }
 
 impl OverlaySnapshot {
@@ -37,8 +59,21 @@ impl OverlaySnapshot {
         P: Protocol + PssNode,
         E: SimulationEngine<P>,
     {
-        let mut nodes = Vec::new();
-        let mut edges = Vec::new();
+        let mut snapshot = OverlaySnapshot::default();
+        snapshot.capture_into(sim, min_rounds);
+        snapshot
+    }
+
+    /// Re-captures this snapshot from a running simulation, reusing the node, edge and
+    /// live-id buffers — the allocation-free path for per-sample loops.
+    pub fn capture_into<P, E>(&mut self, sim: &E, min_rounds: u64)
+    where
+        P: Protocol + PssNode,
+        E: SimulationEngine<P>,
+    {
+        self.nodes.clear();
+        self.edges.clear();
+        let (nodes, edges) = (&mut self.nodes, &mut self.edges);
         sim.for_each_node(&mut |id, proto| {
             if proto.rounds_executed() < min_rounds {
                 return;
@@ -49,20 +84,27 @@ impl OverlaySnapshot {
                 ratio_estimate: proto.ratio_estimate(),
                 rounds_executed: proto.rounds_executed(),
             });
-            for peer in proto.known_peers() {
-                edges.push((id, peer));
-            }
+            proto.for_each_known_peer(&mut |peer| edges.push((id, peer)));
         });
         // Engines iterate nodes in storage order; sort so snapshots (and every metric
         // derived from them) are deterministic for a fixed seed and engine-agnostic.
-        nodes.sort_by_key(|n| n.id);
-        edges.sort_unstable();
-        OverlaySnapshot { nodes, edges }
+        // Ids are unique, so the unstable sorts are deterministic and allocation-free.
+        self.nodes.sort_unstable_by_key(|n| n.id);
+        self.edges.sort_unstable();
+        self.id_bound = sim.node_id_upper_bound();
+        self.refresh_live_ids();
     }
 
     /// Builds a snapshot directly from parts; useful in tests and synthetic analyses.
     pub fn from_parts(nodes: Vec<NodeObservation>, edges: Vec<(NodeId, NodeId)>) -> Self {
-        OverlaySnapshot { nodes, edges }
+        let mut snapshot = OverlaySnapshot {
+            nodes,
+            edges,
+            live_ids: Vec::new(),
+            id_bound: 0,
+        };
+        snapshot.refresh_live_ids();
+        snapshot
     }
 
     /// Number of observed nodes.
@@ -80,6 +122,13 @@ impl OverlaySnapshot {
         self.nodes.iter().map(|n| n.id).collect()
     }
 
+    /// Exclusive upper bound on observed node ids: the engine-reported dense-id bound
+    /// when captured from a simulation, otherwise the largest observed id plus one.
+    pub fn id_upper_bound(&self) -> u64 {
+        self.id_bound
+            .max(self.live_ids.last().map_or(0, |id| id.as_u64() + 1))
+    }
+
     /// The true public/private ratio among the observed nodes.
     pub fn true_ratio(&self) -> f64 {
         if self.nodes.is_empty() {
@@ -89,12 +138,25 @@ impl OverlaySnapshot {
         public as f64 / self.nodes.len() as f64
     }
 
+    /// Refreshes the cached sorted live-id buffer from `nodes`. Called by the capture and
+    /// construction paths; call it again after mutating `nodes` by hand.
+    fn refresh_live_ids(&mut self) {
+        self.live_ids.clear();
+        self.live_ids.extend(self.nodes.iter().map(|n| n.id));
+        if !self.live_ids.windows(2).all(|w| w[0] < w[1]) {
+            self.live_ids.sort_unstable();
+        }
+    }
+
     /// Keeps only edges whose endpoints are both observed nodes (drops dangling references
-    /// to departed nodes).
+    /// to departed nodes). Filtering binary-searches the cached sorted live-id buffer —
+    /// no per-call `HashSet` — and refreshes that cache first so direct mutation of
+    /// `nodes` is still honoured.
     pub fn retain_live_edges(&mut self) {
-        let live: std::collections::HashSet<NodeId> = self.nodes.iter().map(|n| n.id).collect();
+        self.refresh_live_ids();
+        let live = &self.live_ids;
         self.edges
-            .retain(|(a, b)| live.contains(a) && live.contains(b));
+            .retain(|(a, b)| live.binary_search(a).is_ok() && live.binary_search(b).is_ok());
     }
 }
 
@@ -142,6 +204,17 @@ mod tests {
     }
 
     #[test]
+    fn retain_live_edges_tracks_direct_node_mutation() {
+        let mut snapshot = OverlaySnapshot::from_parts(
+            vec![obs(1, NatClass::Public), obs(2, NatClass::Private)],
+            vec![(NodeId::new(1), NodeId::new(2))],
+        );
+        snapshot.nodes.retain(|n| n.id != NodeId::new(2));
+        snapshot.retain_live_edges();
+        assert_eq!(snapshot.edge_count(), 0, "cache must be refreshed");
+    }
+
+    #[test]
     fn accessors_report_counts() {
         let snapshot = OverlaySnapshot::from_parts(
             vec![obs(1, NatClass::Public)],
@@ -150,5 +223,15 @@ mod tests {
         assert_eq!(snapshot.node_count(), 1);
         assert_eq!(snapshot.edge_count(), 1);
         assert_eq!(snapshot.node_ids(), vec![NodeId::new(1)]);
+        assert_eq!(snapshot.id_upper_bound(), 2);
+        assert_eq!(OverlaySnapshot::default().id_upper_bound(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_derived_caches() {
+        let a = OverlaySnapshot::from_parts(vec![obs(1, NatClass::Public)], vec![]);
+        let mut b = OverlaySnapshot::from_parts(vec![obs(1, NatClass::Public)], vec![]);
+        b.id_bound = 99;
+        assert_eq!(a, b);
     }
 }

@@ -102,6 +102,15 @@ impl<T> NodeArena<T> {
         self.live
     }
 
+    /// Exclusive upper bound on the indices of occupied slots: every occupied index is
+    /// strictly below this value. The bound only grows over the arena's lifetime (removals
+    /// leave vacant slots), which makes it a stable size for dense index-addressed side
+    /// tables — the metrics pipeline uses it to map node ids to array slots without any
+    /// hashing.
+    pub fn slot_upper_bound(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Returns `true` when no slot is occupied.
     pub fn is_empty(&self) -> bool {
         self.live == 0
@@ -166,6 +175,11 @@ mod tests {
         arena.remove(9);
         let seen: Vec<(usize, usize)> = arena.iter().map(|(i, v)| (i, *v)).collect();
         assert_eq!(seen, vec![(0, 0), (2, 20), (5, 50)]);
+        assert_eq!(
+            arena.slot_upper_bound(),
+            10,
+            "the bound covers the highest index ever inserted, vacant or not"
+        );
         for (_, v) in arena.iter_mut() {
             *v += 1;
         }

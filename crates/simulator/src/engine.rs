@@ -508,6 +508,11 @@ impl<P: Protocol> crate::engine_api::SimulationEngine<P> for Simulation<P> {
         }
     }
 
+    fn node_id_upper_bound(&self) -> u64 {
+        // Slots are addressed by the raw node id, so the arena bound is the id bound.
+        self.nodes.slot_upper_bound() as u64
+    }
+
     fn network_stats(&self) -> NetworkStats {
         Simulation::network_stats(self)
     }

@@ -82,6 +82,17 @@ pub trait SimulationEngine<P: Protocol> {
     /// [`OverlaySnapshot`]: https://docs.rs/croupier-metrics
     fn for_each_node(&self, f: &mut dyn FnMut(NodeId, &P));
 
+    /// Exclusive upper bound on the raw ids of live nodes: every live node's id is
+    /// strictly below this value, and the bound only grows over the engine's lifetime.
+    ///
+    /// This is the dense-index capture path: both engines store node state in
+    /// [`NodeArena`](crate::arena::NodeArena) stripes addressed by the raw id, so the
+    /// bound is simply the arena's slot count (times the stripe count for the sharded
+    /// engine). Snapshot capture and the CSR metrics pipeline use it to size dense
+    /// id-indexed side tables, turning every `NodeId → index` resolution into one array
+    /// load instead of a hash or tree lookup per edge.
+    fn node_id_upper_bound(&self) -> u64;
+
     /// Aggregated message delivery statistics.
     fn network_stats(&self) -> NetworkStats;
 

@@ -7,7 +7,6 @@
 //! without an engine.
 
 use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
 
 use crate::bootstrap::BootstrapRegistry;
 use crate::time::{SimDuration, SimTime};
@@ -175,6 +174,18 @@ pub trait PssNode: Protocol {
     /// outgoing edges of the overlay graph.
     fn known_peers(&self) -> Vec<NodeId>;
 
+    /// Invokes `visit` once per known peer, in the same order as
+    /// [`known_peers`](PssNode::known_peers) but without materialising a `Vec`.
+    ///
+    /// Snapshot capture calls this once per node per metrics sample, so protocols whose
+    /// views can be iterated in place should override the default (which delegates to
+    /// `known_peers` and therefore still allocates).
+    fn for_each_known_peer(&self, visit: &mut dyn FnMut(NodeId)) {
+        for peer in self.known_peers() {
+            visit(peer);
+        }
+    }
+
     /// The node's current estimate of the public/private ratio, if the protocol computes
     /// one (only Croupier does).
     fn ratio_estimate(&self) -> Option<f64> {
@@ -191,12 +202,12 @@ pub trait PssNode: Protocol {
 /// Helper: draw a random subset of `count` distinct elements from `items`.
 ///
 /// The order of the returned subset is random. If `count >= items.len()` a shuffled copy of
-/// the whole slice is returned.
+/// the whole slice is returned. Implemented as a partial Fisher–Yates over indices, so it
+/// draws only `min(count, len)` random numbers and never clones elements beyond the
+/// returned subset.
 pub fn random_subset<T: Clone>(items: &[T], count: usize, rng: &mut SmallRng) -> Vec<T> {
-    let mut copy: Vec<T> = items.to_vec();
-    copy.shuffle(rng);
-    copy.truncate(count);
-    copy
+    let picked = rand::seq::index::sample(rng, items.len(), count.min(items.len()));
+    picked.into_iter().map(|i| items[i].clone()).collect()
 }
 
 #[cfg(test)]

@@ -714,6 +714,23 @@ where
         }
     }
 
+    fn node_id_upper_bound(&self) -> u64 {
+        // Shard `s` stores id `i` at local slot `i / stride`, so a shard whose arena has
+        // `len` slots has seen ids up to `(len - 1) * stride + s`. The maximum over the
+        // shards equals the highest id ever inserted plus one, which makes the bound
+        // identical across worker counts for the same population.
+        let stride = self.shards.len() as u64;
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| match shard.nodes.slot_upper_bound() as u64 {
+                0 => 0,
+                len => (len - 1) * stride + s as u64 + 1,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     fn network_stats(&self) -> NetworkStats {
         ShardedSimulation::network_stats(self)
     }

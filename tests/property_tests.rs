@@ -10,6 +10,11 @@
 use croupier_suite::croupier::{
     sample_from_views, Descriptor, EstimateRecord, RatioEstimator, View,
 };
+use croupier_suite::metrics::reference::{
+    naive_average_clustering_coefficient, naive_average_path_length,
+    naive_largest_component_fraction,
+};
+use croupier_suite::metrics::{MetricsContext, NodeObservation, OverlaySnapshot};
 use croupier_suite::nat::{FilteringPolicy, Ip, NatGateway, NatGatewayConfig};
 use croupier_suite::simulator::{NatClass, NodeId, SimDuration, SimTime};
 use rand::rngs::SmallRng;
@@ -248,6 +253,148 @@ fn gateway_admission_requires_a_matching_binding() {
             accepted, expected,
             "policy {policy} disagreed with the model"
         );
+    });
+}
+
+/// Generates an arbitrary overlay snapshot: possibly empty, with isolated nodes, dangling
+/// edges to unobserved (departed) ids, duplicate directed edges and self-loops.
+fn arb_snapshot(rng: &mut SmallRng) -> OverlaySnapshot {
+    let n = rng.gen_range(0usize..60);
+    let mut ids: Vec<u64> = (0..n as u64 * 2).collect();
+    // Non-contiguous ids: keep a random half of a larger id range.
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    ids.truncate(n);
+    ids.sort_unstable();
+    let nodes: Vec<NodeObservation> = ids
+        .iter()
+        .map(|id| NodeObservation {
+            id: NodeId::new(*id),
+            class: if rng.gen_bool(0.2) {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            },
+            ratio_estimate: None,
+            rounds_executed: 5,
+        })
+        .collect();
+    let edge_count = rng.gen_range(0usize..(4 * n.max(1)));
+    let edges: Vec<(NodeId, NodeId)> = (0..edge_count)
+        .map(|_| {
+            // Mostly live endpoints, sometimes dangling ids, sometimes self-loops.
+            let pick = |rng: &mut SmallRng| {
+                if ids.is_empty() || rng.gen_bool(0.15) {
+                    NodeId::new(rng.gen_range(0u64..150))
+                } else {
+                    NodeId::new(ids[rng.gen_range(0..ids.len())])
+                }
+            };
+            let a = pick(rng);
+            let b = if rng.gen_bool(0.05) { a } else { pick(rng) };
+            (a, b)
+        })
+        .collect();
+    OverlaySnapshot::from_parts(nodes, edges)
+}
+
+/// The CSR metrics pipeline is **exactly** equal — bit-identical floats — to the retained
+/// naive `BTreeMap`/`BTreeSet` reference implementation on arbitrary snapshots, including
+/// dangling edges, isolated nodes and the empty graph, for both sampled and exact BFS
+/// source counts.
+#[test]
+fn csr_metrics_equal_naive_reference_exactly() {
+    for_each_case("csr_equals_naive", |rng| {
+        let snapshot = arb_snapshot(rng);
+        let sources = if rng.gen_bool(0.4) {
+            usize::MAX
+        } else {
+            rng.gen_range(1usize..20)
+        };
+        let draw_seed = rng.gen::<u64>();
+
+        let mut ctx = MetricsContext::new(1);
+        ctx.build(&snapshot);
+        let fast_apl = ctx.average_path_length(sources, &mut SmallRng::seed_from_u64(draw_seed));
+        let naive_apl =
+            naive_average_path_length(&snapshot, sources, &mut SmallRng::seed_from_u64(draw_seed));
+        assert_eq!(
+            fast_apl.map(f64::to_bits),
+            naive_apl.map(f64::to_bits),
+            "path length diverged: {fast_apl:?} vs {naive_apl:?}"
+        );
+
+        let fast_cc = ctx.average_clustering_coefficient();
+        let naive_cc = naive_average_clustering_coefficient(&snapshot);
+        assert_eq!(
+            fast_cc.to_bits(),
+            naive_cc.to_bits(),
+            "clustering diverged: {fast_cc} vs {naive_cc}"
+        );
+
+        let fast_lcc = ctx.largest_component_fraction();
+        let naive_lcc = naive_largest_component_fraction(&snapshot);
+        assert_eq!(
+            fast_lcc.to_bits(),
+            naive_lcc.to_bits(),
+            "largest component diverged: {fast_lcc} vs {naive_lcc}"
+        );
+    });
+}
+
+/// Parallel multi-source BFS returns bit-identical results for every worker-thread count,
+/// and consumes the metric RNG identically (so downstream samples cannot diverge either).
+#[test]
+fn parallel_multi_source_bfs_matches_single_threaded() {
+    for_each_case("parallel_bfs_determinism", |rng| {
+        let snapshot = arb_snapshot(rng);
+        let sources = rng.gen_range(1usize..30);
+        let draw_seed = rng.gen::<u64>();
+        let run = |threads: usize| {
+            let mut ctx = MetricsContext::new(threads);
+            ctx.build(&snapshot);
+            let mut draw = SmallRng::seed_from_u64(draw_seed);
+            let apl = ctx.average_path_length(sources, &mut draw);
+            (apl.map(f64::to_bits), draw.gen::<u64>())
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(
+                sequential,
+                run(threads),
+                "threads={threads} diverged from the single-threaded reference"
+            );
+        }
+    });
+}
+
+/// `View::random_subset` (the in-place partial Fisher–Yates) always returns distinct
+/// members of the view, never mutates membership or ages, and honours the count bound.
+#[test]
+fn random_subset_is_a_distinct_membership_preserving_sample() {
+    for_each_case("random_subset_partial_fisher_yates", |rng| {
+        let capacity = rng.gen_range(1usize..24);
+        let mut view = View::new(capacity);
+        for _ in 0..rng.gen_range(0usize..32) {
+            view.insert(arb_descriptor(rng));
+        }
+        let mut before: Vec<Descriptor> = view.iter().copied().collect();
+        let count = rng.gen_range(0usize..16);
+        let subset = view.random_subset(count, rng);
+        assert_eq!(subset.len(), count.min(before.len()));
+        let mut nodes: Vec<NodeId> = subset.iter().map(|d| d.node).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), subset.len(), "subset contains duplicates");
+        for d in &subset {
+            assert_eq!(view.get(d.node), Some(d), "subset entry not in the view");
+        }
+        let mut after: Vec<Descriptor> = view.iter().copied().collect();
+        before.sort_by_key(|d| d.node);
+        after.sort_by_key(|d| d.node);
+        assert_eq!(before, after, "selection must only reorder the view");
     });
 }
 

@@ -10,7 +10,8 @@
 //! ```text
 //! cargo run -p xtask -- bench-compare \
 //!     --baseline ci/bench-baseline --current target/bench-json \
-//!     [--targets microbench_core,microbench_engine] [--threshold 0.25] [--update]
+//!     [--targets microbench_core,microbench_engine,microbench_metrics] \
+//!     [--threshold 0.25] [--update]
 //! ```
 //!
 //! `--update` rewrites the baseline files from the current run instead of comparing —
@@ -182,6 +183,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut targets = vec![
         String::from("microbench_core"),
         String::from("microbench_engine"),
+        String::from("microbench_metrics"),
     ];
     let mut threshold = 0.25;
     let mut metric = Metric::Min;
@@ -412,8 +414,8 @@ mod tests {
         assert_eq!(args.metric, Metric::Min, "min is the stable default");
         assert_eq!(
             args.targets,
-            vec!["microbench_core", "microbench_engine"],
-            "defaults cover both guarded targets"
+            vec!["microbench_core", "microbench_engine", "microbench_metrics"],
+            "defaults cover every guarded target"
         );
         assert!(!args.update);
         assert!(parse_args(std::iter::empty()).is_err(), "baseline required");
