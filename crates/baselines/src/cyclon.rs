@@ -6,7 +6,7 @@
 //! unreachable descriptors and the overlay partitions, which is exactly the failure mode
 //! Croupier is designed to avoid.
 
-use croupier::{Descriptor, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
+use croupier::{Descriptor, DescriptorBatch, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
 use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode, WireSize};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -18,9 +18,9 @@ use crate::config::BaselineConfig;
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum CyclonMessage {
     /// Shuffle request with the initiator's descriptor subset.
-    Request(Vec<Descriptor>),
+    Request(DescriptorBatch),
     /// Shuffle response with the recipient's descriptor subset.
-    Response(Vec<Descriptor>),
+    Response(DescriptorBatch),
 }
 
 impl CyclonMessage {
@@ -59,7 +59,7 @@ pub struct CyclonNode {
     id: NodeId,
     config: BaselineConfig,
     view: View,
-    pending: Option<(NodeId, Vec<Descriptor>)>,
+    pending: Option<(NodeId, DescriptorBatch)>,
     rounds: u64,
     exchanges_completed: u64,
 }
@@ -158,7 +158,7 @@ impl Protocol for CyclonNode {
                     Some((peer, sent)) if peer == from => sent,
                     other => {
                         self.pending = other;
-                        Vec::new()
+                        DescriptorBatch::new()
                     }
                 };
                 self.view.apply_exchange_swapper(&sent, &received, self.id);
@@ -270,7 +270,8 @@ mod tests {
 
     #[test]
     fn message_sizes_scale_with_descriptors() {
-        let small = CyclonMessage::Request(vec![Descriptor::new(NodeId::new(1), NatClass::Public)]);
+        let small =
+            CyclonMessage::Request(vec![Descriptor::new(NodeId::new(1), NatClass::Public)].into());
         let large = CyclonMessage::Request(
             (0..5u64)
                 .map(|i| Descriptor::new(NodeId::new(i), NatClass::Public))

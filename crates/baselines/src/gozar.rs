@@ -16,8 +16,8 @@
 
 use std::collections::HashMap;
 
-use croupier::{Descriptor, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
-use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode, WireSize};
+use croupier::{Descriptor, DescriptorBatch, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
+use croupier_simulator::{Context, InlineVec, NatClass, NodeId, Protocol, PssNode, WireSize};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -27,15 +27,30 @@ use crate::config::BaselineConfig;
 /// Wire bytes per relay address carried inside a descriptor (IPv4 + port).
 const RELAY_ADDR_BYTES: usize = 6;
 
+/// Inline capacity of relay lists: double the default relay redundancy (2); larger
+/// redundancy configurations spill to the heap transparently.
+pub const RELAY_INLINE_CAPACITY: usize = 4;
+
+/// The relay addresses carried inside a Gozar view entry, stored inline so entries clone
+/// without heap allocation on the shuffle hot path.
+pub type RelayList = InlineVec<NodeId, RELAY_INLINE_CAPACITY>;
+
+/// Inline capacity of a shuffle's entry list (`shuffle_size + 1` with headroom, like
+/// [`croupier::DESCRIPTOR_INLINE_CAPACITY`]).
+pub const ENTRY_INLINE_CAPACITY: usize = 8;
+
+/// The entry list carried in Gozar shuffle messages.
+pub type EntryBatch = InlineVec<GozarEntry, ENTRY_INLINE_CAPACITY>;
+
 /// A view entry as exchanged by Gozar: a descriptor plus, for private nodes, the addresses
 /// of their relay nodes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct GozarEntry {
     /// The node descriptor.
     pub descriptor: Descriptor,
     /// Relay nodes through which the described node can be reached (empty for public
     /// nodes).
-    pub relays: Vec<NodeId>,
+    pub relays: RelayList,
 }
 
 impl GozarEntry {
@@ -43,7 +58,7 @@ impl GozarEntry {
     pub fn public(descriptor: Descriptor) -> Self {
         GozarEntry {
             descriptor,
-            relays: Vec::new(),
+            relays: RelayList::new(),
         }
     }
 
@@ -63,14 +78,14 @@ pub enum GozarMessage {
         /// The initiator's connectivity class.
         initiator_class: NatClass,
         /// The initiator's relay nodes (empty if it is public).
-        initiator_relays: Vec<NodeId>,
+        initiator_relays: RelayList,
         /// Subset of the initiator's view, including its own fresh entry.
-        entries: Vec<GozarEntry>,
+        entries: EntryBatch,
     },
     /// A view-exchange response.
     ShuffleResponse {
         /// Subset of the responder's view.
-        entries: Vec<GozarEntry>,
+        entries: EntryBatch,
     },
     /// One-hop relaying envelope: the receiving relay forwards `inner` to `dest`.
     Relayed {
@@ -122,12 +137,12 @@ pub struct GozarNode {
     config: BaselineConfig,
     view: View,
     /// Relays advertised by private nodes we know about.
-    relay_cache: HashMap<NodeId, Vec<NodeId>>,
+    relay_cache: HashMap<NodeId, RelayList>,
     /// Our own relays (private nodes only).
-    my_relays: Vec<NodeId>,
+    my_relays: RelayList,
     /// Round in which each of our relays last acknowledged us.
     relay_last_ack: HashMap<NodeId, u64>,
-    pending: Option<(NodeId, Vec<Descriptor>)>,
+    pending: Option<(NodeId, DescriptorBatch)>,
     rounds: u64,
     messages_relayed: u64,
     exchanges_completed: u64,
@@ -147,7 +162,7 @@ impl GozarNode {
             class,
             view: View::new(config.view_size),
             relay_cache: HashMap::new(),
-            my_relays: Vec::new(),
+            my_relays: RelayList::new(),
             relay_last_ack: HashMap::new(),
             pending: None,
             rounds: 0,
@@ -204,7 +219,7 @@ impl GozarNode {
         }
     }
 
-    fn entries_from(&self, descriptors: &[Descriptor]) -> Vec<GozarEntry> {
+    fn entries_from(&self, descriptors: &[Descriptor]) -> EntryBatch {
         descriptors
             .iter()
             .map(|d| GozarEntry {
@@ -215,7 +230,7 @@ impl GozarNode {
     }
 
     fn absorb_entries(&mut self, entries: &[GozarEntry], sent: &[Descriptor]) {
-        let descriptors: Vec<Descriptor> = entries.iter().map(|e| e.descriptor).collect();
+        let descriptors: DescriptorBatch = entries.iter().map(|e| e.descriptor).collect();
         for entry in entries {
             if entry.descriptor.class.is_private() && !entry.relays.is_empty() {
                 self.relay_cache
@@ -235,8 +250,14 @@ impl GozarNode {
         let stale_after = self.config.keepalive_rounds * 3;
         let rounds = self.rounds;
         let last_ack = &self.relay_last_ack;
-        self.my_relays
-            .retain(|r| rounds.saturating_sub(last_ack.get(r).copied().unwrap_or(0)) < stale_after);
+        // `retain` via the slice API: InlineVec has no retain, and the list is tiny.
+        let mut keep = RelayList::new();
+        for relay in self.my_relays.iter().copied() {
+            if rounds.saturating_sub(last_ack.get(&relay).copied().unwrap_or(0)) < stale_after {
+                keep.push(relay);
+            }
+        }
+        self.my_relays = keep;
 
         if self.my_relays.len() < self.config.relay_redundancy {
             // Candidate relays: public nodes from our view, then the bootstrap server.
@@ -319,8 +340,8 @@ impl GozarNode {
         &mut self,
         initiator: NodeId,
         initiator_class: NatClass,
-        initiator_relays: Vec<NodeId>,
-        entries: Vec<GozarEntry>,
+        initiator_relays: RelayList,
+        entries: EntryBatch,
         ctx: &mut Context<'_, GozarMessage>,
     ) {
         let reply_descriptors = self.view.random_subset(self.config.shuffle_size, ctx.rng());
@@ -391,7 +412,7 @@ impl Protocol for GozarNode {
                 self.exchanges_completed += 1;
                 let sent = match self.pending.take() {
                     Some((_, sent)) => sent,
-                    None => Vec::new(),
+                    None => DescriptorBatch::new(),
                 };
                 self.absorb_entries(&entries, &sent);
             }
@@ -527,13 +548,13 @@ mod tests {
         let plain = GozarEntry::public(Descriptor::new(NodeId::new(1), NatClass::Public));
         let relayed = GozarEntry {
             descriptor: Descriptor::new(NodeId::new(2), NatClass::Private),
-            relays: vec![NodeId::new(3), NodeId::new(4)],
+            relays: vec![NodeId::new(3), NodeId::new(4)].into(),
         };
         let req_plain = GozarMessage::ShuffleResponse {
-            entries: vec![plain],
+            entries: vec![plain].into(),
         };
         let req_relayed = GozarMessage::ShuffleResponse {
-            entries: vec![relayed],
+            entries: vec![relayed].into(),
         };
         assert_eq!(
             req_relayed.wire_size() - req_plain.wire_size(),

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use croupier::{Descriptor, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
+use croupier::{Descriptor, DescriptorBatch, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
 use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode, WireSize};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
@@ -42,12 +42,12 @@ pub enum NylonMessage {
         /// The initiator's connectivity class.
         initiator_class: NatClass,
         /// Subset of the initiator's view including its own fresh descriptor.
-        descriptors: Vec<Descriptor>,
+        descriptors: DescriptorBatch,
     },
     /// A view-exchange response, sent directly back to the initiator.
     ShuffleResponse {
         /// Subset of the responder's view.
-        descriptors: Vec<Descriptor>,
+        descriptors: DescriptorBatch,
     },
     /// A hole-punch request routed along the chain of rendezvous nodes towards `target`.
     HolePunchRequest {
@@ -97,11 +97,12 @@ pub struct NylonNode {
     next_hop: HashMap<NodeId, NodeId>,
     /// Round of the most recent direct exchange with each peer ("open connection").
     open_connections: HashMap<NodeId, u64>,
-    /// Shuffle subsets sent and awaiting a response, keyed by peer.
-    pending: HashMap<NodeId, Vec<Descriptor>>,
+    /// Shuffle subsets sent and awaiting a response, keyed by peer. The subsets are
+    /// inline, so the per-round insert/remove churn touches no payload heap memory.
+    pending: HashMap<NodeId, DescriptorBatch>,
     /// Shuffle subsets prepared and waiting for a hole punch, keyed by target and stamped
     /// with the round in which they were created.
-    awaiting_punch: HashMap<NodeId, (Vec<Descriptor>, u64)>,
+    awaiting_punch: HashMap<NodeId, (DescriptorBatch, u64)>,
     rounds: u64,
     punches_forwarded: u64,
     exchanges_completed: u64,
@@ -188,7 +189,7 @@ impl NylonNode {
     fn send_direct_shuffle(
         &mut self,
         target: NodeId,
-        sent: Vec<Descriptor>,
+        sent: DescriptorBatch,
         ctx: &mut Context<'_, NylonMessage>,
     ) {
         let mut descriptors = sent.clone();
@@ -489,7 +490,7 @@ mod tests {
             initiator_class: NatClass::Private,
             descriptors: (0..5u64)
                 .map(|i| Descriptor::new(NodeId::new(i), NatClass::Public))
-                .collect(),
+                .collect::<DescriptorBatch>(),
         };
         assert!(req.wire_size() > NylonMessage::KeepAlive.wire_size());
         assert!(

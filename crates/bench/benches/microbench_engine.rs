@@ -1,11 +1,21 @@
 //! Engine-level benchmarks: gossip-round throughput of the sharded phase-parallel engine
-//! across worker-thread counts at 10k and 100k nodes.
+//! across worker-thread counts at 10k and 100k nodes, plus targeted hot-path variants.
 //!
-//! Each benchmark drives a full Croupier deployment (20 % public, NAT topology attached)
-//! and times `run_for_rounds(1)`, i.e. one complete phase of every node's gossip round plus
-//! message delivery and the barrier merge. Comparing `threads_1` against `threads_4` on a
-//! multi-core machine shows the sharding speedup; `BENCH_microbench_engine.json` (emitted
-//! by the criterion shim) feeds the CI `bench-regression` job.
+//! Each `engine/*` benchmark drives a full Croupier deployment (20 % public, NAT topology
+//! attached) and times `run_for_rounds(1)`, i.e. one complete phase of every node's gossip
+//! round plus message delivery and the barrier merge. Comparing `threads_1` against
+//! `threads_4` on a multi-core machine shows the sharding speedup;
+//! `BENCH_microbench_engine.json` (emitted by the criterion shim) feeds the CI
+//! `bench-regression` job.
+//!
+//! PR 4 added two guarded variants for its hot paths:
+//!
+//! * `queue/*` — pure scheduler throughput: a fixed schedule/pop churn on the bucketed
+//!   time-wheel and on the retained reference heap, so a regression in either structure
+//!   (or an accidental divergence in their relative cost) is caught directly;
+//! * `engine/payload_heavy` — an oversized shuffle configuration (view 20, subsets of 16,
+//!   20 piggy-backed estimates) that pushes the descriptor lists past their inline
+//!   capacity, guarding the `InlineVec` heap-spill path.
 //!
 //! Thread counts beyond the machine's core count cannot speed anything up — on a
 //! single-core container every `threads_*` row measures the same serial work plus
@@ -15,15 +25,22 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use croupier::{CroupierConfig, CroupierNode};
 use croupier_nat::NatTopologyBuilder;
-use croupier_simulator::{NatClass, NodeId, ShardedSimulation, SimulationConfig};
+use croupier_simulator::event::Event;
+use croupier_simulator::scheduler::reference::ReferenceEventQueue;
+use croupier_simulator::scheduler::EventQueue;
+use croupier_simulator::{NatClass, NodeId, ShardedSimulation, SimTime, SimulationConfig};
 
 /// Fraction of public nodes, matching the paper's default ratio.
 const PUBLIC_EVERY: u64 = 5;
 
-fn build_sim(nodes: u64, threads: usize) -> ShardedSimulation<CroupierNode> {
+fn build_sim_with(
+    nodes: u64,
+    threads: usize,
+    config: CroupierConfig,
+) -> ShardedSimulation<CroupierNode> {
     let topology = NatTopologyBuilder::new(0xE17).build();
     let mut sim = ShardedSimulation::new(
         SimulationConfig::default()
@@ -42,11 +59,15 @@ fn build_sim(nodes: u64, threads: usize) -> ShardedSimulation<CroupierNode> {
         if class.is_public() {
             sim.register_public(id);
         }
-        sim.add_node(id, CroupierNode::new(id, class, CroupierConfig::default()));
+        sim.add_node(id, CroupierNode::new(id, class, config.clone()));
     }
     // Warm the views so the timed rounds exercise steady-state shuffling, not cold starts.
     sim.run_for_rounds(3);
     sim
+}
+
+fn build_sim(nodes: u64, threads: usize) -> ShardedSimulation<CroupierNode> {
+    build_sim_with(nodes, threads, CroupierConfig::default())
 }
 
 fn bench_round_throughput(c: &mut Criterion) {
@@ -63,8 +84,69 @@ fn bench_round_throughput(c: &mut Criterion) {
             });
         }
     }
+    // Payload-heavy: oversized subsets spill the inline payload lists to the heap; the
+    // spill path must stay within a constant factor of the inline path.
+    let heavy = CroupierConfig::default()
+        .with_view_size(20)
+        .with_shuffle_size(16)
+        .with_estimate_share_size(20);
+    let mut sim = build_sim_with(10_000, 1, heavy);
+    group.bench_function("payload_heavy/10k_nodes/threads_1", |b| {
+        b.iter(|| sim.run_for_rounds(1))
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_round_throughput);
+/// A queue-depth-heavy schedule/pop churn: `events_per_tick` events in flight per tick
+/// over a ~1 s horizon, cursor sweeping the whole wheel ring. Mirrors the per-shard event
+/// load of a large deployment without any protocol work on top.
+macro_rules! queue_churn {
+    ($queue:expr, $ticks:expr, $events_per_tick:expr) => {{
+        let queue = $queue;
+        let mut popped = 0u64;
+        for t in 0..$ticks {
+            for e in 0..$events_per_tick {
+                queue.schedule(
+                    SimTime::from_millis(t + 1 + (t + e) % 1_000),
+                    Event::Deliver {
+                        from: NodeId::new(e),
+                        to: NodeId::new(t),
+                        msg: (),
+                    },
+                );
+            }
+            while queue.peek_time().is_some_and(|due| due.as_millis() <= t) {
+                queue.pop();
+                popped += 1;
+            }
+        }
+        while queue.pop().is_some() {
+            popped += 1;
+        }
+        popped
+    }};
+}
+
+fn bench_queue_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(4));
+    const TICKS: u64 = 2_000;
+    const PER_TICK: u64 = 100;
+    group.bench_function("wheel/depth_100k", |b| {
+        b.iter(|| {
+            let mut queue: EventQueue<()> = EventQueue::new();
+            black_box(queue_churn!(&mut queue, TICKS, PER_TICK))
+        })
+    });
+    group.bench_function("reference_heap/depth_100k", |b| {
+        b.iter(|| {
+            let mut queue: ReferenceEventQueue<()> = ReferenceEventQueue::new();
+            black_box(queue_churn!(&mut queue, TICKS, PER_TICK))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_throughput, bench_queue_depth);
 criterion_main!(benches);

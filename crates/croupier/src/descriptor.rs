@@ -1,12 +1,26 @@
 //! Node descriptors: the entries of partial views.
 
-use croupier_simulator::{NatClass, NodeId};
+use croupier_simulator::{InlineVec, NatClass, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Serialized size of one descriptor on the wire, in bytes: a 6-byte address (IPv4 + port),
 /// a 4-byte node identifier, one byte of NAT type and one byte of age. Matches the compact
 /// encodings used in the paper's overhead accounting.
 pub const DESCRIPTOR_WIRE_BYTES: usize = 12;
+
+/// Inline capacity of [`DescriptorBatch`]: the largest descriptor list a default-config
+/// shuffle produces, with headroom. A shuffle ships `ceil(shuffle_size / 2) + 1`
+/// descriptors per view (subset plus the sender's own entry; paper default
+/// `shuffle_size = 5` → 4), and the single-view baselines ship `shuffle_size + 1` (→ 6).
+/// Oversized experiment configurations spill to the heap transparently.
+pub const DESCRIPTOR_INLINE_CAPACITY: usize = 8;
+
+/// A bounded descriptor list as carried in shuffle messages and exchange bookkeeping.
+///
+/// Backed by [`InlineVec`], so default-config payloads live inline in the message and the
+/// shuffle hot path performs no heap allocation (the `Vec`-based payloads this replaced
+/// were the dominant allocation source per exchange).
+pub type DescriptorBatch = InlineVec<Descriptor, DESCRIPTOR_INLINE_CAPACITY>;
 
 /// A descriptor of a node as carried in partial views and shuffle messages.
 ///
@@ -27,7 +41,7 @@ pub const DESCRIPTOR_WIRE_BYTES: usize = 12;
 /// assert_eq!(d.age, 1);
 /// assert!(Descriptor::new(NodeId::new(3), NatClass::Private).is_newer_than(&d));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
 pub struct Descriptor {
     /// The described node.
     pub node: NodeId,

@@ -7,9 +7,9 @@
 //! of ω averages the cached estimates (plus the node's own, if it is public — equations
 //! 8 and 9).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use croupier_simulator::{NatClass, NodeId};
+use croupier_simulator::{InlineVec, NatClass, NodeId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -19,8 +19,16 @@ use serde::{Deserialize, Serialize};
 /// exactly the encoding the paper charges 5 bytes for (§VII, protocol overhead).
 pub const ESTIMATE_WIRE_BYTES: usize = 5;
 
+/// Inline capacity of [`EstimateBatch`]: the paper's default share size (10) plus the
+/// sender's own estimate, with one slot of headroom. Larger share configurations spill to
+/// the heap transparently.
+pub const ESTIMATE_INLINE_CAPACITY: usize = 12;
+
+/// A bounded list of piggy-backed ratio estimates as carried in shuffle messages.
+pub type EstimateBatch = InlineVec<EstimateRecord, ESTIMATE_INLINE_CAPACITY>;
+
 /// A ratio estimate produced by one croupier, as carried in shuffle messages.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct EstimateRecord {
     /// The public node that produced the estimate.
     pub origin: NodeId,
@@ -76,9 +84,15 @@ pub struct RatioEstimator {
     current_private_hits: u32,
     history: VecDeque<(u32, u32)>,
     local_estimate: Option<f64>,
-    // A BTreeMap keeps iteration order deterministic, which keeps whole simulation runs
-    // bit-for-bit reproducible for a fixed seed.
-    neighbour_estimates: BTreeMap<NodeId, CachedEstimate>,
+    // Sorted by origin id. Ascending-id iteration keeps whole simulation runs bit-for-bit
+    // reproducible for a fixed seed (this replaced a BTreeMap with the same iteration
+    // order); a flat sorted vector additionally makes the per-round cache maintenance
+    // allocation-free once its capacity has warmed up, where the tree allocated and freed
+    // a node per insert/expiry.
+    neighbour_estimates: Vec<(NodeId, CachedEstimate)>,
+    // Recycled staging buffer for `share`, so assembling the piggy-backed payload does not
+    // allocate in steady state.
+    share_scratch: Vec<EstimateRecord>,
 }
 
 impl RatioEstimator {
@@ -98,7 +112,8 @@ impl RatioEstimator {
             current_private_hits: 0,
             history: VecDeque::with_capacity(alpha + 1),
             local_estimate: None,
-            neighbour_estimates: BTreeMap::new(),
+            neighbour_estimates: Vec::new(),
+            share_scratch: Vec::new(),
         }
     }
 
@@ -124,13 +139,13 @@ impl RatioEstimator {
     /// recomputed from the hit history of the last `α` rounds, and the current round's hit
     /// counters are pushed into the history.
     pub fn advance_round(&mut self) {
-        // Age and expire neighbour estimates.
-        for cached in self.neighbour_estimates.values_mut() {
+        // Age and expire neighbour estimates (in place; the sorted order is unaffected).
+        for (_, cached) in self.neighbour_estimates.iter_mut() {
             cached.age = cached.age.saturating_add(1);
         }
         let gamma = self.gamma;
         self.neighbour_estimates
-            .retain(|_, cached| cached.age <= gamma);
+            .retain(|(_, cached)| cached.age <= gamma);
 
         // Croupiers recompute their local estimate from the hit history (equation 6,
         // evaluated before the current round's counters are appended, as in Algorithm 2).
@@ -180,17 +195,20 @@ impl RatioEstimator {
             if !record.ratio.is_finite() || !(0.0..=1.0).contains(&record.ratio) {
                 continue;
             }
-            match self.neighbour_estimates.get_mut(&record.origin) {
-                Some(cached) if cached.age <= record.age => {}
-                _ => {
-                    self.neighbour_estimates.insert(
-                        record.origin,
-                        CachedEstimate {
-                            ratio: record.ratio,
-                            age: record.age,
-                        },
-                    );
+            let fresh = CachedEstimate {
+                ratio: record.ratio,
+                age: record.age,
+            };
+            match self
+                .neighbour_estimates
+                .binary_search_by_key(&record.origin, |(origin, _)| *origin)
+            {
+                Ok(i) => {
+                    if self.neighbour_estimates[i].1.age > record.age {
+                        self.neighbour_estimates[i].1 = fresh;
+                    }
                 }
+                Err(i) => self.neighbour_estimates.insert(i, (record.origin, fresh)),
             }
         }
     }
@@ -198,23 +216,27 @@ impl RatioEstimator {
     /// Returns up to `count` cached neighbour estimates chosen uniformly at random, plus the
     /// node's own estimate (fresh, age zero) if it has one — the payload piggy-backed on a
     /// shuffle message.
-    pub fn share(
-        &self,
-        count: usize,
-        self_node: NodeId,
-        rng: &mut SmallRng,
-    ) -> Vec<EstimateRecord> {
-        let mut records: Vec<EstimateRecord> = self
-            .neighbour_estimates
-            .iter()
-            .map(|(origin, cached)| EstimateRecord {
-                origin: *origin,
-                ratio: cached.ratio,
-                age: cached.age,
-            })
-            .collect();
-        records.shuffle(rng);
-        records.truncate(count);
+    ///
+    /// Staged through a recycled scratch buffer and returned inline, so assembling the
+    /// payload allocates nothing in steady state. The full cache is shuffled before
+    /// truncation (not a partial draw) deliberately: it consumes the node's random stream
+    /// exactly as the original `Vec`-returning implementation did, keeping every seeded
+    /// run bit-identical across the change.
+    pub fn share(&mut self, count: usize, self_node: NodeId, rng: &mut SmallRng) -> EstimateBatch {
+        self.share_scratch.clear();
+        self.share_scratch
+            .extend(
+                self.neighbour_estimates
+                    .iter()
+                    .map(|(origin, cached)| EstimateRecord {
+                        origin: *origin,
+                        ratio: cached.ratio,
+                        age: cached.age,
+                    }),
+            );
+        self.share_scratch.shuffle(rng);
+        self.share_scratch.truncate(count);
+        let mut records: EstimateBatch = self.share_scratch.iter().copied().collect();
         if let Some(own) = self.local_estimate {
             if self.class.is_public() {
                 records.push(EstimateRecord::new(self_node, own));
@@ -228,7 +250,7 @@ impl RatioEstimator {
     ///
     /// Returns `None` while the node has not collected any estimate yet.
     pub fn estimate(&self) -> Option<f64> {
-        let mut sum: f64 = self.neighbour_estimates.values().map(|c| c.ratio).sum();
+        let mut sum: f64 = self.neighbour_estimates.iter().map(|(_, c)| c.ratio).sum();
         let mut count = self.neighbour_estimates.len();
         if self.class.is_public() {
             if let Some(own) = self.local_estimate {
@@ -440,7 +462,7 @@ mod tests {
 
     #[test]
     fn share_without_local_estimate_is_only_cached_records() {
-        let est = RatioEstimator::new(NatClass::Private, 5, 50);
+        let mut est = RatioEstimator::new(NatClass::Private, 5, 50);
         let mut r = rng();
         assert!(est.share(10, NodeId::new(0), &mut r).is_empty());
     }

@@ -75,8 +75,12 @@ pub mod sampler;
 pub mod view;
 
 pub use config::{CroupierConfig, MergePolicy, SelectionPolicy};
-pub use descriptor::{Descriptor, DESCRIPTOR_WIRE_BYTES};
-pub use estimator::{EstimateRecord, RatioEstimator, ESTIMATE_WIRE_BYTES};
+pub use descriptor::{
+    Descriptor, DescriptorBatch, DESCRIPTOR_INLINE_CAPACITY, DESCRIPTOR_WIRE_BYTES,
+};
+pub use estimator::{
+    EstimateBatch, EstimateRecord, RatioEstimator, ESTIMATE_INLINE_CAPACITY, ESTIMATE_WIRE_BYTES,
+};
 pub use messages::{CroupierMessage, ShufflePayload, UDP_IP_HEADER_BYTES};
 pub use nat_identification::{NatIdMessage, NatIdentificationConfig, NatIdentificationNode};
 pub use protocol::CroupierNode;

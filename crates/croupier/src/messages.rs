@@ -3,8 +3,8 @@
 use croupier_simulator::{NatClass, WireSize};
 use serde::{Deserialize, Serialize};
 
-use crate::descriptor::{Descriptor, DESCRIPTOR_WIRE_BYTES};
-use crate::estimator::{EstimateRecord, ESTIMATE_WIRE_BYTES};
+use crate::descriptor::{DescriptorBatch, DESCRIPTOR_WIRE_BYTES};
+use crate::estimator::{EstimateBatch, ESTIMATE_WIRE_BYTES};
 
 /// Bytes charged per message for UDP and IPv4 headers (8 + 20).
 pub const UDP_IP_HEADER_BYTES: usize = 28;
@@ -15,19 +15,29 @@ const SHUFFLE_FRAMING_BYTES: usize = 6;
 
 /// The state exchanged in a shuffle request or response: bounded random subsets of the
 /// sender's public and private views plus a bounded set of piggy-backed ratio estimates.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// All three lists are [`InlineVec`](croupier_simulator::InlineVec)s sized to the paper's
+/// view-subset bounds, so filling, reading and clearing a default-config payload touches
+/// no heap memory. The payload itself travels **boxed** inside [`CroupierMessage`]: the
+/// inline lists make the struct ~600 bytes, and shipping that by value through the
+/// engines' queues, outboxes and barrier sorts measurably dominated 100k-node rounds
+/// (every move is a full-width memcpy). Boxing shrinks the on-queue message to two words;
+/// the box itself is recycled through [`CroupierNode`](crate::CroupierNode)'s payload
+/// pool — a croupier answers a request by rewriting the request's own box — so the
+/// steady-state message plane still performs zero allocations.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ShufflePayload {
     /// Connectivity class of the sender (drives the receiver's hit counters).
     pub sender_class: NatClass,
     /// Subset of the sender's public view (plus the sender's own descriptor on requests
     /// from public nodes).
-    pub public_descriptors: Vec<Descriptor>,
+    pub public_descriptors: DescriptorBatch,
     /// Subset of the sender's private view (plus the sender's own descriptor on requests
     /// from private nodes).
-    pub private_descriptors: Vec<Descriptor>,
+    pub private_descriptors: DescriptorBatch,
     /// Piggy-backed ratio estimates (the sender's own estimate, if any, is included here
     /// with age zero).
-    pub estimates: Vec<EstimateRecord>,
+    pub estimates: EstimateBatch,
 }
 
 impl ShufflePayload {
@@ -45,12 +55,16 @@ impl ShufflePayload {
 }
 
 /// The two message types of the Croupier protocol (Algorithm 2).
+///
+/// The payload is boxed so the enum stays two words wide on the event-plane hot paths;
+/// see [`ShufflePayload`] for the pooling discipline that keeps the box allocation-free
+/// in steady state.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum CroupierMessage {
     /// A shuffle request, sent by any node to a croupier (public node).
-    ShuffleRequest(ShufflePayload),
+    ShuffleRequest(Box<ShufflePayload>),
     /// A shuffle response, sent by a croupier back to the requester.
-    ShuffleResponse(ShufflePayload),
+    ShuffleResponse(Box<ShufflePayload>),
 }
 
 impl CroupierMessage {
@@ -76,6 +90,8 @@ impl WireSize for CroupierMessage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::descriptor::Descriptor;
+    use crate::estimator::EstimateRecord;
     use croupier_simulator::NodeId;
 
     fn payload(n_pub: usize, n_priv: usize, n_est: usize) -> ShufflePayload {
@@ -97,15 +113,15 @@ mod tests {
     fn wire_size_matches_the_papers_accounting() {
         // 10 estimates at 5 bytes each add exactly 50 bytes of estimation overhead per
         // message, as stated in §VI of the paper.
-        let with = CroupierMessage::ShuffleRequest(payload(5, 5, 10));
-        let without = CroupierMessage::ShuffleRequest(payload(5, 5, 0));
+        let with = CroupierMessage::ShuffleRequest(Box::new(payload(5, 5, 10)));
+        let without = CroupierMessage::ShuffleRequest(Box::new(payload(5, 5, 0)));
         assert_eq!(with.wire_size() - without.wire_size(), 50);
     }
 
     #[test]
     fn wire_size_scales_with_descriptors() {
-        let small = CroupierMessage::ShuffleResponse(payload(1, 0, 0));
-        let large = CroupierMessage::ShuffleResponse(payload(6, 0, 0));
+        let small = CroupierMessage::ShuffleResponse(Box::new(payload(1, 0, 0)));
+        let large = CroupierMessage::ShuffleResponse(Box::new(payload(6, 0, 0)));
         assert_eq!(
             large.wire_size() - small.wire_size(),
             5 * DESCRIPTOR_WIRE_BYTES
@@ -115,11 +131,11 @@ mod tests {
 
     #[test]
     fn payload_accessors() {
-        let msg = CroupierMessage::ShuffleRequest(payload(2, 3, 4));
+        let msg = CroupierMessage::ShuffleRequest(Box::new(payload(2, 3, 4)));
         assert!(msg.is_request());
         assert_eq!(msg.payload().descriptor_count(), 5);
         assert_eq!(msg.payload().estimates.len(), 4);
-        let resp = CroupierMessage::ShuffleResponse(payload(0, 0, 0));
+        let resp = CroupierMessage::ShuffleResponse(Box::new(payload(0, 0, 0)));
         assert!(!resp.is_request());
     }
 }

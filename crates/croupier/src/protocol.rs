@@ -4,20 +4,27 @@ use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode};
 use rand::rngs::SmallRng;
 
 use crate::config::{CroupierConfig, MergePolicy, SelectionPolicy};
-use crate::descriptor::Descriptor;
+use crate::descriptor::{Descriptor, DescriptorBatch};
 use crate::estimator::RatioEstimator;
 use crate::messages::{CroupierMessage, ShufflePayload};
 use crate::sampler::sample_from_views;
 use crate::view::View;
 
 /// Bookkeeping for the shuffle request currently in flight, needed by the swapper merge
-/// policy when the response arrives.
+/// policy when the response arrives. The subsets are stored inline, so replacing the
+/// pending exchange every round costs no allocation.
 #[derive(Clone, Debug)]
 struct PendingShuffle {
     peer: NodeId,
-    sent_public: Vec<Descriptor>,
-    sent_private: Vec<Descriptor>,
+    sent_public: DescriptorBatch,
+    sent_private: DescriptorBatch,
 }
+
+/// Upper bound on recycled payload boxes kept per node. One box circulates per exchange
+/// in steady state (a request's box comes back as a response, a croupier rewrites the
+/// request's box into its response), so the pool only has to absorb transient imbalance
+/// from lost or late messages.
+const PAYLOAD_POOL_LIMIT: usize = 4;
 
 /// A node running the Croupier peer-sampling protocol.
 ///
@@ -42,6 +49,11 @@ pub struct CroupierNode {
     private_view: View,
     estimator: RatioEstimator,
     pending: Option<PendingShuffle>,
+    /// Recycled shuffle-payload boxes (see [`ShufflePayload`] for the discipline).
+    /// Boxes are stored as boxes on purpose: they are handed to [`CroupierMessage`]
+    /// verbatim, so recycling never re-allocates the payload.
+    #[allow(clippy::vec_box)]
+    payload_pool: Vec<Box<ShufflePayload>>,
     rounds: u64,
     shuffles_received: u64,
     responses_received: u64,
@@ -63,6 +75,7 @@ impl CroupierNode {
             private_view: View::new(config.view_size),
             estimator,
             pending: None,
+            payload_pool: Vec::new(),
             rounds: 0,
             shuffles_received: 0,
             responses_received: 0,
@@ -126,6 +139,26 @@ impl CroupierNode {
         Descriptor::new(self.id, self.class)
     }
 
+    /// A cleared payload box from the pool, or a fresh one if the pool is empty.
+    fn take_payload(&mut self) -> Box<ShufflePayload> {
+        match self.payload_pool.pop() {
+            Some(mut payload) => {
+                payload.public_descriptors.clear();
+                payload.private_descriptors.clear();
+                payload.estimates.clear();
+                payload
+            }
+            None => Box::default(),
+        }
+    }
+
+    /// Returns a consumed payload box to the pool (bounded; excess boxes are dropped).
+    fn recycle_payload(&mut self, payload: Box<ShufflePayload>) {
+        if self.payload_pool.len() < PAYLOAD_POOL_LIMIT {
+            self.payload_pool.push(payload);
+        }
+    }
+
     /// Splits the shuffle descriptor budget between the two views.
     ///
     /// The paper sends "a random, bounded subset" of each view with an overall exchange
@@ -151,9 +184,9 @@ impl CroupierNode {
     }
 
     /// Splits received descriptors by their class, dropping our own descriptor.
-    fn split_by_class(&self, payload: &ShufflePayload) -> (Vec<Descriptor>, Vec<Descriptor>) {
-        let mut public = Vec::new();
-        let mut private = Vec::new();
+    fn split_by_class(&self, payload: &ShufflePayload) -> (DescriptorBatch, DescriptorBatch) {
+        let mut public = DescriptorBatch::new();
+        let mut private = DescriptorBatch::new();
         for d in payload
             .public_descriptors
             .iter()
@@ -197,12 +230,13 @@ impl CroupierNode {
     fn handle_request(
         &mut self,
         from: NodeId,
-        payload: ShufflePayload,
+        mut payload: Box<ShufflePayload>,
         ctx: &mut Context<'_, CroupierMessage>,
     ) {
         if self.class.is_private() {
             // Only croupiers handle shuffle requests. A private node can only receive one
             // through a stale descriptor that mis-states its class; drop it.
+            self.recycle_payload(payload);
             return;
         }
         self.shuffles_received += 1;
@@ -226,16 +260,15 @@ impl CroupierNode {
         );
         self.estimator.ingest(&payload.estimates, self.id);
 
-        let response = ShufflePayload {
-            sender_class: self.class,
-            public_descriptors: reply_public,
-            private_descriptors: reply_private,
-            estimates: reply_estimates,
-        };
-        ctx.send(from, CroupierMessage::ShuffleResponse(response));
+        // The request's own box becomes the response: zero pool churn on croupiers.
+        payload.sender_class = self.class;
+        payload.public_descriptors = reply_public;
+        payload.private_descriptors = reply_private;
+        payload.estimates = reply_estimates;
+        ctx.send(from, CroupierMessage::ShuffleResponse(payload));
     }
 
-    fn handle_response(&mut self, from: NodeId, payload: ShufflePayload) {
+    fn handle_response(&mut self, from: NodeId, payload: Box<ShufflePayload>) {
         self.responses_received += 1;
         let (sent_public, sent_private) = match self.pending.take() {
             Some(pending) if pending.peer == from => (pending.sent_public, pending.sent_private),
@@ -243,7 +276,7 @@ impl CroupierNode {
                 // Either an unexpected response or one from a previous round; merge it
                 // anyway but without swapper eviction candidates.
                 self.pending = other;
-                (Vec::new(), Vec::new())
+                (DescriptorBatch::new(), DescriptorBatch::new())
             }
         };
         let (received_public, received_private) = self.split_by_class(&payload);
@@ -254,6 +287,7 @@ impl CroupierNode {
             &received_private,
         );
         self.estimator.ingest(&payload.estimates, self.id);
+        self.recycle_payload(payload);
     }
 }
 
@@ -287,11 +321,14 @@ impl Protocol for CroupierNode {
             .estimator
             .share(self.config.estimate_share_size, self.id, ctx.rng());
 
-        let mut public_descriptors = sent_public.clone();
-        let mut private_descriptors = sent_private.clone();
+        let mut request = self.take_payload();
+        request.sender_class = self.class;
+        request.public_descriptors = sent_public.clone();
+        request.private_descriptors = sent_private.clone();
+        request.estimates = estimates;
         match self.class {
-            NatClass::Public => public_descriptors.push(self.own_descriptor()),
-            NatClass::Private => private_descriptors.push(self.own_descriptor()),
+            NatClass::Public => request.public_descriptors.push(self.own_descriptor()),
+            NatClass::Private => request.private_descriptors.push(self.own_descriptor()),
         }
 
         self.pending = Some(PendingShuffle {
@@ -300,12 +337,6 @@ impl Protocol for CroupierNode {
             sent_private,
         });
 
-        let request = ShufflePayload {
-            sender_class: self.class,
-            public_descriptors,
-            private_descriptors,
-            estimates,
-        };
         ctx.send(target, CroupierMessage::ShuffleRequest(request));
     }
 
@@ -520,9 +551,9 @@ mod tests {
                 .copied()
                 .take(config.shuffle_size)
                 .collect(),
-            estimates: Vec::new(),
+            estimates: Default::default(),
         };
-        assert!(CroupierMessage::ShuffleRequest(payload).wire_size() <= bound);
+        assert!(CroupierMessage::ShuffleRequest(Box::new(payload)).wire_size() <= bound);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::descriptor::Descriptor;
+use crate::descriptor::{Descriptor, DescriptorBatch};
 
 /// A bounded partial view: an ordered set of [`Descriptor`]s with at most `capacity`
 /// entries and at most one entry per node.
@@ -138,16 +138,16 @@ impl View {
     /// Up to `count` distinct descriptors chosen uniformly at random, in random order.
     ///
     /// Implemented as a partial Fisher–Yates over the entries in place: it draws only
-    /// `min(count, len)` random numbers and allocates nothing beyond the returned subset
-    /// (the previous implementation cloned and fully shuffled the whole entries vector on
-    /// every shuffle exchange, which dominated the protocol hot path). The side effect is
-    /// that the selected entries are swapped to the front of the view; entry order carries
-    /// no protocol meaning (membership, ages and capacity are unaffected), it only breaks
-    /// ties in [`oldest`](View::oldest) deterministically.
-    pub fn random_subset(&mut self, count: usize, rng: &mut SmallRng) -> Vec<Descriptor> {
+    /// `min(count, len)` random numbers, and the subset is returned inline (a
+    /// [`DescriptorBatch`]), so a default-config shuffle extracts its subsets with zero
+    /// heap allocations. The side effect is that the selected entries are swapped to the
+    /// front of the view; entry order carries no protocol meaning (membership, ages and
+    /// capacity are unaffected), it only breaks ties in [`oldest`](View::oldest)
+    /// deterministically.
+    pub fn random_subset(&mut self, count: usize, rng: &mut SmallRng) -> DescriptorBatch {
         let len = self.entries.len();
         let count = count.min(len);
-        let mut subset = Vec::with_capacity(count);
+        let mut subset = DescriptorBatch::new();
         for i in 0..count {
             // gen_range panics on an empty range; the final position needs no draw.
             if len - i > 1 {
@@ -174,7 +174,10 @@ impl View {
         received: &[Descriptor],
         self_node: NodeId,
     ) {
-        let mut replaceable: Vec<NodeId> = sent.iter().map(|d| d.node).collect();
+        // Eviction candidates are consumed front-to-back straight off `sent`; the cursor
+        // replaces the scratch list of node ids the old implementation allocated per
+        // exchange.
+        let mut next_victim = 0usize;
         for descriptor in received {
             if descriptor.node == self_node {
                 continue;
@@ -188,17 +191,15 @@ impl View {
                 continue;
             }
             // Swapper: evict an entry we sent to the peer; the peer now knows it, so no
-            // information is lost system-wide.
-            let mut inserted = false;
-            while let Some(victim) = pop_front(&mut replaceable) {
+            // information is lost system-wide. If no sent entry is left to swap out, the
+            // received descriptor is dropped.
+            while next_victim < sent.len() {
+                let victim = sent[next_victim].node;
+                next_victim += 1;
                 if self.remove(victim).is_some() {
                     self.insert(*descriptor);
-                    inserted = true;
                     break;
                 }
-            }
-            if !inserted {
-                // Nothing left to swap out; the received descriptor is dropped.
             }
         }
     }
@@ -220,14 +221,6 @@ impl View {
         }
         self.entries.sort_by_key(|d| d.age);
         self.entries.truncate(self.capacity);
-    }
-}
-
-fn pop_front(list: &mut Vec<NodeId>) -> Option<NodeId> {
-    if list.is_empty() {
-        None
-    } else {
-        Some(list.remove(0))
     }
 }
 

@@ -230,6 +230,9 @@ struct Driver<P: Protocol + PssNode, E: SimulationEngine<P>> {
     /// Reusable metrics pipeline: one CSR overlay graph per sample shared by all graph
     /// metrics, with BFS fanned out over the engine's worker-thread count.
     metrics: MetricsContext,
+    /// Reusable traffic ledger refilled in place by the overhead-window sampling, instead
+    /// of cloning the engine's whole per-node map per sample.
+    traffic_scratch: croupier_simulator::TrafficLedger,
     _protocol: PhantomData<fn() -> P>,
 }
 
@@ -257,6 +260,7 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             metric_rng: seed.stream_rng(croupier_simulator::rng::Stream::Custom(0xE7)),
             sample_snapshot: OverlaySnapshot::default(),
             metrics: MetricsContext::new(params.engine_threads.max(1)),
+            traffic_scratch: croupier_simulator::TrafficLedger::new(),
             _protocol: PhantomData,
         }
     }
@@ -408,9 +412,9 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
                 } else if round == end {
                     let window_secs = (end - start) as f64;
                     let classes = self.all_classes.clone();
-                    let ledger = self.sim.traffic_snapshot();
+                    self.sim.traffic_snapshot_into(&mut self.traffic_scratch);
                     overhead = Some(class_overhead(
-                        &ledger,
+                        &self.traffic_scratch,
                         |id| classes.get(&id).copied(),
                         window_secs,
                     ));

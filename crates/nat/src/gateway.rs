@@ -1,8 +1,6 @@
 //! A single NAT gateway (or firewall) and its UDP mapping table.
 
-use std::collections::HashMap;
-
-use croupier_simulator::{NodeId, SimDuration, SimTime};
+use croupier_simulator::{FastHashMap, NodeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::address::Ip;
@@ -75,8 +73,26 @@ impl Binding {
     }
 }
 
+/// How many mapping-table operations a gateway absorbs between opportunistic purges of
+/// expired bindings. Purging is a memory bound, not a correctness mechanism (expiry is
+/// checked against timestamps on every query), so the cadence only trades table size
+/// against purge work. Per-gateway counters replaced a global sweep over every gateway in
+/// the topology, which at 100k nodes (one gateway per private node) dominated the
+/// barrier's per-message cost.
+const PURGE_EVERY_OPS: u32 = 256;
+
 /// A NAT gateway: a public IP address plus a mapping table shared by the private nodes that
 /// sit behind it.
+///
+/// Inbound-filtering decisions are O(1) for every policy: besides the exact
+/// `(internal, remote)` table, the gateway maintains *newest-binding* indexes — the most
+/// recent refresh time per internal node and per `(internal, remote ip)` pair. "Some
+/// unexpired binding exists" is equivalent to "the newest such binding is unexpired"
+/// because expiry is monotone in the refresh time, so the
+/// endpoint-independent/address-dependent policies query one index entry instead of
+/// scanning the table. The address-dependent index additionally relies on a node's
+/// observed IP being immutable, which [`NatTopology`](crate::NatTopology) guarantees
+/// (addresses are allocated monotonically and profiles never change).
 ///
 /// # Examples
 ///
@@ -101,7 +117,12 @@ impl Binding {
 pub struct NatGateway {
     public_ip: Ip,
     config: NatGatewayConfig,
-    bindings: HashMap<(NodeId, NodeId), Binding>,
+    bindings: FastHashMap<(NodeId, NodeId), Binding>,
+    /// Newest refresh time per internal node (endpoint-independent fast path).
+    newest_per_internal: FastHashMap<NodeId, SimTime>,
+    /// Newest refresh time per `(internal, remote ip)` (address-dependent fast path).
+    newest_per_remote_ip: FastHashMap<(NodeId, Ip), SimTime>,
+    ops_since_purge: u32,
 }
 
 impl NatGateway {
@@ -110,7 +131,10 @@ impl NatGateway {
         NatGateway {
             public_ip,
             config,
-            bindings: HashMap::new(),
+            bindings: FastHashMap::default(),
+            newest_per_internal: FastHashMap::default(),
+            newest_per_remote_ip: FastHashMap::default(),
+            ops_since_purge: 0,
         }
     }
 
@@ -148,6 +172,26 @@ impl NatGateway {
         });
         entry.remote_ip = remote_ip;
         entry.last_refreshed = entry.last_refreshed.max(now);
+        // Maintain the newest-binding index the configured policy queries (monotone max,
+        // so the same never-shortens rule applies).
+        match self.config.filtering {
+            FilteringPolicy::EndpointIndependent => {
+                let newest = self.newest_per_internal.entry(internal).or_insert(now);
+                *newest = (*newest).max(now);
+            }
+            FilteringPolicy::AddressDependent => {
+                let newest = self
+                    .newest_per_remote_ip
+                    .entry((internal, remote_ip))
+                    .or_insert(now);
+                *newest = (*newest).max(now);
+            }
+            FilteringPolicy::AddressAndPortDependent => {}
+        }
+        self.ops_since_purge += 1;
+        if self.ops_since_purge >= PURGE_EVERY_OPS {
+            self.purge_expired(now);
+        }
     }
 
     /// Decides whether an inbound packet from `from` (with observed source address
@@ -164,14 +208,15 @@ impl NatGateway {
             return true;
         }
         let timeout = self.config.mapping_timeout;
+        let fresh = |refreshed: &SimTime| now.saturating_since(*refreshed) <= timeout;
         match self.config.filtering {
-            FilteringPolicy::EndpointIndependent => self
-                .bindings
-                .values()
-                .any(|b| b.internal == internal && !b.is_expired(now, timeout)),
-            FilteringPolicy::AddressDependent => self.bindings.values().any(|b| {
-                b.internal == internal && b.remote_ip == from_ip && !b.is_expired(now, timeout)
-            }),
+            FilteringPolicy::EndpointIndependent => {
+                self.newest_per_internal.get(&internal).is_some_and(fresh)
+            }
+            FilteringPolicy::AddressDependent => self
+                .newest_per_remote_ip
+                .get(&(internal, from_ip))
+                .is_some_and(fresh),
             FilteringPolicy::AddressAndPortDependent => self
                 .bindings
                 .get(&(internal, from))
@@ -185,11 +230,17 @@ impl NatGateway {
     pub fn purge_expired(&mut self, now: SimTime) {
         let timeout = self.config.mapping_timeout;
         self.bindings.retain(|_, b| !b.is_expired(now, timeout));
+        let fresh = |refreshed: &SimTime| now.saturating_since(*refreshed) <= timeout;
+        self.newest_per_internal.retain(|_, t| fresh(t));
+        self.newest_per_remote_ip.retain(|_, t| fresh(t));
+        self.ops_since_purge = 0;
     }
 
     /// Removes every binding owned by `internal` (the node left the system).
     pub fn remove_internal(&mut self, internal: NodeId) {
         self.bindings.retain(|_, b| b.internal != internal);
+        self.newest_per_internal.remove(&internal);
+        self.newest_per_remote_ip.retain(|(i, _), _| *i != internal);
     }
 
     /// Iterates over the current mapping-table entries.

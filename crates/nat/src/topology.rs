@@ -1,7 +1,6 @@
 //! Assignment of nodes to public addresses or NAT gateways, and the resulting
 //! network-reachability filter.
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use croupier_simulator::{DeliveryFilter, DeliveryVerdict, NatClass, NodeId, SimDuration, SimTime};
@@ -12,9 +11,6 @@ use serde::{Deserialize, Serialize};
 use crate::address::Ip;
 use crate::filtering::FilteringPolicy;
 use crate::gateway::{NatGateway, NatGatewayConfig};
-
-/// How often (in mapping-table operations) expired bindings are purged.
-const PURGE_EVERY: u64 = 4_096;
 
 /// Identifier of a NAT gateway inside a [`NatTopology`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
@@ -81,15 +77,19 @@ impl TopologyStats {
 }
 
 struct Inner {
-    profiles: HashMap<NodeId, NatProfile>,
-    gateways: HashMap<GatewayId, NatGateway>,
+    /// Node profiles in a dense slot table indexed by the raw node id (ids are assigned
+    /// densely from zero throughout the workspace), so the two profile resolutions on
+    /// every delivery are plain indexed loads instead of hash lookups.
+    profiles: Vec<Option<NatProfile>>,
+    /// Number of `Some` entries in `profiles`.
+    profile_count: usize,
+    /// Gateways indexed by their sequentially allocated [`GatewayId`].
+    gateways: Vec<NatGateway>,
     default_config: NatGatewayConfig,
     filtering_mix: Vec<(FilteringPolicy, f64)>,
     rng: SmallRng,
     next_public_ip: u32,
     next_private_ip: u32,
-    next_gateway: u64,
-    ops_since_purge: u64,
     blocked_messages: u64,
 }
 
@@ -125,29 +125,38 @@ impl Inner {
     }
 
     fn add_gateway(&mut self, config: NatGatewayConfig) -> GatewayId {
-        let id = GatewayId(self.next_gateway);
-        self.next_gateway += 1;
+        let id = GatewayId(self.gateways.len() as u64);
         let ip = self.allocate_public_ip();
-        self.gateways.insert(id, NatGateway::new(ip, config));
+        self.gateways.push(NatGateway::new(ip, config));
         id
     }
 
-    fn maybe_purge(&mut self, now: SimTime) {
-        self.ops_since_purge += 1;
-        if self.ops_since_purge >= PURGE_EVERY {
-            self.ops_since_purge = 0;
-            for gw in self.gateways.values_mut() {
-                gw.purge_expired(now);
-            }
+    fn profile(&self, node: NodeId) -> Option<&NatProfile> {
+        self.profiles.get(node.as_u64() as usize)?.as_ref()
+    }
+
+    fn set_profile(&mut self, node: NodeId, profile: NatProfile) {
+        let slot = node.as_u64() as usize;
+        if slot >= self.profiles.len() {
+            self.profiles.resize(slot + 1, None);
+        }
+        if self.profiles[slot].replace(profile).is_none() {
+            self.profile_count += 1;
         }
     }
 
+    fn gateway(&self, id: GatewayId) -> Option<&NatGateway> {
+        self.gateways.get(id.0 as usize)
+    }
+
+    fn gateway_mut(&mut self, id: GatewayId) -> Option<&mut NatGateway> {
+        self.gateways.get_mut(id.0 as usize)
+    }
+
     fn observed_ip(&self, node: NodeId) -> Option<Ip> {
-        match self.profiles.get(&node)? {
+        match self.profile(node)? {
             NatProfile::Public { ip } => Some(*ip),
-            NatProfile::Private { gateway, .. } => {
-                self.gateways.get(gateway).map(|gw| gw.public_ip())
-            }
+            NatProfile::Private { gateway, .. } => self.gateway(*gateway).map(|gw| gw.public_ip()),
         }
     }
 }
@@ -180,7 +189,7 @@ impl NatTopology {
     pub fn add_public_node(&self, node: NodeId) {
         let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
         let ip = inner.allocate_public_ip();
-        inner.profiles.insert(node, NatProfile::Public { ip });
+        inner.set_profile(node, NatProfile::Public { ip });
     }
 
     /// Registers `node` behind its own NAT gateway, using the builder's filtering policy
@@ -194,9 +203,7 @@ impl NatTopology {
         };
         let gateway = inner.add_gateway(config);
         let local_ip = inner.allocate_private_ip();
-        inner
-            .profiles
-            .insert(node, NatProfile::Private { gateway, local_ip });
+        inner.set_profile(node, NatProfile::Private { gateway, local_ip });
     }
 
     /// Registers `node` behind a NAT gateway with an explicit configuration.
@@ -204,9 +211,7 @@ impl NatTopology {
         let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
         let gateway = inner.add_gateway(config);
         let local_ip = inner.allocate_private_ip();
-        inner
-            .profiles
-            .insert(node, NatProfile::Private { gateway, local_ip });
+        inner.set_profile(node, NatProfile::Private { gateway, local_ip });
     }
 
     /// Registers `node` behind a UPnP-enabled gateway: topologically private but effectively
@@ -231,8 +236,13 @@ impl NatTopology {
     /// Removes a node and all mapping-table state belonging to it.
     pub fn remove_node(&self, node: NodeId) {
         let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
-        if let Some(NatProfile::Private { gateway, .. }) = inner.profiles.remove(&node) {
-            if let Some(gw) = inner.gateways.get_mut(&gateway) {
+        let slot = node.as_u64() as usize;
+        let removed = inner.profiles.get_mut(slot).and_then(Option::take);
+        if removed.is_some() {
+            inner.profile_count -= 1;
+        }
+        if let Some(NatProfile::Private { gateway, .. }) = removed {
+            if let Some(gw) = inner.gateway_mut(gateway) {
                 gw.remove_internal(node);
             }
         }
@@ -244,12 +254,11 @@ impl NatTopology {
     /// Returns `None` for unknown nodes.
     pub fn class_of(&self, node: NodeId) -> Option<NatClass> {
         let inner = self.inner.lock().expect("NAT topology lock poisoned");
-        match inner.profiles.get(&node)? {
+        match inner.profile(node)? {
             NatProfile::Public { .. } => Some(NatClass::Public),
             NatProfile::Private { gateway, .. } => {
                 let upnp = inner
-                    .gateways
-                    .get(gateway)
+                    .gateway(*gateway)
                     .map(|gw| gw.config().upnp_enabled)
                     .unwrap_or(false);
                 Some(if upnp {
@@ -264,13 +273,13 @@ impl NatTopology {
     /// Returns `true` if the node sits behind a NAT gateway (regardless of UPnP support).
     pub fn is_behind_nat(&self, node: NodeId) -> bool {
         let inner = self.inner.lock().expect("NAT topology lock poisoned");
-        matches!(inner.profiles.get(&node), Some(NatProfile::Private { .. }))
+        matches!(inner.profile(node), Some(NatProfile::Private { .. }))
     }
 
     /// The profile of `node`, if registered.
     pub fn profile(&self, node: NodeId) -> Option<NatProfile> {
         let inner = self.inner.lock().expect("NAT topology lock poisoned");
-        inner.profiles.get(&node).copied()
+        inner.profile(node).copied()
     }
 
     /// Aggregate statistics about the topology.
@@ -280,13 +289,12 @@ impl NatTopology {
             blocked_messages: inner.blocked_messages,
             ..TopologyStats::default()
         };
-        for profile in inner.profiles.values() {
+        for profile in inner.profiles.iter().flatten() {
             match profile {
                 NatProfile::Public { .. } => stats.public_nodes += 1,
                 NatProfile::Private { gateway, .. } => {
                     let upnp = inner
-                        .gateways
-                        .get(gateway)
+                        .gateway(*gateway)
                         .map(|gw| gw.config().upnp_enabled)
                         .unwrap_or(false);
                     if upnp {
@@ -305,8 +313,7 @@ impl NatTopology {
         self.inner
             .lock()
             .expect("NAT topology lock poisoned")
-            .profiles
-            .len()
+            .profile_count
     }
 
     /// Returns `true` if no node is registered.
@@ -318,7 +325,7 @@ impl NatTopology {
 impl AddressInfo for NatTopology {
     fn local_ip(&self, node: NodeId) -> Option<Ip> {
         let inner = self.inner.lock().expect("NAT topology lock poisoned");
-        match inner.profiles.get(&node)? {
+        match inner.profile(node)? {
             NatProfile::Public { ip } => Some(*ip),
             NatProfile::Private { local_ip, .. } => Some(*local_ip),
         }
@@ -331,10 +338,9 @@ impl AddressInfo for NatTopology {
 
     fn supports_upnp(&self, node: NodeId) -> bool {
         let inner = self.inner.lock().expect("NAT topology lock poisoned");
-        match inner.profiles.get(&node) {
+        match inner.profile(node) {
             Some(NatProfile::Private { gateway, .. }) => inner
-                .gateways
-                .get(gateway)
+                .gateway(*gateway)
                 .map(|gw| gw.config().upnp_enabled)
                 .unwrap_or(false),
             _ => false,
@@ -346,24 +352,24 @@ impl DeliveryFilter for NatTopology {
     fn on_send(&mut self, from: NodeId, to: NodeId, now: SimTime) {
         let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
         let remote_ip = inner.observed_ip(to).unwrap_or_default();
-        if let Some(NatProfile::Private { gateway, .. }) = inner.profiles.get(&from).copied() {
-            if let Some(gw) = inner.gateways.get_mut(&gateway) {
+        if let Some(NatProfile::Private { gateway, .. }) = inner.profile(from).copied() {
+            if let Some(gw) = inner.gateway_mut(gateway) {
+                // The gateway purges its own table opportunistically; the old global
+                // sweep over every gateway in the topology is gone.
                 gw.record_outbound(from, to, remote_ip, now);
             }
-            inner.maybe_purge(now);
         }
     }
 
     fn can_deliver(&mut self, from: NodeId, to: NodeId, now: SimTime) -> DeliveryVerdict {
         let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
         let from_ip = inner.observed_ip(from).unwrap_or_default();
-        match inner.profiles.get(&to).copied() {
+        match inner.profile(to).copied() {
             None => DeliveryVerdict::NoSuchDestination,
             Some(NatProfile::Public { .. }) => DeliveryVerdict::Deliver,
             Some(NatProfile::Private { gateway, .. }) => {
                 let accepted = inner
-                    .gateways
-                    .get(&gateway)
+                    .gateway(gateway)
                     .map(|gw| gw.accepts_inbound(to, from, from_ip, now))
                     .unwrap_or(false);
                 if accepted {
@@ -445,15 +451,14 @@ impl NatTopologyBuilder {
     pub fn build(self) -> NatTopology {
         NatTopology {
             inner: Arc::new(Mutex::new(Inner {
-                profiles: HashMap::new(),
-                gateways: HashMap::new(),
+                profiles: Vec::new(),
+                profile_count: 0,
+                gateways: Vec::new(),
                 default_config: self.default_config,
                 filtering_mix: self.filtering_mix,
                 rng: SmallRng::seed_from_u64(self.seed),
                 next_public_ip: 0,
                 next_private_ip: 0,
-                next_gateway: 0,
-                ops_since_purge: 0,
                 blocked_messages: 0,
             })),
         }

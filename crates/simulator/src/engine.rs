@@ -160,6 +160,11 @@ pub struct Simulation<P: Protocol> {
     loss_rng: SmallRng,
     sched_rng: SmallRng,
     stats: NetworkStats,
+    /// Recycled effect buffers threaded through every protocol callback (see
+    /// [`Context::with_buffers`]); their capacity persists across events, so the
+    /// per-event effect collection allocates nothing in steady state.
+    outbox_buf: Vec<Outgoing<P::Message>>,
+    timers_buf: Vec<TimerRequest>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -180,6 +185,8 @@ impl<P: Protocol> Simulation<P> {
             loss_rng: cfg.seed.stream_rng(Stream::Loss),
             sched_rng: cfg.seed.stream_rng(Stream::Scheduling),
             stats: NetworkStats::default(),
+            outbox_buf: Vec::new(),
+            timers_buf: Vec::new(),
         }
     }
 
@@ -233,6 +240,12 @@ impl<P: Protocol> Simulation<P> {
     /// overlay reaches steady state.
     pub fn traffic_mut(&mut self) -> &mut TrafficLedger {
         &mut self.traffic
+    }
+
+    /// Merges the traffic ledger into `out` (cleared first, map capacity retained).
+    pub fn traffic_snapshot_into(&self, out: &mut TrafficLedger) {
+        out.reset_window(self.traffic.window_start());
+        out.merge_from(&self.traffic);
     }
 
     /// Number of live nodes.
@@ -395,37 +408,46 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
-    /// Runs `callback` on the protocol instance of `node` with a fresh [`Context`], then
-    /// applies the side effects (messages, timers) the callback produced.
+    /// Runs `callback` on the protocol instance of `node` with a [`Context`] backed by the
+    /// engine's recycled effect buffers, then applies the side effects (messages, timers)
+    /// the callback produced.
     fn execute<F>(&mut self, node: NodeId, callback: F)
     where
         F: FnOnce(&mut P, &mut Context<'_, P::Message>),
     {
-        let (outgoing, timers) = {
+        let outbox_buf = std::mem::take(&mut self.outbox_buf);
+        let timers_buf = std::mem::take(&mut self.timers_buf);
+        let (mut outgoing, mut timers) = {
             let slot = self
                 .nodes
                 .get_mut(slot_index(node))
                 .expect("execute() requires a live node");
-            let mut ctx = Context::new(
+            let mut ctx = Context::with_buffers(
                 node,
                 self.now,
                 self.cfg.round_period,
                 &mut slot.rng,
                 &self.bootstrap,
+                outbox_buf,
+                timers_buf,
             );
             callback(&mut slot.proto, &mut ctx);
             ctx.into_effects()
         };
-        self.apply_effects(node, outgoing, timers);
+        self.apply_effects(node, &mut outgoing, &mut timers);
+        self.outbox_buf = outgoing;
+        self.timers_buf = timers;
     }
 
+    /// Drains the effect buffers into the network and the event queue; the emptied buffers
+    /// keep their capacity and return to the engine's pool.
     fn apply_effects(
         &mut self,
         from: NodeId,
-        outgoing: Vec<Outgoing<P::Message>>,
-        timers: Vec<TimerRequest>,
+        outgoing: &mut Vec<Outgoing<P::Message>>,
+        timers: &mut Vec<TimerRequest>,
     ) {
-        for Outgoing { to, msg } in outgoing {
+        for Outgoing { to, msg } in outgoing.drain(..) {
             self.traffic.record_sent(from, msg.wire_size());
             self.filter.on_send(from, to, self.now);
             if self.loss.drops(from, to, &mut self.loss_rng) {
@@ -437,7 +459,7 @@ impl<P: Protocol> Simulation<P> {
             self.queue
                 .schedule(self.now + latency, Event::Deliver { from, to, msg });
         }
-        for TimerRequest { delay, key } in timers {
+        for TimerRequest { delay, key } in timers.drain(..) {
             self.queue
                 .schedule(self.now + delay, Event::Timer { node: from, key });
         }
@@ -519,6 +541,10 @@ impl<P: Protocol> crate::engine_api::SimulationEngine<P> for Simulation<P> {
 
     fn traffic_snapshot(&self) -> TrafficLedger {
         self.traffic.clone()
+    }
+
+    fn traffic_snapshot_into(&self, out: &mut TrafficLedger) {
+        Simulation::traffic_snapshot_into(self, out);
     }
 
     fn reset_traffic_window(&mut self) {

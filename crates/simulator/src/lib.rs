@@ -85,6 +85,8 @@ pub mod bootstrap;
 pub mod engine;
 pub mod engine_api;
 pub mod event;
+pub mod fasthash;
+pub mod inline;
 pub mod latency;
 pub mod loss;
 pub mod network;
@@ -99,6 +101,8 @@ pub mod types;
 pub use bootstrap::BootstrapRegistry;
 pub use engine::{NetworkStats, Simulation, SimulationConfig};
 pub use engine_api::SimulationEngine;
+pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet};
+pub use inline::InlineVec;
 pub use latency::{ConstantLatency, KingLatencyModel, LatencyModel, UniformLatency};
 pub use loss::{BernoulliLoss, LossModel, NoLoss};
 pub use network::{DeliveryFilter, DeliveryVerdict, OpenInternet};

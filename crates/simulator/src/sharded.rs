@@ -43,6 +43,8 @@
 //! event engine, but not bit-identical to it — `tests/determinism.rs` pins down exactly the
 //! guarantee that holds: sharded runs are bit-identical to each other across worker counts.
 
+use std::cell::{Cell, RefCell};
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -96,7 +98,12 @@ struct Shard<P: Protocol> {
     nodes: NodeArena<NodeState<P>>,
     queue: EventQueue<P::Message>,
     /// Outgoing messages buffered during the current phase, bucketed by destination shard.
+    /// Drained (capacity retained) at every round barrier.
     outboxes: Vec<Vec<PendingMessage<P::Message>>>,
+    /// Recycled effect buffers threaded through every protocol callback on this shard
+    /// (see [`Context::with_buffers`]); capacity persists across events.
+    ctx_outbox: Vec<Outgoing<P::Message>>,
+    ctx_timers: Vec<TimerRequest>,
     /// Receiver-side traffic counters (received bytes, drops charged at delivery time).
     traffic: TrafficLedger,
     /// Receiver-side delivery statistics.
@@ -134,47 +141,49 @@ impl<P: Protocol> Shard<P> {
             nodes: NodeArena::new(),
             queue: EventQueue::new(),
             outboxes: (0..stride).map(|_| Vec::new()).collect(),
+            ctx_outbox: Vec::new(),
+            ctx_timers: Vec::new(),
             traffic: TrafficLedger::new(),
             stats: NetworkStats::default(),
         }
     }
 
     /// Runs `callback` on one node and converts its effects: timers go straight into this
-    /// shard's queue (they are node-local), messages become [`PendingMessage`]s with loss
-    /// and latency already sampled from the node's private network stream.
-    fn execute<F>(
-        &mut self,
-        local: usize,
-        at: SimTime,
-        env: &PhaseEnv<'_>,
-        callback: F,
-    ) -> Vec<PendingMessage<P::Message>>
+    /// shard's queue (they are node-local), messages become [`PendingMessage`]s — with
+    /// loss and latency already sampled from the node's private network stream — pushed
+    /// directly into the destination shard's outbox bucket. The context's effect buffers
+    /// come from the shard's pool, so steady-state execution allocates nothing.
+    fn execute<F>(&mut self, local: usize, at: SimTime, env: &PhaseEnv<'_>, callback: F)
     where
         F: FnOnce(&mut P, &mut Context<'_, P::Message>),
     {
-        let (id, outgoing, timers) = {
+        let outbox_buf = std::mem::take(&mut self.ctx_outbox);
+        let timers_buf = std::mem::take(&mut self.ctx_timers);
+        let (id, mut outgoing, mut timers) = {
             let state = self
                 .nodes
                 .get_mut(local)
                 .expect("execute() requires a live node");
-            let mut ctx = Context::new(
+            let mut ctx = Context::with_buffers(
                 state.id,
                 at,
                 env.cfg.round_period,
                 &mut state.rng,
                 env.bootstrap,
+                outbox_buf,
+                timers_buf,
             );
             callback(&mut state.proto, &mut ctx);
             let (outgoing, timers) = ctx.into_effects();
             (state.id, outgoing, timers)
         };
-        for TimerRequest { delay, key } in timers {
+        for TimerRequest { delay, key } in timers.drain(..) {
             self.queue
                 .schedule(at + delay, Event::Timer { node: id, key });
         }
+        let stride = self.stride;
         let state = self.nodes.get_mut(local).expect("node still live");
-        let mut pending = Vec::with_capacity(outgoing.len());
-        for Outgoing { to, msg } in outgoing {
+        for Outgoing { to, msg } in outgoing.drain(..) {
             let wire = msg.wire_size();
             let seq = state.msg_seq;
             state.msg_seq += 1;
@@ -184,7 +193,8 @@ impl<P: Protocol> Shard<P> {
             } else {
                 at + env.latency.sample_shared(id, to, &mut state.net_rng)
             };
-            pending.push(PendingMessage {
+            let dst = (to.as_u64() % stride) as usize;
+            self.outboxes[dst].push(PendingMessage {
                 from: id,
                 to,
                 msg,
@@ -195,14 +205,8 @@ impl<P: Protocol> Shard<P> {
                 wire,
             });
         }
-        pending
-    }
-
-    fn route(&mut self, pending: Vec<PendingMessage<P::Message>>) {
-        for message in pending {
-            let dst = (message.to.as_u64() % self.stride) as usize;
-            self.outboxes[dst].push(message);
-        }
+        self.ctx_outbox = outgoing;
+        self.ctx_timers = timers;
     }
 
     /// Processes every event of this shard scheduled before `window_end`.
@@ -217,9 +221,7 @@ impl<P: Protocol> Shard<P> {
                 Event::Round { node } => {
                     let local = local_index(node, stride);
                     if self.nodes.contains(local) {
-                        let pending = self
-                            .execute(local, scheduled.at, env, |proto, ctx| proto.on_round(ctx));
-                        self.route(pending);
+                        self.execute(local, scheduled.at, env, |proto, ctx| proto.on_round(ctx));
                         let state = self.nodes.get_mut(local).expect("node still live");
                         let next = next_round_delay(env.cfg, &mut state.sched_rng);
                         self.queue
@@ -229,10 +231,9 @@ impl<P: Protocol> Shard<P> {
                 Event::Timer { node, key } => {
                     let local = local_index(node, stride);
                     if self.nodes.contains(local) {
-                        let pending = self.execute(local, scheduled.at, env, |proto, ctx| {
+                        self.execute(local, scheduled.at, env, |proto, ctx| {
                             proto.on_timer(key, ctx)
                         });
-                        self.route(pending);
                     }
                 }
                 Event::Deliver { from, to, msg } => {
@@ -240,10 +241,9 @@ impl<P: Protocol> Shard<P> {
                     if self.nodes.contains(local) {
                         self.stats.delivered += 1;
                         self.traffic.record_received(to, msg.wire_size());
-                        let pending = self.execute(local, scheduled.at, env, |proto, ctx| {
+                        self.execute(local, scheduled.at, env, |proto, ctx| {
                             proto.on_message(from, msg, ctx)
                         });
-                        self.route(pending);
                     } else {
                         self.stats.destination_gone += 1;
                         self.traffic.record_dropped(from);
@@ -312,6 +312,14 @@ pub struct ShardedSimulation<P: Protocol> {
     barrier_traffic: TrafficLedger,
     /// Loss/NAT statistics, written at the barrier in canonical order.
     barrier_stats: NetworkStats,
+    /// Recycled barrier batch: the per-phase collection of every shard's outboxes. Drained
+    /// by [`merge_batch`](Self::merge_batch) with its capacity retained, so the barrier
+    /// allocates nothing once the per-phase message volume has peaked.
+    merge_buf: Vec<PendingMessage<P::Message>>,
+    /// Cached ascending id list served by [`node_ids`](Self::node_ids); rebuilt lazily
+    /// after a membership change (`node_ids_valid` false).
+    cached_node_ids: RefCell<Vec<NodeId>>,
+    node_ids_valid: Cell<bool>,
 }
 
 impl<P: Protocol + Send> ShardedSimulation<P>
@@ -333,6 +341,9 @@ where
             bootstrap: BootstrapRegistry::new(),
             barrier_traffic: TrafficLedger::new(),
             barrier_stats: NetworkStats::default(),
+            merge_buf: Vec::new(),
+            cached_node_ids: RefCell::new(Vec::new()),
+            node_ids_valid: Cell::new(false),
         }
     }
 
@@ -391,11 +402,21 @@ where
     /// A merged copy of the per-node traffic ledger (barrier-side sender counters plus
     /// every shard's receiver counters).
     pub fn traffic_snapshot(&self) -> TrafficLedger {
-        let mut merged = self.barrier_traffic.clone();
-        for shard in &self.shards {
-            merged.merge_from(&shard.traffic);
-        }
+        let mut merged = TrafficLedger::new();
+        self.traffic_snapshot_into(&mut merged);
         merged
+    }
+
+    /// Merges the per-node traffic ledger into `out` (cleared first), reusing `out`'s map
+    /// capacity instead of cloning a fresh ledger per call — callers that sample traffic
+    /// repeatedly (the experiment driver's overhead windows) keep one ledger alive and
+    /// pay zero allocations per sample in steady state.
+    pub fn traffic_snapshot_into(&self, out: &mut TrafficLedger) {
+        out.reset_window(self.barrier_traffic.window_start());
+        out.merge_from(&self.barrier_traffic);
+        for shard in &self.shards {
+            out.merge_from(&shard.traffic);
+        }
     }
 
     /// Clears all traffic counters and restarts the measurement window at the current time.
@@ -429,10 +450,41 @@ where
     }
 
     /// Identifiers of all live nodes, in ascending id order.
+    ///
+    /// The list is cached and invalidated on membership changes; a rebuild walks the
+    /// stripes in lockstep (shard `s` stores id `local * stride + s` at slot `local`), so
+    /// ascending order falls out of the traversal and no sort is needed. This method still
+    /// clones the cached list for API compatibility; use
+    /// [`node_ids_ref`](Self::node_ids_ref) to borrow it copy-free.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.nodes().map(|(id, _)| id).collect();
-        ids.sort_unstable();
-        ids
+        self.node_ids_ref().to_vec()
+    }
+
+    /// Borrows the cached ascending id list without copying it.
+    ///
+    /// The borrow is released when the returned guard drops; membership changes require
+    /// `&mut self`, so the guard cannot observe a stale list.
+    pub fn node_ids_ref(&self) -> std::cell::Ref<'_, [NodeId]> {
+        if !self.node_ids_valid.get() {
+            let mut ids = self.cached_node_ids.borrow_mut();
+            ids.clear();
+            let stride = self.shards.len() as u64;
+            let max_slots = self
+                .shards
+                .iter()
+                .map(|s| s.nodes.slot_upper_bound())
+                .max()
+                .unwrap_or(0);
+            for local in 0..max_slots {
+                for (s, shard) in self.shards.iter().enumerate() {
+                    if shard.nodes.contains(local) {
+                        ids.push(NodeId::new(local as u64 * stride + s as u64));
+                    }
+                }
+            }
+            self.node_ids_valid.set(true);
+        }
+        std::cell::Ref::map(self.cached_node_ids.borrow(), Vec::as_slice)
     }
 
     /// Shared access to the protocol instance of `node`.
@@ -487,18 +539,26 @@ where
             msg_seq: 0,
         };
         self.shards[shard_idx].nodes.insert(local, state);
+        self.node_ids_valid.set(false);
         let now = self.now;
         let cfg = self.cfg;
-        let batch = {
+        {
             let env = PhaseEnv {
                 cfg: &cfg,
                 bootstrap: &self.bootstrap,
                 latency: self.latency.as_ref(),
                 loss: self.loss.as_ref(),
             };
-            self.shards[shard_idx].execute(local, now, &env, |proto, ctx| proto.on_start(ctx))
-        };
-        self.merge_batch(batch, now);
+            self.shards[shard_idx].execute(local, now, &env, |proto, ctx| proto.on_start(ctx));
+        }
+        // `on_start`'s messages landed in the joining node's shard outboxes; merge them
+        // immediately so they are delivered like any other send.
+        let mut batch = std::mem::take(&mut self.merge_buf);
+        for outbox in &mut self.shards[shard_idx].outboxes {
+            batch.append(outbox);
+        }
+        self.merge_batch(&mut batch, now);
+        self.merge_buf = batch;
         let shard = &mut self.shards[shard_idx];
         let state = shard.nodes.get_mut(local).expect("node just inserted");
         let phase = if cfg.random_phase {
@@ -515,6 +575,7 @@ where
     pub fn remove_node(&mut self, id: NodeId) -> Option<P> {
         let (shard, local) = self.locate(id);
         let state = self.shards[shard].nodes.remove(local)?;
+        self.node_ids_valid.set(false);
         self.bootstrap.unregister(id);
         self.filter.on_node_removed(id);
         Some(state.proto)
@@ -585,12 +646,7 @@ where
                 });
             }
         }
-        let total: usize = self
-            .shards
-            .iter()
-            .map(|s| s.outboxes.iter().map(Vec::len).sum::<usize>())
-            .sum();
-        let mut batch = Vec::with_capacity(total);
+        let mut batch = std::mem::take(&mut self.merge_buf);
         for shard in &mut self.shards {
             for outbox in &mut shard.outboxes {
                 batch.append(outbox);
@@ -600,15 +656,17 @@ where
         if window_end > self.now {
             self.now = window_end;
         }
-        self.merge_batch(batch, window_end);
+        self.merge_batch(&mut batch, window_end);
+        self.merge_buf = batch;
     }
 
     /// The barrier: sorts `batch` into the canonical order, performs sender-side
     /// accounting and filtering, and schedules deliveries no earlier than `earliest`.
-    fn merge_batch(&mut self, mut batch: Vec<PendingMessage<P::Message>>, earliest: SimTime) {
+    /// Drains `batch` in place so its capacity is reused phase after phase.
+    fn merge_batch(&mut self, batch: &mut Vec<PendingMessage<P::Message>>, earliest: SimTime) {
         batch.sort_unstable_by_key(|m| (m.sent_at, m.from, m.seq));
         let stride = self.shards.len() as u64;
-        for message in batch {
+        for message in batch.drain(..) {
             self.barrier_traffic.record_sent(message.from, message.wire);
             self.filter
                 .on_send(message.from, message.to, message.sent_at);
@@ -737,6 +795,10 @@ where
 
     fn traffic_snapshot(&self) -> TrafficLedger {
         ShardedSimulation::traffic_snapshot(self)
+    }
+
+    fn traffic_snapshot_into(&self, out: &mut TrafficLedger) {
+        ShardedSimulation::traffic_snapshot_into(self, out);
     }
 
     fn reset_traffic_window(&mut self) {
@@ -978,11 +1040,19 @@ mod tests {
 
     #[test]
     fn node_ids_are_sorted_and_accessors_agree() {
-        let sim = ring_sim(9, 4);
+        let mut sim = ring_sim(9, 4);
         let ids = sim.node_ids();
         assert_eq!(ids.len(), 9);
         assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(&*sim.node_ids_ref(), ids.as_slice(), "borrowed = owned");
         assert!(sim.node(NodeId::new(5)).is_some());
         assert_eq!(sim.num_shards(), 4);
+        // The cache invalidates on membership changes, through either accessor.
+        sim.remove_node(NodeId::new(5)).unwrap();
+        assert_eq!(sim.node_ids_ref().len(), 8);
+        assert!(!sim.node_ids_ref().contains(&NodeId::new(5)));
+        sim.add_node(NodeId::new(20), Ring::new(9));
+        assert_eq!(sim.node_ids().len(), 9);
+        assert!(sim.node_ids_ref().contains(&NodeId::new(20)));
     }
 }

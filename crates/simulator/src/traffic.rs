@@ -5,10 +5,9 @@
 //! experiment (Fig. 7a of the paper) reads average bytes-per-second per connectivity class
 //! out of this ledger.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
+use crate::fasthash::FastHashMap;
 use crate::time::SimTime;
 use crate::types::NodeId;
 
@@ -46,9 +45,12 @@ impl NodeTraffic {
 }
 
 /// Workspace-wide traffic ledger indexed by node.
+///
+/// The map uses the deterministic [`FastHashMap`] — the ledger is charged once per send
+/// and once per delivery, which makes its lookup cost part of the message-plane hot path.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TrafficLedger {
-    per_node: HashMap<NodeId, NodeTraffic>,
+    per_node: FastHashMap<NodeId, NodeTraffic>,
     window_start: SimTime,
 }
 

@@ -43,6 +43,8 @@ impl Serialize for str {}
 
 impl<T: Serialize> Serialize for Vec<T> {}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
 impl<T: Serialize> Serialize for Option<T> {}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
 impl<T: Serialize> Serialize for [T] {}

@@ -49,7 +49,7 @@ impl Metric {
     }
 }
 
-/// The verdict for one benchmark present in the baseline.
+/// The verdict for one benchmark present in the baseline or the current run.
 #[derive(Clone, Debug, PartialEq)]
 enum Verdict {
     /// Current mean is within the threshold of the baseline mean.
@@ -58,6 +58,10 @@ enum Verdict {
     Regressed { ratio: f64 },
     /// The benchmark disappeared from the current run.
     Missing,
+    /// The benchmark exists only in the current run — informational, never a failure,
+    /// but a visible reminder to refresh the committed baseline (`--update`) so the
+    /// regression gate starts covering it.
+    New,
 }
 
 /// Extracts the string value of `"key": "..."` from a single JSON entry line.
@@ -119,7 +123,7 @@ fn compare(
     threshold: f64,
     metric: Metric,
 ) -> Vec<(String, Verdict)> {
-    baseline
+    let mut verdicts: Vec<(String, Verdict)> = baseline
         .iter()
         .map(|base| {
             let base_ns = metric.of(base);
@@ -139,7 +143,15 @@ fn compare(
             };
             (base.name.clone(), verdict)
         })
-        .collect()
+        .collect();
+    // Benchmarks that exist only in the current run are surfaced (not judged) so a newly
+    // added hot-path variant cannot silently run ungated until the baseline is refreshed.
+    for cur in current {
+        if !baseline.iter().any(|base| base.name == cur.name) {
+            verdicts.push((cur.name.clone(), Verdict::New));
+        }
+    }
+    verdicts
 }
 
 fn report_path(dir: &Path, target: &str) -> PathBuf {
@@ -159,6 +171,12 @@ fn render_table(target: &str, verdicts: &[(String, Verdict)]) -> String {
             }
             Verdict::Missing => {
                 let _ = writeln!(out, "  MISSING   {name}");
+            }
+            Verdict::New => {
+                let _ = writeln!(
+                    out,
+                    "  new       {name:<50} (not in baseline; run --update)"
+                );
             }
         }
     }
@@ -264,7 +282,7 @@ fn bench_compare(args: &Args) -> Result<bool, String> {
         print!("{}", render_table(target, &verdicts));
         if verdicts
             .iter()
-            .any(|(_, v)| !matches!(v, Verdict::Ok { .. }))
+            .any(|(_, v)| !matches!(v, Verdict::Ok { .. } | Verdict::New))
         {
             all_ok = false;
         }
@@ -395,11 +413,18 @@ mod tests {
     }
 
     #[test]
-    fn new_benchmarks_in_current_are_ignored() {
+    fn new_benchmarks_are_surfaced_but_not_judged() {
         let baseline = vec![entry("a", 100.0)];
         let current = vec![entry("a", 100.0), entry("brand_new", 5.0)];
         let verdicts = compare(&baseline, &current, 0.25, Metric::Min);
-        assert_eq!(verdicts.len(), 1, "only baseline entries are judged");
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[1], (String::from("brand_new"), Verdict::New));
+        let table = render_table("t", &verdicts);
+        assert!(
+            table.contains("  new       brand_new"),
+            "the New verdict must render with its own marker: {table}"
+        );
+        assert!(table.contains("--update"));
     }
 
     #[test]
