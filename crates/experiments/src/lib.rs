@@ -11,7 +11,8 @@
 //! ## Structure
 //!
 //! * [`scenario`] — join schedules (Poisson arrivals), churn and catastrophic-failure
-//!   specifications.
+//!   specifications, plus scripted NAT-dynamics scenarios ([`ScenarioScript`]) executed
+//!   at round barriers.
 //! * [`runner`] — the generic experiment driver: builds a NAT topology and a simulation for
 //!   any [`PssNode`](croupier_simulator::PssNode) protocol, executes the scenario and
 //!   samples metrics every round.
@@ -19,6 +20,9 @@
 //!   Nylon) behind a common [`ProtocolKind`] switch.
 //! * [`output`] — figure/series containers and table rendering.
 //! * [`figures`] — one module per paper figure.
+//! * [`matrix`] — the scenario-matrix runner: canned NAT-dynamics scripts × protocols,
+//!   with per-scenario JSON reports and a connectivity-recovery gate (the `scenario_matrix`
+//!   binary and the CI `scenario-matrix` job drive it).
 //!
 //! ## Example: a miniature Figure 1
 //!
@@ -36,6 +40,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod matrix;
 pub mod output;
 pub mod protocols;
 pub mod runner;
@@ -44,4 +49,6 @@ pub mod scenario;
 pub use output::{FigureData, Scale, Series};
 pub use protocols::ProtocolKind;
 pub use runner::{ExperimentParams, RoundSample, RunOutput};
-pub use scenario::{ChurnSpec, JoinSchedule};
+pub use scenario::{
+    ChurnSpec, JoinSchedule, NatDynamicsEvent, ScenarioAction, ScenarioExecutor, ScenarioScript,
+};

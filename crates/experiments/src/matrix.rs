@@ -1,0 +1,458 @@
+//! The scenario-matrix runner: canned NAT-dynamics scripts × the four protocols.
+//!
+//! Each cell of the matrix runs one [`ScenarioScript`] against one [`ProtocolKind`] and
+//! distils the run into a [`CellReport`]: the in-degree distribution of the final
+//! overlay, the rounds at which the overlay partitioned and recovered (if it ever
+//! dipped), stale-binding send failures caused by scripted gateway reboots, and the
+//! final estimation error. Graph metrics come from the per-sample CSR pipeline
+//! (`croupier-metrics`), so a matrix run reuses the same parallel BFS machinery as the
+//! paper figures.
+//!
+//! One [`ScenarioReport`] per scenario (all protocol cells inside) serialises to the
+//! `SCENARIO_<name>.json` artifacts the CI `scenario-matrix` job uploads; the gate is
+//! [`ScenarioReport::all_recovered`] — every protocol must end the run with its overlay
+//! connected again.
+
+use std::fmt::Write as _;
+
+use croupier_metrics::{indegree_histogram, indegree_stats, IndegreeStats};
+
+use crate::output::{json_number, json_string, Scale};
+use crate::protocols::{run_kind, ProtocolConfigs, ProtocolKind};
+use crate::runner::{ExperimentParams, RoundSample};
+use crate::scenario::ScenarioScript;
+
+/// A run counts as recovered when the largest connected component again holds at least
+/// this fraction of the sampled nodes.
+pub const RECOVERY_THRESHOLD: f64 = 0.95;
+
+/// The paper-scale population anchoring the matrix (scaled down by [`Scale::nodes`]; the
+/// CI job runs `quick`, i.e. 100 nodes — well under its 1k-node budget).
+const MATRIX_PAPER_NODES: usize = 1_000;
+
+/// The paper-scale round count anchoring the matrix.
+const MATRIX_PAPER_ROUNDS: u64 = 120;
+
+/// The distilled outcome of one scenario × protocol cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellReport {
+    /// Protocol name (figure-legend spelling).
+    pub protocol: String,
+    /// `true` when the final sample's largest component reaches
+    /// [`RECOVERY_THRESHOLD`] — the CI gate.
+    pub recovered: bool,
+    /// Largest-component fraction at the final sample.
+    pub final_largest_component: f64,
+    /// Smallest largest-component fraction observed at or after the first disruption.
+    pub min_largest_component: f64,
+    /// First sampled round (at or after the disruption) where the component fraction
+    /// dropped below the threshold, if it ever did.
+    pub partition_round: Option<u64>,
+    /// First sampled round after `partition_round` where the fraction was back at or
+    /// above the threshold, if the overlay partitioned and recovered.
+    pub recovery_round: Option<u64>,
+    /// Average estimation error at the final sample.
+    pub final_estimation_error: f64,
+    /// Summary statistics of the final overlay's in-degree distribution.
+    pub indegree: IndegreeStats,
+    /// Full in-degree histogram of the final overlay: `(in-degree, node count)`.
+    pub indegree_histogram: Vec<(usize, usize)>,
+    /// Messages blocked by NAT filtering over the whole run.
+    pub blocked_messages: u64,
+    /// Blocked messages attributable to a scripted gateway reboot.
+    pub stale_binding_failures: u64,
+    /// Live nodes at the end of the run.
+    pub node_count: usize,
+}
+
+/// All protocol cells of one scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (also the report's file-name stem).
+    pub scenario: String,
+    /// Master seed of every cell in this report.
+    pub seed: u64,
+    /// Rounds each cell simulated.
+    pub rounds: u64,
+    /// Initial population of each cell.
+    pub initial_nodes: usize,
+    /// Round of the first disruptive scripted action, if any.
+    pub disruption_round: Option<u64>,
+    /// The per-protocol cells, in [`ProtocolKind::ALL`] order.
+    pub cells: Vec<CellReport>,
+}
+
+impl ScenarioReport {
+    /// Returns `true` when every protocol ends the run with a connected overlay.
+    pub fn all_recovered(&self) -> bool {
+        self.cells.iter().all(|c| c.recovered)
+    }
+
+    /// Serialises the report as pretty-printed JSON (hand-emitted, like
+    /// [`FigureData::to_json`](crate::output::FigureData::to_json), because the offline
+    /// build has no `serde_json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"scenario\": {},", json_string(&self.scenario));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"rounds\": {},", self.rounds);
+        let _ = writeln!(out, "  \"initial_nodes\": {},", self.initial_nodes);
+        let _ = writeln!(
+            out,
+            "  \"disruption_round\": {},",
+            match self.disruption_round {
+                Some(round) => round.to_string(),
+                None => String::from("null"),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  \"recovery_threshold\": {},",
+            json_number(RECOVERY_THRESHOLD)
+        );
+        let _ = writeln!(out, "  \"all_recovered\": {},", self.all_recovered());
+        if self.cells.is_empty() {
+            out.push_str("  \"cells\": []\n");
+        } else {
+            out.push_str("  \"cells\": [\n");
+            for (i, cell) in self.cells.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"protocol\": {},", json_string(&cell.protocol));
+                let _ = writeln!(out, "      \"recovered\": {},", cell.recovered);
+                let _ = writeln!(
+                    out,
+                    "      \"final_largest_component\": {},",
+                    json_number(cell.final_largest_component)
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"min_largest_component\": {},",
+                    json_number(cell.min_largest_component)
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"partition_round\": {},",
+                    match cell.partition_round {
+                        Some(round) => round.to_string(),
+                        None => String::from("null"),
+                    }
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"recovery_round\": {},",
+                    match cell.recovery_round {
+                        Some(round) => round.to_string(),
+                        None => String::from("null"),
+                    }
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"final_estimation_error\": {},",
+                    json_number(cell.final_estimation_error)
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"indegree\": {{\"min\": {}, \"max\": {}, \"mean\": {}, \"std_dev\": {}}},",
+                    cell.indegree.min,
+                    cell.indegree.max,
+                    json_number(cell.indegree.mean),
+                    json_number(cell.indegree.std_dev)
+                );
+                out.push_str("      \"indegree_histogram\": [");
+                for (j, (degree, count)) in cell.indegree_histogram.iter().enumerate() {
+                    let comma = if j + 1 < cell.indegree_histogram.len() {
+                        ", "
+                    } else {
+                        ""
+                    };
+                    let _ = write!(out, "[{degree}, {count}]{comma}");
+                }
+                out.push_str("],\n");
+                let _ = writeln!(
+                    out,
+                    "      \"blocked_messages\": {},",
+                    cell.blocked_messages
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"stale_binding_failures\": {},",
+                    cell.stale_binding_failures
+                );
+                let _ = writeln!(out, "      \"node_count\": {}", cell.node_count);
+                let comma = if i + 1 < self.cells.len() { "," } else { "" };
+                let _ = writeln!(out, "    }}{comma}");
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders a one-line-per-cell summary table for the terminal.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== scenario {} (disruption at round {:?}) ==",
+            self.scenario, self.disruption_round
+        );
+        for cell in &self.cells {
+            let _ = writeln!(
+                out,
+                "  {:<10} {} component={:.3} (min {:.3}) partition={:<6} recovery={:<6} \
+                 stale_fails={} err={:.4}",
+                cell.protocol,
+                if cell.recovered {
+                    "ok       "
+                } else {
+                    "PARTITIONED"
+                },
+                cell.final_largest_component,
+                cell.min_largest_component,
+                cell.partition_round
+                    .map_or(String::from("-"), |r| r.to_string()),
+                cell.recovery_round
+                    .map_or(String::from("-"), |r| r.to_string()),
+                cell.stale_binding_failures,
+                cell.final_estimation_error,
+            );
+        }
+        out
+    }
+}
+
+/// Scans a run's samples for the partition/recovery pattern: starting from
+/// `disruption_round`, the first sample whose largest-component fraction drops below
+/// `threshold` and the first later sample back at or above it. Also returns the smallest
+/// fraction observed from the disruption onwards (1.0 when no sample qualifies).
+pub fn detect_partition_recovery(
+    samples: &[RoundSample],
+    disruption_round: u64,
+    threshold: f64,
+) -> (Option<u64>, Option<u64>, f64) {
+    let mut partition = None;
+    let mut recovery = None;
+    let mut min_component = 1.0f64;
+    for sample in samples {
+        if sample.round < disruption_round {
+            continue;
+        }
+        let Some(fraction) = sample.largest_component else {
+            continue;
+        };
+        min_component = min_component.min(fraction);
+        if partition.is_none() && fraction < threshold {
+            partition = Some(sample.round);
+        } else if partition.is_some() && recovery.is_none() && fraction >= threshold {
+            recovery = Some(sample.round);
+        }
+    }
+    (partition, recovery, min_component)
+}
+
+/// The experiment parameters for one matrix cell. Cyclon is NAT-oblivious, so — as in
+/// the paper's evaluation — it runs on an all-public population of the same size; the
+/// NAT-aware protocols get the paper's 1:4 public/private split.
+pub fn cell_params(kind: ProtocolKind, scale: Scale, seed: u64, rounds: u64) -> ExperimentParams {
+    let total = scale.nodes(MATRIX_PAPER_NODES);
+    let (n_public, n_private) = if kind.is_nat_aware() {
+        (total / 5, total - total / 5)
+    } else {
+        (total, 0)
+    };
+    ExperimentParams::default()
+        .with_seed(seed)
+        .with_population(n_public, n_private)
+        .with_rounds(rounds)
+        .with_sample_every(2)
+        .with_graph_metrics(16.min(total))
+        .with_engine_threads(scale.engine_threads())
+}
+
+/// Runs one scenario × protocol cell.
+pub fn run_cell(
+    script: &ScenarioScript,
+    kind: ProtocolKind,
+    scale: Scale,
+    seed: u64,
+    rounds: u64,
+) -> CellReport {
+    // NAT-oblivious cells run all-public (see cell_params); their flash crowds must
+    // join all-public too, or the burst would smuggle in exactly the NATed nodes the
+    // cell excludes.
+    let cell_script = if kind.is_nat_aware() {
+        script.clone()
+    } else {
+        script.with_public_flash_crowds()
+    };
+    let params = cell_params(kind, scale, seed, rounds).with_scenario(cell_script);
+    let out = run_kind(kind, &params, &ProtocolConfigs::default());
+    let disruption = script.first_disruption_round().unwrap_or(0);
+    let (partition_round, recovery_round, min_largest_component) =
+        detect_partition_recovery(&out.samples, disruption, RECOVERY_THRESHOLD);
+    let last = out.samples.last();
+    let final_largest_component = last.and_then(|s| s.largest_component).unwrap_or(0.0);
+    CellReport {
+        protocol: kind.name().to_string(),
+        recovered: final_largest_component >= RECOVERY_THRESHOLD,
+        final_largest_component,
+        min_largest_component,
+        partition_round,
+        recovery_round,
+        final_estimation_error: last.map(|s| s.estimation.average).unwrap_or(f64::NAN),
+        indegree: indegree_stats(&out.final_snapshot),
+        indegree_histogram: indegree_histogram(&out.final_snapshot),
+        blocked_messages: out.nat_stats.blocked_messages,
+        stale_binding_failures: out.nat_stats.stale_binding_failures,
+        node_count: last.map(|s| s.node_count).unwrap_or(0),
+    }
+}
+
+/// Runs the full matrix: every script in `scenarios` × every protocol in `protocols`.
+pub fn run_matrix(
+    scenarios: &[ScenarioScript],
+    protocols: &[ProtocolKind],
+    scale: Scale,
+    seed: u64,
+) -> Vec<ScenarioReport> {
+    let rounds = matrix_rounds(scale);
+    scenarios
+        .iter()
+        .map(|script| ScenarioReport {
+            scenario: script.name().to_string(),
+            seed,
+            rounds,
+            initial_nodes: scale.nodes(MATRIX_PAPER_NODES),
+            disruption_round: script.first_disruption_round(),
+            cells: protocols
+                .iter()
+                .map(|&kind| run_cell(script, kind, scale, seed, rounds))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The round count a matrix run uses at `scale` — also the value to hand
+/// [`ScenarioScript::by_name`] so canned disruptions land mid-run.
+pub fn matrix_rounds(scale: Scale) -> u64 {
+    scale.rounds(MATRIX_PAPER_ROUNDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use croupier_metrics::EstimationErrors;
+
+    fn sample(round: u64, component: f64) -> RoundSample {
+        RoundSample {
+            round,
+            node_count: 10,
+            true_ratio: 0.2,
+            estimation: EstimationErrors::default(),
+            avg_path_length: Some(2.0),
+            clustering: Some(0.1),
+            largest_component: Some(component),
+        }
+    }
+
+    #[test]
+    fn partition_and_recovery_are_detected_in_order() {
+        let samples = vec![
+            sample(2, 1.0),
+            sample(4, 1.0),
+            sample(6, 0.6),
+            sample(8, 0.7),
+            sample(10, 0.98),
+            sample(12, 1.0),
+        ];
+        let (partition, recovery, min) = detect_partition_recovery(&samples, 5, 0.95);
+        assert_eq!(partition, Some(6));
+        assert_eq!(recovery, Some(10));
+        assert!((min - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_before_the_disruption_are_ignored() {
+        let samples = vec![sample(2, 0.1), sample(6, 1.0), sample(8, 1.0)];
+        let (partition, recovery, min) = detect_partition_recovery(&samples, 4, 0.95);
+        assert_eq!(partition, None);
+        assert_eq!(recovery, None);
+        assert!((min - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn an_unrecovered_partition_has_no_recovery_round() {
+        let samples = vec![sample(6, 0.5), sample(8, 0.5)];
+        let (partition, recovery, _) = detect_partition_recovery(&samples, 5, 0.95);
+        assert_eq!(partition, Some(6));
+        assert_eq!(recovery, None);
+    }
+
+    #[test]
+    fn cell_params_give_cyclon_an_all_public_population() {
+        let nat_aware = cell_params(ProtocolKind::Croupier, Scale::Tiny, 1, 24);
+        let oblivious = cell_params(ProtocolKind::Cyclon, Scale::Tiny, 1, 24);
+        assert_eq!(nat_aware.total_nodes(), oblivious.total_nodes());
+        assert_eq!(oblivious.n_private, 0);
+        assert!(nat_aware.n_private > nat_aware.n_public);
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_carries_the_gate() {
+        let report = ScenarioReport {
+            scenario: String::from("reboot_storm"),
+            seed: 42,
+            rounds: 24,
+            initial_nodes: 25,
+            disruption_round: Some(12),
+            cells: vec![CellReport {
+                protocol: String::from("croupier"),
+                recovered: true,
+                final_largest_component: 1.0,
+                min_largest_component: 0.8,
+                partition_round: Some(14),
+                recovery_round: Some(18),
+                final_estimation_error: 0.05,
+                indegree: IndegreeStats {
+                    min: 1,
+                    max: 9,
+                    mean: 4.5,
+                    std_dev: 1.2,
+                },
+                indegree_histogram: vec![(1, 2), (4, 10)],
+                blocked_messages: 123,
+                stale_binding_failures: 45,
+                node_count: 25,
+            }],
+        };
+        assert!(report.all_recovered());
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\": \"reboot_storm\""));
+        assert!(json.contains("\"all_recovered\": true"));
+        assert!(json.contains("\"stale_binding_failures\": 45"));
+        assert!(json.contains("\"indegree_histogram\": [[1, 2], [4, 10]]"));
+        assert!(json.contains("\"partition_round\": 14"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+        let table = report.render_table();
+        assert!(table.contains("croupier"));
+        assert!(table.contains("ok"));
+    }
+
+    #[test]
+    fn a_matrix_cell_runs_end_to_end_at_tiny_scale() {
+        let rounds = matrix_rounds(Scale::Tiny);
+        let script = ScenarioScript::reboot_storm(rounds);
+        let cell = run_cell(&script, ProtocolKind::Croupier, Scale::Tiny, 7, rounds);
+        assert_eq!(cell.protocol, "croupier");
+        assert!(cell.node_count > 0);
+        assert!(cell.recovered, "croupier should ride out a reboot storm");
+        assert!(cell.indegree.mean > 0.0);
+        assert!(!cell.indegree_histogram.is_empty());
+    }
+}

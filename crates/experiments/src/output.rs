@@ -237,7 +237,7 @@ impl FigureData {
 }
 
 /// Quotes and escapes `text` as a JSON string literal.
-fn json_string(text: &str) -> String {
+pub(crate) fn json_string(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     out.push('"');
     for c in text.chars() {
@@ -258,7 +258,7 @@ fn json_string(text: &str) -> String {
 }
 
 /// Formats a float as a JSON number (JSON has no NaN/Infinity; they become null).
-fn json_number(v: f64) -> String {
+pub(crate) fn json_number(v: f64) -> String {
     if v.is_finite() {
         // Keep integral values readable (`5.0` not `5`): serde_json prints `5.0` for
         // f64 too, and plotting scripts treat both the same.

@@ -15,7 +15,7 @@ use croupier_metrics::{
     class_overhead, estimation_errors, EstimationErrors, MetricsContext, OverheadReport,
     OverlaySnapshot,
 };
-use croupier_nat::{NatTopology, NatTopologyBuilder};
+use croupier_nat::{NatTopology, NatTopologyBuilder, TopologyStats};
 use croupier_simulator::{
     NatClass, NodeId, Protocol, PssNode, Seed, ShardedSimulation, SimDuration, Simulation,
     SimulationConfig, SimulationEngine, TrafficLedger,
@@ -24,7 +24,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::scenario::{ChurnSpec, JoinSchedule};
+use crate::scenario::{ChurnSpec, JoinSchedule, ScenarioExecutor, ScenarioScript};
 
 /// Late growth of one class of nodes, used by the dynamic-ratio experiment (Fig. 2).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -65,6 +65,20 @@ pub struct ExperimentParams {
     pub churn: Option<ChurnSpec>,
     /// Late growth of one node class, if any.
     pub growth: Option<GrowthSpec>,
+    /// Scripted NAT-dynamics scenario, if any: executed at round barriers through the
+    /// engine's [`RoundHook`](croupier_simulator::RoundHook); its flash-crowd actions are
+    /// expanded into the join schedule.
+    ///
+    /// Caveat when combined with [`churn`](Self::churn) or an overhead window: the
+    /// driver's class bookkeeping (which pool a churned node is drawn from, which class
+    /// its replacement joins as, how `class_overhead` buckets traffic) uses *join-time*
+    /// classes. Scripted profile upgrades/downgrades change the topology underneath
+    /// without updating that bookkeeping — deliberately mirroring the protocols' own
+    /// stale self-classification, but it means a churn spec no longer preserves the
+    /// *effective* ratio once a scenario rewrites classes mid-run
+    /// ([`RoundSample::true_ratio`] stays correct: scripted runs read it from the
+    /// topology).
+    pub scenario: Option<ScenarioScript>,
     /// Measurement window `(start_round, end_round)` for protocol overhead, if overhead is
     /// to be reported.
     pub overhead_window: Option<(u64, u64)>,
@@ -88,6 +102,7 @@ impl Default for ExperimentParams {
             graph_metric_sources: None,
             churn: None,
             growth: None,
+            scenario: None,
             overhead_window: None,
             engine_threads: 0,
         }
@@ -135,6 +150,12 @@ impl ExperimentParams {
     /// Enables late growth (dynamic ratio).
     pub fn with_growth(mut self, growth: GrowthSpec) -> Self {
         self.growth = Some(growth);
+        self
+    }
+
+    /// Installs a scripted NAT-dynamics scenario.
+    pub fn with_scenario(mut self, scenario: ScenarioScript) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 
@@ -192,6 +213,10 @@ pub struct RunOutput {
     /// Merged per-node traffic ledger at the end of the run; lets callers compare byte
     /// counts across engines and thread counts.
     pub traffic: TrafficLedger,
+    /// Final NAT-topology statistics: blocked messages, stale-binding send failures
+    /// (blocks attributable to a scripted gateway reboot), and class counts as the NAT
+    /// environment — not the join schedule — sees them.
+    pub nat_stats: TopologyStats,
 }
 
 impl RunOutput {
@@ -247,6 +272,18 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
         );
         sim.set_delivery_filter(topology.clone());
         let seed = Seed::new(params.seed);
+        if let Some(script) = &params.scenario {
+            // The executor shares the topology with the delivery filter and runs at the
+            // engines' round barriers on the coordinating thread; its RNG is a dedicated
+            // stream of the master seed, so scripted runs are deterministic and (on the
+            // sharded engine) bit-identical across worker-thread counts.
+            let scenario_rng = seed.stream_rng(croupier_simulator::rng::Stream::Custom(0x5C3A));
+            sim.set_round_hook(Box::new(ScenarioExecutor::new(
+                script,
+                topology.clone(),
+                scenario_rng,
+            )));
+        }
         Driver {
             params: params.clone(),
             sim,
@@ -325,6 +362,11 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
     }
 
     fn true_ratio(&self) -> f64 {
+        if self.params.scenario.is_some() {
+            // Scripted upgrades/downgrades change classes behind the driver's back; the
+            // topology is the authority on the effective ratio.
+            return self.topology.stats().public_private_ratio();
+        }
         let total = self.alive_public.len() + self.alive_private.len();
         if total == 0 {
             0.0
@@ -368,6 +410,8 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
     where
         F: FnMut(NodeId, NatClass, &NatTopology) -> P,
     {
+        // One source of truth for the round period: the engine config set in new().
+        let round_ms = self.sim.config().round_period.as_millis().max(1);
         let mut schedule = JoinSchedule::poisson(
             self.params.n_public,
             self.params.public_interarrival_ms,
@@ -383,10 +427,15 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
                 growth.class,
             );
         }
+        if let Some(script) = &self.params.scenario {
+            // Flash crowds are the one scripted event with engine-side effects (new
+            // protocol instances), so they join through the ordinary schedule instead of
+            // the NAT-mutation hook.
+            schedule.extend(script.flash_crowd_joins(self.params.total_nodes(), round_ms));
+        }
         let events = schedule.events().to_vec();
         let mut next_event = 0usize;
 
-        let round_ms = 1_000u64;
         let mut samples = Vec::new();
         let mut overhead = None;
 
@@ -435,6 +484,7 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             final_true_ratio: self.true_ratio(),
             final_snapshot,
             traffic: self.sim.traffic_snapshot(),
+            nat_stats: self.topology.stats(),
         }
     }
 
@@ -736,6 +786,85 @@ mod tests {
             connected > 0.5,
             "sharded overlay should survive 50% failures: {connected}"
         );
+    }
+
+    use crate::scenario::{NatDynamicsEvent, ScenarioScript};
+
+    #[test]
+    fn scripted_scenario_runs_on_the_event_engine() {
+        let params = tiny_params()
+            .with_seed(20)
+            .with_rounds(60)
+            .with_graph_metrics(10)
+            .with_scenario(ScenarioScript::croupier_stress(60));
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let last = out.last_sample().unwrap();
+        assert_eq!(last.node_count, 40);
+        assert!(
+            out.nat_stats.stale_binding_failures > 0,
+            "the reboot storm should produce stale-binding send failures"
+        );
+        assert_eq!(out.nat_stats.offline_nodes, 0, "outage must be restored");
+        assert!(
+            (last.largest_component.unwrap() - 1.0).abs() < 1e-9,
+            "croupier should recover connectivity after the stress script"
+        );
+    }
+
+    #[test]
+    fn scripted_flash_crowd_grows_the_population() {
+        let params = tiny_params()
+            .with_seed(21)
+            .with_rounds(60)
+            .with_scenario(ScenarioScript::flash_crowd(60));
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert_eq!(
+            out.last_sample().unwrap().node_count,
+            60,
+            "half the initial 40 nodes join mid-run"
+        );
+    }
+
+    #[test]
+    fn scripted_profile_changes_move_the_true_ratio() {
+        let script = ScenarioScript::new("upgrade_everyone")
+            .at(20, NatDynamicsEvent::ProfileUpgrade { fraction: 1.0 });
+        let params = tiny_params()
+            .with_seed(22)
+            .with_rounds(40)
+            .with_scenario(script);
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert!(
+            (out.final_true_ratio - 1.0).abs() < 1e-9,
+            "after a full upgrade every node is effectively public, got {}",
+            out.final_true_ratio
+        );
+        assert_eq!(out.nat_stats.public_nodes, 40);
+    }
+
+    #[test]
+    fn scripted_scenario_runs_identically_on_repeat() {
+        let params = tiny_params()
+            .with_seed(23)
+            .with_rounds(50)
+            .with_engine_threads(2)
+            .with_scenario(ScenarioScript::croupier_stress(50));
+        let run = || {
+            run_pss(&params, |id, class, _| {
+                CroupierNode::new(id, class, CroupierConfig::default())
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.nat_stats, b.nat_stats);
+        assert_eq!(a.traffic, b.traffic);
     }
 
     #[test]

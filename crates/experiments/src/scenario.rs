@@ -1,6 +1,16 @@
-//! Workload descriptions: join schedules, churn and catastrophic failure.
+//! Workload descriptions: join schedules, churn, catastrophic failure, and scripted
+//! NAT-dynamics scenarios.
+//!
+//! The scripted scenarios are the dynamic counterpart of the static `NatTopology`
+//! bootstrap: a [`ScenarioScript`] is a deterministic, seeded timeline of NAT-environment
+//! events — gateway reboots wiping binding tables, node mobility, NAT-profile
+//! upgrades/downgrades, per-gateway filtering-policy shifts, flash-crowd join bursts and
+//! correlated regional outages. A [`ScenarioExecutor`] applies the script through the
+//! engines' [`RoundHook`] at round barriers, which keeps sharded runs bit-identical
+//! across worker-thread counts (see `DESIGN.md` §11).
 
-use croupier_simulator::{NatClass, SimTime};
+use croupier_nat::{FilteringPolicy, NatTopology};
+use croupier_simulator::{NatClass, NodeId, RoundHook, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -120,6 +130,13 @@ impl JoinSchedule {
         self.events.sort_by_key(|e| e.at);
     }
 
+    /// Merges extra join events (e.g. a scripted flash crowd) into the schedule, keeping
+    /// it time-ordered.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = JoinEvent>) {
+        self.events.extend(events);
+        self.events.sort_by_key(|e| e.at);
+    }
+
     /// The scheduled events, in time order.
     pub fn events(&self) -> &[JoinEvent] {
         &self.events
@@ -151,6 +168,535 @@ impl JoinSchedule {
 fn exponential(mean_ms: f64, rng: &mut SmallRng) -> f64 {
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     -mean_ms * u.ln()
+}
+
+/// One scripted NAT-dynamics event. Magnitudes are fractions of the affected population
+/// (not absolute counts), so the same script scales from unit tests to 100k-node runs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NatDynamicsEvent {
+    /// Power-cycles the gateway of each private node independently with probability
+    /// `fraction`, wiping the whole mapping table (consumer-router reboot storm after a
+    /// power flicker or a coordinated firmware push).
+    GatewayRebootStorm {
+        /// Probability that any one private node's gateway reboots.
+        fraction: f64,
+    },
+    /// Moves each private node independently with probability `fraction` behind a fresh
+    /// gateway with a new public address (laptops hopping networks).
+    MobilityWave {
+        /// Probability that any one private node migrates.
+        fraction: f64,
+    },
+    /// Promotes each private node independently with probability `fraction` to a public
+    /// address. Protocols are *not* notified — the stale self-classification is part of
+    /// the stress.
+    ProfileUpgrade {
+        /// Probability that any one private node becomes public.
+        fraction: f64,
+    },
+    /// Demotes each public node independently with probability `fraction` behind a fresh
+    /// NAT gateway (carrier-grade NAT rollout).
+    ProfileDowngrade {
+        /// Probability that any one public node becomes private.
+        fraction: f64,
+    },
+    /// Switches the filtering policy of each private node's gateway independently with
+    /// probability `fraction` to `policy`.
+    FilteringShift {
+        /// Probability that any one gateway changes policy.
+        fraction: f64,
+        /// The policy the selected gateways switch to.
+        policy: FilteringPolicy,
+    },
+    /// Takes every node whose id falls in `region` (of `regions` equal id-striped
+    /// regions) offline for `outage_rounds` rounds, then restores exactly those nodes —
+    /// a correlated regional gateway outage / network partition.
+    RegionalOutage {
+        /// The region that goes dark (`0 <= region < regions`).
+        region: u64,
+        /// Number of id-striped regions the population is divided into.
+        regions: u64,
+        /// How many rounds the outage lasts before the region is restored.
+        outage_rounds: u64,
+    },
+    /// A join burst: `growth` times the experiment's initial population joins spread
+    /// evenly over the round following the action, `public_fraction` of them public.
+    /// Expanded by the experiment driver into the join schedule (the only scripted event
+    /// that creates engine-side state, so it cannot run inside the NAT-mutation hook).
+    FlashCrowd {
+        /// New joiners as a fraction of the initial population.
+        growth: f64,
+        /// Fraction of the joiners that are public.
+        public_fraction: f64,
+    },
+}
+
+/// A [`NatDynamicsEvent`] scheduled at a round barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioAction {
+    /// The round barrier (1-based) at which the event applies.
+    pub round: u64,
+    /// The event.
+    pub event: NatDynamicsEvent,
+}
+
+/// A deterministic, seeded timeline of NAT-dynamics events.
+///
+/// Scripts are declarative data: building one performs no randomness and touches no
+/// topology. All random choices (which gateways reboot, which nodes migrate) are drawn by
+/// the [`ScenarioExecutor`] from a dedicated RNG stream at execution time, so a script is
+/// reusable across seeds and scales.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_experiments::scenario::{NatDynamicsEvent, ScenarioScript};
+///
+/// let script = ScenarioScript::new("reboot-then-outage")
+///     .at(10, NatDynamicsEvent::GatewayRebootStorm { fraction: 0.5 })
+///     .at(
+///         15,
+///         NatDynamicsEvent::RegionalOutage {
+///             region: 0,
+///             regions: 4,
+///             outage_rounds: 3,
+///         },
+///     );
+/// assert_eq!(script.len(), 2);
+/// assert_eq!(script.last_action_round(), Some(15));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioScript {
+    name: String,
+    actions: Vec<ScenarioAction>,
+}
+
+fn assert_fraction(fraction: f64, what: &str) {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "{what} must be within [0, 1], got {fraction}"
+    );
+}
+
+impl ScenarioScript {
+    /// Creates an empty script.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioScript {
+            name: name.into(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// The script's name (used in report file names and figure legends).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schedules `event` at round barrier `round` (builder style). Actions are kept
+    /// sorted by round; same-round actions apply in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's parameters are out of range (fractions outside `[0, 1]`,
+    /// `region >= regions`, zero `regions` or `outage_rounds`).
+    pub fn at(mut self, round: u64, event: NatDynamicsEvent) -> Self {
+        match event {
+            NatDynamicsEvent::GatewayRebootStorm { fraction } => {
+                assert_fraction(fraction, "reboot fraction");
+            }
+            NatDynamicsEvent::MobilityWave { fraction } => {
+                assert_fraction(fraction, "mobility fraction");
+            }
+            NatDynamicsEvent::ProfileUpgrade { fraction } => {
+                assert_fraction(fraction, "upgrade fraction");
+            }
+            NatDynamicsEvent::ProfileDowngrade { fraction } => {
+                assert_fraction(fraction, "downgrade fraction");
+            }
+            NatDynamicsEvent::FilteringShift { fraction, .. } => {
+                assert_fraction(fraction, "filtering-shift fraction");
+            }
+            NatDynamicsEvent::RegionalOutage {
+                region,
+                regions,
+                outage_rounds,
+            } => {
+                assert!(regions > 0, "regions must be positive");
+                assert!(region < regions, "region {region} out of {regions}");
+                assert!(outage_rounds > 0, "outage must last at least one round");
+            }
+            NatDynamicsEvent::FlashCrowd {
+                growth,
+                public_fraction,
+            } => {
+                assert!(
+                    growth.is_finite() && growth >= 0.0,
+                    "flash-crowd growth must be non-negative"
+                );
+                assert_fraction(public_fraction, "flash-crowd public fraction");
+            }
+        }
+        self.actions.push(ScenarioAction { round, event });
+        self.actions.sort_by_key(|a| a.round);
+        self
+    }
+
+    /// The scheduled actions, sorted by round.
+    pub fn actions(&self) -> &[ScenarioAction] {
+        &self.actions
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Round of the last scheduled action, if any.
+    pub fn last_action_round(&self) -> Option<u64> {
+        self.actions.last().map(|a| a.round)
+    }
+
+    /// Round of the first disruptive action, if any (flash crowds add capacity rather
+    /// than remove it, so they do not count as a disruption for recovery detection).
+    pub fn first_disruption_round(&self) -> Option<u64> {
+        self.actions
+            .iter()
+            .find(|a| !matches!(a.event, NatDynamicsEvent::FlashCrowd { .. }))
+            .map(|a| a.round)
+    }
+
+    /// Round at which the last scripted regional outage has been restored (actions and
+    /// restores included), or the last action round for scripts without outages. Runs
+    /// should extend beyond this round for recovery to be observable.
+    pub fn settled_round(&self) -> Option<u64> {
+        self.actions
+            .iter()
+            .map(|a| match a.event {
+                NatDynamicsEvent::RegionalOutage { outage_rounds, .. } => a.round + outage_rounds,
+                _ => a.round,
+            })
+            .max()
+    }
+
+    /// Expands the script's [`FlashCrowd`](NatDynamicsEvent::FlashCrowd) actions into
+    /// join events, spread evenly over the round following each action.
+    /// `initial_population` anchors the growth fractions; `round_ms` is the gossip round
+    /// period in milliseconds.
+    pub fn flash_crowd_joins(&self, initial_population: usize, round_ms: u64) -> Vec<JoinEvent> {
+        let mut events = Vec::new();
+        for action in &self.actions {
+            let NatDynamicsEvent::FlashCrowd {
+                growth,
+                public_fraction,
+            } = action.event
+            else {
+                continue;
+            };
+            let count = ((initial_population as f64) * growth).round() as usize;
+            if count == 0 {
+                continue;
+            }
+            let n_public = ((count as f64) * public_fraction).round() as usize;
+            let start = action.round.saturating_mul(round_ms);
+            let step = (round_ms as f64) / (count as f64 + 1.0);
+            // Clamp offsets to [1, round_ms - 1]: at very large counts the rounded step
+            // degenerates to zero (first joiners would land on the action's own barrier)
+            // and rounding can push the last joiners onto the *next* barrier — events at
+            // a barrier instant belong to the following round in both engines, so either
+            // edge would leak joins out of the documented window.
+            let max_offset = round_ms.saturating_sub(1).max(1);
+            for i in 0..count {
+                let offset = (((i as f64 + 1.0) * step).round() as u64).clamp(1, max_offset);
+                let at = SimTime::from_millis(start + offset);
+                let class = if i < n_public {
+                    NatClass::Public
+                } else {
+                    NatClass::Private
+                };
+                events.push(JoinEvent { at, class });
+            }
+        }
+        events
+    }
+}
+
+/// The canned scenario library behind the scenario-matrix runner. Disruptions land
+/// around the midpoint of a `rounds`-round run so every script leaves room to recover.
+impl ScenarioScript {
+    /// Names of the scripts in [`matrix`](Self::matrix) order.
+    pub const MATRIX_NAMES: [&'static str; 6] = [
+        "reboot_storm",
+        "mobility_wave",
+        "nat_flux",
+        "flash_crowd",
+        "regional_outage",
+        "croupier_stress",
+    ];
+
+    fn mid(rounds: u64) -> u64 {
+        (rounds / 2).max(1)
+    }
+
+    /// A reboot storm: every gateway power-cycles at once, and half of them again an
+    /// eighth of the run later (modelled on the binding-wiping reboots of the zerotier
+    /// NAT-emulation suite).
+    pub fn reboot_storm(rounds: u64) -> Self {
+        let mid = Self::mid(rounds);
+        ScenarioScript::new("reboot_storm")
+            .at(mid, NatDynamicsEvent::GatewayRebootStorm { fraction: 1.0 })
+            .at(
+                mid + (rounds / 8).max(1),
+                NatDynamicsEvent::GatewayRebootStorm { fraction: 0.5 },
+            )
+    }
+
+    /// Two waves of node mobility: 40 % of private nodes hop networks, twice.
+    pub fn mobility_wave(rounds: u64) -> Self {
+        let mid = Self::mid(rounds);
+        ScenarioScript::new("mobility_wave")
+            .at(mid, NatDynamicsEvent::MobilityWave { fraction: 0.4 })
+            .at(
+                mid + (rounds / 8).max(1),
+                NatDynamicsEvent::MobilityWave { fraction: 0.4 },
+            )
+    }
+
+    /// NAT-profile flux: a carrier-grade-NAT rollout demotes 30 % of the public nodes,
+    /// an upgrade wave later promotes 30 % of the private ones, and the surviving
+    /// gateways tighten to address-and-port-dependent filtering.
+    pub fn nat_flux(rounds: u64) -> Self {
+        let mid = Self::mid(rounds);
+        let eighth = (rounds / 8).max(1);
+        ScenarioScript::new("nat_flux")
+            .at(mid, NatDynamicsEvent::ProfileDowngrade { fraction: 0.3 })
+            .at(
+                mid + eighth,
+                NatDynamicsEvent::ProfileUpgrade { fraction: 0.3 },
+            )
+            .at(
+                mid + 2 * eighth,
+                NatDynamicsEvent::FilteringShift {
+                    fraction: 1.0,
+                    policy: FilteringPolicy::AddressAndPortDependent,
+                },
+            )
+    }
+
+    /// A flash crowd: half the initial population joins within one round, 20 % public.
+    pub fn flash_crowd(rounds: u64) -> Self {
+        ScenarioScript::new("flash_crowd").at(
+            Self::mid(rounds),
+            NatDynamicsEvent::FlashCrowd {
+                growth: 0.5,
+                public_fraction: 0.2,
+            },
+        )
+    }
+
+    /// A correlated regional outage: a quarter of the population (one of four id-striped
+    /// regions) goes dark for a tenth of the run, then comes back.
+    pub fn regional_outage(rounds: u64) -> Self {
+        ScenarioScript::new("regional_outage").at(
+            Self::mid(rounds),
+            NatDynamicsEvent::RegionalOutage {
+                region: 0,
+                regions: 4,
+                outage_rounds: (rounds / 10).max(2),
+            },
+        )
+    }
+
+    /// The combined stress used by the determinism gate: a reboot storm, a mobility wave
+    /// two rounds later, and a regional outage on top.
+    pub fn croupier_stress(rounds: u64) -> Self {
+        let mid = Self::mid(rounds);
+        ScenarioScript::new("croupier_stress")
+            .at(mid, NatDynamicsEvent::GatewayRebootStorm { fraction: 0.75 })
+            .at(mid + 2, NatDynamicsEvent::MobilityWave { fraction: 0.3 })
+            .at(
+                mid + (rounds / 8).max(1),
+                NatDynamicsEvent::RegionalOutage {
+                    region: 1,
+                    regions: 4,
+                    outage_rounds: (rounds / 10).max(2),
+                },
+            )
+    }
+
+    /// A copy of this script whose flash crowds join all-public, other events unchanged
+    /// — for cells running a NAT-oblivious protocol (Cyclon) on an all-public
+    /// population, so a scripted join burst does not smuggle in the NATed nodes the
+    /// cell's setup deliberately excludes.
+    pub fn with_public_flash_crowds(&self) -> Self {
+        let mut script = ScenarioScript::new(self.name.clone());
+        for action in &self.actions {
+            let event = match action.event {
+                NatDynamicsEvent::FlashCrowd { growth, .. } => NatDynamicsEvent::FlashCrowd {
+                    growth,
+                    public_fraction: 1.0,
+                },
+                other => other,
+            };
+            script = script.at(action.round, event);
+        }
+        script
+    }
+
+    /// Builds the canned script `name` for a `rounds`-round run.
+    pub fn by_name(name: &str, rounds: u64) -> Option<Self> {
+        match name {
+            "reboot_storm" => Some(Self::reboot_storm(rounds)),
+            "mobility_wave" => Some(Self::mobility_wave(rounds)),
+            "nat_flux" => Some(Self::nat_flux(rounds)),
+            "flash_crowd" => Some(Self::flash_crowd(rounds)),
+            "regional_outage" => Some(Self::regional_outage(rounds)),
+            "croupier_stress" => Some(Self::croupier_stress(rounds)),
+            _ => None,
+        }
+    }
+
+    /// The full canned matrix for a `rounds`-round run, in [`MATRIX_NAMES`] order.
+    ///
+    /// [`MATRIX_NAMES`]: Self::MATRIX_NAMES
+    pub fn matrix(rounds: u64) -> Vec<Self> {
+        Self::MATRIX_NAMES
+            .iter()
+            .map(|name| Self::by_name(name, rounds).expect("canned script"))
+            .collect()
+    }
+}
+
+/// Executes a [`ScenarioScript`] against a [`NatTopology`] at round barriers.
+///
+/// Installed into an engine as its [`RoundHook`]; the engines call it on the
+/// coordinating thread only, after the barrier's canonical merge, so every mutation —
+/// and every RNG draw deciding who is affected — happens at a globally fixed point and
+/// sharded runs stay bit-identical across worker-thread counts. Selection draws one
+/// uniform variate per candidate node in ascending id order, so the draw sequence
+/// depends only on the script and the population, never on engine internals.
+pub struct ScenarioExecutor {
+    topology: NatTopology,
+    actions: Vec<ScenarioAction>,
+    next_action: usize,
+    /// Regions awaiting restoration: `(restore_round, nodes taken offline)`.
+    pending_restores: Vec<(u64, Vec<NodeId>)>,
+    rng: SmallRng,
+}
+
+impl ScenarioExecutor {
+    /// Creates an executor for `script` mutating `topology` (a shared-state clone of the
+    /// topology installed as the engine's delivery filter). `rng` drives every selection
+    /// draw; derive it from the experiment seed on a dedicated stream.
+    pub fn new(script: &ScenarioScript, topology: NatTopology, rng: SmallRng) -> Self {
+        ScenarioExecutor {
+            topology,
+            actions: script.actions().to_vec(),
+            next_action: 0,
+            pending_restores: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Returns `true` once every action has applied and every outage is restored.
+    pub fn is_settled(&self) -> bool {
+        self.next_action >= self.actions.len() && self.pending_restores.is_empty()
+    }
+
+    fn apply(&mut self, event: NatDynamicsEvent, round: u64, now: SimTime) {
+        match event {
+            NatDynamicsEvent::GatewayRebootStorm { fraction } => {
+                for node in self.topology.private_node_ids() {
+                    if self.rng.gen_range(0.0..1.0) < fraction {
+                        self.topology.reboot_gateway_of(node, now);
+                    }
+                }
+            }
+            NatDynamicsEvent::MobilityWave { fraction } => {
+                for node in self.topology.private_node_ids() {
+                    if self.rng.gen_range(0.0..1.0) < fraction {
+                        self.topology.migrate_node(node);
+                    }
+                }
+            }
+            NatDynamicsEvent::ProfileUpgrade { fraction } => {
+                for node in self.topology.private_node_ids() {
+                    if self.rng.gen_range(0.0..1.0) < fraction {
+                        self.topology.promote_to_public(node);
+                    }
+                }
+            }
+            NatDynamicsEvent::ProfileDowngrade { fraction } => {
+                for node in self.topology.public_node_ids() {
+                    if self.rng.gen_range(0.0..1.0) < fraction {
+                        self.topology.demote_to_private(node);
+                    }
+                }
+            }
+            NatDynamicsEvent::FilteringShift { fraction, policy } => {
+                for node in self.topology.private_node_ids() {
+                    if self.rng.gen_range(0.0..1.0) < fraction {
+                        self.topology.set_filtering_of(node, policy);
+                    }
+                }
+            }
+            NatDynamicsEvent::RegionalOutage {
+                region,
+                regions,
+                outage_rounds,
+            } => {
+                let mut affected = Vec::new();
+                for node in self.topology.node_ids() {
+                    // A node already dark from an overlapping earlier outage stays
+                    // claimed by that outage (and comes back at *its* restore round);
+                    // claiming it twice would let the earliest restore cut the later
+                    // outage short.
+                    if node.as_u64() % regions == region
+                        && !self.topology.is_offline(node)
+                        && self.topology.set_offline(node, true)
+                    {
+                        affected.push(node);
+                    }
+                }
+                if !affected.is_empty() {
+                    self.pending_restores
+                        .push((round + outage_rounds, affected));
+                }
+            }
+            // Membership growth cannot happen from inside the engine's hook; the
+            // driver expands flash crowds into the join schedule instead.
+            NatDynamicsEvent::FlashCrowd { .. } => {}
+        }
+    }
+}
+
+impl RoundHook for ScenarioExecutor {
+    fn on_round_barrier(&mut self, round: u64, now: SimTime) {
+        // Restores first, in scheduling order, so an action at the same round observes
+        // the region back online.
+        let mut i = 0;
+        while i < self.pending_restores.len() {
+            if self.pending_restores[i].0 <= round {
+                let (_, nodes) = self.pending_restores.remove(i);
+                for node in nodes {
+                    // Nodes that churned out during the outage report false; harmless.
+                    self.topology.set_offline(node, false);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        while self.next_action < self.actions.len() && self.actions[self.next_action].round <= round
+        {
+            let action = self.actions[self.next_action];
+            self.next_action += 1;
+            self.apply(action.event, round, now);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -221,5 +767,270 @@ mod tests {
         for _ in 0..1_000 {
             assert!(exponential(10.0, &mut r) > 0.0);
         }
+    }
+
+    use croupier_nat::NatTopologyBuilder;
+    use croupier_simulator::DeliveryFilter;
+
+    #[test]
+    fn scripts_keep_actions_sorted_by_round() {
+        let script = ScenarioScript::new("s")
+            .at(20, NatDynamicsEvent::MobilityWave { fraction: 0.5 })
+            .at(10, NatDynamicsEvent::GatewayRebootStorm { fraction: 1.0 })
+            .at(
+                15,
+                NatDynamicsEvent::FlashCrowd {
+                    growth: 0.1,
+                    public_fraction: 0.5,
+                },
+            );
+        let rounds: Vec<u64> = script.actions().iter().map(|a| a.round).collect();
+        assert_eq!(rounds, vec![10, 15, 20]);
+        assert_eq!(script.name(), "s");
+        assert_eq!(script.last_action_round(), Some(20));
+        assert_eq!(
+            script.first_disruption_round(),
+            Some(10),
+            "flash crowds do not count as disruptions"
+        );
+        assert!(!script.is_empty());
+    }
+
+    #[test]
+    fn settled_round_accounts_for_outage_duration() {
+        let script = ScenarioScript::new("s")
+            .at(
+                10,
+                NatDynamicsEvent::RegionalOutage {
+                    region: 0,
+                    regions: 2,
+                    outage_rounds: 7,
+                },
+            )
+            .at(12, NatDynamicsEvent::MobilityWave { fraction: 0.1 });
+        assert_eq!(script.settled_round(), Some(17));
+        assert_eq!(ScenarioScript::new("empty").settled_round(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn scripts_reject_out_of_range_fractions() {
+        let _ = ScenarioScript::new("bad").at(1, NatDynamicsEvent::MobilityWave { fraction: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn scripts_reject_out_of_range_regions() {
+        let _ = ScenarioScript::new("bad").at(
+            1,
+            NatDynamicsEvent::RegionalOutage {
+                region: 4,
+                regions: 4,
+                outage_rounds: 1,
+            },
+        );
+    }
+
+    #[test]
+    fn flash_crowds_expand_into_spread_join_events() {
+        let script = ScenarioScript::new("fc").at(
+            10,
+            NatDynamicsEvent::FlashCrowd {
+                growth: 0.5,
+                public_fraction: 0.25,
+            },
+        );
+        let joins = script.flash_crowd_joins(40, 1_000);
+        assert_eq!(joins.len(), 20);
+        let publics = joins.iter().filter(|e| e.class.is_public()).count();
+        assert_eq!(publics, 5);
+        assert!(joins
+            .iter()
+            .all(|e| e.at > SimTime::from_secs(10) && e.at < SimTime::from_secs(11)));
+        assert!(joins.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(script.flash_crowd_joins(0, 1_000).is_empty());
+    }
+
+    #[test]
+    fn public_flash_crowd_rewrite_only_touches_crowds() {
+        let script = ScenarioScript::new("s")
+            .at(5, NatDynamicsEvent::MobilityWave { fraction: 0.4 })
+            .at(
+                10,
+                NatDynamicsEvent::FlashCrowd {
+                    growth: 0.5,
+                    public_fraction: 0.2,
+                },
+            );
+        let rewritten = script.with_public_flash_crowds();
+        assert_eq!(rewritten.name(), "s");
+        assert_eq!(rewritten.actions()[0], script.actions()[0]);
+        assert_eq!(
+            rewritten.actions()[1].event,
+            NatDynamicsEvent::FlashCrowd {
+                growth: 0.5,
+                public_fraction: 1.0,
+            }
+        );
+        let joins = rewritten.flash_crowd_joins(40, 1_000);
+        assert!(joins.iter().all(|e| e.class.is_public()));
+    }
+
+    #[test]
+    fn canned_matrix_round_trips_by_name() {
+        let matrix = ScenarioScript::matrix(40);
+        assert_eq!(matrix.len(), ScenarioScript::MATRIX_NAMES.len());
+        for (script, name) in matrix.iter().zip(ScenarioScript::MATRIX_NAMES) {
+            assert_eq!(script.name(), name);
+            assert!(!script.is_empty(), "{name} must schedule something");
+            assert_eq!(ScenarioScript::by_name(name, 40).as_ref(), Some(script));
+            assert!(
+                script.settled_round().unwrap() < 40,
+                "{name} must settle before the run ends"
+            );
+        }
+        assert!(ScenarioScript::by_name("bogus", 40).is_none());
+    }
+
+    fn scripted_topology() -> NatTopology {
+        let t = NatTopologyBuilder::new(7).build();
+        for i in 0..4 {
+            t.add_public_node(NodeId::new(i));
+        }
+        for i in 4..12 {
+            t.add_private_node(NodeId::new(i));
+        }
+        t
+    }
+
+    #[test]
+    fn executor_applies_actions_at_their_barrier() {
+        let t = scripted_topology();
+        let mut filter = t.clone();
+        let priv_node = NodeId::new(4);
+        let pub_node = NodeId::new(0);
+        filter.on_send(priv_node, pub_node, SimTime::from_secs(4));
+        let script =
+            ScenarioScript::new("s").at(5, NatDynamicsEvent::GatewayRebootStorm { fraction: 1.0 });
+        let mut exec = ScenarioExecutor::new(&script, t.clone(), SmallRng::seed_from_u64(1));
+        exec.on_round_barrier(4, SimTime::from_secs(4));
+        assert_eq!(
+            filter.can_deliver(pub_node, priv_node, SimTime::from_secs(4)),
+            croupier_simulator::DeliveryVerdict::Deliver,
+            "nothing applies before round 5"
+        );
+        assert!(!exec.is_settled());
+        exec.on_round_barrier(5, SimTime::from_secs(5));
+        assert_eq!(
+            filter.can_deliver(pub_node, priv_node, SimTime::from_secs(5)),
+            croupier_simulator::DeliveryVerdict::BlockedByNat,
+            "the storm wiped every binding"
+        );
+        assert!(exec.is_settled());
+    }
+
+    #[test]
+    fn executor_restores_regional_outages_on_schedule() {
+        let t = scripted_topology();
+        let script = ScenarioScript::new("s").at(
+            3,
+            NatDynamicsEvent::RegionalOutage {
+                region: 0,
+                regions: 4,
+                outage_rounds: 2,
+            },
+        );
+        let mut exec = ScenarioExecutor::new(&script, t.clone(), SmallRng::seed_from_u64(2));
+        exec.on_round_barrier(3, SimTime::from_secs(3));
+        // Region 0 of 4: ids 0, 4, 8 are offline; others untouched.
+        assert!(t.is_offline(NodeId::new(0)));
+        assert!(t.is_offline(NodeId::new(4)));
+        assert!(t.is_offline(NodeId::new(8)));
+        assert!(!t.is_offline(NodeId::new(1)));
+        assert_eq!(t.stats().offline_nodes, 3);
+        assert!(!exec.is_settled());
+        exec.on_round_barrier(4, SimTime::from_secs(4));
+        assert_eq!(t.stats().offline_nodes, 3, "outage lasts two rounds");
+        exec.on_round_barrier(5, SimTime::from_secs(5));
+        assert_eq!(t.stats().offline_nodes, 0, "restored after the outage");
+        assert!(exec.is_settled());
+    }
+
+    #[test]
+    fn overlapping_outages_each_restore_their_own_nodes() {
+        // Region 0-of-4 is a subset of region 0-of-2. The wider, longer outage claims
+        // its nodes first; the narrower one that fires a round later must not re-claim
+        // them, so the earlier restore does not cut the longer outage short.
+        let t = scripted_topology();
+        let script = ScenarioScript::new("s")
+            .at(
+                3,
+                NatDynamicsEvent::RegionalOutage {
+                    region: 0,
+                    regions: 2,
+                    outage_rounds: 6,
+                },
+            )
+            .at(
+                4,
+                NatDynamicsEvent::RegionalOutage {
+                    region: 0,
+                    regions: 4,
+                    outage_rounds: 2,
+                },
+            );
+        let mut exec = ScenarioExecutor::new(&script, t.clone(), SmallRng::seed_from_u64(4));
+        for round in 3..=6 {
+            exec.on_round_barrier(round, SimTime::from_secs(round));
+        }
+        // The 4-of-4 restore round (4 + 2 = 6) has passed, but ids 0, 4, 8 belong to
+        // the 2-region outage and must still be dark until round 9.
+        assert!(t.is_offline(NodeId::new(0)));
+        assert!(t.is_offline(NodeId::new(4)));
+        assert!(t.is_offline(NodeId::new(8)));
+        for round in 7..=9 {
+            exec.on_round_barrier(round, SimTime::from_secs(round));
+        }
+        assert_eq!(t.stats().offline_nodes, 0);
+        assert!(exec.is_settled());
+    }
+
+    #[test]
+    fn flash_crowd_joins_never_land_on_the_barrier_instant() {
+        // At huge counts the rounded inter-arrival step degenerates to zero; the 1 ms
+        // clamp keeps every joiner strictly inside the round after the action.
+        let script = ScenarioScript::new("fc").at(
+            10,
+            NatDynamicsEvent::FlashCrowd {
+                growth: 1.0,
+                public_fraction: 0.0,
+            },
+        );
+        let joins = script.flash_crowd_joins(5_000, 1_000);
+        assert_eq!(joins.len(), 5_000);
+        assert!(joins.iter().all(|e| e.at > SimTime::from_secs(10)));
+        assert!(
+            joins.iter().all(|e| e.at < SimTime::from_secs(11)),
+            "the next round's barrier instant already belongs to the round after"
+        );
+    }
+
+    #[test]
+    fn executor_effects_are_deterministic_for_a_fixed_rng() {
+        let run = || {
+            let t = scripted_topology();
+            let script = ScenarioScript::new("s")
+                .at(1, NatDynamicsEvent::MobilityWave { fraction: 0.5 })
+                .at(2, NatDynamicsEvent::ProfileUpgrade { fraction: 0.5 });
+            let mut exec = ScenarioExecutor::new(&script, t.clone(), SmallRng::seed_from_u64(3));
+            exec.on_round_barrier(1, SimTime::from_secs(1));
+            exec.on_round_barrier(2, SimTime::from_secs(2));
+            (t.public_node_ids(), t.private_node_ids(), t.gateway_count())
+        };
+        assert_eq!(run(), run());
+        let (publics, privates, gateways) = run();
+        assert!(publics.len() > 4, "some private nodes should be promoted");
+        assert!(!privates.is_empty());
+        assert!(gateways > 8, "migrations allocate fresh gateways");
     }
 }

@@ -90,9 +90,12 @@ const PURGE_EVERY_OPS: u32 = 256;
 /// unexpired binding exists" is equivalent to "the newest such binding is unexpired"
 /// because expiry is monotone in the refresh time, so the
 /// endpoint-independent/address-dependent policies query one index entry instead of
-/// scanning the table. The address-dependent index additionally relies on a node's
-/// observed IP being immutable, which [`NatTopology`](crate::NatTopology) guarantees
-/// (addresses are allocated monotonically and profiles never change).
+/// scanning the table. The address-dependent index additionally relies on addresses
+/// never being *reused*, which [`NatTopology`](crate::NatTopology) guarantees (IPs are
+/// allocated monotonically, even across scripted profile changes and node migrations —
+/// a node that moves or is promoted gets a fresh address, so an index entry keyed on an
+/// old observed IP can only ever go stale and expire, never silently authorise a
+/// different peer).
 ///
 /// # Examples
 ///
@@ -123,6 +126,10 @@ pub struct NatGateway {
     /// Newest refresh time per `(internal, remote ip)` (address-dependent fast path).
     newest_per_remote_ip: FastHashMap<(NodeId, Ip), SimTime>,
     ops_since_purge: u32,
+    /// Time of the most recent [`reboot`](Self::reboot), if any.
+    last_reboot: Option<SimTime>,
+    /// Number of reboots this gateway has been through.
+    reboots: u64,
 }
 
 impl NatGateway {
@@ -135,6 +142,8 @@ impl NatGateway {
             newest_per_internal: FastHashMap::default(),
             newest_per_remote_ip: FastHashMap::default(),
             ops_since_purge: 0,
+            last_reboot: None,
+            reboots: 0,
         }
     }
 
@@ -234,6 +243,86 @@ impl NatGateway {
         self.newest_per_internal.retain(|_, t| fresh(t));
         self.newest_per_remote_ip.retain(|_, t| fresh(t));
         self.ops_since_purge = 0;
+    }
+
+    /// Power-cycles the gateway at `now`: the entire mapping table — and with it both
+    /// newest-binding indexes — is lost, exactly as on a consumer router reboot. The
+    /// configuration and the public address survive (ISPs commonly hand the same lease
+    /// back; a reboot that also changes the address is modelled as a reboot followed by
+    /// [`NatTopology::migrate_node`](crate::NatTopology::migrate_node)).
+    ///
+    /// Clearing the indexes together with the table keeps the O(1)-filter invariant —
+    /// "the newest entry decides" — trivially intact: both sides are empty, so every
+    /// inbound packet is unsolicited until new outbound traffic re-creates mappings.
+    pub fn reboot(&mut self, now: SimTime) {
+        self.bindings.clear();
+        self.newest_per_internal.clear();
+        self.newest_per_remote_ip.clear();
+        self.ops_since_purge = 0;
+        self.last_reboot = Some(now);
+        self.reboots += 1;
+    }
+
+    /// Time of the most recent reboot, if the gateway ever rebooted.
+    pub fn last_reboot(&self) -> Option<SimTime> {
+        self.last_reboot
+    }
+
+    /// Number of reboots this gateway has been through.
+    pub fn reboot_count(&self) -> u64 {
+        self.reboots
+    }
+
+    /// Returns `true` if the gateway rebooted within one mapping-timeout before `now` —
+    /// the window in which an inbound block is plausibly a *stale-binding* failure (the
+    /// sender refreshed a mapping recently enough that it would still be alive had the
+    /// reboot not wiped it).
+    pub fn rebooted_within_timeout(&self, now: SimTime) -> bool {
+        self.last_reboot
+            .is_some_and(|at| now.saturating_since(at) <= self.config.mapping_timeout)
+    }
+
+    /// Changes the inbound filtering policy at runtime (scripted NAT-dynamics: firmware
+    /// update, config change, or the ISP swapping CPE behaviour).
+    ///
+    /// The newest-binding indexes are policy-specific — [`record_outbound`] only
+    /// maintains the index the *configured* policy queries — so a policy change rebuilds
+    /// the index the new policy needs from the exact mapping table. The rebuild carries
+    /// expired entries along unfiltered (it has no clock): that is sound because every
+    /// index entry records the *newest* refresh time of its key, expiry is monotone in
+    /// the refresh time, and [`accepts_inbound`](Self::accepts_inbound) re-checks expiry
+    /// against the query instant — an expired newest entry answers exactly as no entry
+    /// would.
+    ///
+    /// [`record_outbound`]: Self::record_outbound
+    pub fn set_filtering(&mut self, policy: FilteringPolicy) {
+        if policy == self.config.filtering {
+            return;
+        }
+        self.config.filtering = policy;
+        self.newest_per_internal.clear();
+        self.newest_per_remote_ip.clear();
+        match policy {
+            FilteringPolicy::EndpointIndependent => {
+                for binding in self.bindings.values() {
+                    let newest = self
+                        .newest_per_internal
+                        .entry(binding.internal)
+                        .or_insert(binding.last_refreshed);
+                    *newest = (*newest).max(binding.last_refreshed);
+                }
+            }
+            FilteringPolicy::AddressDependent => {
+                for binding in self.bindings.values() {
+                    let newest = self
+                        .newest_per_remote_ip
+                        .entry((binding.internal, binding.remote_ip))
+                        .or_insert(binding.last_refreshed);
+                    *newest = (*newest).max(binding.last_refreshed);
+                }
+            }
+            FilteringPolicy::AddressAndPortDependent => {}
+        }
     }
 
     /// Removes every binding owned by `internal` (the node left the system).
@@ -341,6 +430,102 @@ mod tests {
         assert_eq!(g.binding_count(), 1);
         g.remove_internal(NodeId::new(2));
         assert_eq!(g.binding_count(), 0);
+    }
+
+    #[test]
+    fn reboot_wipes_bindings_for_every_policy() {
+        for policy in FilteringPolicy::ALL {
+            let mut g = gw(policy);
+            g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+            assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(1)));
+            g.reboot(SimTime::from_secs(2));
+            assert_eq!(g.binding_count(), 0);
+            assert!(
+                !g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(3)),
+                "{policy}: a reboot must drop the reply path even though the binding \
+                 would only have expired at t=30s"
+            );
+            assert_eq!(g.last_reboot(), Some(SimTime::from_secs(2)));
+            assert_eq!(g.reboot_count(), 1);
+        }
+    }
+
+    #[test]
+    fn newest_binding_index_is_consistent_after_a_reboot() {
+        // The reboot-vs-expiry interaction the O(1) filter rework must survive: a wiped
+        // index must not remember pre-reboot refresh times, and post-reboot outbound
+        // traffic must rebuild it from scratch with post-reboot times only.
+        for policy in [
+            FilteringPolicy::EndpointIndependent,
+            FilteringPolicy::AddressDependent,
+        ] {
+            let mut g = gw(policy);
+            // Refresh generously before the reboot: without the wipe these mappings
+            // would stay alive until t=55s.
+            g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(25));
+            g.reboot(SimTime::from_secs(26));
+            // Rebuild with a single early outbound; the newest binding is now t=27s, so
+            // the reply path must close at t=57s — NOT at the pre-reboot t=55s horizon,
+            // and NOT stay open because a stale index entry survived the wipe.
+            g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(27));
+            assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(57)));
+            assert!(
+                !g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(58)),
+                "{policy}: expiry must be measured from the post-reboot refresh"
+            );
+        }
+    }
+
+    #[test]
+    fn reboot_then_purge_then_refresh_keeps_table_and_index_in_lockstep() {
+        let mut g = gw(FilteringPolicy::EndpointIndependent);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+        g.record_outbound(NodeId::new(2), PEER_B, Ip::public(3), SimTime::from_secs(5));
+        g.reboot(SimTime::from_secs(10));
+        // A purge right after the wipe must be a no-op on an empty table.
+        g.purge_expired(SimTime::from_secs(10));
+        assert_eq!(g.binding_count(), 0);
+        assert!(!g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(10)));
+        // Only the re-created mapping opens up again.
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(11));
+        assert!(g.accepts_inbound(INSIDE, PEER_B, Ip::public(9), SimTime::from_secs(12)));
+        assert_eq!(g.binding_count(), 1);
+    }
+
+    #[test]
+    fn rebooted_within_timeout_tracks_the_stale_binding_window() {
+        let mut g = gw(FilteringPolicy::AddressAndPortDependent);
+        assert!(!g.rebooted_within_timeout(SimTime::from_secs(100)));
+        g.reboot(SimTime::from_secs(100));
+        assert!(g.rebooted_within_timeout(SimTime::from_secs(100)));
+        assert!(g.rebooted_within_timeout(SimTime::from_secs(130)));
+        assert!(
+            !g.rebooted_within_timeout(SimTime::from_secs(131)),
+            "beyond one mapping timeout, a block can no longer be blamed on the reboot"
+        );
+    }
+
+    #[test]
+    fn policy_change_rebuilds_the_index_the_new_policy_needs() {
+        // Start port-dependent: record_outbound maintains no newest index at all.
+        let mut g = gw(FilteringPolicy::AddressAndPortDependent);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::ZERO);
+        g.record_outbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(10));
+        assert!(!g.accepts_inbound(INSIDE, PEER_B, Ip::public(2), SimTime::from_secs(11)));
+        // Relax to address-dependent: the (internal, remote ip) index must be rebuilt
+        // from the table, carrying the *newest* refresh time (t=10s, not t=0).
+        g.set_filtering(FilteringPolicy::AddressDependent);
+        assert_eq!(g.config().filtering, FilteringPolicy::AddressDependent);
+        assert!(g.accepts_inbound(INSIDE, PEER_B, Ip::public(2), SimTime::from_secs(40)));
+        assert!(!g.accepts_inbound(INSIDE, PEER_B, Ip::public(2), SimTime::from_secs(41)));
+        // Relax further to endpoint-independent: any remote passes until expiry.
+        g.set_filtering(FilteringPolicy::EndpointIndependent);
+        assert!(g.accepts_inbound(INSIDE, PEER_B, Ip::public(9), SimTime::from_secs(40)));
+        // Tighten back to port-dependent: only the exact (internal, remote) binding
+        // decides again, and the stale relaxed indexes must not leak through.
+        g.set_filtering(FilteringPolicy::AddressAndPortDependent);
+        assert!(g.accepts_inbound(INSIDE, PEER_A, Ip::public(2), SimTime::from_secs(40)));
+        assert!(!g.accepts_inbound(INSIDE, PEER_B, Ip::public(2), SimTime::from_secs(12)));
     }
 
     #[test]

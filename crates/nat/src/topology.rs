@@ -60,6 +60,12 @@ pub struct TopologyStats {
     pub upnp_nodes: usize,
     /// Messages blocked by NAT filtering so far.
     pub blocked_messages: u64,
+    /// Subset of `blocked_messages` attributable to a recent gateway reboot: the
+    /// destination's gateway rebooted within one mapping timeout before the block, so the
+    /// sender was plausibly talking to a binding the reboot wiped.
+    pub stale_binding_failures: u64,
+    /// Nodes currently marked offline by a scripted partition/outage.
+    pub offline_nodes: usize,
 }
 
 impl TopologyStats {
@@ -91,6 +97,14 @@ struct Inner {
     next_public_ip: u32,
     next_private_ip: u32,
     blocked_messages: u64,
+    /// Blocked messages attributable to a recent gateway reboot (see
+    /// [`TopologyStats::stale_binding_failures`]).
+    stale_binding_failures: u64,
+    /// Offline flags in the same dense slot layout as `profiles`; a scripted regional
+    /// outage/partition marks nodes here without touching their NAT state.
+    offline: Vec<bool>,
+    /// Number of `true` entries in `offline`.
+    offline_count: usize,
 }
 
 impl Inner {
@@ -157,6 +171,41 @@ impl Inner {
         match self.profile(node)? {
             NatProfile::Public { ip } => Some(*ip),
             NatProfile::Private { gateway, .. } => self.gateway(*gateway).map(|gw| gw.public_ip()),
+        }
+    }
+
+    fn is_offline(&self, node: NodeId) -> bool {
+        self.offline
+            .get(node.as_u64() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn set_offline(&mut self, node: NodeId, offline: bool) {
+        let slot = node.as_u64() as usize;
+        if slot >= self.offline.len() {
+            if !offline {
+                return;
+            }
+            self.offline.resize(slot + 1, false);
+        }
+        if self.offline[slot] != offline {
+            self.offline[slot] = offline;
+            if offline {
+                self.offline_count += 1;
+            } else {
+                self.offline_count -= 1;
+            }
+        }
+    }
+
+    /// Detaches a private node from its gateway, dropping its bindings there. The (now
+    /// possibly empty) gateway stays allocated: gateway ids are dense indexes and other
+    /// state (address-dependent indexes on *other* gateways keyed by its public IP) may
+    /// still reference it until expiry.
+    fn detach_from_gateway(&mut self, node: NodeId, gateway: GatewayId) {
+        if let Some(gw) = self.gateway_mut(gateway) {
+            gw.remove_internal(node);
         }
     }
 }
@@ -241,11 +290,203 @@ impl NatTopology {
         if removed.is_some() {
             inner.profile_count -= 1;
         }
+        inner.set_offline(node, false);
         if let Some(NatProfile::Private { gateway, .. }) = removed {
-            if let Some(gw) = inner.gateway_mut(gateway) {
-                gw.remove_internal(node);
-            }
+            inner.detach_from_gateway(node, gateway);
         }
+    }
+
+    /// The gateway in front of `node`, if the node is topologically private.
+    pub fn gateway_of(&self, node: NodeId) -> Option<GatewayId> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        match inner.profile(node)? {
+            NatProfile::Private { gateway, .. } => Some(*gateway),
+            NatProfile::Public { .. } => None,
+        }
+    }
+
+    /// Number of gateways ever allocated (including gateways whose last node migrated
+    /// away or left; gateway ids are dense and never reused).
+    pub fn gateway_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("NAT topology lock poisoned")
+            .gateways
+            .len()
+    }
+
+    /// Power-cycles `gateway` at `now`, wiping its whole mapping table (see
+    /// [`NatGateway::reboot`]). Returns `false` for an unknown gateway.
+    pub fn reboot_gateway(&self, gateway: GatewayId, now: SimTime) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        match inner.gateway_mut(gateway) {
+            Some(gw) => {
+                gw.reboot(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Power-cycles the gateway in front of `node` at `now`. Returns `false` if the node
+    /// is unknown or public.
+    pub fn reboot_gateway_of(&self, node: NodeId, now: SimTime) -> bool {
+        match self.gateway_of(node) {
+            Some(gateway) => self.reboot_gateway(gateway, now),
+            None => false,
+        }
+    }
+
+    /// Node mobility: moves a private `node` behind a *fresh* gateway (new public IP, new
+    /// local address, filtering drawn from the builder's policy mix), as when a laptop
+    /// hops from one network to another. All bindings at the old gateway are dropped; the
+    /// node's observed IP changes, so mappings other nodes hold towards its old address
+    /// go stale and expire. Returns `false` if the node is unknown or public (use
+    /// [`demote_to_private`](Self::demote_to_private) for those).
+    pub fn migrate_node(&self, node: NodeId) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let Some(NatProfile::Private { gateway, .. }) = inner.profile(node).copied() else {
+            return false;
+        };
+        inner.detach_from_gateway(node, gateway);
+        let filtering = inner.pick_filtering();
+        let config = NatGatewayConfig {
+            filtering,
+            ..inner.default_config
+        };
+        let new_gateway = inner.add_gateway(config);
+        let local_ip = inner.allocate_private_ip();
+        inner.set_profile(
+            node,
+            NatProfile::Private {
+                gateway: new_gateway,
+                local_ip,
+            },
+        );
+        true
+    }
+
+    /// NAT-profile upgrade: turns a private `node` into a public one with a fresh
+    /// globally reachable address (the user enabled port forwarding, or moved onto an
+    /// unfirewalled network). Bindings at its old gateway are dropped. Returns `false`
+    /// if the node is unknown or already public.
+    ///
+    /// The *protocols* are not notified: a node keeps advertising the class it detected
+    /// when it joined, exactly like a deployed peer whose NAT situation changes under it
+    /// — re-running NAT-type identification is the protocol's job, and the resulting
+    /// stale self-classification is part of the stress the scripted scenarios apply.
+    pub fn promote_to_public(&self, node: NodeId) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let Some(NatProfile::Private { gateway, .. }) = inner.profile(node).copied() else {
+            return false;
+        };
+        inner.detach_from_gateway(node, gateway);
+        let ip = inner.allocate_public_ip();
+        inner.set_profile(node, NatProfile::Public { ip });
+        true
+    }
+
+    /// NAT-profile downgrade: puts a public `node` behind a fresh NAT gateway (the ISP
+    /// moved it behind carrier-grade NAT, or it roamed onto a NATed network). Returns
+    /// `false` if the node is unknown or already private. See
+    /// [`promote_to_public`](Self::promote_to_public) for the stale-self-classification
+    /// caveat, which applies symmetrically.
+    pub fn demote_to_private(&self, node: NodeId) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let Some(NatProfile::Public { .. }) = inner.profile(node).copied() else {
+            return false;
+        };
+        let filtering = inner.pick_filtering();
+        let config = NatGatewayConfig {
+            filtering,
+            ..inner.default_config
+        };
+        let gateway = inner.add_gateway(config);
+        let local_ip = inner.allocate_private_ip();
+        inner.set_profile(node, NatProfile::Private { gateway, local_ip });
+        true
+    }
+
+    /// Changes the filtering policy of `gateway` at runtime (see
+    /// [`NatGateway::set_filtering`]). Returns `false` for an unknown gateway.
+    pub fn set_gateway_filtering(&self, gateway: GatewayId, policy: FilteringPolicy) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        match inner.gateway_mut(gateway) {
+            Some(gw) => {
+                gw.set_filtering(policy);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Changes the filtering policy of the gateway in front of `node`. Returns `false`
+    /// if the node is unknown or public.
+    pub fn set_filtering_of(&self, node: NodeId, policy: FilteringPolicy) -> bool {
+        match self.gateway_of(node) {
+            Some(gateway) => self.set_gateway_filtering(gateway, policy),
+            None => false,
+        }
+    }
+
+    /// Marks `node` offline (scripted partition/regional outage: no packet from or to it
+    /// passes the filter) or back online. The node's NAT state is untouched — bindings
+    /// keep ageing while it is cut off, exactly as during a real partition. Returns
+    /// `false` for an unknown node (the offline flag is still cleared, so restoring a
+    /// node that churned out meanwhile is harmless).
+    pub fn set_offline(&self, node: NodeId, offline: bool) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        if inner.profile(node).is_none() {
+            inner.set_offline(node, false);
+            return false;
+        }
+        inner.set_offline(node, offline);
+        true
+    }
+
+    /// Returns `true` if `node` is currently marked offline.
+    pub fn is_offline(&self, node: NodeId) -> bool {
+        self.inner
+            .lock()
+            .expect("NAT topology lock poisoned")
+            .is_offline(node)
+    }
+
+    /// Identifiers of all topologically private nodes (behind a gateway, UPnP or not),
+    /// in ascending id order.
+    pub fn private_node_ids(&self) -> Vec<NodeId> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        inner
+            .profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Some(NatProfile::Private { .. })))
+            .map(|(slot, _)| NodeId::new(slot as u64))
+            .collect()
+    }
+
+    /// Identifiers of all topologically public nodes, in ascending id order.
+    pub fn public_node_ids(&self) -> Vec<NodeId> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        inner
+            .profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Some(NatProfile::Public { .. })))
+            .map(|(slot, _)| NodeId::new(slot as u64))
+            .collect()
+    }
+
+    /// Identifiers of all registered nodes, in ascending id order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        inner
+            .profiles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_some())
+            .map(|(slot, _)| NodeId::new(slot as u64))
+            .collect()
     }
 
     /// The effective connectivity class of `node`: public nodes and nodes behind
@@ -287,6 +528,8 @@ impl NatTopology {
         let inner = self.inner.lock().expect("NAT topology lock poisoned");
         let mut stats = TopologyStats {
             blocked_messages: inner.blocked_messages,
+            stale_binding_failures: inner.stale_binding_failures,
+            offline_nodes: inner.offline_count,
             ..TopologyStats::default()
         };
         for profile in inner.profiles.iter().flatten() {
@@ -351,6 +594,11 @@ impl AddressInfo for NatTopology {
 impl DeliveryFilter for NatTopology {
     fn on_send(&mut self, from: NodeId, to: NodeId, now: SimTime) {
         let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        if inner.is_offline(from) {
+            // An offline sender's packets never leave its network, so they cannot
+            // create or refresh bindings at its gateway.
+            return;
+        }
         let remote_ip = inner.observed_ip(to).unwrap_or_default();
         if let Some(NatProfile::Private { gateway, .. }) = inner.profile(from).copied() {
             if let Some(gw) = inner.gateway_mut(gateway) {
@@ -366,16 +614,30 @@ impl DeliveryFilter for NatTopology {
         let from_ip = inner.observed_ip(from).unwrap_or_default();
         match inner.profile(to).copied() {
             None => DeliveryVerdict::NoSuchDestination,
+            Some(_) if inner.is_offline(from) || inner.is_offline(to) => {
+                // A scripted partition: one of the endpoints is cut off. Blocked, not
+                // gone — the node still exists and will come back.
+                inner.blocked_messages += 1;
+                DeliveryVerdict::BlockedByNat
+            }
             Some(NatProfile::Public { .. }) => DeliveryVerdict::Deliver,
             Some(NatProfile::Private { gateway, .. }) => {
-                let accepted = inner
+                let (accepted, recent_reboot) = inner
                     .gateway(gateway)
-                    .map(|gw| gw.accepts_inbound(to, from, from_ip, now))
-                    .unwrap_or(false);
+                    .map(|gw| {
+                        (
+                            gw.accepts_inbound(to, from, from_ip, now),
+                            gw.rebooted_within_timeout(now),
+                        )
+                    })
+                    .unwrap_or((false, false));
                 if accepted {
                     DeliveryVerdict::Deliver
                 } else {
                     inner.blocked_messages += 1;
+                    if recent_reboot {
+                        inner.stale_binding_failures += 1;
+                    }
                     DeliveryVerdict::BlockedByNat
                 }
             }
@@ -460,6 +722,9 @@ impl NatTopologyBuilder {
                 next_public_ip: 0,
                 next_private_ip: 0,
                 blocked_messages: 0,
+                stale_binding_failures: 0,
+                offline: Vec::new(),
+                offline_count: 0,
             })),
         }
     }
@@ -664,5 +929,186 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_filtering_mix_is_rejected() {
         NatTopologyBuilder::new(0).filtering_mix(&[]);
+    }
+
+    #[test]
+    fn gateway_reboot_closes_the_reply_path_until_refreshed() {
+        let t = populated();
+        let mut f = t.clone();
+        f.on_send(PRIV, PUB, SimTime::ZERO);
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(1)),
+            DeliveryVerdict::Deliver
+        );
+        assert!(t.reboot_gateway_of(PRIV, SimTime::from_secs(2)));
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(3)),
+            DeliveryVerdict::BlockedByNat
+        );
+        // The block happened within one mapping timeout of the reboot: it is a
+        // stale-binding failure.
+        assert_eq!(t.stats().stale_binding_failures, 1);
+        // A fresh outbound reopens the path.
+        f.on_send(PRIV, PUB, SimTime::from_secs(4));
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(5)),
+            DeliveryVerdict::Deliver
+        );
+        // Public nodes have no gateway to reboot.
+        assert!(!t.reboot_gateway_of(PUB, SimTime::ZERO));
+    }
+
+    #[test]
+    fn migration_moves_a_node_behind_a_fresh_gateway() {
+        let t = populated();
+        let mut f = t.clone();
+        f.on_send(PRIV, PUB, SimTime::ZERO);
+        let old_gateway = t.gateway_of(PRIV).unwrap();
+        let old_observed = t.observed_ip(PRIV).unwrap();
+        let gateways_before = t.gateway_count();
+        assert!(t.migrate_node(PRIV));
+        assert_ne!(t.gateway_of(PRIV).unwrap(), old_gateway);
+        assert_ne!(t.observed_ip(PRIV).unwrap(), old_observed, "new public IP");
+        assert_eq!(t.gateway_count(), gateways_before + 1);
+        // The bindings did not follow the node: the reply path is closed.
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(1)),
+            DeliveryVerdict::BlockedByNat
+        );
+        // Public and unknown nodes cannot migrate.
+        assert!(!t.migrate_node(PUB));
+        assert!(!t.migrate_node(NodeId::new(99)));
+    }
+
+    #[test]
+    fn promotion_and_demotion_flip_the_effective_class() {
+        let t = populated();
+        let mut f = t.clone();
+        assert!(t.promote_to_public(PRIV));
+        assert_eq!(t.class_of(PRIV), Some(NatClass::Public));
+        assert!(!t.is_behind_nat(PRIV));
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::ZERO),
+            DeliveryVerdict::Deliver,
+            "a promoted node accepts unsolicited traffic"
+        );
+        assert!(!t.promote_to_public(PRIV), "already public");
+        assert!(t.demote_to_private(PRIV));
+        assert_eq!(t.class_of(PRIV), Some(NatClass::Private));
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(1)),
+            DeliveryVerdict::BlockedByNat,
+            "a demoted node filters unsolicited traffic again"
+        );
+        assert!(!t.demote_to_private(PRIV), "already private");
+        let stats = t.stats();
+        assert_eq!(stats.public_nodes, 2);
+        assert_eq!(stats.private_nodes, 1);
+    }
+
+    #[test]
+    fn filtering_changes_apply_per_gateway() {
+        let t = populated();
+        let mut f = t.clone();
+        f.on_send(PRIV, PUB, SimTime::ZERO);
+        // Port-dependent: only PUB can get back in.
+        assert_eq!(
+            f.can_deliver(OTHER_PUB, PRIV, SimTime::from_secs(1)),
+            DeliveryVerdict::BlockedByNat
+        );
+        assert!(t.set_filtering_of(PRIV, FilteringPolicy::EndpointIndependent));
+        assert_eq!(
+            f.can_deliver(OTHER_PUB, PRIV, SimTime::from_secs(2)),
+            DeliveryVerdict::Deliver,
+            "endpoint-independent lets any remote through the existing mapping"
+        );
+        assert!(!t.set_filtering_of(PUB, FilteringPolicy::EndpointIndependent));
+    }
+
+    #[test]
+    fn offline_nodes_are_partitioned_in_both_directions() {
+        let t = populated();
+        let mut f = t.clone();
+        assert!(t.set_offline(PUB, true));
+        assert!(t.is_offline(PUB));
+        assert_eq!(t.stats().offline_nodes, 1);
+        // Traffic to and from the offline node is blocked, even between public nodes.
+        assert_eq!(
+            f.can_deliver(OTHER_PUB, PUB, SimTime::ZERO),
+            DeliveryVerdict::BlockedByNat
+        );
+        assert_eq!(
+            f.can_deliver(PUB, OTHER_PUB, SimTime::ZERO),
+            DeliveryVerdict::BlockedByNat
+        );
+        // An offline private sender does not refresh bindings.
+        assert!(t.set_offline(PRIV, true));
+        f.on_send(PRIV, OTHER_PUB, SimTime::ZERO);
+        assert!(t.set_offline(PRIV, false));
+        assert_eq!(
+            f.can_deliver(OTHER_PUB, PRIV, SimTime::from_secs(1)),
+            DeliveryVerdict::BlockedByNat,
+            "the outbound sent while offline must not have opened the NAT"
+        );
+        // Restoration clears the partition.
+        assert!(t.set_offline(PUB, false));
+        assert_eq!(t.stats().offline_nodes, 0);
+        assert_eq!(
+            f.can_deliver(OTHER_PUB, PUB, SimTime::from_secs(1)),
+            DeliveryVerdict::Deliver
+        );
+        // Unknown nodes report false; clearing them is harmless.
+        assert!(!t.set_offline(NodeId::new(99), true));
+        assert!(!t.is_offline(NodeId::new(99)));
+    }
+
+    #[test]
+    fn offline_flag_is_cleared_when_a_node_is_removed() {
+        let t = populated();
+        t.set_offline(PRIV, true);
+        let mut f = t.clone();
+        f.on_node_removed(PRIV);
+        assert!(!t.is_offline(PRIV));
+        assert_eq!(t.stats().offline_nodes, 0);
+    }
+
+    #[test]
+    fn node_id_listings_are_ascending_and_class_partitioned() {
+        let t = populated();
+        assert_eq!(t.public_node_ids(), vec![PUB, OTHER_PUB]);
+        assert_eq!(t.private_node_ids(), vec![PRIV]);
+        assert_eq!(t.node_ids(), vec![PUB, PRIV, OTHER_PUB]);
+        t.add_upnp_node(NodeId::new(3));
+        assert_eq!(
+            t.private_node_ids(),
+            vec![PRIV, NodeId::new(3)],
+            "UPnP nodes are topologically private"
+        );
+    }
+
+    #[test]
+    fn stale_binding_failures_require_a_recent_reboot() {
+        let t = populated();
+        let mut f = t.clone();
+        // A plain unsolicited block is not a stale-binding failure.
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::ZERO),
+            DeliveryVerdict::BlockedByNat
+        );
+        assert_eq!(t.stats().stale_binding_failures, 0);
+        t.reboot_gateway_of(PRIV, SimTime::from_secs(10));
+        // Within one mapping timeout (30 s) of the reboot: counted.
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(20)),
+            DeliveryVerdict::BlockedByNat
+        );
+        // Beyond the window: an ordinary block again.
+        assert_eq!(
+            f.can_deliver(PUB, PRIV, SimTime::from_secs(100)),
+            DeliveryVerdict::BlockedByNat
+        );
+        let stats = t.stats();
+        assert_eq!(stats.stale_binding_failures, 1);
+        assert_eq!(stats.blocked_messages, 3);
     }
 }

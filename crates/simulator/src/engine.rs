@@ -5,6 +5,7 @@ use rand::Rng;
 
 use crate::arena::NodeArena;
 use crate::bootstrap::BootstrapRegistry;
+use crate::engine_api::RoundHook;
 use crate::event::Event;
 use crate::latency::{KingLatencyModel, LatencyModel};
 use crate::loss::{LossModel, NoLoss};
@@ -165,6 +166,11 @@ pub struct Simulation<P: Protocol> {
     /// per-event effect collection allocates nothing in steady state.
     outbox_buf: Vec<Outgoing<P::Message>>,
     timers_buf: Vec<TimerRequest>,
+    /// Round-barrier hook, if installed; `None` keeps [`run_until`](Self::run_until) on
+    /// the original barrier-free hot loop.
+    hook: Option<Box<dyn RoundHook>>,
+    /// Index of the last barrier handed to the hook (barrier `n` fires at `n * period`).
+    barriers_fired: u64,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -187,6 +193,8 @@ impl<P: Protocol> Simulation<P> {
             stats: NetworkStats::default(),
             outbox_buf: Vec::new(),
             timers_buf: Vec::new(),
+            hook: None,
+            barriers_fired: 0,
         }
     }
 
@@ -203,6 +211,14 @@ impl<P: Protocol> Simulation<P> {
     /// Replaces the delivery filter (NAT/firewall emulation).
     pub fn set_delivery_filter(&mut self, filter: impl DeliveryFilter + 'static) {
         self.filter = Box::new(filter);
+    }
+
+    /// Installs a [`RoundHook`] invoked at every future round barrier (the instants
+    /// `n * round_period`); barriers at or before the current instant never fire.
+    pub fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
+        let period = self.cfg.round_period.as_millis().max(1);
+        self.barriers_fired = self.now.as_millis() / period;
+        self.hook = Some(hook);
     }
 
     /// The engine configuration.
@@ -333,6 +349,10 @@ impl<P: Protocol> Simulation<P> {
 
     /// Runs the simulation until the virtual clock reaches `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        if self.hook.is_some() {
+            self.run_until_with_barriers(deadline);
+            return;
+        }
         while let Some(at) = self.queue.peek_time() {
             if at > deadline {
                 break;
@@ -340,6 +360,42 @@ impl<P: Protocol> Simulation<P> {
             let scheduled = self.queue.pop().expect("peeked event must exist");
             self.now = scheduled.at;
             self.dispatch(scheduled.event);
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    /// [`run_until`](Self::run_until) with an installed [`RoundHook`]: the event loop is
+    /// split at every barrier instant `n * round_period <= deadline`. The hook fires
+    /// *before* any event scheduled at or after the barrier instant dispatches — the same
+    /// observation point as the sharded engine's phase barrier, where events at exactly
+    /// the window edge belong to the next phase.
+    fn run_until_with_barriers(&mut self, deadline: SimTime) {
+        let period = self.cfg.round_period.as_millis().max(1);
+        loop {
+            let barrier =
+                SimTime::from_millis(self.barriers_fired.saturating_add(1).saturating_mul(period));
+            let next_event = self.queue.peek_time();
+            if barrier <= deadline && next_event.is_none_or(|at| barrier <= at) {
+                if barrier > self.now {
+                    self.now = barrier;
+                }
+                self.barriers_fired += 1;
+                let round = self.barriers_fired;
+                if let Some(hook) = self.hook.as_mut() {
+                    hook.on_round_barrier(round, barrier);
+                }
+                continue;
+            }
+            match next_event {
+                Some(at) if at <= deadline => {
+                    let scheduled = self.queue.pop().expect("peeked event must exist");
+                    self.now = scheduled.at;
+                    self.dispatch(scheduled.event);
+                }
+                _ => break,
+            }
         }
         if deadline > self.now {
             self.now = deadline;
@@ -490,6 +546,10 @@ impl<P: Protocol> crate::engine_api::SimulationEngine<P> for Simulation<P> {
 
     fn set_delivery_filter<D: DeliveryFilter + 'static>(&mut self, filter: D) {
         Simulation::set_delivery_filter(self, filter);
+    }
+
+    fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
+        Simulation::set_round_hook(self, hook);
     }
 
     fn config(&self) -> &SimulationConfig {
@@ -771,5 +831,106 @@ mod tests {
         sim.add_node(NodeId::new(7), Buddy::new(None));
         assert_eq!(sim.joined_at(NodeId::new(7)), Some(SimTime::from_secs(3)));
         assert_eq!(sim.joined_at(NodeId::new(1)), Some(SimTime::ZERO));
+    }
+
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Records every barrier the engine hands to the hook.
+    struct Recorder(Rc<RefCell<Vec<(u64, SimTime)>>>);
+
+    impl RoundHook for Recorder {
+        fn on_round_barrier(&mut self, round: u64, now: SimTime) {
+            self.0.borrow_mut().push((round, now));
+        }
+    }
+
+    #[test]
+    fn round_hook_fires_once_per_barrier() {
+        let mut sim = two_node_sim();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_round_hook(Box::new(Recorder(Rc::clone(&log))));
+        // Split the run across several run_until calls, including one that re-reaches an
+        // already-fired barrier: no barrier may fire twice.
+        sim.run_until(SimTime::from_millis(2_500));
+        sim.run_until(SimTime::from_millis(2_500));
+        sim.run_until(SimTime::from_secs(5));
+        let fired = log.borrow().clone();
+        let expected: Vec<(u64, SimTime)> = (1..=5)
+            .map(|n| (n, SimTime::from_secs(n)))
+            .collect::<Vec<_>>();
+        assert_eq!(fired, expected);
+    }
+
+    #[test]
+    fn round_hook_fires_before_events_at_the_barrier_instant() {
+        // With zero jitter and no random phase, rounds fire exactly at 1 s, 2 s, ... —
+        // i.e. exactly at the barrier instants. The hook must run before the round
+        // callbacks scheduled at the same instant (events at the barrier belong to the
+        // next phase, as in the sharded engine), which a trace shared between a probe
+        // protocol and the hook makes observable.
+        let trace: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+
+        struct Tracer(Rc<RefCell<Vec<&'static str>>>);
+        impl Protocol for Tracer {
+            type Message = Counter;
+            fn on_start(&mut self, _ctx: &mut Context<'_, Self::Message>) {}
+            fn on_round(&mut self, _ctx: &mut Context<'_, Self::Message>) {
+                self.0.borrow_mut().push("round");
+            }
+            fn on_message(
+                &mut self,
+                _from: NodeId,
+                _msg: Self::Message,
+                _ctx: &mut Context<'_, Self::Message>,
+            ) {
+            }
+        }
+        struct BarrierTracer(Rc<RefCell<Vec<&'static str>>>);
+        impl RoundHook for BarrierTracer {
+            fn on_round_barrier(&mut self, _round: u64, _now: SimTime) {
+                self.0.borrow_mut().push("barrier");
+            }
+        }
+
+        let mut sim = Simulation::new(
+            SimulationConfig::default()
+                .with_seed(3)
+                .with_round_jitter(0.0)
+                .with_random_phase(false),
+        );
+        sim.add_node(NodeId::new(0), Tracer(Rc::clone(&trace)));
+        sim.set_round_hook(Box::new(BarrierTracer(Rc::clone(&trace))));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            trace.borrow().as_slice(),
+            &["barrier", "round", "barrier", "round"],
+            "each barrier precedes the round callbacks at the same instant"
+        );
+    }
+
+    #[test]
+    fn round_hook_installed_mid_run_skips_past_barriers() {
+        let mut sim = two_node_sim();
+        sim.run_until(SimTime::from_secs(3));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_round_hook(Box::new(Recorder(Rc::clone(&log))));
+        sim.run_until(SimTime::from_secs(5));
+        let rounds: Vec<u64> = log.borrow().iter().map(|(r, _)| *r).collect();
+        assert_eq!(rounds, vec![4, 5], "barriers 1..3 predate the hook");
+    }
+
+    #[test]
+    fn round_hook_fires_on_an_empty_queue() {
+        let mut sim: Simulation<Buddy> = Simulation::new(
+            SimulationConfig::default()
+                .with_round_jitter(0.0)
+                .with_random_phase(false),
+        );
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_round_hook(Box::new(Recorder(Rc::clone(&log))));
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(log.borrow().len(), 3, "barriers fire without any events");
+        assert_eq!(sim.now(), SimTime::from_secs(3));
     }
 }

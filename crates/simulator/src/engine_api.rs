@@ -16,6 +16,25 @@ use crate::time::{SimDuration, SimTime};
 use crate::traffic::TrafficLedger;
 use crate::types::NodeId;
 
+/// A callback invoked by an engine at every gossip-round barrier.
+///
+/// Round barriers are the instants `n * round_period` (`n >= 1`). Both engines guarantee
+/// the same observation point: when the hook runs, every event scheduled *strictly
+/// before* the barrier instant has executed and no event scheduled *at or after* it has.
+/// In the sharded engine the hook additionally runs after the barrier's canonical
+/// cross-shard merge, and always on the coordinating thread — so a hook that mutates
+/// shared state (the scripted NAT-dynamics executor mutating the `NatTopology` behind the
+/// delivery filter) observes and produces the same state for any worker-thread count,
+/// preserving the engine's bit-identity guarantee.
+///
+/// Hooks fire only for barriers after their installation; installing a hook mid-run never
+/// replays past rounds.
+pub trait RoundHook {
+    /// Called at the barrier that closes gossip round `round` (1-based), i.e. at virtual
+    /// time `now = round * round_period`.
+    fn on_round_barrier(&mut self, round: u64, now: SimTime);
+}
+
 /// An execution engine that can drive [`Protocol`] state machines.
 pub trait SimulationEngine<P: Protocol> {
     /// Creates an engine with the given configuration and the default network models.
@@ -34,6 +53,11 @@ pub trait SimulationEngine<P: Protocol> {
     /// Replaces the delivery filter (NAT/firewall emulation). Both engines consult the
     /// filter from the coordinating thread only, so `Send`/`Sync` are not needed.
     fn set_delivery_filter<D: DeliveryFilter + 'static>(&mut self, filter: D);
+
+    /// Installs a [`RoundHook`] invoked at every future round barrier. Replaces any
+    /// previously installed hook. Like the delivery filter, the hook runs on the
+    /// coordinating thread only.
+    fn set_round_hook(&mut self, hook: Box<dyn RoundHook>);
 
     /// The engine configuration.
     fn config(&self) -> &SimulationConfig;

@@ -100,7 +100,7 @@ pub mod types;
 
 pub use bootstrap::BootstrapRegistry;
 pub use engine::{NetworkStats, Simulation, SimulationConfig};
-pub use engine_api::SimulationEngine;
+pub use engine_api::{RoundHook, SimulationEngine};
 pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use inline::InlineVec;
 pub use latency::{ConstantLatency, KingLatencyModel, LatencyModel, UniformLatency};

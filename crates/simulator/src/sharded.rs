@@ -51,7 +51,7 @@ use rand::Rng;
 use crate::arena::NodeArena;
 use crate::bootstrap::BootstrapRegistry;
 use crate::engine::{NetworkStats, SimulationConfig};
-use crate::engine_api::SimulationEngine;
+use crate::engine_api::{RoundHook, SimulationEngine};
 use crate::event::Event;
 use crate::latency::{KingLatencyModel, LatencyModel};
 use crate::loss::{LossModel, NoLoss};
@@ -320,6 +320,9 @@ pub struct ShardedSimulation<P: Protocol> {
     /// after a membership change (`node_ids_valid` false).
     cached_node_ids: RefCell<Vec<NodeId>>,
     node_ids_valid: Cell<bool>,
+    /// Round-barrier hook, if installed; runs on the coordinating thread right after each
+    /// phase's canonical merge, so its effects are worker-count independent.
+    hook: Option<Box<dyn RoundHook>>,
 }
 
 impl<P: Protocol + Send> ShardedSimulation<P>
@@ -344,6 +347,7 @@ where
             merge_buf: Vec::new(),
             cached_node_ids: RefCell::new(Vec::new()),
             node_ids_valid: Cell::new(false),
+            hook: None,
         }
     }
 
@@ -363,6 +367,13 @@ where
     /// the round barriers, in the canonical merge order.
     pub fn set_delivery_filter(&mut self, filter: impl DeliveryFilter + 'static) {
         self.filter = Box::new(filter);
+    }
+
+    /// Installs a [`RoundHook`] invoked at every future phase barrier, on the
+    /// coordinating thread, after the phase's canonical cross-shard merge. Phases that
+    /// already ran never replay their barriers.
+    pub fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
+        self.hook = Some(hook);
     }
 
     /// The engine configuration.
@@ -598,9 +609,11 @@ where
             if window_end > deadline {
                 break;
             }
-            if self.shards.iter().all(|s| s.queue.is_empty()) {
+            if self.hook.is_none() && self.shards.iter().all(|s| s.queue.is_empty()) {
                 // Nothing queued anywhere (and rounds self-perpetuate, so nothing ever
                 // will be until a node is added): skip ahead instead of spinning phases.
+                // With a hook installed the phases must still run one by one, because
+                // every barrier owes the hook a callback.
                 self.next_phase = deadline.as_millis() / self.period_ms();
                 break;
             }
@@ -637,7 +650,7 @@ where
             let shards = &mut self.shards;
             if shards.len() == 1 {
                 shards[0].run_phase(window_end, &env);
-            } else {
+            } else if shards.iter().any(|s| !s.queue.is_empty()) {
                 let env = &env;
                 std::thread::scope(|scope| {
                     for shard in shards.iter_mut() {
@@ -658,6 +671,11 @@ where
         }
         self.merge_batch(&mut batch, window_end);
         self.merge_buf = batch;
+        if let Some(hook) = self.hook.as_mut() {
+            // After the canonical merge: the hook observes every effect of the closing
+            // phase, and its own effects govern the next phase — for any worker count.
+            hook.on_round_barrier(phase + 1, window_end);
+        }
     }
 
     /// The barrier: sorts `batch` into the canonical order, performs sender-side
@@ -732,6 +750,10 @@ where
 
     fn set_delivery_filter<D: DeliveryFilter + 'static>(&mut self, filter: D) {
         ShardedSimulation::set_delivery_filter(self, filter);
+    }
+
+    fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
+        ShardedSimulation::set_round_hook(self, hook);
     }
 
     fn config(&self) -> &SimulationConfig {
@@ -1036,6 +1058,67 @@ mod tests {
         sim.add_node(NodeId::new(7), Ring::new(3));
         assert_eq!(sim.joined_at(NodeId::new(7)), Some(SimTime::from_secs(3)));
         assert_eq!(sim.joined_at(NodeId::new(1)), Some(SimTime::ZERO));
+    }
+
+    use std::rc::Rc;
+
+    /// Records every barrier the engine hands to the hook.
+    struct Recorder(Rc<RefCell<Vec<(u64, SimTime)>>>);
+
+    impl RoundHook for Recorder {
+        fn on_round_barrier(&mut self, round: u64, now: SimTime) {
+            self.0.borrow_mut().push((round, now));
+        }
+    }
+
+    #[test]
+    fn round_hook_fires_once_per_phase_barrier() {
+        let mut sim = ring_sim(8, 2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_round_hook(Box::new(Recorder(Rc::clone(&log))));
+        sim.run_for_rounds(3);
+        let now = sim.now();
+        sim.run_until(now); // a no-op window must not re-fire barriers
+        sim.run_for_rounds(2);
+        let fired = log.borrow().clone();
+        let expected: Vec<(u64, SimTime)> = (1..=5).map(|n| (n, SimTime::from_secs(n))).collect();
+        assert_eq!(fired, expected);
+    }
+
+    #[test]
+    fn round_hook_fires_even_with_empty_queues() {
+        let mut sim: ShardedSimulation<Ring> =
+            ShardedSimulation::new(SimulationConfig::default().with_engine_threads(3));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        sim.set_round_hook(Box::new(Recorder(Rc::clone(&log))));
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(log.borrow().len(), 4, "no events, but every barrier fires");
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn round_hook_runs_do_not_perturb_bit_identity() {
+        // A hook that only observes must leave the run byte-for-byte unchanged, and the
+        // barrier sequence itself must be identical across worker counts.
+        let run = |threads: usize| {
+            let mut sim = ring_sim(13, threads);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            sim.set_round_hook(Box::new(Recorder(Rc::clone(&log))));
+            sim.run_for_rounds(15);
+            let barriers = log.borrow().clone();
+            (fingerprint(&sim), barriers)
+        };
+        let baseline = {
+            let mut sim = ring_sim(13, 1);
+            sim.run_for_rounds(15);
+            fingerprint(&sim)
+        };
+        let (fp1, log1) = run(1);
+        let (fp4, log4) = run(4);
+        assert_eq!(fp1, baseline, "observer hook changed the run");
+        assert_eq!(fp1, fp4, "1 vs 4 workers diverged under a hook");
+        assert_eq!(log1, log4, "barrier sequences diverged");
+        assert_eq!(log1.len(), 15);
     }
 
     #[test]

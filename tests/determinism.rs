@@ -148,6 +148,69 @@ fn traffic_ledgers_match_between_single_threaded_and_sharded_runs() {
     }
 }
 
+/// The scripted NAT-dynamics acceptance gate: a run whose script power-cycles gateways,
+/// migrates nodes between gateways and takes a whole region offline — mutating the NAT
+/// topology from inside the engine's round-barrier hook — is bit-identical across
+/// sharded worker counts. This holds because the hook runs on the coordinating thread
+/// after each phase's canonical merge, and every selection draw comes from a dedicated
+/// stream of the master seed (DESIGN.md §11).
+#[test]
+fn scripted_nat_dynamics_runs_are_bit_identical_across_thread_counts() {
+    use croupier_suite::experiments::scenario::ScenarioScript;
+    let configs = ProtocolConfigs::default();
+    let rounds = 40;
+    let script = ScenarioScript::croupier_stress(rounds);
+    assert!(
+        script.settled_round().unwrap() < rounds,
+        "the script must settle within the run for recovery to be observable"
+    );
+    let run = |threads: usize| {
+        let params = ExperimentParams::default()
+            .with_seed(0x5CE4)
+            .with_population(10, 30)
+            .with_rounds(rounds)
+            .with_sample_every(5)
+            .with_graph_metrics(8)
+            .with_engine_threads(threads)
+            .with_scenario(script.clone());
+        run_kind(ProtocolKind::Croupier, &params, &configs)
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    for (label, other) in [("2", &two), ("4", &four)] {
+        assert_eq!(
+            one.samples, other.samples,
+            "1 vs {label} threads: scripted samples diverged"
+        );
+        assert_eq!(
+            one.final_snapshot, other.final_snapshot,
+            "1 vs {label} threads: scripted snapshots diverged"
+        );
+        assert_eq!(
+            one.traffic, other.traffic,
+            "1 vs {label} threads: scripted traffic ledgers diverged"
+        );
+        assert_eq!(
+            one.nat_stats, other.nat_stats,
+            "1 vs {label} threads: NAT statistics diverged"
+        );
+    }
+    // The script actually bit: gateways rebooted and a region went dark and came back.
+    assert!(
+        one.nat_stats.blocked_messages > 0,
+        "the outage blocks traffic"
+    );
+    assert_eq!(one.nat_stats.offline_nodes, 0, "the outage was restored");
+    // And the overlay recovered.
+    let last = one.samples.last().expect("samples");
+    assert!(
+        last.largest_component.unwrap() >= 0.95,
+        "croupier should recover connectivity after the scripted stress, got {:?}",
+        last.largest_component
+    );
+}
+
 #[test]
 fn different_seeds_produce_different_runs() {
     let configs = ProtocolConfigs::default();

@@ -2,24 +2,45 @@
 //! workspace member is a plain binary, so `cargo run -p xtask -- <command>` works without
 //! any alias).
 //!
-//! The only command today is `bench-compare`, the guts of the CI `bench-regression` job:
-//! it reads the `BENCH_<target>.json` reports emitted by the criterion shim for the
-//! current run and for the committed baseline, matches benchmarks by name, and fails
-//! (exit code 1) when any benchmark's mean time regressed by more than the threshold.
+//! Commands:
 //!
-//! ```text
-//! cargo run -p xtask -- bench-compare \
-//!     --baseline ci/bench-baseline --current target/bench-json \
-//!     [--targets microbench_core,microbench_engine,microbench_metrics] \
-//!     [--threshold 0.25] [--update]
-//! ```
+//! * `bench-compare` — the guts of the CI `bench-regression` job: reads the
+//!   `BENCH_<target>.json` reports emitted by the criterion shim for the current run and
+//!   for the committed baseline, matches benchmarks by name, and fails (exit code 1) when
+//!   any benchmark regressed beyond the threshold **or disappeared from the run** (a
+//!   deleted benchmark silently ungates its hot path otherwise).
 //!
-//! `--update` rewrites the baseline files from the current run instead of comparing —
-//! commit the result when a speedup or an intentional regression moves the floor.
+//!   ```text
+//!   cargo run -p xtask -- bench-compare \
+//!       --baseline ci/bench-baseline --current target/bench-json \
+//!       [--targets microbench_core,microbench_engine,microbench_metrics] \
+//!       [--threshold 0.25] [--update]
+//!   ```
+//!
+//!   `--update` rewrites the baseline files from the current run instead of comparing —
+//!   commit the result when a speedup or an intentional regression moves the floor.
+//!
+//! * `scenario-matrix` — runs the NAT-dynamics scenario matrix (the CI `scenario-matrix`
+//!   job): a thin wrapper around `cargo run --release -p croupier-experiments --bin
+//!   scenario_matrix`, forwarding every argument.
+//!
+//!   ```text
+//!   cargo run -p xtask -- scenario-matrix --scale quick --out target/scenario-json
+//!   ```
+//!
+//! * `ci-local` — mirrors every CI job offline so contributors can reproduce CI failures
+//!   before pushing: `fmt`, `clippy` (deny warnings), `doc` (deny warnings), `test`
+//!   (release build + workspace tests), `bench` (guarded benches + `bench-compare`), and
+//!   a `scenario-matrix` smoke run at tiny scale. All steps run even when an earlier one
+//!   fails; the summary lists every verdict.
+//!
+//!   ```text
+//!   cargo run -p xtask -- ci-local [--skip bench,scenario-matrix]
+//!   ```
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 
 /// One benchmark entry parsed from a `BENCH_<target>.json` report.
 #[derive(Clone, Debug, PartialEq)]
@@ -193,17 +214,18 @@ struct Args {
 }
 
 const USAGE: &str = "usage: xtask bench-compare --baseline <dir> --current <dir> \
-                     [--targets a,b] [--threshold 0.25] [--metric min|mean] [--update]";
+                     [--targets a,b] [--threshold 0.25] [--metric min|mean] [--update]\n\
+                     xtask scenario-matrix [scenario_matrix args...]\n\
+                     xtask ci-local [--skip fmt,clippy,doc,test,bench,scenario-matrix]";
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut baseline = None;
     let mut current = None;
-    let mut targets = vec![
-        String::from("microbench_core"),
-        String::from("microbench_engine"),
-        String::from("microbench_metrics"),
-    ];
-    let mut threshold = 0.25;
+    let mut targets: Vec<String> = GUARDED_BENCH_TARGETS
+        .iter()
+        .map(|t| t.to_string())
+        .collect();
+    let mut threshold = DEFAULT_BENCH_THRESHOLD;
     let mut metric = Metric::Min;
     let mut update = false;
     while let Some(arg) = argv.next() {
@@ -255,8 +277,36 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     })
 }
 
-fn bench_compare(args: &Args) -> Result<bool, String> {
-    let mut all_ok = true;
+/// What failed the bench gate, aggregated across targets. Regressions and missing
+/// benchmarks are reported separately: a benchmark that vanished from the run is not a
+/// slowdown, it is the regression gate silently losing coverage, and the fix (restore
+/// the benchmark, or `--update` the baseline when the removal is intentional) differs.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct GateOutcome {
+    regressed: Vec<String>,
+    missing: Vec<String>,
+}
+
+impl GateOutcome {
+    fn is_ok(&self) -> bool {
+        self.regressed.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Sorts one target's verdicts into the gate outcome; `Ok` and `New` pass.
+fn gate(target: &str, verdicts: &[(String, Verdict)], outcome: &mut GateOutcome) {
+    for (name, verdict) in verdicts {
+        let qualified = format!("{target}::{name}");
+        match verdict {
+            Verdict::Regressed { .. } => outcome.regressed.push(qualified),
+            Verdict::Missing => outcome.missing.push(qualified),
+            Verdict::Ok { .. } | Verdict::New => {}
+        }
+    }
+}
+
+fn bench_compare(args: &Args) -> Result<GateOutcome, String> {
+    let mut outcome = GateOutcome::default();
     for target in &args.targets {
         let current_path = report_path(&args.current, target);
         let current_text = std::fs::read_to_string(&current_path)
@@ -280,14 +330,198 @@ fn bench_compare(args: &Args) -> Result<bool, String> {
         }
         let verdicts = compare(&baseline, &current, args.threshold, args.metric);
         print!("{}", render_table(target, &verdicts));
-        if verdicts
-            .iter()
-            .any(|(_, v)| !matches!(v, Verdict::Ok { .. } | Verdict::New))
-        {
-            all_ok = false;
+        gate(target, &verdicts, &mut outcome);
+    }
+    Ok(outcome)
+}
+
+/// Prints the gate outcome's failure details and returns the process exit code.
+fn report_gate(outcome: &GateOutcome, threshold: f64) -> ExitCode {
+    if outcome.is_ok() {
+        println!("bench-compare: all benchmarks within threshold");
+        return ExitCode::SUCCESS;
+    }
+    if !outcome.regressed.is_empty() {
+        eprintln!(
+            "bench-compare: regression beyond {:.0}% in: {}",
+            threshold * 100.0,
+            outcome.regressed.join(", ")
+        );
+    }
+    if !outcome.missing.is_empty() {
+        eprintln!(
+            "bench-compare: baseline benchmarks missing from the run (restore them or \
+             refresh the baseline with --update): {}",
+            outcome.missing.join(", ")
+        );
+    }
+    ExitCode::FAILURE
+}
+
+/// The cargo executable to shell out to (`$CARGO` when cargo invoked us, so nested calls
+/// use the same toolchain).
+fn cargo_bin() -> String {
+    std::env::var("CARGO").unwrap_or_else(|_| String::from("cargo"))
+}
+
+/// The bench targets guarded by the regression gate — shared by the `bench-compare`
+/// defaults and the `ci-local` bench step so the two cannot drift.
+const GUARDED_BENCH_TARGETS: [&str; 3] =
+    ["microbench_core", "microbench_engine", "microbench_metrics"];
+
+/// The regression threshold both CI and `ci-local` judge against.
+const DEFAULT_BENCH_THRESHOLD: f64 = 0.25;
+
+/// Runs the `scenario_matrix` binary through cargo with `extra` appended — the single
+/// invocation site behind both `xtask scenario-matrix` and the `ci-local` smoke step.
+fn run_scenario_matrix(extra: &[String]) -> bool {
+    let mut args = vec![
+        "run",
+        "--release",
+        "-p",
+        "croupier-experiments",
+        "--bin",
+        "scenario_matrix",
+        "--",
+    ];
+    args.extend(extra.iter().map(String::as_str));
+    run_command(&cargo_bin(), &args, &[])
+}
+
+/// Runs one external command, streaming its output; returns `true` on exit code 0.
+fn run_command(program: &str, args: &[&str], envs: &[(&str, &str)]) -> bool {
+    println!("$ {program} {}", args.join(" "));
+    let mut cmd = Command::new(program);
+    cmd.args(args);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    match cmd.status() {
+        Ok(status) => status.success(),
+        Err(err) => {
+            eprintln!("cannot run {program}: {err}");
+            false
         }
     }
-    Ok(all_ok)
+}
+
+/// The CI jobs `ci-local` mirrors, in run order.
+const CI_STEPS: [&str; 6] = ["fmt", "clippy", "doc", "test", "bench", "scenario-matrix"];
+
+/// Parses `ci-local`'s arguments: the set of steps to skip.
+fn parse_ci_local_args(mut argv: impl Iterator<Item = String>) -> Result<Vec<String>, String> {
+    let mut skip = Vec::new();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--skip" => {
+                for step in argv
+                    .next()
+                    .ok_or("--skip requires a value")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                {
+                    if !CI_STEPS.contains(&step) {
+                        return Err(format!(
+                            "unknown step '{step}' (steps: {})",
+                            CI_STEPS.join(", ")
+                        ));
+                    }
+                    skip.push(step.to_string());
+                }
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(skip)
+}
+
+/// Runs one `ci-local` step; returns `true` on success.
+fn ci_local_step(step: &str) -> bool {
+    let cargo = cargo_bin();
+    match step {
+        "fmt" => run_command(&cargo, &["fmt", "--all", "--check"], &[]),
+        "clippy" => run_command(
+            &cargo,
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+            &[],
+        ),
+        "doc" => run_command(
+            &cargo,
+            &["doc", "--workspace", "--no-deps"],
+            &[("RUSTDOCFLAGS", "-D warnings")],
+        ),
+        "test" => {
+            run_command(&cargo, &["build", "--release", "--workspace"], &[])
+                && run_command(&cargo, &["test", "-q", "--workspace"], &[])
+        }
+        "bench" => {
+            let mut bench_args = vec!["bench"];
+            for target in GUARDED_BENCH_TARGETS {
+                bench_args.push("--bench");
+                bench_args.push(target);
+            }
+            if !run_command(&cargo, &bench_args, &[]) {
+                return false;
+            }
+            // Same comparison the CI gate runs, in-process: parse_args with only the
+            // required paths picks up the shared target/threshold/metric defaults.
+            let args = parse_args(
+                [
+                    "--baseline",
+                    "ci/bench-baseline",
+                    "--current",
+                    "target/bench-json",
+                ]
+                .map(String::from)
+                .into_iter(),
+            )
+            .expect("defaults are valid");
+            match bench_compare(&args) {
+                Ok(outcome) => report_gate(&outcome, args.threshold) == ExitCode::SUCCESS,
+                Err(err) => {
+                    eprintln!("{err}");
+                    false
+                }
+            }
+        }
+        "scenario-matrix" => run_scenario_matrix(
+            &["--scale", "tiny", "--out", "target/scenario-json"].map(String::from),
+        ),
+        other => {
+            eprintln!("unknown ci-local step '{other}'");
+            false
+        }
+    }
+}
+
+fn ci_local(skip: &[String]) -> ExitCode {
+    let mut results: Vec<(&str, &str)> = Vec::new();
+    for step in CI_STEPS {
+        if skip.iter().any(|s| s == step) {
+            results.push((step, "skipped"));
+            continue;
+        }
+        println!("==> ci-local: {step}");
+        let verdict = if ci_local_step(step) { "ok" } else { "FAILED" };
+        results.push((step, verdict));
+    }
+    println!("\nci-local summary:");
+    for (step, verdict) in &results {
+        println!("  {step:<16} {verdict}");
+    }
+    if results.iter().any(|(_, v)| *v == "FAILED") {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -302,23 +536,29 @@ fn main() -> ExitCode {
                 }
             };
             match bench_compare(&args) {
-                Ok(true) => {
-                    println!("bench-compare: all benchmarks within threshold");
-                    ExitCode::SUCCESS
-                }
-                Ok(false) => {
-                    eprintln!(
-                        "bench-compare: regression beyond {:.0}% detected",
-                        args.threshold * 100.0
-                    );
-                    ExitCode::FAILURE
-                }
+                Ok(outcome) => report_gate(&outcome, args.threshold),
                 Err(err) => {
                     eprintln!("{err}");
                     ExitCode::FAILURE
                 }
             }
         }
+        Some("scenario-matrix") => {
+            // Thin forwarding wrapper so CI and contributors share one entry point.
+            let extra: Vec<String> = argv.collect();
+            if run_scenario_matrix(&extra) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("ci-local") => match parse_ci_local_args(argv) {
+            Ok(skip) => ci_local(&skip),
+            Err(err) => {
+                eprintln!("{err}\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("unknown command '{other}'\n{USAGE}");
             ExitCode::FAILURE
@@ -410,6 +650,57 @@ mod tests {
         let baseline = vec![entry("gone", 100.0)];
         let verdicts = compare(&baseline, &[], 0.25, Metric::Min);
         assert_eq!(verdicts[0].1, Verdict::Missing);
+    }
+
+    #[test]
+    fn gate_fails_on_missing_and_regressed_but_not_on_new() {
+        let verdicts = vec![
+            (String::from("fine"), Verdict::Ok { ratio: 1.0 }),
+            (String::from("slow"), Verdict::Regressed { ratio: 1.6 }),
+            (String::from("gone"), Verdict::Missing),
+            (String::from("fresh"), Verdict::New),
+        ];
+        let mut outcome = GateOutcome::default();
+        gate("t", &verdicts, &mut outcome);
+        assert!(!outcome.is_ok());
+        assert_eq!(outcome.regressed, vec![String::from("t::slow")]);
+        assert_eq!(
+            outcome.missing,
+            vec![String::from("t::gone")],
+            "a benchmark that vanished from the run must fail the gate"
+        );
+        assert_eq!(report_gate(&outcome, 0.25), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn gate_passes_when_everything_is_ok_or_new() {
+        let verdicts = vec![
+            (String::from("fine"), Verdict::Ok { ratio: 0.9 }),
+            (String::from("fresh"), Verdict::New),
+        ];
+        let mut outcome = GateOutcome::default();
+        gate("t", &verdicts, &mut outcome);
+        assert!(outcome.is_ok());
+        assert_eq!(report_gate(&outcome, 0.25), ExitCode::SUCCESS);
+    }
+
+    #[test]
+    fn ci_local_args_accept_known_steps_only() {
+        assert_eq!(
+            parse_ci_local_args(
+                ["--skip", "bench,scenario-matrix"]
+                    .map(String::from)
+                    .into_iter()
+            )
+            .unwrap(),
+            vec![String::from("bench"), String::from("scenario-matrix")]
+        );
+        assert!(parse_ci_local_args(std::iter::empty()).unwrap().is_empty());
+        assert!(
+            parse_ci_local_args(["--skip", "bogus"].map(String::from).into_iter()).is_err(),
+            "unknown steps are rejected"
+        );
+        assert!(parse_ci_local_args(["--wat"].map(String::from).into_iter()).is_err());
     }
 
     #[test]
