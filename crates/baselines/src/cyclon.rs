@@ -128,7 +128,7 @@ impl Protocol for CyclonNode {
             self.bootstrap(ctx);
             return;
         }
-        let Some(target) = self.view.oldest().map(|d| d.node) else {
+        let Some(target) = self.view.oldest().map(|d| d.node()) else {
             return;
         };
         self.view.remove(target);
@@ -179,12 +179,12 @@ impl PssNode for CyclonNode {
 
     fn for_each_known_peer(&self, visit: &mut dyn FnMut(NodeId)) {
         for descriptor in self.view.iter() {
-            visit(descriptor.node);
+            visit(descriptor.node());
         }
     }
 
     fn draw_sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
-        self.view.random(rng).map(|d| d.node)
+        self.view.random(rng).map(|d| d.node())
     }
 
     fn rounds_executed(&self) -> u64 {

@@ -224,7 +224,7 @@ impl GozarNode {
             .iter()
             .map(|d| GozarEntry {
                 descriptor: *d,
-                relays: self.relay_cache.get(&d.node).cloned().unwrap_or_default(),
+                relays: self.relay_cache.get(&d.node()).cloned().unwrap_or_default(),
             })
             .collect()
     }
@@ -232,9 +232,9 @@ impl GozarNode {
     fn absorb_entries(&mut self, entries: &[GozarEntry], sent: &[Descriptor]) {
         let descriptors: DescriptorBatch = entries.iter().map(|e| e.descriptor).collect();
         for entry in entries {
-            if entry.descriptor.class.is_private() && !entry.relays.is_empty() {
+            if entry.descriptor.class().is_private() && !entry.relays.is_empty() {
                 self.relay_cache
-                    .insert(entry.descriptor.node, entry.relays.clone());
+                    .insert(entry.descriptor.node(), entry.relays.clone());
             }
         }
         self.view
@@ -264,8 +264,8 @@ impl GozarNode {
             let mut candidates: Vec<NodeId> = self
                 .view
                 .iter()
-                .filter(|d| d.class.is_public())
-                .map(|d| d.node)
+                .filter(|d| d.class().is_public())
+                .map(|d| d.node())
                 .filter(|n| !self.my_relays.contains(n))
                 .collect();
             if candidates.is_empty() {
@@ -310,7 +310,7 @@ impl GozarNode {
         let target_is_private = self
             .view
             .get(target)
-            .map(|d| d.class.is_private())
+            .map(|d| d.class().is_private())
             .unwrap_or_else(|| self.relay_cache.contains_key(&target));
         if target_is_private {
             match self
@@ -386,7 +386,7 @@ impl Protocol for GozarNode {
             self.bootstrap(ctx);
             return;
         }
-        let Some(target) = self.view.oldest().map(|d| d.node) else {
+        let Some(target) = self.view.oldest().map(|d| d.node()) else {
             return;
         };
         // Keep the descriptor until we know the exchange can be routed; `send_request`
@@ -443,12 +443,12 @@ impl PssNode for GozarNode {
 
     fn for_each_known_peer(&self, visit: &mut dyn FnMut(NodeId)) {
         for descriptor in self.view.iter() {
-            visit(descriptor.node);
+            visit(descriptor.node());
         }
     }
 
     fn draw_sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
-        self.view.random(rng).map(|d| d.node)
+        self.view.random(rng).map(|d| d.node())
     }
 
     fn rounds_executed(&self) -> u64 {
@@ -506,7 +506,7 @@ mod tests {
         let mut nodes_knowing_private = 0;
         for (_, node) in sim.nodes() {
             assert!(!node.view().is_empty());
-            if node.view().iter().any(|d| d.class.is_private()) {
+            if node.view().iter().any(|d| d.class().is_private()) {
                 nodes_knowing_private += 1;
             }
         }

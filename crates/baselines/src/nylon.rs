@@ -179,8 +179,8 @@ impl NylonNode {
 
     fn absorb(&mut self, learned_from: NodeId, sent: &[Descriptor], received: &[Descriptor]) {
         for d in received {
-            if d.node != self.id && d.class.is_private() {
-                self.next_hop.insert(d.node, learned_from);
+            if d.node() != self.id && d.class().is_private() {
+                self.next_hop.insert(d.node(), learned_from);
             }
         }
         self.view.apply_exchange_swapper(sent, received, self.id);
@@ -253,13 +253,13 @@ impl Protocol for NylonNode {
         let Some(target_descriptor) = self.view.oldest().copied() else {
             return;
         };
-        let target = target_descriptor.node;
+        let target = target_descriptor.node();
         self.view.remove(target);
         let sent = self
             .view
             .random_subset(self.config.shuffle_size.saturating_sub(1), ctx.rng());
 
-        if target_descriptor.class.is_public() || self.connection_open(target) {
+        if target_descriptor.class().is_public() || self.connection_open(target) {
             self.send_direct_shuffle(target, sent, ctx);
             return;
         }
@@ -375,12 +375,12 @@ impl PssNode for NylonNode {
 
     fn for_each_known_peer(&self, visit: &mut dyn FnMut(NodeId)) {
         for descriptor in self.view.iter() {
-            visit(descriptor.node);
+            visit(descriptor.node());
         }
     }
 
     fn draw_sample(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
-        self.view.random(rng).map(|d| d.node)
+        self.view.random(rng).map(|d| d.node())
     }
 
     fn rounds_executed(&self) -> u64 {
@@ -421,7 +421,7 @@ mod tests {
         let mut with_private = 0;
         for (_, node) in sim.nodes() {
             assert!(!node.view().is_empty());
-            if node.view().iter().any(|d| d.class.is_private()) {
+            if node.view().iter().any(|d| d.class().is_private()) {
                 with_private += 1;
             }
         }

@@ -23,9 +23,11 @@
 //! the largest thread count (the committed `ci/bench-baseline/` numbers record whatever
 //! machine produced them; see the workflow comment for the `--update` refresh flow).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, record_informational, Criterion};
 use croupier::{CroupierConfig, CroupierNode};
 use croupier_nat::NatTopologyBuilder;
 use croupier_simulator::event::Event;
@@ -35,6 +37,44 @@ use croupier_simulator::{NatClass, NodeId, ShardedSimulation, SimTime, Simulatio
 
 /// Fraction of public nodes, matching the paper's default ratio.
 const PUBLIC_EVERY: u64 = 5;
+
+/// Delegates to the system allocator while tracking this thread's live heap bytes; feeds
+/// the informational `bytes_per_node` report entries. The measured builds run with one
+/// worker thread, whose sharded path executes inline on the measuring thread, so the
+/// thread-local counter sees the whole deployment.
+struct TrackingAllocator;
+
+thread_local! {
+    static LIVE_BYTES: Cell<i64> = const { Cell::new(0) };
+}
+
+// SAFETY: pure delegation to `System`; the counter is a thread-local `Cell` adjustment
+// with a `try_with` guard for TLS teardown.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = LIVE_BYTES.try_with(|c| c.set(c.get() + layout.size() as i64));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        let _ = LIVE_BYTES.try_with(|c| c.set(c.get() - layout.size() as i64));
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = LIVE_BYTES.try_with(|c| {
+            c.set(c.get() + new_size as i64 - layout.size() as i64);
+        });
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn live_bytes() -> i64 {
+    LIVE_BYTES.with(|c| c.get())
+}
 
 fn build_sim_with(
     nodes: u64,
@@ -97,6 +137,23 @@ fn bench_round_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Reports the steady-state heap footprint per node as informational JSON entries: the
+/// live-bytes delta of building and warming a whole single-worker deployment, divided by
+/// its node count. This is the number the million-node tier budget rests on — the packed
+/// descriptor/estimate layouts and the u32 NAT binding tables show up here directly.
+fn report_bytes_per_node(_c: &mut Criterion) {
+    for &nodes in &[10_000u64, 100_000] {
+        let before = live_bytes();
+        let sim = build_sim(nodes, 1);
+        let per_node = (live_bytes() - before).max(0) as f64 / nodes as f64;
+        record_informational(
+            format!("engine/{}k_nodes/bytes_per_node", nodes / 1_000),
+            per_node,
+        );
+        drop(sim);
+    }
+}
+
 /// A queue-depth-heavy schedule/pop churn: `events_per_tick` events in flight per tick
 /// over a ~1 s horizon, cursor sweeping the whole wheel ring. Mirrors the per-shard event
 /// load of a large deployment without any protocol work on top.
@@ -148,5 +205,10 @@ fn bench_queue_depth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_throughput, bench_queue_depth);
+criterion_group!(
+    benches,
+    bench_round_throughput,
+    bench_queue_depth,
+    report_bytes_per_node
+);
 criterion_main!(benches);

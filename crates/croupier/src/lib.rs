@@ -76,7 +76,7 @@ pub mod view;
 
 pub use config::{CroupierConfig, MergePolicy, SelectionPolicy};
 pub use descriptor::{
-    Descriptor, DescriptorBatch, DESCRIPTOR_INLINE_CAPACITY, DESCRIPTOR_WIRE_BYTES,
+    Descriptor, DescriptorBatch, AGE_MAX, DESCRIPTOR_INLINE_CAPACITY, DESCRIPTOR_WIRE_BYTES,
 };
 pub use estimator::{
     EstimateBatch, EstimateRecord, RatioEstimator, ESTIMATE_INLINE_CAPACITY, ESTIMATE_WIRE_BYTES,

@@ -19,7 +19,10 @@ const SHUFFLE_FRAMING_BYTES: usize = 6;
 /// All three lists are [`InlineVec`](croupier_simulator::InlineVec)s sized to the paper's
 /// view-subset bounds, so filling, reading and clearing a default-config payload touches
 /// no heap memory. The payload itself travels **boxed** inside [`CroupierMessage`]: the
-/// inline lists make the struct ~600 bytes, and shipping that by value through the
+/// inline lists make the struct ~380 bytes even with the bit-packed 8-byte
+/// [`Descriptor`](crate::Descriptor)s and 16-byte
+/// [`EstimateRecord`](crate::EstimateRecord)s (it was ~600 before packing), and shipping
+/// that by value through the
 /// engines' queues, outboxes and barrier sorts measurably dominated 100k-node rounds
 /// (every move is a full-width memcpy). Boxing shrinks the on-queue message to two words;
 /// the box itself is recycled through [`CroupierNode`](crate::CroupierNode)'s payload
@@ -127,6 +130,20 @@ mod tests {
             5 * DESCRIPTOR_WIRE_BYTES
         );
         assert!(small.wire_size() > UDP_IP_HEADER_BYTES);
+    }
+
+    #[test]
+    fn packed_payload_stays_compact() {
+        // The bit-packed descriptor (8 bytes) and estimate record (16 bytes) keep the
+        // pooled payload under 450 bytes; the pre-packing layout was ~600. A regression
+        // here silently doubles the per-message memcpy cost at the 1M-node tier.
+        assert_eq!(std::mem::size_of::<crate::Descriptor>(), 8);
+        assert_eq!(std::mem::size_of::<EstimateRecord>(), 16);
+        assert!(
+            std::mem::size_of::<ShufflePayload>() <= 450,
+            "ShufflePayload grew to {} bytes",
+            std::mem::size_of::<ShufflePayload>()
+        );
     }
 
     #[test]

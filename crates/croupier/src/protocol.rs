@@ -176,8 +176,8 @@ impl CroupierNode {
     /// configured selection policy.
     fn select_target(&mut self, rng: &mut SmallRng) -> Option<NodeId> {
         let target = match self.config.selection {
-            SelectionPolicy::Tail => self.public_view.oldest().map(|d| d.node),
-            SelectionPolicy::Random => self.public_view.random(rng).map(|d| d.node),
+            SelectionPolicy::Tail => self.public_view.oldest().map(|d| d.node()),
+            SelectionPolicy::Random => self.public_view.random(rng).map(|d| d.node()),
         }?;
         self.public_view.remove(target);
         Some(target)
@@ -192,10 +192,10 @@ impl CroupierNode {
             .iter()
             .chain(payload.private_descriptors.iter())
         {
-            if d.node == self.id {
+            if d.node() == self.id {
                 continue;
             }
-            match d.class {
+            match d.class() {
                 NatClass::Public => public.push(*d),
                 NatClass::Private => private.push(*d),
             }
@@ -366,7 +366,7 @@ impl PssNode for CroupierNode {
 
     fn for_each_known_peer(&self, visit: &mut dyn FnMut(NodeId)) {
         for descriptor in self.public_view.iter().chain(self.private_view.iter()) {
-            visit(descriptor.node);
+            visit(descriptor.node());
         }
     }
 
@@ -439,17 +439,17 @@ mod tests {
         for (_, node) in sim.nodes() {
             for d in node.public_view().iter() {
                 assert!(
-                    d.class.is_public(),
+                    d.class().is_public(),
                     "public view must only hold public nodes"
                 );
-                assert!(d.node.as_u64() < 5);
+                assert!(d.node().as_u64() < 5);
             }
             for d in node.private_view().iter() {
                 assert!(
-                    d.class.is_private(),
+                    d.class().is_private(),
                     "private view must only hold private nodes"
                 );
-                assert!(d.node.as_u64() >= 5);
+                assert!(d.node().as_u64() >= 5);
             }
             assert!(!node.public_view().contains(node.id()), "no self-loop");
             assert!(!node.private_view().contains(node.id()), "no self-loop");

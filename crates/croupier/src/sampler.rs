@@ -60,7 +60,7 @@ pub fn sample_from_views(
     first
         .random(rng)
         .or_else(|| second.random(rng))
-        .map(|d| d.node)
+        .map(|d| d.node())
 }
 
 #[cfg(test)]

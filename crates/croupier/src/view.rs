@@ -29,7 +29,7 @@ use crate::descriptor::{Descriptor, DescriptorBatch};
 /// // Bounded at capacity, keeping the first three inserted.
 /// assert_eq!(view.len(), 3);
 /// view.increment_ages();
-/// assert!(view.iter().all(|d| d.age == 1));
+/// assert!(view.iter().all(|d| d.age() == 1));
 /// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct View {
@@ -68,12 +68,12 @@ impl View {
 
     /// Returns `true` if a descriptor for `node` is present.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.entries.iter().any(|d| d.node == node)
+        self.entries.iter().any(|d| d.node() == node)
     }
 
     /// The descriptor for `node`, if present.
     pub fn get(&self, node: NodeId) -> Option<&Descriptor> {
-        self.entries.iter().find(|d| d.node == node)
+        self.entries.iter().find(|d| d.node() == node)
     }
 
     /// Iterates over the descriptors in insertion order.
@@ -83,7 +83,7 @@ impl View {
 
     /// The node identifiers currently in the view.
     pub fn nodes(&self) -> Vec<NodeId> {
-        self.entries.iter().map(|d| d.node).collect()
+        self.entries.iter().map(|d| d.node()).collect()
     }
 
     /// Ages every descriptor by one round.
@@ -98,7 +98,7 @@ impl View {
     /// Returns `true` if the descriptor was inserted. Use
     /// [`refresh_or_insert`](View::refresh_or_insert) to also update existing entries.
     pub fn insert(&mut self, descriptor: Descriptor) -> bool {
-        if self.contains(descriptor.node) || self.is_full() {
+        if self.contains(descriptor.node()) || self.is_full() {
             return false;
         }
         self.entries.push(descriptor);
@@ -108,7 +108,11 @@ impl View {
     /// Inserts `descriptor`, or — if an entry for the same node already exists — replaces
     /// it when `descriptor` is fresher. Returns `true` if the view changed.
     pub fn refresh_or_insert(&mut self, descriptor: Descriptor) -> bool {
-        if let Some(existing) = self.entries.iter_mut().find(|d| d.node == descriptor.node) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|d| d.node() == descriptor.node())
+        {
             if descriptor.is_newer_than(existing) {
                 *existing = descriptor;
                 return true;
@@ -120,14 +124,14 @@ impl View {
 
     /// Removes and returns the descriptor for `node`.
     pub fn remove(&mut self, node: NodeId) -> Option<Descriptor> {
-        let index = self.entries.iter().position(|d| d.node == node)?;
+        let index = self.entries.iter().position(|d| d.node() == node)?;
         Some(self.entries.remove(index))
     }
 
     /// The descriptor with the highest age (ties broken by insertion order). This is the
     /// *tail* selection policy of the paper.
     pub fn oldest(&self) -> Option<&Descriptor> {
-        self.entries.iter().max_by_key(|d| d.age)
+        self.entries.iter().max_by_key(|d| d.age())
     }
 
     /// A descriptor chosen uniformly at random.
@@ -179,10 +183,10 @@ impl View {
         // exchange.
         let mut next_victim = 0usize;
         for descriptor in received {
-            if descriptor.node == self_node {
+            if descriptor.node() == self_node {
                 continue;
             }
-            if self.contains(descriptor.node) {
+            if self.contains(descriptor.node()) {
                 self.refresh_or_insert(*descriptor);
                 continue;
             }
@@ -194,7 +198,7 @@ impl View {
             // information is lost system-wide. If no sent entry is left to swap out, the
             // received descriptor is dropped.
             while next_victim < sent.len() {
-                let victim = sent[next_victim].node;
+                let victim = sent[next_victim].node();
                 next_victim += 1;
                 if self.remove(victim).is_some() {
                     self.insert(*descriptor);
@@ -208,10 +212,14 @@ impl View {
     /// freshest `capacity` entries. Used by ablation experiments only.
     pub fn apply_exchange_healer(&mut self, received: &[Descriptor], self_node: NodeId) {
         for descriptor in received {
-            if descriptor.node == self_node {
+            if descriptor.node() == self_node {
                 continue;
             }
-            if let Some(existing) = self.entries.iter_mut().find(|d| d.node == descriptor.node) {
+            if let Some(existing) = self
+                .entries
+                .iter_mut()
+                .find(|d| d.node() == descriptor.node())
+            {
                 if descriptor.is_newer_than(existing) {
                     *existing = *descriptor;
                 }
@@ -219,7 +227,7 @@ impl View {
                 self.entries.push(*descriptor);
             }
         }
-        self.entries.sort_by_key(|d| d.age);
+        self.entries.sort_by_key(|d| d.age());
         self.entries.truncate(self.capacity);
     }
 }
@@ -257,9 +265,9 @@ mod tests {
             v.refresh_or_insert(d(1, 2)),
             "newer descriptor replaces older"
         );
-        assert_eq!(v.get(NodeId::new(1)).unwrap().age, 2);
+        assert_eq!(v.get(NodeId::new(1)).unwrap().age(), 2);
         assert!(!v.refresh_or_insert(d(1, 9)), "older descriptor is ignored");
-        assert_eq!(v.get(NodeId::new(1)).unwrap().age, 2);
+        assert_eq!(v.get(NodeId::new(1)).unwrap().age(), 2);
     }
 
     #[test]
@@ -268,7 +276,7 @@ mod tests {
         v.insert(d(1, 3));
         v.insert(d(2, 7));
         v.insert(d(3, 1));
-        assert_eq!(v.oldest().unwrap().node, NodeId::new(2));
+        assert_eq!(v.oldest().unwrap().node(), NodeId::new(2));
     }
 
     #[test]
@@ -277,8 +285,8 @@ mod tests {
         v.insert(d(1, 0));
         v.insert(d(2, 4));
         v.increment_ages();
-        assert_eq!(v.get(NodeId::new(1)).unwrap().age, 1);
-        assert_eq!(v.get(NodeId::new(2)).unwrap().age, 5);
+        assert_eq!(v.get(NodeId::new(1)).unwrap().age(), 1);
+        assert_eq!(v.get(NodeId::new(2)).unwrap().age(), 5);
     }
 
     #[test]
@@ -290,7 +298,7 @@ mod tests {
         let mut r = rng();
         let subset = v.random_subset(4, &mut r);
         assert_eq!(subset.len(), 4);
-        let mut nodes: Vec<_> = subset.iter().map(|x| x.node).collect();
+        let mut nodes: Vec<_> = subset.iter().map(|x| x.node()).collect();
         nodes.sort();
         nodes.dedup();
         assert_eq!(nodes.len(), 4);
@@ -351,7 +359,7 @@ mod tests {
         v.insert(d(2, 0));
         v.apply_exchange_swapper(&[d(2, 0)], &[d(1, 1)], NodeId::new(99));
         // Node 1 was already known: only its age is refreshed, node 2 is not evicted.
-        assert_eq!(v.get(NodeId::new(1)).unwrap().age, 1);
+        assert_eq!(v.get(NodeId::new(1)).unwrap().age(), 1);
         assert!(v.contains(NodeId::new(2)));
     }
 
@@ -374,7 +382,7 @@ mod tests {
         let mut v = View::new(3);
         v.insert(d(1, 4));
         let removed = v.remove(NodeId::new(1)).unwrap();
-        assert_eq!(removed.age, 4);
+        assert_eq!(removed.age(), 4);
         assert!(v.remove(NodeId::new(1)).is_none());
         assert!(v.is_empty());
     }

@@ -1,7 +1,7 @@
 //! Command-line driver that regenerates the paper's figures as plain-text tables.
 //!
 //! ```text
-//! figures [--scale tiny|quick|paper|large] [--json] [fig1 fig2 ... fig7a fig7b | all]
+//! figures [--scale tiny|quick|paper|large|huge] [--json] [fig1 fig2 ... fig7a fig7b | all]
 //! ```
 //!
 //! At the `paper` scale the populations and durations match §VII of the paper; the smaller
@@ -17,7 +17,7 @@ use croupier_experiments::figures::{
 };
 use croupier_experiments::output::{FigureData, Scale};
 
-const USAGE: &str = "usage: figures [--scale tiny|quick|paper|large] [--json] [FIGURE ...]\n\
+const USAGE: &str = "usage: figures [--scale tiny|quick|paper|large|huge] [--json] [FIGURE ...]\n\
                      figures: fig1 fig2 fig3 fig4 fig5 fig6 fig7a fig7b all (default: all)";
 
 fn run_figure(name: &str, scale: Scale) -> Option<Vec<FigureData>> {

@@ -2,7 +2,7 @@
 //! four peer-sampling protocols, with per-scenario JSON reports and a recovery gate.
 //!
 //! ```text
-//! scenario_matrix [--scale tiny|quick|paper|large] [--seed N] [--out DIR]
+//! scenario_matrix [--scale tiny|quick|paper|large|huge] [--seed N] [--out DIR]
 //!                 [--protocols croupier,cyclon,gozar,nylon] [--scenarios a,b,...]
 //! ```
 //!
@@ -20,7 +20,7 @@ use croupier_experiments::output::Scale;
 use croupier_experiments::protocols::ProtocolKind;
 use croupier_experiments::scenario::ScenarioScript;
 
-const USAGE: &str = "usage: scenario_matrix [--scale tiny|quick|paper|large] [--seed N] \
+const USAGE: &str = "usage: scenario_matrix [--scale tiny|quick|paper|large|huge] [--seed N] \
                      [--out DIR] [--protocols a,b] [--scenarios x,y]\n\
                      scenarios: reboot_storm mobility_wave nat_flux flash_crowd \
                      regional_outage croupier_stress (default: all)";

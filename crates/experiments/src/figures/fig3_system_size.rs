@@ -19,6 +19,9 @@ const PUBLIC_RATIO: f64 = 0.2;
 /// System sizes evaluated beyond the paper by [`Scale::Large`] on the sharded engine.
 pub const LARGE_SIZES: [usize; 3] = [10_000, 50_000, 100_000];
 
+/// System sizes evaluated at the million-node [`Scale::Huge`] tier.
+pub const HUGE_SIZES: [usize; 2] = [500_000, 1_000_000];
+
 /// System sizes evaluated at a given scale.
 pub fn sizes(scale: Scale) -> Vec<usize> {
     match scale {
@@ -26,6 +29,7 @@ pub fn sizes(scale: Scale) -> Vec<usize> {
         Scale::Quick => vec![50, 100, 500],
         Scale::Paper => PAPER_SIZES.to_vec(),
         Scale::Large => LARGE_SIZES.to_vec(),
+        Scale::Huge => HUGE_SIZES.to_vec(),
     }
 }
 
@@ -46,6 +50,15 @@ pub fn params(scale: Scale, total_nodes: usize, seed: u64) -> ExperimentParams {
     if scale == Scale::Large {
         params.public_interarrival_ms = 0.05;
         params.private_interarrival_ms = 0.0125;
+    }
+    if scale == Scale::Huge {
+        // Ten times tighter again than Large: a million joins must still fit inside the
+        // first round or two of a heavily shortened run.
+        params.public_interarrival_ms = 0.005;
+        params.private_interarrival_ms = 0.00125;
+    }
+    if scale.incremental_components() {
+        params = params.with_incremental_components();
     }
     params
 }
@@ -102,6 +115,16 @@ mod tests {
         assert_eq!(p.n_public, 200);
         assert_eq!(p.n_private, 800);
         assert_eq!(p.engine_threads, 0);
+    }
+
+    #[test]
+    fn huge_scale_reaches_a_million_nodes_with_incremental_metrics() {
+        assert_eq!(sizes(Scale::Huge), HUGE_SIZES.to_vec());
+        let p = params(Scale::Huge, 1_000_000, 1);
+        assert_eq!(p.n_public + p.n_private, 1_000_000);
+        assert_eq!(p.engine_threads, 8, "Huge runs on eight sharded workers");
+        assert!(p.incremental_components, "Huge samples incrementally");
+        assert!(p.public_interarrival_ms < 1.0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ const PAPER_ROUNDS: u64 = 200;
 pub fn ratios(scale: Scale) -> Vec<f64> {
     match scale {
         Scale::Tiny => vec![0.10, 0.20, 0.50],
-        Scale::Quick | Scale::Paper | Scale::Large => PAPER_RATIOS.to_vec(),
+        Scale::Quick | Scale::Paper | Scale::Large | Scale::Huge => PAPER_RATIOS.to_vec(),
     }
 }
 

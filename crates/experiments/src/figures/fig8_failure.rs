@@ -19,7 +19,9 @@ const PAPER_WARMUP_ROUNDS: u64 = 100;
 pub fn failure_fractions(scale: Scale) -> Vec<f64> {
     match scale {
         Scale::Tiny => vec![0.5, 0.9],
-        Scale::Quick | Scale::Paper | Scale::Large => PAPER_FAILURE_FRACTIONS.to_vec(),
+        Scale::Quick | Scale::Paper | Scale::Large | Scale::Huge => {
+            PAPER_FAILURE_FRACTIONS.to_vec()
+        }
     }
 }
 

@@ -6,7 +6,18 @@ use serde::{Deserialize, Serialize};
 
 /// Experiment scale: the paper's populations are large (up to 5000 nodes); the smaller
 /// scales keep unit tests, doc tests and benchmark iterations fast while preserving the
-/// qualitative behaviour.
+/// qualitative behaviour, and the larger scales stress the sharded engine beyond the
+/// paper.
+///
+/// All tiers at a glance (nodes shown for the paper's 5000-node experiments):
+///
+/// | Tier    | Nodes vs paper | Nodes   | Rounds vs paper | Sample every | Engine        |
+/// |---------|----------------|---------|-----------------|--------------|---------------|
+/// | `Tiny`  | ÷40            | 125     | ÷5 (min 20)     | 2            | event-driven  |
+/// | `Quick` | ÷10            | 500     | ÷2 (min 40)     | 2            | event-driven  |
+/// | `Paper` | ×1             | 5 000   | ×1              | 5            | event-driven  |
+/// | `Large` | ×20            | 100 000 | ÷4 (min 25)     | 10           | sharded ×4    |
+/// | `Huge`  | ×200           | 1 000 000 | ÷8 (min 12)   | 20           | sharded ×8    |
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Scale {
     /// A few dozen nodes, a few dozen rounds; used by doc tests and smoke tests.
@@ -19,6 +30,10 @@ pub enum Scale {
     /// shortened durations, and the sharded phase-parallel engine. Exercised by the CI
     /// `scale-smoke` job and the PeerSwap-style randomness-vs-scale comparisons.
     Large,
+    /// The million-node tier: 200× the paper's populations, heavily shortened durations,
+    /// eight sharded workers and the incremental connectivity metrics — the full
+    /// CSR + BFS pipeline per sample would dominate the run at this size.
+    Huge,
 }
 
 impl Scale {
@@ -29,6 +44,7 @@ impl Scale {
             Scale::Quick => (paper_value / 10).max(20),
             Scale::Paper => paper_value,
             Scale::Large => paper_value * 20,
+            Scale::Huge => paper_value * 200,
         }
     }
 
@@ -39,6 +55,7 @@ impl Scale {
             Scale::Quick => (paper_value / 2).max(40),
             Scale::Paper => paper_value,
             Scale::Large => (paper_value / 4).max(25),
+            Scale::Huge => (paper_value / 8).max(12),
         }
     }
 
@@ -49,25 +66,36 @@ impl Scale {
             Scale::Quick => 2,
             Scale::Paper => 5,
             Scale::Large => 10,
+            Scale::Huge => 20,
         }
     }
 
     /// The engine selector used at this scale: the paper scales keep the event-driven
-    /// engine (`0`), [`Scale::Large`] runs the sharded engine with four worker threads.
+    /// engine (`0`), [`Scale::Large`] runs the sharded engine with four worker threads
+    /// and [`Scale::Huge`] with eight.
     pub fn engine_threads(self) -> usize {
         match self {
             Scale::Tiny | Scale::Quick | Scale::Paper => 0,
             Scale::Large => 4,
+            Scale::Huge => 8,
         }
     }
 
-    /// Parses a scale name (`tiny`, `quick`, `paper`/`full`, `large`).
+    /// Whether runs at this scale track the largest component incrementally instead of
+    /// rebuilding the full CSR graph on every sample (see
+    /// [`ExperimentParams::incremental_components`](crate::runner::ExperimentParams::incremental_components)).
+    pub fn incremental_components(self) -> bool {
+        matches!(self, Scale::Huge)
+    }
+
+    /// Parses a scale name (`tiny`, `quick`, `paper`/`full`, `large`, `huge`).
     pub fn parse(text: &str) -> Option<Scale> {
         match text.to_ascii_lowercase().as_str() {
             "tiny" => Some(Scale::Tiny),
             "quick" => Some(Scale::Quick),
             "paper" | "full" => Some(Scale::Paper),
             "large" => Some(Scale::Large),
+            "huge" => Some(Scale::Huge),
             _ => None,
         }
     }
@@ -298,7 +326,17 @@ mod tests {
         assert_eq!(Scale::parse("full"), Some(Scale::Paper));
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("large"), Some(Scale::Large));
-        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::parse("huge"), Some(Scale::Huge));
+        assert_eq!(Scale::parse("galactic"), None);
+    }
+
+    #[test]
+    fn huge_scale_reaches_a_million_nodes_on_eight_workers() {
+        assert_eq!(Scale::Huge.nodes(5_000), 1_000_000);
+        assert!(Scale::Huge.rounds(200) <= Scale::Large.rounds(200));
+        assert_eq!(Scale::Huge.engine_threads(), 8);
+        assert!(Scale::Huge.incremental_components());
+        assert!(!Scale::Large.incremental_components());
     }
 
     #[test]

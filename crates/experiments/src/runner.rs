@@ -12,8 +12,8 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 
 use croupier_metrics::{
-    class_overhead, estimation_errors, EstimationErrors, MetricsContext, OverheadReport,
-    OverlaySnapshot,
+    class_overhead, estimation_errors, EstimationErrors, IncrementalComponents, MetricsContext,
+    OverheadReport, OverlaySnapshot,
 };
 use croupier_nat::{NatTopology, NatTopologyBuilder, TopologyStats};
 use croupier_simulator::{
@@ -61,6 +61,13 @@ pub struct ExperimentParams {
     /// If `Some(k)`, graph metrics (path length, clustering, components) are computed each
     /// sample using `k` BFS sources; if `None` they are skipped (estimation-only runs).
     pub graph_metric_sources: Option<usize>,
+    /// Track the largest connected component incrementally (union-find over snapshot
+    /// edge deltas) instead of — or, when combined with
+    /// [`graph_metric_sources`](Self::graph_metric_sources), alongside — the per-sample
+    /// CSR + BFS pipeline. The incremental value is bit-identical to the CSR one; at the
+    /// million-node tier it is what keeps per-sample metrics cost proportional to the
+    /// overlay's churn rather than its size.
+    pub incremental_components: bool,
     /// Continuous churn, if any.
     pub churn: Option<ChurnSpec>,
     /// Late growth of one node class, if any.
@@ -100,6 +107,7 @@ impl Default for ExperimentParams {
             sample_every: 2,
             min_rounds_for_metrics: 2,
             graph_metric_sources: None,
+            incremental_components: false,
             churn: None,
             growth: None,
             scenario: None,
@@ -138,6 +146,15 @@ impl ExperimentParams {
     /// Enables graph metrics with the given number of BFS sources per sample.
     pub fn with_graph_metrics(mut self, sources: usize) -> Self {
         self.graph_metric_sources = Some(sources);
+        self
+    }
+
+    /// Enables incremental largest-component tracking (union-find over snapshot edge
+    /// deltas). Populates [`RoundSample::largest_component`] on every sample without
+    /// requiring a full CSR + BFS pass, so it composes with — but does not require —
+    /// [`with_graph_metrics`](Self::with_graph_metrics).
+    pub fn with_incremental_components(mut self) -> Self {
+        self.incremental_components = true;
         self
     }
 
@@ -217,6 +234,12 @@ pub struct RunOutput {
     /// (blocks attributable to a scripted gateway reboot), and class counts as the NAT
     /// environment — not the join schedule — sees them.
     pub nat_stats: TopologyStats,
+    /// `(full rebuilds, sublinear updates)` of the incremental connectivity structure,
+    /// when [`ExperimentParams::incremental_components`] was enabled. Sublinear updates
+    /// (delta-only unions plus certified forest repairs) cost O(nodes + delta) instead
+    /// of O(edges); scale tests use this to assert the per-sample metrics path stayed
+    /// sublinear: in a healthy overlay almost every sample repairs, not rebuilds.
+    pub incremental_component_updates: Option<(u64, u64)>,
 }
 
 impl RunOutput {
@@ -255,6 +278,9 @@ struct Driver<P: Protocol + PssNode, E: SimulationEngine<P>> {
     /// Reusable metrics pipeline: one CSR overlay graph per sample shared by all graph
     /// metrics, with BFS fanned out over the engine's worker-thread count.
     metrics: MetricsContext,
+    /// Incremental largest-component tracker, fed by the snapshot's edge deltas when
+    /// [`ExperimentParams::incremental_components`] is set.
+    components: IncrementalComponents,
     /// Reusable traffic ledger refilled in place by the overhead-window sampling, instead
     /// of cloning the engine's whole per-node map per sample.
     traffic_scratch: croupier_simulator::TrafficLedger,
@@ -284,6 +310,10 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
                 scenario_rng,
             )));
         }
+        let mut sample_snapshot = OverlaySnapshot::default();
+        if params.incremental_components {
+            sample_snapshot.enable_delta_tracking();
+        }
         Driver {
             params: params.clone(),
             sim,
@@ -295,8 +325,9 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             churn_carry: 0.0,
             workload_rng: seed.stream_rng(croupier_simulator::rng::Stream::Workload),
             metric_rng: seed.stream_rng(croupier_simulator::rng::Stream::Custom(0xE7)),
-            sample_snapshot: OverlaySnapshot::default(),
+            sample_snapshot,
             metrics: MetricsContext::new(params.engine_threads.max(1)),
+            components: IncrementalComponents::new(),
             traffic_scratch: croupier_simulator::TrafficLedger::new(),
             _protocol: PhantomData,
         }
@@ -380,6 +411,15 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             .capture_into(&self.sim, self.params.min_rounds_for_metrics);
         let true_ratio = self.true_ratio();
         let estimation = estimation_errors(&self.sample_snapshot, true_ratio);
+        // The incremental tracker produces a value bit-identical to the CSR + BFS sweep,
+        // so when both paths are enabled either answer is valid; the incremental one is
+        // preferred because its cost scales with the churn since the previous sample.
+        let incremental_component = if self.params.incremental_components {
+            self.components.update(&self.sample_snapshot);
+            Some(self.components.largest_component_fraction())
+        } else {
+            None
+        };
         let (avg_path_length, clustering, largest_component) =
             if let Some(sources) = self.params.graph_metric_sources {
                 // One CSR build feeds all three metrics; dangling edges are filtered
@@ -389,10 +429,13 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
                     self.metrics
                         .average_path_length(sources, &mut self.metric_rng),
                     Some(self.metrics.average_clustering_coefficient()),
-                    Some(self.metrics.largest_component_fraction()),
+                    Some(
+                        incremental_component
+                            .unwrap_or_else(|| self.metrics.largest_component_fraction()),
+                    ),
                 )
             } else {
-                (None, None, None)
+                (None, None, incremental_component)
             };
         RoundSample {
             round,
@@ -485,6 +528,12 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             final_snapshot,
             traffic: self.sim.traffic_snapshot(),
             nat_stats: self.topology.stats(),
+            incremental_component_updates: self.params.incremental_components.then(|| {
+                (
+                    self.components.rebuild_count(),
+                    self.components.sublinear_update_count(),
+                )
+            }),
         }
     }
 
@@ -601,6 +650,55 @@ mod tests {
             "overlay should be connected"
         );
         assert!(out.final_snapshot.edge_count() > 0);
+    }
+
+    #[test]
+    fn incremental_components_match_the_csr_pipeline_sample_for_sample() {
+        let base = tiny_params()
+            .with_seed(11)
+            .with_churn(ChurnSpec::new(10, 0.02))
+            .with_graph_metrics(10);
+        let csr = run_pss(&base, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let incremental = run_pss(
+            &base.clone().with_incremental_components(),
+            |id, class, _| CroupierNode::new(id, class, CroupierConfig::default()),
+        );
+        assert_eq!(csr.samples.len(), incremental.samples.len());
+        for (a, b) in csr.samples.iter().zip(&incremental.samples) {
+            assert_eq!(
+                a.largest_component.map(f64::to_bits),
+                b.largest_component.map(f64::to_bits),
+                "round {}: incremental largest component must be bit-identical to CSR",
+                a.round
+            );
+            // The rest of the sample must be untouched by the incremental tracker.
+            assert_eq!(a, b);
+        }
+        let (rebuilds, fast) = incremental.incremental_component_updates.unwrap();
+        assert_eq!(rebuilds + fast, incremental.samples.len() as u64);
+    }
+
+    #[test]
+    fn incremental_components_work_without_graph_metrics() {
+        let params = tiny_params().with_seed(12).with_incremental_components();
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let last = out.last_sample().unwrap();
+        assert!(last.avg_path_length.is_none());
+        assert!(last.clustering.is_none());
+        assert!(
+            (last.largest_component.unwrap() - 1.0).abs() < 1e-9,
+            "a converged tiny overlay is connected"
+        );
+        let (rebuilds, fast) = out.incremental_component_updates.unwrap();
+        assert!(rebuilds >= 1, "the first sample always rebuilds");
+        assert!(
+            fast > 0,
+            "a stable overlay must take the delta fast path ({rebuilds} rebuilds, {fast} fast)"
+        );
     }
 
     #[test]

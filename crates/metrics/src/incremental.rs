@@ -1,0 +1,437 @@
+//! Incremental largest-component tracking for high-frequency sampling loops.
+//!
+//! The CSR pipeline ([`MetricsContext`](crate::context::MetricsContext)) rebuilds the
+//! whole undirected graph and sweeps it with BFS on every sample — O(V + E) per sample
+//! regardless of how little the overlay changed. Between consecutive samples of a
+//! steady-state run, however, only a few percent of view entries turn over, so the work
+//! that actually needs doing is proportional to the **edge delta**, not the graph.
+//!
+//! [`IncrementalComponents`] maintains a union-find forest over the observed nodes and
+//! consumes the capture-to-capture diff recorded by
+//! [`OverlaySnapshot::enable_delta_tracking`]:
+//!
+//! * **Added edges** are pure unions — O(α) each, idempotent, order-independent.
+//! * **Removed edges** that still exist in the other direction, or that were never part
+//!   of the union forest (cycle edges), cannot change connectivity and are skipped.
+//! * When *forest* edges disappear the structure attempts an O(V + Δ) **repair**: it
+//!   re-unions the surviving forest edges plus the added edges, and accepts the result
+//!   when that subgraph already spans every observed node in one component — a
+//!   certificate that the full graph (a superset) does too. Gossip overlays are
+//!   connected in steady state, so the repair almost always certifies even though a
+//!   shuffling overlay turns over a large fraction of its edges between samples.
+//! * Only when the certificate fails — or membership changes, which invalidates the
+//!   rank space — does the structure fall back to a full rebuild: a single union pass
+//!   over the snapshot's directed edge list (no sort, no scatter, no BFS).
+//!
+//! # Equivalence with the CSR reference
+//!
+//! The result of [`largest_component_fraction`](IncrementalComponents::largest_component_fraction)
+//! is `largest / n` where both operands are exact integers: the size of the largest
+//! connected component over the same vertex set (observed nodes, isolated nodes
+//! included) and edge set (self-loops and edges touching unobserved nodes dropped,
+//! direction and duplicates collapsed) that [`CsrGraph`](crate::graph::CsrGraph) builds.
+//! Union-find and BFS compute the same partition on the same graph, so the two integer
+//! operands — and therefore the one floating-point division — are **bit-identical** to
+//! the CSR + BFS path, which `tests/property_tests.rs` pins down under randomized churn.
+
+use croupier_simulator::{FastHashSet, NodeId};
+
+use crate::snapshot::OverlaySnapshot;
+
+/// Marker for "id not observed in this sample" in the stamped lookup table.
+const NO_RANK: u32 = u32::MAX;
+
+/// Same dense-id heuristic as [`CsrGraph`](crate::graph::CsrGraph): engine captures
+/// qualify for the O(1) id → rank table, hand-built snapshots with huge ids binary-search.
+const DENSE_RANGE_FACTOR: u64 = 32;
+
+/// A union-find connectivity structure that updates from snapshot edge deltas instead of
+/// rebuilding per sample. See the module documentation for the algorithm and the
+/// equivalence argument.
+///
+/// The structure tracks **one** snapshot instance: feed it the same
+/// delta-tracking-enabled [`OverlaySnapshot`] on every sample (the experiment driver's
+/// pattern). Handing it unrelated snapshots is safe — any capture without a valid delta,
+/// or with membership changes, triggers a full rebuild — but forfeits the fast path.
+///
+/// # Examples
+///
+/// ```
+/// use croupier_metrics::{IncrementalComponents, NodeObservation, OverlaySnapshot};
+/// use croupier_simulator::{NatClass, NodeId};
+///
+/// let snapshot = OverlaySnapshot::from_parts(
+///     (0..3)
+///         .map(|i| NodeObservation {
+///             id: NodeId::new(i),
+///             class: NatClass::Public,
+///             ratio_estimate: None,
+///             rounds_executed: 5,
+///         })
+///         .collect(),
+///     vec![(NodeId::new(0), NodeId::new(1))],
+/// );
+/// let mut components = IncrementalComponents::new();
+/// components.update(&snapshot);
+/// assert!((components.largest_component_fraction() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalComponents {
+    /// Rank → node id, ascending (the same rank space as [`CsrGraph`]).
+    ids: Vec<NodeId>,
+    /// Union-find parent per rank.
+    parent: Vec<u32>,
+    /// Component size at each root rank.
+    size: Vec<u32>,
+    /// Size of the largest component (monotone under unions; recomputed on rebuild).
+    largest: u32,
+    /// Canonical `(min rank, max rank)` pairs (packed) of the edges whose union call
+    /// actually merged two components. Removing any *other* edge cannot split a
+    /// component, so only forest-edge removals force a rebuild.
+    forest: FastHashSet<u64>,
+    /// Id-indexed rank table, valid where `lookup_stamp[id] == stamp` (dense path only).
+    lookup: Vec<u32>,
+    lookup_stamp: Vec<u32>,
+    stamp: u32,
+    dense_lookup: bool,
+    /// Whether the union-find state describes the previous capture of the tracked
+    /// snapshot (fast-path precondition).
+    synced: bool,
+    /// Number of full rebuilds performed (diagnostics; sublinearity tests).
+    rebuilds: u64,
+    /// Number of delta-only updates performed (diagnostics; sublinearity tests).
+    fast_updates: u64,
+    /// Number of forest-repair updates performed (diagnostics; sublinearity tests).
+    repairs: u64,
+    /// Scratch: surviving forest edges during a repair.
+    forest_scratch: Vec<u64>,
+    /// Scratch: packed rank pairs of forest edges removed by the current delta.
+    removed_scratch: FastHashSet<u64>,
+}
+
+impl IncrementalComponents {
+    /// Creates an empty structure; the first [`update`](Self::update) performs a full
+    /// rebuild.
+    pub fn new() -> Self {
+        IncrementalComponents::default()
+    }
+
+    /// Brings the structure in sync with `snapshot`, by delta replay when the snapshot
+    /// carries a usable diff and by full rebuild otherwise.
+    pub fn update(&mut self, snapshot: &OverlaySnapshot) {
+        let fast = self.synced
+            && match snapshot.edge_delta() {
+                Some(delta) => !delta.membership_changed && self.apply_delta(snapshot),
+                None => false,
+            };
+        if !fast {
+            self.rebuild(snapshot);
+            self.rebuilds += 1;
+        }
+        self.synced = true;
+    }
+
+    /// Fraction of observed nodes inside the largest connected component (0.0 for an
+    /// empty snapshot) — bit-identical to
+    /// [`MetricsContext::largest_component_fraction`](crate::context::MetricsContext::largest_component_fraction)
+    /// on the same snapshot.
+    pub fn largest_component_fraction(&self) -> f64 {
+        if self.ids.is_empty() {
+            return 0.0;
+        }
+        self.largest as f64 / self.ids.len() as f64
+    }
+
+    /// Number of connected components among the observed nodes.
+    pub fn component_count(&self) -> usize {
+        (0..self.parent.len() as u32)
+            .filter(|&v| self.parent[v as usize] == v)
+            .count()
+    }
+
+    /// Full rebuilds performed so far (the first `update` always counts one).
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Delta-only updates performed so far.
+    pub fn fast_update_count(&self) -> u64 {
+        self.fast_updates
+    }
+
+    /// Forest-repair updates performed so far (removed forest edges, but the surviving
+    /// forest plus the added edges still spanned everything in one component).
+    pub fn repair_count(&self) -> u64 {
+        self.repairs
+    }
+
+    /// Updates avoiding the full edge scan: delta-only fast updates plus certified
+    /// repairs, both with cost independent of the total edge count.
+    pub fn sublinear_update_count(&self) -> u64 {
+        self.fast_updates + self.repairs
+    }
+
+    /// Attempts the delta-only and repair paths. Returns `false` (leaving the state
+    /// stale but rank-consistent, since membership is unchanged) when removed forest
+    /// edges broke the spanning certificate, in which case the caller rebuilds.
+    fn apply_delta(&mut self, snapshot: &OverlaySnapshot) -> bool {
+        let delta = snapshot.edge_delta().expect("caller checked the delta");
+        // Removals first: decide which undirected edges actually left the graph *and*
+        // carried the forest. A directed removal `a → b` leaves the undirected edge
+        // intact while `b → a` is still present in the new capture, and removing a
+        // cycle edge cannot change the partition at all.
+        let mut removed_forest = std::mem::take(&mut self.removed_scratch);
+        removed_forest.clear();
+        for &(a, b) in delta.removed {
+            let (Some(ra), Some(rb)) = (self.rank_of(a), self.rank_of(b)) else {
+                // Endpoint not observed: the edge was dropped from the old graph too
+                // (membership is unchanged), so nothing can have existed to remove.
+                continue;
+            };
+            if ra == rb {
+                continue; // self-loops never enter the graph
+            }
+            if snapshot.has_directed_edge(b, a) || snapshot.has_directed_edge(a, b) {
+                continue; // the undirected edge survives via the other direction
+            }
+            let key = pack_pair(ra, rb);
+            if self.forest.contains(&key) {
+                removed_forest.insert(key);
+            }
+        }
+        let ok = if removed_forest.is_empty() {
+            for &(a, b) in delta.added {
+                let (Some(ra), Some(rb)) = (self.rank_of(a), self.rank_of(b)) else {
+                    continue;
+                };
+                if ra != rb {
+                    self.union(ra, rb);
+                }
+            }
+            self.fast_updates += 1;
+            true
+        } else if self.repair(snapshot, &removed_forest) {
+            self.repairs += 1;
+            true
+        } else {
+            false
+        };
+        self.removed_scratch = removed_forest;
+        ok
+    }
+
+    /// Re-unions the surviving forest edges plus the delta's added edges — O(V + Δ),
+    /// independent of the total edge count — and accepts the result iff that subgraph
+    /// spans all observed nodes in one component. The subgraph only uses edges present
+    /// in the new capture, and the full graph is a superset of it, so a spanning
+    /// subgraph proves the full graph's largest component is also everything: the
+    /// answer `n / n` is exact and bit-identical to the CSR + BFS sweep.
+    fn repair(&mut self, snapshot: &OverlaySnapshot, removed_forest: &FastHashSet<u64>) -> bool {
+        let delta = snapshot.edge_delta().expect("caller checked the delta");
+        let mut survivors = std::mem::take(&mut self.forest_scratch);
+        survivors.clear();
+        survivors.extend(
+            self.forest
+                .iter()
+                .copied()
+                .filter(|key| !removed_forest.contains(key)),
+        );
+        self.reset_partition();
+        for &key in &survivors {
+            self.union((key >> 32) as u32, key as u32);
+        }
+        self.forest_scratch = survivors;
+        for &(a, b) in delta.added {
+            let (Some(ra), Some(rb)) = (self.rank_of(a), self.rank_of(b)) else {
+                continue;
+            };
+            if ra != rb {
+                self.union(ra, rb);
+            }
+        }
+        !self.ids.is_empty() && self.largest as usize == self.ids.len()
+    }
+
+    /// Rebuilds the union-find state from scratch: one pass over the snapshot's directed
+    /// edges, unioning every resolvable pair. No adjacency is materialised and no
+    /// traversal runs, so a rebuild is considerably cheaper than a CSR build + BFS even
+    /// when the fast path never fires.
+    fn rebuild(&mut self, snapshot: &OverlaySnapshot) {
+        self.ids.clear();
+        self.ids.extend(snapshot.nodes.iter().map(|n| n.id));
+        if !self.ids.windows(2).all(|w| w[0] < w[1]) {
+            self.ids.sort_unstable();
+            self.ids.dedup();
+        }
+        self.restamp_lookup(snapshot);
+        self.reset_partition();
+        for &(a, b) in &snapshot.edges {
+            if a == b {
+                continue;
+            }
+            if let (Some(ra), Some(rb)) = (self.rank_of(a), self.rank_of(b)) {
+                self.union(ra, rb);
+            }
+        }
+    }
+
+    /// Resets the partition to `n` singletons, emptying the forest.
+    fn reset_partition(&mut self) {
+        let n = self.ids.len();
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.forest.clear();
+        self.largest = if n == 0 { 0 } else { 1 };
+    }
+
+    /// Unions the components of two distinct ranks (by size, with path compression),
+    /// recording the edge in the forest set when it merged two components.
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.largest = self.largest.max(self.size[big as usize]);
+        self.forest.insert(pack_pair(a, b));
+    }
+
+    /// Root of `v`'s component, halving the path as it walks.
+    fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            let grandparent = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = grandparent;
+            v = grandparent;
+        }
+        v
+    }
+
+    /// Stamps a fresh id → rank epoch, mirroring [`CsrGraph`]'s dense/sparse split.
+    fn restamp_lookup(&mut self, snapshot: &OverlaySnapshot) {
+        let n = self.ids.len();
+        let bound = snapshot.id_upper_bound().max(
+            self.ids
+                .last()
+                .map_or(0, |id| id.as_u64().saturating_add(1)),
+        );
+        self.dense_lookup = bound <= (n as u64).saturating_mul(DENSE_RANGE_FACTOR) + 1024;
+        if !self.dense_lookup {
+            return;
+        }
+        let bound = bound as usize;
+        if self.lookup.len() < bound {
+            self.lookup.resize(bound, NO_RANK);
+            self.lookup_stamp.resize(bound, 0);
+        }
+        self.stamp = match self.stamp.checked_add(1) {
+            Some(next) => next,
+            None => {
+                self.lookup_stamp.fill(0);
+                1
+            }
+        };
+        for (rank, id) in self.ids.iter().enumerate() {
+            let slot = id.as_u64() as usize;
+            self.lookup[slot] = rank as u32;
+            self.lookup_stamp[slot] = self.stamp;
+        }
+    }
+
+    /// The dense rank of `id` in the current sample, if observed.
+    #[inline]
+    fn rank_of(&self, id: NodeId) -> Option<u32> {
+        if self.dense_lookup {
+            let slot = id.as_u64() as usize;
+            if slot < self.lookup.len() && self.lookup_stamp[slot] == self.stamp {
+                Some(self.lookup[slot])
+            } else {
+                None
+            }
+        } else {
+            self.ids.binary_search(&id).ok().map(|rank| rank as u32)
+        }
+    }
+}
+
+/// Packs a rank pair into an orientation-free `u64` set key.
+#[inline]
+fn pack_pair(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::largest_component_fraction;
+    use crate::snapshot::NodeObservation;
+    use croupier_simulator::NatClass;
+
+    fn snapshot(nodes: &[u64], edges: &[(u64, u64)]) -> OverlaySnapshot {
+        OverlaySnapshot::from_parts(
+            nodes
+                .iter()
+                .map(|id| NodeObservation {
+                    id: NodeId::new(*id),
+                    class: NatClass::Public,
+                    ratio_estimate: None,
+                    rounds_executed: 5,
+                })
+                .collect(),
+            edges
+                .iter()
+                .map(|(a, b)| (NodeId::new(*a), NodeId::new(*b)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn matches_the_csr_pipeline_on_fresh_snapshots() {
+        for (nodes, edges) in [
+            (vec![1u64, 2, 3], vec![(1u64, 2u64), (2, 3)]),
+            (vec![1, 2, 3, 4, 5], vec![(1, 2), (2, 3)]),
+            (vec![1, 2, 3, 4], vec![]),
+            (vec![], vec![]),
+            (
+                vec![1, 2, 3, 4, 5, 6, 7],
+                vec![(1, 2), (2, 3), (4, 5), (5, 4), (6, 42), (3, 3)],
+            ),
+        ] {
+            let s = snapshot(&nodes, &edges);
+            let mut inc = IncrementalComponents::new();
+            inc.update(&s);
+            let expected = largest_component_fraction(&s);
+            assert_eq!(
+                inc.largest_component_fraction().to_bits(),
+                expected.to_bits(),
+                "nodes {nodes:?} edges {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_update_without_delta_tracking_rebuilds() {
+        let s = snapshot(&[1, 2, 3], &[(1, 2)]);
+        let mut inc = IncrementalComponents::new();
+        inc.update(&s);
+        inc.update(&s);
+        assert_eq!(inc.rebuild_count(), 2);
+        assert_eq!(inc.fast_update_count(), 0);
+    }
+
+    #[test]
+    fn component_count_partitions_the_nodes() {
+        let mut inc = IncrementalComponents::new();
+        inc.update(&snapshot(&[1, 2, 3, 4, 5], &[(1, 2), (3, 4)]));
+        assert_eq!(inc.component_count(), 3);
+        assert!((inc.largest_component_fraction() - 0.4).abs() < 1e-12);
+    }
+}

@@ -37,6 +37,7 @@ pub mod components;
 pub mod context;
 pub mod estimation;
 pub mod graph;
+pub mod incremental;
 pub mod indegree;
 pub mod overhead;
 pub mod paths;
@@ -48,8 +49,9 @@ pub use components::largest_component_fraction;
 pub use context::MetricsContext;
 pub use estimation::{estimation_errors, EstimationErrors};
 pub use graph::CsrGraph;
+pub use incremental::IncrementalComponents;
 pub use indegree::{indegree_distribution, indegree_histogram, indegree_stats, IndegreeStats};
 pub use overhead::{class_overhead, ClassOverhead, OverheadReport};
 pub use paths::average_path_length;
 pub use reference::UndirectedGraph;
-pub use snapshot::{NodeObservation, OverlaySnapshot};
+pub use snapshot::{EdgeDelta, NodeObservation, OverlaySnapshot};

@@ -38,6 +38,46 @@ pub struct OverlaySnapshot {
     /// observed id).
     #[serde(skip)]
     id_bound: u64,
+    /// Whether [`capture_into`](OverlaySnapshot::capture_into) diffs consecutive
+    /// captures (see [`enable_delta_tracking`](OverlaySnapshot::enable_delta_tracking)).
+    #[serde(skip)]
+    track_deltas: bool,
+    /// `true` once at least one tracked capture has run (the next one has a predecessor
+    /// to diff against).
+    #[serde(skip)]
+    delta_primed: bool,
+    /// `true` when the current capture carries a valid diff against its predecessor.
+    #[serde(skip)]
+    delta_valid: bool,
+    /// Whether the observed node set changed between the last two tracked captures.
+    #[serde(skip)]
+    membership_changed: bool,
+    /// The previous capture's sorted edge list (double buffer for the diff).
+    #[serde(skip)]
+    prev_edges: Vec<(NodeId, NodeId)>,
+    /// The previous capture's sorted live-id list (double buffer for the diff).
+    #[serde(skip)]
+    prev_live_ids: Vec<NodeId>,
+    /// Directed edges present now but not in the previous capture (multiset diff).
+    #[serde(skip)]
+    added_edges: Vec<(NodeId, NodeId)>,
+    /// Directed edges present in the previous capture but not now (multiset diff).
+    #[serde(skip)]
+    removed_edges: Vec<(NodeId, NodeId)>,
+}
+
+/// The difference between a snapshot's two most recent tracked captures, borrowed from
+/// [`OverlaySnapshot::edge_delta`].
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeDelta<'a> {
+    /// Directed edges that appeared since the previous capture (multiset semantics: a
+    /// duplicate directed edge gained counts once per extra occurrence).
+    pub added: &'a [(NodeId, NodeId)],
+    /// Directed edges that disappeared since the previous capture.
+    pub removed: &'a [(NodeId, NodeId)],
+    /// Whether the observed node set itself changed. When it did, consumers relying on
+    /// stable node ranks must fall back to a full rebuild.
+    pub membership_changed: bool,
 }
 
 impl PartialEq for OverlaySnapshot {
@@ -71,6 +111,13 @@ impl OverlaySnapshot {
         P: Protocol + PssNode,
         E: SimulationEngine<P>,
     {
+        let had_previous_capture = self.delta_primed;
+        if self.track_deltas {
+            // Double-buffer the previous capture's edges and live ids so the new capture
+            // can be diffed against them without cloning either list.
+            std::mem::swap(&mut self.prev_edges, &mut self.edges);
+            std::mem::swap(&mut self.prev_live_ids, &mut self.live_ids);
+        }
         self.nodes.clear();
         self.edges.clear();
         let (nodes, edges) = (&mut self.nodes, &mut self.edges);
@@ -93,6 +140,70 @@ impl OverlaySnapshot {
         self.edges.sort_unstable();
         self.id_bound = sim.node_id_upper_bound();
         self.refresh_live_ids();
+        if self.track_deltas {
+            self.membership_changed = self.prev_live_ids != self.live_ids;
+            self.diff_edges();
+            self.delta_valid = had_previous_capture;
+            self.delta_primed = true;
+        }
+    }
+
+    /// Turns on capture-to-capture diffing: every subsequent
+    /// [`capture_into`](OverlaySnapshot::capture_into) records which directed edges
+    /// appeared and disappeared (and whether membership changed) relative to the capture
+    /// before it, served by [`edge_delta`](OverlaySnapshot::edge_delta). Costs one extra
+    /// edge-list-sized buffer and a two-pointer diff per capture; incremental metrics
+    /// (see [`IncrementalComponents`](crate::incremental::IncrementalComponents)) are
+    /// the consumer.
+    pub fn enable_delta_tracking(&mut self) {
+        self.track_deltas = true;
+    }
+
+    /// The diff between the two most recent tracked captures, or `None` when delta
+    /// tracking is off or fewer than two captures have run.
+    pub fn edge_delta(&self) -> Option<EdgeDelta<'_>> {
+        if self.delta_valid {
+            Some(EdgeDelta {
+                added: &self.added_edges,
+                removed: &self.removed_edges,
+                membership_changed: self.membership_changed,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the directed edge `a → b` is present in the current capture
+    /// (binary search over the sorted edge list).
+    pub fn has_directed_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edges.binary_search(&(a, b)).is_ok()
+    }
+
+    /// Two-pointer multiset diff of the sorted `prev_edges`/`edges` lists into
+    /// `added_edges`/`removed_edges`.
+    fn diff_edges(&mut self) {
+        self.added_edges.clear();
+        self.removed_edges.clear();
+        let (old, new) = (&self.prev_edges, &self.edges);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() && j < new.len() {
+            match old[i].cmp(&new[j]) {
+                std::cmp::Ordering::Less => {
+                    self.removed_edges.push(old[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    self.added_edges.push(new[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.removed_edges.extend_from_slice(&old[i..]);
+        self.added_edges.extend_from_slice(&new[j..]);
     }
 
     /// Builds a snapshot directly from parts; useful in tests and synthetic analyses.
@@ -100,8 +211,7 @@ impl OverlaySnapshot {
         let mut snapshot = OverlaySnapshot {
             nodes,
             edges,
-            live_ids: Vec::new(),
-            id_bound: 0,
+            ..OverlaySnapshot::default()
         };
         snapshot.refresh_live_ids();
         snapshot

@@ -54,23 +54,83 @@ impl NatGatewayConfig {
 /// One entry of a gateway's UDP mapping table: internal host `internal` has sent traffic to
 /// remote node `remote` (whose observed address is `remote_ip`), most recently at
 /// `last_refreshed`.
+///
+/// Node identifiers are stored as `u32` (checked on construction), shrinking the entry
+/// from 32 to 24 bytes. At the 1M-node tier every private node owns a gateway and a
+/// steady-state table holds tens of bindings, so the mapping tables are one of the
+/// largest per-node allocations in the NAT layer; the same `u32` packing also lets the
+/// table keys collapse to single `u64`s (see `pair_key`/`ip_key`), which hash faster
+/// than tuple keys on the per-message filter path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Binding {
-    /// The internal (private) node that created the mapping.
-    pub internal: NodeId,
-    /// The remote node the mapping points at.
-    pub remote: NodeId,
-    /// The remote node's publicly observable IP address.
-    pub remote_ip: Ip,
-    /// Last time outbound traffic refreshed the mapping.
-    pub last_refreshed: SimTime,
+    internal: u32,
+    remote: u32,
+    remote_ip: Ip,
+    last_refreshed: SimTime,
 }
 
 impl Binding {
+    /// Creates a mapping-table entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node identifier exceeds the table's `u32` key space.
+    pub fn new(internal: NodeId, remote: NodeId, remote_ip: Ip, last_refreshed: SimTime) -> Self {
+        Binding {
+            internal: id32(internal),
+            remote: id32(remote),
+            remote_ip,
+            last_refreshed,
+        }
+    }
+
+    /// The internal (private) node that created the mapping.
+    pub fn internal(&self) -> NodeId {
+        NodeId::new(self.internal as u64)
+    }
+
+    /// The remote node the mapping points at.
+    pub fn remote(&self) -> NodeId {
+        NodeId::new(self.remote as u64)
+    }
+
+    /// The remote node's publicly observable IP address.
+    pub fn remote_ip(&self) -> Ip {
+        self.remote_ip
+    }
+
+    /// Last time outbound traffic refreshed the mapping.
+    pub fn last_refreshed(&self) -> SimTime {
+        self.last_refreshed
+    }
+
     /// Returns `true` if the binding has expired at time `now` under `timeout`.
     pub fn is_expired(&self, now: SimTime, timeout: SimDuration) -> bool {
         now.saturating_since(self.last_refreshed) > timeout
     }
+}
+
+/// Narrows a node identifier to the mapping tables' `u32` key space.
+#[inline]
+fn id32(node: NodeId) -> u32 {
+    let raw = node.as_u64();
+    assert!(
+        raw <= u32::MAX as u64,
+        "node id {raw} exceeds the NAT mapping table's u32 key space"
+    );
+    raw as u32
+}
+
+/// Packs an `(internal, remote)` node pair into the exact-match table's `u64` key.
+#[inline]
+fn pair_key(internal: u32, remote: u32) -> u64 {
+    ((internal as u64) << 32) | remote as u64
+}
+
+/// Packs an `(internal, remote ip)` pair into the address-dependent index's `u64` key.
+#[inline]
+fn ip_key(internal: u32, ip: Ip) -> u64 {
+    ((internal as u64) << 32) | ip.as_u32() as u64
 }
 
 /// How many mapping-table operations a gateway absorbs between opportunistic purges of
@@ -120,11 +180,13 @@ const PURGE_EVERY_OPS: u32 = 256;
 pub struct NatGateway {
     public_ip: Ip,
     config: NatGatewayConfig,
-    bindings: FastHashMap<(NodeId, NodeId), Binding>,
+    /// Exact-match table, keyed by `pair_key`.
+    bindings: FastHashMap<u64, Binding>,
     /// Newest refresh time per internal node (endpoint-independent fast path).
-    newest_per_internal: FastHashMap<NodeId, SimTime>,
-    /// Newest refresh time per `(internal, remote ip)` (address-dependent fast path).
-    newest_per_remote_ip: FastHashMap<(NodeId, Ip), SimTime>,
+    newest_per_internal: FastHashMap<u32, SimTime>,
+    /// Newest refresh time per `(internal, remote ip)` (address-dependent fast path),
+    /// keyed by `ip_key`.
+    newest_per_remote_ip: FastHashMap<u64, SimTime>,
     ops_since_purge: u32,
     /// Time of the most recent [`reboot`](Self::reboot), if any.
     last_reboot: Option<SimTime>,
@@ -173,12 +235,16 @@ impl NatGateway {
         remote_ip: Ip,
         now: SimTime,
     ) {
-        let entry = self.bindings.entry((internal, remote)).or_insert(Binding {
-            internal,
-            remote,
-            remote_ip,
-            last_refreshed: now,
-        });
+        let (internal, remote) = (id32(internal), id32(remote));
+        let entry = self
+            .bindings
+            .entry(pair_key(internal, remote))
+            .or_insert(Binding {
+                internal,
+                remote,
+                remote_ip,
+                last_refreshed: now,
+            });
         entry.remote_ip = remote_ip;
         entry.last_refreshed = entry.last_refreshed.max(now);
         // Maintain the newest-binding index the configured policy queries (monotone max,
@@ -191,7 +257,7 @@ impl NatGateway {
             FilteringPolicy::AddressDependent => {
                 let newest = self
                     .newest_per_remote_ip
-                    .entry((internal, remote_ip))
+                    .entry(ip_key(internal, remote_ip))
                     .or_insert(now);
                 *newest = (*newest).max(now);
             }
@@ -218,17 +284,18 @@ impl NatGateway {
         }
         let timeout = self.config.mapping_timeout;
         let fresh = |refreshed: &SimTime| now.saturating_since(*refreshed) <= timeout;
+        let internal = id32(internal);
         match self.config.filtering {
             FilteringPolicy::EndpointIndependent => {
                 self.newest_per_internal.get(&internal).is_some_and(fresh)
             }
             FilteringPolicy::AddressDependent => self
                 .newest_per_remote_ip
-                .get(&(internal, from_ip))
+                .get(&ip_key(internal, from_ip))
                 .is_some_and(fresh),
             FilteringPolicy::AddressAndPortDependent => self
                 .bindings
-                .get(&(internal, from))
+                .get(&pair_key(internal, id32(from)))
                 .map(|b| !b.is_expired(now, timeout))
                 .unwrap_or(false),
         }
@@ -316,7 +383,7 @@ impl NatGateway {
                 for binding in self.bindings.values() {
                     let newest = self
                         .newest_per_remote_ip
-                        .entry((binding.internal, binding.remote_ip))
+                        .entry(ip_key(binding.internal, binding.remote_ip))
                         .or_insert(binding.last_refreshed);
                     *newest = (*newest).max(binding.last_refreshed);
                 }
@@ -327,9 +394,11 @@ impl NatGateway {
 
     /// Removes every binding owned by `internal` (the node left the system).
     pub fn remove_internal(&mut self, internal: NodeId) {
+        let internal = id32(internal);
         self.bindings.retain(|_, b| b.internal != internal);
         self.newest_per_internal.remove(&internal);
-        self.newest_per_remote_ip.retain(|(i, _), _| *i != internal);
+        self.newest_per_remote_ip
+            .retain(|key, _| (key >> 32) as u32 != internal);
     }
 
     /// Iterates over the current mapping-table entries.
@@ -530,13 +599,27 @@ mod tests {
 
     #[test]
     fn binding_expiry_is_inclusive_of_timeout() {
-        let b = Binding {
-            internal: INSIDE,
-            remote: PEER_A,
-            remote_ip: Ip::public(1),
-            last_refreshed: SimTime::ZERO,
-        };
+        let b = Binding::new(INSIDE, PEER_A, Ip::public(1), SimTime::ZERO);
         assert!(!b.is_expired(SimTime::from_secs(30), SimDuration::from_secs(30)));
         assert!(b.is_expired(SimTime::from_millis(30_001), SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn bindings_are_compact_and_round_trip_their_fields() {
+        // The u32-packed entry is 24 bytes; the padded NodeId-based layout was 32. At the
+        // 1M-node tier the mapping tables are among the largest NAT-layer allocations.
+        assert!(std::mem::size_of::<Binding>() <= 24);
+        let b = Binding::new(INSIDE, PEER_A, Ip::public(7), SimTime::from_secs(3));
+        assert_eq!(b.internal(), INSIDE);
+        assert_eq!(b.remote(), PEER_A);
+        assert_eq!(b.remote_ip(), Ip::public(7));
+        assert_eq!(b.last_refreshed(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 key space")]
+    fn oversized_node_ids_are_rejected_by_the_mapping_table() {
+        let mut g = gw(FilteringPolicy::EndpointIndependent);
+        g.record_outbound(NodeId::new(1 << 32), PEER_A, Ip::public(2), SimTime::ZERO);
     }
 }

@@ -198,6 +198,34 @@ mod tests {
     }
 
     #[test]
+    fn churn_reuses_slots_without_growing_the_bound() {
+        let mut arena = NodeArena::new();
+        for i in 0..16usize {
+            arena.insert(i, i);
+        }
+        let bound = arena.slot_upper_bound();
+        // Many remove/re-insert generations over the same index range: the backing
+        // storage must not grow, and the live count must track the churn exactly.
+        for generation in 1..=50usize {
+            for i in (0..16).step_by(3) {
+                assert!(arena.remove(i).is_some());
+            }
+            assert_eq!(arena.len(), 16 - 6);
+            for i in (0..16).step_by(3) {
+                assert_eq!(arena.insert(i, generation * 100 + i), None);
+            }
+            assert_eq!(arena.len(), 16);
+            assert_eq!(
+                arena.slot_upper_bound(),
+                bound,
+                "slot reuse must not grow the arena"
+            );
+        }
+        assert_eq!(arena.get(3), Some(&5003));
+        assert_eq!(arena.get(1), Some(&1), "untouched slots keep their values");
+    }
+
+    #[test]
     #[should_panic(expected = "assigned densely")]
     fn sparse_indices_are_rejected() {
         let mut arena = NodeArena::new();

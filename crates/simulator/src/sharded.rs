@@ -5,11 +5,15 @@
 //! ("phases"), nodes are striped over `engine_threads` shards (`shard = id mod S`,
 //! stored densely at `id div S` in each shard's [`NodeArena`]), and every phase runs all
 //! shards in parallel on scoped worker threads. Messages never cross shard boundaries
-//! mid-phase: workers buffer them in per-`(src-shard, dst-shard)` outboxes, and at the
-//! round barrier the coordinator merges all outboxes in a canonical order — sorted by
-//! `(send time, sender id, per-sender sequence number)` — runs the delivery filter and
-//! sender-side traffic accounting over them, and schedules the survivors into the
-//! destination shards' event queues for the next phase.
+//! mid-phase: workers buffer them in per-`(src-shard, dst-shard)` outboxes and sort each
+//! outbox into the canonical order — `(send time, sender id, per-sender sequence
+//! number)` — before the barrier. At the barrier the coordinator k-way merges the
+//! pre-sorted runs, runs the delivery filter and sender-side traffic accounting over
+//! them sequentially in canonical order, and stages the survivors per destination shard;
+//! each shard then inserts its own staged deliveries into its own event queue (in
+//! parallel for large batches). Only the stateful filter/accounting pass is inherently
+//! sequential — the sort and the insertion, which dominated the old single-threaded
+//! barrier at 100k nodes, now scale with the worker count.
 //!
 //! # Determinism across worker counts
 //!
@@ -251,6 +255,17 @@ impl<P: Protocol> Shard<P> {
                 }
             }
         }
+        // Sort this phase's outboxes into *descending* canonical order on the worker:
+        // the barrier then k-way merges `S²` pre-sorted runs instead of sorting the
+        // whole batch on the coordinating thread. The sort — the dominant barrier cost
+        // at 100k nodes — thus parallelises with the phase itself. Descending order
+        // lets the merge consume each run by `Vec::pop` (cheapest possible by-value
+        // cursor, and no per-barrier iterator allocation).
+        for outbox in &mut self.outboxes {
+            outbox.sort_unstable_by(|a, b| {
+                (b.sent_at, b.from, b.seq).cmp(&(a.sent_at, a.from, a.seq))
+            });
+        }
     }
 }
 
@@ -312,10 +327,19 @@ pub struct ShardedSimulation<P: Protocol> {
     barrier_traffic: TrafficLedger,
     /// Loss/NAT statistics, written at the barrier in canonical order.
     barrier_stats: NetworkStats,
-    /// Recycled barrier batch: the per-phase collection of every shard's outboxes. Drained
-    /// by [`merge_batch`](Self::merge_batch) with its capacity retained, so the barrier
-    /// allocates nothing once the per-phase message volume has peaked.
+    /// Recycled barrier batch: the per-phase canonical-order merge of every shard's
+    /// outboxes. Drained by [`merge_batch`](Self::merge_batch) with its capacity
+    /// retained, so the barrier allocates nothing once the per-phase message volume has
+    /// peaked.
     merge_buf: Vec<PendingMessage<P::Message>>,
+    /// Recycled backing store for the k-way merge's head heap (one entry per
+    /// `(src, dst)` outbox run).
+    heap_buf: Vec<std::cmp::Reverse<(SimTime, NodeId, u64, usize)>>,
+    /// Recycled per-destination-shard staging lists for the barrier's partitioned queue
+    /// insertion: the sequential filter pass appends surviving deliveries here in
+    /// canonical order, then every shard drains its own list into its own queue — in
+    /// parallel when the batch is large enough to pay for the threads.
+    delivery_bufs: Vec<Vec<(SimTime, Event<P::Message>)>>,
     /// Cached ascending id list served by [`node_ids`](Self::node_ids); rebuilt lazily
     /// after a membership change (`node_ids_valid` false).
     cached_node_ids: RefCell<Vec<NodeId>>,
@@ -345,6 +369,8 @@ where
             barrier_traffic: TrafficLedger::new(),
             barrier_stats: NetworkStats::default(),
             merge_buf: Vec::new(),
+            heap_buf: Vec::new(),
+            delivery_bufs: (0..workers).map(|_| Vec::new()).collect(),
             cached_node_ids: RefCell::new(Vec::new()),
             node_ids_valid: Cell::new(false),
             hook: None,
@@ -563,11 +589,14 @@ where
             self.shards[shard_idx].execute(local, now, &env, |proto, ctx| proto.on_start(ctx));
         }
         // `on_start`'s messages landed in the joining node's shard outboxes; merge them
-        // immediately so they are delivered like any other send.
+        // immediately so they are delivered like any other send. The outboxes are
+        // bucketed by destination, so concatenation interleaves the node's sequence
+        // numbers — restore the canonical order with an explicit (tiny) sort.
         let mut batch = std::mem::take(&mut self.merge_buf);
         for outbox in &mut self.shards[shard_idx].outboxes {
             batch.append(outbox);
         }
+        batch.sort_unstable_by_key(|m| (m.sent_at, m.from, m.seq));
         self.merge_batch(&mut batch, now);
         self.merge_buf = batch;
         let shard = &mut self.shards[shard_idx];
@@ -660,11 +689,7 @@ where
             }
         }
         let mut batch = std::mem::take(&mut self.merge_buf);
-        for shard in &mut self.shards {
-            for outbox in &mut shard.outboxes {
-                batch.append(outbox);
-            }
-        }
+        self.gather_sorted(&mut batch);
         self.next_phase = phase + 1;
         if window_end > self.now {
             self.now = window_end;
@@ -678,12 +703,54 @@ where
         }
     }
 
-    /// The barrier: sorts `batch` into the canonical order, performs sender-side
-    /// accounting and filtering, and schedules deliveries no earlier than `earliest`.
-    /// Drains `batch` in place so its capacity is reused phase after phase.
+    /// Collects every shard's outboxes into `batch` in the canonical
+    /// `(send time, sender, sequence)` order by k-way merging the `S²` runs the workers
+    /// pre-sorted (descending) at the end of [`Shard::run_phase`]. The keys are globally
+    /// unique (the per-sender sequence number breaks same-instant ties), so merging
+    /// sorted runs yields exactly the order the old full coordinator-side sort produced
+    /// — at O(n log S²) comparisons instead of O(n log n), with the O(n log n) part done
+    /// in parallel on the workers. The runs being descending, each run's head is its
+    /// `last()` element and advancing is `Vec::pop`, so the merge is allocation-free
+    /// (the heap's backing store is recycled in `heap_buf`).
+    fn gather_sorted(&mut self, batch: &mut Vec<PendingMessage<P::Message>>) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let stride = self.shards.len();
+        let mut heads = std::mem::take(&mut self.heap_buf);
+        heads.clear();
+        for idx in 0..stride * stride {
+            if let Some(m) = self.shards[idx / stride].outboxes[idx % stride].last() {
+                heads.push(Reverse((m.sent_at, m.from, m.seq, idx)));
+            }
+        }
+        let mut heap = BinaryHeap::from(heads);
+        while let Some(Reverse((_, _, _, idx))) = heap.pop() {
+            let run = &mut self.shards[idx / stride].outboxes[idx % stride];
+            let message = run.pop().expect("a heap entry implies a run head");
+            if let Some(m) = run.last() {
+                heap.push(Reverse((m.sent_at, m.from, m.seq, idx)));
+            }
+            batch.push(message);
+        }
+        self.heap_buf = heap.into_vec();
+    }
+
+    /// The barrier: walks `batch` (already in canonical order) once, performing
+    /// sender-side accounting and filtering, then schedules surviving deliveries no
+    /// earlier than `earliest` — partitioned by destination shard, in parallel when the
+    /// batch is large. Drains `batch` in place so its capacity is reused phase after
+    /// phase.
+    ///
+    /// The accounting/filter pass is sequential by design: the delivery filter and the
+    /// sender-side ledger are stateful, and processing them in canonical order is what
+    /// makes runs bit-identical across worker counts. Queue insertion, by contrast, is
+    /// freely partitionable — each staged list holds one destination shard's deliveries
+    /// in canonical relative order, and scheduling them list-order into that shard's
+    /// queue reproduces the exact `(time, insertion order)` tie-breaking of a sequential
+    /// interleaved insertion, because messages for different shards never share a queue.
     fn merge_batch(&mut self, batch: &mut Vec<PendingMessage<P::Message>>, earliest: SimTime) {
-        batch.sort_unstable_by_key(|m| (m.sent_at, m.from, m.seq));
         let stride = self.shards.len() as u64;
+        let mut staged = std::mem::take(&mut self.delivery_bufs);
         for message in batch.drain(..) {
             self.barrier_traffic.record_sent(message.from, message.wire);
             self.filter
@@ -697,14 +764,14 @@ where
             match self.filter.can_deliver(message.from, message.to, exec_at) {
                 DeliveryVerdict::Deliver => {
                     let dst = (message.to.as_u64() % stride) as usize;
-                    self.shards[dst].queue.schedule(
+                    staged[dst].push((
                         exec_at,
                         Event::Deliver {
                             from: message.from,
                             to: message.to,
                             msg: message.msg,
                         },
-                    );
+                    ));
                 }
                 DeliveryVerdict::BlockedByNat => {
                     self.barrier_stats.blocked_by_nat += 1;
@@ -716,8 +783,35 @@ where
                 }
             }
         }
+        let total: usize = staged.iter().map(Vec::len).sum();
+        if self.shards.len() > 1 && total >= PARALLEL_INSERT_THRESHOLD {
+            std::thread::scope(|scope| {
+                for (shard, stage) in self.shards.iter_mut().zip(staged.iter_mut()) {
+                    if !stage.is_empty() {
+                        scope.spawn(move || {
+                            for (at, event) in stage.drain(..) {
+                                shard.queue.schedule(at, event);
+                            }
+                        });
+                    }
+                }
+            });
+        } else {
+            for (shard, stage) in self.shards.iter_mut().zip(staged.iter_mut()) {
+                for (at, event) in stage.drain(..) {
+                    shard.queue.schedule(at, event);
+                }
+            }
+        }
+        self.delivery_bufs = staged;
     }
 }
+
+/// Smallest per-barrier delivery count for which the partitioned queue insertion spawns
+/// worker threads; smaller batches insert inline, since a thread spawn costs more than
+/// scheduling a few thousand heap entries. The choice only affects wall-clock, never
+/// outcomes: both paths insert identical per-queue sequences.
+const PARALLEL_INSERT_THRESHOLD: usize = 4096;
 
 impl<P: PssNode + Send> ShardedSimulation<P>
 where
@@ -972,6 +1066,30 @@ mod tests {
         assert_eq!(one, two, "1 vs 2 workers diverged");
         assert_eq!(one, four, "1 vs 4 workers diverged");
         assert!(one.1.delivered > 0);
+    }
+
+    #[test]
+    fn node_id_upper_bound_survives_churn_identically_across_worker_counts() {
+        let run = |threads: usize| {
+            let mut sim = ring_sim(12, threads);
+            sim.run_for_rounds(3);
+            assert_eq!(sim.node_id_upper_bound(), 12);
+            for id in [2u64, 7, 11] {
+                sim.remove_node(NodeId::new(id));
+            }
+            assert_eq!(
+                sim.node_id_upper_bound(),
+                12,
+                "removals leave vacant slots; the bound must not shrink"
+            );
+            sim.add_node(NodeId::new(7), Ring::new(12)); // reuses the vacant slot
+            sim.add_node(NodeId::new(12), Ring::new(12)); // grows the id space
+            sim.run_for_rounds(2);
+            sim.node_id_upper_bound()
+        };
+        assert_eq!(run(1), 13);
+        assert_eq!(run(2), 13, "the bound must not depend on the shard stride");
+        assert_eq!(run(4), 13, "the bound must not depend on the shard stride");
     }
 
     #[test]

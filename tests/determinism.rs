@@ -93,29 +93,21 @@ fn sharded_runs_are_bit_identical_across_thread_counts() {
         run_kind(ProtocolKind::Croupier, &params, &configs)
     };
     let one = run(1);
-    let two = run(2);
-    let four = run(4);
-    assert_eq!(one.samples, two.samples, "1 vs 2 threads: samples diverged");
-    assert_eq!(
-        one.samples, four.samples,
-        "1 vs 4 threads: samples diverged"
-    );
-    assert_eq!(
-        one.final_snapshot, two.final_snapshot,
-        "1 vs 2 threads: snapshots diverged"
-    );
-    assert_eq!(
-        one.final_snapshot, four.final_snapshot,
-        "1 vs 4 threads: snapshots diverged"
-    );
-    assert_eq!(
-        one.traffic, two.traffic,
-        "1 vs 2 threads: traffic ledgers diverged"
-    );
-    assert_eq!(
-        one.traffic, four.traffic,
-        "1 vs 4 threads: traffic ledgers diverged"
-    );
+    for threads in [2usize, 4, 8] {
+        let other = run(threads);
+        assert_eq!(
+            one.samples, other.samples,
+            "1 vs {threads} threads: samples diverged"
+        );
+        assert_eq!(
+            one.final_snapshot, other.final_snapshot,
+            "1 vs {threads} threads: snapshots diverged"
+        );
+        assert_eq!(
+            one.traffic, other.traffic,
+            "1 vs {threads} threads: traffic ledgers diverged"
+        );
+    }
 }
 
 /// Batched cross-shard delivery must not perturb traffic accounting: for every protocol,
@@ -178,7 +170,8 @@ fn scripted_nat_dynamics_runs_are_bit_identical_across_thread_counts() {
     let one = run(1);
     let two = run(2);
     let four = run(4);
-    for (label, other) in [("2", &two), ("4", &four)] {
+    let eight = run(8);
+    for (label, other) in [("2", &two), ("4", &four), ("8", &eight)] {
         assert_eq!(
             one.samples, other.samples,
             "1 vs {label} threads: scripted samples diverged"

@@ -101,15 +101,15 @@ fn healer_merge_respects_capacity_and_freshness() {
         for descriptor in view.iter() {
             let min_age = received
                 .iter()
-                .filter(|d| d.node == descriptor.node)
-                .map(|d| d.age)
+                .filter(|d| d.node() == descriptor.node())
+                .map(|d| d.age())
                 .min()
                 .expect("every kept descriptor originates from `received`");
             assert!(
-                descriptor.age <= min_age,
+                descriptor.age() <= min_age,
                 "healer kept age {} for {} but a fresher duplicate of age {min_age} existed",
-                descriptor.age,
-                descriptor.node
+                descriptor.age(),
+                descriptor.node()
             );
         }
     });
@@ -131,10 +131,12 @@ fn estimator_estimate_stays_in_unit_interval() {
         }
         let record_count = rng.gen_range(0usize..64);
         let records: Vec<EstimateRecord> = (0..record_count)
-            .map(|_| EstimateRecord {
-                origin: NodeId::new(rng.gen_range(0u64..32)),
-                ratio: rng.gen_range(0.0f64..1.0),
-                age: rng.gen_range(0u32..150),
+            .map(|_| {
+                EstimateRecord::with_age(
+                    NodeId::new(rng.gen_range(0u64..32)),
+                    rng.gen_range(0.0f64..1.0),
+                    rng.gen_range(0u32..150),
+                )
             })
             .collect();
         estimator.ingest(&records, me);
@@ -384,16 +386,16 @@ fn random_subset_is_a_distinct_membership_preserving_sample() {
         let count = rng.gen_range(0usize..16);
         let subset = view.random_subset(count, rng);
         assert_eq!(subset.len(), count.min(before.len()));
-        let mut nodes: Vec<NodeId> = subset.iter().map(|d| d.node).collect();
+        let mut nodes: Vec<NodeId> = subset.iter().map(|d| d.node()).collect();
         nodes.sort();
         nodes.dedup();
         assert_eq!(nodes.len(), subset.len(), "subset contains duplicates");
         for d in &subset {
-            assert_eq!(view.get(d.node), Some(d), "subset entry not in the view");
+            assert_eq!(view.get(d.node()), Some(d), "subset entry not in the view");
         }
         let mut after: Vec<Descriptor> = view.iter().copied().collect();
-        before.sort_by_key(|d| d.node);
-        after.sort_by_key(|d| d.node);
+        before.sort_by_key(|d| d.node());
+        after.sort_by_key(|d| d.node());
         assert_eq!(before, after, "selection must only reorder the view");
     });
 }
@@ -413,4 +415,80 @@ fn sim_time_arithmetic_is_monotonic() {
             previous = t;
         }
     });
+}
+
+/// The incremental union-find connectivity tracker produces bit-identical largest
+/// component fractions to the CSR + BFS pipeline on every capture of a live, churning
+/// simulation — across all of its update tiers (delta-only, forest repair, rebuild).
+#[test]
+fn incremental_components_equal_csr_under_membership_and_edge_churn() {
+    use croupier_suite::croupier::{CroupierConfig, CroupierNode};
+    use croupier_suite::metrics::IncrementalComponents;
+    use croupier_suite::simulator::{Simulation, SimulationConfig, SimulationEngine};
+
+    fn add(sim: &mut Simulation<CroupierNode>, alive: &mut Vec<NodeId>, id: u64, class: NatClass) {
+        let id = NodeId::new(id);
+        if class.is_public() {
+            sim.register_public(id);
+        }
+        sim.add_node(id, CroupierNode::new(id, class, CroupierConfig::default()));
+        alive.push(id);
+    }
+
+    let mut sublinear = 0;
+    let mut rebuilds = 0;
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC0_FFEE ^ seed);
+        let mut sim: Simulation<CroupierNode> = Simulation::from_config(
+            SimulationConfig::default()
+                .with_seed(seed)
+                .with_round_period(SimDuration::from_secs(1)),
+        );
+        let mut alive = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..24 {
+            let class = if next_id.is_multiple_of(4) {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            };
+            add(&mut sim, &mut alive, next_id, class);
+            next_id += 1;
+        }
+        let mut snapshot = OverlaySnapshot::default();
+        snapshot.enable_delta_tracking();
+        let mut incremental = IncrementalComponents::new();
+        let mut context = MetricsContext::new(1);
+        for round in 1..=30u64 {
+            sim.run_until(SimTime::from_secs(round));
+            // Occasional membership churn keeps the rebuild tier honest; the quiet
+            // rounds in between exercise the repair and delta-only tiers.
+            if rng.gen_bool(0.2) && alive.len() > 8 {
+                let victim = alive.swap_remove(rng.gen_range(0..alive.len()));
+                sim.remove_node(victim);
+            }
+            if rng.gen_bool(0.15) {
+                add(&mut sim, &mut alive, next_id, arb_class(&mut rng));
+                next_id += 1;
+            }
+            snapshot.capture_into(&sim, 2);
+            incremental.update(&snapshot);
+            context.build(&snapshot);
+            assert_eq!(
+                incremental.largest_component_fraction().to_bits(),
+                context.largest_component_fraction().to_bits(),
+                "seed {seed} round {round}: incremental and CSR disagree"
+            );
+        }
+        sublinear += incremental.sublinear_update_count();
+        rebuilds += incremental.rebuild_count();
+    }
+    assert!(
+        sublinear > 0,
+        "the sublinear tiers must be exercised ({rebuilds} rebuilds)"
+    );
+    assert!(
+        rebuilds > 10,
+        "membership churn must force rebuilds beyond the initial one per seed"
+    );
 }

@@ -1,8 +1,9 @@
-//! Large-scale smoke test: a 100k-node Croupier deployment on the sharded engine.
+//! Large-scale smoke tests: 100k-node and million-node Croupier deployments on the
+//! sharded engine.
 //!
-//! This is the CI `scale-smoke` job's workload (`cargo test --release --test scale_smoke
-//! -- --ignored`); it is `#[ignore]`d by default so plain `cargo test` stays fast for
-//! local iteration.
+//! These are the CI `scale-smoke` and `huge-smoke` jobs' workloads (`cargo test
+//! --release --test scale_smoke -- --ignored <name>`); they are `#[ignore]`d by default
+//! so plain `cargo test` stays fast for local iteration.
 
 use croupier::{CroupierConfig, CroupierNode};
 use croupier_suite::experiments::figures::fig3_system_size;
@@ -46,5 +47,49 @@ fn croupier_100k_nodes_on_the_sharded_engine() {
         out.final_snapshot.node_count() > 90_000,
         "most nodes have executed enough rounds to be observed: {}",
         out.final_snapshot.node_count()
+    );
+}
+
+/// The million-node tier: 1M nodes, 20 % public, eight worker threads and incremental
+/// connectivity sampling. Beyond what the 100k smoke covers, this exercises the packed
+/// descriptor/estimate layouts and the u32 NAT mapping tables at a population where the
+/// unpacked layouts would not fit in CI memory, and asserts the per-sample metrics kept
+/// to the sublinear incremental tiers instead of falling back to full edge scans.
+#[test]
+#[ignore = "million-node run; executed by the CI huge-smoke job"]
+fn croupier_one_million_nodes_on_the_sharded_engine() {
+    let params = fig3_system_size::params(Scale::Huge, 1_000_000, 0x100_0000)
+        .with_rounds(8)
+        .with_sample_every(2);
+    assert_eq!(
+        params.engine_threads, 8,
+        "Huge runs on eight sharded workers"
+    );
+    assert!(params.incremental_components);
+    let out = run_pss(&params, |id, class, _| {
+        CroupierNode::new(id, class, CroupierConfig::default())
+    });
+    let last = out.last_sample().expect("samples were taken");
+    assert_eq!(last.node_count, 1_000_000, "every node joined and survived");
+    assert!(
+        (out.final_true_ratio - 0.2).abs() < 1e-9,
+        "ratio intact: {}",
+        out.final_true_ratio
+    );
+    assert!(
+        last.largest_component.is_some(),
+        "incremental sampling populates the component metric without the CSR pipeline"
+    );
+    let (rebuilds, sublinear) = out
+        .incremental_component_updates
+        .expect("incremental diagnostics are reported");
+    assert!(
+        sublinear >= rebuilds,
+        "per-sample connectivity must stay on the sublinear tiers \
+         ({rebuilds} rebuilds vs {sublinear} sublinear updates)"
+    );
+    assert!(
+        out.traffic.total_messages_sent() > 1_000_000,
+        "the overlay must actually gossip at scale"
     );
 }

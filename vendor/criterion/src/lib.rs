@@ -147,6 +147,22 @@ fn record_result(record: BenchRecord) {
         .push(record);
 }
 
+/// Records a non-timing measurement (memory footprints, counters, ratios) into the JSON
+/// report. Beyond the upstream criterion API: the value is stored in the `mean_ns` and
+/// `min_ns` fields with `samples: 0`, which marks the entry as **informational** — `xtask
+/// bench-compare` prints it but never judges it against the regression threshold.
+pub fn record_informational(name: impl Into<String>, value: f64) {
+    let name = name.into();
+    println!("{name:<50} {value:>12.1} (informational)");
+    record_result(BenchRecord {
+        name,
+        mean_ns: value,
+        min_ns: value,
+        ops_per_sec: 0.0,
+        samples: 0,
+    });
+}
+
 fn run_one(name: &str, max_samples: usize, budget: Duration, f: impl FnOnce(&mut Bencher<'_>)) {
     let mut samples = Vec::new();
     {
@@ -419,6 +435,19 @@ mod tests {
         assert!(r.mean_ns > 0.0);
         assert!(r.ops_per_sec > 0.0);
         assert!(r.samples >= 1);
+    }
+
+    #[test]
+    fn informational_records_carry_zero_samples() {
+        record_informational("probe/bytes_per_node", 612.0);
+        let results = RESULTS.lock().unwrap();
+        let r = results
+            .iter()
+            .find(|r| r.name == "probe/bytes_per_node")
+            .expect("informational record registered");
+        assert_eq!(r.samples, 0, "zero samples marks the entry informational");
+        assert_eq!(r.mean_ns, 612.0);
+        assert_eq!(r.ops_per_sec, 0.0);
     }
 
     #[test]

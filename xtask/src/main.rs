@@ -49,6 +49,16 @@ struct Entry {
     mean_ns: f64,
     min_ns: f64,
     ops_per_sec: f64,
+    /// Number of timed iterations. Zero marks an **informational** entry (a memory
+    /// footprint or counter recorded via the shim's `record_informational`), which is
+    /// printed but never judged against the regression threshold.
+    samples: usize,
+}
+
+impl Entry {
+    fn is_informational(&self) -> bool {
+        self.samples == 0
+    }
 }
 
 /// Which per-iteration time the comparison judges.
@@ -83,6 +93,9 @@ enum Verdict {
     /// but a visible reminder to refresh the committed baseline (`--update`) so the
     /// regression gate starts covering it.
     New,
+    /// A non-timing measurement (`samples: 0` in either report): the current value is
+    /// shown next to the baseline for the record, but it never fails the gate.
+    Info { baseline: f64, current: f64 },
 }
 
 /// Extracts the string value of `"key": "..."` from a single JSON entry line.
@@ -126,11 +139,14 @@ fn parse_report(text: &str) -> Vec<Entry> {
             let mean_ns = field_num(line, "mean_ns")?;
             let min_ns = field_num(line, "min_ns").unwrap_or(mean_ns);
             let ops_per_sec = field_num(line, "ops_per_sec").unwrap_or(0.0);
+            // Reports written before the field existed carry timed entries only.
+            let samples = field_num(line, "samples").unwrap_or(1.0) as usize;
             Some(Entry {
                 name,
                 mean_ns,
                 min_ns,
                 ops_per_sec,
+                samples,
             })
         })
         .collect()
@@ -150,6 +166,10 @@ fn compare(
             let base_ns = metric.of(base);
             let verdict = match current.iter().find(|c| c.name == base.name) {
                 None => Verdict::Missing,
+                Some(cur) if base.is_informational() || cur.is_informational() => Verdict::Info {
+                    baseline: base_ns,
+                    current: metric.of(cur),
+                },
                 Some(cur) if base_ns <= 0.0 => Verdict::Ok {
                     ratio: metric.of(cur),
                 },
@@ -199,7 +219,40 @@ fn render_table(target: &str, verdicts: &[(String, Verdict)]) -> String {
                     "  new       {name:<50} (not in baseline; run --update)"
                 );
             }
+            Verdict::Info { baseline, current } => {
+                let _ = writeln!(
+                    out,
+                    "  info      {name:<50} {current:>10.1} (baseline {baseline:.1}, not gated)"
+                );
+            }
         }
+    }
+    out
+}
+
+/// Renders the informational worker-scaling summary of an engine report: for each node
+/// count with both a `threads_8` and a `threads_4` row, the ratio of their throughputs.
+/// On hardware with eight or more cores the partitioned barrier merge should push this
+/// well above 1.0; on fewer cores it honestly reports ~1.0 (never gated).
+fn render_scaling(target: &str, current: &[Entry]) -> String {
+    let mut out = String::new();
+    for entry in current {
+        let Some(group) = entry.name.strip_suffix("/threads_8") else {
+            continue;
+        };
+        let four = format!("{group}/threads_4");
+        let Some(four) = current.iter().find(|c| c.name == four) else {
+            continue;
+        };
+        if four.ops_per_sec <= 0.0 || entry.ops_per_sec <= 0.0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  scaling   {target}::{group} threads_8 vs threads_4: {:.2}x ops/sec \
+             (informational)",
+            entry.ops_per_sec / four.ops_per_sec
+        );
     }
     out
 }
@@ -300,7 +353,7 @@ fn gate(target: &str, verdicts: &[(String, Verdict)], outcome: &mut GateOutcome)
         match verdict {
             Verdict::Regressed { .. } => outcome.regressed.push(qualified),
             Verdict::Missing => outcome.missing.push(qualified),
-            Verdict::Ok { .. } | Verdict::New => {}
+            Verdict::Ok { .. } | Verdict::New | Verdict::Info { .. } => {}
         }
     }
 }
@@ -330,6 +383,7 @@ fn bench_compare(args: &Args) -> Result<GateOutcome, String> {
         }
         let verdicts = compare(&baseline, &current, args.threshold, args.metric);
         print!("{}", render_table(target, &verdicts));
+        print!("{}", render_scaling(target, &current));
         gate(target, &verdicts, &mut outcome);
     }
     Ok(outcome)
@@ -606,6 +660,7 @@ mod tests {
             mean_ns,
             min_ns: mean_ns * 0.9,
             ops_per_sec: 1e9 / mean_ns,
+            samples: 20,
         }
     }
 
@@ -632,12 +687,14 @@ mod tests {
             mean_ns: 100.0,
             min_ns: 60.0,
             ops_per_sec: 1e7,
+            samples: 20,
         }];
         let current = vec![Entry {
             name: String::from("noisy"),
             mean_ns: 200.0,
             min_ns: 62.0,
             ops_per_sec: 5e6,
+            samples: 20,
         }];
         let by_min = compare(&baseline, &current, 0.25, Metric::Min);
         assert!(matches!(by_min[0].1, Verdict::Ok { .. }), "{by_min:?}");
@@ -701,6 +758,63 @@ mod tests {
             "unknown steps are rejected"
         );
         assert!(parse_ci_local_args(["--wat"].map(String::from).into_iter()).is_err());
+    }
+
+    #[test]
+    fn informational_entries_are_reported_but_never_gated() {
+        let info = |name: &str, value: f64| Entry {
+            name: String::from(name),
+            mean_ns: value,
+            min_ns: value,
+            ops_per_sec: 0.0,
+            samples: 0,
+        };
+        // A 10x "regression" of an informational value stays out of the gate.
+        let baseline = vec![entry("timed", 100.0), info("engine/bytes_per_node", 80.0)];
+        let current = vec![entry("timed", 100.0), info("engine/bytes_per_node", 800.0)];
+        let verdicts = compare(&baseline, &current, 0.25, Metric::Min);
+        assert!(matches!(verdicts[0].1, Verdict::Ok { .. }));
+        assert_eq!(
+            verdicts[1].1,
+            Verdict::Info {
+                baseline: 80.0,
+                current: 800.0
+            }
+        );
+        let mut outcome = GateOutcome::default();
+        gate("t", &verdicts, &mut outcome);
+        assert!(outcome.is_ok(), "informational entries never fail the gate");
+        let table = render_table("t", &verdicts);
+        assert!(
+            table.contains("  info      engine/bytes_per_node"),
+            "informational rows get their own marker: {table}"
+        );
+        assert!(table.contains("not gated"), "{table}");
+    }
+
+    #[test]
+    fn parse_report_defaults_missing_samples_to_timed() {
+        let line = r#"{"name": "old_style", "mean_ns": 10.0, "min_ns": 9.0, "ops_per_sec": 1.0}"#;
+        let entries = parse_report(line);
+        assert_eq!(entries[0].samples, 1, "pre-field baselines stay gated");
+        assert!(!entries[0].is_informational());
+    }
+
+    #[test]
+    fn scaling_summary_pairs_threads_8_with_threads_4() {
+        let current = vec![
+            entry("engine/10k_nodes/threads_4", 200.0),
+            entry("engine/10k_nodes/threads_8", 100.0),
+            entry("engine/100k_nodes/threads_8", 50.0), // no threads_4 partner: skipped
+            entry("queue/wheel/depth_100k", 10.0),      // not a threads_8 row: skipped
+        ];
+        let summary = render_scaling("microbench_engine", &current);
+        assert_eq!(summary.lines().count(), 1, "{summary}");
+        assert!(
+            summary.contains("microbench_engine::engine/10k_nodes threads_8 vs threads_4: 2.00x"),
+            "{summary}"
+        );
+        assert!(summary.contains("informational"), "{summary}");
     }
 
     #[test]
