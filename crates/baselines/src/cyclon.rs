@@ -5,6 +5,10 @@
 //! graph. It is NAT-oblivious — on networks with private nodes its views fill with
 //! unreachable descriptors and the overlay partitions, which is exactly the failure mode
 //! Croupier is designed to avoid.
+//!
+//! Like every protocol in the workspace, Cyclon interacts with its host only through the
+//! [`Context`] facade over the [`Transport`](croupier_simulator::Transport) seam; it has
+//! no dependency on either engine type.
 
 use croupier::{Descriptor, DescriptorBatch, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
 use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode, WireSize};

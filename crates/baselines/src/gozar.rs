@@ -13,6 +13,10 @@
 //! Compared with Croupier this costs relay traffic on public nodes, keep-alive traffic on
 //! private nodes and larger descriptors — the overhead gap measured in Fig. 7(a) of the
 //! Croupier paper.
+//!
+//! All relay and keep-alive traffic is emitted through the engine-agnostic
+//! [`Context`]/[`Transport`](croupier_simulator::Transport)
+//! seam, so the same state machine runs unchanged on both engines.
 
 use std::collections::HashMap;
 

@@ -18,7 +18,9 @@
 //!   direct connection back to the initiator.
 //!
 //! All three implement the simulator's [`Protocol`](croupier_simulator::Protocol) and
-//! [`PssNode`](croupier_simulator::PssNode) traits, use the same view size, shuffle length,
+//! [`PssNode`](croupier_simulator::PssNode) traits against the engine-agnostic
+//! [`Context`](croupier_simulator::Context)/[`Transport`](croupier_simulator::Transport)
+//! seam, use the same view size, shuffle length,
 //! selection (tail) and merge (swapper) policies as the Croupier implementation, and account
 //! message sizes with the same conventions, so the evaluation crate can compare the four
 //! systems under identical conditions — exactly the setup of §VII-A of the paper.

@@ -12,6 +12,10 @@
 //! The RVP chains are unbounded in the original protocol; under churn they break, which is
 //! why Nylon degrades faster than Gozar and Croupier in the paper's failure experiments.
 //! Private nodes also pay keep-alive traffic towards their RVPs to keep NAT mappings open.
+//!
+//! Hole-punch routing, punching and keep-alives all go through the engine-agnostic
+//! [`Context`]/[`Transport`](croupier_simulator::Transport)
+//! seam, so the same state machine runs unchanged on both engines.
 
 use std::collections::HashMap;
 

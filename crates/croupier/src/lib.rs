@@ -26,9 +26,14 @@
 //! messages and no STUN server.
 //!
 //! The protocol logic is transport-agnostic: [`CroupierNode`] implements the
-//! [`Protocol`](croupier_simulator::Protocol) trait of `croupier-simulator` and is driven by
-//! its deterministic discrete-event engine in all tests, examples and benchmarks, exactly as
-//! the original implementation was driven by the Kompics simulator.
+//! [`Protocol`](croupier_simulator::Protocol) trait of `croupier-simulator` and talks to
+//! the outside world exclusively through the
+//! [`Context`](croupier_simulator::Context) facade over the
+//! [`Transport`](croupier_simulator::Transport) seam — it never names an engine type. The
+//! deterministic discrete-event engine drives it in all tests, examples and benchmarks,
+//! exactly as the original implementation was driven by the Kompics simulator; any other
+//! [`Transport`](croupier_simulator::Transport) implementation (the sharded engine, or a
+//! real socket layer) can host the identical protocol code.
 //!
 //! ## Quickstart
 //!

@@ -1,4 +1,9 @@
 //! The Croupier node state machine (Algorithm 2 of the paper).
+//!
+//! The state machine is written against the [`Context`] facade over the simulator's
+//! [`Transport`](croupier_simulator::Transport) seam: sends, timers and address
+//! observations go through that one object, and no engine type appears anywhere in this
+//! crate.
 
 use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode};
 use rand::rngs::SmallRng;

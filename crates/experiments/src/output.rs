@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 /// | `Paper` | ×1             | 5 000   | ×1              | 5            | event-driven  |
 /// | `Large` | ×20            | 100 000 | ÷4 (min 25)     | 10           | sharded ×4    |
 /// | `Huge`  | ×200           | 1 000 000 | ÷8 (min 12)   | 20           | sharded ×8    |
+#[non_exhaustive]
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Scale {
     /// A few dozen nodes, a few dozen rounds; used by doc tests and smoke tests.

@@ -170,66 +170,10 @@ fn exponential(mean_ms: f64, rng: &mut SmallRng) -> f64 {
     -mean_ms * u.ln()
 }
 
-/// One scripted NAT-dynamics event. Magnitudes are fractions of the affected population
-/// (not absolute counts), so the same script scales from unit tests to 100k-node runs.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub enum NatDynamicsEvent {
-    /// Power-cycles the gateway of each private node independently with probability
-    /// `fraction`, wiping the whole mapping table (consumer-router reboot storm after a
-    /// power flicker or a coordinated firmware push).
-    GatewayRebootStorm {
-        /// Probability that any one private node's gateway reboots.
-        fraction: f64,
-    },
-    /// Moves each private node independently with probability `fraction` behind a fresh
-    /// gateway with a new public address (laptops hopping networks).
-    MobilityWave {
-        /// Probability that any one private node migrates.
-        fraction: f64,
-    },
-    /// Promotes each private node independently with probability `fraction` to a public
-    /// address. Protocols are *not* notified — the stale self-classification is part of
-    /// the stress.
-    ProfileUpgrade {
-        /// Probability that any one private node becomes public.
-        fraction: f64,
-    },
-    /// Demotes each public node independently with probability `fraction` behind a fresh
-    /// NAT gateway (carrier-grade NAT rollout).
-    ProfileDowngrade {
-        /// Probability that any one public node becomes private.
-        fraction: f64,
-    },
-    /// Switches the filtering policy of each private node's gateway independently with
-    /// probability `fraction` to `policy`.
-    FilteringShift {
-        /// Probability that any one gateway changes policy.
-        fraction: f64,
-        /// The policy the selected gateways switch to.
-        policy: FilteringPolicy,
-    },
-    /// Takes every node whose id falls in `region` (of `regions` equal id-striped
-    /// regions) offline for `outage_rounds` rounds, then restores exactly those nodes —
-    /// a correlated regional gateway outage / network partition.
-    RegionalOutage {
-        /// The region that goes dark (`0 <= region < regions`).
-        region: u64,
-        /// Number of id-striped regions the population is divided into.
-        regions: u64,
-        /// How many rounds the outage lasts before the region is restored.
-        outage_rounds: u64,
-    },
-    /// A join burst: `growth` times the experiment's initial population joins spread
-    /// evenly over the round following the action, `public_fraction` of them public.
-    /// Expanded by the experiment driver into the join schedule (the only scripted event
-    /// that creates engine-side state, so it cannot run inside the NAT-mutation hook).
-    FlashCrowd {
-        /// New joiners as a fraction of the initial population.
-        growth: f64,
-        /// Fraction of the joiners that are public.
-        public_fraction: f64,
-    },
-}
+// The event vocabulary lives in the nat crate, next to the topology it mutates
+// (`NatTopology::apply` is the single event→mutation dispatcher); re-exported here so
+// script authors keep importing everything scenario-related from one module.
+pub use croupier_nat::{GatewayProfile, NatDynamicsEvent};
 
 /// A [`NatDynamicsEvent`] scheduled at a round barrier.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -316,6 +260,16 @@ impl ScenarioScript {
             NatDynamicsEvent::FilteringShift { fraction, .. } => {
                 assert_fraction(fraction, "filtering-shift fraction");
             }
+            NatDynamicsEvent::GatewayReconfig { fraction, .. } => {
+                assert_fraction(fraction, "gateway-reconfig fraction");
+            }
+            NatDynamicsEvent::CgnConsolidation {
+                fraction,
+                pool_size,
+            } => {
+                assert_fraction(fraction, "CGN-consolidation fraction");
+                assert!(pool_size > 0, "CGN pool must hold at least one address");
+            }
             NatDynamicsEvent::RegionalOutage {
                 region,
                 regions,
@@ -335,6 +289,9 @@ impl ScenarioScript {
                 );
                 assert_fraction(public_fraction, "flash-crowd public fraction");
             }
+            // `NatDynamicsEvent` is non-exhaustive: future event kinds carry their own
+            // invariants and validate inside `NatTopology::apply`.
+            _ => {}
         }
         self.actions.push(ScenarioAction { round, event });
         self.actions.sort_by_key(|a| a.round);
@@ -429,13 +386,15 @@ impl ScenarioScript {
 /// around the midpoint of a `rounds`-round run so every script leaves room to recover.
 impl ScenarioScript {
     /// Names of the scripts in [`matrix`](Self::matrix) order.
-    pub const MATRIX_NAMES: [&'static str; 6] = [
+    pub const MATRIX_NAMES: [&'static str; 8] = [
         "reboot_storm",
         "mobility_wave",
         "nat_flux",
         "flash_crowd",
         "regional_outage",
         "croupier_stress",
+        "symmetric_shift",
+        "cgn_migration",
     ];
 
     fn mid(rounds: u64) -> u64 {
@@ -528,6 +487,43 @@ impl ScenarioScript {
             )
     }
 
+    /// A firmware wave turning half the gateways "symmetric"
+    /// ([`GatewayProfile::Symmetric`]: address-and-port-dependent mapping *and*
+    /// filtering, no hairpinning, no port preservation), then a partial rollback to
+    /// full-cone an eighth of the run later — the RFC-4787 fidelity stress: observed
+    /// endpoints stop transferring between peers mid-run.
+    pub fn symmetric_shift(rounds: u64) -> Self {
+        let mid = Self::mid(rounds);
+        ScenarioScript::new("symmetric_shift")
+            .at(
+                mid,
+                NatDynamicsEvent::GatewayReconfig {
+                    fraction: 0.5,
+                    profile: GatewayProfile::Symmetric,
+                },
+            )
+            .at(
+                mid + (rounds / 8).max(1),
+                NatDynamicsEvent::GatewayReconfig {
+                    fraction: 0.25,
+                    profile: GatewayProfile::FullCone,
+                },
+            )
+    }
+
+    /// An ISP consolidation: 40 % of the private nodes are moved behind one shared
+    /// carrier-grade NAT with a four-address pool (paired pooling, address-dependent on
+    /// both axes, hairpinning on so consolidated customers still reach each other).
+    pub fn cgn_migration(rounds: u64) -> Self {
+        ScenarioScript::new("cgn_migration").at(
+            Self::mid(rounds),
+            NatDynamicsEvent::CgnConsolidation {
+                fraction: 0.4,
+                pool_size: 4,
+            },
+        )
+    }
+
     /// A copy of this script whose flash crowds join all-public, other events unchanged
     /// — for cells running a NAT-oblivious protocol (Cyclon) on an all-public
     /// population, so a scripted join burst does not smuggle in the NATed nodes the
@@ -556,6 +552,8 @@ impl ScenarioScript {
             "flash_crowd" => Some(Self::flash_crowd(rounds)),
             "regional_outage" => Some(Self::regional_outage(rounds)),
             "croupier_stress" => Some(Self::croupier_stress(rounds)),
+            "symmetric_shift" => Some(Self::symmetric_shift(rounds)),
+            "cgn_migration" => Some(Self::cgn_migration(rounds)),
             _ => None,
         }
     }
@@ -608,68 +606,14 @@ impl ScenarioExecutor {
     }
 
     fn apply(&mut self, event: NatDynamicsEvent, round: u64, now: SimTime) {
-        match event {
-            NatDynamicsEvent::GatewayRebootStorm { fraction } => {
-                for node in self.topology.private_node_ids() {
-                    if self.rng.gen_range(0.0..1.0) < fraction {
-                        self.topology.reboot_gateway_of(node, now);
-                    }
-                }
-            }
-            NatDynamicsEvent::MobilityWave { fraction } => {
-                for node in self.topology.private_node_ids() {
-                    if self.rng.gen_range(0.0..1.0) < fraction {
-                        self.topology.migrate_node(node);
-                    }
-                }
-            }
-            NatDynamicsEvent::ProfileUpgrade { fraction } => {
-                for node in self.topology.private_node_ids() {
-                    if self.rng.gen_range(0.0..1.0) < fraction {
-                        self.topology.promote_to_public(node);
-                    }
-                }
-            }
-            NatDynamicsEvent::ProfileDowngrade { fraction } => {
-                for node in self.topology.public_node_ids() {
-                    if self.rng.gen_range(0.0..1.0) < fraction {
-                        self.topology.demote_to_private(node);
-                    }
-                }
-            }
-            NatDynamicsEvent::FilteringShift { fraction, policy } => {
-                for node in self.topology.private_node_ids() {
-                    if self.rng.gen_range(0.0..1.0) < fraction {
-                        self.topology.set_filtering_of(node, policy);
-                    }
-                }
-            }
-            NatDynamicsEvent::RegionalOutage {
-                region,
-                regions,
-                outage_rounds,
-            } => {
-                let mut affected = Vec::new();
-                for node in self.topology.node_ids() {
-                    // A node already dark from an overlapping earlier outage stays
-                    // claimed by that outage (and comes back at *its* restore round);
-                    // claiming it twice would let the earliest restore cut the later
-                    // outage short.
-                    if node.as_u64() % regions == region
-                        && !self.topology.is_offline(node)
-                        && self.topology.set_offline(node, true)
-                    {
-                        affected.push(node);
-                    }
-                }
-                if !affected.is_empty() {
-                    self.pending_restores
-                        .push((round + outage_rounds, affected));
-                }
-            }
-            // Membership growth cannot happen from inside the engine's hook; the
-            // driver expands flash crowds into the join schedule instead.
-            NatDynamicsEvent::FlashCrowd { .. } => {}
+        // All event→mutation dispatch (and every selection draw) lives in
+        // `NatTopology::apply`; the executor only keeps the *scheduling* state the
+        // topology cannot — which nodes a regional outage silenced and when to restore
+        // them.
+        let applied = self.topology.apply(&event, round, now, &mut self.rng);
+        if let Some(restore_round) = applied.restore_round {
+            self.pending_restores
+                .push((restore_round, applied.taken_offline));
         }
     }
 }

@@ -48,7 +48,15 @@ pub fn indegree_histogram(snapshot: &OverlaySnapshot) -> Vec<(usize, usize)> {
 
 /// Summary statistics of the in-degree distribution.
 pub fn indegree_stats(snapshot: &OverlaySnapshot) -> IndegreeStats {
-    let degrees: Vec<usize> = indegree_distribution(snapshot).values().copied().collect();
+    // Sum in snapshot node order, not HashMap iteration order: the map's RandomState
+    // reseeds per process, and a different f64 summation order perturbs the variance by
+    // an ulp — enough to break bit-identical report files across runs.
+    let distribution = indegree_distribution(snapshot);
+    let degrees: Vec<usize> = snapshot
+        .nodes
+        .iter()
+        .filter_map(|n| distribution.get(&n.id).copied())
+        .collect();
     if degrees.is_empty() {
         return IndegreeStats::default();
     }

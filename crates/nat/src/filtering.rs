@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(FilteringPolicy::AddressAndPortDependent.is_stricter_than(
 ///     FilteringPolicy::EndpointIndependent));
 /// ```
+#[non_exhaustive]
 #[derive(
     Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
 )]

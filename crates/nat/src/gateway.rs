@@ -1,18 +1,43 @@
 //! A single NAT gateway (or firewall) and its UDP mapping table.
 
-use croupier_simulator::{FastHashMap, NodeId, SimDuration, SimTime};
+use croupier_simulator::{FastHashMap, FastHashSet, NodeId, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::address::Ip;
+use crate::address::{Endpoint, Ip};
 use crate::filtering::FilteringPolicy;
+use crate::mapping::{
+    internal_source_port, ExternalMapping, MappingPolicy, PoolingBehavior, FIRST_NAT_PORT,
+};
 
 /// Static configuration of a NAT gateway.
+///
+/// The defaults reproduce the pre-RFC-4787 emulation exactly: endpoint-independent
+/// mapping, hairpinning supported, port preservation on, parity off, a single external
+/// address. Seeded runs against a default-configured topology are therefore bit-identical
+/// across the fidelity upgrade; the richer behaviours are opt-in per gateway profile.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NatGatewayConfig {
     /// Inbound filtering policy.
     pub filtering: FilteringPolicy,
-    /// How long a UDP mapping survives without outbound traffic refreshing it.
+    /// External-endpoint mapping policy (RFC 4787 §4.1).
+    pub mapping: MappingPolicy,
+    /// How long a UDP mapping survives without outbound traffic refreshing it. Refresh is
+    /// asymmetric (RFC 4787 REQ-6): only *outbound* packets refresh; inbound never does.
     pub mapping_timeout: SimDuration,
+    /// Whether the gateway loops packets addressed to one of its own external endpoints
+    /// back to the internal host holding the mapping (RFC 4787 REQ-9). A
+    /// hairpin-incapable gateway drops traffic between two hosts behind it.
+    pub hairpinning: bool,
+    /// Whether the gateway tries to keep the internal source port on the external side.
+    pub port_preservation: bool,
+    /// Whether a non-preserved external port must keep the internal port's parity
+    /// (RFC 4787 REQ-5's "port parity" refinement).
+    pub port_parity: bool,
+    /// How internal hosts are paired to pool addresses when the gateway owns several.
+    pub pooling: PoolingBehavior,
+    /// Number of external addresses the gateway owns (carrier-grade NATs own a pool;
+    /// consumer routers own one). Clamped to at least 1 when the gateway is built.
+    pub pool_size: u8,
     /// Whether the gateway supports the UPnP Internet Gateway Device protocol. Nodes behind
     /// a UPnP gateway can map a public port explicitly and therefore behave as public nodes.
     pub upnp_enabled: bool,
@@ -22,7 +47,13 @@ impl Default for NatGatewayConfig {
     fn default() -> Self {
         NatGatewayConfig {
             filtering: FilteringPolicy::default(),
+            mapping: MappingPolicy::default(),
             mapping_timeout: SimDuration::from_secs(60),
+            hairpinning: true,
+            port_preservation: true,
+            port_parity: false,
+            pooling: PoolingBehavior::default(),
+            pool_size: 1,
             upnp_enabled: false,
         }
     }
@@ -44,10 +75,81 @@ impl NatGatewayConfig {
         self
     }
 
+    /// Sets the mapping policy.
+    pub fn mapping(mut self, policy: MappingPolicy) -> Self {
+        self.mapping = policy;
+        self
+    }
+
+    /// Enables or disables hairpinning.
+    pub fn hairpin(mut self, enabled: bool) -> Self {
+        self.hairpinning = enabled;
+        self
+    }
+
+    /// Enables or disables port preservation.
+    pub fn port_preservation(mut self, enabled: bool) -> Self {
+        self.port_preservation = enabled;
+        self
+    }
+
+    /// Enables or disables port-parity preservation.
+    pub fn port_parity(mut self, enabled: bool) -> Self {
+        self.port_parity = enabled;
+        self
+    }
+
+    /// Sets the external address pool: `size` addresses assigned per `pooling`.
+    pub fn pool(mut self, size: u8, pooling: PoolingBehavior) -> Self {
+        self.pool_size = size.max(1);
+        self.pooling = pooling;
+        self
+    }
+
     /// Enables or disables UPnP IGD support.
     pub fn upnp(mut self, enabled: bool) -> Self {
         self.upnp_enabled = enabled;
         self
+    }
+
+    /// The "full-cone" profile: endpoint-independent on both axes, hairpinning, port
+    /// preservation — the friendliest NAT RFC 4787 describes (and the only one the
+    /// paper's `ForwardTest` traverses unsolicited).
+    pub fn full_cone() -> Self {
+        NatGatewayConfig {
+            filtering: FilteringPolicy::EndpointIndependent,
+            mapping: MappingPolicy::EndpointIndependent,
+            ..NatGatewayConfig::default()
+        }
+    }
+
+    /// The "symmetric" profile: address-and-port-dependent on both axes, no hairpinning,
+    /// no port preservation, parity kept — the NAT under which observed endpoints are
+    /// useless to third parties and hole-punching degenerates to relaying.
+    pub fn symmetric() -> Self {
+        NatGatewayConfig {
+            filtering: FilteringPolicy::AddressAndPortDependent,
+            mapping: MappingPolicy::AddressAndPortDependent,
+            hairpinning: false,
+            port_preservation: false,
+            port_parity: true,
+            ..NatGatewayConfig::default()
+        }
+    }
+
+    /// A carrier-grade profile: many customers share one gateway with a pool of external
+    /// addresses (paired, per RFC 4787 REQ-2), address-dependent on both axes, hairpinning
+    /// supported (customers of one CGN must still reach each other), no port preservation
+    /// (the port space is shared).
+    pub fn carrier_grade(pool_size: u8) -> Self {
+        NatGatewayConfig {
+            filtering: FilteringPolicy::AddressDependent,
+            mapping: MappingPolicy::AddressDependent,
+            port_preservation: false,
+            pooling: PoolingBehavior::Paired,
+            pool_size: pool_size.max(1),
+            ..NatGatewayConfig::default()
+        }
     }
 }
 
@@ -133,6 +235,12 @@ fn ip_key(internal: u32, ip: Ip) -> u64 {
     ((internal as u64) << 32) | ip.as_u32() as u64
 }
 
+/// Packs a `(pool address index, port)` pair into the used-port set's `u32` key.
+#[inline]
+fn port_key(ip_index: u8, port: u16) -> u32 {
+    ((ip_index as u32) << 16) | port as u32
+}
+
 /// How many mapping-table operations a gateway absorbs between opportunistic purges of
 /// expired bindings. Purging is a memory bound, not a correctness mechanism (expiry is
 /// checked against timestamps on every query), so the cadence only trades table size
@@ -178,7 +286,8 @@ const PURGE_EVERY_OPS: u32 = 256;
 /// ```
 #[derive(Clone, Debug)]
 pub struct NatGateway {
-    public_ip: Ip,
+    /// External address pool; `[0]` is the primary address ([`public_ip`](Self::public_ip)).
+    external_ips: Vec<Ip>,
     config: NatGatewayConfig,
     /// Exact-match table, keyed by `pair_key`.
     bindings: FastHashMap<u64, Binding>,
@@ -187,6 +296,17 @@ pub struct NatGateway {
     /// Newest refresh time per `(internal, remote ip)` (address-dependent fast path),
     /// keyed by `ip_key`.
     newest_per_remote_ip: FastHashMap<u64, SimTime>,
+    /// External-endpoint mappings, keyed per [`MappingPolicy`]: endpoint-independent by
+    /// `internal`, address-dependent by `ip_key`, address-and-port-dependent by
+    /// `pair_key`. The key spaces never mix because the policy is fixed per config and a
+    /// reconfig clears the table.
+    mappings: FastHashMap<u64, ExternalMapping>,
+    /// Allocated external ports, keyed by `port_key` (pool index × port).
+    used_ports: FastHashSet<u32>,
+    /// Scan cursor for non-preserving port allocation.
+    next_port: u16,
+    /// Round-robin cursor for [`PoolingBehavior::Arbitrary`] address assignment.
+    arbitrary_cursor: u32,
     ops_since_purge: u32,
     /// Time of the most recent [`reboot`](Self::reboot), if any.
     last_reboot: Option<SimTime>,
@@ -197,21 +317,61 @@ pub struct NatGateway {
 impl NatGateway {
     /// Creates a gateway with the given public address and configuration.
     pub fn new(public_ip: Ip, config: NatGatewayConfig) -> Self {
+        NatGateway::with_pool(vec![public_ip], config)
+    }
+
+    /// Creates a gateway owning a pool of external addresses; `pool[0]` is the primary
+    /// address. Panics if the pool is empty.
+    pub fn with_pool(pool: Vec<Ip>, config: NatGatewayConfig) -> Self {
+        assert!(
+            !pool.is_empty(),
+            "a NAT gateway needs at least one external address"
+        );
         NatGateway {
-            public_ip,
+            external_ips: pool,
             config,
             bindings: FastHashMap::default(),
             newest_per_internal: FastHashMap::default(),
             newest_per_remote_ip: FastHashMap::default(),
+            mappings: FastHashMap::default(),
+            used_ports: FastHashSet::default(),
+            next_port: FIRST_NAT_PORT,
+            arbitrary_cursor: 0,
             ops_since_purge: 0,
             last_reboot: None,
             reboots: 0,
         }
     }
 
-    /// The gateway's public IP address (what remote peers observe as the packet source).
+    /// The gateway's primary public IP address (what remote peers observe as the packet
+    /// source when the pool holds a single address).
     pub fn public_ip(&self) -> Ip {
-        self.public_ip
+        self.external_ips[0]
+    }
+
+    /// The gateway's external address pool.
+    pub fn external_ips(&self) -> &[Ip] {
+        &self.external_ips
+    }
+
+    /// Appends an address to the external pool (topology-side pool growth during a
+    /// scripted gateway reconfiguration).
+    pub fn extend_pool(&mut self, ip: Ip) {
+        self.external_ips.push(ip);
+    }
+
+    /// The pool address `internal`'s *paired* mappings surface from. With the default
+    /// single-address pool this is [`public_ip`](Self::public_ip) for every node, which
+    /// is what keeps pre-pool seeded runs bit-identical. Under
+    /// [`PoolingBehavior::Arbitrary`] individual mappings may use other pool members;
+    /// query [`external_endpoint`](Self::external_endpoint) for the per-flow truth.
+    pub fn external_ip_for(&self, internal: NodeId) -> Ip {
+        self.external_ips[id32(internal) as usize % self.external_ips.len()]
+    }
+
+    /// Whether the gateway loops traffic between two of its own internal hosts.
+    pub fn hairpinning(&self) -> bool {
+        self.config.hairpinning
     }
 
     /// The gateway's configuration.
@@ -263,10 +423,151 @@ impl NatGateway {
             }
             FilteringPolicy::AddressAndPortDependent => {}
         }
+        self.refresh_or_allocate_mapping(internal, remote, remote_ip, now);
         self.ops_since_purge += 1;
         if self.ops_since_purge >= PURGE_EVERY_OPS {
             self.purge_expired(now);
         }
+    }
+
+    /// Key of the external mapping `(internal → remote)` under the configured
+    /// [`MappingPolicy`].
+    fn mapping_key(&self, internal: u32, remote: u32, remote_ip: Ip) -> u64 {
+        match self.config.mapping {
+            MappingPolicy::EndpointIndependent => internal as u64,
+            MappingPolicy::AddressDependent => ip_key(internal, remote_ip),
+            MappingPolicy::AddressAndPortDependent => pair_key(internal, remote),
+        }
+    }
+
+    /// Upserts the external mapping for an outbound packet. The hot path (a live mapping
+    /// already exists — under the default endpoint-independent policy that is every
+    /// packet after a node's first) is one hash lookup and a timestamp max, with no
+    /// allocation; only a genuinely new or expired-and-torn-down flow allocates an
+    /// external endpoint.
+    fn refresh_or_allocate_mapping(
+        &mut self,
+        internal: u32,
+        remote: u32,
+        remote_ip: Ip,
+        now: SimTime,
+    ) {
+        let key = self.mapping_key(internal, remote, remote_ip);
+        let timeout = self.config.mapping_timeout;
+        if let Some(m) = self.mappings.get_mut(&key) {
+            if !m.is_expired(now, timeout) {
+                m.last_refreshed = m.last_refreshed.max(now);
+                return;
+            }
+            // The NAT already tore the expired mapping down; this packet allocates a
+            // fresh external endpoint (which may or may not coincide with the old one).
+            let stale = *m;
+            self.used_ports
+                .remove(&port_key(stale.ip_index, stale.port));
+            self.mappings.remove(&key);
+        }
+        let ip_index = self.assign_pool_index(internal);
+        let port = self.allocate_port(ip_index, internal_source_port(internal));
+        self.used_ports.insert(port_key(ip_index, port));
+        self.mappings.insert(
+            key,
+            ExternalMapping {
+                internal,
+                ip_index,
+                port,
+                last_refreshed: now,
+            },
+        );
+    }
+
+    /// Picks the pool address for a new mapping of `internal`.
+    fn assign_pool_index(&mut self, internal: u32) -> u8 {
+        match self.config.pooling {
+            PoolingBehavior::Paired => (internal as usize % self.external_ips.len()) as u8,
+            PoolingBehavior::Arbitrary => {
+                let index = self.arbitrary_cursor as usize % self.external_ips.len();
+                self.arbitrary_cursor = self.arbitrary_cursor.wrapping_add(1);
+                index as u8
+            }
+        }
+    }
+
+    /// Allocates an external port on pool address `ip_index`, wanting `want` (the internal
+    /// source port). Preservation tries `want` first; otherwise a deterministic cursor
+    /// scan finds the next free port, stepping by 2 when parity must be kept. If the
+    /// 64k-port space is genuinely exhausted the gateway falls back to port overloading
+    /// (reusing `want`), which RFC 4787 discourages but which must not wedge the
+    /// simulation.
+    fn allocate_port(&mut self, ip_index: u8, want: u16) -> u16 {
+        if self.config.port_preservation && !self.used_ports.contains(&port_key(ip_index, want)) {
+            return want;
+        }
+        let step: u16 = if self.config.port_parity { 2 } else { 1 };
+        let parity = want & 1;
+        let mut candidate = if self.config.port_preservation {
+            want
+        } else {
+            self.next_port
+        };
+        if candidate < FIRST_NAT_PORT {
+            candidate = FIRST_NAT_PORT;
+        }
+        if self.config.port_parity && (candidate & 1) != parity {
+            candidate = candidate.checked_add(1).unwrap_or(FIRST_NAT_PORT | parity);
+        }
+        let span = u16::MAX as u32 + 1 - FIRST_NAT_PORT as u32;
+        let mut remaining = span / step as u32 + 1;
+        while remaining > 0 {
+            if !self.used_ports.contains(&port_key(ip_index, candidate)) {
+                if !self.config.port_preservation {
+                    self.next_port = match candidate.checked_add(step) {
+                        Some(next) => next,
+                        None => FIRST_NAT_PORT,
+                    };
+                }
+                return candidate;
+            }
+            candidate = match candidate.checked_add(step) {
+                Some(next) => next,
+                None => {
+                    if self.config.port_parity {
+                        FIRST_NAT_PORT | parity
+                    } else {
+                        FIRST_NAT_PORT
+                    }
+                }
+            };
+            remaining -= 1;
+        }
+        want
+    }
+
+    /// The external endpoint remote peers observe for traffic from `internal` towards
+    /// `(remote, remote_ip)`, or `None` if no live mapping exists at `now`. Under
+    /// endpoint-independent mapping the result is destination-independent — the property
+    /// hole-punching relies on; under the dependent policies distinct destinations see
+    /// distinct endpoints.
+    pub fn external_endpoint(
+        &self,
+        internal: NodeId,
+        remote: NodeId,
+        remote_ip: Ip,
+        now: SimTime,
+    ) -> Option<Endpoint> {
+        let key = self.mapping_key(id32(internal), id32(remote), remote_ip);
+        let m = self.mappings.get(&key)?;
+        if m.is_expired(now, self.config.mapping_timeout) {
+            return None;
+        }
+        Some(Endpoint::new(
+            self.external_ips[m.ip_index as usize],
+            m.port,
+        ))
+    }
+
+    /// Number of live-or-not-yet-purged external mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
     }
 
     /// Decides whether an inbound packet from `from` (with observed source address
@@ -309,6 +610,14 @@ impl NatGateway {
         let fresh = |refreshed: &SimTime| now.saturating_since(*refreshed) <= timeout;
         self.newest_per_internal.retain(|_, t| fresh(t));
         self.newest_per_remote_ip.retain(|_, t| fresh(t));
+        let used_ports = &mut self.used_ports;
+        self.mappings.retain(|_, m| {
+            let keep = !m.is_expired(now, timeout);
+            if !keep {
+                used_ports.remove(&port_key(m.ip_index, m.port));
+            }
+            keep
+        });
         self.ops_since_purge = 0;
     }
 
@@ -325,6 +634,10 @@ impl NatGateway {
         self.bindings.clear();
         self.newest_per_internal.clear();
         self.newest_per_remote_ip.clear();
+        self.mappings.clear();
+        self.used_ports.clear();
+        self.next_port = FIRST_NAT_PORT;
+        self.arbitrary_cursor = 0;
         self.ops_since_purge = 0;
         self.last_reboot = Some(now);
         self.reboots += 1;
@@ -367,9 +680,38 @@ impl NatGateway {
             return;
         }
         self.config.filtering = policy;
+        self.rebuild_newest_indexes();
+    }
+
+    /// Replaces the whole configuration at runtime (scripted gateway reconfiguration:
+    /// firmware swap, CPE replacement, consolidation behind a carrier-grade NAT).
+    ///
+    /// The exact binding table — and therefore the filtering behaviour towards flows the
+    /// new policy still admits — survives, and the newest-binding index the new filtering
+    /// policy queries is rebuilt from it (same soundness argument as
+    /// [`set_filtering`](Self::set_filtering)). The external *mapping* table does not
+    /// survive: its keys are policy-specific, and a real NAT that changes mapping
+    /// behaviour renumbers its external endpoints anyway, so the table, the used-port set
+    /// and both allocation cursors reset. If the new config wants a larger address pool
+    /// than the gateway owns, the caller (the topology) must
+    /// [`extend_pool`](Self::extend_pool) first — the gateway itself cannot allocate
+    /// addresses.
+    pub fn set_config(&mut self, config: NatGatewayConfig) {
+        self.config = config;
+        self.mappings.clear();
+        self.used_ports.clear();
+        self.next_port = FIRST_NAT_PORT;
+        self.arbitrary_cursor = 0;
+        self.rebuild_newest_indexes();
+    }
+
+    /// Rebuilds the newest-binding index the configured filtering policy queries from the
+    /// exact binding table; see [`set_filtering`](Self::set_filtering) for why carrying
+    /// expired entries along unfiltered is sound.
+    fn rebuild_newest_indexes(&mut self) {
         self.newest_per_internal.clear();
         self.newest_per_remote_ip.clear();
-        match policy {
+        match self.config.filtering {
             FilteringPolicy::EndpointIndependent => {
                 for binding in self.bindings.values() {
                     let newest = self
@@ -399,6 +741,14 @@ impl NatGateway {
         self.newest_per_internal.remove(&internal);
         self.newest_per_remote_ip
             .retain(|key, _| (key >> 32) as u32 != internal);
+        let used_ports = &mut self.used_ports;
+        self.mappings.retain(|_, m| {
+            let keep = m.internal != internal;
+            if !keep {
+                used_ports.remove(&port_key(m.ip_index, m.port));
+            }
+            keep
+        });
     }
 
     /// Iterates over the current mapping-table entries.

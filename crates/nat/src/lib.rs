@@ -57,13 +57,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod address;
+pub mod dynamics;
 pub mod filtering;
 pub mod gateway;
+pub mod mapping;
 pub mod topology;
 pub mod traversal;
 
 pub use address::{Endpoint, Ip};
+pub use dynamics::{AppliedEvent, GatewayProfile, NatDynamicsEvent};
 pub use filtering::FilteringPolicy;
 pub use gateway::{Binding, NatGateway, NatGatewayConfig};
+pub use mapping::{ExternalMapping, MappingPolicy, PoolingBehavior};
 pub use topology::{AddressInfo, NatProfile, NatTopology, NatTopologyBuilder, TopologyStats};
 pub use traversal::{hole_punch_feasible, keepalive_interval, relay_feasible, TraversalCost};

@@ -1,0 +1,222 @@
+//! NAT mapping behaviours (RFC 4787 §4.1) and the external-endpoint mapping table.
+//!
+//! Filtering ([`FilteringPolicy`](crate::FilteringPolicy)) decides which inbound packets
+//! pass an existing mapping; *mapping* behaviour decides how many external endpoints the
+//! NAT allocates in the first place — whether two flows from the same internal socket to
+//! different destinations reuse one external `(IP, port)` or get distinct ones. The two
+//! axes are independent in RFC 4787 and both are needed to reproduce the NAT zoo the
+//! paper's protocols must survive: a "symmetric" NAT is address-and-port-dependent on
+//! *both* axes, a "full-cone" NAT endpoint-independent on both.
+//!
+//! This module provides the policy enums plus the compact mapping-table entry; the table
+//! itself lives on [`NatGateway`](crate::NatGateway), next to the filtering state.
+
+use std::fmt;
+
+use croupier_simulator::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// How a NAT reuses external endpoints across destinations (RFC 4787 §4.1).
+///
+/// * [`EndpointIndependent`](MappingPolicy::EndpointIndependent): one external endpoint
+///   per internal source, reused for every destination. Required by RFC 4787 (REQ-1);
+///   the only behaviour under which a peer can hand the observed endpoint to a third
+///   party for hole-punching.
+/// * [`AddressDependent`](MappingPolicy::AddressDependent): a fresh external endpoint per
+///   remote *IP address*.
+/// * [`AddressAndPortDependent`](MappingPolicy::AddressAndPortDependent): a fresh
+///   external endpoint per remote *endpoint* — the classic "symmetric" NAT, under which
+///   the endpoint observed by a rendezvous server is useless to anyone else.
+#[non_exhaustive]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub enum MappingPolicy {
+    /// One external endpoint per internal source, regardless of destination.
+    #[default]
+    EndpointIndependent,
+    /// A distinct external endpoint per remote IP address.
+    AddressDependent,
+    /// A distinct external endpoint per remote (IP, port) endpoint ("symmetric").
+    AddressAndPortDependent,
+}
+
+impl MappingPolicy {
+    /// All policies, from most permissive to most restrictive.
+    pub const ALL: [MappingPolicy; 3] = [
+        MappingPolicy::EndpointIndependent,
+        MappingPolicy::AddressDependent,
+        MappingPolicy::AddressAndPortDependent,
+    ];
+
+    /// Returns `true` if `self` allocates at least as many distinct external endpoints as
+    /// `other` for any traffic pattern.
+    pub fn is_stricter_than(self, other: MappingPolicy) -> bool {
+        self.rank() > other.rank()
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            MappingPolicy::EndpointIndependent => 0,
+            MappingPolicy::AddressDependent => 1,
+            MappingPolicy::AddressAndPortDependent => 2,
+        }
+    }
+
+    /// Returns `true` if the external endpoint a remote peer observes can be reused by a
+    /// *different* remote to reach the internal host (the precondition of
+    /// rendezvous-assisted hole-punching).
+    pub fn endpoint_is_transferable(self) -> bool {
+        matches!(self, MappingPolicy::EndpointIndependent)
+    }
+}
+
+impl fmt::Display for MappingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MappingPolicy::EndpointIndependent => "endpoint-independent",
+            MappingPolicy::AddressDependent => "address-dependent",
+            MappingPolicy::AddressAndPortDependent => "address-and-port-dependent",
+        };
+        f.write_str(name)
+    }
+}
+
+/// How a NAT with a pool of external addresses pairs internal hosts to pool members
+/// (RFC 4787 §4.1, "IP address pooling").
+#[non_exhaustive]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+pub enum PoolingBehavior {
+    /// All mappings of one internal host use the same pool address (RFC 4787 REQ-2).
+    #[default]
+    Paired,
+    /// Pool addresses are assigned per mapping, round-robin; one internal host's flows
+    /// can surface from different external addresses.
+    Arbitrary,
+}
+
+impl fmt::Display for PoolingBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PoolingBehavior::Paired => "paired",
+            PoolingBehavior::Arbitrary => "arbitrary",
+        })
+    }
+}
+
+/// One entry of a gateway's external mapping table: internal host `internal` holds the
+/// external endpoint `(pool address #ip_index, port)`, last refreshed by *outbound*
+/// traffic at `last_refreshed`.
+///
+/// Refresh is asymmetric on purpose (RFC 4787 REQ-6): outbound packets extend the
+/// mapping's lifetime, inbound packets never do — a peer cannot keep a mapping alive by
+/// talking *at* it, which is exactly why the paper's private nodes must keep-alive their
+/// own partners. The entry is 16 bytes; the pool address is stored as an index into the
+/// gateway's pool so the entry stays compact at any pool size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExternalMapping {
+    pub(crate) internal: u32,
+    pub(crate) ip_index: u8,
+    pub(crate) port: u16,
+    pub(crate) last_refreshed: SimTime,
+}
+
+impl ExternalMapping {
+    /// Index of the external pool address this mapping uses.
+    pub fn ip_index(&self) -> u8 {
+        self.ip_index
+    }
+
+    /// External port of the mapping.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Last time *outbound* traffic refreshed the mapping.
+    pub fn last_refreshed(&self) -> SimTime {
+        self.last_refreshed
+    }
+
+    /// Returns `true` if the mapping has expired at `now` under `timeout`.
+    pub fn is_expired(&self, now: SimTime, timeout: SimDuration) -> bool {
+        now.saturating_since(self.last_refreshed) > timeout
+    }
+}
+
+/// First port a NAT allocates; everything below is reserved in the synthetic port space.
+pub const FIRST_NAT_PORT: u16 = 1024;
+
+/// The internal source port a node uses for its gossip socket, derived deterministically
+/// from its id. Port preservation ([`NatGatewayConfig::port_preservation`]) tries to keep
+/// this port on the external side; parity preservation keeps its low bit.
+///
+/// [`NatGatewayConfig::port_preservation`]: crate::NatGatewayConfig
+pub fn internal_source_port(internal: u32) -> u16 {
+    FIRST_NAT_PORT + (internal % (u16::MAX as u32 + 1 - FIRST_NAT_PORT as u32)) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strictness_is_a_total_order() {
+        use MappingPolicy::*;
+        assert!(AddressDependent.is_stricter_than(EndpointIndependent));
+        assert!(AddressAndPortDependent.is_stricter_than(AddressDependent));
+        assert!(!EndpointIndependent.is_stricter_than(AddressDependent));
+    }
+
+    #[test]
+    fn only_endpoint_independent_mappings_transfer() {
+        assert!(MappingPolicy::EndpointIndependent.endpoint_is_transferable());
+        assert!(!MappingPolicy::AddressDependent.endpoint_is_transferable());
+        assert!(!MappingPolicy::AddressAndPortDependent.endpoint_is_transferable());
+    }
+
+    #[test]
+    fn defaults_preserve_the_pre_rfc4787_model() {
+        // The pre-upgrade emulation behaved endpoint-independently on the mapping axis
+        // (one observed address per node) with RFC-recommended paired pooling; the
+        // defaults pin that so existing seeded runs stay bit-identical.
+        assert_eq!(MappingPolicy::default(), MappingPolicy::EndpointIndependent);
+        assert_eq!(PoolingBehavior::default(), PoolingBehavior::Paired);
+    }
+
+    #[test]
+    fn internal_source_ports_avoid_the_reserved_range() {
+        assert_eq!(internal_source_port(0), 1024);
+        assert_eq!(internal_source_port(1), 1025);
+        // Wraps within the dynamic range, never into the reserved one.
+        let span = u16::MAX as u32 + 1 - 1024;
+        assert_eq!(internal_source_port(span), 1024);
+        assert!(internal_source_port(u32::MAX) >= 1024);
+    }
+
+    #[test]
+    fn mapping_entries_are_compact_and_expire_like_bindings() {
+        assert!(std::mem::size_of::<ExternalMapping>() <= 16);
+        let m = ExternalMapping {
+            internal: 1,
+            ip_index: 2,
+            port: 5000,
+            last_refreshed: SimTime::from_secs(10),
+        };
+        assert_eq!(m.ip_index(), 2);
+        assert_eq!(m.port(), 5000);
+        assert_eq!(m.last_refreshed(), SimTime::from_secs(10));
+        assert!(!m.is_expired(SimTime::from_secs(40), SimDuration::from_secs(30)));
+        assert!(m.is_expired(SimTime::from_millis(40_001), SimDuration::from_secs(30)));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            MappingPolicy::AddressAndPortDependent.to_string(),
+            "address-and-port-dependent"
+        );
+        assert_eq!(PoolingBehavior::Arbitrary.to_string(), "arbitrary");
+    }
+}

@@ -8,7 +8,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::address::Ip;
+use crate::address::{Endpoint, Ip};
+use crate::dynamics::{AppliedEvent, NatDynamicsEvent};
 use crate::filtering::FilteringPolicy;
 use crate::gateway::{NatGateway, NatGatewayConfig};
 
@@ -64,6 +65,9 @@ pub struct TopologyStats {
     /// destination's gateway rebooted within one mapping timeout before the block, so the
     /// sender was plausibly talking to a binding the reboot wiped.
     pub stale_binding_failures: u64,
+    /// Subset of `blocked_messages` dropped because both endpoints sit behind the same
+    /// hairpin-incapable gateway (RFC 4787 REQ-9 not met).
+    pub hairpin_blocked: u64,
     /// Nodes currently marked offline by a scripted partition/outage.
     pub offline_nodes: usize,
 }
@@ -100,6 +104,9 @@ struct Inner {
     /// Blocked messages attributable to a recent gateway reboot (see
     /// [`TopologyStats::stale_binding_failures`]).
     stale_binding_failures: u64,
+    /// Blocked messages dropped by a hairpin-incapable gateway (see
+    /// [`TopologyStats::hairpin_blocked`]).
+    hairpin_blocked: u64,
     /// Offline flags in the same dense slot layout as `profiles`; a scripted regional
     /// outage/partition marks nodes here without touching their NAT state.
     offline: Vec<bool>,
@@ -140,8 +147,9 @@ impl Inner {
 
     fn add_gateway(&mut self, config: NatGatewayConfig) -> GatewayId {
         let id = GatewayId(self.gateways.len() as u64);
-        let ip = self.allocate_public_ip();
-        self.gateways.push(NatGateway::new(ip, config));
+        let pool_size = config.pool_size.max(1) as usize;
+        let pool = (0..pool_size).map(|_| self.allocate_public_ip()).collect();
+        self.gateways.push(NatGateway::with_pool(pool, config));
         id
     }
 
@@ -170,7 +178,11 @@ impl Inner {
     fn observed_ip(&self, node: NodeId) -> Option<Ip> {
         match self.profile(node)? {
             NatProfile::Public { ip } => Some(*ip),
-            NatProfile::Private { gateway, .. } => self.gateway(*gateway).map(|gw| gw.public_ip()),
+            // The paired pool address: with the default one-address pool this is the
+            // gateway's public IP for every node.
+            NatProfile::Private { gateway, .. } => {
+                self.gateway(*gateway).map(|gw| gw.external_ip_for(node))
+            }
         }
     }
 
@@ -271,6 +283,118 @@ impl NatTopology {
             inner.default_config.upnp(true)
         };
         self.add_private_node_with(node, config);
+    }
+
+    /// Allocates a gateway not (yet) fronting any node, for explicitly shared
+    /// deployments: several private nodes behind one home router or one carrier-grade
+    /// NAT. The gateway receives `config.pool_size` fresh external addresses.
+    pub fn add_shared_gateway(&self, config: NatGatewayConfig) -> GatewayId {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        inner.add_gateway(config)
+    }
+
+    /// Registers `node` behind the existing `gateway` (sharing it with whatever other
+    /// nodes sit there). Returns `false` for an unknown gateway.
+    pub fn add_private_node_behind(&self, node: NodeId, gateway: GatewayId) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        if inner.gateway(gateway).is_none() {
+            return false;
+        }
+        let local_ip = inner.allocate_private_ip();
+        inner.set_profile(node, NatProfile::Private { gateway, local_ip });
+        true
+    }
+
+    /// Moves a private `node` behind the existing `gateway` (ISP consolidation behind a
+    /// shared NAT): bindings at the old gateway are dropped and the node gets a fresh
+    /// local address behind the new one. Returns `false` if the node is unknown or
+    /// public, or the gateway unknown.
+    pub fn move_node_behind(&self, node: NodeId, gateway: GatewayId) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        if inner.gateway(gateway).is_none() {
+            return false;
+        }
+        let Some(NatProfile::Private {
+            gateway: old_gateway,
+            ..
+        }) = inner.profile(node).copied()
+        else {
+            return false;
+        };
+        if old_gateway != gateway {
+            inner.detach_from_gateway(node, old_gateway);
+        }
+        let local_ip = inner.allocate_private_ip();
+        inner.set_profile(node, NatProfile::Private { gateway, local_ip });
+        true
+    }
+
+    /// Replaces the whole configuration of `gateway` (see [`NatGateway::set_config`]),
+    /// allocating any external addresses the new config's pool size needs beyond what
+    /// the gateway already owns (addresses are never taken away — they are leased).
+    /// Returns `false` for an unknown gateway.
+    pub fn reconfigure_gateway(&self, gateway: GatewayId, config: NatGatewayConfig) -> bool {
+        let mut inner = self.inner.lock().expect("NAT topology lock poisoned");
+        let Some(gw) = inner.gateway(gateway) else {
+            return false;
+        };
+        let missing = (config.pool_size.max(1) as usize).saturating_sub(gw.external_ips().len());
+        for _ in 0..missing {
+            let ip = inner.allocate_public_ip();
+            if let Some(gw) = inner.gateway_mut(gateway) {
+                gw.extend_pool(ip);
+            }
+        }
+        if let Some(gw) = inner.gateway_mut(gateway) {
+            gw.set_config(config);
+        }
+        true
+    }
+
+    /// Replaces the configuration of the gateway in front of `node`. Returns `false` if
+    /// the node is unknown or public.
+    pub fn reconfigure_gateway_of(&self, node: NodeId, config: NatGatewayConfig) -> bool {
+        match self.gateway_of(node) {
+            Some(gateway) => self.reconfigure_gateway(gateway, config),
+            None => false,
+        }
+    }
+
+    /// The external endpoint a peer observes on packets from `node` towards `remote` at
+    /// `now`: the node's own address for public nodes (port = the node's internal source
+    /// port), the gateway's live mapping for private ones — `None` if the node is
+    /// unknown, or private with no live mapping towards `remote` (nothing was sent, or
+    /// the mapping expired). Under endpoint-*dependent* mapping policies the answer
+    /// genuinely varies with `remote`, which is exactly what a STUN-style observer
+    /// cannot see from a single vantage point.
+    pub fn external_endpoint(
+        &self,
+        node: NodeId,
+        remote: NodeId,
+        now: SimTime,
+    ) -> Option<Endpoint> {
+        let inner = self.inner.lock().expect("NAT topology lock poisoned");
+        match inner.profile(node)? {
+            NatProfile::Public { ip } => Some(Endpoint::new(
+                *ip,
+                crate::mapping::internal_source_port(node.as_u64() as u32),
+            )),
+            NatProfile::Private { gateway, .. } => {
+                let remote_ip = inner.observed_ip(remote)?;
+                inner
+                    .gateway(*gateway)?
+                    .external_endpoint(node, remote, remote_ip, now)
+            }
+        }
+    }
+
+    /// The default gateway configuration new private nodes receive (before any
+    /// filtering-mix draw).
+    pub fn default_gateway_config(&self) -> NatGatewayConfig {
+        self.inner
+            .lock()
+            .expect("NAT topology lock poisoned")
+            .default_config
     }
 
     /// Registers `node` with the connectivity class `class` (public nodes get their own
@@ -429,6 +553,136 @@ impl NatTopology {
         }
     }
 
+    /// Applies one scripted [`NatDynamicsEvent`] at round barrier `round` / time `now`,
+    /// drawing per-candidate selections from `rng`.
+    ///
+    /// This is the single dispatcher behind scripted NAT dynamics: the experiments
+    /// crate's `ScenarioExecutor` (and any test) calls it instead of duplicating the
+    /// event→mutation mapping over the individual entry points
+    /// ([`reboot_gateway_of`](Self::reboot_gateway_of),
+    /// [`migrate_node`](Self::migrate_node), …). Selection draws one uniform variate per
+    /// candidate node in ascending id order, so the draw sequence depends only on the
+    /// event and the population, never on engine internals — the determinism contract
+    /// the scenario engine's bit-identity gate relies on.
+    ///
+    /// Returns the caller's follow-up obligations: for
+    /// [`RegionalOutage`](NatDynamicsEvent::RegionalOutage), the exact nodes taken
+    /// offline and the round at which they must be restored (restoring is scheduling,
+    /// which the topology does not do). [`FlashCrowd`](NatDynamicsEvent::FlashCrowd) is
+    /// a no-op here — membership growth is engine-side state the experiment driver
+    /// expands into the join schedule before the run.
+    pub fn apply(
+        &self,
+        event: &NatDynamicsEvent,
+        round: u64,
+        now: SimTime,
+        rng: &mut SmallRng,
+    ) -> AppliedEvent {
+        match *event {
+            NatDynamicsEvent::GatewayRebootStorm { fraction } => {
+                for node in self.private_node_ids() {
+                    if rng.gen_range(0.0..1.0) < fraction {
+                        self.reboot_gateway_of(node, now);
+                    }
+                }
+                AppliedEvent::done()
+            }
+            NatDynamicsEvent::MobilityWave { fraction } => {
+                for node in self.private_node_ids() {
+                    if rng.gen_range(0.0..1.0) < fraction {
+                        self.migrate_node(node);
+                    }
+                }
+                AppliedEvent::done()
+            }
+            NatDynamicsEvent::ProfileUpgrade { fraction } => {
+                for node in self.private_node_ids() {
+                    if rng.gen_range(0.0..1.0) < fraction {
+                        self.promote_to_public(node);
+                    }
+                }
+                AppliedEvent::done()
+            }
+            NatDynamicsEvent::ProfileDowngrade { fraction } => {
+                for node in self.public_node_ids() {
+                    if rng.gen_range(0.0..1.0) < fraction {
+                        self.demote_to_private(node);
+                    }
+                }
+                AppliedEvent::done()
+            }
+            NatDynamicsEvent::FilteringShift { fraction, policy } => {
+                for node in self.private_node_ids() {
+                    if rng.gen_range(0.0..1.0) < fraction {
+                        self.set_filtering_of(node, policy);
+                    }
+                }
+                AppliedEvent::done()
+            }
+            NatDynamicsEvent::GatewayReconfig { fraction, profile } => {
+                let config = profile.config(&self.default_gateway_config());
+                for node in self.private_node_ids() {
+                    if rng.gen_range(0.0..1.0) < fraction {
+                        self.reconfigure_gateway_of(node, config);
+                    }
+                }
+                AppliedEvent::done()
+            }
+            NatDynamicsEvent::CgnConsolidation {
+                fraction,
+                pool_size,
+            } => {
+                // Draw first (one variate per private node, ascending ids, same as every
+                // other selection), then create the CGN only if anyone was selected so an
+                // empty draw does not burn a gateway id or pool addresses.
+                let selected: Vec<NodeId> = self
+                    .private_node_ids()
+                    .into_iter()
+                    .filter(|_| rng.gen_range(0.0..1.0) < fraction)
+                    .collect();
+                if !selected.is_empty() {
+                    let mut config = NatGatewayConfig::carrier_grade(pool_size);
+                    config.mapping_timeout = self.default_gateway_config().mapping_timeout;
+                    let cgn = self.add_shared_gateway(config);
+                    for node in selected {
+                        self.move_node_behind(node, cgn);
+                    }
+                }
+                AppliedEvent::done()
+            }
+            NatDynamicsEvent::RegionalOutage {
+                region,
+                regions,
+                outage_rounds,
+            } => {
+                let mut affected = Vec::new();
+                for node in self.node_ids() {
+                    // A node already dark from an overlapping earlier outage stays
+                    // claimed by that outage (and comes back at *its* restore round);
+                    // claiming it twice would let the earliest restore cut the later
+                    // outage short.
+                    if node.as_u64() % regions == region
+                        && !self.is_offline(node)
+                        && self.set_offline(node, true)
+                    {
+                        affected.push(node);
+                    }
+                }
+                if affected.is_empty() {
+                    AppliedEvent::done()
+                } else {
+                    AppliedEvent {
+                        taken_offline: affected,
+                        restore_round: Some(round + outage_rounds),
+                    }
+                }
+            }
+            // Membership growth cannot happen from inside the engine's hook; the driver
+            // expands flash crowds into the join schedule instead.
+            NatDynamicsEvent::FlashCrowd { .. } => AppliedEvent::done(),
+        }
+    }
+
     /// Marks `node` offline (scripted partition/regional outage: no packet from or to it
     /// passes the filter) or back online. The node's NAT state is untouched — bindings
     /// keep ageing while it is cut off, exactly as during a real partition. Returns
@@ -529,6 +783,7 @@ impl NatTopology {
         let mut stats = TopologyStats {
             blocked_messages: inner.blocked_messages,
             stale_binding_failures: inner.stale_binding_failures,
+            hairpin_blocked: inner.hairpin_blocked,
             offline_nodes: inner.offline_count,
             ..TopologyStats::default()
         };
@@ -622,6 +877,24 @@ impl DeliveryFilter for NatTopology {
             }
             Some(NatProfile::Public { .. }) => DeliveryVerdict::Deliver,
             Some(NatProfile::Private { gateway, .. }) => {
+                // Hairpinning (RFC 4787 REQ-9): traffic between two hosts behind the
+                // same gateway arrives at the gateway's own external address. A
+                // hairpin-capable gateway loops it back through the normal filter (the
+                // path below — the sender's outbound binding towards the shared
+                // external IP is what opens it); an incapable one drops it outright.
+                if let Some(NatProfile::Private {
+                    gateway: from_gateway,
+                    ..
+                }) = inner.profile(from)
+                {
+                    if *from_gateway == gateway
+                        && !inner.gateway(gateway).is_some_and(|gw| gw.hairpinning())
+                    {
+                        inner.blocked_messages += 1;
+                        inner.hairpin_blocked += 1;
+                        return DeliveryVerdict::BlockedByNat;
+                    }
+                }
                 let (accepted, recent_reboot) = inner
                     .gateway(gateway)
                     .map(|gw| {
@@ -723,6 +996,7 @@ impl NatTopologyBuilder {
                 next_private_ip: 0,
                 blocked_messages: 0,
                 stale_binding_failures: 0,
+                hairpin_blocked: 0,
                 offline: Vec::new(),
                 offline_count: 0,
             })),

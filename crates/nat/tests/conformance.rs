@@ -1,0 +1,407 @@
+//! RFC 4787 conformance matrix for the NAT emulation.
+//!
+//! Every combination of mapping policy × filtering policy × hairpinning × port
+//! preservation is driven through the same traffic pattern and checked against the
+//! behaviour RFC 4787 prescribes for that combination. Targeted tests below the matrix
+//! cover the requirements that need a specific traffic shape: port collision fallback,
+//! port parity (REQ-5), asymmetric refresh (REQ-6), IP pooling (REQ-2) and the scripted
+//! gateway-profile dynamics that reach these behaviours from scenario scripts.
+
+use croupier_nat::mapping::internal_source_port;
+use croupier_nat::{
+    AddressInfo, FilteringPolicy, GatewayProfile, Ip, MappingPolicy, NatDynamicsEvent, NatGateway,
+    NatGatewayConfig, NatTopologyBuilder, PoolingBehavior,
+};
+use croupier_simulator::{DeliveryFilter, DeliveryVerdict, NodeId, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const T0: SimTime = SimTime::ZERO;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+/// The full 3 × 3 × 2 × 2 behaviour matrix, one assertion set per combination.
+#[test]
+fn rfc4787_conformance_matrix() {
+    for mapping in MappingPolicy::ALL {
+        for filtering in FilteringPolicy::ALL {
+            for hairpin in [true, false] {
+                for preservation in [true, false] {
+                    let config = NatGatewayConfig::with_filtering(filtering)
+                        .mapping(mapping)
+                        .hairpin(hairpin)
+                        .port_preservation(preservation);
+                    let combo = format!(
+                        "mapping={mapping} filtering={filtering} \
+                         hairpin={hairpin} preservation={preservation}"
+                    );
+                    check_mapping_axis(config, &combo);
+                    check_filtering_axis(config, &combo);
+                    check_hairpin_axis(config, &combo);
+                }
+            }
+        }
+    }
+}
+
+/// RFC 4787 §4.1: how many distinct external endpoints do flows from one internal
+/// source to several destinations get?
+fn check_mapping_axis(config: NatGatewayConfig, combo: &str) {
+    let mut gw = NatGateway::new(Ip::public(1), config);
+    let internal = NodeId::new(1);
+    // Three remotes: a, b on distinct IPs; b2 on b's IP but a different port (node).
+    let (a, a_ip) = (NodeId::new(10), Ip::public(10));
+    let (b, b_ip) = (NodeId::new(11), Ip::public(11));
+    let b2 = NodeId::new(12);
+
+    gw.record_outbound(internal, a, a_ip, T0);
+    gw.record_outbound(internal, b, b_ip, T0);
+    gw.record_outbound(internal, b2, b_ip, T0);
+    let now = t(10);
+    let ep_a = gw.external_endpoint(internal, a, a_ip, now).expect(combo);
+    let ep_b = gw.external_endpoint(internal, b, b_ip, now).expect(combo);
+    let ep_b2 = gw.external_endpoint(internal, b2, b_ip, now).expect(combo);
+
+    match config.mapping {
+        MappingPolicy::EndpointIndependent => {
+            assert_eq!(ep_a, ep_b, "EI mapping must reuse the endpoint: {combo}");
+            assert_eq!(ep_b, ep_b2, "EI mapping must reuse the endpoint: {combo}");
+            assert_eq!(gw.mapping_count(), 1, "{combo}");
+        }
+        MappingPolicy::AddressDependent => {
+            assert_ne!(ep_a, ep_b, "AD mapping: distinct remote IPs: {combo}");
+            assert_eq!(ep_b, ep_b2, "AD mapping: same remote IP: {combo}");
+            assert_eq!(gw.mapping_count(), 2, "{combo}");
+        }
+        MappingPolicy::AddressAndPortDependent => {
+            assert_ne!(ep_a, ep_b, "APD mapping: distinct remotes: {combo}");
+            assert_ne!(ep_b, ep_b2, "APD mapping: distinct remote ports: {combo}");
+            assert_eq!(gw.mapping_count(), 3, "{combo}");
+        }
+        _ => unreachable!("matrix iterates MappingPolicy::ALL"),
+    }
+
+    if config.port_preservation {
+        // The first flow finds its preferred port free.
+        assert_eq!(
+            ep_a.port,
+            internal_source_port(1),
+            "preservation keeps the internal port when free: {combo}"
+        );
+    }
+}
+
+/// RFC 4787 §5: which inbound packets pass an established mapping?
+fn check_filtering_axis(config: NatGatewayConfig, combo: &str) {
+    let mut gw = NatGateway::new(Ip::public(1), config);
+    let internal = NodeId::new(1);
+    let (a, a_ip) = (NodeId::new(10), Ip::public(10));
+    gw.record_outbound(internal, a, a_ip, T0);
+    let now = t(10);
+
+    // The contacted endpoint always gets back in.
+    assert!(
+        gw.accepts_inbound(internal, a, a_ip, now),
+        "reply from the contacted endpoint must pass: {combo}"
+    );
+    // A stranger on an uncontacted IP passes only endpoint-independent filtering.
+    let stranger = gw.accepts_inbound(internal, NodeId::new(20), Ip::public(20), now);
+    assert_eq!(
+        stranger,
+        config.filtering == FilteringPolicy::EndpointIndependent,
+        "unsolicited inbound vs filtering policy: {combo}"
+    );
+    // A different port on the contacted IP passes everything except APD filtering.
+    let same_ip_other_port = gw.accepts_inbound(internal, NodeId::new(12), a_ip, now);
+    assert_eq!(
+        same_ip_other_port,
+        config.filtering != FilteringPolicy::AddressAndPortDependent,
+        "same-IP/other-port inbound vs filtering policy: {combo}"
+    );
+}
+
+/// RFC 4787 REQ-9: traffic between two hosts behind the same gateway is delivered iff
+/// the gateway hairpins.
+fn check_hairpin_axis(config: NatGatewayConfig, combo: &str) {
+    let topology = NatTopologyBuilder::new(7).build();
+    let (x, y) = (NodeId::new(0), NodeId::new(1));
+    let gw = topology.add_shared_gateway(config);
+    assert!(topology.add_private_node_behind(x, gw), "{combo}");
+    assert!(topology.add_private_node_behind(y, gw), "{combo}");
+
+    let mut filter = topology.clone();
+    // y talks to x first, so x→y afterwards is a reply under every filtering policy.
+    filter.on_send(y, x, T0);
+    let verdict = filter.can_deliver(x, y, t(10));
+    if config.hairpinning {
+        assert_eq!(
+            verdict,
+            DeliveryVerdict::Deliver,
+            "hairpin-capable gateway must loop internal traffic: {combo}"
+        );
+        assert_eq!(topology.stats().hairpin_blocked, 0, "{combo}");
+    } else {
+        assert_eq!(
+            verdict,
+            DeliveryVerdict::BlockedByNat,
+            "hairpin-incapable gateway must drop internal traffic: {combo}"
+        );
+        assert_eq!(topology.stats().hairpin_blocked, 1, "{combo}");
+    }
+}
+
+/// Two internals whose preferred external ports collide: the first keeps its port, the
+/// second falls back to the deterministic scan and gets a distinct one.
+#[test]
+fn port_preservation_collision_falls_back_to_scan() {
+    let mut gw = NatGateway::new(Ip::public(1), NatGatewayConfig::default());
+    // 64517 ≡ 5 (mod 64512), so both internals prefer the same external port.
+    let (first, second) = (NodeId::new(5), NodeId::new(64517));
+    let want = internal_source_port(5);
+    assert_eq!(want, internal_source_port(64517));
+
+    let (remote, remote_ip) = (NodeId::new(100), Ip::public(100));
+    gw.record_outbound(first, remote, remote_ip, T0);
+    gw.record_outbound(second, remote, remote_ip, T0);
+    let ep_first = gw
+        .external_endpoint(first, remote, remote_ip, t(1))
+        .unwrap();
+    let ep_second = gw
+        .external_endpoint(second, remote, remote_ip, t(1))
+        .unwrap();
+    assert_eq!(ep_first.port, want, "first claimant keeps its port");
+    assert_ne!(ep_second.port, want, "loser of the collision is rehomed");
+    assert_ne!(ep_first, ep_second);
+}
+
+/// RFC 4787 REQ-5 refinement: a non-preserved external port keeps the internal port's
+/// parity when `port_parity` is set.
+#[test]
+fn port_parity_is_preserved_on_reassignment() {
+    let config = NatGatewayConfig::default()
+        .port_preservation(false)
+        .port_parity(true);
+    let mut gw = NatGateway::new(Ip::public(1), config);
+    let (remote, remote_ip) = (NodeId::new(100), Ip::public(100));
+    for raw in [4u64, 5, 6, 7] {
+        let internal = NodeId::new(raw);
+        gw.record_outbound(internal, remote, remote_ip, T0);
+        let ep = gw
+            .external_endpoint(internal, remote, remote_ip, t(1))
+            .unwrap();
+        assert_eq!(
+            ep.port % 2,
+            internal_source_port(raw as u32) % 2,
+            "external port parity must match internal port parity for node {raw}"
+        );
+    }
+}
+
+/// RFC 4787 REQ-6: only outbound traffic refreshes a mapping; a peer talking *at* the
+/// mapping does not keep it alive.
+#[test]
+fn mapping_refresh_is_asymmetric() {
+    let config = NatGatewayConfig::default().mapping_timeout(SimDuration::from_secs(60));
+    let mut gw = NatGateway::new(Ip::public(1), config);
+    let internal = NodeId::new(1);
+    let (remote, remote_ip) = (NodeId::new(10), Ip::public(10));
+    gw.record_outbound(internal, remote, remote_ip, T0);
+
+    // Inbound checks just before expiry succeed but must not extend the mapping.
+    let almost = t(59_000);
+    assert!(gw.accepts_inbound(internal, remote, remote_ip, almost));
+    assert!(gw
+        .external_endpoint(internal, remote, remote_ip, almost)
+        .is_some());
+    let after = t(61_000);
+    assert!(
+        !gw.accepts_inbound(internal, remote, remote_ip, after),
+        "inbound traffic must not have refreshed the mapping"
+    );
+    assert!(gw
+        .external_endpoint(internal, remote, remote_ip, after)
+        .is_none());
+
+    // Outbound traffic does refresh...
+    gw.record_outbound(internal, remote, remote_ip, T0);
+    gw.record_outbound(internal, remote, remote_ip, t(50_000));
+    assert!(gw
+        .external_endpoint(internal, remote, remote_ip, t(100_000))
+        .is_some());
+    // ...and an out-of-order older timestamp never shortens the lifetime.
+    gw.record_outbound(internal, remote, remote_ip, t(10_000));
+    assert!(gw
+        .external_endpoint(internal, remote, remote_ip, t(100_000))
+        .is_some());
+}
+
+/// RFC 4787 REQ-2: with a pool of external addresses, "paired" pooling keeps all of one
+/// internal host's mappings on one address; "arbitrary" pooling does not.
+#[test]
+fn ip_pooling_paired_vs_arbitrary() {
+    let pool: Vec<Ip> = (1..=4).map(Ip::public).collect();
+    let internal = NodeId::new(1);
+    let flows = [
+        (NodeId::new(10), Ip::public(10)),
+        (NodeId::new(11), Ip::public(11)),
+        (NodeId::new(12), Ip::public(12)),
+    ];
+
+    // Address-dependent mapping so each flow allocates its own mapping entry.
+    let base = NatGatewayConfig::default().mapping(MappingPolicy::AddressDependent);
+
+    let mut paired = NatGateway::with_pool(pool.clone(), base.pool(4, PoolingBehavior::Paired));
+    for (remote, ip) in flows {
+        paired.record_outbound(internal, remote, ip, T0);
+    }
+    let paired_ips: Vec<Ip> = flows
+        .iter()
+        .map(|(remote, ip)| {
+            paired
+                .external_endpoint(internal, *remote, *ip, t(1))
+                .unwrap()
+                .ip
+        })
+        .collect();
+    assert!(
+        paired_ips.iter().all(|ip| *ip == paired_ips[0]),
+        "paired pooling must keep one host on one address, got {paired_ips:?}"
+    );
+
+    let mut arbitrary = NatGateway::with_pool(pool, base.pool(4, PoolingBehavior::Arbitrary));
+    for (remote, ip) in flows {
+        arbitrary.record_outbound(internal, remote, ip, T0);
+    }
+    let arbitrary_ips: Vec<Ip> = flows
+        .iter()
+        .map(|(remote, ip)| {
+            arbitrary
+                .external_endpoint(internal, *remote, *ip, t(1))
+                .unwrap()
+                .ip
+        })
+        .collect();
+    assert!(
+        arbitrary_ips.iter().any(|ip| *ip != arbitrary_ips[0]),
+        "arbitrary pooling must spread one host's flows across the pool"
+    );
+}
+
+/// A gateway reboot wipes the external mapping table along with the bindings.
+#[test]
+fn reboot_clears_mappings_and_frees_ports() {
+    let mut gw = NatGateway::new(Ip::public(1), NatGatewayConfig::default());
+    let internal = NodeId::new(1);
+    let (remote, remote_ip) = (NodeId::new(10), Ip::public(10));
+    gw.record_outbound(internal, remote, remote_ip, T0);
+    assert_eq!(gw.mapping_count(), 1);
+    gw.reboot(t(5));
+    assert_eq!(gw.mapping_count(), 0);
+    assert!(gw
+        .external_endpoint(internal, remote, remote_ip, t(10))
+        .is_none());
+    // The freed port is reusable immediately.
+    gw.record_outbound(internal, remote, remote_ip, t(10));
+    assert_eq!(
+        gw.external_endpoint(internal, remote, remote_ip, t(11))
+            .unwrap()
+            .port,
+        internal_source_port(1)
+    );
+}
+
+/// The scripted CGN consolidation event moves the selected nodes behind one shared
+/// carrier-grade gateway with a paired address pool — and they can still reach each
+/// other through it (hairpinning, REQ-9).
+#[test]
+fn cgn_consolidation_event_builds_a_shared_pool_gateway() {
+    let topology = NatTopologyBuilder::new(7).build();
+    let nodes: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+    for node in &nodes {
+        topology.add_private_node(*node);
+    }
+    let public = NodeId::new(99);
+    topology.add_public_node(public);
+
+    let mut rng = SmallRng::seed_from_u64(42);
+    let event = NatDynamicsEvent::CgnConsolidation {
+        fraction: 1.0,
+        pool_size: 2,
+    };
+    let applied = topology.apply(&event, 10, t(1_000), &mut rng);
+    assert!(applied.taken_offline.is_empty());
+    assert!(applied.restore_round.is_none());
+
+    // Everyone selected ended up behind the same gateway...
+    let cgn = topology.gateway_of(nodes[0]).expect("behind the CGN");
+    for node in &nodes {
+        assert_eq!(topology.gateway_of(*node), Some(cgn));
+    }
+    // ...surfacing from a pool of at most `pool_size` external addresses.
+    let mut pool_ips: Vec<Ip> = nodes
+        .iter()
+        .map(|n| topology.observed_ip(*n).expect("observed IP"))
+        .collect();
+    pool_ips.sort_unstable();
+    pool_ips.dedup();
+    assert!(
+        (1..=2).contains(&pool_ips.len()),
+        "paired pooling over a pool of 2, got {pool_ips:?}"
+    );
+
+    // Customers of one CGN still reach each other: the CGN profile hairpins.
+    let mut filter = topology.clone();
+    filter.on_send(nodes[1], nodes[0], t(2_000));
+    assert_eq!(
+        filter.can_deliver(nodes[0], nodes[1], t(2_010)),
+        DeliveryVerdict::Deliver
+    );
+}
+
+/// The scripted gateway-reconfig event switches the selected nodes' gateways to the
+/// requested profile; under the symmetric profile, distinct destinations then observe
+/// distinct external endpoints.
+#[test]
+fn gateway_reconfig_event_switches_profiles() {
+    let topology = NatTopologyBuilder::new(7).build();
+    let node = NodeId::new(0);
+    topology.add_private_node(node);
+    let (r1, r2) = (NodeId::new(10), NodeId::new(11));
+    topology.add_public_node(r1);
+    topology.add_public_node(r2);
+
+    let mut rng = SmallRng::seed_from_u64(42);
+    let event = NatDynamicsEvent::GatewayReconfig {
+        fraction: 1.0,
+        profile: GatewayProfile::Symmetric,
+    };
+    topology.apply(&event, 10, t(1_000), &mut rng);
+
+    let mut filter = topology.clone();
+    filter.on_send(node, r1, t(2_000));
+    filter.on_send(node, r2, t(2_000));
+    let ep1 = topology
+        .external_endpoint(node, r1, t(2_010))
+        .expect("mapping to r1");
+    let ep2 = topology
+        .external_endpoint(node, r2, t(2_010))
+        .expect("mapping to r2");
+    assert_ne!(
+        ep1, ep2,
+        "symmetric profile must allocate per-destination endpoints"
+    );
+    // And the symmetric profile filters address-and-port-dependently: r2's reply passes,
+    // a never-contacted node's does not.
+    assert_eq!(
+        filter.can_deliver(r2, node, t(2_020)),
+        DeliveryVerdict::Deliver
+    );
+    let stranger = NodeId::new(12);
+    topology.add_public_node(stranger);
+    assert_eq!(
+        filter.can_deliver(stranger, node, t(2_030)),
+        DeliveryVerdict::BlockedByNat
+    );
+}

@@ -15,6 +15,7 @@ use crate::rng::{Seed, Stream};
 use crate::scheduler::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::traffic::TrafficLedger;
+use crate::transport::{ContextParams, SimTransport};
 use crate::types::NodeId;
 
 /// Configuration of a simulation run.
@@ -478,17 +479,20 @@ impl<P: Protocol> Simulation<P> {
                 .nodes
                 .get_mut(slot_index(node))
                 .expect("execute() requires a live node");
-            let mut ctx = Context::with_buffers(
-                node,
-                self.now,
-                self.cfg.round_period,
-                &mut slot.rng,
-                &self.bootstrap,
+            let mut transport = SimTransport::with_buffers(
+                ContextParams {
+                    node,
+                    now: self.now,
+                    round_period: self.cfg.round_period,
+                    rng: &mut slot.rng,
+                    bootstrap: &self.bootstrap,
+                },
                 outbox_buf,
                 timers_buf,
             );
+            let mut ctx = Context::new(&mut transport);
             callback(&mut slot.proto, &mut ctx);
-            ctx.into_effects()
+            transport.into_effects()
         };
         self.apply_effects(node, &mut outgoing, &mut timers);
         self.outbox_buf = outgoing;

@@ -6,6 +6,12 @@
 //! special-casing. The trait deliberately exposes *snapshot*-style accessors (owned
 //! [`TrafficLedger`], callback-based node iteration) because the sharded engine keeps its
 //! state split across shards and has no single borrow to hand out.
+//!
+//! This trait is the *driver-facing* half of the engine seam. The *protocol-facing* half
+//! is [`Transport`](crate::Transport): both engines hand protocol callbacks a
+//! [`Context`](crate::Context) built over their own transport implementation, so protocol
+//! crates depend on neither engine type. See DESIGN.md §13 for the seam's determinism
+//! argument.
 
 use crate::engine::{NetworkStats, SimulationConfig};
 use crate::latency::LatencyModel;

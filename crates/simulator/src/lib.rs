@@ -96,6 +96,7 @@ pub mod scheduler;
 pub mod sharded;
 pub mod time;
 pub mod traffic;
+pub mod transport;
 pub mod types;
 
 pub use bootstrap::BootstrapRegistry;
@@ -111,4 +112,5 @@ pub use rng::Seed;
 pub use sharded::ShardedSimulation;
 pub use time::{SimDuration, SimTime};
 pub use traffic::{NodeTraffic, TrafficLedger};
+pub use transport::{ContextParams, SimTransport, Transport};
 pub use types::{NatClass, NodeId};

@@ -8,8 +8,8 @@
 
 use rand::rngs::SmallRng;
 
-use crate::bootstrap::BootstrapRegistry;
 use crate::time::{SimDuration, SimTime};
+use crate::transport::Transport;
 use crate::types::{NatClass, NodeId};
 
 /// Identifies a timer set by a protocol so the protocol can tell its timers apart.
@@ -57,113 +57,61 @@ pub struct TimerRequest {
 
 /// The execution context given to every protocol callback.
 ///
-/// It exposes the node's identity, the current simulated time, the node's private random
-/// stream, the bootstrap service, and buffers collecting the messages and timers produced
-/// by the callback.
+/// A thin facade over the [`Transport`] seam: every capability it exposes — identity,
+/// clock, the node's private random stream, sending, timers, bootstrap sampling — is
+/// forwarded verbatim to the underlying transport. Protocols therefore compile against
+/// the trait alone and run unchanged on any transport implementation; the engines back it
+/// with [`SimTransport`](crate::SimTransport), which records effects into recycled
+/// buffers. The facade adds no state and draws no randomness of its own, which is what
+/// makes the seam provably behavior-preserving (see DESIGN.md §13).
 pub struct Context<'a, M> {
-    node: NodeId,
-    now: SimTime,
-    round_period: SimDuration,
-    rng: &'a mut SmallRng,
-    bootstrap: &'a BootstrapRegistry,
-    outbox: Vec<Outgoing<M>>,
-    timers: Vec<TimerRequest>,
+    transport: &'a mut dyn Transport<M>,
 }
 
 impl<'a, M> Context<'a, M> {
-    /// Creates a context with fresh effect buffers. Used by protocol unit tests; the
-    /// engines recycle their buffers through [`Context::with_buffers`] instead.
-    pub fn new(
-        node: NodeId,
-        now: SimTime,
-        round_period: SimDuration,
-        rng: &'a mut SmallRng,
-        bootstrap: &'a BootstrapRegistry,
-    ) -> Self {
-        Context::with_buffers(
-            node,
-            now,
-            round_period,
-            rng,
-            bootstrap,
-            Vec::new(),
-            Vec::new(),
-        )
-    }
-
-    /// Creates a context that collects effects into caller-provided buffers.
-    ///
-    /// Both engines pool one outbox and one timer buffer per execution stripe and thread
-    /// them through every callback: [`Context::into_effects`] hands the buffers back, the
-    /// engine drains them, and the next callback reuses the retained capacity — zero
-    /// allocations per event in steady state. The buffers are cleared here, so passing a
-    /// dirty buffer is harmless.
-    #[allow(clippy::too_many_arguments)]
-    pub fn with_buffers(
-        node: NodeId,
-        now: SimTime,
-        round_period: SimDuration,
-        rng: &'a mut SmallRng,
-        bootstrap: &'a BootstrapRegistry,
-        mut outbox: Vec<Outgoing<M>>,
-        mut timers: Vec<TimerRequest>,
-    ) -> Self {
-        outbox.clear();
-        timers.clear();
-        Context {
-            node,
-            now,
-            round_period,
-            rng,
-            bootstrap,
-            outbox,
-            timers,
-        }
+    /// Wraps a transport for the duration of one protocol callback.
+    pub fn new(transport: &'a mut dyn Transport<M>) -> Self {
+        Context { transport }
     }
 
     /// Identity of the node executing the callback.
     pub fn node_id(&self) -> NodeId {
-        self.node
+        self.transport.node_id()
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.transport.now()
     }
 
     /// The gossip round period configured on the engine.
     pub fn round_period(&self) -> SimDuration {
-        self.round_period
+        self.transport.round_period()
     }
 
     /// The node's private random number generator.
     pub fn rng(&mut self) -> &mut SmallRng {
-        self.rng
+        self.transport.rng()
     }
 
     /// Queues `msg` for sending to `to`.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.outbox.push(Outgoing { to, msg });
+        self.transport.send(to, msg);
     }
 
     /// Requests a timer that fires after `delay`, identified by `key`.
     pub fn set_timer(&mut self, delay: SimDuration, key: TimerKey) {
-        self.timers.push(TimerRequest { delay, key });
+        self.transport.set_timer(delay, key);
     }
 
     /// Samples up to `count` public nodes from the bootstrap server, excluding the caller.
     pub fn bootstrap_sample(&mut self, count: usize) -> Vec<NodeId> {
-        self.bootstrap.sample_excluding(count, self.node, self.rng)
+        self.transport.bootstrap_sample(count)
     }
 
     /// Messages queued so far (used by tests driving a protocol without the engine).
     pub fn outbox(&self) -> &[Outgoing<M>] {
-        &self.outbox
-    }
-
-    /// Consumes the context, returning queued messages and timer requests.
-    pub fn into_effects(self) -> (Vec<Outgoing<M>>, Vec<TimerRequest>) {
-        (self.outbox, self.timers)
+        self.transport.outbox()
     }
 }
 
@@ -244,6 +192,8 @@ pub fn random_subset<T: Clone>(items: &[T], count: usize, rng: &mut SmallRng) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bootstrap::BootstrapRegistry;
+    use crate::transport::{ContextParams, SimTransport};
     use rand::SeedableRng;
 
     #[derive(Clone, Debug, PartialEq)]
@@ -259,19 +209,22 @@ mod tests {
     fn context_collects_messages_and_timers() {
         let bootstrap = BootstrapRegistry::new();
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut ctx: Context<'_, TestMsg> = Context::new(
-            NodeId::new(1),
-            SimTime::from_millis(10),
-            SimDuration::from_secs(1),
-            &mut rng,
-            &bootstrap,
-        );
-        ctx.send(NodeId::new(2), TestMsg(7));
-        ctx.set_timer(SimDuration::from_millis(100), TimerKey::new(3));
-        assert_eq!(ctx.node_id(), NodeId::new(1));
-        assert_eq!(ctx.now(), SimTime::from_millis(10));
-        assert_eq!(ctx.round_period(), SimDuration::from_secs(1));
-        let (outbox, timers) = ctx.into_effects();
+        let mut transport: SimTransport<'_, TestMsg> = SimTransport::new(ContextParams {
+            node: NodeId::new(1),
+            now: SimTime::from_millis(10),
+            round_period: SimDuration::from_secs(1),
+            rng: &mut rng,
+            bootstrap: &bootstrap,
+        });
+        {
+            let mut ctx = Context::new(&mut transport);
+            ctx.send(NodeId::new(2), TestMsg(7));
+            ctx.set_timer(SimDuration::from_millis(100), TimerKey::new(3));
+            assert_eq!(ctx.node_id(), NodeId::new(1));
+            assert_eq!(ctx.now(), SimTime::from_millis(10));
+            assert_eq!(ctx.round_period(), SimDuration::from_secs(1));
+        }
+        let (outbox, timers) = transport.into_effects();
         assert_eq!(outbox.len(), 1);
         assert_eq!(outbox[0].to, NodeId::new(2));
         assert_eq!(outbox[0].msg, TestMsg(7));
@@ -290,13 +243,14 @@ mod tests {
         bootstrap.register(NodeId::new(1));
         bootstrap.register(NodeId::new(2));
         let mut rng = SmallRng::seed_from_u64(2);
-        let mut ctx: Context<'_, TestMsg> = Context::new(
-            NodeId::new(1),
-            SimTime::ZERO,
-            SimDuration::from_secs(1),
-            &mut rng,
-            &bootstrap,
-        );
+        let mut transport: SimTransport<'_, TestMsg> = SimTransport::new(ContextParams {
+            node: NodeId::new(1),
+            now: SimTime::ZERO,
+            round_period: SimDuration::from_secs(1),
+            rng: &mut rng,
+            bootstrap: &bootstrap,
+        });
+        let mut ctx = Context::new(&mut transport);
         let sample = ctx.bootstrap_sample(5);
         assert_eq!(sample, vec![NodeId::new(2)]);
     }

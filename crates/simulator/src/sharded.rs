@@ -65,6 +65,7 @@ use crate::rng::Stream;
 use crate::scheduler::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::traffic::TrafficLedger;
+use crate::transport::{ContextParams, SimTransport};
 use crate::types::NodeId;
 
 /// Per-node state owned by a shard.
@@ -168,17 +169,20 @@ impl<P: Protocol> Shard<P> {
                 .nodes
                 .get_mut(local)
                 .expect("execute() requires a live node");
-            let mut ctx = Context::with_buffers(
-                state.id,
-                at,
-                env.cfg.round_period,
-                &mut state.rng,
-                env.bootstrap,
+            let mut transport = SimTransport::with_buffers(
+                ContextParams {
+                    node: state.id,
+                    now: at,
+                    round_period: env.cfg.round_period,
+                    rng: &mut state.rng,
+                    bootstrap: env.bootstrap,
+                },
                 outbox_buf,
                 timers_buf,
             );
+            let mut ctx = Context::new(&mut transport);
             callback(&mut state.proto, &mut ctx);
-            let (outgoing, timers) = ctx.into_effects();
+            let (outgoing, timers) = transport.into_effects();
             (state.id, outgoing, timers)
         };
         for TimerRequest { delay, key } in timers.drain(..) {

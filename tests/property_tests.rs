@@ -250,6 +250,9 @@ fn gateway_admission_requires_a_matching_binding() {
             FilteringPolicy::AddressDependent | FilteringPolicy::AddressAndPortDependent => {
                 fresh(probe_peer)
             }
+            // `FilteringPolicy` is non-exhaustive; the strategy above only generates the
+            // three RFC 4787 policies.
+            _ => unreachable!("unknown filtering policy generated"),
         };
         assert_eq!(
             accepted, expected,

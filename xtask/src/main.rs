@@ -28,11 +28,22 @@
 //!   cargo run -p xtask -- scenario-matrix --scale quick --out target/scenario-json
 //!   ```
 //!
+//! * `public-api` — the API-stability gate: line-scans every workspace library crate for
+//!   `pub` items and compares the sorted list against the committed snapshot under
+//!   `ci/public-api/`. An undeclared addition, removal or signature change fails with a
+//!   `+`/`-` diff; `--update` rewrites the snapshots (commit the result alongside the
+//!   intentional API change).
+//!
+//!   ```text
+//!   cargo run -p xtask -- public-api [--update]
+//!   ```
+//!
 //! * `ci-local` — mirrors every CI job offline so contributors can reproduce CI failures
-//!   before pushing: `fmt`, `clippy` (deny warnings), `doc` (deny warnings), `test`
-//!   (release build + workspace tests), `bench` (guarded benches + `bench-compare`), and
-//!   a `scenario-matrix` smoke run at tiny scale. All steps run even when an earlier one
-//!   fails; the summary lists every verdict.
+//!   before pushing: `fmt`, `clippy` (deny warnings), `doc` (deny warnings),
+//!   `public-api` (snapshot diff), `test` (release build + workspace tests), `bench`
+//!   (guarded benches + `bench-compare`), and a `scenario-matrix` smoke run at tiny
+//!   scale. All steps run even when an earlier one fails; the summary lists every
+//!   verdict.
 //!
 //!   ```text
 //!   cargo run -p xtask -- ci-local [--skip bench,scenario-matrix]
@@ -269,7 +280,8 @@ struct Args {
 const USAGE: &str = "usage: xtask bench-compare --baseline <dir> --current <dir> \
                      [--targets a,b] [--threshold 0.25] [--metric min|mean] [--update]\n\
                      xtask scenario-matrix [scenario_matrix args...]\n\
-                     xtask ci-local [--skip fmt,clippy,doc,test,bench,scenario-matrix]";
+                     xtask public-api [--update]\n\
+                     xtask ci-local [--skip fmt,clippy,doc,public-api,test,bench,scenario-matrix]";
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut baseline = None;
@@ -442,6 +454,174 @@ fn run_scenario_matrix(extra: &[String]) -> bool {
     run_command(&cargo_bin(), &args, &[])
 }
 
+/// Directory holding the committed public-API snapshots, one file per library crate.
+const PUBLIC_API_DIR: &str = "ci/public-api";
+
+/// The workspace's library crates: snapshot file stem and `src/` directory. `xtask`
+/// itself and the bench/experiment binaries' crates still appear because their `pub`
+/// items are importable by other members; only `xtask` (a pure binary, never a
+/// dependency) is excluded.
+fn workspace_library_crates() -> Vec<(String, PathBuf)> {
+    let mut crates = vec![(String::from("croupier-suite"), PathBuf::from("src"))];
+    let mut dirs: Vec<PathBuf> = match std::fs::read_dir("crates") {
+        Ok(entries) => entries.flatten().map(|e| e.path()).collect(),
+        Err(_) => Vec::new(),
+    };
+    dirs.sort();
+    for dir in dirs {
+        let manifest = dir.join("Cargo.toml");
+        let src = dir.join("src");
+        if !manifest.exists() || !src.is_dir() {
+            continue;
+        }
+        let name = std::fs::read_to_string(&manifest)
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find_map(|l| l.trim().strip_prefix("name = ").map(str::to_string))
+            })
+            .map(|raw| raw.trim_matches(|c| c == '"' || c == ' ').to_string())
+            .unwrap_or_else(|| dir.file_name().unwrap().to_string_lossy().into_owned());
+        crates.push((name, src));
+    }
+    crates
+}
+
+/// Every `.rs` file under `dir`, recursively, in sorted order.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Item keywords that may follow `pub` (possibly behind `const`/`unsafe`/`async`/
+/// `extern "..."` qualifiers). Anything else after `pub ` is not an item declaration.
+const PUB_ITEM_KEYWORDS: [&str; 11] = [
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union", "use", "macro",
+];
+
+/// Extracts the normalised declaration if `line` declares a crate-public item.
+///
+/// This is a deliberate *line scan*, not a parse: it sees exactly what a reviewer sees
+/// in the diff, costs nothing to run, and `rustfmt --check` (a separate CI step) pins
+/// the formatting it relies on. Restricted visibility (`pub(crate)`, `pub(super)`) is
+/// not part of the external API and is skipped.
+fn public_item_of(line: &str) -> Option<String> {
+    let trimmed = line.trim();
+    let rest = trimmed.strip_prefix("pub ")?;
+    let mut words = rest.split_whitespace();
+    let mut first = words.next()?;
+    // Skip qualifiers — but `const NAME` (no second keyword) is itself an item.
+    while matches!(first, "const" | "unsafe" | "async") || first.starts_with("extern") {
+        match words.next() {
+            Some(next) if PUB_ITEM_KEYWORDS.contains(&next) => first = next,
+            _ => break,
+        }
+    }
+    if !PUB_ITEM_KEYWORDS.contains(&first) {
+        return None;
+    }
+    // Normalise to the first line of the declaration, without the body opener.
+    let mut decl = trimmed.trim_end();
+    if let Some(stripped) = decl.strip_suffix('{') {
+        decl = stripped.trim_end();
+    }
+    Some(decl.to_string())
+}
+
+/// The sorted public-item snapshot of one crate, one `file: declaration` line each.
+fn public_api_snapshot(src: &Path) -> Vec<String> {
+    let mut files = Vec::new();
+    collect_rs_files(src, &mut files);
+    let mut lines = Vec::new();
+    for file in files {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file.display().to_string().replace('\\', "/");
+        for line in text.lines() {
+            if let Some(decl) = public_item_of(line) {
+                lines.push(format!("{rel}: {decl}"));
+            }
+        }
+    }
+    lines.sort();
+    lines
+}
+
+/// `xtask public-api`: regenerates every crate's snapshot and either rewrites the
+/// committed files (`update`) or diffs against them, failing on any discrepancy.
+fn public_api_gate(update: bool) -> ExitCode {
+    let dir = PathBuf::from(PUBLIC_API_DIR);
+    let mut clean = true;
+    for (name, src) in workspace_library_crates() {
+        let current = public_api_snapshot(&src);
+        let snapshot_path = dir.join(format!("{name}.txt"));
+        if update {
+            if std::fs::create_dir_all(&dir).is_err() {
+                eprintln!("cannot create {}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let mut body = current.join("\n");
+            body.push('\n');
+            if std::fs::write(&snapshot_path, body).is_err() {
+                eprintln!("cannot write {}", snapshot_path.display());
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "public-api: wrote {} ({} items)",
+                snapshot_path.display(),
+                current.len()
+            );
+            continue;
+        }
+        let committed = match std::fs::read_to_string(&snapshot_path) {
+            Ok(text) => text.lines().map(str::to_string).collect::<Vec<_>>(),
+            Err(_) => {
+                eprintln!(
+                    "public-api: missing snapshot {} — run `cargo run -p xtask -- \
+                     public-api --update` and commit it",
+                    snapshot_path.display()
+                );
+                clean = false;
+                continue;
+            }
+        };
+        let removed: Vec<&String> = committed.iter().filter(|l| !current.contains(l)).collect();
+        let added: Vec<&String> = current.iter().filter(|l| !committed.contains(l)).collect();
+        if removed.is_empty() && added.is_empty() {
+            println!("public-api: {name} ok ({} items)", current.len());
+        } else {
+            clean = false;
+            eprintln!("public-api: {name} CHANGED");
+            for line in removed {
+                eprintln!("  - {line}");
+            }
+            for line in added {
+                eprintln!("  + {line}");
+            }
+        }
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "public-api: undeclared API change — if intentional, run `cargo run -p xtask \
+             -- public-api --update` and commit the snapshots"
+        );
+        ExitCode::FAILURE
+    }
+}
+
 /// Runs one external command, streaming its output; returns `true` on exit code 0.
 fn run_command(program: &str, args: &[&str], envs: &[(&str, &str)]) -> bool {
     println!("$ {program} {}", args.join(" "));
@@ -460,7 +640,15 @@ fn run_command(program: &str, args: &[&str], envs: &[(&str, &str)]) -> bool {
 }
 
 /// The CI jobs `ci-local` mirrors, in run order.
-const CI_STEPS: [&str; 6] = ["fmt", "clippy", "doc", "test", "bench", "scenario-matrix"];
+const CI_STEPS: [&str; 7] = [
+    "fmt",
+    "clippy",
+    "doc",
+    "public-api",
+    "test",
+    "bench",
+    "scenario-matrix",
+];
 
 /// Parses `ci-local`'s arguments: the set of steps to skip.
 fn parse_ci_local_args(mut argv: impl Iterator<Item = String>) -> Result<Vec<String>, String> {
@@ -546,6 +734,7 @@ fn ci_local_step(step: &str) -> bool {
                 }
             }
         }
+        "public-api" => public_api_gate(false) == ExitCode::SUCCESS,
         "scenario-matrix" => run_scenario_matrix(
             &["--scale", "tiny", "--out", "target/scenario-json"].map(String::from),
         ),
@@ -596,6 +785,19 @@ fn main() -> ExitCode {
                     ExitCode::FAILURE
                 }
             }
+        }
+        Some("public-api") => {
+            let mut update = false;
+            for arg in argv {
+                match arg.as_str() {
+                    "--update" => update = true,
+                    other => {
+                        eprintln!("unknown argument '{other}'\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            public_api_gate(update)
         }
         Some("scenario-matrix") => {
             // Thin forwarding wrapper so CI and contributors share one entry point.
@@ -888,5 +1090,42 @@ mod tests {
         assert!(table.contains("ok"));
         assert!(table.contains("REGRESSED"));
         assert!(table.contains("MISSING"));
+    }
+
+    #[test]
+    fn public_item_scan_recognises_declarations() {
+        assert_eq!(
+            public_item_of("    pub fn observed_ip(&self) -> Ip {"),
+            Some(String::from("pub fn observed_ip(&self) -> Ip"))
+        );
+        assert_eq!(
+            public_item_of("pub const fn as_u32(self) -> u32 {"),
+            Some(String::from("pub const fn as_u32(self) -> u32"))
+        );
+        assert_eq!(
+            public_item_of("pub const FIRST_NAT_PORT: u16 = 1024;"),
+            Some(String::from("pub const FIRST_NAT_PORT: u16 = 1024;"))
+        );
+        assert_eq!(
+            public_item_of("pub use mapping::{MappingPolicy, PoolingBehavior};"),
+            Some(String::from(
+                "pub use mapping::{MappingPolicy, PoolingBehavior};"
+            ))
+        );
+        assert_eq!(
+            public_item_of("pub struct Endpoint {"),
+            Some(String::from("pub struct Endpoint"))
+        );
+    }
+
+    #[test]
+    fn public_item_scan_skips_non_api_lines() {
+        // Restricted visibility is not external API.
+        assert_eq!(public_item_of("pub(crate) fn internal() {"), None);
+        assert_eq!(public_item_of("    pub(super) mod detail;"), None);
+        // Non-item uses of the word and non-pub lines.
+        assert_eq!(public_item_of("fn private_helper() {"), None);
+        assert_eq!(public_item_of("// pub fn in a comment"), None);
+        assert_eq!(public_item_of("pub ip: Ip,"), None);
     }
 }
