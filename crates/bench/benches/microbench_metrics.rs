@@ -16,15 +16,29 @@
 //! of the CSR rewrite, and the `csr_pipeline` rows are guarded against regression by the
 //! CI `bench-regression` job. `csr_pipeline_threads_4` additionally fans the multi-source
 //! BFS over four worker threads — judge its scaling only on hardware with that many cores.
+//!
+//! The `indegree` group benchmarks the in-degree family the same way: `full` recounts
+//! the distribution, stats and Gini coefficient from the snapshot's edge list on every
+//! sample, `incremental` patches a pre-synced [`IncrementalIndegree`] from the
+//! snapshot's edge delta (a 0.5% edge churn, the steady-state shape) — the ratio is the
+//! documented speedup of the delta fast path. The `driver` group measures the pipelined
+//! metrics plane end to end: one complete experiment run with the per-sample analysis
+//! synchronous (`overlap/sync`) vs offloaded to two metrics workers
+//! (`overlap/workers_2`).
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use croupier::{CroupierConfig, CroupierNode};
+use croupier_experiments::runner::{run_pss, ExperimentParams};
 use croupier_metrics::reference::{
     naive_average_clustering_coefficient, naive_average_path_length,
     naive_largest_component_fraction,
 };
-use croupier_metrics::{MetricsContext, NodeObservation, OverlaySnapshot};
+use croupier_metrics::{
+    indegree_gini, indegree_histogram, indegree_stats, IncrementalIndegree, MetricsContext,
+    NodeObservation, OverlaySnapshot,
+};
 use croupier_simulator::{NatClass, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -112,5 +126,97 @@ fn bench_metrics_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_metrics_pipeline);
+/// Stages the steady-state shape of the incremental in-degree fast path: a tracker
+/// synced to capture `k` and a snapshot holding capture `k + 1` with a valid edge delta
+/// (0.5% of the directed edges re-targeted since `k`).
+fn staged_incremental(nodes: u64) -> (IncrementalIndegree, OverlaySnapshot) {
+    let mut rng = SmallRng::seed_from_u64(0x1DE6 + nodes);
+    let base = synthetic_snapshot(nodes, 0xC5A0 + nodes);
+    let mut snapshot = OverlaySnapshot::default();
+    snapshot.enable_delta_tracking();
+    snapshot.replace_from_parts(base.nodes.clone(), base.edges.clone());
+    let mut tracker = IncrementalIndegree::new();
+    tracker.update(&snapshot);
+    let mut edges = base.edges.clone();
+    let churn = edges.len() / 200;
+    for _ in 0..churn {
+        let i = rng.gen_range(0..edges.len());
+        edges[i].1 = NodeId::new(rng.gen_range(0..nodes));
+    }
+    snapshot.replace_from_parts(base.nodes, edges);
+    // Guard the staging itself: the delta must take the fast path and reproduce the full
+    // recount bit for bit, otherwise the row would time the wrong code path.
+    let mut check = tracker.clone();
+    check.update(&snapshot);
+    assert_eq!(check.fast_update_count(), 1, "staged delta must be fast");
+    assert_eq!(check.gini().to_bits(), indegree_gini(&snapshot).to_bits());
+    (tracker, snapshot)
+}
+
+fn bench_indegree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indegree");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for &nodes in &[10_000u64, 100_000] {
+        let label = format!("{}k_nodes", nodes / 1_000);
+        let (tracker, snapshot) = staged_incremental(nodes);
+        group.bench_function(format!("{label}/full"), |b| {
+            b.iter(|| {
+                (
+                    indegree_histogram(&snapshot),
+                    indegree_stats(&snapshot),
+                    indegree_gini(&snapshot),
+                )
+            })
+        });
+        group.bench_function(format!("{label}/incremental"), |b| {
+            // The clone in the setup hands every iteration a tracker still synced to
+            // capture k, so the routine applies the k → k+1 delta exactly once.
+            b.iter_batched(
+                || tracker.clone(),
+                |mut t| {
+                    t.update(&snapshot);
+                    (t.stats(), t.gini())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// One complete experiment run with the full graph-metric pipeline per sample; the
+/// `workers` knob is the only difference between the `driver` rows.
+fn overlap_run(workers: usize) -> f64 {
+    let params = ExperimentParams::default()
+        .with_seed(0xD21)
+        .with_population(80, 320)
+        .with_rounds(40)
+        .with_sample_every(2)
+        .with_graph_metrics(16)
+        .with_incremental_indegree()
+        .with_metrics_workers(workers);
+    let out = run_pss(&params, |id, class, _| {
+        CroupierNode::new(id, class, CroupierConfig::default())
+    });
+    out.last_sample()
+        .and_then(|s| s.indegree_gini)
+        .unwrap_or(0.0)
+}
+
+fn bench_driver_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("driver");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(15));
+    group.bench_function("overlap/sync", |b| b.iter(|| overlap_run(0)));
+    group.bench_function("overlap/workers_2", |b| b.iter(|| overlap_run(2)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metrics_pipeline,
+    bench_indegree,
+    bench_driver_overlap
+);
 criterion_main!(benches);

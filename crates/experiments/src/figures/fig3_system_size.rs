@@ -60,6 +60,10 @@ pub fn params(scale: Scale, total_nodes: usize, seed: u64) -> ExperimentParams {
     if scale.incremental_components() {
         params = params.with_incremental_components();
     }
+    if scale.incremental_indegree() {
+        params = params.with_incremental_indegree();
+    }
+    params = params.with_metrics_workers(scale.metrics_workers());
     params
 }
 
@@ -124,6 +128,14 @@ mod tests {
         assert_eq!(p.n_public + p.n_private, 1_000_000);
         assert_eq!(p.engine_threads, 8, "Huge runs on eight sharded workers");
         assert!(p.incremental_components, "Huge samples incrementally");
+        assert!(
+            p.incremental_indegree,
+            "Huge tracks in-degree incrementally"
+        );
+        assert_eq!(
+            p.metrics_workers, 2,
+            "Huge overlaps analysis on two workers"
+        );
         assert!(p.public_interarrival_ms < 1.0);
     }
 

@@ -352,6 +352,7 @@ mod tests {
             avg_path_length: Some(2.0),
             clustering: Some(0.1),
             largest_component: Some(component),
+            indegree_gini: None,
         }
     }
 

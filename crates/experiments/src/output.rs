@@ -11,13 +11,13 @@ use serde::{Deserialize, Serialize};
 ///
 /// All tiers at a glance (nodes shown for the paper's 5000-node experiments):
 ///
-/// | Tier    | Nodes vs paper | Nodes   | Rounds vs paper | Sample every | Engine        |
-/// |---------|----------------|---------|-----------------|--------------|---------------|
-/// | `Tiny`  | ÷40            | 125     | ÷5 (min 20)     | 2            | event-driven  |
-/// | `Quick` | ÷10            | 500     | ÷2 (min 40)     | 2            | event-driven  |
-/// | `Paper` | ×1             | 5 000   | ×1              | 5            | event-driven  |
-/// | `Large` | ×20            | 100 000 | ÷4 (min 25)     | 10           | sharded ×4    |
-/// | `Huge`  | ×200           | 1 000 000 | ÷8 (min 12)   | 20           | sharded ×8    |
+/// | Tier    | Nodes vs paper | Nodes   | Rounds vs paper | Sample every | Engine        | Metrics plane            |
+/// |---------|----------------|---------|-----------------|--------------|---------------|--------------------------|
+/// | `Tiny`  | ÷40            | 125     | ÷5 (min 20)     | 2            | event-driven  | synchronous              |
+/// | `Quick` | ÷10            | 500     | ÷2 (min 40)     | 2            | event-driven  | synchronous              |
+/// | `Paper` | ×1             | 5 000   | ×1              | 5            | event-driven  | synchronous              |
+/// | `Large` | ×20            | 100 000 | ÷4 (min 25)     | 10           | sharded ×4    | synchronous              |
+/// | `Huge`  | ×200           | 1 000 000 | ÷8 (min 12)   | 20           | sharded ×8    | incremental, 2 workers   |
 #[non_exhaustive]
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum Scale {
@@ -87,6 +87,27 @@ impl Scale {
     /// [`ExperimentParams::incremental_components`](crate::runner::ExperimentParams::incremental_components)).
     pub fn incremental_components(self) -> bool {
         matches!(self, Scale::Huge)
+    }
+
+    /// Whether runs at this scale track the in-degree distribution incrementally (see
+    /// [`ExperimentParams::incremental_indegree`](crate::runner::ExperimentParams::incremental_indegree)).
+    /// Follows [`incremental_components`](Self::incremental_components): both trackers
+    /// feed off the same snapshot edge delta.
+    pub fn incremental_indegree(self) -> bool {
+        self.incremental_components()
+    }
+
+    /// Number of metrics worker threads the driver overlaps graph analysis with the
+    /// simulation on (see
+    /// [`ExperimentParams::metrics_workers`](crate::runner::ExperimentParams::metrics_workers)).
+    /// Only the million-node tier overlaps: its per-sample analysis is expensive enough
+    /// to hide whole simulation rounds behind, while at the paper scales the synchronous
+    /// path keeps runs trivially comparable to the published figures.
+    pub fn metrics_workers(self) -> usize {
+        match self {
+            Scale::Tiny | Scale::Quick | Scale::Paper | Scale::Large => 0,
+            Scale::Huge => 2,
+        }
     }
 
     /// Parses a scale name (`tiny`, `quick`, `paper`/`full`, `large`, `huge`).
@@ -338,6 +359,10 @@ mod tests {
         assert_eq!(Scale::Huge.engine_threads(), 8);
         assert!(Scale::Huge.incremental_components());
         assert!(!Scale::Large.incremental_components());
+        assert!(Scale::Huge.incremental_indegree());
+        assert_eq!(Scale::Huge.metrics_workers(), 2);
+        assert_eq!(Scale::Large.metrics_workers(), 0);
+        assert_eq!(Scale::Paper.metrics_workers(), 0);
     }
 
     #[test]

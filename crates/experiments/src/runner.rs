@@ -10,10 +10,13 @@
 
 use std::collections::HashMap;
 use std::marker::PhantomData;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use croupier_metrics::{
-    class_overhead, estimation_errors, EstimationErrors, IncrementalComponents, MetricsContext,
-    OverheadReport, OverlaySnapshot,
+    class_overhead, draw_path_sources, estimation_errors, indegree_gini, EstimationErrors,
+    IncrementalComponents, IncrementalIndegree, MetricsContext, OverheadReport, OverlaySnapshot,
 };
 use croupier_nat::{NatTopology, NatTopologyBuilder, TopologyStats};
 use croupier_simulator::{
@@ -24,7 +27,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::scenario::{ChurnSpec, JoinSchedule, ScenarioExecutor, ScenarioScript};
+use crate::scenario::{ChurnSpec, JoinEvent, JoinSchedule, ScenarioExecutor, ScenarioScript};
 
 /// Late growth of one class of nodes, used by the dynamic-ratio experiment (Fig. 2).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -68,6 +71,20 @@ pub struct ExperimentParams {
     /// million-node tier it is what keeps per-sample metrics cost proportional to the
     /// overlay's churn rather than its size.
     pub incremental_components: bool,
+    /// Track the in-degree distribution incrementally (dense rank-indexed counts patched
+    /// from snapshot edge deltas) and report its Gini coefficient on every sample in
+    /// [`RoundSample::indegree_gini`]. Like
+    /// [`incremental_components`](Self::incremental_components), the fast path costs
+    /// O(delta) per sample instead of O(edges) and is bit-identical to the full recount.
+    pub incremental_indegree: bool,
+    /// Number of metrics worker threads the driver overlaps full-graph analysis with the
+    /// simulation on. `0` (the default) analyses every sample synchronously on the driver
+    /// thread. With `n >= 1` workers the driver captures a snapshot, runs the incremental
+    /// trackers and pre-draws the BFS sources, then hands the (copied) snapshot to a
+    /// worker so the CSR build, path-length, clustering and estimation sweeps for sample
+    /// `k` compute while the engine already simulates toward sample `k + 1`. Results are
+    /// joined in sample order, so the output is bit-identical for every worker count.
+    pub metrics_workers: usize,
     /// Continuous churn, if any.
     pub churn: Option<ChurnSpec>,
     /// Late growth of one node class, if any.
@@ -108,6 +125,8 @@ impl Default for ExperimentParams {
             min_rounds_for_metrics: 2,
             graph_metric_sources: None,
             incremental_components: false,
+            incremental_indegree: false,
+            metrics_workers: 0,
             churn: None,
             growth: None,
             scenario: None,
@@ -155,6 +174,21 @@ impl ExperimentParams {
     /// [`with_graph_metrics`](Self::with_graph_metrics).
     pub fn with_incremental_components(mut self) -> Self {
         self.incremental_components = true;
+        self
+    }
+
+    /// Enables incremental in-degree tracking: populates [`RoundSample::indegree_gini`]
+    /// on every sample from O(delta) count updates instead of a full O(edges) recount.
+    pub fn with_incremental_indegree(mut self) -> Self {
+        self.incremental_indegree = true;
+        self
+    }
+
+    /// Overlaps per-sample graph analysis with the simulation on `workers` metrics
+    /// threads (`0` analyses synchronously on the driver thread). Samples are joined in
+    /// order, so the run output is bit-identical for every worker count.
+    pub fn with_metrics_workers(mut self, workers: usize) -> Self {
+        self.metrics_workers = workers;
         self
     }
 
@@ -214,6 +248,42 @@ pub struct RoundSample {
     /// Fraction of live nodes in the largest connected component (if graph metrics are
     /// enabled).
     pub largest_component: Option<f64>,
+    /// Gini coefficient of the in-degree distribution (if graph metrics or
+    /// [`ExperimentParams::incremental_indegree`] are enabled): `0` is a perfectly
+    /// uniform overlay, values near `1` mean a few hubs hold most of the in-degree.
+    pub indegree_gini: Option<f64>,
+}
+
+/// Wall-clock cost of one metrics sample, split into the part that must run on the
+/// driver thread and the part the overlapped metrics plane can hide.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleMetricsTiming {
+    /// Gossip round of the sample.
+    pub round: u64,
+    /// Driver-thread nanoseconds: snapshot capture, incremental component/in-degree
+    /// updates and the BFS source pre-draw.
+    pub capture_ns: u64,
+    /// Full-graph analysis nanoseconds: estimation sweep, CSR build, multi-source BFS
+    /// and clustering.
+    pub analysis_ns: u64,
+    /// Whether the analysis ran on a metrics worker, overlapped with the simulation.
+    pub offloaded: bool,
+}
+
+/// How much full-graph analysis the overlapped metrics plane hid behind the simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsOverlapReport {
+    /// Number of metrics worker threads.
+    pub workers: usize,
+    /// Number of samples whose analysis was offloaded.
+    pub offloaded_samples: u64,
+    /// Total analysis nanoseconds across all offloaded samples.
+    pub analysis_ns: u64,
+    /// Driver nanoseconds spent blocked waiting for a worker (pool dry or final join).
+    pub blocked_ns: u64,
+    /// Fraction of [`analysis_ns`](Self::analysis_ns) that did **not** stall the driver:
+    /// `1.0` means the analysis was entirely hidden behind the simulation.
+    pub overlap_ratio: f64,
 }
 
 /// Everything a run produces.
@@ -240,6 +310,15 @@ pub struct RunOutput {
     /// of O(edges); scale tests use this to assert the per-sample metrics path stayed
     /// sublinear: in a healthy overlay almost every sample repairs, not rebuilds.
     pub incremental_component_updates: Option<(u64, u64)>,
+    /// `(full rebuilds, delta fast-path updates)` of the incremental in-degree tracker,
+    /// when [`ExperimentParams::incremental_indegree`] was enabled. In a steady overlay
+    /// almost every sample should take the O(delta) fast path.
+    pub incremental_indegree_updates: Option<(u64, u64)>,
+    /// Overlap accounting of the pipelined metrics plane, when
+    /// [`ExperimentParams::metrics_workers`] was nonzero.
+    pub metrics_overlap: Option<MetricsOverlapReport>,
+    /// Per-sample metrics timing, in time order (one entry per [`RoundSample`]).
+    pub metrics_timing: Vec<SampleMetricsTiming>,
 }
 
 impl RunOutput {
@@ -256,6 +335,76 @@ impl RunOutput {
         let start = self.samples.len().saturating_sub(n);
         let tail = &self.samples[start..];
         Some(tail.iter().map(|s| s.estimation.average).sum::<f64>() / tail.len() as f64)
+    }
+}
+
+/// Everything the driver thread must produce for one sample before the remaining
+/// analysis can run anywhere: the incremental trackers have consumed the snapshot's edge
+/// delta, the true ratio is read from the live bookkeeping, and the BFS sources are
+/// pre-drawn from the metric RNG (so the analysis stage consumes no randomness and the
+/// overlapped run stays bit-identical to the synchronous one).
+#[derive(Clone, Debug, Default)]
+struct SamplePrep {
+    round: u64,
+    node_count: usize,
+    true_ratio: f64,
+    capture_ns: u64,
+    incremental_component: Option<f64>,
+    indegree_gini: Option<f64>,
+    graph_metrics: bool,
+    sources: Vec<u32>,
+}
+
+/// One unit of offloaded analysis: a transfer snapshot (recycled through the worker
+/// pool) plus the driver-side prep, tagged with the sample's position so results can be
+/// joined in sample order.
+#[derive(Debug, Default)]
+struct MetricsJob {
+    index: usize,
+    prep: SamplePrep,
+    snapshot: OverlaySnapshot,
+}
+
+/// The analysis stage of one sample: everything that is a pure function of the captured
+/// snapshot (plus the pre-drawn prep). Runs inline on the driver thread when
+/// [`ExperimentParams::metrics_workers`] is `0`, or on a metrics worker otherwise.
+fn analyze_sample(
+    prep: &SamplePrep,
+    snapshot: &OverlaySnapshot,
+    metrics: &mut MetricsContext,
+) -> RoundSample {
+    let estimation = estimation_errors(snapshot, prep.true_ratio);
+    let (avg_path_length, clustering, largest_component, gini) = if prep.graph_metrics {
+        // One CSR build feeds all graph metrics; dangling edges are filtered during the
+        // build, so no separate retain_live_edges pass is needed. The incremental
+        // trackers produce values bit-identical to the full sweeps, so when both paths
+        // are enabled either answer is valid; the incremental one is preferred because
+        // its cost scales with the churn since the previous sample.
+        metrics.build(snapshot);
+        (
+            metrics.average_path_length_with_sources(&prep.sources),
+            Some(metrics.average_clustering_coefficient()),
+            Some(
+                prep.incremental_component
+                    .unwrap_or_else(|| metrics.largest_component_fraction()),
+            ),
+            Some(
+                prep.indegree_gini
+                    .unwrap_or_else(|| indegree_gini(snapshot)),
+            ),
+        )
+    } else {
+        (None, None, prep.incremental_component, prep.indegree_gini)
+    };
+    RoundSample {
+        round: prep.round,
+        node_count: prep.node_count,
+        true_ratio: prep.true_ratio,
+        estimation,
+        avg_path_length,
+        clustering,
+        largest_component,
+        indegree_gini: gini,
     }
 }
 
@@ -281,6 +430,13 @@ struct Driver<P: Protocol + PssNode, E: SimulationEngine<P>> {
     /// Incremental largest-component tracker, fed by the snapshot's edge deltas when
     /// [`ExperimentParams::incremental_components`] is set.
     components: IncrementalComponents,
+    /// Incremental in-degree tracker, fed by the same edge deltas when
+    /// [`ExperimentParams::incremental_indegree`] is set.
+    indegree: IncrementalIndegree,
+    /// Per-sample metrics timing, accumulated in sample order.
+    metrics_timing: Vec<SampleMetricsTiming>,
+    /// Reusable BFS source buffer recycled through [`SamplePrep`].
+    sources_scratch: Vec<u32>,
     /// Reusable traffic ledger refilled in place by the overhead-window sampling, instead
     /// of cloning the engine's whole per-node map per sample.
     traffic_scratch: croupier_simulator::TrafficLedger,
@@ -311,7 +467,7 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             )));
         }
         let mut sample_snapshot = OverlaySnapshot::default();
-        if params.incremental_components {
+        if params.incremental_components || params.incremental_indegree {
             sample_snapshot.enable_delta_tracking();
         }
         Driver {
@@ -328,6 +484,9 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             sample_snapshot,
             metrics: MetricsContext::new(params.engine_threads.max(1)),
             components: IncrementalComponents::new(),
+            indegree: IncrementalIndegree::new(),
+            metrics_timing: Vec::new(),
+            sources_scratch: Vec::new(),
             traffic_scratch: croupier_simulator::TrafficLedger::new(),
             _protocol: PhantomData,
         }
@@ -406,46 +565,66 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
         }
     }
 
-    fn sample(&mut self, round: u64) -> RoundSample {
+    /// The driver-thread half of one sample: captures the snapshot, feeds the
+    /// incremental trackers their edge delta (which must happen before the *next*
+    /// capture invalidates it) and pre-draws the BFS sources, consuming the metric RNG
+    /// in exactly the order the synchronous path would.
+    fn prepare_sample(&mut self, round: u64, mut sources: Vec<u32>) -> SamplePrep {
+        let capture_start = Instant::now();
         self.sample_snapshot
             .capture_into(&self.sim, self.params.min_rounds_for_metrics);
-        let true_ratio = self.true_ratio();
-        let estimation = estimation_errors(&self.sample_snapshot, true_ratio);
-        // The incremental tracker produces a value bit-identical to the CSR + BFS sweep,
-        // so when both paths are enabled either answer is valid; the incremental one is
-        // preferred because its cost scales with the churn since the previous sample.
         let incremental_component = if self.params.incremental_components {
             self.components.update(&self.sample_snapshot);
             Some(self.components.largest_component_fraction())
         } else {
             None
         };
-        let (avg_path_length, clustering, largest_component) =
-            if let Some(sources) = self.params.graph_metric_sources {
-                // One CSR build feeds all three metrics; dangling edges are filtered
-                // during the build, so no separate retain_live_edges pass is needed.
-                self.metrics.build(&self.sample_snapshot);
-                (
-                    self.metrics
-                        .average_path_length(sources, &mut self.metric_rng),
-                    Some(self.metrics.average_clustering_coefficient()),
-                    Some(
-                        incremental_component
-                            .unwrap_or_else(|| self.metrics.largest_component_fraction()),
-                    ),
-                )
-            } else {
-                (None, None, incremental_component)
-            };
-        RoundSample {
+        let indegree_gini = if self.params.incremental_indegree {
+            self.indegree.update(&self.sample_snapshot);
+            Some(self.indegree.gini())
+        } else {
+            None
+        };
+        let graph_metrics = self.params.graph_metric_sources.is_some();
+        if let Some(count) = self.params.graph_metric_sources {
+            // The CSR vertex set is exactly the captured node set, so drawing against
+            // the snapshot count is bit-identical to the inline draw against the built
+            // graph that the synchronous pipeline used to perform.
+            draw_path_sources(
+                self.sample_snapshot.node_count(),
+                count,
+                &mut self.metric_rng,
+                &mut sources,
+            );
+        } else {
+            sources.clear();
+        }
+        SamplePrep {
             round,
             node_count: self.sim.len(),
-            true_ratio,
-            estimation,
-            avg_path_length,
-            clustering,
-            largest_component,
+            true_ratio: self.true_ratio(),
+            capture_ns: capture_start.elapsed().as_nanos() as u64,
+            incremental_component,
+            indegree_gini,
+            graph_metrics,
+            sources,
         }
+    }
+
+    /// Synchronous sampling: prepare and analyse back to back on the driver thread.
+    fn sample(&mut self, round: u64) -> RoundSample {
+        let sources = std::mem::take(&mut self.sources_scratch);
+        let prep = self.prepare_sample(round, sources);
+        let analysis_start = Instant::now();
+        let sample = analyze_sample(&prep, &self.sample_snapshot, &mut self.metrics);
+        self.metrics_timing.push(SampleMetricsTiming {
+            round,
+            capture_ns: prep.capture_ns,
+            analysis_ns: analysis_start.elapsed().as_nanos() as u64,
+            offloaded: false,
+        });
+        self.sources_scratch = prep.sources;
+        sample
     }
 
     /// Runs the main phase: joins, rounds, churn, sampling.
@@ -482,41 +661,31 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
         let mut samples = Vec::new();
         let mut overhead = None;
 
-        for round in 1..=self.params.rounds {
-            let boundary = croupier_simulator::SimTime::from_millis(round * round_ms);
-            while next_event < events.len() && events[next_event].at <= boundary {
-                let event = events[next_event];
-                next_event += 1;
-                self.sim.run_until(event.at);
-                self.add_node(event.class, make_node);
-            }
-            self.sim.run_until(boundary);
-
-            if let Some(churn) = self.params.churn {
-                if round >= churn.start_round {
-                    self.apply_churn(make_node);
+        let metrics_overlap = if self.params.metrics_workers == 0 {
+            for round in 1..=self.params.rounds {
+                self.step_round(
+                    round,
+                    round_ms,
+                    &events,
+                    &mut next_event,
+                    &mut overhead,
+                    make_node,
+                );
+                if round % self.params.sample_every == 0 {
+                    samples.push(self.sample(round));
                 }
             }
-
-            if let Some((start, end)) = self.params.overhead_window {
-                if round == start {
-                    self.sim.reset_traffic_window();
-                } else if round == end {
-                    let window_secs = (end - start) as f64;
-                    let classes = self.all_classes.clone();
-                    self.sim.traffic_snapshot_into(&mut self.traffic_scratch);
-                    overhead = Some(class_overhead(
-                        &self.traffic_scratch,
-                        |id| classes.get(&id).copied(),
-                        window_secs,
-                    ));
-                }
-            }
-
-            if round % self.params.sample_every == 0 {
-                samples.push(self.sample(round));
-            }
-        }
+            None
+        } else {
+            Some(self.run_overlapped(
+                round_ms,
+                &events,
+                &mut next_event,
+                &mut overhead,
+                make_node,
+                &mut samples,
+            ))
+        };
 
         let mut final_snapshot =
             OverlaySnapshot::capture(&self.sim, self.params.min_rounds_for_metrics);
@@ -534,6 +703,216 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
                     self.components.sublinear_update_count(),
                 )
             }),
+            incremental_indegree_updates: self.params.incremental_indegree.then(|| {
+                (
+                    self.indegree.rebuild_count(),
+                    self.indegree.fast_update_count(),
+                )
+            }),
+            metrics_overlap,
+            metrics_timing: std::mem::take(&mut self.metrics_timing),
+        }
+    }
+
+    /// Advances the simulation by one gossip round: join events up to the round
+    /// boundary, the round itself, then churn and overhead-window bookkeeping. Shared by
+    /// the synchronous and the overlapped run loops.
+    fn step_round<F>(
+        &mut self,
+        round: u64,
+        round_ms: u64,
+        events: &[JoinEvent],
+        next_event: &mut usize,
+        overhead: &mut Option<OverheadReport>,
+        make_node: &mut F,
+    ) where
+        F: FnMut(NodeId, NatClass, &NatTopology) -> P,
+    {
+        let boundary = croupier_simulator::SimTime::from_millis(round * round_ms);
+        while *next_event < events.len() && events[*next_event].at <= boundary {
+            let event = events[*next_event];
+            *next_event += 1;
+            self.sim.run_until(event.at);
+            self.add_node(event.class, make_node);
+        }
+        self.sim.run_until(boundary);
+
+        if let Some(churn) = self.params.churn {
+            if round >= churn.start_round {
+                self.apply_churn(make_node);
+            }
+        }
+
+        if let Some((start, end)) = self.params.overhead_window {
+            if round == start {
+                self.sim.reset_traffic_window();
+            } else if round == end {
+                let window_secs = (end - start) as f64;
+                let classes = self.all_classes.clone();
+                self.sim.traffic_snapshot_into(&mut self.traffic_scratch);
+                *overhead = Some(class_overhead(
+                    &self.traffic_scratch,
+                    |id| classes.get(&id).copied(),
+                    window_secs,
+                ));
+            }
+        }
+    }
+
+    /// The overlapped run loop: the driver thread simulates and prepares samples while a
+    /// pool of metrics workers analyses already-captured snapshots.
+    ///
+    /// Soundness hinges on the split in [`prepare_sample`](Self::prepare_sample): the
+    /// capture and both incremental trackers stay on the driver thread (an edge delta is
+    /// only valid between *consecutive* captures, so its consumers can never skip a
+    /// snapshot), and the metric RNG is fully consumed during prepare. What a worker
+    /// receives is a pure function of its job, so joining results by sample index makes
+    /// the run bit-identical to the synchronous loop for any worker count.
+    fn run_overlapped<F>(
+        &mut self,
+        round_ms: u64,
+        events: &[JoinEvent],
+        next_event: &mut usize,
+        overhead: &mut Option<OverheadReport>,
+        make_node: &mut F,
+        samples: &mut Vec<RoundSample>,
+    ) -> MetricsOverlapReport
+    where
+        F: FnMut(NodeId, NatClass, &NatTopology) -> P,
+    {
+        /// Books a finished job: records its sample and timing, returns the job so its
+        /// buffers can be recycled.
+        fn settle(
+            done: MetricsJob,
+            sample: RoundSample,
+            elapsed_ns: u64,
+            ordered: &mut [Option<(RoundSample, SampleMetricsTiming)>],
+            analysis_ns: &mut u64,
+        ) -> MetricsJob {
+            *analysis_ns += elapsed_ns;
+            ordered[done.index] = Some((
+                sample,
+                SampleMetricsTiming {
+                    round: done.prep.round,
+                    capture_ns: done.prep.capture_ns,
+                    analysis_ns: elapsed_ns,
+                    offloaded: true,
+                },
+            ));
+            done
+        }
+
+        let workers = self.params.metrics_workers;
+        // A single worker never competes with a sibling for cores, so it inherits the
+        // engine's thread budget for its multi-source BFS; multiple workers each stay
+        // single-threaded to avoid oversubscribing the machine.
+        let worker_threads = if workers == 1 {
+            self.params.engine_threads.max(1)
+        } else {
+            1
+        };
+        let expected = (self.params.rounds / self.params.sample_every) as usize;
+        let mut ordered: Vec<Option<(RoundSample, SampleMetricsTiming)>> =
+            (0..expected).map(|_| None).collect();
+        let mut analysis_ns = 0u64;
+        let mut blocked_ns = 0u64;
+        let mut offloaded = 0u64;
+
+        std::thread::scope(|scope| {
+            let (job_tx, job_rx) = mpsc::channel::<MetricsJob>();
+            let (result_tx, result_rx) = mpsc::channel::<(MetricsJob, RoundSample, u64)>();
+            let job_rx = Arc::new(Mutex::new(job_rx));
+            for _ in 0..workers {
+                let rx = Arc::clone(&job_rx);
+                let tx = result_tx.clone();
+                scope.spawn(move || {
+                    let mut metrics = MetricsContext::new(worker_threads);
+                    loop {
+                        // Hold the lock only for the receive: workers analyse in
+                        // parallel, competing solely for job pickup.
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        };
+                        let start = Instant::now();
+                        let sample = analyze_sample(&job.prep, &job.snapshot, &mut metrics);
+                        let elapsed_ns = start.elapsed().as_nanos() as u64;
+                        if tx.send((job, sample, elapsed_ns)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+
+            // `workers + 1` transfer jobs: every worker can hold one while the driver
+            // fills the spare, so in steady state the driver never waits.
+            let mut pool: Vec<MetricsJob> = (0..=workers).map(|_| MetricsJob::default()).collect();
+            let mut in_flight = 0usize;
+            let mut sample_index = 0usize;
+            for round in 1..=self.params.rounds {
+                self.step_round(round, round_ms, events, next_event, overhead, make_node);
+                if round % self.params.sample_every != 0 {
+                    continue;
+                }
+                // Recycle every finished job without blocking, then take a free buffer —
+                // waiting on the slowest worker only when the pool has run dry.
+                while let Ok((done, sample, elapsed_ns)) = result_rx.try_recv() {
+                    in_flight -= 1;
+                    pool.push(settle(
+                        done,
+                        sample,
+                        elapsed_ns,
+                        &mut ordered,
+                        &mut analysis_ns,
+                    ));
+                }
+                let mut job = match pool.pop() {
+                    Some(job) => job,
+                    None => {
+                        let wait = Instant::now();
+                        let (done, sample, elapsed_ns) =
+                            result_rx.recv().expect("metrics workers alive");
+                        blocked_ns += wait.elapsed().as_nanos() as u64;
+                        in_flight -= 1;
+                        settle(done, sample, elapsed_ns, &mut ordered, &mut analysis_ns)
+                    }
+                };
+                let sources = std::mem::take(&mut job.prep.sources);
+                job.prep = self.prepare_sample(round, sources);
+                job.index = sample_index;
+                sample_index += 1;
+                job.snapshot.copy_observations_from(&self.sample_snapshot);
+                job_tx.send(job).expect("metrics workers alive");
+                in_flight += 1;
+                offloaded += 1;
+            }
+            drop(job_tx);
+            while in_flight > 0 {
+                let wait = Instant::now();
+                let (done, sample, elapsed_ns) = result_rx.recv().expect("metrics workers alive");
+                blocked_ns += wait.elapsed().as_nanos() as u64;
+                in_flight -= 1;
+                settle(done, sample, elapsed_ns, &mut ordered, &mut analysis_ns);
+            }
+        });
+
+        for slot in ordered {
+            let (sample, timing) = slot.expect("every dispatched sample is joined");
+            samples.push(sample);
+            self.metrics_timing.push(timing);
+        }
+        let hidden = analysis_ns - blocked_ns.min(analysis_ns);
+        MetricsOverlapReport {
+            workers,
+            offloaded_samples: offloaded,
+            analysis_ns,
+            blocked_ns,
+            overlap_ratio: if analysis_ns == 0 {
+                0.0
+            } else {
+                hidden as f64 / analysis_ns as f64
+            },
         }
     }
 
@@ -699,6 +1078,107 @@ mod tests {
             fast > 0,
             "a stable overlay must take the delta fast path ({rebuilds} rebuilds, {fast} fast)"
         );
+    }
+
+    #[test]
+    fn incremental_indegree_matches_the_full_recount_sample_for_sample() {
+        let base = tiny_params()
+            .with_seed(14)
+            .with_churn(ChurnSpec::new(10, 0.02))
+            .with_graph_metrics(10);
+        let full = run_pss(&base, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let incremental = run_pss(&base.clone().with_incremental_indegree(), |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert_eq!(full.samples.len(), incremental.samples.len());
+        for (a, b) in full.samples.iter().zip(&incremental.samples) {
+            assert_eq!(
+                a.indegree_gini.map(f64::to_bits),
+                b.indegree_gini.map(f64::to_bits),
+                "round {}: incremental in-degree Gini must be bit-identical to the recount",
+                a.round
+            );
+            assert_eq!(a, b);
+        }
+        let (rebuilds, fast) = incremental.incremental_indegree_updates.unwrap();
+        assert_eq!(rebuilds + fast, incremental.samples.len() as u64);
+        assert!(
+            fast > 0,
+            "a stable overlay must take the delta fast path ({rebuilds} rebuilds, {fast} fast)"
+        );
+        assert!(full.incremental_indegree_updates.is_none());
+    }
+
+    #[test]
+    fn incremental_indegree_works_without_graph_metrics() {
+        let params = tiny_params().with_seed(15).with_incremental_indegree();
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let last = out.last_sample().unwrap();
+        assert!(last.avg_path_length.is_none());
+        assert!(last.clustering.is_none());
+        let gini = last.indegree_gini.unwrap();
+        assert!((0.0..=1.0).contains(&gini), "Gini out of range: {gini}");
+    }
+
+    #[test]
+    fn overlapped_metrics_are_bit_identical_for_every_worker_count() {
+        let run = |workers: usize| {
+            let params = tiny_params()
+                .with_seed(16)
+                .with_churn(ChurnSpec::new(10, 0.05))
+                .with_graph_metrics(10)
+                .with_incremental_indegree()
+                .with_metrics_workers(workers);
+            run_pss(&params, |id, class, _| {
+                CroupierNode::new(id, class, CroupierConfig::default())
+            })
+        };
+        let sync = run(0);
+        assert!(sync.metrics_overlap.is_none());
+        assert_eq!(sync.metrics_timing.len(), sync.samples.len());
+        assert!(sync.metrics_timing.iter().all(|t| !t.offloaded));
+        for workers in [1, 2, 4] {
+            let overlapped = run(workers);
+            assert_eq!(
+                sync.samples, overlapped.samples,
+                "samples diverged with {workers} metrics workers"
+            );
+            assert_eq!(sync.final_snapshot, overlapped.final_snapshot);
+            let report = overlapped.metrics_overlap.unwrap();
+            assert_eq!(report.workers, workers);
+            assert_eq!(report.offloaded_samples, overlapped.samples.len() as u64);
+            assert!((0.0..=1.0).contains(&report.overlap_ratio));
+            assert_eq!(overlapped.metrics_timing.len(), overlapped.samples.len());
+            assert!(overlapped.metrics_timing.iter().all(|t| t.offloaded));
+            // Joined in sample order: the timing vector mirrors the samples.
+            for (timing, sample) in overlapped.metrics_timing.iter().zip(&overlapped.samples) {
+                assert_eq!(timing.round, sample.round);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_metrics_follow_scripted_scenarios() {
+        let run = |workers: usize| {
+            let params = tiny_params()
+                .with_seed(17)
+                .with_rounds(60)
+                .with_graph_metrics(10)
+                .with_scenario(ScenarioScript::croupier_stress(60))
+                .with_metrics_workers(workers);
+            run_pss(&params, |id, class, _| {
+                CroupierNode::new(id, class, CroupierConfig::default())
+            })
+        };
+        let sync = run(0);
+        let overlapped = run(2);
+        assert_eq!(sync.samples, overlapped.samples);
+        assert_eq!(sync.nat_stats, overlapped.nat_stats);
+        assert_eq!(sync.traffic, overlapped.traffic);
     }
 
     #[test]

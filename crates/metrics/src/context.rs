@@ -165,17 +165,31 @@ impl MetricsContext {
     /// including the RNG draw sequence used to pick the sources.
     pub fn average_path_length(&mut self, sources: usize, rng: &mut SmallRng) -> Option<f64> {
         let n = self.graph.node_count();
+        let mut drawn = std::mem::take(&mut self.sources);
+        draw_path_sources(n, sources, rng, &mut drawn);
+        self.sources = drawn;
         if n < 2 {
             return None;
         }
-        // Shuffling ranks 0..n consumes the same draws — and selects the same positions —
-        // as the reference implementation's shuffle of the sorted node-id list, because
-        // rank order equals ascending id order.
-        self.sources.clear();
-        self.sources.extend(0..n as u32);
-        self.sources.shuffle(rng);
-        self.sources.truncate(sources.max(1).min(n));
+        let (hops, pairs) = self.multi_source_sums();
+        if pairs == 0 {
+            None
+        } else {
+            Some(hops as f64 / pairs as f64)
+        }
+    }
 
+    /// Average shortest-path length over pre-drawn BFS source ranks, as produced by
+    /// [`draw_path_sources`] for this graph's vertex count. Bit-identical to
+    /// [`average_path_length`](Self::average_path_length) with the same RNG state — the
+    /// split exists so a driver thread can consume the RNG draws in sample order while
+    /// the BFS sweep itself runs later on a metrics worker.
+    pub fn average_path_length_with_sources(&mut self, sources: &[u32]) -> Option<f64> {
+        if self.graph.node_count() < 2 || sources.is_empty() {
+            return None;
+        }
+        self.sources.clear();
+        self.sources.extend_from_slice(sources);
         let (hops, pairs) = self.multi_source_sums();
         if pairs == 0 {
             None
@@ -294,6 +308,24 @@ impl MetricsContext {
     }
 }
 
+/// Draws the BFS source ranks for a path-length sample over `n` vertices, exactly as
+/// [`MetricsContext::average_path_length`] does internally: for `n < 2` no RNG draw is
+/// consumed and `out` is left empty (the metric is undefined); otherwise ranks `0..n`
+/// are shuffled and truncated to `sources.max(1).min(n)` entries.
+///
+/// Shuffling ranks consumes the same draws — and selects the same positions — as the
+/// reference implementation's shuffle of the sorted node-id list, because rank order
+/// equals ascending id order.
+pub fn draw_path_sources(n: usize, sources: usize, rng: &mut SmallRng, out: &mut Vec<u32>) {
+    out.clear();
+    if n < 2 {
+        return;
+    }
+    out.extend(0..n as u32);
+    out.shuffle(rng);
+    out.truncate(sources.max(1).min(n));
+}
+
 /// Number of elements common to two ascending, duplicate-free slices (two-pointer merge).
 fn sorted_intersection_count(a: &[u32], b: &[u32]) -> usize {
     let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
@@ -400,6 +432,37 @@ mod tests {
         assert_eq!(sequential.to_bits(), run(2).to_bits());
         assert_eq!(sequential.to_bits(), run(4).to_bits());
         assert_eq!(sequential.to_bits(), run(7).to_bits());
+    }
+
+    #[test]
+    fn predrawn_sources_match_the_inline_draw_bitwise() {
+        use rand::Rng;
+        let s = snapshot(
+            &[1, 2, 3, 4, 5, 6],
+            &[(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 1), (1, 4)],
+        );
+        let mut ctx = MetricsContext::new(2);
+        ctx.build(&s);
+        let mut inline_rng = SmallRng::seed_from_u64(42);
+        let inline = ctx.average_path_length(3, &mut inline_rng);
+        let mut split_rng = SmallRng::seed_from_u64(42);
+        let mut sources = Vec::new();
+        draw_path_sources(s.node_count(), 3, &mut split_rng, &mut sources);
+        let split = ctx.average_path_length_with_sources(&sources);
+        assert_eq!(inline.map(f64::to_bits), split.map(f64::to_bits));
+        assert_eq!(
+            inline_rng.gen::<u64>(),
+            split_rng.gen::<u64>(),
+            "both paths must consume the same RNG draws"
+        );
+        // Degenerate graphs consume no draws on either path.
+        ctx.build(&snapshot(&[7], &[]));
+        let before = inline_rng.clone().gen::<u64>();
+        assert!(ctx.average_path_length(3, &mut inline_rng).is_none());
+        assert_eq!(inline_rng.gen::<u64>(), before, "no draw for n < 2");
+        draw_path_sources(1, 3, &mut split_rng, &mut sources);
+        assert!(sources.is_empty());
+        assert!(ctx.average_path_length_with_sources(&sources).is_none());
     }
 
     #[test]

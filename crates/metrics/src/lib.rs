@@ -46,11 +46,14 @@ pub mod snapshot;
 
 pub use clustering::average_clustering_coefficient;
 pub use components::largest_component_fraction;
-pub use context::MetricsContext;
+pub use context::{draw_path_sources, MetricsContext};
 pub use estimation::{estimation_errors, EstimationErrors};
 pub use graph::CsrGraph;
 pub use incremental::IncrementalComponents;
-pub use indegree::{indegree_distribution, indegree_histogram, indegree_stats, IndegreeStats};
+pub use indegree::{
+    indegree_distribution, indegree_gini, indegree_histogram, indegree_stats, IncrementalIndegree,
+    IndegreeStats,
+};
 pub use overhead::{class_overhead, ClassOverhead, OverheadReport};
 pub use paths::average_path_length;
 pub use reference::UndirectedGraph;

@@ -186,6 +186,37 @@ pub fn naive_average_clustering_coefficient(snapshot: &OverlaySnapshot) -> f64 {
     total / n as f64
 }
 
+/// Reference implementation of [`indegree_gini`](crate::indegree::indegree_gini):
+/// hash-map in-degree counting, an explicit sort of the degree list, and the textbook
+/// positional Gini sum `Σ_j (2j + 1 − n)·x_j / (n·Σx)` over the sorted degrees. The
+/// numerator and denominator are exact integers, so the production counting-sort
+/// formulation must reproduce this bit for bit.
+pub fn naive_indegree_gini(snapshot: &OverlaySnapshot) -> f64 {
+    let live: HashSet<NodeId> = snapshot.nodes.iter().map(|n| n.id).collect();
+    let mut indegree: HashMap<NodeId, u64> = live.iter().map(|&id| (id, 0)).collect();
+    for (from, to) in &snapshot.edges {
+        if from == to {
+            continue;
+        }
+        if let Some(count) = indegree.get_mut(to) {
+            *count += 1;
+        }
+    }
+    let mut degrees: Vec<u64> = indegree.into_values().collect();
+    degrees.sort_unstable();
+    let n = degrees.len() as i128;
+    let total: i128 = degrees.iter().map(|&d| d as i128).sum();
+    if n == 0 || total == 0 {
+        return 0.0;
+    }
+    let numerator: i128 = degrees
+        .iter()
+        .enumerate()
+        .map(|(j, &d)| (2 * j as i128 + 1 - n) * d as i128)
+        .sum();
+    numerator as f64 / (n * total) as f64
+}
+
 /// Reference implementation of
 /// [`largest_component_fraction`](crate::components::largest_component_fraction).
 pub fn naive_largest_component_fraction(snapshot: &OverlaySnapshot) -> f64 {
@@ -267,6 +298,17 @@ mod tests {
             &[(1, 2), (2, 3), (4, 5)],
         ));
         assert_eq!(g.component_sizes(), vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn naive_gini_matches_textbook_values() {
+        // Ring (uniform in-degree 1): perfectly equal.
+        let ring = snapshot(&[1, 2, 3, 4], &[(1, 2), (2, 3), (3, 4), (4, 1)]);
+        assert_eq!(naive_indegree_gini(&ring), 0.0);
+        // Star: one of five nodes holds all in-degree, G = (n - 1)/n.
+        let star = snapshot(&[1, 2, 3, 4, 5], &[(2, 1), (3, 1), (4, 1), (5, 1)]);
+        assert!((naive_indegree_gini(&star) - 0.8).abs() < 1e-12);
+        assert_eq!(naive_indegree_gini(&OverlaySnapshot::default()), 0.0);
     }
 
     #[test]

@@ -111,13 +111,7 @@ impl OverlaySnapshot {
         P: Protocol + PssNode,
         E: SimulationEngine<P>,
     {
-        let had_previous_capture = self.delta_primed;
-        if self.track_deltas {
-            // Double-buffer the previous capture's edges and live ids so the new capture
-            // can be diffed against them without cloning either list.
-            std::mem::swap(&mut self.prev_edges, &mut self.edges);
-            std::mem::swap(&mut self.prev_live_ids, &mut self.live_ids);
-        }
+        let had_previous_capture = self.begin_tracked_capture();
         self.nodes.clear();
         self.edges.clear();
         let (nodes, edges) = (&mut self.nodes, &mut self.edges);
@@ -139,6 +133,56 @@ impl OverlaySnapshot {
         self.nodes.sort_unstable_by_key(|n| n.id);
         self.edges.sort_unstable();
         self.id_bound = sim.node_id_upper_bound();
+        self.finish_tracked_capture(had_previous_capture);
+    }
+
+    /// Re-captures this snapshot from explicit parts, running the exact bookkeeping of
+    /// [`capture_into`](OverlaySnapshot::capture_into) — node/edge sorting, live-id
+    /// refresh and (when enabled) delta diffing — without an engine. This is how tests
+    /// and benchmarks stage a snapshot that carries a valid
+    /// [`edge_delta`](OverlaySnapshot::edge_delta) for the incremental metrics.
+    pub fn replace_from_parts(
+        &mut self,
+        nodes: Vec<NodeObservation>,
+        edges: Vec<(NodeId, NodeId)>,
+    ) {
+        let had_previous_capture = self.begin_tracked_capture();
+        self.nodes = nodes;
+        self.edges = edges;
+        self.nodes.sort_unstable_by_key(|n| n.id);
+        self.edges.sort_unstable();
+        self.id_bound = 0;
+        self.finish_tracked_capture(had_previous_capture);
+    }
+
+    /// Copies the observable state (nodes, edges) and capture caches (live ids, id
+    /// bound) of `other` into `self`, reusing `self`'s buffers — the transfer path the
+    /// overlapped experiment driver uses to hand a stable copy of its delta-tracked
+    /// snapshot to a metrics worker. Delta-tracking state is deliberately not copied:
+    /// the copy answers read-only full-graph queries, it does not feed incremental
+    /// consumers.
+    pub fn copy_observations_from(&mut self, other: &OverlaySnapshot) {
+        self.nodes.clone_from(&other.nodes);
+        self.edges.clone_from(&other.edges);
+        self.live_ids.clone_from(&other.live_ids);
+        self.id_bound = other.id_bound;
+    }
+
+    /// Starts one tracked capture: double-buffers the previous capture's edges and live
+    /// ids (so the new capture can be diffed without cloning either list) and reports
+    /// whether a predecessor exists to diff against.
+    fn begin_tracked_capture(&mut self) -> bool {
+        let had_previous_capture = self.delta_primed;
+        if self.track_deltas {
+            std::mem::swap(&mut self.prev_edges, &mut self.edges);
+            std::mem::swap(&mut self.prev_live_ids, &mut self.live_ids);
+        }
+        had_previous_capture
+    }
+
+    /// Finishes one capture over the freshly sorted `nodes`/`edges`: refreshes the
+    /// live-id cache and, when tracking, records the membership/edge diff.
+    fn finish_tracked_capture(&mut self, had_previous_capture: bool) {
         self.refresh_live_ids();
         if self.track_deltas {
             self.membership_changed = self.prev_live_ids != self.live_ids;
@@ -335,6 +379,38 @@ mod tests {
         assert_eq!(snapshot.node_ids(), vec![NodeId::new(1)]);
         assert_eq!(snapshot.id_upper_bound(), 2);
         assert_eq!(OverlaySnapshot::default().id_upper_bound(), 0);
+    }
+
+    #[test]
+    fn replace_from_parts_tracks_deltas_like_captures() {
+        let edge = |a: u64, b: u64| (NodeId::new(a), NodeId::new(b));
+        let nodes = vec![obs(2, NatClass::Public), obs(1, NatClass::Private)];
+        let mut snapshot = OverlaySnapshot::default();
+        snapshot.enable_delta_tracking();
+        snapshot.replace_from_parts(nodes.clone(), vec![edge(2, 1)]);
+        assert!(
+            snapshot.edge_delta().is_none(),
+            "the first capture has no predecessor to diff against"
+        );
+        assert_eq!(snapshot.nodes[0].id, NodeId::new(1), "nodes are sorted");
+        snapshot.replace_from_parts(nodes, vec![edge(1, 2)]);
+        let delta = snapshot.edge_delta().expect("second capture has a delta");
+        assert!(!delta.membership_changed);
+        assert_eq!(delta.added, &[edge(1, 2)]);
+        assert_eq!(delta.removed, &[edge(2, 1)]);
+    }
+
+    #[test]
+    fn copy_observations_reproduces_the_source_snapshot() {
+        let mut source = OverlaySnapshot::default();
+        source.replace_from_parts(
+            vec![obs(1, NatClass::Public), obs(5, NatClass::Private)],
+            vec![(NodeId::new(1), NodeId::new(5))],
+        );
+        let mut copy = OverlaySnapshot::default();
+        copy.copy_observations_from(&source);
+        assert_eq!(copy, source);
+        assert_eq!(copy.id_upper_bound(), source.id_upper_bound());
     }
 
     #[test]

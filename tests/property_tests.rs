@@ -495,3 +495,198 @@ fn incremental_components_equal_csr_under_membership_and_edge_churn() {
         "membership churn must force rebuilds beyond the initial one per seed"
     );
 }
+
+/// The incremental in-degree tracker produces bit-identical histograms, stats and Gini
+/// coefficients to the full per-sample recount — and to the retained textbook Gini
+/// reference — on arbitrary capture sequences, including dangling edges, self-loops,
+/// node arrivals/departures and pure edge churn.
+#[test]
+fn incremental_indegree_equals_full_recount_under_arbitrary_churn() {
+    use croupier_suite::metrics::reference::naive_indegree_gini;
+    use croupier_suite::metrics::{
+        indegree_gini, indegree_histogram, indegree_stats, IncrementalIndegree,
+    };
+
+    for_each_case("incremental_indegree_churn", |rng| {
+        let base = arb_snapshot(rng);
+        let mut nodes = base.nodes.clone();
+        let mut edges = base.edges.clone();
+        let mut snapshot = OverlaySnapshot::default();
+        snapshot.enable_delta_tracking();
+        let mut tracker = IncrementalIndegree::new();
+        for _ in 0..4 {
+            // Membership churn: drop a node (leaving its edges dangling) or insert a new
+            // one at its sorted rank, as engine captures keep nodes id-sorted.
+            if !nodes.is_empty() && rng.gen_bool(0.3) {
+                nodes.remove(rng.gen_range(0..nodes.len()));
+            }
+            if rng.gen_bool(0.3) {
+                let id = NodeId::new(rng.gen_range(0u64..200));
+                if let Err(rank) = nodes.binary_search_by_key(&id, |n| n.id) {
+                    nodes.insert(
+                        rank,
+                        NodeObservation {
+                            id,
+                            class: arb_class(rng),
+                            ratio_estimate: None,
+                            rounds_executed: 5,
+                        },
+                    );
+                }
+            }
+            // Edge churn: re-target, append (sometimes self-loops or dangling ids), drop.
+            for _ in 0..rng.gen_range(0usize..6) {
+                if !edges.is_empty() && rng.gen_bool(0.5) {
+                    let i = rng.gen_range(0..edges.len());
+                    edges[i].1 = NodeId::new(rng.gen_range(0u64..200));
+                } else if !edges.is_empty() && rng.gen_bool(0.3) {
+                    edges.swap_remove(rng.gen_range(0..edges.len()));
+                } else {
+                    let from = NodeId::new(rng.gen_range(0u64..200));
+                    let to = if rng.gen_bool(0.1) {
+                        from
+                    } else {
+                        NodeId::new(rng.gen_range(0u64..200))
+                    };
+                    edges.push((from, to));
+                }
+            }
+            snapshot.replace_from_parts(nodes.clone(), edges.clone());
+            tracker.update(&snapshot);
+            assert_eq!(
+                tracker.histogram(),
+                indegree_histogram(&snapshot),
+                "histogram diverged from the full recount"
+            );
+            assert_eq!(tracker.stats(), indegree_stats(&snapshot));
+            let fast = tracker.gini();
+            let full = indegree_gini(&snapshot);
+            let naive = naive_indegree_gini(&snapshot);
+            assert_eq!(fast.to_bits(), full.to_bits(), "{fast} vs {full}");
+            assert_eq!(full.to_bits(), naive.to_bits(), "{full} vs naive {naive}");
+        }
+    });
+}
+
+/// On a live, churning simulation the incremental in-degree tracker stays bit-identical
+/// to the full recount on every capture while actually exercising both of its tiers: the
+/// O(delta) fast path on quiet rounds and the rebuild on membership changes.
+#[test]
+fn incremental_indegree_equals_full_recount_on_live_captures() {
+    use croupier_suite::croupier::{CroupierConfig, CroupierNode};
+    use croupier_suite::metrics::reference::naive_indegree_gini;
+    use croupier_suite::metrics::{indegree_gini, indegree_stats, IncrementalIndegree};
+    use croupier_suite::simulator::{Simulation, SimulationConfig, SimulationEngine};
+
+    let mut fast = 0;
+    let mut rebuilds = 0;
+    for seed in 0..10u64 {
+        let mut rng = SmallRng::seed_from_u64(0x1DE6 ^ seed);
+        let mut sim: Simulation<CroupierNode> = Simulation::from_config(
+            SimulationConfig::default()
+                .with_seed(seed)
+                .with_round_period(SimDuration::from_secs(1)),
+        );
+        let mut alive = Vec::new();
+        for raw in 0..24u64 {
+            let id = NodeId::new(raw);
+            let class = if raw.is_multiple_of(4) {
+                NatClass::Public
+            } else {
+                NatClass::Private
+            };
+            if class.is_public() {
+                sim.register_public(id);
+            }
+            sim.add_node(id, CroupierNode::new(id, class, CroupierConfig::default()));
+            alive.push(id);
+        }
+        let mut snapshot = OverlaySnapshot::default();
+        snapshot.enable_delta_tracking();
+        let mut tracker = IncrementalIndegree::new();
+        for round in 1..=30u64 {
+            sim.run_until(SimTime::from_secs(round));
+            // Occasional departures force the rebuild tier; the quiet rounds in between
+            // leave pure edge deltas for the fast path.
+            if rng.gen_bool(0.15) && alive.len() > 8 {
+                let victim = alive.swap_remove(rng.gen_range(0..alive.len()));
+                sim.remove_node(victim);
+            }
+            snapshot.capture_into(&sim, 2);
+            tracker.update(&snapshot);
+            assert_eq!(tracker.stats(), indegree_stats(&snapshot));
+            let fast_gini = tracker.gini();
+            let full_gini = indegree_gini(&snapshot);
+            assert_eq!(
+                fast_gini.to_bits(),
+                full_gini.to_bits(),
+                "seed {seed} round {round}: {fast_gini} vs {full_gini}"
+            );
+            assert_eq!(
+                full_gini.to_bits(),
+                naive_indegree_gini(&snapshot).to_bits()
+            );
+        }
+        fast += tracker.fast_update_count();
+        rebuilds += tracker.rebuild_count();
+    }
+    assert!(fast > 0, "the O(delta) fast path must be exercised");
+    assert!(
+        rebuilds > 10,
+        "membership churn must force rebuilds beyond the initial one per seed ({fast} fast)"
+    );
+}
+
+/// Across the scripted NAT-dynamics timelines the driver's incremental in-degree path
+/// reports bit-identical per-sample Gini coefficients to the full-recount path — the
+/// fallback a run without `incremental_indegree` takes inside the same graph-metrics
+/// pipeline.
+#[test]
+fn incremental_indegree_matches_full_recount_across_scenario_scripts() {
+    use croupier_suite::croupier::{CroupierConfig, CroupierNode};
+    use croupier_suite::experiments::runner::{run_pss, ExperimentParams};
+    use croupier_suite::experiments::scenario::ScenarioScript;
+
+    let scripts = [
+        ("reboot_storm", ScenarioScript::reboot_storm(40)),
+        ("mobility_wave", ScenarioScript::mobility_wave(40)),
+        ("regional_outage", ScenarioScript::regional_outage(40)),
+    ];
+    for (name, script) in scripts {
+        let base = ExperimentParams::default()
+            .with_seed(0x5CEA0)
+            .with_population(40, 160)
+            .with_rounds(40)
+            .with_sample_every(4)
+            .with_graph_metrics(8)
+            .with_scenario(script);
+        let full = run_pss(&base.clone(), |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        let incremental = run_pss(&base.with_incremental_indegree(), |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert_eq!(
+            full.samples.len(),
+            incremental.samples.len(),
+            "{name}: sampling cadence must not depend on the in-degree path"
+        );
+        for (a, b) in full.samples.iter().zip(&incremental.samples) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(
+                a.indegree_gini.map(f64::to_bits),
+                b.indegree_gini.map(f64::to_bits),
+                "{name} round {}: full and incremental Gini diverged",
+                a.round
+            );
+        }
+        let (r, f) = incremental
+            .incremental_indegree_updates
+            .expect("diagnostics reported");
+        assert_eq!(
+            r + f,
+            incremental.samples.len() as u64,
+            "{name}: every sample is either a rebuild or a fast update"
+        );
+    }
+}

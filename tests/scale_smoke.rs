@@ -8,7 +8,42 @@
 use croupier::{CroupierConfig, CroupierNode};
 use croupier_suite::experiments::figures::fig3_system_size;
 use croupier_suite::experiments::output::Scale;
-use croupier_suite::experiments::runner::run_pss;
+use croupier_suite::experiments::runner::{run_pss, RunOutput};
+
+/// Writes the per-sample metrics timing (and the overlap summary) as a JSON artifact the
+/// CI `huge-smoke` job uploads; integration tests in the root package run with the
+/// workspace root as cwd, so the relative path lands in `target/`.
+fn write_metrics_timing_artifact(out: &RunOutput, name: &str) {
+    let dir = std::path::Path::new("target/metrics-timing");
+    std::fs::create_dir_all(dir).expect("create target/metrics-timing");
+    let mut json = String::from("{\n  \"samples\": [\n");
+    for (i, t) in out.metrics_timing.iter().enumerate() {
+        let comma = if i + 1 < out.metrics_timing.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!(
+            "    {{\"round\": {}, \"capture_ns\": {}, \"analysis_ns\": {}, \
+             \"offloaded\": {}}}{comma}\n",
+            t.round, t.capture_ns, t.analysis_ns, t.offloaded
+        ));
+    }
+    json.push_str("  ]");
+    if let Some(overlap) = &out.metrics_overlap {
+        json.push_str(&format!(
+            ",\n  \"overlap\": {{\"workers\": {}, \"offloaded_samples\": {}, \
+             \"analysis_ns\": {}, \"blocked_ns\": {}, \"overlap_ratio\": {:.4}}}",
+            overlap.workers,
+            overlap.offloaded_samples,
+            overlap.analysis_ns,
+            overlap.blocked_ns,
+            overlap.overlap_ratio
+        ));
+    }
+    json.push_str("\n}\n");
+    std::fs::write(dir.join(name), json).expect("write metrics-timing artifact");
+}
 
 /// 100k nodes, 20 % public, four worker threads, a handful of rounds: enough to exercise
 /// joins, striped shard assignment, cross-shard mailbox merges and metric sampling at the
@@ -54,7 +89,9 @@ fn croupier_100k_nodes_on_the_sharded_engine() {
 /// connectivity sampling. Beyond what the 100k smoke covers, this exercises the packed
 /// descriptor/estimate layouts and the u32 NAT mapping tables at a population where the
 /// unpacked layouts would not fit in CI memory, and asserts the per-sample metrics kept
-/// to the sublinear incremental tiers instead of falling back to full edge scans.
+/// to the sublinear incremental tiers instead of falling back to full edge scans — for
+/// connectivity and the in-degree family alike — while the snapshot analysis overlapped
+/// with the simulation on the two `Scale::Huge` metrics workers.
 #[test]
 #[ignore = "million-node run; executed by the CI huge-smoke job"]
 fn croupier_one_million_nodes_on_the_sharded_engine() {
@@ -66,9 +103,12 @@ fn croupier_one_million_nodes_on_the_sharded_engine() {
         "Huge runs on eight sharded workers"
     );
     assert!(params.incremental_components);
+    assert!(params.incremental_indegree);
+    assert_eq!(params.metrics_workers, 2, "Huge overlaps metrics analysis");
     let out = run_pss(&params, |id, class, _| {
         CroupierNode::new(id, class, CroupierConfig::default())
     });
+    write_metrics_timing_artifact(&out, "huge_smoke_metrics_timing.json");
     let last = out.last_sample().expect("samples were taken");
     assert_eq!(last.node_count, 1_000_000, "every node joined and survived");
     assert!(
@@ -91,5 +131,35 @@ fn croupier_one_million_nodes_on_the_sharded_engine() {
     assert!(
         out.traffic.total_messages_sent() > 1_000_000,
         "the overlay must actually gossip at scale"
+    );
+    assert!(
+        last.indegree_gini.is_some(),
+        "the incremental tracker populates the Gini metric per sample"
+    );
+    let (in_rebuilds, in_fast) = out
+        .incremental_indegree_updates
+        .expect("incremental in-degree diagnostics are reported");
+    assert!(
+        in_fast >= 1,
+        "once membership settles, in-degree must ride the O(delta) fast path \
+         ({in_rebuilds} rebuilds vs {in_fast} fast updates)"
+    );
+    let overlap = out
+        .metrics_overlap
+        .expect("the overlapped driver reports its pipeline diagnostics");
+    assert_eq!(overlap.workers, 2);
+    assert_eq!(
+        overlap.offloaded_samples,
+        out.metrics_timing.len() as u64,
+        "every sample's analysis ran on the metrics workers"
+    );
+    assert!(overlap.offloaded_samples > 0);
+    println!(
+        "metrics overlap: {} samples offloaded, analysis {:.1} ms, driver blocked {:.1} ms \
+         (overlap ratio {:.2})",
+        overlap.offloaded_samples,
+        overlap.analysis_ns as f64 / 1e6,
+        overlap.blocked_ns as f64 / 1e6,
+        overlap.overlap_ratio
     );
 }
