@@ -11,7 +11,9 @@
 //! no dependency on either engine type.
 
 use croupier::{Descriptor, DescriptorBatch, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
-use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode, WireSize};
+use croupier_simulator::{
+    Context, NatClass, NodeId, Protocol, PssNode, RetryPolicy, TimerKey, WireSize,
+};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +41,37 @@ impl WireSize for CyclonMessage {
     fn wire_size(&self) -> usize {
         UDP_IP_HEADER_BYTES + 2 + self.descriptors().len() * DESCRIPTOR_WIRE_BYTES
     }
+
+    fn fault_mutate(&mut self, rng: &mut SmallRng) {
+        use rand::Rng;
+        let descriptors = match self {
+            CyclonMessage::Request(d) | CyclonMessage::Response(d) => d,
+        };
+        if rng.gen_bool(0.5) {
+            // Truncated datagram: the descriptor list decodes short.
+            let keep = rng.gen_range(0..=descriptors.len());
+            descriptors.truncate(keep);
+        } else if !descriptors.is_empty() {
+            // Bit flip: one descriptor decodes to a bogus identity and age.
+            let idx = rng.gen_range(0..descriptors.len());
+            descriptors.as_mut_slice()[idx] = Descriptor::with_age(
+                NodeId::new(rng.gen_range(0..1 << 20)),
+                NatClass::Public,
+                rng.gen_range(0..1 << 16),
+            );
+        }
+    }
+}
+
+/// Bookkeeping for the exchange currently in flight: the peer, the subset we sent it (the
+/// swapper's eviction candidates), and the retry state. `seq` doubles as the retry-timer
+/// key so timers from superseded exchanges are recognisably stale.
+#[derive(Clone, Debug)]
+struct PendingExchange {
+    peer: NodeId,
+    sent: DescriptorBatch,
+    seq: u64,
+    attempt: u32,
 }
 
 /// A node running the Cyclon protocol.
@@ -63,9 +96,12 @@ pub struct CyclonNode {
     id: NodeId,
     config: BaselineConfig,
     view: View,
-    pending: Option<(NodeId, DescriptorBatch)>,
+    pending: Option<PendingExchange>,
     rounds: u64,
     exchanges_completed: u64,
+    exchange_seq: u64,
+    retries_fired: u64,
+    abandoned_exchanges: u64,
 }
 
 impl CyclonNode {
@@ -83,6 +119,9 @@ impl CyclonNode {
             pending: None,
             rounds: 0,
             exchanges_completed: 0,
+            exchange_seq: 0,
+            retries_fired: 0,
+            abandoned_exchanges: 0,
             config,
         }
     }
@@ -139,9 +178,21 @@ impl Protocol for CyclonNode {
         let mut sent = self
             .view
             .random_subset(self.config.shuffle_size.saturating_sub(1), ctx.rng());
-        self.pending = Some((target, sent.clone()));
+        if self.pending.is_some() {
+            // The previous exchange is still unanswered; starting a new one discards it.
+            self.abandoned_exchanges += 1;
+        }
+        self.exchange_seq += 1;
+        self.pending = Some(PendingExchange {
+            peer: target,
+            sent: sent.clone(),
+            seq: self.exchange_seq,
+            attempt: 0,
+        });
         sent.push(self.own_descriptor());
         ctx.send(target, CyclonMessage::Request(sent));
+        let policy = RetryPolicy::for_round_period(ctx.round_period());
+        ctx.set_timer(policy.backoff(0), TimerKey::new(self.exchange_seq));
     }
 
     fn on_message(
@@ -159,7 +210,7 @@ impl Protocol for CyclonNode {
             CyclonMessage::Response(received) => {
                 self.exchanges_completed += 1;
                 let sent = match self.pending.take() {
-                    Some((peer, sent)) if peer == from => sent,
+                    Some(pending) if pending.peer == from => pending.sent,
                     other => {
                         self.pending = other;
                         DescriptorBatch::new()
@@ -168,6 +219,30 @@ impl Protocol for CyclonNode {
                 self.view.apply_exchange_swapper(&sent, &received, self.id);
             }
         }
+    }
+
+    /// Retry timer for the in-flight exchange: resend the same subset with capped
+    /// exponential backoff, abandon once the budget is spent. Stale timers (their `seq`
+    /// no longer matches the pending exchange) are ignored.
+    fn on_timer(&mut self, key: TimerKey, ctx: &mut Context<'_, Self::Message>) {
+        let (peer, next_attempt, sent) = match self.pending.as_ref() {
+            Some(p) if p.seq == key.as_u64() => (p.peer, p.attempt + 1, p.sent.clone()),
+            _ => return,
+        };
+        let policy = RetryPolicy::for_round_period(ctx.round_period());
+        if policy.exhausted(next_attempt) {
+            self.pending = None;
+            self.abandoned_exchanges += 1;
+            return;
+        }
+        if let Some(p) = self.pending.as_mut() {
+            p.attempt = next_attempt;
+        }
+        let mut resend = sent;
+        resend.push(self.own_descriptor());
+        self.retries_fired += 1;
+        ctx.send(peer, CyclonMessage::Request(resend));
+        ctx.set_timer(policy.backoff(next_attempt), key);
     }
 }
 
@@ -193,6 +268,14 @@ impl PssNode for CyclonNode {
 
     fn rounds_executed(&self) -> u64 {
         self.rounds
+    }
+
+    fn retries_fired(&self) -> u64 {
+        self.retries_fired
+    }
+
+    fn exchanges_abandoned(&self) -> u64 {
+        self.abandoned_exchanges
     }
 }
 

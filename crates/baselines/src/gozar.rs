@@ -21,7 +21,9 @@
 use std::collections::HashMap;
 
 use croupier::{Descriptor, DescriptorBatch, View, DESCRIPTOR_WIRE_BYTES, UDP_IP_HEADER_BYTES};
-use croupier_simulator::{Context, InlineVec, NatClass, NodeId, Protocol, PssNode, WireSize};
+use croupier_simulator::{
+    Context, InlineVec, NatClass, NodeId, Protocol, PssNode, RetryPolicy, TimerKey, WireSize,
+};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -106,6 +108,31 @@ pub enum GozarMessage {
     KeepAlive,
 }
 
+impl GozarMessage {
+    /// Corruption helper shared by the entry-carrying variants: truncate the list (as a
+    /// short datagram decodes) or scramble one entry's descriptor and relays.
+    fn mutate_entries(entries: &mut EntryBatch, rng: &mut SmallRng) {
+        use rand::Rng;
+        if rng.gen_bool(0.5) {
+            let keep = rng.gen_range(0..=entries.len());
+            entries.truncate(keep);
+        } else if !entries.is_empty() {
+            let idx = rng.gen_range(0..entries.len());
+            let entry = &mut entries.as_mut_slice()[idx];
+            entry.descriptor = Descriptor::with_age(
+                NodeId::new(rng.gen_range(0..1 << 20)),
+                if rng.gen_bool(0.5) {
+                    NatClass::Public
+                } else {
+                    NatClass::Private
+                },
+                rng.gen_range(0..1 << 16),
+            );
+            entry.relays.clear();
+        }
+    }
+}
+
 impl WireSize for GozarMessage {
     fn wire_size(&self) -> usize {
         match self {
@@ -128,6 +155,55 @@ impl WireSize for GozarMessage {
             }
         }
     }
+
+    fn fault_mutate(&mut self, rng: &mut SmallRng) {
+        use rand::Rng;
+        match self {
+            GozarMessage::ShuffleRequest {
+                initiator_class,
+                initiator_relays,
+                entries,
+                ..
+            } => match rng.gen_range(0..3u8) {
+                0 => Self::mutate_entries(entries, rng),
+                // A flipped class bit makes the responder route the reply wrongly.
+                1 => {
+                    *initiator_class = match *initiator_class {
+                        NatClass::Public => NatClass::Private,
+                        NatClass::Private => NatClass::Public,
+                    };
+                }
+                // Lost relay list: a private initiator becomes unreachable for replies.
+                _ => initiator_relays.clear(),
+            },
+            GozarMessage::ShuffleResponse { entries } => Self::mutate_entries(entries, rng),
+            GozarMessage::Relayed { dest, inner } => {
+                if rng.gen_bool(0.5) {
+                    // A scrambled destination sends the envelope to a bogus node.
+                    *dest = NodeId::new(rng.gen_range(0..1 << 20));
+                } else {
+                    inner.fault_mutate(rng);
+                }
+            }
+            GozarMessage::RelayRegister | GozarMessage::RelayAccept | GozarMessage::KeepAlive => {}
+        }
+    }
+}
+
+/// Timed-out requests through a relay before the relay is considered dead and excluded
+/// from relay selection (until it shows signs of life again).
+const RELAY_SUSPECT_STRIKES: u32 = 2;
+
+/// Bookkeeping for the exchange currently in flight: the peer, the subset we sent (the
+/// swapper's eviction candidates), the relay the request travelled through (`None` for
+/// direct sends), and the retry state. `seq` doubles as the retry-timer key.
+#[derive(Clone, Debug)]
+struct PendingExchange {
+    peer: NodeId,
+    sent: DescriptorBatch,
+    relay: Option<NodeId>,
+    seq: u64,
+    attempt: u32,
 }
 
 /// A node running the Gozar protocol.
@@ -146,11 +222,17 @@ pub struct GozarNode {
     my_relays: RelayList,
     /// Round in which each of our relays last acknowledged us.
     relay_last_ack: HashMap<NodeId, u64>,
-    pending: Option<(NodeId, DescriptorBatch)>,
+    /// Timeout strikes against relays we routed requests through; a relay at
+    /// [`RELAY_SUSPECT_STRIKES`] is treated as dead until it sends us anything.
+    relay_suspect: HashMap<NodeId, u32>,
+    pending: Option<PendingExchange>,
     rounds: u64,
     messages_relayed: u64,
     exchanges_completed: u64,
     unreachable_targets: u64,
+    exchange_seq: u64,
+    retries_fired: u64,
+    abandoned_exchanges: u64,
 }
 
 impl GozarNode {
@@ -168,11 +250,15 @@ impl GozarNode {
             relay_cache: HashMap::new(),
             my_relays: RelayList::new(),
             relay_last_ack: HashMap::new(),
+            relay_suspect: HashMap::new(),
             pending: None,
             rounds: 0,
             messages_relayed: 0,
             exchanges_completed: 0,
             unreachable_targets: 0,
+            exchange_seq: 0,
+            retries_fired: 0,
+            abandoned_exchanges: 0,
             config,
         }
     }
@@ -298,46 +384,102 @@ impl GozarNode {
         }
     }
 
-    fn send_request(&mut self, target: NodeId, ctx: &mut Context<'_, GozarMessage>) {
-        let sent = self
-            .view
-            .random_subset(self.config.shuffle_size.saturating_sub(1), ctx.rng());
-        let mut entries = self.entries_from(&sent);
+    /// Returns `true` if `relay` has accumulated enough timeout strikes to be treated as
+    /// dead for relay selection.
+    fn is_suspected(&self, relay: NodeId) -> bool {
+        self.relay_suspect.get(&relay).copied().unwrap_or(0) >= RELAY_SUSPECT_STRIKES
+    }
+
+    /// Picks a relay for `target`, preferring relays that are neither suspected dead nor
+    /// the one a just-timed-out request went through (`avoid`). Falls back to suspected
+    /// relays — a possibly-dead path beats no path — but never returns `avoid` unless it
+    /// is the only relay advertised.
+    fn choose_relay(
+        &self,
+        target: NodeId,
+        avoid: Option<NodeId>,
+        rng: &mut SmallRng,
+    ) -> Option<NodeId> {
+        let relays = self.relay_cache.get(&target)?;
+        let healthy: Vec<NodeId> = relays
+            .iter()
+            .copied()
+            .filter(|r| Some(*r) != avoid && !self.is_suspected(*r))
+            .collect();
+        if let Some(relay) = healthy.choose(rng) {
+            return Some(*relay);
+        }
+        let fallback: Vec<NodeId> = relays
+            .iter()
+            .copied()
+            .filter(|r| Some(*r) != avoid)
+            .collect();
+        fallback
+            .choose(rng)
+            .copied()
+            .or_else(|| avoid.filter(|r| relays.contains(r)))
+    }
+
+    /// Builds the shuffle request for the pending exchange's `sent` subset.
+    fn build_request(&self, sent: &[Descriptor]) -> GozarMessage {
+        let mut entries = self.entries_from(sent);
         entries.push(self.own_entry());
-        self.pending = Some((target, sent));
-        let request = GozarMessage::ShuffleRequest {
+        GozarMessage::ShuffleRequest {
             initiator: self.id,
             initiator_class: self.class,
             initiator_relays: self.my_relays.clone(),
             entries,
-        };
+        }
+    }
+
+    fn send_request(&mut self, target: NodeId, ctx: &mut Context<'_, GozarMessage>) {
+        let sent = self
+            .view
+            .random_subset(self.config.shuffle_size.saturating_sub(1), ctx.rng());
+        let request = self.build_request(&sent);
+        if self.pending.is_some() {
+            // The previous exchange is still unanswered; starting a new one discards it.
+            self.abandoned_exchanges += 1;
+        }
         let target_is_private = self
             .view
             .get(target)
             .map(|d| d.class().is_private())
             .unwrap_or_else(|| self.relay_cache.contains_key(&target));
-        if target_is_private {
-            match self
-                .relay_cache
-                .get(&target)
-                .and_then(|relays| relays.choose(ctx.rng()).copied())
-            {
-                Some(relay) => ctx.send(
-                    relay,
-                    GozarMessage::Relayed {
-                        dest: target,
-                        inner: Box::new(request),
-                    },
-                ),
+        let route = if target_is_private {
+            match self.choose_relay(target, None, ctx.rng()) {
+                Some(relay) => Some(Some(relay)),
                 None => {
                     // No relay known for the target: the exchange cannot be carried out.
                     self.unreachable_targets += 1;
                     self.pending = None;
+                    return;
                 }
             }
         } else {
-            ctx.send(target, request);
+            Some(None)
+        };
+        let relay = route.expect("unroutable targets returned above");
+        self.exchange_seq += 1;
+        self.pending = Some(PendingExchange {
+            peer: target,
+            sent,
+            relay,
+            seq: self.exchange_seq,
+            attempt: 0,
+        });
+        match relay {
+            Some(relay) => ctx.send(
+                relay,
+                GozarMessage::Relayed {
+                    dest: target,
+                    inner: Box::new(request),
+                },
+            ),
+            None => ctx.send(target, request),
         }
+        let policy = RetryPolicy::for_round_period(ctx.round_period());
+        ctx.set_timer(policy.backoff(0), TimerKey::new(self.exchange_seq));
     }
 
     fn handle_request(
@@ -405,6 +547,9 @@ impl Protocol for GozarNode {
         msg: Self::Message,
         ctx: &mut Context<'_, Self::Message>,
     ) {
+        // Any delivered message is proof of life: clear timeout strikes against the
+        // sender so a once-congested relay becomes eligible again.
+        self.relay_suspect.remove(&from);
         match msg {
             GozarMessage::ShuffleRequest {
                 initiator,
@@ -415,7 +560,7 @@ impl Protocol for GozarNode {
             GozarMessage::ShuffleResponse { entries } => {
                 self.exchanges_completed += 1;
                 let sent = match self.pending.take() {
-                    Some((_, sent)) => sent,
+                    Some(pending) => pending.sent,
                     None => DescriptorBatch::new(),
                 };
                 self.absorb_entries(&entries, &sent);
@@ -433,6 +578,56 @@ impl Protocol for GozarNode {
                 self.relay_last_ack.insert(from, self.rounds);
             }
         }
+    }
+
+    /// Retry timer for the in-flight exchange. A timeout on a relayed request counts a
+    /// strike against the relay that carried it; the retry fails over to an alternate
+    /// relay, so one dead relay cannot starve a private target's exchanges.
+    fn on_timer(&mut self, key: TimerKey, ctx: &mut Context<'_, Self::Message>) {
+        let (peer, next_attempt, sent, prior_relay) = match self.pending.as_ref() {
+            Some(p) if p.seq == key.as_u64() => (p.peer, p.attempt + 1, p.sent.clone(), p.relay),
+            _ => return,
+        };
+        if let Some(relay) = prior_relay {
+            *self.relay_suspect.entry(relay).or_insert(0) += 1;
+        }
+        let policy = RetryPolicy::for_round_period(ctx.round_period());
+        if policy.exhausted(next_attempt) {
+            self.pending = None;
+            self.abandoned_exchanges += 1;
+            return;
+        }
+        let relay = if prior_relay.is_some() {
+            match self.choose_relay(peer, prior_relay, ctx.rng()) {
+                Some(alternate) => Some(alternate),
+                None => {
+                    // The target's advertised relays evaporated from the cache.
+                    self.unreachable_targets += 1;
+                    self.pending = None;
+                    self.abandoned_exchanges += 1;
+                    return;
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(p) = self.pending.as_mut() {
+            p.attempt = next_attempt;
+            p.relay = relay;
+        }
+        let request = self.build_request(&sent);
+        self.retries_fired += 1;
+        match relay {
+            Some(relay) => ctx.send(
+                relay,
+                GozarMessage::Relayed {
+                    dest: peer,
+                    inner: Box::new(request),
+                },
+            ),
+            None => ctx.send(peer, request),
+        }
+        ctx.set_timer(policy.backoff(next_attempt), key);
     }
 }
 
@@ -457,6 +652,14 @@ impl PssNode for GozarNode {
 
     fn rounds_executed(&self) -> u64 {
         self.rounds
+    }
+
+    fn retries_fired(&self) -> u64 {
+        self.retries_fired
+    }
+
+    fn exchanges_abandoned(&self) -> u64 {
+        self.abandoned_exchanges
     }
 }
 

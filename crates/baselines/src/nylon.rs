@@ -30,6 +30,15 @@ use crate::config::BaselineConfig;
 /// abandoned.
 const PUNCH_PATIENCE_ROUNDS: u64 = 5;
 
+/// How many rounds a sent shuffle subset may wait for its response before the exchange is
+/// abandoned and its swapper bookkeeping released.
+const PENDING_PATIENCE_ROUNDS: u64 = 5;
+
+/// Expired hole-punch waits charged against a chain's first hop before the hop is
+/// considered dead; routes through a dead hop are invalidated so fresh chains can be
+/// learned, instead of feeding more requests into a broken one.
+const HOP_SUSPECT_STRIKES: u32 = 2;
+
 /// Maximum number of RVPs a private node keeps alive with periodic traffic. Nylon nodes
 /// must keep NAT mappings open towards every rendezvous node that may have to forward
 /// hole-punch requests to them, which is most of their recent exchange partners — a key
@@ -72,6 +81,29 @@ pub enum NylonMessage {
     KeepAlive,
 }
 
+impl NylonMessage {
+    /// Corruption helper: truncate a descriptor list (as a short datagram decodes) or
+    /// scramble one descriptor into a bogus identity, class and age.
+    fn mutate_descriptors(descriptors: &mut DescriptorBatch, rng: &mut SmallRng) {
+        use rand::Rng;
+        if rng.gen_bool(0.5) {
+            let keep = rng.gen_range(0..=descriptors.len());
+            descriptors.truncate(keep);
+        } else if !descriptors.is_empty() {
+            let idx = rng.gen_range(0..descriptors.len());
+            descriptors.as_mut_slice()[idx] = Descriptor::with_age(
+                NodeId::new(rng.gen_range(0..1 << 20)),
+                if rng.gen_bool(0.5) {
+                    NatClass::Public
+                } else {
+                    NatClass::Private
+                },
+                rng.gen_range(0..1 << 16),
+            );
+        }
+    }
+}
+
 impl WireSize for NylonMessage {
     fn wire_size(&self) -> usize {
         let payload = match self {
@@ -87,6 +119,41 @@ impl WireSize for NylonMessage {
         };
         UDP_IP_HEADER_BYTES + payload
     }
+
+    fn fault_mutate(&mut self, rng: &mut SmallRng) {
+        use rand::Rng;
+        match self {
+            NylonMessage::ShuffleRequest {
+                initiator_class,
+                descriptors,
+                ..
+            } => {
+                if rng.gen_bool(0.25) {
+                    *initiator_class = match *initiator_class {
+                        NatClass::Public => NatClass::Private,
+                        NatClass::Private => NatClass::Public,
+                    };
+                } else {
+                    Self::mutate_descriptors(descriptors, rng);
+                }
+            }
+            NylonMessage::ShuffleResponse { descriptors } => {
+                Self::mutate_descriptors(descriptors, rng);
+            }
+            NylonMessage::HolePunchRequest { target, ttl, .. } => {
+                if rng.gen_bool(0.5) {
+                    // A scrambled target sends the chain hunting for a bogus node.
+                    *target = NodeId::new(rng.gen_range(0..1 << 20));
+                } else {
+                    *ttl = rng.gen_range(0..=*ttl);
+                }
+            }
+            NylonMessage::HolePunch { target } => {
+                *target = NodeId::new(rng.gen_range(0..1 << 20));
+            }
+            NylonMessage::KeepAlive => {}
+        }
+    }
 }
 
 /// A node running the Nylon protocol.
@@ -101,16 +168,23 @@ pub struct NylonNode {
     next_hop: HashMap<NodeId, NodeId>,
     /// Round of the most recent direct exchange with each peer ("open connection").
     open_connections: HashMap<NodeId, u64>,
-    /// Shuffle subsets sent and awaiting a response, keyed by peer. The subsets are
-    /// inline, so the per-round insert/remove churn touches no payload heap memory.
-    pending: HashMap<NodeId, DescriptorBatch>,
+    /// Shuffle subsets sent and awaiting a response, keyed by peer and stamped with the
+    /// round in which they were sent (entries expire after [`PENDING_PATIENCE_ROUNDS`]).
+    /// The subsets are inline, so the per-round insert/remove churn touches no payload
+    /// heap memory.
+    pending: HashMap<NodeId, (DescriptorBatch, u64)>,
     /// Shuffle subsets prepared and waiting for a hole punch, keyed by target and stamped
-    /// with the round in which they were created.
-    awaiting_punch: HashMap<NodeId, (DescriptorBatch, u64)>,
+    /// with the round in which they were created plus the chain hop the hole-punch
+    /// request was routed through (charged with a strike if the punch never arrives).
+    awaiting_punch: HashMap<NodeId, (DescriptorBatch, u64, NodeId)>,
+    /// Expiry strikes against chain first-hops; a hop at [`HOP_SUSPECT_STRIKES`] is
+    /// treated as dead until it sends us anything.
+    hop_suspect: HashMap<NodeId, u32>,
     rounds: u64,
     punches_forwarded: u64,
     exchanges_completed: u64,
     unreachable_targets: u64,
+    abandoned_exchanges: u64,
 }
 
 impl NylonNode {
@@ -129,10 +203,12 @@ impl NylonNode {
             open_connections: HashMap::new(),
             pending: HashMap::new(),
             awaiting_punch: HashMap::new(),
+            hop_suspect: HashMap::new(),
             rounds: 0,
             punches_forwarded: 0,
             exchanges_completed: 0,
             unreachable_targets: 0,
+            abandoned_exchanges: 0,
             config,
         }
     }
@@ -198,7 +274,10 @@ impl NylonNode {
     ) {
         let mut descriptors = sent.clone();
         descriptors.push(self.own_descriptor());
-        self.pending.insert(target, sent);
+        if self.pending.insert(target, (sent, self.rounds)).is_some() {
+            // A new shuffle to the same peer displaces an unanswered one.
+            self.abandoned_exchanges += 1;
+        }
         ctx.send(
             target,
             NylonMessage::ShuffleRequest {
@@ -231,8 +310,42 @@ impl NylonNode {
 
     fn expire_stale_punch_waits(&mut self) {
         let rounds = self.rounds;
-        self.awaiting_punch
-            .retain(|_, (_, created)| rounds.saturating_sub(*created) <= PUNCH_PATIENCE_ROUNDS);
+        let mut abandoned = 0u64;
+        let mut struck_hops: Vec<NodeId> = Vec::new();
+        self.awaiting_punch.retain(|_, (_, created, hop)| {
+            let keep = rounds.saturating_sub(*created) <= PUNCH_PATIENCE_ROUNDS;
+            if !keep {
+                abandoned += 1;
+                struck_hops.push(*hop);
+            }
+            keep
+        });
+        for hop in struck_hops {
+            // The punch never arrived: the chain through this hop is broken somewhere.
+            *self.hop_suspect.entry(hop).or_insert(0) += 1;
+        }
+        self.abandoned_exchanges += abandoned;
+    }
+
+    /// Expires unanswered direct shuffles so their swapper bookkeeping cannot pile up
+    /// forever behind lost responses.
+    fn expire_stale_pending(&mut self) {
+        let rounds = self.rounds;
+        let mut abandoned = 0u64;
+        self.pending.retain(|_, (_, sent_round)| {
+            let keep = rounds.saturating_sub(*sent_round) <= PENDING_PATIENCE_ROUNDS;
+            if !keep {
+                abandoned += 1;
+            }
+            keep
+        });
+        self.abandoned_exchanges += abandoned;
+    }
+
+    /// Returns `true` if `hop` has accumulated enough expiry strikes to be treated as a
+    /// dead chain hop.
+    fn is_suspected_hop(&self, hop: NodeId) -> bool {
+        self.hop_suspect.get(&hop).copied().unwrap_or(0) >= HOP_SUSPECT_STRIKES
     }
 }
 
@@ -247,6 +360,7 @@ impl Protocol for NylonNode {
         self.rounds += 1;
         self.view.increment_ages();
         self.expire_stale_punch_waits();
+        self.expire_stale_pending();
         self.maintain_keepalives(ctx);
         if self.view.is_empty() {
             // Re-contact the bootstrap server instead of staying isolated (see Cyclon).
@@ -271,8 +385,15 @@ impl Protocol for NylonNode {
         // Private target without an open connection: route a hole-punch request along the
         // RVP chain.
         match self.next_hop.get(&target).copied() {
-            Some(next) => {
-                self.awaiting_punch.insert(target, (sent, self.rounds));
+            Some(next) if !self.is_suspected_hop(next) => {
+                if self
+                    .awaiting_punch
+                    .insert(target, (sent, self.rounds, next))
+                    .is_some()
+                {
+                    // A fresh punch wait displaces an unexpired one for the same target.
+                    self.abandoned_exchanges += 1;
+                }
                 ctx.send(
                     next,
                     NylonMessage::HolePunchRequest {
@@ -281,6 +402,13 @@ impl Protocol for NylonNode {
                         ttl: self.config.chain_ttl,
                     },
                 );
+            }
+            Some(dead_hop) => {
+                // The chain's first hop is suspected dead: invalidate the route so the
+                // next exchange can learn a fresh chain instead of feeding this one.
+                debug_assert!(self.is_suspected_hop(dead_hop));
+                self.next_hop.remove(&target);
+                self.unreachable_targets += 1;
             }
             None => {
                 self.unreachable_targets += 1;
@@ -294,6 +422,9 @@ impl Protocol for NylonNode {
         msg: Self::Message,
         ctx: &mut Context<'_, Self::Message>,
     ) {
+        // Any delivered message is proof of life: clear expiry strikes against the
+        // sender so a once-congested hop becomes routable again.
+        self.hop_suspect.remove(&from);
         match msg {
             NylonMessage::ShuffleRequest {
                 initiator,
@@ -311,7 +442,7 @@ impl Protocol for NylonNode {
             NylonMessage::ShuffleResponse { descriptors } => {
                 self.exchanges_completed += 1;
                 self.open_connections.insert(from, self.rounds);
-                let sent = self.pending.remove(&from).unwrap_or_default();
+                let (sent, _) = self.pending.remove(&from).unwrap_or_default();
                 self.absorb(from, &sent, &descriptors);
             }
             NylonMessage::HolePunchRequest {
@@ -355,7 +486,7 @@ impl Protocol for NylonNode {
             }
             NylonMessage::HolePunch { target } => {
                 self.open_connections.insert(target, self.rounds);
-                if let Some((sent, _)) = self.awaiting_punch.remove(&target) {
+                if let Some((sent, _, _)) = self.awaiting_punch.remove(&target) {
                     self.send_direct_shuffle(target, sent, ctx);
                 }
             }
@@ -389,6 +520,10 @@ impl PssNode for NylonNode {
 
     fn rounds_executed(&self) -> u64 {
         self.rounds
+    }
+
+    fn exchanges_abandoned(&self) -> u64 {
+        self.abandoned_exchanges
     }
 }
 
@@ -476,6 +611,29 @@ mod tests {
             if node.nat_class().is_private() {
                 assert!(sent > 0);
             }
+        }
+    }
+
+    #[test]
+    fn lost_exchanges_expire_and_are_counted_abandoned() {
+        use croupier_simulator::BernoulliLoss;
+        // Total loss: every shuffle and punch wait goes unanswered, so the patience
+        // windows must expire them instead of letting the pending maps grow forever.
+        let mut sim = build_sim(5, 20, 9);
+        sim.set_loss_model(BernoulliLoss::new(1.0));
+        sim.run_for_rounds(30);
+        let abandoned: u64 = sim.nodes().map(|(_, n)| n.exchanges_abandoned()).sum();
+        assert!(abandoned > 0, "expiry should count abandoned exchanges");
+        // One shuffle starts per round, so at most one pending entry per round of the
+        // patience window can be alive at any instant.
+        let cap = PENDING_PATIENCE_ROUNDS as usize + 1;
+        for (_, node) in sim.nodes() {
+            assert!(
+                node.pending.len() <= cap,
+                "stale pending entries must expire, got {}",
+                node.pending.len()
+            );
+            assert!(node.awaiting_punch.len() <= cap);
         }
     }
 

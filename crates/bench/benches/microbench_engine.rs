@@ -33,7 +33,9 @@ use croupier_nat::NatTopologyBuilder;
 use croupier_simulator::event::Event;
 use croupier_simulator::scheduler::reference::ReferenceEventQueue;
 use croupier_simulator::scheduler::EventQueue;
-use croupier_simulator::{NatClass, NodeId, ShardedSimulation, SimTime, SimulationConfig};
+use croupier_simulator::{
+    FaultPlane, NatClass, NodeId, Seed, ShardedSimulation, SimTime, SimulationConfig,
+};
 
 /// Fraction of public nodes, matching the paper's default ratio.
 const PUBLIC_EVERY: u64 = 5;
@@ -132,6 +134,18 @@ fn bench_round_throughput(c: &mut Criterion) {
         .with_estimate_share_size(20);
     let mut sim = build_sim_with(10_000, 1, heavy);
     group.bench_function("payload_heavy/10k_nodes/threads_1", |b| {
+        b.iter(|| sim.run_for_rounds(1))
+    });
+    // Fault plane installed but never activated — the configuration every experiment run
+    // now carries. The disabled path is one atomic load per delivery flush, so this row
+    // guards that path against regressions relative to its own baseline. Its absolute
+    // number is NOT comparable against `10k_nodes/threads_1`: it runs after the 100k
+    // rows, whose allocator churn inflates everything that follows. The ≤3 % overhead
+    // claim in DESIGN.md §15.6 is established by the interleaved A/B in
+    // `examples/fault_overhead_check.rs` instead.
+    let mut sim = build_sim(10_000, 1);
+    sim.set_fault_plane(FaultPlane::new(Seed::new(0xE17)));
+    group.bench_function("fault_plane_inactive/10k_nodes/threads_1", |b| {
         b.iter(|| sim.run_for_rounds(1))
     });
     group.finish();

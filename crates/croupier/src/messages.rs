@@ -88,6 +88,51 @@ impl WireSize for CroupierMessage {
     fn wire_size(&self) -> usize {
         UDP_IP_HEADER_BYTES + self.payload().payload_bytes()
     }
+
+    fn fault_mutate(&mut self, rng: &mut rand::rngs::SmallRng) {
+        use crate::descriptor::Descriptor;
+        use croupier_simulator::NodeId;
+        use rand::Rng;
+        let payload = match self {
+            CroupierMessage::ShuffleRequest(p) | CroupierMessage::ShuffleResponse(p) => p.as_mut(),
+        };
+        match rng.gen_range(0..4u8) {
+            // A truncated datagram decodes to shorter descriptor lists.
+            0 => {
+                let keep = rng.gen_range(0..=payload.public_descriptors.len());
+                payload.public_descriptors.truncate(keep);
+            }
+            1 => {
+                let keep = rng.gen_range(0..=payload.private_descriptors.len());
+                payload.private_descriptors.truncate(keep);
+                payload.estimates.clear();
+            }
+            // Bit flips scramble a descriptor into a bogus identity, class and age.
+            2 => {
+                let descriptors = payload.public_descriptors.as_mut_slice();
+                if !descriptors.is_empty() {
+                    let idx = rng.gen_range(0..descriptors.len());
+                    let class = if rng.gen_bool(0.5) {
+                        NatClass::Public
+                    } else {
+                        NatClass::Private
+                    };
+                    descriptors[idx] = Descriptor::with_age(
+                        NodeId::new(rng.gen_range(0..1 << 20)),
+                        class,
+                        rng.gen_range(0..1 << 16),
+                    );
+                }
+            }
+            // A flipped class bit mis-states the sender's connectivity.
+            _ => {
+                payload.sender_class = match payload.sender_class {
+                    NatClass::Public => NatClass::Private,
+                    NatClass::Private => NatClass::Public,
+                };
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 //! observations go through that one object, and no engine type appears anywhere in this
 //! crate.
 
-use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode};
+use croupier_simulator::{Context, NatClass, NodeId, Protocol, PssNode, RetryPolicy, TimerKey};
 use rand::rngs::SmallRng;
 
 use crate::config::{CroupierConfig, MergePolicy, SelectionPolicy};
@@ -23,6 +23,11 @@ struct PendingShuffle {
     peer: NodeId,
     sent_public: DescriptorBatch,
     sent_private: DescriptorBatch,
+    /// Monotonic exchange number; doubles as the retry-timer key so timers from
+    /// superseded exchanges are recognisably stale.
+    seq: u64,
+    /// Requests sent so far minus one (the initial send is attempt zero).
+    attempt: u32,
 }
 
 /// Upper bound on recycled payload boxes kept per node. One box circulates per exchange
@@ -62,6 +67,10 @@ pub struct CroupierNode {
     rounds: u64,
     shuffles_received: u64,
     responses_received: u64,
+    /// Exchange counter feeding [`PendingShuffle::seq`].
+    shuffle_seq: u64,
+    retries_fired: u64,
+    abandoned_exchanges: u64,
 }
 
 impl CroupierNode {
@@ -84,6 +93,9 @@ impl CroupierNode {
             rounds: 0,
             shuffles_received: 0,
             responses_received: 0,
+            shuffle_seq: 0,
+            retries_fired: 0,
+            abandoned_exchanges: 0,
             config,
         }
     }
@@ -336,13 +348,24 @@ impl Protocol for CroupierNode {
             NatClass::Private => request.private_descriptors.push(self.own_descriptor()),
         }
 
+        if self.pending.is_some() {
+            // The previous exchange is still unanswered and its retry budget has not run
+            // out yet; starting a new one silently discards it, so account for it here
+            // rather than leaking it without trace.
+            self.abandoned_exchanges += 1;
+        }
+        self.shuffle_seq += 1;
         self.pending = Some(PendingShuffle {
             peer: target,
             sent_public,
             sent_private,
+            seq: self.shuffle_seq,
+            attempt: 0,
         });
 
         ctx.send(target, CroupierMessage::ShuffleRequest(request));
+        let policy = RetryPolicy::for_round_period(ctx.round_period());
+        ctx.set_timer(policy.backoff(0), TimerKey::new(self.shuffle_seq));
     }
 
     fn on_message(
@@ -355,6 +378,47 @@ impl Protocol for CroupierNode {
             CroupierMessage::ShuffleRequest(payload) => self.handle_request(from, payload, ctx),
             CroupierMessage::ShuffleResponse(payload) => self.handle_response(from, payload),
         }
+    }
+
+    /// Retry timer for the in-flight shuffle: resend the same subsets with capped
+    /// exponential backoff, and abandon the exchange once the budget is spent. Timers
+    /// from superseded exchanges (their `seq` no longer matches) are ignored.
+    fn on_timer(&mut self, key: TimerKey, ctx: &mut Context<'_, Self::Message>) {
+        let (peer, next_attempt, sent_public, sent_private) = match self.pending.as_ref() {
+            Some(p) if p.seq == key.as_u64() => (
+                p.peer,
+                p.attempt + 1,
+                p.sent_public.clone(),
+                p.sent_private.clone(),
+            ),
+            _ => return,
+        };
+        let policy = RetryPolicy::for_round_period(ctx.round_period());
+        if policy.exhausted(next_attempt) {
+            self.pending = None;
+            self.abandoned_exchanges += 1;
+            return;
+        }
+        if let Some(p) = self.pending.as_mut() {
+            p.attempt = next_attempt;
+        }
+        // Same subsets as the original request (the swapper bookkeeping must keep
+        // describing what the peer would actually receive), fresh estimates.
+        let estimates = self
+            .estimator
+            .share(self.config.estimate_share_size, self.id, ctx.rng());
+        let mut request = self.take_payload();
+        request.sender_class = self.class;
+        request.public_descriptors = sent_public;
+        request.private_descriptors = sent_private;
+        request.estimates = estimates;
+        match self.class {
+            NatClass::Public => request.public_descriptors.push(self.own_descriptor()),
+            NatClass::Private => request.private_descriptors.push(self.own_descriptor()),
+        }
+        self.retries_fired += 1;
+        ctx.send(peer, CroupierMessage::ShuffleRequest(request));
+        ctx.set_timer(policy.backoff(next_attempt), key);
     }
 }
 
@@ -390,6 +454,14 @@ impl PssNode for CroupierNode {
 
     fn rounds_executed(&self) -> u64 {
         self.rounds
+    }
+
+    fn retries_fired(&self) -> u64 {
+        self.retries_fired
+    }
+
+    fn exchanges_abandoned(&self) -> u64 {
+        self.abandoned_exchanges
     }
 }
 
@@ -586,6 +658,47 @@ mod tests {
         sim.run_for_rounds(10);
         assert_eq!(sim.network_stats().total(), 0);
         assert_eq!(sim.node(NodeId::new(0)).unwrap().rounds_executed(), 10);
+    }
+
+    #[test]
+    fn timeouts_fire_retries_and_abandon_unanswered_exchanges() {
+        use croupier_simulator::BernoulliLoss;
+        let mut sim = build_sim(5, 20, CroupierConfig::default(), 11);
+        sim.set_loss_model(BernoulliLoss::new(1.0));
+        sim.run_for_rounds(10);
+        let mut retries = 0;
+        let mut abandoned = 0;
+        for (_, node) in sim.nodes() {
+            assert_eq!(node.shuffle_responses_received(), 0);
+            retries += PssNode::retries_fired(node);
+            abandoned += PssNode::exchanges_abandoned(node);
+        }
+        assert!(retries > 0, "no retry fired under 100% loss");
+        assert!(abandoned > 0, "no unanswered exchange was abandoned");
+        // The retry budget bounds the amplification: at most `max_retries` resends per
+        // exchange, and every exchange is either abandoned or still pending at the end.
+        let policy = RetryPolicy::for_round_period(sim.config().round_period);
+        let exchanges = abandoned + sim.len() as u64;
+        assert!(retries <= exchanges * policy.max_retries as u64);
+    }
+
+    #[test]
+    fn retries_recover_exchanges_under_heavy_loss() {
+        use croupier_simulator::BernoulliLoss;
+        let mut sim = build_sim(5, 20, CroupierConfig::default(), 12);
+        sim.set_loss_model(BernoulliLoss::new(0.4));
+        sim.run_for_rounds(40);
+        let mut responses = 0;
+        let mut retries = 0;
+        for (_, node) in sim.nodes() {
+            responses += node.shuffle_responses_received();
+            retries += PssNode::retries_fired(node);
+        }
+        assert!(retries > 0, "40% loss must trigger some retries");
+        assert!(
+            responses > 0,
+            "shuffles must still complete despite heavy loss"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@ use croupier_experiments::scenario::ScenarioScript;
 const USAGE: &str = "usage: scenario_matrix [--scale tiny|quick|paper|large|huge] [--seed N] \
                      [--out DIR] [--protocols a,b] [--scenarios x,y]\n\
                      scenarios: reboot_storm mobility_wave nat_flux flash_crowd \
-                     regional_outage croupier_stress (default: all)";
+                     regional_outage croupier_stress symmetric_shift cgn_migration \
+                     lossy_10 burst_loss dup_reorder (default: all)";
 
 struct Args {
     scale: Scale,
@@ -128,6 +129,17 @@ fn main() -> ExitCode {
         }
         println!("  wrote {}", path.display());
         if !report.all_recovered() {
+            eprintln!(
+                "  GATE: a protocol failed to recover connectivity in '{}'",
+                report.scenario
+            );
+            all_ok = false;
+        }
+        if !report.croupier_gini_ok() {
+            eprintln!(
+                "  GATE: croupier's in-degree Gini degraded more than the baselines' in '{}'",
+                report.scenario
+            );
             all_ok = false;
         }
     }
@@ -135,7 +147,7 @@ fn main() -> ExitCode {
         println!("scenario-matrix: every protocol recovered connectivity");
         ExitCode::SUCCESS
     } else {
-        eprintln!("scenario-matrix: at least one protocol failed to recover connectivity");
+        eprintln!("scenario-matrix: at least one gate failed");
         ExitCode::FAILURE
     }
 }

@@ -50,5 +50,6 @@ pub use output::{FigureData, Scale, Series};
 pub use protocols::ProtocolKind;
 pub use runner::{ExperimentParams, RoundSample, RunOutput};
 pub use scenario::{
-    ChurnSpec, JoinSchedule, NatDynamicsEvent, ScenarioAction, ScenarioExecutor, ScenarioScript,
+    ChurnSpec, FaultAction, FaultEvent, JoinSchedule, NatDynamicsEvent, ScenarioAction,
+    ScenarioExecutor, ScenarioScript,
 };

@@ -15,7 +15,7 @@
 
 use std::fmt::Write as _;
 
-use croupier_metrics::{indegree_histogram, indegree_stats, IndegreeStats};
+use croupier_metrics::{indegree_gini, indegree_histogram, indegree_stats, IndegreeStats};
 
 use crate::output::{json_number, json_string, Scale};
 use crate::protocols::{run_kind, ProtocolConfigs, ProtocolKind};
@@ -25,6 +25,29 @@ use crate::scenario::ScenarioScript;
 /// A run counts as recovered when the largest connected component again holds at least
 /// this fraction of the sampled nodes.
 pub const RECOVERY_THRESHOLD: f64 = 0.95;
+
+/// The recovery bar for fault-tier scenarios (scripts that drive the fault plane):
+/// datagram loss, bursts and reordering keep injecting until the scripted clear, so the
+/// overlay is given a slightly looser floor than the clean-network tier.
+pub const FAULT_RECOVERY_THRESHOLD: f64 = 0.90;
+
+/// How much more croupier's in-degree Gini may *degrade* under injected faults than the
+/// best NAT-aware baseline's before the gate fails. Degradation is measured per protocol
+/// against a no-fault control run of the same scenario and seed
+/// ([`CellReport::gini_degradation`]), so the gate compares how much each protocol's
+/// balance suffers from the faults — not the protocols' absolute Gini values, which
+/// differ by design even on a clean network.
+pub const FAULT_GINI_MARGIN: f64 = 0.05;
+
+/// The recovery threshold a script is judged against: fault-tier scripts get
+/// [`FAULT_RECOVERY_THRESHOLD`], everything else [`RECOVERY_THRESHOLD`].
+pub fn recovery_threshold_for(script: &ScenarioScript) -> f64 {
+    if script.has_fault_actions() {
+        FAULT_RECOVERY_THRESHOLD
+    } else {
+        RECOVERY_THRESHOLD
+    }
+}
 
 /// The paper-scale population anchoring the matrix (scaled down by [`Scale::nodes`]; the
 /// CI job runs `quick`, i.e. 100 nodes — well under its 1k-node budget).
@@ -63,6 +86,31 @@ pub struct CellReport {
     pub stale_binding_failures: u64,
     /// Live nodes at the end of the run.
     pub node_count: usize,
+    /// Gini coefficient of the final overlay's in-degree distribution (0 = perfectly
+    /// balanced); the fault-tier gate compares croupier's against the baselines'.
+    pub final_indegree_gini: f64,
+    /// The same Gini from this cell's no-fault control run (the script with its fault
+    /// actions stripped, same seed). Equal to `final_indegree_gini` in clean-network
+    /// cells, where the cell is its own control.
+    pub clean_indegree_gini: f64,
+    /// Total fault-plane injections over the run (drops + duplicates + reorders +
+    /// corruptions); zero in clean-network cells.
+    pub fault_injected: u64,
+    /// Fault-plane drops alone (independent + burst).
+    pub fault_drops: u64,
+    /// Timeout retries the protocol fired.
+    pub retries_fired: u64,
+    /// Exchanges the protocol gave up on (expiry or retry exhaustion).
+    pub exchanges_abandoned: u64,
+}
+
+impl CellReport {
+    /// How much the faults unbalanced this protocol's in-degree distribution: final Gini
+    /// minus the no-fault control's Gini. Negative when the fault run happened to end
+    /// more balanced; zero in clean-network cells.
+    pub fn gini_degradation(&self) -> f64 {
+        self.final_indegree_gini - self.clean_indegree_gini
+    }
 }
 
 /// All protocol cells of one scenario.
@@ -78,6 +126,12 @@ pub struct ScenarioReport {
     pub initial_nodes: usize,
     /// Round of the first disruptive scripted action, if any.
     pub disruption_round: Option<u64>,
+    /// The recovery threshold every cell in this report was judged against
+    /// ([`FAULT_RECOVERY_THRESHOLD`] for fault-tier scripts, [`RECOVERY_THRESHOLD`]
+    /// otherwise).
+    pub recovery_threshold: f64,
+    /// `true` when the scenario drives the fault plane — selects the Gini gate.
+    pub fault_tier: bool,
     /// The per-protocol cells, in [`ProtocolKind::ALL`] order.
     pub cells: Vec<CellReport>,
 }
@@ -86,6 +140,40 @@ impl ScenarioReport {
     /// Returns `true` when every protocol ends the run with a connected overlay.
     pub fn all_recovered(&self) -> bool {
         self.cells.iter().all(|c| c.recovered)
+    }
+
+    /// The fault-tier in-degree gate: croupier's Gini *degradation* (fault run vs its
+    /// own no-fault control, [`CellReport::gini_degradation`]) must be no more than
+    /// [`FAULT_GINI_MARGIN`] worse than the best NAT-aware baseline's degradation (gozar
+    /// or nylon). Vacuously `true` for clean-network scenarios or when either side is
+    /// absent from the protocol selection.
+    pub fn croupier_gini_ok(&self) -> bool {
+        if !self.fault_tier {
+            return true;
+        }
+        let degradation = |name: &str| {
+            self.cells
+                .iter()
+                .find(|c| c.protocol == name)
+                .map(CellReport::gini_degradation)
+        };
+        let Some(croupier) = degradation("croupier") else {
+            return true;
+        };
+        let best_baseline = [degradation("gozar"), degradation("nylon")]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min);
+        if !best_baseline.is_finite() {
+            return true;
+        }
+        croupier <= best_baseline + FAULT_GINI_MARGIN
+    }
+
+    /// The full CI gate for this scenario: recovery for every protocol, plus the
+    /// croupier in-degree Gini bound on fault-tier cells.
+    pub fn gates_pass(&self) -> bool {
+        self.all_recovered() && self.croupier_gini_ok()
     }
 
     /// Serialises the report as pretty-printed JSON (hand-emitted, like
@@ -108,9 +196,11 @@ impl ScenarioReport {
         let _ = writeln!(
             out,
             "  \"recovery_threshold\": {},",
-            json_number(RECOVERY_THRESHOLD)
+            json_number(self.recovery_threshold)
         );
+        let _ = writeln!(out, "  \"fault_tier\": {},", self.fault_tier);
         let _ = writeln!(out, "  \"all_recovered\": {},", self.all_recovered());
+        let _ = writeln!(out, "  \"croupier_gini_ok\": {},", self.croupier_gini_ok());
         if self.cells.is_empty() {
             out.push_str("  \"cells\": []\n");
         } else {
@@ -178,6 +268,29 @@ impl ScenarioReport {
                     "      \"stale_binding_failures\": {},",
                     cell.stale_binding_failures
                 );
+                let _ = writeln!(
+                    out,
+                    "      \"final_indegree_gini\": {},",
+                    json_number(cell.final_indegree_gini)
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"clean_indegree_gini\": {},",
+                    json_number(cell.clean_indegree_gini)
+                );
+                let _ = writeln!(
+                    out,
+                    "      \"gini_degradation\": {},",
+                    json_number(cell.gini_degradation())
+                );
+                let _ = writeln!(out, "      \"fault_injected\": {},", cell.fault_injected);
+                let _ = writeln!(out, "      \"fault_drops\": {},", cell.fault_drops);
+                let _ = writeln!(out, "      \"retries_fired\": {},", cell.retries_fired);
+                let _ = writeln!(
+                    out,
+                    "      \"exchanges_abandoned\": {},",
+                    cell.exchanges_abandoned
+                );
                 let _ = writeln!(out, "      \"node_count\": {}", cell.node_count);
                 let comma = if i + 1 < self.cells.len() { "," } else { "" };
                 let _ = writeln!(out, "    }}{comma}");
@@ -216,6 +329,20 @@ impl ScenarioReport {
                 cell.stale_binding_failures,
                 cell.final_estimation_error,
             );
+            if self.fault_tier {
+                let _ = writeln!(
+                    out,
+                    "             faults: injected={} drops={} retries={} abandoned={} \
+                     gini={:.3} (clean {:.3}, degradation {:+.3})",
+                    cell.fault_injected,
+                    cell.fault_drops,
+                    cell.retries_fired,
+                    cell.exchanges_abandoned,
+                    cell.final_indegree_gini,
+                    cell.clean_indegree_gini,
+                    cell.gini_degradation(),
+                );
+            }
         }
         out
     }
@@ -285,16 +412,29 @@ pub fn run_cell(
     } else {
         script.with_public_flash_crowds()
     };
-    let params = cell_params(kind, scale, seed, rounds).with_scenario(cell_script);
+    let params = cell_params(kind, scale, seed, rounds).with_scenario(cell_script.clone());
     let out = run_kind(kind, &params, &ProtocolConfigs::default());
+    let final_indegree_gini = indegree_gini(&out.final_snapshot);
+    // Fault-tier cells also run a no-fault control (same script minus the fault actions,
+    // same seed) so the Gini gate can measure what the faults *changed* rather than
+    // comparing protocols' naturally different absolute Gini values.
+    let clean_indegree_gini = if cell_script.has_fault_actions() {
+        let control_params =
+            cell_params(kind, scale, seed, rounds).with_scenario(cell_script.without_faults());
+        let control = run_kind(kind, &control_params, &ProtocolConfigs::default());
+        indegree_gini(&control.final_snapshot)
+    } else {
+        final_indegree_gini
+    };
     let disruption = script.first_disruption_round().unwrap_or(0);
+    let threshold = recovery_threshold_for(script);
     let (partition_round, recovery_round, min_largest_component) =
-        detect_partition_recovery(&out.samples, disruption, RECOVERY_THRESHOLD);
+        detect_partition_recovery(&out.samples, disruption, threshold);
     let last = out.samples.last();
     let final_largest_component = last.and_then(|s| s.largest_component).unwrap_or(0.0);
     CellReport {
         protocol: kind.name().to_string(),
-        recovered: final_largest_component >= RECOVERY_THRESHOLD,
+        recovered: final_largest_component >= threshold,
         final_largest_component,
         min_largest_component,
         partition_round,
@@ -305,6 +445,12 @@ pub fn run_cell(
         blocked_messages: out.nat_stats.blocked_messages,
         stale_binding_failures: out.nat_stats.stale_binding_failures,
         node_count: last.map(|s| s.node_count).unwrap_or(0),
+        final_indegree_gini,
+        clean_indegree_gini,
+        fault_injected: out.fault_report.total_injected(),
+        fault_drops: out.fault_report.total_drops(),
+        retries_fired: out.fault_report.retries_fired,
+        exchanges_abandoned: out.fault_report.exchanges_abandoned,
     }
 }
 
@@ -324,6 +470,8 @@ pub fn run_matrix(
             rounds,
             initial_nodes: scale.nodes(MATRIX_PAPER_NODES),
             disruption_round: script.first_disruption_round(),
+            recovery_threshold: recovery_threshold_for(script),
+            fault_tier: script.has_fault_actions(),
             cells: protocols
                 .iter()
                 .map(|&kind| run_cell(script, kind, scale, seed, rounds))
@@ -406,6 +554,8 @@ mod tests {
             rounds: 24,
             initial_nodes: 25,
             disruption_round: Some(12),
+            recovery_threshold: RECOVERY_THRESHOLD,
+            fault_tier: false,
             cells: vec![CellReport {
                 protocol: String::from("croupier"),
                 recovered: true,
@@ -424,12 +574,24 @@ mod tests {
                 blocked_messages: 123,
                 stale_binding_failures: 45,
                 node_count: 25,
+                final_indegree_gini: 0.12,
+                clean_indegree_gini: 0.12,
+                fault_injected: 0,
+                fault_drops: 0,
+                retries_fired: 0,
+                exchanges_abandoned: 0,
             }],
         };
         assert!(report.all_recovered());
+        assert!(report.gates_pass());
         let json = report.to_json();
         assert!(json.contains("\"scenario\": \"reboot_storm\""));
         assert!(json.contains("\"all_recovered\": true"));
+        assert!(json.contains("\"croupier_gini_ok\": true"));
+        assert!(json.contains("\"fault_tier\": false"));
+        assert!(json.contains("\"final_indegree_gini\": 0.12"));
+        assert!(json.contains("\"clean_indegree_gini\": 0.12"));
+        assert!(json.contains("\"gini_degradation\": 0"));
         assert!(json.contains("\"stale_binding_failures\": 45"));
         assert!(json.contains("\"indegree_histogram\": [[1, 2], [4, 10]]"));
         assert!(json.contains("\"partition_round\": 14"));
@@ -455,5 +617,86 @@ mod tests {
         assert!(cell.recovered, "croupier should ride out a reboot storm");
         assert!(cell.indegree.mean > 0.0);
         assert!(!cell.indegree_histogram.is_empty());
+        assert_eq!(cell.fault_injected, 0, "clean-network cell injects nothing");
+    }
+
+    #[test]
+    fn a_fault_cell_injects_and_recovers_at_tiny_scale() {
+        let rounds = matrix_rounds(Scale::Tiny);
+        let script = ScenarioScript::lossy_10(rounds);
+        assert!((recovery_threshold_for(&script) - FAULT_RECOVERY_THRESHOLD).abs() < 1e-12);
+        let cell = run_cell(&script, ProtocolKind::Croupier, Scale::Tiny, 7, rounds);
+        assert!(cell.fault_injected > 0, "the lossy window must inject");
+        assert!(cell.fault_drops > 0);
+        assert!(cell.recovered, "croupier should recover after the clear");
+        assert!(
+            cell.clean_indegree_gini > 0.0,
+            "the no-fault control run must produce a real overlay"
+        );
+    }
+
+    #[test]
+    fn the_gini_gate_compares_degradation_against_the_best_baseline() {
+        let cell = |protocol: &str, fault_gini: f64, clean_gini: f64| CellReport {
+            protocol: protocol.to_string(),
+            recovered: true,
+            final_largest_component: 1.0,
+            min_largest_component: 1.0,
+            partition_round: None,
+            recovery_round: None,
+            final_estimation_error: 0.0,
+            indegree: IndegreeStats::default(),
+            indegree_histogram: Vec::new(),
+            blocked_messages: 0,
+            stale_binding_failures: 0,
+            node_count: 10,
+            final_indegree_gini: fault_gini,
+            clean_indegree_gini: clean_gini,
+            fault_injected: 100,
+            fault_drops: 50,
+            retries_fired: 10,
+            exchanges_abandoned: 2,
+        };
+        // Gozar degrades by +0.02, nylon by +0.06: the best baseline degradation is 0.02,
+        // so the bar for croupier is 0.02 + FAULT_GINI_MARGIN = 0.07.
+        let report = |croupier_fault_gini: f64, fault_tier: bool| ScenarioReport {
+            scenario: String::from("lossy_10"),
+            seed: 1,
+            rounds: 24,
+            initial_nodes: 25,
+            disruption_round: Some(12),
+            recovery_threshold: FAULT_RECOVERY_THRESHOLD,
+            fault_tier,
+            cells: vec![
+                // Croupier's clean Gini (0.35) is far above the baselines' — only the
+                // delta matters.
+                cell("croupier", croupier_fault_gini, 0.35),
+                cell("gozar", 0.17, 0.15),
+                cell("nylon", 0.26, 0.20),
+            ],
+        };
+        assert!(
+            report(0.35, true).croupier_gini_ok(),
+            "no degradation is fine"
+        );
+        assert!(
+            report(0.41, true).croupier_gini_ok(),
+            "+0.06 is within margin of the best baseline's +0.02"
+        );
+        assert!(
+            !report(0.43, true).croupier_gini_ok(),
+            "+0.08 exceeds best baseline degradation + margin"
+        );
+        assert!(
+            report(0.9, false).croupier_gini_ok(),
+            "clean-network scenarios skip the Gini gate"
+        );
+        assert!(!report(0.43, true).gates_pass());
+        let improved = report(0.30, true);
+        assert!(
+            improved.croupier_gini_ok(),
+            "a fault run that ends more balanced passes trivially"
+        );
+        assert!(improved.cells[0].gini_degradation() < 0.0);
     }
 }

@@ -319,6 +319,12 @@ pub struct RunOutput {
     pub metrics_overlap: Option<MetricsOverlapReport>,
     /// Per-sample metrics timing, in time order (one entry per [`RoundSample`]).
     pub metrics_timing: Vec<SampleMetricsTiming>,
+    /// Message-plane fault accounting: what the fault plane injected (drops, bursts,
+    /// duplicates, reorders, corruptions — distinct from NAT-filter drops, which appear
+    /// in [`nat_stats`](Self::nat_stats)) plus what the protocols did about it
+    /// (`retries_fired`, `exchanges_abandoned`, summed over surviving nodes). All zeros
+    /// for runs whose script never activates the plane.
+    pub fault_report: croupier_simulator::FaultReport,
 }
 
 impl RunOutput {
@@ -454,17 +460,21 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
         );
         sim.set_delivery_filter(topology.clone());
         let seed = Seed::new(params.seed);
+        // Every run carries an (initially inactive) fault plane: scripts activate it
+        // through fault actions, and the disabled-path overhead is a single relaxed
+        // atomic load per delivery (guarded by the `fault_plane_inactive` bench row).
+        let fault_plane = croupier_simulator::FaultPlane::new(seed);
+        sim.set_fault_plane(fault_plane.clone());
         if let Some(script) = &params.scenario {
             // The executor shares the topology with the delivery filter and runs at the
             // engines' round barriers on the coordinating thread; its RNG is a dedicated
             // stream of the master seed, so scripted runs are deterministic and (on the
             // sharded engine) bit-identical across worker-thread counts.
             let scenario_rng = seed.stream_rng(croupier_simulator::rng::Stream::Custom(0x5C3A));
-            sim.set_round_hook(Box::new(ScenarioExecutor::new(
-                script,
-                topology.clone(),
-                scenario_rng,
-            )));
+            sim.set_round_hook(Box::new(
+                ScenarioExecutor::new(script, topology.clone(), scenario_rng)
+                    .with_fault_plane(fault_plane.clone()),
+            ));
         }
         let mut sample_snapshot = OverlaySnapshot::default();
         if params.incremental_components || params.incremental_indegree {
@@ -690,6 +700,14 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
         let mut final_snapshot =
             OverlaySnapshot::capture(&self.sim, self.params.min_rounds_for_metrics);
         final_snapshot.retain_live_edges();
+        // Plane counters say what the network did; node counters say what the protocols
+        // did about it. Churned-out nodes take their counters with them, so the sums
+        // reflect the surviving population — consistent with every other final metric.
+        let mut fault_report = self.sim.fault_report();
+        self.sim.for_each_node(&mut |_, node| {
+            fault_report.retries_fired += node.retries_fired();
+            fault_report.exchanges_abandoned += node.exchanges_abandoned();
+        });
         RunOutput {
             samples,
             overhead,
@@ -711,6 +729,7 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             }),
             metrics_overlap,
             metrics_timing: std::mem::take(&mut self.metrics_timing),
+            fault_report,
         }
     }
 
@@ -1443,6 +1462,42 @@ mod tests {
         assert_eq!(a.samples, b.samples);
         assert_eq!(a.nat_stats, b.nat_stats);
         assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn fault_scripts_inject_and_protocols_recover() {
+        let params = tiny_params()
+            .with_seed(24)
+            .with_rounds(60)
+            .with_graph_metrics(10)
+            .with_scenario(ScenarioScript::lossy_10(60));
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert!(
+            out.fault_report.injected_drops > 0,
+            "the lossy window must inject drops, got {:?}",
+            out.fault_report
+        );
+        assert!(
+            out.fault_report.retries_fired > 0,
+            "dropped shuffles must trigger timeout retries"
+        );
+        let last = out.last_sample().unwrap();
+        assert!(
+            (last.largest_component.unwrap() - 1.0).abs() < 1e-9,
+            "croupier should recover connectivity after the faults clear"
+        );
+    }
+
+    #[test]
+    fn clean_runs_report_zero_fault_injection() {
+        let params = tiny_params().with_seed(25).with_rounds(20);
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        assert_eq!(out.fault_report.total_injected(), 0);
+        assert_eq!(out.fault_report.exchanges_abandoned, 0);
     }
 
     #[test]

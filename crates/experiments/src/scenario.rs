@@ -10,7 +10,7 @@
 //! across worker-thread counts (see `DESIGN.md` §11).
 
 use croupier_nat::{FilteringPolicy, NatTopology};
-use croupier_simulator::{NatClass, NodeId, RoundHook, SimTime};
+use croupier_simulator::{FaultPlane, FaultProfile, NatClass, NodeId, RoundHook, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -184,6 +184,39 @@ pub struct ScenarioAction {
     pub event: NatDynamicsEvent,
 }
 
+/// A scripted change to the message-plane fault injector — the network-quality
+/// counterpart of the NAT-dynamics vocabulary. Fault events mutate the engine's
+/// [`FaultPlane`] rather than the topology, so they model datagram-level pathologies
+/// (loss, bursts, duplication, reordering, corruption) instead of reachability changes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Replaces the plane's default profile, applied to every link from this barrier on.
+    FaultProfileChange {
+        /// The profile every delivery is judged against.
+        profile: FaultProfile,
+    },
+    /// Degrades a random `fraction` of the population: every message *to or from* a
+    /// selected node is judged against `profile` instead of the plane's default. Models
+    /// congested access links and flaky last-mile gateways.
+    LinkDegradation {
+        /// Fraction of nodes whose links degrade (each node drawn independently).
+        fraction: f64,
+        /// The profile applied on degraded links.
+        profile: FaultProfile,
+    },
+    /// Deactivates the plane: injection stops, counters and RNG position are kept.
+    FaultClear,
+}
+
+/// A [`FaultEvent`] scheduled at a round barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultAction {
+    /// The round barrier (1-based) at which the event applies.
+    pub round: u64,
+    /// The event.
+    pub event: FaultEvent,
+}
+
 /// A deterministic, seeded timeline of NAT-dynamics events.
 ///
 /// Scripts are declarative data: building one performs no randomness and touches no
@@ -213,6 +246,8 @@ pub struct ScenarioAction {
 pub struct ScenarioScript {
     name: String,
     actions: Vec<ScenarioAction>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    fault_actions: Vec<FaultAction>,
 }
 
 fn assert_fraction(fraction: f64, what: &str) {
@@ -228,6 +263,7 @@ impl ScenarioScript {
         ScenarioScript {
             name: name.into(),
             actions: Vec::new(),
+            fault_actions: Vec::new(),
         }
     }
 
@@ -298,46 +334,105 @@ impl ScenarioScript {
         self
     }
 
+    /// Schedules a fault-plane `event` at round barrier `round` (builder style). Fault
+    /// actions are kept sorted by round; same-round actions apply in insertion order,
+    /// after the barrier's NAT-dynamics actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`LinkDegradation`](FaultEvent::LinkDegradation) fraction is outside
+    /// `[0, 1]` or a profile carries an out-of-range probability.
+    pub fn fault_at(mut self, round: u64, event: FaultEvent) -> Self {
+        match &event {
+            FaultEvent::FaultProfileChange { profile } => profile.validate(),
+            FaultEvent::LinkDegradation { fraction, profile } => {
+                assert_fraction(*fraction, "link-degradation fraction");
+                profile.validate();
+            }
+            FaultEvent::FaultClear => {}
+        }
+        self.fault_actions.push(FaultAction { round, event });
+        self.fault_actions.sort_by_key(|a| a.round);
+        self
+    }
+
     /// The scheduled actions, sorted by round.
     pub fn actions(&self) -> &[ScenarioAction] {
         &self.actions
     }
 
-    /// Number of scheduled actions.
+    /// The scheduled fault-plane actions, sorted by round.
+    pub fn fault_actions(&self) -> &[FaultAction] {
+        &self.fault_actions
+    }
+
+    /// Returns `true` when the script drives the fault plane — runners use this to pick
+    /// the fault-tier recovery gate instead of the clean-network one.
+    pub fn has_fault_actions(&self) -> bool {
+        !self.fault_actions.is_empty()
+    }
+
+    /// A copy of this script with every fault action stripped (NAT dynamics kept): the
+    /// no-fault control run the matrix Gini gate measures degradation against.
+    pub fn without_faults(&self) -> Self {
+        ScenarioScript {
+            name: self.name.clone(),
+            actions: self.actions.clone(),
+            fault_actions: Vec::new(),
+        }
+    }
+
+    /// Number of scheduled actions (NAT dynamics and fault plane combined).
     pub fn len(&self) -> usize {
-        self.actions.len()
+        self.actions.len() + self.fault_actions.len()
     }
 
     /// Returns `true` when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.actions.is_empty()
+        self.actions.is_empty() && self.fault_actions.is_empty()
     }
 
     /// Round of the last scheduled action, if any.
     pub fn last_action_round(&self) -> Option<u64> {
-        self.actions.last().map(|a| a.round)
+        let nat = self.actions.last().map(|a| a.round);
+        let fault = self.fault_actions.last().map(|a| a.round);
+        nat.max(fault)
     }
 
-    /// Round of the first disruptive action, if any (flash crowds add capacity rather
-    /// than remove it, so they do not count as a disruption for recovery detection).
+    /// Round of the first disruptive action, if any. Flash crowds add capacity rather
+    /// than remove it and a [`FaultClear`](FaultEvent::FaultClear) restores a healthy
+    /// network, so neither counts as a disruption for recovery detection.
     pub fn first_disruption_round(&self) -> Option<u64> {
-        self.actions
+        let nat = self
+            .actions
             .iter()
             .find(|a| !matches!(a.event, NatDynamicsEvent::FlashCrowd { .. }))
-            .map(|a| a.round)
+            .map(|a| a.round);
+        let fault = self
+            .fault_actions
+            .iter()
+            .find(|a| !matches!(a.event, FaultEvent::FaultClear))
+            .map(|a| a.round);
+        match (nat, fault) {
+            (Some(n), Some(f)) => Some(n.min(f)),
+            (n, f) => n.or(f),
+        }
     }
 
     /// Round at which the last scripted regional outage has been restored (actions and
     /// restores included), or the last action round for scripts without outages. Runs
     /// should extend beyond this round for recovery to be observable.
     pub fn settled_round(&self) -> Option<u64> {
-        self.actions
+        let nat = self
+            .actions
             .iter()
             .map(|a| match a.event {
                 NatDynamicsEvent::RegionalOutage { outage_rounds, .. } => a.round + outage_rounds,
                 _ => a.round,
             })
-            .max()
+            .max();
+        let fault = self.fault_actions.iter().map(|a| a.round).max();
+        nat.max(fault)
     }
 
     /// Expands the script's [`FlashCrowd`](NatDynamicsEvent::FlashCrowd) actions into
@@ -385,8 +480,9 @@ impl ScenarioScript {
 /// The canned scenario library behind the scenario-matrix runner. Disruptions land
 /// around the midpoint of a `rounds`-round run so every script leaves room to recover.
 impl ScenarioScript {
-    /// Names of the scripts in [`matrix`](Self::matrix) order.
-    pub const MATRIX_NAMES: [&'static str; 8] = [
+    /// Names of the scripts in [`matrix`](Self::matrix) order. The last three are the
+    /// fault tier: they drive the engines' [`FaultPlane`] instead of the topology.
+    pub const MATRIX_NAMES: [&'static str; 11] = [
         "reboot_storm",
         "mobility_wave",
         "nat_flux",
@@ -395,6 +491,9 @@ impl ScenarioScript {
         "croupier_stress",
         "symmetric_shift",
         "cgn_migration",
+        "lossy_10",
+        "burst_loss",
+        "dup_reorder",
     ];
 
     fn mid(rounds: u64) -> u64 {
@@ -524,6 +623,61 @@ impl ScenarioScript {
         )
     }
 
+    /// Uniform 10 % datagram loss from the midpoint, with a fifth of the population
+    /// additionally degraded to 30 % loss (congested access links); the faults clear an
+    /// eighth of the run later so recovery is observable.
+    pub fn lossy_10(rounds: u64) -> Self {
+        let mid = Self::mid(rounds);
+        let clear = mid + (rounds / 8).max(2);
+        ScenarioScript::new("lossy_10")
+            .fault_at(
+                mid,
+                FaultEvent::FaultProfileChange {
+                    profile: FaultProfile::lossy(0.10),
+                },
+            )
+            .fault_at(
+                mid,
+                FaultEvent::LinkDegradation {
+                    fraction: 0.2,
+                    profile: FaultProfile::lossy(0.30),
+                },
+            )
+            .fault_at(clear, FaultEvent::FaultClear)
+    }
+
+    /// Gilbert–Elliott correlated loss bursts from the midpoint (2 % good-state, 75 %
+    /// bad-state loss), cleared an eighth of the run later — the correlated-loss stress
+    /// that independent-drop models miss.
+    pub fn burst_loss(rounds: u64) -> Self {
+        let mid = Self::mid(rounds);
+        let clear = mid + (rounds / 8).max(2);
+        ScenarioScript::new("burst_loss")
+            .fault_at(
+                mid,
+                FaultEvent::FaultProfileChange {
+                    profile: FaultProfile::burst_loss(),
+                },
+            )
+            .fault_at(clear, FaultEvent::FaultClear)
+    }
+
+    /// Duplication, bounded reordering delay spikes and payload corruption from the
+    /// midpoint, cleared an eighth of the run later — exercises idempotence of the
+    /// protocols' receive paths rather than their loss tolerance.
+    pub fn dup_reorder(rounds: u64) -> Self {
+        let mid = Self::mid(rounds);
+        let clear = mid + (rounds / 8).max(2);
+        ScenarioScript::new("dup_reorder")
+            .fault_at(
+                mid,
+                FaultEvent::FaultProfileChange {
+                    profile: FaultProfile::dup_reorder(),
+                },
+            )
+            .fault_at(clear, FaultEvent::FaultClear)
+    }
+
     /// A copy of this script whose flash crowds join all-public, other events unchanged
     /// — for cells running a NAT-oblivious protocol (Cyclon) on an all-public
     /// population, so a scripted join burst does not smuggle in the NATed nodes the
@@ -540,6 +694,7 @@ impl ScenarioScript {
             };
             script = script.at(action.round, event);
         }
+        script.fault_actions = self.fault_actions.clone();
         script
     }
 
@@ -554,6 +709,9 @@ impl ScenarioScript {
             "croupier_stress" => Some(Self::croupier_stress(rounds)),
             "symmetric_shift" => Some(Self::symmetric_shift(rounds)),
             "cgn_migration" => Some(Self::cgn_migration(rounds)),
+            "lossy_10" => Some(Self::lossy_10(rounds)),
+            "burst_loss" => Some(Self::burst_loss(rounds)),
+            "dup_reorder" => Some(Self::dup_reorder(rounds)),
             _ => None,
         }
     }
@@ -583,6 +741,10 @@ pub struct ScenarioExecutor {
     next_action: usize,
     /// Regions awaiting restoration: `(restore_round, nodes taken offline)`.
     pending_restores: Vec<(u64, Vec<NodeId>)>,
+    fault_actions: Vec<FaultAction>,
+    next_fault_action: usize,
+    /// Shared handle to the engine's fault plane; fault actions are no-ops without it.
+    fault_plane: Option<FaultPlane>,
     rng: SmallRng,
 }
 
@@ -596,13 +758,27 @@ impl ScenarioExecutor {
             actions: script.actions().to_vec(),
             next_action: 0,
             pending_restores: Vec::new(),
+            fault_actions: script.fault_actions().to_vec(),
+            next_fault_action: 0,
+            fault_plane: None,
             rng,
         }
     }
 
+    /// Attaches a shared handle to the engine's [`FaultPlane`] so the script's
+    /// [`FaultEvent`]s have something to drive (builder style). Scripts with fault
+    /// actions but no plane apply their selection draws and otherwise do nothing, so
+    /// the executor's RNG sequence does not depend on whether a plane is attached.
+    pub fn with_fault_plane(mut self, plane: FaultPlane) -> Self {
+        self.fault_plane = Some(plane);
+        self
+    }
+
     /// Returns `true` once every action has applied and every outage is restored.
     pub fn is_settled(&self) -> bool {
-        self.next_action >= self.actions.len() && self.pending_restores.is_empty()
+        self.next_action >= self.actions.len()
+            && self.pending_restores.is_empty()
+            && self.next_fault_action >= self.fault_actions.len()
     }
 
     fn apply(&mut self, event: NatDynamicsEvent, round: u64, now: SimTime) {
@@ -614,6 +790,36 @@ impl ScenarioExecutor {
         if let Some(restore_round) = applied.restore_round {
             self.pending_restores
                 .push((restore_round, applied.taken_offline));
+        }
+    }
+
+    fn apply_fault(&mut self, event: FaultEvent) {
+        match event {
+            FaultEvent::FaultProfileChange { profile } => {
+                if let Some(plane) = &self.fault_plane {
+                    plane.set_default_profile(profile);
+                }
+            }
+            FaultEvent::LinkDegradation { fraction, profile } => {
+                // One uniform variate per node in ascending id order — the same
+                // selection discipline as `NatTopology::apply`, so the draw sequence
+                // depends only on the script and the population.
+                let mut nodes = self.topology.public_node_ids();
+                nodes.extend(self.topology.private_node_ids());
+                nodes.sort_unstable();
+                for node in nodes {
+                    if self.rng.gen_bool(fraction) {
+                        if let Some(plane) = &self.fault_plane {
+                            plane.set_link_profile(node, profile);
+                        }
+                    }
+                }
+            }
+            FaultEvent::FaultClear => {
+                if let Some(plane) = &self.fault_plane {
+                    plane.clear();
+                }
+            }
         }
     }
 }
@@ -639,6 +845,15 @@ impl RoundHook for ScenarioExecutor {
             let action = self.actions[self.next_action];
             self.next_action += 1;
             self.apply(action.event, round, now);
+        }
+        // Fault actions last, so a same-round profile change observes the post-dynamics
+        // population when drawing degraded links.
+        while self.next_fault_action < self.fault_actions.len()
+            && self.fault_actions[self.next_fault_action].round <= round
+        {
+            let action = self.fault_actions[self.next_fault_action];
+            self.next_fault_action += 1;
+            self.apply_fault(action.event);
         }
     }
 }
@@ -956,6 +1171,82 @@ mod tests {
         assert!(
             joins.iter().all(|e| e.at < SimTime::from_secs(11)),
             "the next round's barrier instant already belongs to the round after"
+        );
+    }
+
+    #[test]
+    fn fault_scripts_schedule_and_settle_like_nat_scripts() {
+        let script = ScenarioScript::lossy_10(40);
+        assert!(script.has_fault_actions());
+        assert_eq!(script.fault_actions().len(), 3);
+        assert_eq!(script.first_disruption_round(), Some(20));
+        assert_eq!(script.settled_round(), Some(25));
+        assert!(!ScenarioScript::reboot_storm(40).has_fault_actions());
+        // Mixed scripts take the earliest disruption across both vocabularies.
+        let mixed = ScenarioScript::new("m")
+            .at(12, NatDynamicsEvent::MobilityWave { fraction: 0.1 })
+            .fault_at(
+                8,
+                FaultEvent::FaultProfileChange {
+                    profile: FaultProfile::lossy(0.05),
+                },
+            );
+        assert_eq!(mixed.first_disruption_round(), Some(8));
+        assert_eq!(mixed.last_action_round(), Some(12));
+        assert_eq!(mixed.len(), 2);
+    }
+
+    #[test]
+    fn executor_drives_the_fault_plane_from_the_script() {
+        use croupier_simulator::Seed;
+        let t = scripted_topology();
+        let script = ScenarioScript::new("f")
+            .fault_at(
+                2,
+                FaultEvent::FaultProfileChange {
+                    profile: FaultProfile::lossy(0.5),
+                },
+            )
+            .fault_at(
+                3,
+                FaultEvent::LinkDegradation {
+                    fraction: 1.0,
+                    profile: FaultProfile::lossy(1.0),
+                },
+            )
+            .fault_at(5, FaultEvent::FaultClear);
+        let plane = FaultPlane::new(Seed::new(9));
+        let mut exec = ScenarioExecutor::new(&script, t, SmallRng::seed_from_u64(5))
+            .with_fault_plane(plane.clone());
+        assert!(!plane.is_active(), "plane starts inactive");
+        exec.on_round_barrier(2, SimTime::from_secs(2));
+        assert!(plane.is_active(), "profile change activates the plane");
+        assert!(!exec.is_settled());
+        exec.on_round_barrier(3, SimTime::from_secs(3));
+        // Every link now drops everything: a judged delivery must record a drop.
+        {
+            let mut session = plane.begin().expect("plane is active");
+            let decision = session.judge(NodeId::new(4), NodeId::new(0));
+            assert!(decision.drop, "degraded link loses every datagram");
+        }
+        exec.on_round_barrier(5, SimTime::from_secs(5));
+        assert!(!plane.is_active(), "FaultClear deactivates the plane");
+        assert!(
+            plane.report().total_drops() > 0,
+            "counters survive the clear"
+        );
+        assert!(exec.is_settled());
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn fault_scripts_reject_out_of_range_fractions() {
+        let _ = ScenarioScript::new("bad").fault_at(
+            1,
+            FaultEvent::LinkDegradation {
+                fraction: 1.5,
+                profile: FaultProfile::default(),
+            },
         );
     }
 

@@ -7,6 +7,7 @@ use crate::arena::NodeArena;
 use crate::bootstrap::BootstrapRegistry;
 use crate::engine_api::RoundHook;
 use crate::event::Event;
+use crate::faults::{FaultPlane, FaultReport};
 use crate::latency::{KingLatencyModel, LatencyModel};
 use crate::loss::{LossModel, NoLoss};
 use crate::network::{DeliveryFilter, DeliveryVerdict, OpenInternet};
@@ -167,6 +168,9 @@ pub struct Simulation<P: Protocol> {
     /// per-event effect collection allocates nothing in steady state.
     outbox_buf: Vec<Outgoing<P::Message>>,
     timers_buf: Vec<TimerRequest>,
+    /// Fault-injection plane, if installed; judged per outgoing message in event order
+    /// (which is already canonical for this engine).
+    faults: Option<FaultPlane>,
     /// Round-barrier hook, if installed; `None` keeps [`run_until`](Self::run_until) on
     /// the original barrier-free hot loop.
     hook: Option<Box<dyn RoundHook>>,
@@ -194,6 +198,7 @@ impl<P: Protocol> Simulation<P> {
             stats: NetworkStats::default(),
             outbox_buf: Vec::new(),
             timers_buf: Vec::new(),
+            faults: None,
             hook: None,
             barriers_fired: 0,
         }
@@ -212,6 +217,23 @@ impl<P: Protocol> Simulation<P> {
     /// Replaces the delivery filter (NAT/firewall emulation).
     pub fn set_delivery_filter(&mut self, filter: impl DeliveryFilter + 'static) {
         self.filter = Box::new(filter);
+    }
+
+    /// Installs a [`FaultPlane`] on the delivery path. The engine judges every outgoing
+    /// message against the plane (after the loss model) in event order; an inactive plane
+    /// costs one atomic load per effect batch.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.faults = Some(plane);
+    }
+
+    /// The fault plane's injection counters ([`FaultReport::default`] when no plane is
+    /// installed). The protocol-side recovery counters stay zero here; the experiment
+    /// driver fills them from the nodes.
+    pub fn fault_report(&self) -> FaultReport {
+        self.faults
+            .as_ref()
+            .map(FaultPlane::report)
+            .unwrap_or_default()
     }
 
     /// Installs a [`RoundHook`] invoked at every future round barrier (the instants
@@ -507,7 +529,8 @@ impl<P: Protocol> Simulation<P> {
         outgoing: &mut Vec<Outgoing<P::Message>>,
         timers: &mut Vec<TimerRequest>,
     ) {
-        for Outgoing { to, msg } in outgoing.drain(..) {
+        let mut session = self.faults.as_ref().and_then(FaultPlane::begin);
+        for Outgoing { to, mut msg } in outgoing.drain(..) {
             self.traffic.record_sent(from, msg.wire_size());
             self.filter.on_send(from, to, self.now);
             if self.loss.drops(from, to, &mut self.loss_rng) {
@@ -515,9 +538,38 @@ impl<P: Protocol> Simulation<P> {
                 self.traffic.record_dropped(from);
                 continue;
             }
+            let mut extra_delay = SimDuration::ZERO;
+            let mut duplicate = false;
+            if let Some(session) = session.as_mut() {
+                let decision = session.judge(from, to);
+                if decision.drop {
+                    self.stats.lost += 1;
+                    self.traffic.record_dropped(from);
+                    continue;
+                }
+                if decision.corrupt {
+                    msg.fault_mutate(session.rng());
+                }
+                extra_delay = decision.extra_delay;
+                duplicate = decision.duplicate;
+            }
             let latency = self.latency.sample(from, to, &mut self.latency_rng);
-            self.queue
-                .schedule(self.now + latency, Event::Deliver { from, to, msg });
+            if duplicate {
+                // The copy travels at the base latency; the original may additionally be
+                // delayed by a reordering spike.
+                self.queue.schedule(
+                    self.now + latency,
+                    Event::Deliver {
+                        from,
+                        to,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+            self.queue.schedule(
+                self.now + latency + extra_delay,
+                Event::Deliver { from, to, msg },
+            );
         }
         for TimerRequest { delay, key } in timers.drain(..) {
             self.queue
@@ -554,6 +606,14 @@ impl<P: Protocol> crate::engine_api::SimulationEngine<P> for Simulation<P> {
 
     fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
         Simulation::set_round_hook(self, hook);
+    }
+
+    fn set_fault_plane(&mut self, plane: FaultPlane) {
+        Simulation::set_fault_plane(self, plane);
+    }
+
+    fn fault_report(&self) -> FaultReport {
+        Simulation::fault_report(self)
     }
 
     fn config(&self) -> &SimulationConfig {
@@ -727,6 +787,69 @@ mod tests {
         for (_, node) in sim.nodes() {
             assert_eq!(node.rounds, 10);
         }
+    }
+
+    #[test]
+    fn fault_plane_drops_everything_at_full_loss() {
+        use crate::faults::{FaultPlane, FaultProfile};
+        use crate::rng::Seed;
+        let mut sim = two_node_sim();
+        let plane = FaultPlane::new(Seed::new(3));
+        plane.set_default_profile(FaultProfile::lossy(1.0));
+        sim.set_fault_plane(plane);
+        sim.run_for(SimDuration::from_secs(5));
+        for (_, node) in sim.nodes() {
+            assert!(node.received.is_empty(), "a message survived 100% loss");
+        }
+        let report = sim.fault_report();
+        assert!(report.injected_drops > 0);
+        let stats = sim.network_stats();
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(
+            stats.lost, report.injected_drops,
+            "fault drops count as lost"
+        );
+    }
+
+    #[test]
+    fn fault_plane_duplicates_double_delivery() {
+        use crate::faults::{FaultPlane, FaultProfile};
+        use crate::rng::Seed;
+        let mut sim = two_node_sim();
+        let plane = FaultPlane::new(Seed::new(3));
+        plane.set_default_profile(FaultProfile::default().with_duplicate(1.0));
+        sim.set_fault_plane(plane);
+        // Rounds at t = 1..5 s, 10 ms latency; flush the in-flight round-5 copies.
+        sim.run_for(SimDuration::from_secs(5));
+        sim.run_for(SimDuration::from_millis(20));
+        let n1 = sim.node(NodeId::new(1)).unwrap();
+        let n2 = sim.node(NodeId::new(2)).unwrap();
+        assert_eq!(n1.received.len(), 10);
+        assert_eq!(n2.received.len(), 10);
+        assert_eq!(sim.fault_report().duplicates, 10);
+        assert_eq!(sim.network_stats().delivered, 20);
+    }
+
+    #[test]
+    fn fault_plane_clear_restores_clean_delivery() {
+        use crate::faults::{FaultPlane, FaultProfile};
+        use crate::rng::Seed;
+        let mut sim = two_node_sim();
+        let plane = FaultPlane::new(Seed::new(3));
+        plane.set_default_profile(FaultProfile::lossy(1.0));
+        sim.set_fault_plane(plane.clone());
+        sim.run_for(SimDuration::from_secs(5));
+        assert_eq!(sim.network_stats().delivered, 0);
+        let dropped_so_far = sim.fault_report().injected_drops;
+        plane.clear();
+        sim.run_for(SimDuration::from_secs(5));
+        let stats = sim.network_stats();
+        assert!(stats.delivered > 0, "clear() must stop injection");
+        assert_eq!(
+            sim.fault_report().injected_drops,
+            dropped_so_far,
+            "counters persist across clear() but must not grow"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! argument.
 
 use crate::engine::{NetworkStats, SimulationConfig};
+use crate::faults::{FaultPlane, FaultReport};
 use crate::latency::LatencyModel;
 use crate::loss::LossModel;
 use crate::network::DeliveryFilter;
@@ -64,6 +65,15 @@ pub trait SimulationEngine<P: Protocol> {
     /// previously installed hook. Like the delivery filter, the hook runs on the
     /// coordinating thread only.
     fn set_round_hook(&mut self, hook: Box<dyn RoundHook>);
+
+    /// Installs a [`FaultPlane`] on the delivery path. Both engines judge messages
+    /// against the plane on the coordinating thread, in canonical message order, so
+    /// injected faults preserve the engines' determinism guarantees.
+    fn set_fault_plane(&mut self, plane: FaultPlane);
+
+    /// The fault plane's injection counters ([`FaultReport::default`] when no plane is
+    /// installed).
+    fn fault_report(&self) -> FaultReport;
 
     /// The engine configuration.
     fn config(&self) -> &SimulationConfig;

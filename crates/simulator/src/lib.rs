@@ -86,6 +86,7 @@ pub mod engine;
 pub mod engine_api;
 pub mod event;
 pub mod fasthash;
+pub mod faults;
 pub mod inline;
 pub mod latency;
 pub mod loss;
@@ -103,6 +104,10 @@ pub use bootstrap::BootstrapRegistry;
 pub use engine::{NetworkStats, Simulation, SimulationConfig};
 pub use engine_api::{RoundHook, SimulationEngine};
 pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet};
+pub use faults::{
+    BurstLoss, FaultDecision, FaultPlane, FaultProfile, FaultReport, FaultSession, RetryPolicy,
+    FAULT_RNG_STREAM,
+};
 pub use inline::InlineVec;
 pub use latency::{ConstantLatency, KingLatencyModel, LatencyModel, UniformLatency};
 pub use loss::{BernoulliLoss, LossModel, NoLoss};

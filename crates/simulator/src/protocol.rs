@@ -35,6 +35,20 @@ impl TimerKey {
 pub trait WireSize {
     /// Serialized size of the message in bytes, including headers.
     fn wire_size(&self) -> usize;
+
+    /// Corrupts the message in place, as a truncated or bit-flipped datagram would
+    /// deserialize (drop list entries, scramble identifiers and enum fields, …), drawing
+    /// any randomness from `rng`.
+    ///
+    /// Called by the engines when the [`FaultPlane`](crate::FaultPlane) decides to
+    /// corrupt a payload. The default is a no-op (corruption injection silently does
+    /// nothing for message types that opt out); protocol crates override it so the fuzz
+    /// and fault scenarios exercise their decode-hardening paths. Implementations must
+    /// keep the message *structurally* valid — corruption models damage the engines'
+    /// typed channel can express, not arbitrary memory.
+    fn fault_mutate(&mut self, rng: &mut SmallRng) {
+        let _ = rng;
+    }
 }
 
 /// A message queued for sending by a protocol callback.
@@ -176,6 +190,19 @@ pub trait PssNode: Protocol {
 
     /// Number of gossip rounds this node has executed since it joined.
     fn rounds_executed(&self) -> u64;
+
+    /// Number of exchange retries this node has fired after a timeout. Protocols without
+    /// timeout/retry hardening report zero.
+    fn retries_fired(&self) -> u64 {
+        0
+    }
+
+    /// Number of exchanges this node has abandoned: retry budget exhausted, or an
+    /// unanswered exchange displaced by a newer one. Protocols without exchange
+    /// bookkeeping report zero.
+    fn exchanges_abandoned(&self) -> u64 {
+        0
+    }
 }
 
 /// Helper: draw a random subset of `count` distinct elements from `items`.

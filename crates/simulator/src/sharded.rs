@@ -57,6 +57,7 @@ use crate::bootstrap::BootstrapRegistry;
 use crate::engine::{NetworkStats, SimulationConfig};
 use crate::engine_api::{RoundHook, SimulationEngine};
 use crate::event::Event;
+use crate::faults::{FaultPlane, FaultReport};
 use crate::latency::{KingLatencyModel, LatencyModel};
 use crate::loss::{LossModel, NoLoss};
 use crate::network::{DeliveryFilter, DeliveryVerdict, OpenInternet};
@@ -351,6 +352,9 @@ pub struct ShardedSimulation<P: Protocol> {
     /// Round-barrier hook, if installed; runs on the coordinating thread right after each
     /// phase's canonical merge, so its effects are worker-count independent.
     hook: Option<Box<dyn RoundHook>>,
+    /// Fault-injection plane, if installed; judged during the barrier's sequential
+    /// canonical-order pass, so injected faults are worker-count independent too.
+    faults: Option<FaultPlane>,
 }
 
 impl<P: Protocol + Send> ShardedSimulation<P>
@@ -378,6 +382,7 @@ where
             cached_node_ids: RefCell::new(Vec::new()),
             node_ids_valid: Cell::new(false),
             hook: None,
+            faults: None,
         }
     }
 
@@ -404,6 +409,22 @@ where
     /// already ran never replay their barriers.
     pub fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
         self.hook = Some(hook);
+    }
+
+    /// Installs a [`FaultPlane`] judged per message during the barrier's sequential
+    /// canonical-order pass, which keeps fault injection bit-identical across worker
+    /// counts.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.faults = Some(plane);
+    }
+
+    /// The fault plane's injection counters ([`FaultReport::default`] when no plane is
+    /// installed).
+    pub fn fault_report(&self) -> FaultReport {
+        self.faults
+            .as_ref()
+            .map(FaultPlane::report)
+            .unwrap_or_default()
     }
 
     /// The engine configuration.
@@ -755,7 +776,11 @@ where
     fn merge_batch(&mut self, batch: &mut Vec<PendingMessage<P::Message>>, earliest: SimTime) {
         let stride = self.shards.len() as u64;
         let mut staged = std::mem::take(&mut self.delivery_bufs);
-        for message in batch.drain(..) {
+        // One fault session per barrier: the plane is judged message by message in the
+        // same canonical order as the filter, so its RNG draws — and therefore every
+        // injected fault — are identical for any worker-thread count.
+        let mut session = self.faults.as_ref().and_then(FaultPlane::begin);
+        for mut message in batch.drain(..) {
             self.barrier_traffic.record_sent(message.from, message.wire);
             self.filter
                 .on_send(message.from, message.to, message.sent_at);
@@ -764,12 +789,42 @@ where
                 self.barrier_traffic.record_dropped(message.from);
                 continue;
             }
+            let mut extra_delay = SimDuration::ZERO;
+            let mut duplicate = false;
+            if let Some(session) = session.as_mut() {
+                let decision = session.judge(message.from, message.to);
+                if decision.drop {
+                    self.barrier_stats.lost += 1;
+                    self.barrier_traffic.record_dropped(message.from);
+                    continue;
+                }
+                if decision.corrupt {
+                    message.msg.fault_mutate(session.rng());
+                }
+                extra_delay = decision.extra_delay;
+                duplicate = decision.duplicate;
+            }
             let exec_at = message.deliver_at.max(earliest);
+            // NAT verdicts are per-message, judged once at the undelayed delivery
+            // instant; a reorder spike shifts when the datagram arrives, not whether
+            // the mapping that admits it exists.
             match self.filter.can_deliver(message.from, message.to, exec_at) {
                 DeliveryVerdict::Deliver => {
                     let dst = (message.to.as_u64() % stride) as usize;
+                    if duplicate {
+                        // The duplicate travels at the base latency; only the original
+                        // can additionally be held back by a reordering spike.
+                        staged[dst].push((
+                            exec_at,
+                            Event::Deliver {
+                                from: message.from,
+                                to: message.to,
+                                msg: message.msg.clone(),
+                            },
+                        ));
+                    }
                     staged[dst].push((
-                        exec_at,
+                        exec_at + extra_delay,
                         Event::Deliver {
                             from: message.from,
                             to: message.to,
@@ -852,6 +907,14 @@ where
 
     fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
         ShardedSimulation::set_round_hook(self, hook);
+    }
+
+    fn set_fault_plane(&mut self, plane: FaultPlane) {
+        ShardedSimulation::set_fault_plane(self, plane);
+    }
+
+    fn fault_report(&self) -> FaultReport {
+        ShardedSimulation::fault_report(self)
     }
 
     fn config(&self) -> &SimulationConfig {
@@ -1070,6 +1133,47 @@ mod tests {
         assert_eq!(one, two, "1 vs 2 workers diverged");
         assert_eq!(one, four, "1 vs 4 workers diverged");
         assert!(one.1.delivered > 0);
+    }
+
+    #[test]
+    fn fault_injection_is_bit_identical_across_worker_counts() {
+        use crate::faults::FaultProfile;
+        use crate::rng::Seed;
+        use crate::time::SimDuration;
+        let run = |threads: usize| {
+            let mut sim = ring_sim(13, threads);
+            let plane = FaultPlane::new(Seed::new(11));
+            plane.set_default_profile(
+                FaultProfile::default()
+                    .with_drop(0.1)
+                    .with_duplicate(0.1)
+                    .with_reorder(0.2, SimDuration::from_millis(500))
+                    .with_burst(crate::faults::BurstLoss {
+                        enter_probability: 0.05,
+                        exit_probability: 0.3,
+                        good_loss: 0.0,
+                        bad_loss: 0.6,
+                    }),
+            );
+            sim.set_fault_plane(plane);
+            sim.run_for_rounds(25);
+            (fingerprint(&sim), sim.fault_report())
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        let eight = run(8);
+        assert_eq!(one, two, "1 vs 2 workers diverged under faults");
+        assert_eq!(one, four, "1 vs 4 workers diverged under faults");
+        assert_eq!(one, eight, "1 vs 8 workers diverged under faults");
+        let report = one.1;
+        assert!(report.injected_drops > 0, "drop class never fired");
+        assert!(report.burst_drops > 0, "burst class never fired");
+        assert!(report.duplicates > 0, "duplicate class never fired");
+        assert!(report.reorders > 0, "reorder class never fired");
+        // Fault drops land in the loss counter; totals stay conserved.
+        let stats = one.0 .1;
+        assert!(stats.lost >= report.total_drops());
     }
 
     #[test]

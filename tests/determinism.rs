@@ -204,6 +204,72 @@ fn scripted_nat_dynamics_runs_are_bit_identical_across_thread_counts() {
     );
 }
 
+/// The fault plane's acceptance gate: a run whose script injects probabilistic drops,
+/// Gilbert–Elliott bursts, duplication, reordering spikes and payload corruption — and
+/// whose protocols fire timeout retries in response — is bit-identical across sharded
+/// worker counts AND across metrics-worker counts. Fault decisions are drawn during the
+/// barrier's sequential canonical-order merge from a dedicated RNG stream, so thread
+/// scheduling never reaches them (DESIGN.md §15).
+#[test]
+fn fault_injected_runs_are_bit_identical_across_thread_counts() {
+    use croupier_suite::experiments::scenario::ScenarioScript;
+    let configs = ProtocolConfigs::default();
+    let rounds = 40;
+    let script = ScenarioScript::lossy_10(rounds);
+    let run = |threads: usize, metrics_workers: usize| {
+        let params = ExperimentParams::default()
+            .with_seed(0xFA17)
+            .with_population(10, 30)
+            .with_rounds(rounds)
+            .with_sample_every(5)
+            .with_graph_metrics(8)
+            .with_engine_threads(threads)
+            .with_metrics_workers(metrics_workers)
+            .with_scenario(script.clone());
+        run_kind(ProtocolKind::Croupier, &params, &configs)
+    };
+    let one = run(1, 0);
+    assert!(
+        one.fault_report.injected_drops > 0,
+        "the lossy window must inject, got {:?}",
+        one.fault_report
+    );
+    assert!(
+        one.fault_report.retries_fired > 0,
+        "injected loss must trigger timeout retries"
+    );
+    for threads in [2usize, 4, 8] {
+        let other = run(threads, 0);
+        assert_eq!(
+            one.samples, other.samples,
+            "1 vs {threads} threads: fault-injected samples diverged"
+        );
+        assert_eq!(
+            one.final_snapshot, other.final_snapshot,
+            "1 vs {threads} threads: fault-injected snapshots diverged"
+        );
+        assert_eq!(
+            one.traffic, other.traffic,
+            "1 vs {threads} threads: fault-injected traffic ledgers diverged"
+        );
+        assert_eq!(
+            one.fault_report, other.fault_report,
+            "1 vs {threads} threads: fault reports diverged"
+        );
+    }
+    // Offloading the metrics analysis must not perturb the fault plane either: the
+    // decisions are all drawn on the driver thread before any sample is captured.
+    let overlapped = run(4, 2);
+    assert_eq!(
+        one.samples, overlapped.samples,
+        "0 vs 2 metrics workers: fault-injected samples diverged"
+    );
+    assert_eq!(
+        one.fault_report, overlapped.fault_report,
+        "0 vs 2 metrics workers: fault reports diverged"
+    );
+}
+
 #[test]
 fn different_seeds_produce_different_runs() {
     let configs = ProtocolConfigs::default();

@@ -690,3 +690,62 @@ fn incremental_indegree_matches_full_recount_across_scenario_scripts() {
         );
     }
 }
+
+/// Sweeping independent datagram loss from 0 % to 30 % degrades croupier's overlay
+/// monotonically (within a small tolerance for sampling noise): injected drops strictly
+/// increase with the loss rate, and the final largest-component fraction never
+/// *improves* as the network gets worse. With the timeout/retry hardening the overlay
+/// must also stay usable at the top of the sweep.
+#[test]
+fn croupier_convergence_degrades_monotonically_with_loss() {
+    use croupier_suite::croupier::{CroupierConfig, CroupierNode};
+    use croupier_suite::experiments::runner::{run_pss, ExperimentParams};
+    use croupier_suite::experiments::scenario::{FaultEvent, ScenarioScript};
+    use croupier_suite::simulator::FaultProfile;
+
+    let sweep = [0.0f64, 0.1, 0.2, 0.3];
+    let mut drops = Vec::new();
+    let mut components = Vec::new();
+    for &loss in &sweep {
+        // Loss from round 1, never cleared: the final sample observes the overlay while
+        // the network is still degraded, not after a recovery window.
+        let script = ScenarioScript::new("loss_sweep").fault_at(
+            1,
+            FaultEvent::FaultProfileChange {
+                profile: FaultProfile::lossy(loss),
+            },
+        );
+        let params = ExperimentParams::default()
+            .with_seed(0x10_55)
+            .with_population(10, 30)
+            .with_rounds(40)
+            .with_sample_every(5)
+            .with_graph_metrics(8)
+            .with_scenario(script);
+        let out = run_pss(&params, |id, class, _| {
+            CroupierNode::new(id, class, CroupierConfig::default())
+        });
+        drops.push(out.fault_report.injected_drops);
+        components.push(out.last_sample().unwrap().largest_component.unwrap());
+    }
+    for (i, pair) in drops.windows(2).enumerate() {
+        assert!(
+            pair[0] < pair[1],
+            "injected drops must increase with the loss rate: {:?} at steps {i},{}",
+            drops,
+            i + 1
+        );
+    }
+    assert_eq!(drops[0], 0, "a 0% profile must inject nothing");
+    for (i, pair) in components.windows(2).enumerate() {
+        assert!(
+            pair[1] <= pair[0] + 0.05,
+            "connectivity must not improve as loss rises: {components:?} at steps {i},{}",
+            i + 1
+        );
+    }
+    assert!(
+        components[sweep.len() - 1] >= 0.9,
+        "retry hardening should keep the overlay usable at 30% loss, got {components:?}"
+    );
+}

@@ -47,12 +47,14 @@
 //!   before pushing: `fmt`, `clippy` (deny warnings), `doc` (deny warnings),
 //!   `public-api` (snapshot diff), `test` (release build + workspace tests), `bench`
 //!   (guarded benches run `BENCH_RUNS` times, merged best-of-N through
-//!   `bench-compare`), a `scenario-matrix` smoke run at tiny scale, and `huge-smoke`
-//!   (the ignored million-node `scale_smoke` test, the same command the CI job runs).
+//!   `bench-compare`), a `scenario-matrix` smoke run of the clean-network scenarios at
+//!   tiny scale, a `fault-matrix` smoke run of the fault-injection tier (`lossy_10`,
+//!   `burst_loss`, `dup_reorder`) at tiny scale, and `huge-smoke` (the ignored
+//!   million-node `scale_smoke` test, the same command the CI job runs).
 //!   All steps run even when an earlier one fails; the summary lists every verdict.
 //!
 //!   ```text
-//!   cargo run -p xtask -- ci-local [--skip bench,scenario-matrix,huge-smoke]
+//!   cargo run -p xtask -- ci-local [--skip bench,scenario-matrix,fault-matrix,huge-smoke]
 //!   ```
 
 use std::fmt::Write as _;
@@ -396,7 +398,8 @@ const USAGE: &str = "usage: xtask bench-compare --baseline <dir> --current <dir>
                      xtask scenario-matrix [scenario_matrix args...]\n\
                      xtask public-api [--update]\n\
                      xtask ci-local [--skip \
-                     fmt,clippy,doc,public-api,test,bench,scenario-matrix,huge-smoke]";
+                     fmt,clippy,doc,public-api,test,bench,scenario-matrix,fault-matrix,\
+                     huge-smoke]";
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut baseline = None;
@@ -772,7 +775,7 @@ fn run_command(program: &str, args: &[&str], envs: &[(&str, &str)]) -> bool {
 
 /// The CI jobs `ci-local` mirrors, in run order. `huge-smoke` is the million-node tier
 /// (the long pole by far — skip it with `--skip huge-smoke` when iterating).
-const CI_STEPS: [&str; 8] = [
+const CI_STEPS: [&str; 9] = [
     "fmt",
     "clippy",
     "doc",
@@ -780,8 +783,18 @@ const CI_STEPS: [&str; 8] = [
     "test",
     "bench",
     "scenario-matrix",
+    "fault-matrix",
     "huge-smoke",
 ];
+
+/// The clean-network scenarios the `scenario-matrix` step runs; the fault tier runs
+/// separately under `fault-matrix` so the two gates fail independently (mirroring the
+/// split CI jobs).
+const CLEAN_SCENARIOS: &str = "reboot_storm,mobility_wave,nat_flux,flash_crowd,\
+                               regional_outage,croupier_stress,symmetric_shift,cgn_migration";
+
+/// The fault-tier scenarios the `fault-matrix` step runs.
+const FAULT_SCENARIOS: &str = "lossy_10,burst_loss,dup_reorder";
 
 /// Parses `ci-local`'s arguments: the set of steps to skip.
 fn parse_ci_local_args(mut argv: impl Iterator<Item = String>) -> Result<Vec<String>, String> {
@@ -886,7 +899,26 @@ fn ci_local_step(step: &str) -> bool {
         }
         "public-api" => public_api_gate(false) == ExitCode::SUCCESS,
         "scenario-matrix" => run_scenario_matrix(
-            &["--scale", "tiny", "--out", "target/scenario-json"].map(String::from),
+            &[
+                "--scale",
+                "tiny",
+                "--scenarios",
+                CLEAN_SCENARIOS,
+                "--out",
+                "target/scenario-json",
+            ]
+            .map(String::from),
+        ),
+        "fault-matrix" => run_scenario_matrix(
+            &[
+                "--scale",
+                "tiny",
+                "--scenarios",
+                FAULT_SCENARIOS,
+                "--out",
+                "target/scenario-json",
+            ]
+            .map(String::from),
         ),
         "huge-smoke" => run_command(
             &cargo,
