@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use criterion::{black_box, criterion_group, criterion_main, record_informational, Criterion};
 use croupier::{CroupierConfig, CroupierNode};
+use croupier_experiments::workload::{WorkloadExecutor, WorkloadSpec};
 use croupier_nat::NatTopologyBuilder;
 use croupier_simulator::event::Event;
 use croupier_simulator::scheduler::reference::ReferenceEventQueue;
@@ -198,6 +199,55 @@ macro_rules! queue_churn {
     }};
 }
 
+/// One gossip round of a 10k-node deployment with a continuously publishing
+/// dissemination stream riding the round barriers: measures the workload engine's
+/// per-round cost (publish, sampled push fan-out, anti-entropy pull, chunk sealing) on
+/// top of the gossip itself. Compare against `engine/10k_nodes/threads_1` to see the
+/// workload plane's overhead.
+fn bench_workload_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    let topology = NatTopologyBuilder::new(0xE17).build();
+    let mut sim: ShardedSimulation<CroupierNode> = ShardedSimulation::new(
+        SimulationConfig::default()
+            .with_seed(0xE17)
+            .with_engine_threads(1),
+    );
+    sim.set_delivery_filter(topology.clone());
+    let plane = FaultPlane::new(Seed::new(0xE17));
+    sim.set_fault_plane(plane.clone());
+    let config = CroupierConfig::default();
+    for i in 0..10_000u64 {
+        let id = NodeId::new(i);
+        let class = if i % PUBLIC_EVERY == 0 {
+            NatClass::Public
+        } else {
+            NatClass::Private
+        };
+        topology.add_node(id, class);
+        if class.is_public() {
+            sim.register_public(id);
+        }
+        sim.add_node(id, CroupierNode::new(id, class, config.clone()));
+    }
+    // Publish from round 1 indefinitely, so every timed round carries a full seal
+    // window's worth of active chunks (rate × K in steady state).
+    let spec = WorkloadSpec::default()
+        .with_window(1, u64::MAX / 2)
+        .with_rate(4.0)
+        .with_fanout(4)
+        .with_coverage_rounds(10);
+    let (executor, _state) = WorkloadExecutor::new(spec, topology.clone(), plane);
+    sim.set_sampled_round_hook(Box::new(executor));
+    // Warm past the first seal so the timed rounds see the steady-state chunk set.
+    sim.run_for_rounds(13);
+    group.bench_function("steady_state/10k_nodes/threads_1", |b| {
+        b.iter(|| sim.run_for_rounds(1))
+    });
+    group.finish();
+}
+
 fn bench_queue_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("queue");
     group.sample_size(20);
@@ -222,6 +272,7 @@ fn bench_queue_depth(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_round_throughput,
+    bench_workload_steady_state,
     bench_queue_depth,
     report_bytes_per_node
 );

@@ -21,6 +21,7 @@ use crate::output::{json_number, json_string, Scale};
 use crate::protocols::{run_kind, ProtocolConfigs, ProtocolKind};
 use crate::runner::{ExperimentParams, RoundSample};
 use crate::scenario::ScenarioScript;
+use crate::workload::{WorkloadReport, WorkloadSlo, WorkloadSpec};
 
 /// A run counts as recovered when the largest connected component again holds at least
 /// this fraction of the sampled nodes.
@@ -486,6 +487,319 @@ pub fn matrix_rounds(scale: Scale) -> u64 {
     scale.rounds(MATRIX_PAPER_ROUNDS)
 }
 
+// ---------------------------------------------------------------------------
+// The workload tier: streaming dissemination under NAT dynamics and faults.
+// ---------------------------------------------------------------------------
+
+/// The scenarios of the workload tier: a dissemination stream rides each of these
+/// scripts for every protocol, and croupier's delivery is gated against the declared
+/// SLOs (the `workload-matrix` CI job).
+pub const WORKLOAD_TIER_NAMES: [&str; 3] = ["reboot_storm", "mobility_wave", "lossy_10"];
+
+/// The dissemination workload a matrix run drives at `scale`: one chunk per round,
+/// published from an eighth of the run before the scripted disruption so chunks are in
+/// flight when it hits, with a seal window of two fifths of the run.
+///
+/// The SLO encodes the CI gate: ≥ 99 % chunk coverage within the seal window and a
+/// bounded p95 latency regression against the no-dynamics control. The tiny tier runs
+/// the same machinery at 25 nodes — too few for a 99 % floor to be meaningful (a single
+/// unreachable subscriber costs 4 % of a chunk), so it gets a looser floor; CI gates at
+/// `quick` and above.
+pub fn matrix_workload_spec(scale: Scale) -> WorkloadSpec {
+    let rounds = matrix_rounds(scale);
+    let mid = (rounds / 2).max(1);
+    let eighth = (rounds / 8).max(1);
+    let seal_window = (rounds * 2 / 5).max(6);
+    let slo = WorkloadSlo {
+        min_coverage: if matches!(scale, Scale::Tiny) {
+            0.85
+        } else {
+            0.99
+        },
+        max_p95_latency_rounds: seal_window as f64 * 0.75,
+        max_p95_regression_rounds: 5.0,
+    };
+    WorkloadSpec::default()
+        .with_window(mid.saturating_sub(eighth).max(1), (rounds / 5).max(4))
+        .with_rate(1.0)
+        .with_fanout(6)
+        .with_coverage_rounds(seal_window)
+        .with_slo(slo)
+}
+
+/// One workload-tier cell: the same scenario × protocol run as the connectivity matrix,
+/// plus the dissemination stream's delivery report and its no-dynamics control.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadCellReport {
+    /// Protocol name (figure-legend spelling).
+    pub protocol: String,
+    /// Delivery report of the run under the scenario's dynamics.
+    pub report: WorkloadReport,
+    /// Delivery report of the no-dynamics control: same population, seed, workload and
+    /// rounds, no scenario script — what the stream achieves on a calm network.
+    pub control: WorkloadReport,
+}
+
+impl WorkloadCellReport {
+    /// How many rounds of p95 delivery latency the scenario's dynamics cost this
+    /// protocol, against its own no-dynamics control. Negative when the disrupted run
+    /// happened to deliver faster.
+    pub fn p95_regression(&self) -> f64 {
+        self.report.latency_p95 - self.control.latency_p95
+    }
+
+    /// The full SLO check for this cell: coverage and absolute p95 latency
+    /// ([`WorkloadReport::meets_slo`]) plus the bounded p95 regression vs the control.
+    pub fn meets_slo(&self, slo: &WorkloadSlo) -> bool {
+        self.report.meets_slo(slo) && self.p95_regression() <= slo.max_p95_regression_rounds
+    }
+}
+
+/// All protocol cells of one workload-tier scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadScenarioReport {
+    /// Scenario name (also the report's file-name stem).
+    pub scenario: String,
+    /// Master seed of every cell in this report.
+    pub seed: u64,
+    /// Rounds each cell simulated.
+    pub rounds: u64,
+    /// Initial population of each cell.
+    pub initial_nodes: usize,
+    /// The workload every cell ran (including the SLOs cells are judged against).
+    pub spec: WorkloadSpec,
+    /// The per-protocol cells, in [`ProtocolKind::ALL`] order.
+    pub cells: Vec<WorkloadCellReport>,
+}
+
+impl WorkloadScenarioReport {
+    /// The workload-tier CI gate: croupier's cell must meet every declared SLO —
+    /// coverage, absolute p95 latency, and bounded p95 regression vs its control.
+    /// Baseline cells are reported but not gated (their delivery profiles differ by
+    /// design: cyclon runs all-public, nylon relays aggressively). Vacuously `true`
+    /// when croupier is not in the protocol selection.
+    pub fn croupier_slo_ok(&self) -> bool {
+        self.cells
+            .iter()
+            .filter(|c| c.protocol == "croupier")
+            .all(|c| c.meets_slo(&self.spec.slo))
+    }
+
+    /// The full CI gate for this scenario (currently just
+    /// [`croupier_slo_ok`](Self::croupier_slo_ok)).
+    pub fn gates_pass(&self) -> bool {
+        self.croupier_slo_ok()
+    }
+
+    /// Serialises the report as pretty-printed JSON (hand-emitted, like
+    /// [`ScenarioReport::to_json`], because the offline build has no `serde_json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"scenario\": {},", json_string(&self.scenario));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"rounds\": {},", self.rounds);
+        let _ = writeln!(out, "  \"initial_nodes\": {},", self.initial_nodes);
+        let _ = writeln!(out, "  \"workload\": {{");
+        let _ = writeln!(out, "    \"publishers\": {},", self.spec.publishers);
+        let _ = writeln!(
+            out,
+            "    \"chunks_per_round\": {},",
+            json_number(self.spec.chunks_per_round)
+        );
+        let _ = writeln!(out, "    \"start_round\": {},", self.spec.start_round);
+        let _ = writeln!(out, "    \"publish_rounds\": {},", self.spec.publish_rounds);
+        let _ = writeln!(out, "    \"fanout\": {},", self.spec.fanout);
+        let _ = writeln!(
+            out,
+            "    \"coverage_rounds\": {},",
+            self.spec.coverage_rounds
+        );
+        let _ = writeln!(out, "    \"chunk_bytes\": {},", self.spec.chunk_bytes);
+        let _ = writeln!(
+            out,
+            "    \"slo\": {{\"min_coverage\": {}, \"max_p95_latency_rounds\": {}, \"max_p95_regression_rounds\": {}}}",
+            json_number(self.spec.slo.min_coverage),
+            json_number(self.spec.slo.max_p95_latency_rounds),
+            json_number(self.spec.slo.max_p95_regression_rounds)
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"croupier_slo_ok\": {},", self.croupier_slo_ok());
+        if self.cells.is_empty() {
+            out.push_str("  \"cells\": []\n");
+        } else {
+            out.push_str("  \"cells\": [\n");
+            for (i, cell) in self.cells.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"protocol\": {},", json_string(&cell.protocol));
+                let _ = writeln!(
+                    out,
+                    "      \"slo_pass\": {},",
+                    cell.meets_slo(&self.spec.slo)
+                );
+                for (label, report) in [("report", &cell.report), ("control", &cell.control)] {
+                    let _ = writeln!(out, "      \"{label}\": {{");
+                    let _ = writeln!(
+                        out,
+                        "        \"chunks_published\": {},",
+                        report.chunks_published
+                    );
+                    let _ = writeln!(out, "        \"chunks_sealed\": {},", report.chunks_sealed);
+                    let _ = writeln!(
+                        out,
+                        "        \"coverage\": {},",
+                        json_number(report.coverage)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "        \"min_chunk_coverage\": {},",
+                        json_number(report.min_chunk_coverage)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "        \"latency_p50\": {},",
+                        json_number(report.latency_p50)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "        \"latency_p95\": {},",
+                        json_number(report.latency_p95)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "        \"latency_p99\": {},",
+                        json_number(report.latency_p99)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "        \"duplicate_factor\": {},",
+                        json_number(report.duplicate_factor)
+                    );
+                    let _ = writeln!(
+                        out,
+                        "        \"unique_deliveries\": {},",
+                        report.unique_deliveries
+                    );
+                    let _ = writeln!(
+                        out,
+                        "        \"total_deliveries\": {},",
+                        report.total_deliveries
+                    );
+                    let _ = writeln!(out, "        \"nat_blocked\": {},", report.nat_blocked);
+                    let _ = writeln!(out, "        \"fault_dropped\": {},", report.fault_dropped);
+                    let _ = writeln!(
+                        out,
+                        "        \"public_serve_share\": {}",
+                        json_number(report.public_serve_share)
+                    );
+                    let _ = writeln!(out, "      }},");
+                }
+                let _ = writeln!(
+                    out,
+                    "      \"p95_regression\": {}",
+                    json_number(cell.p95_regression())
+                );
+                let comma = if i + 1 < self.cells.len() { "," } else { "" };
+                let _ = writeln!(out, "    }}{comma}");
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders a one-line-per-cell summary table for the terminal.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== workload {} (coverage SLO {:.2} within {} rounds) ==",
+            self.scenario, self.spec.slo.min_coverage, self.spec.coverage_rounds
+        );
+        for cell in &self.cells {
+            let _ = writeln!(
+                out,
+                "  {:<10} {} coverage={:.4} (min {:.4}) p50={} p95={} (control {}, regression {:+.1}) \
+                 p99={} dup={:.2} pub_share={:.2} nat_blocked={} fault_dropped={}",
+                cell.protocol,
+                if cell.meets_slo(&self.spec.slo) {
+                    "ok      "
+                } else {
+                    "SLO MISS"
+                },
+                cell.report.coverage,
+                cell.report.min_chunk_coverage,
+                cell.report.latency_p50,
+                cell.report.latency_p95,
+                cell.control.latency_p95,
+                cell.p95_regression(),
+                cell.report.latency_p99,
+                cell.report.duplicate_factor,
+                cell.report.public_serve_share,
+                cell.report.nat_blocked,
+                cell.report.fault_dropped,
+            );
+        }
+        out
+    }
+}
+
+/// Runs one workload-tier cell: the scenario run with the stream riding it, plus the
+/// no-dynamics control (same seed and workload, no script) the regression SLO compares
+/// against.
+pub fn run_workload_cell(
+    script: &ScenarioScript,
+    kind: ProtocolKind,
+    scale: Scale,
+    seed: u64,
+    rounds: u64,
+    spec: WorkloadSpec,
+) -> WorkloadCellReport {
+    // Same all-public rule for NAT-oblivious cells as the connectivity matrix.
+    let cell_script = if kind.is_nat_aware() {
+        script.clone()
+    } else {
+        script.with_public_flash_crowds()
+    };
+    let params = cell_params(kind, scale, seed, rounds)
+        .with_scenario(cell_script)
+        .with_workload(spec);
+    let out = run_kind(kind, &params, &ProtocolConfigs::default());
+    let control_params = cell_params(kind, scale, seed, rounds).with_workload(spec);
+    let control_out = run_kind(kind, &control_params, &ProtocolConfigs::default());
+    WorkloadCellReport {
+        protocol: kind.name().to_string(),
+        report: out.workload.expect("workload was configured"),
+        control: control_out.workload.expect("workload was configured"),
+    }
+}
+
+/// Runs the workload tier: every script in `scenarios` × every protocol in `protocols`,
+/// each cell carrying the scale's canned dissemination stream
+/// ([`matrix_workload_spec`]).
+pub fn run_workload_matrix(
+    scenarios: &[ScenarioScript],
+    protocols: &[ProtocolKind],
+    scale: Scale,
+    seed: u64,
+) -> Vec<WorkloadScenarioReport> {
+    let rounds = matrix_rounds(scale);
+    let spec = matrix_workload_spec(scale);
+    scenarios
+        .iter()
+        .map(|script| WorkloadScenarioReport {
+            scenario: script.name().to_string(),
+            seed,
+            rounds,
+            initial_nodes: scale.nodes(MATRIX_PAPER_NODES),
+            spec,
+            cells: protocols
+                .iter()
+                .map(|&kind| run_workload_cell(script, kind, scale, seed, rounds, spec))
+                .collect(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -698,5 +1012,85 @@ mod tests {
             "a fault run that ends more balanced passes trivially"
         );
         assert!(improved.cells[0].gini_degradation() < 0.0);
+    }
+
+    #[test]
+    fn workload_report_json_is_well_formed_and_carries_the_gate() {
+        let delivery = |p95: f64| WorkloadReport {
+            chunks_published: 6,
+            chunks_sealed: 6,
+            expected_deliveries: 120,
+            unique_deliveries: 119,
+            total_deliveries: 180,
+            coverage: 119.0 / 120.0,
+            min_chunk_coverage: 0.95,
+            latency_p50: 2.0,
+            latency_p95: p95,
+            latency_p99: p95 + 1.0,
+            duplicate_factor: 180.0 / 119.0,
+            pushes_attempted: 200,
+            pulls_served: 40,
+            nat_blocked: 17,
+            fault_dropped: 3,
+            public_serve_share: 0.88,
+        };
+        let report = WorkloadScenarioReport {
+            scenario: String::from("reboot_storm"),
+            seed: 42,
+            rounds: 24,
+            initial_nodes: 25,
+            spec: matrix_workload_spec(Scale::Tiny),
+            cells: vec![WorkloadCellReport {
+                protocol: String::from("croupier"),
+                report: delivery(5.0),
+                control: delivery(4.0),
+            }],
+        };
+        assert!(report.croupier_slo_ok(), "the literal cell meets its SLOs");
+        assert!(report.gates_pass());
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\": \"reboot_storm\""));
+        assert!(json.contains("\"croupier_slo_ok\": true"));
+        assert!(json.contains("\"slo_pass\": true"));
+        assert!(json.contains("\"public_serve_share\": 0.88"));
+        assert!(json.contains("\"p95_regression\": 1"));
+        assert!(json.contains("\"min_coverage\": 0.85"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close} in {json}"
+            );
+        }
+        let table = report.render_table();
+        assert!(table.contains("croupier"));
+        assert!(table.contains("pub_share=0.88"));
+        assert!(table.contains("ok"));
+    }
+
+    #[test]
+    fn a_workload_cell_runs_end_to_end_at_tiny_scale() {
+        let rounds = matrix_rounds(Scale::Tiny);
+        let script = ScenarioScript::reboot_storm(rounds);
+        let spec = matrix_workload_spec(Scale::Tiny);
+        let cell = run_workload_cell(
+            &script,
+            ProtocolKind::Croupier,
+            Scale::Tiny,
+            7,
+            rounds,
+            spec,
+        );
+        assert_eq!(cell.protocol, "croupier");
+        assert!(cell.report.chunks_published > 0, "the stream must publish");
+        assert!(cell.report.unique_deliveries > 0, "chunks must land");
+        assert!(
+            cell.control.coverage > 0.0,
+            "the no-dynamics control must deliver"
+        );
+        assert!(
+            cell.meets_slo(&spec.slo),
+            "tiny croupier cell misses its SLO: {cell:?}"
+        );
     }
 }

@@ -28,6 +28,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::scenario::{ChurnSpec, JoinEvent, JoinSchedule, ScenarioExecutor, ScenarioScript};
+use crate::workload::{WorkloadExecutor, WorkloadReport, WorkloadSpec, WorkloadState};
 
 /// Late growth of one class of nodes, used by the dynamic-ratio experiment (Fig. 2).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -106,6 +107,11 @@ pub struct ExperimentParams {
     /// Measurement window `(start_round, end_round)` for protocol overhead, if overhead is
     /// to be reported.
     pub overhead_window: Option<(u64, u64)>,
+    /// Dissemination workload riding the run, if any: a [`WorkloadExecutor`] is composed
+    /// after the scenario executor at the engines' round barriers, pushing and pulling
+    /// chunks over the protocol's own peer samples, and the resulting
+    /// [`WorkloadReport`] lands in [`RunOutput::workload`].
+    pub workload: Option<WorkloadSpec>,
     /// Execution engine selector: `0` runs the event-driven engine (exact event
     /// interleaving, single-threaded); `n >= 1` runs the sharded phase-parallel engine
     /// with `n` worker threads.
@@ -131,6 +137,7 @@ impl Default for ExperimentParams {
             growth: None,
             scenario: None,
             overhead_window: None,
+            workload: None,
             engine_threads: 0,
         }
     }
@@ -207,6 +214,12 @@ impl ExperimentParams {
     /// Installs a scripted NAT-dynamics scenario.
     pub fn with_scenario(mut self, scenario: ScenarioScript) -> Self {
         self.scenario = Some(scenario);
+        self
+    }
+
+    /// Installs a dissemination workload on the run.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = Some(workload);
         self
     }
 
@@ -325,6 +338,9 @@ pub struct RunOutput {
     /// (`retries_fired`, `exchanges_abandoned`, summed over surviving nodes). All zeros
     /// for runs whose script never activates the plane.
     pub fault_report: croupier_simulator::FaultReport,
+    /// Delivery report of the dissemination workload, when
+    /// [`ExperimentParams::workload`] was set.
+    pub workload: Option<WorkloadReport>,
 }
 
 impl RunOutput {
@@ -446,6 +462,10 @@ struct Driver<P: Protocol + PssNode, E: SimulationEngine<P>> {
     /// Reusable traffic ledger refilled in place by the overhead-window sampling, instead
     /// of cloning the engine's whole per-node map per sample.
     traffic_scratch: croupier_simulator::TrafficLedger,
+    /// Delivery tracker shared with the workload hook riding the engine, when
+    /// [`ExperimentParams::workload`] is set; the final report is built from it in
+    /// [`run`](Self::run).
+    workload_state: Option<Arc<Mutex<WorkloadState>>>,
     _protocol: PhantomData<fn() -> P>,
 }
 
@@ -465,16 +485,40 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
         // atomic load per delivery (guarded by the `fault_plane_inactive` bench row).
         let fault_plane = croupier_simulator::FaultPlane::new(seed);
         sim.set_fault_plane(fault_plane.clone());
-        if let Some(script) = &params.scenario {
-            // The executor shares the topology with the delivery filter and runs at the
-            // engines' round barriers on the coordinating thread; its RNG is a dedicated
-            // stream of the master seed, so scripted runs are deterministic and (on the
-            // sharded engine) bit-identical across worker-thread counts.
-            let scenario_rng = seed.stream_rng(croupier_simulator::rng::Stream::Custom(0x5C3A));
-            sim.set_round_hook(Box::new(
-                ScenarioExecutor::new(script, topology.clone(), scenario_rng)
-                    .with_fault_plane(fault_plane.clone()),
-            ));
+        let mut workload_state = None;
+        {
+            // Build the barrier hook: scenario executor, workload executor, or both. When
+            // both ride the run, the scenario fires first so the workload always pushes
+            // and pulls over the post-dynamics NAT world of the closing round.
+            let scenario_hook = params.scenario.as_ref().map(|script| {
+                // The executor shares the topology with the delivery filter and runs at
+                // the engines' round barriers on the coordinating thread; its RNG is a
+                // dedicated stream of the master seed, so scripted runs are deterministic
+                // and (on the sharded engine) bit-identical across worker-thread counts.
+                let scenario_rng = seed.stream_rng(croupier_simulator::rng::Stream::Custom(0x5C3A));
+                Box::new(
+                    ScenarioExecutor::new(script, topology.clone(), scenario_rng)
+                        .with_fault_plane(fault_plane.clone()),
+                )
+            });
+            let workload_hook = params.workload.map(|spec| {
+                let (executor, state) =
+                    WorkloadExecutor::new(spec, topology.clone(), fault_plane.clone());
+                workload_state = Some(state);
+                Box::new(executor)
+            });
+            match (scenario_hook, workload_hook) {
+                (Some(scenario), Some(workload)) => sim.set_sampled_round_hook(Box::new(
+                    croupier_simulator::CompositeRoundHook::new()
+                        .with(scenario)
+                        .with(workload),
+                )),
+                // The workload draws peer samples, so it needs the sampling-aware
+                // installer; a scenario alone keeps the cheaper plain hook.
+                (None, Some(workload)) => sim.set_sampled_round_hook(workload),
+                (Some(scenario), None) => sim.set_round_hook(scenario),
+                (None, None) => {}
+            }
         }
         let mut sample_snapshot = OverlaySnapshot::default();
         if params.incremental_components || params.incremental_indegree {
@@ -498,6 +542,7 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             metrics_timing: Vec::new(),
             sources_scratch: Vec::new(),
             traffic_scratch: croupier_simulator::TrafficLedger::new(),
+            workload_state,
             _protocol: PhantomData,
         }
     }
@@ -708,6 +753,14 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             fault_report.retries_fired += node.retries_fired();
             fault_report.exchanges_abandoned += node.exchanges_abandoned();
         });
+        let workload = self.workload_state.as_ref().map(|state| {
+            // Open chunks are force-sealed against the end-of-run live population, in
+            // the same canonical ascending-id order the hook itself uses.
+            let mut live: Vec<NodeId> = Vec::with_capacity(self.sim.len());
+            self.sim.for_each_node(&mut |id, _| live.push(id));
+            live.sort_unstable();
+            WorkloadExecutor::report(state, &live)
+        });
         RunOutput {
             samples,
             overhead,
@@ -730,6 +783,7 @@ impl<P: Protocol + PssNode, E: SimulationEngine<P>> Driver<P, E> {
             metrics_overlap,
             metrics_timing: std::mem::take(&mut self.metrics_timing),
             fault_report,
+            workload,
         }
     }
 

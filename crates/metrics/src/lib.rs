@@ -28,6 +28,44 @@
 //! the steady-state measurement path performs **no allocation and no hashing**. The
 //! original tree/hash-based implementations survive in [`mod@reference`] as the
 //! executable specification the CSR pipeline is property-tested against.
+//!
+//! ## Incremental trackers
+//!
+//! The million-node tier cannot afford to recount anything from the full edge list every
+//! sample, so the in-degree family ([`IncrementalIndegree`]) and the largest-component
+//! metric ([`IncrementalComponents`]) maintain their state from snapshot **edge deltas**
+//! (enable with [`OverlaySnapshot::enable_delta_tracking`]) and fall back to a full
+//! rebuild whenever membership changes or no valid delta is available. Both are
+//! property-tested bit-identical to the full recount; both expose
+//! `rebuild_count`/`fast_update_count` so callers can assert the fast path actually
+//! fired. A hand-built snapshot exercises the same code paths as an engine capture:
+//!
+//! ```
+//! use croupier_metrics::snapshot::{NodeObservation, OverlaySnapshot};
+//! use croupier_metrics::{indegree_stats, IncrementalComponents, IncrementalIndegree};
+//! use croupier_simulator::{NatClass, NodeId};
+//!
+//! let observe = |i: u64| NodeObservation {
+//!     id: NodeId::new(i),
+//!     class: NatClass::Public,
+//!     ratio_estimate: None,
+//!     rounds_executed: 5,
+//! };
+//! // Three nodes; node 1 sits in two views (in-degree 2), the overlay is connected.
+//! let snapshot = OverlaySnapshot::from_parts(
+//!     (0..3).map(observe).collect(),
+//!     vec![(NodeId::new(0), NodeId::new(1)), (NodeId::new(2), NodeId::new(1))],
+//! );
+//!
+//! let mut indegree = IncrementalIndegree::new();
+//! indegree.update(&snapshot);
+//! assert_eq!(indegree.stats(), indegree_stats(&snapshot)); // ≡ the full recount
+//! assert_eq!(indegree.stats().max, 2);
+//!
+//! let mut components = IncrementalComponents::new();
+//! components.update(&snapshot);
+//! assert_eq!(components.largest_component_fraction(), 1.0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

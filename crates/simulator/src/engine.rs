@@ -5,7 +5,7 @@ use rand::Rng;
 
 use crate::arena::NodeArena;
 use crate::bootstrap::BootstrapRegistry;
-use crate::engine_api::RoundHook;
+use crate::engine_api::{HookOps, RoundHook};
 use crate::event::Event;
 use crate::faults::{FaultPlane, FaultReport};
 use crate::latency::{KingLatencyModel, LatencyModel};
@@ -174,6 +174,10 @@ pub struct Simulation<P: Protocol> {
     /// Round-barrier hook, if installed; `None` keeps [`run_until`](Self::run_until) on
     /// the original barrier-free hot loop.
     hook: Option<Box<dyn RoundHook>>,
+    /// The protocol's peer-sampling rule, captured (monomorphised where `P: PssNode`
+    /// holds) by [`set_sampled_round_hook`](Self::set_sampled_round_hook) so the
+    /// `P: Protocol`-only barrier loop can serve [`HookOps::draw_sample`].
+    hook_sampler: Option<fn(&mut P, &mut SmallRng) -> Option<NodeId>>,
     /// Index of the last barrier handed to the hook (barrier `n` fires at `n * period`).
     barriers_fired: u64,
 }
@@ -200,6 +204,7 @@ impl<P: Protocol> Simulation<P> {
             timers_buf: Vec::new(),
             faults: None,
             hook: None,
+            hook_sampler: None,
             barriers_fired: 0,
         }
     }
@@ -242,6 +247,7 @@ impl<P: Protocol> Simulation<P> {
         let period = self.cfg.round_period.as_millis().max(1);
         self.barriers_fired = self.now.as_millis() / period;
         self.hook = Some(hook);
+        self.hook_sampler = None;
     }
 
     /// The engine configuration.
@@ -406,8 +412,10 @@ impl<P: Protocol> Simulation<P> {
                 }
                 self.barriers_fired += 1;
                 let round = self.barriers_fired;
-                if let Some(hook) = self.hook.as_mut() {
-                    hook.on_round_barrier(round, barrier);
+                // Take/restore so the hook can borrow the engine as `&mut dyn HookOps`.
+                if let Some(mut hook) = self.hook.take() {
+                    hook.on_round_barrier_with(round, barrier, self);
+                    self.hook = Some(hook);
                 }
                 continue;
             }
@@ -585,6 +593,38 @@ impl<P: PssNode> Simulation<P> {
         let slot = self.nodes.get_mut(slot_index(node))?;
         slot.proto.draw_sample(&mut slot.rng)
     }
+
+    /// Installs a [`RoundHook`] like [`set_round_hook`](Self::set_round_hook) and captures
+    /// the protocol's sampling rule so the hook's [`HookOps::draw_sample`] calls work.
+    pub fn set_sampled_round_hook(&mut self, hook: Box<dyn RoundHook>) {
+        self.set_round_hook(hook);
+        self.hook_sampler = Some(P::draw_sample);
+    }
+}
+
+impl<P: Protocol> HookOps for Simulation<P> {
+    fn draw_sample(&mut self, node: NodeId) -> Option<NodeId> {
+        let sampler = self.hook_sampler?;
+        let slot = self.nodes.get_mut(slot_index(node))?;
+        sampler(&mut slot.proto, &mut slot.rng)
+    }
+
+    fn is_live(&self, node: NodeId) -> bool {
+        self.contains(node)
+    }
+
+    fn live_node_ids_into(&self, out: &mut Vec<NodeId>) {
+        out.extend(self.nodes.iter().map(|(_, slot)| slot.id));
+    }
+
+    fn record_transfer(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        self.traffic.record_sent(from, bytes);
+        self.traffic.record_received(to, bytes);
+    }
+
+    fn record_blocked(&mut self, from: NodeId) {
+        self.traffic.record_dropped(from);
+    }
 }
 
 impl<P: Protocol> crate::engine_api::SimulationEngine<P> for Simulation<P> {
@@ -606,6 +646,13 @@ impl<P: Protocol> crate::engine_api::SimulationEngine<P> for Simulation<P> {
 
     fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
         Simulation::set_round_hook(self, hook);
+    }
+
+    fn set_sampled_round_hook(&mut self, hook: Box<dyn RoundHook>)
+    where
+        P: PssNode,
+    {
+        Simulation::set_sampled_round_hook(self, hook);
     }
 
     fn set_fault_plane(&mut self, plane: FaultPlane) {
@@ -1059,5 +1106,63 @@ mod tests {
         sim.run_until(SimTime::from_secs(3));
         assert_eq!(log.borrow().len(), 3, "barriers fire without any events");
         assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    /// Probes the `HookOps` seam at each barrier: the live-id walk, liveness queries,
+    /// protocol-rule sample draws and ledger charging.
+    struct SeamProbe(Rc<RefCell<Vec<Option<NodeId>>>>);
+
+    impl RoundHook for SeamProbe {
+        fn on_round_barrier(&mut self, _round: u64, _now: SimTime) {}
+
+        fn on_round_barrier_with(&mut self, _round: u64, _now: SimTime, ops: &mut dyn HookOps) {
+            let mut ids = Vec::new();
+            ops.live_node_ids_into(&mut ids);
+            assert_eq!(ids, vec![NodeId::new(1), NodeId::new(2)]);
+            assert!(ops.is_live(NodeId::new(1)));
+            assert!(!ops.is_live(NodeId::new(99)));
+            self.0.borrow_mut().push(ops.draw_sample(NodeId::new(1)));
+            ops.record_transfer(NodeId::new(1), NodeId::new(2), 500);
+            ops.record_blocked(NodeId::new(2));
+        }
+    }
+
+    #[test]
+    fn sampled_round_hook_serves_draws_and_charges_the_ledger() {
+        let mut sim = two_node_sim();
+        let samples = Rc::new(RefCell::new(Vec::new()));
+        sim.set_sampled_round_hook(Box::new(SeamProbe(Rc::clone(&samples))));
+        sim.run_until(SimTime::from_secs(2));
+        // Buddy's sampling rule always returns the buddy.
+        assert_eq!(
+            samples.borrow().as_slice(),
+            &[Some(NodeId::new(2)), Some(NodeId::new(2))]
+        );
+        let t1 = sim.traffic().node_or_default(NodeId::new(1));
+        let t2 = sim.traffic().node_or_default(NodeId::new(2));
+        // Two barriers × 500 workload bytes on top of the protocol's own 100-byte sends.
+        assert!(t1.bytes_sent >= 1_000, "sent {}", t1.bytes_sent);
+        assert!(t2.bytes_received >= 1_000, "received {}", t2.bytes_received);
+        assert_eq!(t2.messages_dropped, 2, "one blocked record per barrier");
+    }
+
+    #[test]
+    fn plain_round_hook_has_no_sampling_rule() {
+        struct DrawProbe(Rc<RefCell<Vec<Option<NodeId>>>>);
+        impl RoundHook for DrawProbe {
+            fn on_round_barrier(&mut self, _round: u64, _now: SimTime) {}
+            fn on_round_barrier_with(&mut self, _round: u64, _now: SimTime, ops: &mut dyn HookOps) {
+                self.0.borrow_mut().push(ops.draw_sample(NodeId::new(1)));
+            }
+        }
+        let mut sim = two_node_sim();
+        let draws = Rc::new(RefCell::new(Vec::new()));
+        sim.set_round_hook(Box::new(DrawProbe(Rc::clone(&draws))));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            draws.borrow().as_slice(),
+            &[None, None],
+            "the plain installer must not capture a sampling rule"
+        );
     }
 }

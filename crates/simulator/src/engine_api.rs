@@ -40,6 +40,108 @@ pub trait RoundHook {
     /// Called at the barrier that closes gossip round `round` (1-based), i.e. at virtual
     /// time `now = round * round_period`.
     fn on_round_barrier(&mut self, round: u64, now: SimTime);
+
+    /// Like [`on_round_barrier`](Self::on_round_barrier), but handed a [`HookOps`] view of
+    /// the invoking engine, so the hook can drive application-level traffic (peer-sample
+    /// draws, transfer accounting) through the engine it rides on. Both engines call this
+    /// entry point; the default implementation ignores `ops` and forwards to
+    /// [`on_round_barrier`](Self::on_round_barrier), so existing hooks are unaffected.
+    ///
+    /// Hooks that override this method and draw samples must be installed via
+    /// [`SimulationEngine::set_sampled_round_hook`]; a hook installed with the plain
+    /// [`SimulationEngine::set_round_hook`] sees [`HookOps::draw_sample`] return `None`
+    /// (the engine has no sampling rule captured for it).
+    fn on_round_barrier_with(&mut self, round: u64, now: SimTime, ops: &mut dyn HookOps) {
+        let _ = ops;
+        self.on_round_barrier(round, now);
+    }
+}
+
+/// The engine services a [`RoundHook`] may use at a barrier, independent of the concrete
+/// engine type (both [`Simulation`](crate::Simulation) and
+/// [`ShardedSimulation`](crate::ShardedSimulation) implement it).
+///
+/// Every method runs on the coordinating thread at the barrier instant, after the
+/// barrier's canonical merge — the same synchronisation point as the hook itself — so a
+/// hook that only calls these methods observes identical state for any worker-thread
+/// count. [`draw_sample`](Self::draw_sample) consumes the *target node's own* RNG stream
+/// (the one its protocol callbacks use), which both engines keep canonically positioned
+/// across thread counts; a hook draw therefore advances the same stream by the same
+/// amount on every configuration, preserving bit-identity.
+pub trait HookOps {
+    /// Draws a peer sample from `node` via its protocol's sampling rule and its own RNG
+    /// stream. Returns `None` when the node is dead, its view is empty, or the hook was
+    /// installed without a sampling rule (plain
+    /// [`set_round_hook`](SimulationEngine::set_round_hook)).
+    fn draw_sample(&mut self, node: NodeId) -> Option<NodeId>;
+
+    /// Returns `true` if `node` is currently alive.
+    fn is_live(&self, node: NodeId) -> bool;
+
+    /// Appends the ids of all live nodes to `out` in ascending id order (`out` is not
+    /// cleared first).
+    fn live_node_ids_into(&self, out: &mut Vec<NodeId>);
+
+    /// Records an application-level transfer of `bytes` from `from` to `to` in the
+    /// engine's traffic ledger (sender and receiver sides), so workload traffic shows up
+    /// in [`SimulationEngine::traffic_snapshot`] next to protocol traffic.
+    fn record_transfer(&mut self, from: NodeId, to: NodeId, bytes: usize);
+
+    /// Records an application-level send by `from` that was blocked before delivery
+    /// (NAT-filtered or fault-dropped) in the engine's traffic ledger.
+    fn record_blocked(&mut self, from: NodeId);
+}
+
+/// A [`RoundHook`] that forwards each barrier to an ordered list of child hooks, so a run
+/// can compose (say) a scripted NAT-dynamics executor with a dissemination workload: the
+/// children fire in push order at every barrier, which keeps the composition
+/// deterministic.
+#[derive(Default)]
+pub struct CompositeRoundHook {
+    hooks: Vec<Box<dyn RoundHook>>,
+}
+
+impl CompositeRoundHook {
+    /// Creates an empty composite.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `hook`; at each barrier it runs after every previously pushed hook.
+    pub fn push(&mut self, hook: Box<dyn RoundHook>) {
+        self.hooks.push(hook);
+    }
+
+    /// Builder-style [`push`](Self::push).
+    #[must_use]
+    pub fn with(mut self, hook: Box<dyn RoundHook>) -> Self {
+        self.push(hook);
+        self
+    }
+
+    /// Number of child hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Returns `true` when no child hooks are installed.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+}
+
+impl RoundHook for CompositeRoundHook {
+    fn on_round_barrier(&mut self, round: u64, now: SimTime) {
+        for hook in &mut self.hooks {
+            hook.on_round_barrier(round, now);
+        }
+    }
+
+    fn on_round_barrier_with(&mut self, round: u64, now: SimTime, ops: &mut dyn HookOps) {
+        for hook in &mut self.hooks {
+            hook.on_round_barrier_with(round, now, ops);
+        }
+    }
 }
 
 /// An execution engine that can drive [`Protocol`] state machines.
@@ -65,6 +167,16 @@ pub trait SimulationEngine<P: Protocol> {
     /// previously installed hook. Like the delivery filter, the hook runs on the
     /// coordinating thread only.
     fn set_round_hook(&mut self, hook: Box<dyn RoundHook>);
+
+    /// Installs a [`RoundHook`] like [`set_round_hook`](Self::set_round_hook), but also
+    /// captures the protocol's peer-sampling rule so the hook's
+    /// [`HookOps::draw_sample`] calls work. Use this for hooks that override
+    /// [`RoundHook::on_round_barrier_with`] and generate application traffic (the
+    /// dissemination workload engine); plain scripted hooks can keep the cheaper
+    /// [`set_round_hook`](Self::set_round_hook).
+    fn set_sampled_round_hook(&mut self, hook: Box<dyn RoundHook>)
+    where
+        P: PssNode;
 
     /// Installs a [`FaultPlane`] on the delivery path. Both engines judge messages
     /// against the plane on the coordinating thread, in canonical message order, so
@@ -155,4 +267,62 @@ pub trait SimulationEngine<P: Protocol> {
     fn draw_sample(&mut self, node: NodeId) -> Option<NodeId>
     where
         P: PssNode;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A do-nothing engine view, so hook composition is testable without an engine.
+    struct NoOps;
+
+    impl HookOps for NoOps {
+        fn draw_sample(&mut self, _node: NodeId) -> Option<NodeId> {
+            None
+        }
+        fn is_live(&self, _node: NodeId) -> bool {
+            false
+        }
+        fn live_node_ids_into(&self, _out: &mut Vec<NodeId>) {}
+        fn record_transfer(&mut self, _from: NodeId, _to: NodeId, _bytes: usize) {}
+        fn record_blocked(&mut self, _from: NodeId) {}
+    }
+
+    /// Implements only the plain entry point, so the default `on_round_barrier_with`
+    /// forwarding is under test too.
+    struct Tag(u32, Rc<RefCell<Vec<u32>>>);
+
+    impl RoundHook for Tag {
+        fn on_round_barrier(&mut self, _round: u64, _now: SimTime) {
+            self.1.borrow_mut().push(self.0);
+        }
+    }
+
+    #[test]
+    fn composite_fires_children_in_push_order_through_both_entry_points() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut composite = CompositeRoundHook::new()
+            .with(Box::new(Tag(1, Rc::clone(&log))))
+            .with(Box::new(Tag(2, Rc::clone(&log))));
+        assert_eq!(composite.len(), 2);
+        assert!(!composite.is_empty());
+        composite.on_round_barrier(1, SimTime::from_secs(1));
+        composite.on_round_barrier_with(2, SimTime::from_secs(2), &mut NoOps);
+        assert_eq!(
+            log.borrow().as_slice(),
+            &[1, 2, 1, 2],
+            "children must fire in push order from both entry points, with the \
+             default _with implementation forwarding to the plain hook"
+        );
+    }
+
+    #[test]
+    fn an_empty_composite_is_inert() {
+        let mut composite = CompositeRoundHook::new();
+        assert!(composite.is_empty());
+        assert_eq!(composite.len(), 0);
+        composite.on_round_barrier_with(1, SimTime::from_secs(1), &mut NoOps);
+    }
 }

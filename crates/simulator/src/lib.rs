@@ -102,7 +102,7 @@ pub mod types;
 
 pub use bootstrap::BootstrapRegistry;
 pub use engine::{NetworkStats, Simulation, SimulationConfig};
-pub use engine_api::{RoundHook, SimulationEngine};
+pub use engine_api::{CompositeRoundHook, HookOps, RoundHook, SimulationEngine};
 pub use fasthash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use faults::{
     BurstLoss, FaultDecision, FaultPlane, FaultProfile, FaultReport, FaultSession, RetryPolicy,

@@ -55,7 +55,7 @@ use rand::Rng;
 use crate::arena::NodeArena;
 use crate::bootstrap::BootstrapRegistry;
 use crate::engine::{NetworkStats, SimulationConfig};
-use crate::engine_api::{RoundHook, SimulationEngine};
+use crate::engine_api::{HookOps, RoundHook, SimulationEngine};
 use crate::event::Event;
 use crate::faults::{FaultPlane, FaultReport};
 use crate::latency::{KingLatencyModel, LatencyModel};
@@ -352,6 +352,10 @@ pub struct ShardedSimulation<P: Protocol> {
     /// Round-barrier hook, if installed; runs on the coordinating thread right after each
     /// phase's canonical merge, so its effects are worker-count independent.
     hook: Option<Box<dyn RoundHook>>,
+    /// The protocol's peer-sampling rule, captured (monomorphised where `P: PssNode`
+    /// holds) by [`set_sampled_round_hook`](Self::set_sampled_round_hook) so the
+    /// `P: Protocol`-only barrier loop can serve [`HookOps::draw_sample`].
+    hook_sampler: Option<fn(&mut P, &mut SmallRng) -> Option<NodeId>>,
     /// Fault-injection plane, if installed; judged during the barrier's sequential
     /// canonical-order pass, so injected faults are worker-count independent too.
     faults: Option<FaultPlane>,
@@ -382,6 +386,7 @@ where
             cached_node_ids: RefCell::new(Vec::new()),
             node_ids_valid: Cell::new(false),
             hook: None,
+            hook_sampler: None,
             faults: None,
         }
     }
@@ -409,6 +414,7 @@ where
     /// already ran never replay their barriers.
     pub fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
         self.hook = Some(hook);
+        self.hook_sampler = None;
     }
 
     /// Installs a [`FaultPlane`] judged per message during the barrier's sequential
@@ -721,10 +727,12 @@ where
         }
         self.merge_batch(&mut batch, window_end);
         self.merge_buf = batch;
-        if let Some(hook) = self.hook.as_mut() {
+        // Take/restore so the hook can borrow the engine as `&mut dyn HookOps`.
+        if let Some(mut hook) = self.hook.take() {
             // After the canonical merge: the hook observes every effect of the closing
             // phase, and its own effects govern the next phase — for any worker count.
-            hook.on_round_barrier(phase + 1, window_end);
+            hook.on_round_barrier_with(phase + 1, window_end, self);
+            self.hook = Some(hook);
         }
     }
 
@@ -883,6 +891,44 @@ where
         let state = self.shards[shard].nodes.get_mut(local)?;
         state.proto.draw_sample(&mut state.rng)
     }
+
+    /// Installs a [`RoundHook`] like [`set_round_hook`](Self::set_round_hook) and captures
+    /// the protocol's sampling rule so the hook's [`HookOps::draw_sample`] calls work.
+    pub fn set_sampled_round_hook(&mut self, hook: Box<dyn RoundHook>) {
+        self.set_round_hook(hook);
+        self.hook_sampler = Some(P::draw_sample);
+    }
+}
+
+impl<P: Protocol + Send> HookOps for ShardedSimulation<P>
+where
+    P::Message: Send,
+{
+    fn draw_sample(&mut self, node: NodeId) -> Option<NodeId> {
+        let sampler = self.hook_sampler?;
+        let (shard, local) = self.locate(node);
+        let state = self.shards[shard].nodes.get_mut(local)?;
+        sampler(&mut state.proto, &mut state.rng)
+    }
+
+    fn is_live(&self, node: NodeId) -> bool {
+        self.contains(node)
+    }
+
+    fn live_node_ids_into(&self, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(&self.node_ids_ref());
+    }
+
+    fn record_transfer(&mut self, from: NodeId, to: NodeId, bytes: usize) {
+        // Both sides go to the barrier ledger: the snapshot merge is a commutative sum
+        // over all ledgers, so which ledger holds a counter is unobservable.
+        self.barrier_traffic.record_sent(from, bytes);
+        self.barrier_traffic.record_received(to, bytes);
+    }
+
+    fn record_blocked(&mut self, from: NodeId) {
+        self.barrier_traffic.record_dropped(from);
+    }
 }
 
 impl<P: Protocol + Send> SimulationEngine<P> for ShardedSimulation<P>
@@ -907,6 +953,13 @@ where
 
     fn set_round_hook(&mut self, hook: Box<dyn RoundHook>) {
         ShardedSimulation::set_round_hook(self, hook);
+    }
+
+    fn set_sampled_round_hook(&mut self, hook: Box<dyn RoundHook>)
+    where
+        P: PssNode,
+    {
+        ShardedSimulation::set_sampled_round_hook(self, hook);
     }
 
     fn set_fault_plane(&mut self, plane: FaultPlane) {
@@ -1309,6 +1362,41 @@ mod tests {
         let fired = log.borrow().clone();
         let expected: Vec<(u64, SimTime)> = (1..=5).map(|n| (n, SimTime::from_secs(n))).collect();
         assert_eq!(fired, expected);
+    }
+
+    /// Draws one sample from node 0 per barrier and logs it.
+    struct DrawProbe(Rc<RefCell<Vec<Option<NodeId>>>>);
+
+    impl RoundHook for DrawProbe {
+        fn on_round_barrier(&mut self, _round: u64, _now: SimTime) {}
+
+        fn on_round_barrier_with(&mut self, _round: u64, _now: SimTime, ops: &mut dyn HookOps) {
+            self.0.borrow_mut().push(ops.draw_sample(NodeId::new(0)));
+        }
+    }
+
+    #[test]
+    fn sampled_hook_draws_through_the_protocol_rule_and_plain_hook_does_not() {
+        // Ring's sampling rule returns the most recent sender; after a couple of rounds
+        // node 0's is its ring predecessor.
+        let mut sim = ring_sim(4, 2);
+        let draws = Rc::new(RefCell::new(Vec::new()));
+        sim.set_sampled_round_hook(Box::new(DrawProbe(Rc::clone(&draws))));
+        sim.run_for_rounds(4);
+        assert_eq!(
+            draws.borrow().last(),
+            Some(&Some(NodeId::new(3))),
+            "the sampled installer must serve protocol-rule draws"
+        );
+        // Re-installing through the plain entry point must drop the sampling rule.
+        draws.borrow_mut().clear();
+        sim.set_round_hook(Box::new(DrawProbe(Rc::clone(&draws))));
+        sim.run_for_rounds(2);
+        assert_eq!(
+            draws.borrow().as_slice(),
+            &[None, None],
+            "set_round_hook must clear the captured sampler"
+        );
     }
 
     #[test]

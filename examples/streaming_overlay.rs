@@ -1,152 +1,132 @@
-//! A gossip-dissemination workload on top of the peer-sampling service — the kind of
-//! video-streaming overlay the paper's introduction motivates and its conclusion plans to
+//! A streaming-dissemination workload on top of the peer-sampling service — the kind of
+//! video overlay the paper's introduction motivates and its conclusion plans to
 //! integrate with Croupier.
 //!
-//! A source node publishes a piece of data (say, a stream chunk announcement). Every
-//! dissemination round, nodes that hold the piece *push* it to a small fan-out of sampled
-//! peers, and nodes that do not hold it *pull* from one sampled peer. A transfer only
-//! succeeds if the initiator can actually reach the other endpoint through the NATs
-//! (pushes towards unreachable private nodes are lost; pulls work whenever the initiator
-//! can reach the holder, because the response rides the NAT mapping the request opened).
+//! This is a thin demo over the `croupier_experiments::workload` engine: a publisher
+//! emits one chunk per round, holders *push* each chunk to a sampled fan-out the round
+//! after receiving it, and nodes missing chunks *pull* from one sampled holder per
+//! round. Every transfer is judged by the same NAT delivery filter the protocols' own
+//! messages ride.
 //!
-//! With Croupier the samples are uniform and mostly reachable when needed, so coverage
-//! completes in a few rounds; a NAT-oblivious Cyclon run on the same population wastes most
-//! of its pushes on unreachable private nodes and its private nodes pull from stale,
-//! mostly-private views, so coverage lags.
+//! The comparison is deliberately unflattering to naive intuition. Running NAT-oblivious
+//! Cyclon on the *same NATed population* does not collapse the stream — it reaches
+//! slightly *higher* raw coverage than Croupier, because its views drift onto the
+//! directly-reachable public core: pushes almost always land there, and private
+//! subscribers pull the backlog from public holders. The price shows up elsewhere: a
+//! third more duplicate traffic (the same chunks hammering the same small core) and a
+//! view that no longer represents the population. Croupier's samples stay uniform —
+//! which is the property the paper is actually after — but under *direct-only* transfer
+//! many of those uniform pushes target private nodes no NAT mapping reaches, costing
+//! coverage and latency; its successful serves end up even more public-heavy. Either
+//! way, the `served by public` row shows both overlays leaning on the 20% public
+//! minority for most deliveries: direct-path dissemination cannot tap private uplink
+//! capacity, which is exactly the capacity argument for the NAT relaying the paper's
+//! Gozar/Nylon baselines implement. It is also why the scenario/workload matrices run
+//! Cyclon on an all-public population — on a NATed one its "peer sampling" silently
+//! measures the public core, not the population.
 //!
 //! ```text
 //! cargo run --release --example streaming_overlay
 //! ```
 
-use std::collections::HashSet;
-
 use croupier::{CroupierConfig, CroupierNode};
 use croupier_baselines::{BaselineConfig, CyclonNode};
-use croupier_nat::NatTopologyBuilder;
-use croupier_simulator::{
-    DeliveryFilter, NatClass, NodeId, Protocol, PssNode, Simulation, SimulationConfig,
-};
+use croupier_experiments::runner::run_pss;
+use croupier_experiments::workload::{WorkloadReport, WorkloadSpec};
+use croupier_experiments::ExperimentParams;
 
-const N_PUBLIC: u64 = 40;
-const N_PRIVATE: u64 = 160;
-const WARMUP_ROUNDS: u64 = 60;
-const FANOUT: usize = 3;
-const DISSEMINATION_ROUNDS: usize = 12;
+const N_PUBLIC: usize = 40;
+const N_PRIVATE: usize = 160;
+/// Rounds before publishing starts — lets the overlay warm up to steady state.
+const WARMUP_ROUNDS: u64 = 20;
+const PUBLISH_ROUNDS: u64 = 10;
+/// Seal window: a chunk's coverage is frozen this many rounds after publication.
+const COVERAGE_ROUNDS: u64 = 16;
 
-/// Builds a NATed population running protocol `P` and warms the overlay up.
-fn build<P, F>(seed: u64, mut make_node: F) -> (Simulation<P>, croupier_nat::NatTopology)
+fn run<P, F>(make_node: F) -> WorkloadReport
 where
-    P: Protocol + PssNode,
-    F: FnMut(NodeId, NatClass) -> P,
+    P: croupier_simulator::Protocol + croupier_simulator::PssNode + Send,
+    P::Message: Send,
+    F: FnMut(
+        croupier_simulator::NodeId,
+        croupier_simulator::NatClass,
+        &croupier_nat::NatTopology,
+    ) -> P,
 {
-    let topology = NatTopologyBuilder::new(seed).build();
-    let mut sim = Simulation::new(SimulationConfig::default().with_seed(seed));
-    sim.set_delivery_filter(topology.clone());
-    for i in 0..(N_PUBLIC + N_PRIVATE) {
-        let id = NodeId::new(i);
-        let class = if i < N_PUBLIC {
-            NatClass::Public
-        } else {
-            NatClass::Private
-        };
-        topology.add_node(id, class);
-        if class.is_public() {
-            sim.register_public(id);
-        }
-        sim.add_node(id, make_node(id, class));
-    }
-    sim.run_for_rounds(WARMUP_ROUNDS);
-    (sim, topology)
-}
-
-/// Push-pull dissemination driven by peer samples, honouring NAT reachability for the
-/// initiating direction of every transfer. Returns coverage after each round.
-fn disseminate<P: Protocol + PssNode>(
-    sim: &mut Simulation<P>,
-    topology: &croupier_nat::NatTopology,
-) -> Vec<f64> {
-    let mut reachability = topology.clone();
-    let total = sim.len() as f64;
-    let everyone = sim.node_ids();
-    let mut infected: HashSet<NodeId> = HashSet::new();
-    infected.insert(NodeId::new(0));
-    let mut coverage = Vec::new();
-
-    for _ in 0..DISSEMINATION_ROUNDS {
-        let now = sim.now();
-        let mut next = infected.clone();
-
-        // Push: holders send the piece to sampled peers they can reach directly.
-        for holder in infected.iter().copied().collect::<Vec<_>>() {
-            for _ in 0..FANOUT {
-                if let Some(peer) = sim.sample_from(holder) {
-                    if reachability.can_deliver(holder, peer, now).is_delivered() {
-                        next.insert(peer);
-                    }
-                }
-            }
-        }
-
-        // Pull: nodes without the piece ask one sampled peer; the request must reach the
-        // peer, the response returns through the mapping the request opened.
-        for node in &everyone {
-            if infected.contains(node) {
-                continue;
-            }
-            if let Some(peer) = sim.sample_from(*node) {
-                if infected.contains(&peer)
-                    && reachability.can_deliver(*node, peer, now).is_delivered()
-                {
-                    next.insert(*node);
-                }
-            }
-        }
-
-        infected = next;
-        coverage.push(infected.len() as f64 / total);
-    }
-    coverage
+    let spec = WorkloadSpec::default()
+        .with_window(WARMUP_ROUNDS, PUBLISH_ROUNDS)
+        .with_rate(1.0)
+        .with_fanout(3)
+        .with_coverage_rounds(COVERAGE_ROUNDS);
+    let params = ExperimentParams::default()
+        .with_seed(11)
+        .with_population(N_PUBLIC, N_PRIVATE)
+        .with_rounds(WARMUP_ROUNDS + PUBLISH_ROUNDS + COVERAGE_ROUNDS)
+        .with_workload(spec);
+    run_pss(&params, make_node)
+        .workload
+        .expect("workload was configured")
 }
 
 fn main() {
     println!(
-        "Disseminating one chunk announcement over {} nodes ({} public / {} private), fan-out {FANOUT}\n",
+        "Streaming {PUBLISH_ROUNDS} chunks over {} nodes ({N_PUBLIC} public / {N_PRIVATE} private), \
+         push fan-out 3 + one pull per round, sealed after {COVERAGE_ROUNDS} rounds\n",
         N_PUBLIC + N_PRIVATE,
-        N_PUBLIC,
-        N_PRIVATE
     );
 
-    // Croupier: NAT-aware peer sampling.
-    let (mut croupier_sim, croupier_topology) = build(11, |id, class| {
-        CroupierNode::new(id, class, CroupierConfig::default())
-    });
-    let croupier_coverage = disseminate(&mut croupier_sim, &croupier_topology);
+    // Croupier: NAT-aware, uniform samples over the whole population.
+    let croupier = run(|id, class, _| CroupierNode::new(id, class, CroupierConfig::default()));
+    // Cyclon on the *same NATed population*: views drift onto the reachable public core.
+    let cyclon = run(|id, _, _| CyclonNode::new(id, BaselineConfig::default()));
 
-    // Cyclon on the *same NATed population*: views fill with unreachable private nodes and
-    // private nodes are under-represented, so coverage lags.
-    let (mut cyclon_sim, cyclon_topology) = build(11, |id, _class| {
-        CyclonNode::new(id, BaselineConfig::default())
-    });
-    let cyclon_coverage = disseminate(&mut cyclon_sim, &cyclon_topology);
-
-    println!(
-        "{:>6} {:>20} {:>20}",
-        "round", "croupier coverage", "cyclon coverage"
-    );
-    for (round, (croupier, cyclon)) in croupier_coverage.iter().zip(&cyclon_coverage).enumerate() {
-        println!(
-            "{:>6} {:>19.1}% {:>19.1}%",
-            round + 1,
-            croupier * 100.0,
-            cyclon * 100.0
-        );
+    println!("{:>24} {:>12} {:>12}", "metric", "croupier", "cyclon/NATs");
+    type Row = (&'static str, Box<dyn Fn(&WorkloadReport) -> String>);
+    let rows: [Row; 7] = [
+        (
+            "chunk coverage",
+            Box::new(|r| format!("{:.1}%", r.coverage * 100.0)),
+        ),
+        (
+            "worst chunk",
+            Box::new(|r| format!("{:.1}%", r.min_chunk_coverage * 100.0)),
+        ),
+        (
+            "latency p50 (rounds)",
+            Box::new(|r| format!("{}", r.latency_p50)),
+        ),
+        (
+            "latency p95 (rounds)",
+            Box::new(|r| format!("{}", r.latency_p95)),
+        ),
+        (
+            "duplicate factor",
+            Box::new(|r| format!("{:.2}", r.duplicate_factor)),
+        ),
+        (
+            "served by public",
+            Box::new(|r| format!("{:.1}%", r.public_serve_share * 100.0)),
+        ),
+        (
+            "NAT-blocked transfers",
+            Box::new(|r| format!("{}", r.nat_blocked)),
+        ),
+    ];
+    for (label, fmt) in &rows {
+        println!("{:>24} {:>12} {:>12}", label, fmt(&croupier), fmt(&cyclon));
     }
 
-    let croupier_final = croupier_coverage.last().copied().unwrap_or(0.0);
-    let cyclon_final = cyclon_coverage.last().copied().unwrap_or(0.0);
     println!(
-        "\nfinal coverage: croupier {:.1}% vs cyclon-under-NATs {:.1}%",
-        croupier_final * 100.0,
-        cyclon_final * 100.0
+        "\nBoth overlays deliver the stream off the {:.0}% public minority (croupier \
+         {:.0}% / cyclon {:.0}% of deliveries served by public nodes): direct-only \
+         transfer cannot tap private uplinks. Cyclon buys its coverage edge by drifting \
+         onto that core — paying a {:.2}x duplicate factor against croupier's {:.2}x — \
+         while croupier keeps the *samples* uniform and leaves converting blocked \
+         private paths into deliveries to NAT relaying (see the gozar/nylon baselines).",
+        100.0 * N_PUBLIC as f64 / (N_PUBLIC + N_PRIVATE) as f64,
+        croupier.public_serve_share * 100.0,
+        cyclon.public_serve_share * 100.0,
+        cyclon.duplicate_factor,
+        croupier.duplicate_factor,
     );
 }

@@ -33,6 +33,13 @@
 //!   cargo run -p xtask -- scenario-matrix --scale quick --out target/scenario-json
 //!   ```
 //!
+//! * `workload-matrix` — runs the streaming-dissemination workload tier (the CI
+//!   `workload-matrix` job) the same way, wrapping the `workload_matrix` binary:
+//!
+//!   ```text
+//!   cargo run -p xtask -- workload-matrix --scale quick --out target/workload-json
+//!   ```
+//!
 //! * `public-api` — the API-stability gate: line-scans every workspace library crate for
 //!   `pub` items and compares the sorted list against the committed snapshot under
 //!   `ci/public-api/`. An undeclared addition, removal or signature change fails with a
@@ -49,12 +56,14 @@
 //!   (guarded benches run `BENCH_RUNS` times, merged best-of-N through
 //!   `bench-compare`), a `scenario-matrix` smoke run of the clean-network scenarios at
 //!   tiny scale, a `fault-matrix` smoke run of the fault-injection tier (`lossy_10`,
-//!   `burst_loss`, `dup_reorder`) at tiny scale, and `huge-smoke` (the ignored
-//!   million-node `scale_smoke` test, the same command the CI job runs).
+//!   `burst_loss`, `dup_reorder`) at tiny scale, a `workload-matrix` smoke run of the
+//!   streaming-dissemination tier (`reboot_storm`, `mobility_wave`, `lossy_10`) at tiny
+//!   scale, and `huge-smoke` (the ignored million-node `scale_smoke` test, the same
+//!   command the CI job runs).
 //!   All steps run even when an earlier one fails; the summary lists every verdict.
 //!
 //!   ```text
-//!   cargo run -p xtask -- ci-local [--skip bench,scenario-matrix,fault-matrix,huge-smoke]
+//!   cargo run -p xtask -- ci-local [--skip bench,scenario-matrix,workload-matrix,huge-smoke]
 //!   ```
 
 use std::fmt::Write as _;
@@ -396,10 +405,11 @@ struct Args {
 const USAGE: &str = "usage: xtask bench-compare --baseline <dir> --current <dir> \
                      [--targets a,b] [--threshold 0.25] [--metric min|mean] [--update]\n\
                      xtask scenario-matrix [scenario_matrix args...]\n\
+                     xtask workload-matrix [workload_matrix args...]\n\
                      xtask public-api [--update]\n\
                      xtask ci-local [--skip \
                      fmt,clippy,doc,public-api,test,bench,scenario-matrix,fault-matrix,\
-                     huge-smoke]";
+                     workload-matrix,huge-smoke]";
 
 fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut baseline = None;
@@ -572,20 +582,29 @@ const BENCH_RUNS: usize = 3;
 /// together with the baseline so the two cannot drift.
 const ROOT_MIRRORED_TARGETS: [&str; 2] = ["microbench_engine", "microbench_metrics"];
 
-/// Runs the `scenario_matrix` binary through cargo with `extra` appended — the single
-/// invocation site behind both `xtask scenario-matrix` and the `ci-local` smoke step.
-fn run_scenario_matrix(extra: &[String]) -> bool {
+/// Runs a matrix binary (`scenario_matrix` or `workload_matrix`) through cargo with
+/// `extra` appended — the single invocation site behind the `xtask` forwarding commands
+/// and the `ci-local` smoke steps.
+fn run_matrix_bin(bin: &str, extra: &[String]) -> bool {
     let mut args = vec![
         "run",
         "--release",
         "-p",
         "croupier-experiments",
         "--bin",
-        "scenario_matrix",
+        bin,
         "--",
     ];
     args.extend(extra.iter().map(String::as_str));
     run_command(&cargo_bin(), &args, &[])
+}
+
+fn run_scenario_matrix(extra: &[String]) -> bool {
+    run_matrix_bin("scenario_matrix", extra)
+}
+
+fn run_workload_matrix(extra: &[String]) -> bool {
+    run_matrix_bin("workload_matrix", extra)
 }
 
 /// Directory holding the committed public-API snapshots, one file per library crate.
@@ -775,7 +794,7 @@ fn run_command(program: &str, args: &[&str], envs: &[(&str, &str)]) -> bool {
 
 /// The CI jobs `ci-local` mirrors, in run order. `huge-smoke` is the million-node tier
 /// (the long pole by far — skip it with `--skip huge-smoke` when iterating).
-const CI_STEPS: [&str; 9] = [
+const CI_STEPS: [&str; 10] = [
     "fmt",
     "clippy",
     "doc",
@@ -784,6 +803,7 @@ const CI_STEPS: [&str; 9] = [
     "bench",
     "scenario-matrix",
     "fault-matrix",
+    "workload-matrix",
     "huge-smoke",
 ];
 
@@ -795,6 +815,9 @@ const CLEAN_SCENARIOS: &str = "reboot_storm,mobility_wave,nat_flux,flash_crowd,\
 
 /// The fault-tier scenarios the `fault-matrix` step runs.
 const FAULT_SCENARIOS: &str = "lossy_10,burst_loss,dup_reorder";
+
+/// The scenarios the `workload-matrix` step streams a dissemination workload under.
+const WORKLOAD_SCENARIOS: &str = "reboot_storm,mobility_wave,lossy_10";
 
 /// Parses `ci-local`'s arguments: the set of steps to skip.
 fn parse_ci_local_args(mut argv: impl Iterator<Item = String>) -> Result<Vec<String>, String> {
@@ -920,6 +943,17 @@ fn ci_local_step(step: &str) -> bool {
             ]
             .map(String::from),
         ),
+        "workload-matrix" => run_workload_matrix(
+            &[
+                "--scale",
+                "tiny",
+                "--scenarios",
+                WORKLOAD_SCENARIOS,
+                "--out",
+                "target/workload-json",
+            ]
+            .map(String::from),
+        ),
         "huge-smoke" => run_command(
             &cargo,
             &[
@@ -999,6 +1033,14 @@ fn main() -> ExitCode {
             // Thin forwarding wrapper so CI and contributors share one entry point.
             let extra: Vec<String> = argv.collect();
             if run_scenario_matrix(&extra) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("workload-matrix") => {
+            let extra: Vec<String> = argv.collect();
+            if run_workload_matrix(&extra) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
